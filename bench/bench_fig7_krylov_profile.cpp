@@ -1,0 +1,122 @@
+// Figure 7 reproduction + instrumentation-overhead measurement.
+//
+// Runs the Krylov (CG) solver pipeline twice through the system compiler:
+// once as written and once after TAU instrumentation via PDT, compares
+// wall-clock times (the run-time dilation users pay for the Figure-7
+// profile), and prints the profile itself.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdt/pdt_paths.h"
+#include "tau/instrumentor.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+double timeCommand(const std::string& cmd, int repeats) {
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    if (std::system(cmd.c_str()) != 0) return -1.0;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count() /
+         repeats;
+}
+
+}  // namespace
+
+int main() {
+  const std::string input_dir = std::string(pdt::paths::kInputDir) + "/pooma_mini";
+  const std::string stl_dir = std::string(pdt::paths::kRuntimeDir) + "/pdt_stl";
+  const std::string tau_dir = std::string(pdt::paths::kRuntimeDir) + "/tau";
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string work =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/pdt_fig7_bench";
+  std::system(("rm -rf '" + work + "' && mkdir -p '" + work + "'").c_str());
+
+  // PDT pipeline.
+  pdt::SourceManager sm;
+  pdt::DiagnosticEngine diags;
+  pdt::frontend::FrontendOptions options;
+  options.include_dirs.push_back(stl_dir);
+  options.include_dirs.push_back(input_dir);
+  pdt::frontend::Frontend frontend(sm, diags, options);
+  auto result = frontend.compileFile(input_dir + "/krylov.cpp");
+  if (!result.success) {
+    diags.print(std::cerr, sm);
+    return 1;
+  }
+  const auto pdb = pdt::ductape::PDB::fromPdbFile(
+      pdt::ilanalyzer::analyze(result, sm));
+  // Full instrumentation, and a selective variant that excludes the tiny
+  // per-element accessors (the standard mitigation for profiling
+  // fine-grained template code).
+  pdt::tau::InstrumentOptions selective;
+  selective.exclude = {"operator()", "operator[]", "size"};
+  std::system(("mkdir -p '" + work + "/sel'").c_str());
+  for (const char* name :
+       {"Array.h", "BLAS1.h", "Stencil.h", "CG.h", "krylov.cpp"}) {
+    const std::string text = slurp(input_dir + "/" + name);
+    std::ofstream(work + "/" + name) << pdt::tau::instrument(pdb, name, text);
+    std::ofstream(work + "/sel/" + name)
+        << pdt::tau::instrument(pdb, name, text, selective);
+  }
+
+  const std::string common = "g++ -std=c++17 -O2 -I '" + stl_dir + "' '" +
+                             stl_dir + "/pdt_stl_impl.cpp' ";
+  const std::string build_plain = common + "-I '" + input_dir + "' '" +
+                                  input_dir + "/krylov.cpp' -o '" + work +
+                                  "/plain'";
+  const std::string build_instr = common + "-I '" + work + "' -I '" + tau_dir +
+                                  "' '" + work + "/krylov.cpp' '" + tau_dir +
+                                  "/tau_runtime.cpp' -o '" + work + "/instr'";
+  const std::string build_sel = common + "-I '" + work + "/sel' -I '" + tau_dir +
+                                "' '" + work + "/sel/krylov.cpp' '" + tau_dir +
+                                "/tau_runtime.cpp' -o '" + work + "/instr_sel'";
+  if (std::system(build_plain.c_str()) != 0 ||
+      std::system(build_instr.c_str()) != 0 ||
+      std::system(build_sel.c_str()) != 0) {
+    std::cerr << "bench_fig7: compilation failed\n";
+    return 1;
+  }
+
+  constexpr int kRepeats = 5;
+  const double plain_ms =
+      timeCommand("'" + work + "/plain' > /dev/null", kRepeats);
+  const std::string profile = work + "/profile.txt";
+  const double instr_ms = timeCommand("TAU_PROFILE_FILE='" + profile + "' '" +
+                                          work + "/instr' > /dev/null",
+                                      kRepeats);
+  const std::string sel_profile = work + "/profile_sel.txt";
+  const double sel_ms = timeCommand("TAU_PROFILE_FILE='" + sel_profile +
+                                        "' '" + work + "/instr_sel' > /dev/null",
+                                    kRepeats);
+  if (plain_ms < 0 || instr_ms < 0 || sel_ms < 0) {
+    std::cerr << "bench_fig7: run failed\n";
+    return 1;
+  }
+
+  std::cout << "Figure 7: TAU profile of the Krylov (CG) solver\n";
+  std::cout << "===============================================\n\n";
+  std::cout << "uninstrumented run:          " << plain_ms << " ms\n";
+  std::cout << "fully instrumented run:      " << instr_ms << " ms   (x"
+            << (plain_ms > 0 ? instr_ms / plain_ms : 0) << ")\n";
+  std::cout << "selectively instrumented:    " << sel_ms << " ms   (x"
+            << (plain_ms > 0 ? sel_ms / plain_ms : 0)
+            << ", per-element accessors excluded)\n\n";
+  std::cout << "--- full profile ---\n" << slurp(profile);
+  std::cout << "\n--- selective profile ---\n" << slurp(sel_profile);
+  return 0;
+}

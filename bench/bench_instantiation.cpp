@@ -1,0 +1,103 @@
+// Template instantiation engine scaling and the used-mode ablation.
+//
+// The paper's claim (§2): used-mode instantiation "minimizes compilation
+// time and the size of the IL" relative to instantiating everything.
+// BM_UsedMode vs BM_InstantiateAll quantifies that on an input where most
+// members go unused; the counters report instantiated body counts.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "frontend/frontend.h"
+
+namespace {
+
+/// One class template with many members, few of them used: the shape
+/// where used mode wins.
+std::string mostlyUnusedMembers(int n_instantiations, int n_members) {
+  std::string src = "template <class T>\nclass Wide {\npublic:\n";
+  for (int m = 0; m < n_members; ++m) {
+    src += "    int m" + std::to_string(m) + "() { return " +
+           std::to_string(m) + "; }\n";
+  }
+  src += "};\n";
+  for (int i = 0; i < n_instantiations; ++i) {
+    src += "class E" + std::to_string(i) + " { public: int x; };\n";
+  }
+  src += "void driver() {\n";
+  for (int i = 0; i < n_instantiations; ++i) {
+    const std::string id = std::to_string(i);
+    src += "    Wide<E" + id + "> w" + id + ";\n    w" + id + ".m0();\n";
+  }
+  src += "}\n";
+  return src;
+}
+
+void runMode(benchmark::State& state, const std::string& src, bool used_mode) {
+  std::size_t bodies = 0;
+  std::size_t decls = 0;
+  for (auto _ : state) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    pdt::frontend::FrontendOptions options;
+    options.sema.used_mode = used_mode;
+    pdt::frontend::Frontend fe(sm, diags, options);
+    auto result = fe.compileSource("wide.cpp", src);
+    if (!result.success) state.SkipWithError("compile failed");
+    bodies = result.sema->instantiatedBodyCount();
+    decls = result.ast->allDecls().size();
+  }
+  state.counters["instantiated_bodies"] = static_cast<double>(bodies);
+  state.counters["il_decls"] = static_cast<double>(decls);
+}
+
+void BM_UsedMode(benchmark::State& state) {
+  runMode(state,
+          mostlyUnusedMembers(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(1))),
+          /*used_mode=*/true);
+}
+BENCHMARK(BM_UsedMode)->Args({20, 20})->Args({50, 40});
+
+void BM_InstantiateAll(benchmark::State& state) {
+  runMode(state,
+          mostlyUnusedMembers(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(1))),
+          /*used_mode=*/false);
+}
+BENCHMARK(BM_InstantiateAll)->Args({20, 20})->Args({50, 40});
+
+void BM_DistinctInstantiations(benchmark::State& state) {
+  const std::string src =
+      pdt::bench::manyInstantiations(static_cast<int>(state.range(0)));
+  runMode(state, src, true);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DistinctInstantiations)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_NestedInstantiationDepth(benchmark::State& state) {
+  const std::string src =
+      pdt::bench::nestedInstantiation(static_cast<int>(state.range(0)));
+  runMode(state, src, true);
+}
+BENCHMARK(BM_NestedInstantiationDepth)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_RepeatedInstantiationIsCached(benchmark::State& state) {
+  // N uses of the SAME instantiation: cost must stay near-flat
+  // (the engine deduplicates by argument list).
+  std::string src =
+      "template <class T> class Box { public: void f() {} T v; };\n"
+      "void driver() {\n";
+  for (int i = 0; i < state.range(0); ++i) {
+    src += "    Box<int> b" + std::to_string(i) + "; b" + std::to_string(i) +
+           ".f();\n";
+  }
+  src += "}\n";
+  runMode(state, src, true);
+}
+BENCHMARK(BM_RepeatedInstantiationIsCached)->Arg(10)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// TAU instrumentor rewrite throughput and SILOON generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "siloon/siloon.h"
+#include "tau/instrumentor.h"
+
+namespace {
+
+struct Prepared {
+  std::string source;
+  pdt::ductape::PDB pdb;
+
+  explicit Prepared(std::string src) : source(std::move(src)) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    pdt::frontend::Frontend fe(sm, diags);
+    auto result = fe.compileSource("bench.cpp", source);
+    pdb = pdt::ductape::PDB::fromPdbFile(pdt::ilanalyzer::analyze(result, sm));
+  }
+};
+
+void BM_TauPlan(benchmark::State& state) {
+  Prepared p(pdt::bench::manyInstantiations(static_cast<int>(state.range(0))));
+  std::size_t sites = 0;
+  for (auto _ : state) {
+    auto plan = pdt::tau::planInstrumentation(p.pdb, "bench.cpp");
+    sites = plan.size();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+}
+BENCHMARK(BM_TauPlan)->Arg(50)->Arg(200);
+
+void BM_TauRewrite(benchmark::State& state) {
+  Prepared p(pdt::bench::manyInstantiations(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    const std::string out =
+        pdt::tau::instrument(p.pdb, "bench.cpp", p.source);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.source.size()));
+}
+BENCHMARK(BM_TauRewrite)->Arg(50)->Arg(200);
+
+void BM_SiloonGenerate(benchmark::State& state) {
+  Prepared p(pdt::bench::manyInstantiations(static_cast<int>(state.range(0))));
+  std::size_t registered = 0;
+  for (auto _ : state) {
+    auto bindings = pdt::siloon::generate(p.pdb);
+    registered = bindings.registered.size();
+    benchmark::DoNotOptimize(bindings);
+  }
+  state.counters["registered"] = static_cast<double>(registered);
+}
+BENCHMARK(BM_SiloonGenerate)->Arg(20)->Arg(100);
+
+void BM_SiloonMangle(benchmark::State& state) {
+  const std::string name = "Outer<Inner<int, double> >::operator[]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdt::siloon::mangle(name));
+  }
+}
+BENCHMARK(BM_SiloonMangle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

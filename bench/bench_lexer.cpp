@@ -1,0 +1,66 @@
+// Lexing + preprocessing throughput vs input size.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "lex/preprocessor.h"
+#include "support/source_manager.h"
+
+namespace {
+
+void BM_RawLex(benchmark::State& state) {
+  const std::string src = pdt::bench::plainClasses(static_cast<int>(state.range(0)));
+  pdt::DiagnosticEngine diags;
+  for (auto _ : state) {
+    pdt::lex::RawLexer lexer(pdt::FileId{1}, src, diags);
+    std::size_t tokens = 0;
+    for (auto t = lexer.next(); !t.isEnd(); t = lexer.next()) ++tokens;
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.counters["source_bytes"] = static_cast<double>(src.size());
+}
+BENCHMARK(BM_RawLex)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_Preprocess(benchmark::State& state) {
+  const std::string src = pdt::bench::plainClasses(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    const auto file = sm.addVirtualFile("bench.cpp", src);
+    pdt::lex::Preprocessor pp(sm, diags);
+    pp.enterMainFile(file);
+    std::size_t tokens = 0;
+    while (!pp.next().isEnd()) ++tokens;
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Preprocess)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PreprocessMacroHeavy(benchmark::State& state) {
+  // Function-like macro expansion in a loop body.
+  std::string src = "#define SQR(x) ((x)*(x))\n#define ADD(a,b) ((a)+(b))\n";
+  src += "int driver() {\n    int t = 0;\n";
+  for (int i = 0; i < state.range(0); ++i) {
+    src += "    t = ADD(t, SQR(" + std::to_string(i) + "));\n";
+  }
+  src += "    return t;\n}\n";
+  for (auto _ : state) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    const auto file = sm.addVirtualFile("macros.cpp", src);
+    pdt::lex::Preprocessor pp(sm, diags);
+    pp.enterMainFile(file);
+    std::size_t tokens = 0;
+    while (!pp.next().isEnd()) ++tokens;
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PreprocessMacroHeavy)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Frontend (parse + sema) throughput: template-free vs template-heavy
+// inputs of matching size — quantifying the cost of template machinery.
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "frontend/frontend.h"
+#include "pdt/pdt_paths.h"
+
+namespace {
+
+void compileOnce(const std::string& src, benchmark::State& state,
+                 bool used_mode = true) {
+  for (auto _ : state) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    pdt::frontend::FrontendOptions options;
+    options.sema.used_mode = used_mode;
+    pdt::frontend::Frontend fe(sm, diags, options);
+    auto result = fe.compileSource("bench.cpp", src);
+    benchmark::DoNotOptimize(result.success);
+    if (!result.success) state.SkipWithError("compile failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+
+void BM_CompilePlainClasses(benchmark::State& state) {
+  compileOnce(pdt::bench::plainClasses(static_cast<int>(state.range(0))), state);
+}
+BENCHMARK(BM_CompilePlainClasses)->Arg(10)->Arg(100)->Arg(300);
+
+void BM_CompileTemplateHeavy(benchmark::State& state) {
+  compileOnce(pdt::bench::manyInstantiations(static_cast<int>(state.range(0))),
+              state);
+}
+BENCHMARK(BM_CompileTemplateHeavy)->Arg(10)->Arg(100)->Arg(300);
+
+void BM_CompileCallChain(benchmark::State& state) {
+  compileOnce(pdt::bench::callChain(static_cast<int>(state.range(0))), state);
+}
+BENCHMARK(BM_CompileCallChain)->Arg(50)->Arg(500);
+
+void BM_CompileStackExample(benchmark::State& state) {
+  // The paper's Figure 1 program, headers and all.
+  for (auto _ : state) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    pdt::frontend::FrontendOptions options;
+    options.include_dirs.push_back(std::string(pdt::paths::kRuntimeDir) + "/pdt_stl");
+    pdt::frontend::Frontend fe(sm, diags, options);
+    auto result =
+        fe.compileFile(std::string(pdt::paths::kInputDir) + "/stack/TestStackAr.cpp");
+    benchmark::DoNotOptimize(result.success);
+    if (!result.success) state.SkipWithError("compile failed");
+  }
+}
+BENCHMARK(BM_CompileStackExample);
+
+void BM_CompileKrylovExample(benchmark::State& state) {
+  for (auto _ : state) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    pdt::frontend::FrontendOptions options;
+    options.include_dirs.push_back(std::string(pdt::paths::kRuntimeDir) + "/pdt_stl");
+    options.include_dirs.push_back(std::string(pdt::paths::kInputDir) + "/pooma_mini");
+    pdt::frontend::Frontend fe(sm, diags, options);
+    auto result =
+        fe.compileFile(std::string(pdt::paths::kInputDir) + "/pooma_mini/krylov.cpp");
+    benchmark::DoNotOptimize(result.success);
+    if (!result.success) state.SkipWithError("compile failed");
+  }
+}
+BENCHMARK(BM_CompileKrylovExample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

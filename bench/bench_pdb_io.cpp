@@ -1,0 +1,79 @@
+// PDB ASCII writer/reader throughput vs item count.
+#include <benchmark/benchmark.h>
+
+#include "pdb/pdb.h"
+#include "pdb/reader.h"
+#include "pdb/writer.h"
+
+namespace {
+
+pdt::pdb::PdbFile synthesize(int routines) {
+  pdt::pdb::PdbFile pdb;
+  pdt::pdb::SourceFileItem file;
+  file.name = "synth.cpp";
+  const auto file_id = pdb.addSourceFile(std::move(file));
+
+  pdt::pdb::TypeItem sig;
+  sig.name = "int (int)";
+  sig.kind = "func";
+  const auto sig_id = pdb.addType(std::move(sig));
+
+  for (int i = 0; i < routines; ++i) {
+    pdt::pdb::RoutineItem r;
+    r.name = "fn" + std::to_string(i);
+    r.location = {file_id, static_cast<std::uint32_t>(i + 1), 1};
+    r.signature = sig_id;
+    r.defined = true;
+    if (i > 0) {
+      r.calls.push_back({static_cast<std::uint32_t>(i), false,
+                         {file_id, static_cast<std::uint32_t>(i + 1), 5}});
+    }
+    r.extent = {{file_id, static_cast<std::uint32_t>(i + 1), 1},
+                {file_id, static_cast<std::uint32_t>(i + 1), 10},
+                {file_id, static_cast<std::uint32_t>(i + 1), 12},
+                {file_id, static_cast<std::uint32_t>(i + 1), 40}};
+    pdb.addRoutine(std::move(r));
+  }
+  return pdb;
+}
+
+void BM_Write(benchmark::State& state) {
+  const auto pdb = synthesize(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = pdt::pdb::writeToString(pdb);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Write)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Read(benchmark::State& state) {
+  const std::string text =
+      pdt::pdb::writeToString(synthesize(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto result = pdt::pdb::readFromString(text);
+    if (!result.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(result.pdb);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Read)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RoundTrip(benchmark::State& state) {
+  const auto pdb = synthesize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = pdt::pdb::readFromString(pdt::pdb::writeToString(pdb));
+    benchmark::DoNotOptimize(result.pdb);
+  }
+}
+BENCHMARK(BM_RoundTrip)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Table 1 reproduction: PDB item types, their attributes, and prefixes.
+//
+// Emits the table from the live implementation and VERIFIES it: a
+// covering PDT-C++ input is compiled and the resulting PDB text is
+// checked to actually contain every attribute key the table lists.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdb/writer.h"
+
+namespace {
+
+// The attribute inventory per item type (docs/PDB_FORMAT.md), aligned
+// with the paper's Table 1 rows.
+struct Row {
+  const char* item_type;
+  const char* prefix;
+  std::vector<const char*> attributes;
+};
+
+const std::vector<Row>& tableRows() {
+  static const std::vector<Row> rows = {
+      {"SOURCE FILES", "so", {"sinc"}},
+      {"ROUTINES", "ro",
+       {"rloc", "rclass", "racs", "rsig", "rlink", "rstore", "rvirt", "rkind",
+        "rtempl", "rcall", "rpos", "rdef"}},
+      {"CLASSES", "cl",
+       {"cloc", "ckind", "ctempl", "cbase", "cfriend", "cfunc", "cmem", "cmloc",
+        "cmacs", "cmkind", "cmtype", "cpos", "cacs"}},
+      {"TYPES", "ty",
+       {"ykind", "yikind", "yref", "ytref", "yqual", "yrett", "yargt", "yptr",
+        "yexcep"}},
+      {"TEMPLATES", "te", {"tloc", "tkind", "ttext", "tpos"}},
+      {"NAMESPACES", "na", {"nloc", "nmem", "nalias"}},
+      {"MACROS", "ma", {"mloc", "mkind", "mtext"}},
+  };
+  return rows;
+}
+
+// One input that exercises every attribute above.
+constexpr const char* kCoveringInput = R"(
+#include "cover.h"
+#define LIMIT 128
+#define SQR(x) ((x)*(x))
+
+namespace util {
+namespace detail { int helper() { return SQR(2); } }
+
+class Printable {
+public:
+    virtual void print() const = 0;
+};
+
+template <class T>
+class Holder : public Printable {
+public:
+    explicit Holder(const T& v) : value_(v) {}
+    void print() const {}
+    const T& peek() const throw(int) { return value_; }
+    void poke(char* tag) { detail::helper(); }
+private:
+    friend class Inspector;
+    T value_;
+};
+
+class Inspector {
+public:
+    class Report { public: int severity; };
+    void inspect(Printable& p) { p.print(); }
+};
+
+void drive() {
+    Holder<double> h(2.5);
+    h.peek();
+    h.poke(0);
+    Inspector i;
+    i.inspect(h);
+}
+}
+namespace alias_u = util;
+)";
+
+}  // namespace
+
+int main() {
+  pdt::SourceManager sm;
+  sm.addVirtualFile("cover.h", "int covered;\n");
+  pdt::DiagnosticEngine diags;
+  pdt::frontend::Frontend frontend(sm, diags);
+  auto result = frontend.compileSource("covering.cpp", kCoveringInput);
+  if (!result.success) {
+    diags.print(std::cerr, sm);
+    return 1;
+  }
+  const auto pdb = pdt::ilanalyzer::analyze(result, sm);
+  const std::string text = pdt::pdb::writeToString(pdb);
+
+  std::cout << "Table 1: Program Database (PDB) Item Types, Attributes, and "
+               "Prefixes\n";
+  std::cout << "======================================================================\n";
+  std::cout << "(emitted from the live implementation; [ok] = attribute "
+               "verified present\n in the PDB of a covering input)\n\n";
+
+  int missing = 0;
+  for (const auto& row : tableRows()) {
+    std::cout << row.item_type << "  (prefix \"" << row.prefix << "\")\n";
+    for (const char* attr : row.attributes) {
+      const bool present = text.find('\n' + std::string(attr) + ' ') !=
+                               std::string::npos ||
+                           text.find('\n' + std::string(attr) + '\n') !=
+                               std::string::npos;
+      std::cout << "    " << attr << (present ? "  [ok]" : "  [MISSING]")
+                << '\n';
+      if (!present) ++missing;
+    }
+    std::cout << '\n';
+  }
+  if (missing > 0) {
+    std::cout << missing << " attributes missing from the covering PDB\n";
+    return 1;
+  }
+  std::cout << "all attributes verified.\n";
+  return 0;
+}

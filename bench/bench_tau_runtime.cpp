@@ -1,0 +1,94 @@
+// TAU measurement runtime overhead: cost of one profiled scope (the
+// paper's instrumentation inserts one per routine call), the RTTI name
+// lookup (CT), and tracing.
+#include <benchmark/benchmark.h>
+
+#include "TAU.h"
+
+namespace {
+
+int plainWork(int x) { return x + 1; }
+
+int profiledWork(int x) {
+  TAU_PROFILE("profiledWork()", std::string(""), TAU_DEFAULT);
+  return x + 1;
+}
+
+template <typename T>
+struct Typed {
+  int work(int x) {
+    TAU_PROFILE("Typed::work()", CT(*this), TAU_DEFAULT);
+    return x + 1;
+  }
+};
+
+void BM_UninstrumentedCall(benchmark::State& state) {
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v = plainWork(v));
+  }
+}
+BENCHMARK(BM_UninstrumentedCall);
+
+void BM_ProfiledCall(benchmark::State& state) {
+  tau::reset();
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v = profiledWork(v));
+  }
+}
+BENCHMARK(BM_ProfiledCall);
+
+void BM_ProfiledCallWithRtti(benchmark::State& state) {
+  tau::reset();
+  Typed<double> t;
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v = t.work(v));
+  }
+}
+BENCHMARK(BM_ProfiledCallWithRtti);
+
+void BM_ProfiledCallTraced(benchmark::State& state) {
+  tau::reset();
+  tau::enableTracing(1u << 20);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v = profiledWork(v));
+  }
+  tau::disableTracing();
+}
+BENCHMARK(BM_ProfiledCallTraced);
+
+void BM_GetFunctionInfo(benchmark::State& state) {
+  tau::reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tau::getFunctionInfo("some routine()", "SomeType<int>", 0));
+  }
+}
+BENCHMARK(BM_GetFunctionInfo);
+
+void BM_TypeName(benchmark::State& state) {
+  const Typed<double> t;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tau::typeNameOf(t));
+  }
+}
+BENCHMARK(BM_TypeName);
+
+void BM_NestedProfiledScopes(benchmark::State& state) {
+  tau::reset();
+  for (auto _ : state) {
+    TAU_PROFILE("outer()", std::string(""), TAU_DEFAULT);
+    {
+      TAU_PROFILE("inner()", std::string(""), TAU_DEFAULT);
+      benchmark::DoNotOptimize(state.iterations());
+    }
+  }
+}
+BENCHMARK(BM_NestedProfiledScopes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Synthetic PDT-C++ workload generators shared by the benchmarks.
+//
+// The shapes mimic what made POOMA the paper's stress test: many classes,
+// many distinct template instantiations, deep template nesting, and long
+// call chains.
+#pragma once
+
+#include <string>
+
+namespace pdt::bench {
+
+/// N plain classes, each with a few members and methods, plus a driver
+/// that uses them. Template-free baseline.
+inline std::string plainClasses(int n) {
+  std::string src;
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    src += "class C" + id + " {\n";
+    src += "public:\n";
+    src += "    C" + id + "() : value_(0) {}\n";
+    src += "    int get() const { return value_; }\n";
+    src += "    void set(int v) { value_ = v; }\n";
+    src += "    int bump(int d) { value_ = value_ + d; return value_; }\n";
+    src += "private:\n    int value_;\n};\n";
+  }
+  src += "int driver() {\n    int total = 0;\n";
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    src += "    C" + id + " c" + id + ";\n";
+    src += "    c" + id + ".set(" + id + ");\n";
+    src += "    total = total + c" + id + ".bump(1);\n";
+  }
+  src += "    return total;\n}\n";
+  return src;
+}
+
+/// One class template with `kMembers` member functions and N distinct
+/// instantiations, all used (worst case for used-mode instantiation).
+inline std::string manyInstantiations(int n) {
+  std::string src =
+      "template <class T>\n"
+      "class Box {\n"
+      "public:\n"
+      "    Box() : v_(T()) {}\n"
+      "    void put(const T& x) { v_ = x; }\n"
+      "    T take() { return v_; }\n"
+      "    bool vacant() const { return false; }\n"
+      "private:\n    T v_;\n};\n";
+  // Distinct element classes make distinct instantiations.
+  for (int i = 0; i < n; ++i) {
+    src += "class E" + std::to_string(i) + " { public: int x; };\n";
+  }
+  src += "void driver() {\n";
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    src += "    Box<E" + id + "> b" + id + ";\n";
+    src += "    E" + id + " e" + id + ";\n";
+    src += "    b" + id + ".put(e" + id + ");\n";
+    src += "    b" + id + ".take();\n";
+  }
+  src += "}\n";
+  return src;
+}
+
+/// Nested instantiation chains: Box<Box<...<int>...>> to depth `d`.
+inline std::string nestedInstantiation(int d) {
+  std::string src =
+      "template <class T>\n"
+      "class Box {\n"
+      "public:\n"
+      "    Box() {}\n"
+      "    T inner;\n"
+      "    int probe() const { return 1; }\n"
+      "};\n";
+  std::string type = "int";
+  for (int i = 0; i < d; ++i) type = "Box<" + type + " >";
+  src += "void driver() {\n    " + type + " deep;\n    deep.probe();\n}\n";
+  return src;
+}
+
+/// A linear call chain of depth n (f0 -> f1 -> ... -> fn).
+inline std::string callChain(int n) {
+  std::string src = "int f" + std::to_string(n) + "(int x) { return x; }\n";
+  for (int i = n - 1; i >= 0; --i) {
+    src += "int f" + std::to_string(i) + "(int x) { return f" +
+           std::to_string(i + 1) + "(x + 1); }\n";
+  }
+  src += "int driver() { return f0(0); }\n";
+  return src;
+}
+
+/// A library-like TU: header content with templates used by `users` TUs
+/// worth of driver functions; used by the merge benchmarks.
+inline std::string mergeUnit(int unit, int shared_classes, int unique_classes) {
+  std::string src =
+      "template <class T>\n"
+      "class Shared { public: void touch(const T& t) { v = t; } T v; };\n";
+  std::string driver = "void driver" + std::to_string(unit) + "() {\n";
+  for (int i = 0; i < shared_classes; ++i) {
+    const std::string id = std::to_string(i);
+    src += "class S" + id + " { public: int x; };\n";
+    driver += "    Shared<S" + id + "> s" + id + "; S" + id + " v" + id +
+              "; s" + id + ".touch(v" + id + ");\n";
+  }
+  for (int i = 0; i < unique_classes; ++i) {
+    const std::string id = std::to_string(unit) + "_" + std::to_string(i);
+    src += "class U" + id + " { public: int x; };\n";
+    driver += "    Shared<U" + id + "> u" + id + "; U" + id + " w" + id +
+              "; u" + id + ".touch(w" + id + ");\n";
+  }
+  return src + driver + "}\n";
+}
+
+}  // namespace pdt::bench

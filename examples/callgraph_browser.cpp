@@ -1,0 +1,120 @@
+// callgraph_browser: an interactive-style query tool over the program
+// database, demonstrating DUCTAPE as a library for building new analysis
+// tools (the paper's thesis: uniform access enables easy tool building).
+//
+//   callgraph_browser <file.pdb> who-calls <routine>
+//   callgraph_browser <file.pdb> calls <routine>
+//   callgraph_browser <file.pdb> hierarchy <class>
+//   callgraph_browser <file.pdb> unused
+//   callgraph_browser <file.pdb> virtual-calls
+#include <iostream>
+#include <string>
+
+#include "ductape/ductape.h"
+
+namespace {
+
+using namespace pdt::ductape;
+
+const pdbRoutine* findRoutine(const PDB& pdb, const std::string& name) {
+  for (const pdbRoutine* r : pdb.getRoutineVec()) {
+    if (r->name() == name || r->fullName() == name) return r;
+  }
+  return nullptr;
+}
+
+const pdbClass* findClass(const PDB& pdb, const std::string& name) {
+  for (const pdbClass* c : pdb.getClassVec()) {
+    if (c->name() == name || c->fullName() == name) return c;
+  }
+  return nullptr;
+}
+
+void printBasesAndDerived(const pdbClass* cls) {
+  std::cout << cls->fullName() << '\n';
+  for (const pdbBase& b : cls->baseClasses()) {
+    std::cout << "  base: " << b.base()->fullName()
+              << (b.isVirtual() ? " (virtual)" : "") << '\n';
+  }
+  for (const pdbClass* d : cls->derivedClasses()) {
+    std::cout << "  derived: " << d->fullName() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: callgraph_browser <file.pdb> "
+                 "<who-calls|calls|hierarchy|unused|virtual-calls> [name]\n";
+    return 2;
+  }
+  const PDB pdb = PDB::read(argv[1]);
+  if (!pdb.valid()) {
+    std::cerr << "callgraph_browser: " << pdb.errorMessage() << '\n';
+    return 1;
+  }
+  const std::string query = argv[2];
+
+  if (query == "who-calls" && argc == 4) {
+    const pdbRoutine* target = findRoutine(pdb, argv[3]);
+    if (target == nullptr) {
+      std::cerr << "no routine named '" << argv[3] << "'\n";
+      return 1;
+    }
+    std::cout << "callers of " << target->fullName() << ":\n";
+    for (const pdbCall* call : target->callers()) {
+      std::cout << "  " << call->call()->fullName();
+      if (call->location().valid()) {
+        std::cout << "  at " << call->location().file()->name() << ':'
+                  << call->location().line();
+      }
+      std::cout << '\n';
+    }
+    return 0;
+  }
+  if (query == "calls" && argc == 4) {
+    const pdbRoutine* source = findRoutine(pdb, argv[3]);
+    if (source == nullptr) {
+      std::cerr << "no routine named '" << argv[3] << "'\n";
+      return 1;
+    }
+    std::cout << source->fullName() << " calls:\n";
+    for (const pdbCall* call : source->callees()) {
+      std::cout << "  " << call->call()->fullName()
+                << (call->isVirtual() ? " (VIRTUAL)" : "") << '\n';
+    }
+    return 0;
+  }
+  if (query == "hierarchy" && argc == 4) {
+    const pdbClass* cls = findClass(pdb, argv[3]);
+    if (cls == nullptr) {
+      std::cerr << "no class named '" << argv[3] << "'\n";
+      return 1;
+    }
+    printBasesAndDerived(cls);
+    return 0;
+  }
+  if (query == "unused") {
+    std::cout << "routines defined but never called:\n";
+    for (const pdbRoutine* r : pdb.getRoutineVec()) {
+      if (r->isDefined() && r->callers().empty() && r->name() != "main") {
+        std::cout << "  " << r->fullName() << '\n';
+      }
+    }
+    return 0;
+  }
+  if (query == "virtual-calls") {
+    std::cout << "virtual call sites:\n";
+    for (const pdbRoutine* r : pdb.getRoutineVec()) {
+      for (const pdbCall* call : r->callees()) {
+        if (!call->isVirtual()) continue;
+        std::cout << "  " << r->fullName() << " -> " << call->call()->fullName()
+                  << '\n';
+      }
+    }
+    return 0;
+  }
+  std::cerr << "unknown query '" << query << "'\n";
+  return 2;
+}

@@ -1,0 +1,99 @@
+// Per-instantiation profiling of expression templates.
+//
+// The paper's Figure 7 shows TAU displays where deeply nested POOMA
+// template instantiations appear as distinct profile entries. This
+// example reproduces that on the expression-template framework
+// (inputs/expr_mini): one instrumented `eval` body in the source yields
+// separate profile rows for every expression shape the program builds —
+// AddExpr<Field, ...>, MulExpr<Field, Scalar>, ... — named at run time
+// through CT(*this).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdt/pdt_paths.h"
+#include "tau/instrumentor.h"
+#include "tau/profile.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::string input_dir = std::string(pdt::paths::kInputDir) + "/expr_mini";
+  const std::string stl_dir = std::string(pdt::paths::kRuntimeDir) + "/pdt_stl";
+  const std::string tau_dir = std::string(pdt::paths::kRuntimeDir) + "/tau";
+
+  pdt::SourceManager sm;
+  pdt::DiagnosticEngine diags;
+  pdt::frontend::FrontendOptions options;
+  options.include_dirs.push_back(stl_dir);
+  options.include_dirs.push_back(input_dir);
+  pdt::frontend::Frontend frontend(sm, diags, options);
+  auto result = frontend.compileFile(input_dir + "/et_demo.cpp");
+  if (!result.success) {
+    diags.print(std::cerr, sm);
+    return 1;
+  }
+  const auto pdb = pdt::ductape::PDB::fromPdbFile(
+      pdt::ilanalyzer::analyze(result, sm));
+
+  std::cout << "expression types instantiated by r = a + b*0.5 + a*b:\n";
+  for (const auto* cls : pdb.getClassVec()) {
+    if (cls->isTemplate() != nullptr) std::cout << "  " << cls->name() << '\n';
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string work =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/pdt_expr_profile";
+  std::system(("rm -rf '" + work + "' && mkdir -p '" + work + "'").c_str());
+  for (const char* name : {"ET.h", "et_demo.cpp"}) {
+    std::ofstream(work + "/" + name)
+        << pdt::tau::instrument(pdb, name, slurp(input_dir + "/" + name));
+  }
+  const std::string compile =
+      "g++ -std=c++17 -O1 -I '" + work + "' -I '" + stl_dir + "' -I '" +
+      tau_dir + "' '" + work + "/et_demo.cpp' '" + stl_dir +
+      "/pdt_stl_impl.cpp' '" + tau_dir + "/tau_runtime.cpp' -o '" + work +
+      "/demo'";
+  if (std::system(compile.c_str()) != 0) {
+    std::cerr << "expr_profile: compilation failed\n";
+    return 1;
+  }
+  const std::string profile = work + "/profile.txt";
+  if (std::system(("TAU_PROFILE_FILE='" + profile + "' '" + work +
+                   "/demo' > '" + work + "/run.log'")
+                      .c_str()) != 0) {
+    std::cerr << "expr_profile: run failed\n";
+    return 1;
+  }
+
+  std::cout << "\nprogram output: " << slurp(work + "/run.log");
+  std::cout << "\nTAU profile — one row per instantiation of the single\n"
+               "instrumented eval() body (cf. paper Figure 7):\n";
+  std::cout << slurp(profile);
+
+  // Demonstrate programmatic consumption through the profile parser.
+  const auto parsed = pdt::tau::parseProfile(slurp(profile));
+  if (parsed) {
+    int eval_shapes = 0;
+    for (const auto& entry : parsed->entries) {
+      if (entry.baseName() == "eval()" && !entry.instantiationType().empty())
+        ++eval_shapes;
+    }
+    std::cout << "\ndistinct eval() instantiations profiled: " << eval_shapes
+              << '\n';
+  }
+  return 0;
+}

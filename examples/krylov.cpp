@@ -1,0 +1,98 @@
+// Figure 7 reproduction: TAU profiling of a Krylov solver.
+//
+// The paper shows TAU profile displays of POOMA's Krylov solver,
+// instrumented automatically via PDT. This example runs the same loop on
+// the mini POOMA framework (inputs/pooma_mini):
+//
+//   1. PDT compiles the solver sources and produces the PDB;
+//   2. the TAU instrumentor rewrites the sources, inserting TAU_PROFILE
+//      macros (with CT(*this) for template member functions);
+//   3. the rewritten sources are compiled with the system compiler and
+//      linked against the TAU measurement runtime;
+//   4. the program runs and its profile — per-routine %time, exclusive/
+//      inclusive times, call counts, per-instantiation names — is shown.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdt/pdt_paths.h"
+#include "tau/instrumentor.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::string input_dir = std::string(pdt::paths::kInputDir) + "/pooma_mini";
+  const std::string stl_dir = std::string(pdt::paths::kRuntimeDir) + "/pdt_stl";
+  const std::string tau_dir = std::string(pdt::paths::kRuntimeDir) + "/tau";
+
+  // 1. PDT: source -> IL -> PDB.
+  pdt::SourceManager sm;
+  pdt::DiagnosticEngine diags;
+  pdt::frontend::FrontendOptions options;
+  options.include_dirs.push_back(stl_dir);
+  options.include_dirs.push_back(input_dir);
+  pdt::frontend::Frontend frontend(sm, diags, options);
+  auto result = frontend.compileFile(input_dir + "/krylov.cpp");
+  if (!result.success) {
+    diags.print(std::cerr, sm);
+    return 1;
+  }
+  const auto pdb = pdt::ductape::PDB::fromPdbFile(
+      pdt::ilanalyzer::analyze(result, sm));
+  std::cout << "PDB: " << pdb.getTemplateVec().size() << " templates, "
+            << pdb.getClassVec().size() << " classes, "
+            << pdb.getRoutineVec().size() << " routines\n";
+
+  // 2. TAU instrumentor: rewrite every solver source.
+  const char* work_env = std::getenv("TMPDIR");
+  const std::string work =
+      std::string(work_env != nullptr ? work_env : "/tmp") + "/pdt_krylov_demo";
+  std::system(("rm -rf '" + work + "' && mkdir -p '" + work + "'").c_str());
+  int instrumented = 0;
+  for (const char* name :
+       {"Array.h", "BLAS1.h", "Stencil.h", "CG.h", "krylov.cpp"}) {
+    const std::string text = slurp(input_dir + "/" + name);
+    const std::string rewritten = pdt::tau::instrument(pdb, name, text);
+    std::ofstream(work + "/" + name) << rewritten;
+    instrumented +=
+        static_cast<int>(pdt::tau::planInstrumentation(pdb, name).size());
+  }
+  std::cout << "TAU instrumentor: " << instrumented
+            << " routine bodies annotated\n";
+
+  // 3. Compile with the system compiler, link the TAU runtime.
+  const std::string compile =
+      "g++ -std=c++17 -O2 -I '" + work + "' -I '" + stl_dir + "' -I '" +
+      tau_dir + "' '" + work + "/krylov.cpp' '" + stl_dir +
+      "/pdt_stl_impl.cpp' '" + tau_dir + "/tau_runtime.cpp' -o '" + work +
+      "/krylov_instr'";
+  if (std::system(compile.c_str()) != 0) {
+    std::cerr << "krylov: compilation of instrumented sources failed\n";
+    return 1;
+  }
+
+  // 4. Run; the profile lands in $TAU_PROFILE_FILE.
+  const std::string profile = work + "/profile.txt";
+  const std::string run = "TAU_PROFILE_FILE='" + profile + "' '" + work +
+                          "/krylov_instr' > '" + work + "/run.log'";
+  if (std::system(run.c_str()) != 0) {
+    std::cerr << "krylov: instrumented run failed\n";
+    return 1;
+  }
+  std::cout << "\nsolver output:\n" << slurp(work + "/run.log");
+  std::cout << "\nTAU profile (cf. paper Figure 7):\n" << slurp(profile);
+  return 0;
+}

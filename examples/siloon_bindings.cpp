@@ -1,0 +1,149 @@
+// Figure 8 reproduction: SILOON bridging-code generation.
+//
+// The paper's SILOON toolkit parses C++ class libraries with PDT and
+// generates the glue that lets scripting languages drive them. This
+// example generates bindings for the mini POOMA solver library, shows
+// the three artifacts (C bridge header, bridge code with the routine
+// registration table, Python wrappers), then proves the bridge by
+// compiling it with the system compiler and calling a solver routine
+// through the registry — the C++ stand-in for the Perl/Python
+// interpreter (DESIGN.md substitution table).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdt/pdt_paths.h"
+#include "siloon/siloon.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::string input_dir = std::string(pdt::paths::kInputDir) + "/pooma_mini";
+
+  // Parse the library with PDT (no IDL needed — paper §4.2).
+  pdt::SourceManager sm;
+  pdt::DiagnosticEngine diags;
+  pdt::frontend::FrontendOptions fe_options;
+  fe_options.include_dirs.push_back(input_dir);
+  pdt::frontend::Frontend frontend(sm, diags, fe_options);
+  auto result = frontend.compileSource("solverlib.cpp", R"(
+#include "CG.h"
+
+// Explicit instantiations select what SILOON exports (paper §4.2).
+template class Array<double>;
+template class Laplace1D<double>;
+template class CGSolver<double>;
+)");
+  if (!result.success) {
+    diags.print(std::cerr, sm);
+    return 1;
+  }
+  const auto pdb = pdt::ductape::PDB::fromPdbFile(
+      pdt::ilanalyzer::analyze(result, sm));
+
+  pdt::siloon::GeneratorOptions options;
+  options.module_name = "solver";
+  options.library_headers.push_back("CG.h");
+  const auto bindings = pdt::siloon::generate(pdb, options);
+
+  std::cout << "registered " << bindings.registered.size()
+            << " bridge routines; skipped " << bindings.skipped.size() << "\n\n";
+  std::cout << "--- routine registration table (excerpt) ---\n";
+  int shown = 0;
+  for (const auto& r : bindings.registered) {
+    std::cout << "  " << r.script_name << "  ->  " << r.cxx_name << "  "
+              << r.signature << '\n';
+    if (++shown == 12) break;
+  }
+  std::cout << "\n--- Python wrapper (excerpt) ---\n";
+  std::istringstream py(bindings.python_code);
+  std::string line;
+  shown = 0;
+  while (std::getline(py, line) && shown < 18) {
+    std::cout << line << '\n';
+    ++shown;
+  }
+
+  // Prove the bridge: compile it and drive the solver via the registry.
+  const char* work_env = std::getenv("TMPDIR");
+  const std::string work =
+      std::string(work_env != nullptr ? work_env : "/tmp") + "/pdt_siloon_demo";
+  std::system(("rm -rf '" + work + "' && mkdir -p '" + work + "'").c_str());
+  for (const char* name : {"Array.h", "BLAS1.h", "Stencil.h", "CG.h"}) {
+    std::ofstream(work + "/" + name) << slurp(input_dir + "/" + name);
+  }
+  std::ofstream(work + "/solver_bridge.h") << bindings.bridge_header;
+  std::ofstream(work + "/solver_bridge.cpp") << bindings.bridge_code;
+  std::ofstream(work + "/solver.py") << bindings.python_code;
+  std::ofstream(work + "/driver.cpp") << R"(
+#include "solver_bridge.h"
+#include <cstdio>
+#include <cstring>
+
+void* lookup(const char* name) {
+    int count = 0;
+    const solver_entry* entries = solver_registry(&count);
+    for (int i = 0; i < count; ++i)
+        if (std::strcmp(entries[i].script_name, name) == 0)
+            return entries[i].fnptr;
+    return nullptr;
+}
+
+int main() {
+    using ArrayNew = void* (*)(int);
+    using ArrayFill = void (*)(void*, const double&);
+    using LaplaceNew = void* (*)(int);
+    using SolverNew = void* (*)(int, const double&);
+    using Solve = int (*)(void*, const Laplace1D<double>&, Array<double>&,
+                          const Array<double>&);
+    auto* array_new = reinterpret_cast<ArrayNew>(
+        lookup("Array_lt_double_gt__cn_Array_lt_double_gt_"));
+    auto* fill = reinterpret_cast<ArrayFill>(lookup("Array_lt_double_gt__fill"));
+    auto* laplace_new = reinterpret_cast<LaplaceNew>(
+        lookup("Laplace1D_lt_double_gt__cn_Laplace1D_lt_double_gt_"));
+    auto* solver_new = reinterpret_cast<SolverNew>(
+        lookup("CGSolver_lt_double_gt__cn_CGSolver_lt_double_gt_"));
+    auto* solve = reinterpret_cast<Solve>(lookup("CGSolver_lt_double_gt__solve"));
+    if (!array_new || !fill || !laplace_new || !solver_new || !solve) {
+        std::puts("registry lookup failed");
+        return 1;
+    }
+    const int n = 64;
+    void* b = array_new(n);
+    void* x = array_new(n);
+    double one = 1.0, zero = 0.0, tol = 1e-9;
+    fill(b, one);
+    fill(x, zero);
+    void* A = laplace_new(n);
+    void* s = solver_new(256, tol);
+    int iters = solve(s, *static_cast<Laplace1D<double>*>(A),
+                      *static_cast<Array<double>*>(x),
+                      *static_cast<Array<double>*>(b));
+    std::printf("solved through SILOON bridge in %d iterations\n", iters);
+    return iters > 0 ? 0 : 1;
+}
+)";
+  const std::string compile = "g++ -std=c++17 -I '" + work + "' '" + work +
+                              "/solver_bridge.cpp' '" + work +
+                              "/driver.cpp' -o '" + work + "/driver'";
+  if (std::system(compile.c_str()) != 0) {
+    std::cerr << "siloon_bindings: bridge compilation failed\n";
+    return 1;
+  }
+  std::cout << "\n--- driving the library through the bridge ---\n";
+  std::cout.flush();
+  return std::system(("'" + work + "/driver'").c_str()) == 0 ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Miniature expression-template framework in the POOMA style: arithmetic
+// on whole fields builds nested template expression types that evaluate
+// lazily, element by element. This is the idiom that made POOMA the
+// paper's template stress test.
+#ifndef EXPR_MINI_ET_H
+#define EXPR_MINI_ET_H
+
+class Field {
+public:
+    explicit Field(int n) : n_(n), data_(new double[n]) {
+        for (int i = 0; i < n; i++)
+            data_[i] = 0.0;
+    }
+    Field(const Field& rhs) : n_(rhs.n_), data_(new double[rhs.n_]) {
+        for (int i = 0; i < n_; i++)
+            data_[i] = rhs.data_[i];
+    }
+    ~Field() { delete [] data_; }
+
+    double& operator()(int i) { return data_[i]; }
+    double eval(int i) const { return data_[i]; }
+    int size() const { return n_; }
+
+private:
+    int n_;
+    double* data_;
+};
+
+class Scalar {
+public:
+    explicit Scalar(double v) : v_(v) {}
+    double eval(int i) const { return v_; }
+    int size() const { return 0; }
+private:
+    double v_;
+};
+
+template <class L, class R>
+class AddExpr {
+public:
+    AddExpr(const L& l, const R& r) : l_(l), r_(r) {}
+    double eval(int i) const { return l_.eval(i) + r_.eval(i); }
+    int size() const { return l_.size(); }
+private:
+    const L& l_;
+    const R& r_;
+};
+
+template <class L, class R>
+class MulExpr {
+public:
+    MulExpr(const L& l, const R& r) : l_(l), r_(r) {}
+    double eval(int i) const { return l_.eval(i) * r_.eval(i); }
+    int size() const { return l_.size(); }
+private:
+    const L& l_;
+    const R& r_;
+};
+
+template <class L, class R>
+AddExpr<L, R> operator+(const L& l, const R& r) {
+    return AddExpr<L, R>(l, r);
+}
+
+template <class L, class R>
+MulExpr<L, R> operator*(const L& l, const R& r) {
+    return MulExpr<L, R>(l, r);
+}
+
+// Evaluates any expression into a destination field — the single loop
+// all whole-field arithmetic collapses into.
+template <class E>
+void assign(Field& dst, const E& expr) {
+    for (int i = 0; i < dst.size(); i++)
+        dst(i) = expr.eval(i);
+}
+
+#endif

@@ -1,0 +1,25 @@
+// Whole-field arithmetic through expression templates:
+//   r = a + b * 0.5 + a * b
+// builds AddExpr<AddExpr<Field, MulExpr<Field, Scalar> >,
+//                MulExpr<Field, Field> > and evaluates it in one loop.
+#include "iostream.h"
+#include "ET.h"
+
+int main() {
+    const int n = 8;
+    Field a(n);
+    Field b(n);
+    Field r(n);
+    for (int i = 0; i < n; i++) {
+        a(i) = i;
+        b(i) = 2 * i;
+    }
+
+    assign(r, a + b * Scalar(0.5) + a * b);
+
+    double total = 0.0;
+    for (int i = 0; i < n; i++)
+        total = total + r.eval(i);
+    cout << "total: " << total << endl;
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Miniature POOMA-style templated array (DESIGN.md substitution for the
+// POOMA framework the paper profiles in Figure 7). Template-heavy on
+// purpose: this is the stress property that made POOMA PDT's test case.
+#ifndef POOMA_MINI_ARRAY_H
+#define POOMA_MINI_ARRAY_H
+
+template <class T>
+class Array {
+public:
+    explicit Array(int n = 0) : size_(n), data_(0) {
+        data_ = new T[n];
+        for (int i = 0; i < n; i++)
+            data_[i] = T();
+    }
+    Array(const Array& rhs) : size_(0), data_(0) {
+        assign(rhs);
+    }
+    ~Array() {
+        delete [] data_;
+    }
+
+    const Array& operator=(const Array& rhs) {
+        if (this != &rhs)
+            assign(rhs);
+        return *this;
+    }
+
+    T& operator()(int i) { return data_[i]; }
+    const T& operator()(int i) const { return data_[i]; }
+    T& operator[](int i) { return data_[i]; }
+    const T& operator[](int i) const { return data_[i]; }
+
+    int size() const { return size_; }
+
+    void fill(const T& value) {
+        for (int i = 0; i < size_; i++)
+            data_[i] = value;
+    }
+
+private:
+    void assign(const Array& rhs) {
+        delete [] data_;
+        size_ = rhs.size();
+        data_ = new T[size_];
+        for (int i = 0; i < size_; i++)
+            data_[i] = rhs.data_[i];
+    }
+
+    int size_;
+    T* data_;
+};
+
+#endif

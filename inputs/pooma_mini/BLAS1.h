@@ -1,0 +1,50 @@
+// Level-1 vector kernels as function templates.
+#ifndef POOMA_MINI_BLAS1_H
+#define POOMA_MINI_BLAS1_H
+
+#include "Array.h"
+
+template <class T>
+T dot(const Array<T>& a, const Array<T>& b) {
+    T sum = T();
+    for (int i = 0; i < a.size(); i++)
+        sum = sum + a(i) * b(i);
+    return sum;
+}
+
+// y = y + alpha * x
+template <class T>
+void axpy(const T& alpha, const Array<T>& x, Array<T>& y) {
+    for (int i = 0; i < y.size(); i++)
+        y(i) = y(i) + alpha * x(i);
+}
+
+// y = x + beta * y
+template <class T>
+void xpby(const Array<T>& x, const T& beta, Array<T>& y) {
+    for (int i = 0; i < y.size(); i++)
+        y(i) = x(i) + beta * y(i);
+}
+
+template <class T>
+void copyInto(const Array<T>& src, Array<T>& dst) {
+    for (int i = 0; i < dst.size(); i++)
+        dst(i) = src(i);
+}
+
+template <class T>
+T pdtSqrt(T x) {
+    if (x <= T())
+        return T();
+    T guess = x;
+    for (int i = 0; i < 40; i++)
+        guess = (guess + x / guess) / 2;
+    return guess;
+}
+
+template <class T>
+T norm2(const Array<T>& a) {
+    return pdtSqrt(dot(a, a));
+}
+
+#endif

@@ -1,0 +1,60 @@
+// Conjugate-gradient (Krylov) solver — the workload of paper Figure 7.
+#ifndef POOMA_MINI_CG_H
+#define POOMA_MINI_CG_H
+
+#include "Array.h"
+#include "BLAS1.h"
+#include "Stencil.h"
+
+template <class T>
+class CGSolver {
+public:
+    CGSolver(int maxIterations, const T& tolerance)
+        : maxIterations_(maxIterations), tolerance_(tolerance),
+          iterations_(0), residual_(T()) {}
+
+    // Solves A x = b; returns the iteration count.
+    int solve(const Laplace1D<T>& A, Array<T>& x, const Array<T>& b) {
+        int n = b.size();
+        Array<T> r(n);
+        Array<T> p(n);
+        Array<T> Ap(n);
+
+        A.apply(x, Ap);
+        for (int i = 0; i < n; i++)
+            r(i) = b(i) - Ap(i);
+        copyInto(r, p);
+
+        T rr = dot(r, r);
+        iterations_ = 0;
+        while (iterations_ < maxIterations_) {
+            A.apply(p, Ap);
+            T pAp = dot(p, Ap);
+            if (pAp == T())
+                break;
+            T alpha = rr / pAp;
+            axpy(alpha, p, x);
+            axpy(-alpha, Ap, r);
+            T rrNew = dot(r, r);
+            iterations_ = iterations_ + 1;
+            residual_ = pdtSqrt(rrNew);
+            if (residual_ < tolerance_)
+                break;
+            T beta = rrNew / rr;
+            xpby(r, beta, p);
+            rr = rrNew;
+        }
+        return iterations_;
+    }
+
+    int iterations() const { return iterations_; }
+    T residual() const { return residual_; }
+
+private:
+    int maxIterations_;
+    T tolerance_;
+    int iterations_;
+    T residual_;
+};
+
+#endif

@@ -1,0 +1,30 @@
+// 1-D Laplacian stencil operator ("matrix-free" POOMA style).
+#ifndef POOMA_MINI_STENCIL_H
+#define POOMA_MINI_STENCIL_H
+
+#include "Array.h"
+
+template <class T>
+class Laplace1D {
+public:
+    explicit Laplace1D(int n) : n_(n) {}
+
+    int size() const { return n_; }
+
+    // out = A * in, A = tridiag(-1, 2, -1)
+    void apply(const Array<T>& in, Array<T>& out) const {
+        for (int i = 0; i < n_; i++) {
+            T v = 2 * in(i);
+            if (i > 0)
+                v = v - in(i - 1);
+            if (i < n_ - 1)
+                v = v - in(i + 1);
+            out(i) = v;
+        }
+    }
+
+private:
+    int n_;
+};
+
+#endif

@@ -1,0 +1,22 @@
+// Krylov solver driver (paper Figure 7's workload): solve a 1-D Poisson
+// problem with conjugate gradients over the mini templated framework.
+#include "iostream.h"
+#include "CG.h"
+
+int main() {
+    const int n = 256;
+    Laplace1D<double> A(n);
+    Array<double> b(n);
+    Array<double> x(n);
+    b.fill(1.0);
+    x.fill(0.0);
+
+    CGSolver<double> solver(512, 0.000000001);
+    int iters = solver.solve(A, x, b);
+
+    cout << "iterations: " << iters << endl;
+    cout << "residual: " << solver.residual() << endl;
+    cout << "x[0]: " << x(0) << endl;
+    cout << "x[mid]: " << x(n / 2) << endl;
+    return 0;
+}

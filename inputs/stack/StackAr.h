@@ -1,0 +1,28 @@
+#ifndef STACKAR_H
+#define STACKAR_H
+
+#include "vector.h"
+#include "dsexceptions.h"
+
+// Array-based Stack class from paper Figure 1 (Weiss).
+template <class Object>
+class Stack {
+public:
+    explicit Stack(int capacity = 10);
+
+    bool isEmpty() const;
+    bool isFull() const;
+    const Object& top() const;
+
+    void makeEmpty();
+    void pop();
+    void push(const Object& x);
+    Object topAndPop();
+
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+
+#include "StackAr.cpp"
+#endif

@@ -1,0 +1,7 @@
+#ifndef DSEXCEPTIONS_H
+#define DSEXCEPTIONS_H
+
+class Underflow {};
+class Overflow {};
+
+#endif

@@ -1,0 +1,23 @@
+// Miniature iostream interface for PDT-C++ inputs. The implementations
+// live in pdt_stl_impl.cpp so instrumented sources also link with g++.
+#ifndef PDT_STL_IOSTREAM_H
+#define PDT_STL_IOSTREAM_H
+
+class ostream {
+public:
+    ostream& operator<<(int v);
+    ostream& operator<<(long v);
+    ostream& operator<<(unsigned long v);
+    ostream& operator<<(double v);
+    ostream& operator<<(char c);
+    ostream& operator<<(bool b);
+    ostream& operator<<(const char* s);
+    ostream& operator<<(ostream& (*manip)(ostream&));
+};
+
+extern ostream cout;
+extern ostream cerr;
+
+ostream& endl(ostream& os);
+
+#endif

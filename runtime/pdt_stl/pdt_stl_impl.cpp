@@ -1,0 +1,22 @@
+// Real implementations of the mini iostream, used when instrumented
+// PDT-C++ sources are compiled with the system compiler (TAU examples).
+#include "iostream.h"
+
+#include <cstdio>
+
+ostream cout;
+ostream cerr;
+
+ostream& ostream::operator<<(int v) { std::printf("%d", v); return *this; }
+ostream& ostream::operator<<(long v) { std::printf("%ld", v); return *this; }
+ostream& ostream::operator<<(unsigned long v) { std::printf("%lu", v); return *this; }
+ostream& ostream::operator<<(double v) { std::printf("%g", v); return *this; }
+ostream& ostream::operator<<(char c) { std::printf("%c", c); return *this; }
+ostream& ostream::operator<<(bool b) { std::printf(b ? "true" : "false"); return *this; }
+ostream& ostream::operator<<(const char* s) { std::printf("%s", s); return *this; }
+ostream& ostream::operator<<(ostream& (*manip)(ostream&)) { return manip(*this); }
+
+ostream& endl(ostream& os) {
+    std::printf("\n");
+    return os;
+}

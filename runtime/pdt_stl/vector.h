@@ -1,0 +1,73 @@
+// Miniature vector, standing in for the KAI 3.4c header the paper bundles
+// (DESIGN.md substitution table). Written in PDT-C++ and also compilable
+// by a real C++ compiler.
+#ifndef PDT_STL_VECTOR_H
+#define PDT_STL_VECTOR_H
+
+template <class T>
+class vector {
+public:
+    explicit vector(int initSize = 0)
+        : theSize(initSize), theCapacity(initSize + SPARE_CAPACITY) {
+        objects = new T[theCapacity];
+    }
+    vector(const vector& rhs) : theSize(0), theCapacity(0), objects(0) {
+        operator=(rhs);
+    }
+    ~vector() {
+        delete [] objects;
+    }
+
+    const vector& operator=(const vector& rhs) {
+        if (this != &rhs) {
+            delete [] objects;
+            theSize = rhs.size();
+            theCapacity = rhs.theCapacity;
+            objects = new T[capacity()];
+            for (int k = 0; k < size(); k++)
+                objects[k] = rhs.objects[k];
+        }
+        return *this;
+    }
+
+    void resize(int newSize) {
+        if (newSize > theCapacity)
+            reserve(newSize * 2 + 1);
+        theSize = newSize;
+    }
+
+    void reserve(int newCapacity) {
+        if (newCapacity < theSize)
+            return;
+        T* oldArray = objects;
+        objects = new T[newCapacity];
+        for (int k = 0; k < theSize; k++)
+            objects[k] = oldArray[k];
+        theCapacity = newCapacity;
+        delete [] oldArray;
+    }
+
+    T& operator[](int index) { return objects[index]; }
+    const T& operator[](int index) const { return objects[index]; }
+
+    bool empty() const { return size() == 0; }
+    int size() const { return theSize; }
+    int capacity() const { return theCapacity; }
+
+    void push_back(const T& x) {
+        if (theSize == theCapacity)
+            reserve(2 * theCapacity + 1);
+        objects[theSize++] = x;
+    }
+    void pop_back() { theSize--; }
+    const T& back() const { return objects[theSize - 1]; }
+
+    enum { SPARE_CAPACITY = 16 };
+
+private:
+    int theSize;
+    int theCapacity;
+    T* objects;
+};
+
+#endif

@@ -1,0 +1,99 @@
+// TAU-style measurement API for instrumented sources (paper §4.1).
+//
+// The TAU instrumentor rewrites source code to insert TAU_PROFILE macros;
+// the rewritten code is compiled with a regular compiler and linked with
+// this runtime, which collects per-routine call counts and inclusive/
+// exclusive times and prints a profile like the paper's Figure 7.
+//
+// CT(obj) returns the run-time type name of obj — the mechanism the paper
+// describes for naming template instantiations uniquely ("vector::vector()
+// <int>" style) without compile-time knowledge of the instantiation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <typeinfo>
+
+namespace tau {
+
+/// Statistics for one profiled routine (unique by name + type string).
+struct FunctionInfo;
+
+/// Interns a (name, type) pair; cheap on repeat calls.
+FunctionInfo* getFunctionInfo(const std::string& name, const std::string& type,
+                              int group);
+
+/// RAII measurement scope created by TAU_PROFILE.
+class Profiler {
+ public:
+  explicit Profiler(FunctionInfo* fn);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+ private:
+  FunctionInfo* fn_;
+  std::uint64_t start_ns_;
+  std::uint64_t child_ns_at_start_;
+  Profiler* parent_;
+};
+
+/// Demangled run-time type name of `obj` (cached per type).
+std::string typeName(const std::type_info& info);
+
+template <typename T>
+std::string typeNameOf(const T& obj) {
+  return typeName(typeid(obj));
+}
+
+/// Prints the profile (Figure 7 style): %time, exclusive/inclusive msec,
+/// call counts, child calls, per-call cost, routine name.
+void report(std::ostream& os);
+
+/// Writes profile data to the file named by $TAU_PROFILE_FILE (or
+/// "profile.0.0.0" by default), pprof-style.
+void writeProfileFile();
+
+/// Resets all statistics (for tests and benchmarks).
+void reset();
+
+// -- event tracing -----------------------------------------------------------
+
+enum class EventKind : std::uint8_t { Enter, Exit };
+
+struct Event {
+  std::uint64_t time_ns;
+  EventKind kind;
+  const FunctionInfo* fn;
+};
+
+/// Enables in-memory event tracing (ring buffer of `capacity` events).
+void enableTracing(std::size_t capacity);
+void disableTracing();
+/// Drains the trace buffer to `os`, one "time kind name" line per event.
+void dumpTrace(std::ostream& os);
+
+}  // namespace tau
+
+// -- instrumentation macros ----------------------------------------------------
+
+#define TAU_CONCAT_IMPL(a, b) a##b
+#define TAU_CONCAT(a, b) TAU_CONCAT_IMPL(a, b)
+
+/// Inserted by the TAU instrumentor at the top of each routine body.
+/// The type argument is evaluated per call: CT(*this) must reflect the
+/// object's run-time type so each template instantiation gets its own
+/// profile entry (paper §4.1).
+#define TAU_PROFILE(name, type, group)          \
+  ::tau::Profiler TAU_CONCAT(tau_prof_, __LINE__)( \
+      ::tau::getFunctionInfo((name), (type), (group)))
+
+/// Run-time type of an object, for unique template instantiation names.
+#define CT(obj) ::tau::typeNameOf(obj)
+
+#define TAU_DEFAULT 0
+#define TAU_USER 1
+
+#define TAU_REPORT(os) ::tau::report(os)

@@ -1,0 +1,245 @@
+// TAU-style measurement runtime: timers, call stacks, per-routine
+// statistics, profile report (paper Figure 7), and event tracing.
+#include "TAU.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__GNUC__)
+#include <cxxabi.h>
+#endif
+
+namespace tau {
+
+struct FunctionInfo {
+  std::string name;
+  std::string type;
+  int group = 0;
+  // Totals are guarded by the registry mutex: profilers buffer locally and
+  // flush once per call, so contention is one lock per routine exit.
+  std::uint64_t calls = 0;
+  std::uint64_t child_calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+
+  [[nodiscard]] std::string displayName() const {
+    if (type.empty()) return name;
+    return name + " <" + type + ">";
+  }
+};
+
+namespace {
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, FunctionInfo*> by_key;
+  std::vector<FunctionInfo*> all;
+
+  ~Registry() {
+    for (FunctionInfo* fn : all) delete fn;
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::size_t capacity = 0;
+  bool enabled = false;
+};
+
+TraceBuffer& traceBuffer() {
+  static TraceBuffer instance;
+  return instance;
+}
+
+void recordEvent(EventKind kind, const FunctionInfo* fn) {
+  TraceBuffer& tb = traceBuffer();
+  if (!tb.enabled) return;
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  if (tb.events.size() >= tb.capacity) return;  // buffer full: drop
+  tb.events.push_back({nowNs(), kind, fn});
+}
+
+/// Per-thread measurement state: the running profiler stack and the
+/// accumulated child time of the current scope.
+thread_local Profiler* g_current = nullptr;
+thread_local std::uint64_t g_child_ns = 0;
+
+}  // namespace
+
+FunctionInfo* getFunctionInfo(const std::string& name, const std::string& type,
+                              int group) {
+  Registry& reg = registry();
+  // Register the exit-time profile dump AFTER the registry is fully
+  // constructed: atexit is LIFO, so this hook then runs BEFORE the
+  // registry's destructor and can still read the statistics.
+  static const bool exit_hook = [] {
+    std::atexit([] {
+      if (std::getenv("TAU_PROFILE_FILE") != nullptr) writeProfileFile();
+    });
+    return true;
+  }();
+  (void)exit_hook;
+  const std::string key = name + '\x1f' + type;
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  if (const auto it = reg.by_key.find(key); it != reg.by_key.end())
+    return it->second;
+  auto* fn = new FunctionInfo;
+  fn->name = name;
+  fn->type = type;
+  fn->group = group;
+  reg.by_key.emplace(key, fn);
+  reg.all.push_back(fn);
+  return fn;
+}
+
+Profiler::Profiler(FunctionInfo* fn)
+    : fn_(fn), start_ns_(nowNs()), child_ns_at_start_(0), parent_(g_current) {
+  child_ns_at_start_ = g_child_ns;
+  g_child_ns = 0;
+  g_current = this;
+  recordEvent(EventKind::Enter, fn_);
+}
+
+Profiler::~Profiler() {
+  const std::uint64_t end = nowNs();
+  const std::uint64_t inclusive = end - start_ns_;
+  const std::uint64_t children = g_child_ns;
+  const std::uint64_t exclusive = inclusive > children ? inclusive - children : 0;
+
+  recordEvent(EventKind::Exit, fn_);
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    fn_->calls += 1;
+    fn_->inclusive_ns += inclusive;
+    fn_->exclusive_ns += exclusive;
+    if (parent_ != nullptr) parent_->fn_->child_calls += 1;
+  }
+  // Restore the parent's accounting, charging it our inclusive time.
+  g_current = parent_;
+  g_child_ns = child_ns_at_start_ + inclusive;
+}
+
+std::string typeName(const std::type_info& info) {
+  static std::mutex mutex;
+  static std::unordered_map<const std::type_info*, std::string> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (const auto it = cache.find(&info); it != cache.end()) return it->second;
+  std::string out = info.name();
+#if defined(__GNUC__)
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(info.name(), nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    out = demangled;
+    std::free(demangled);
+  }
+#endif
+  cache.emplace(&info, out);
+  return out;
+}
+
+void report(std::ostream& os) {
+  Registry& reg = registry();
+  std::vector<FunctionInfo> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    snapshot.reserve(reg.all.size());
+    for (const FunctionInfo* fn : reg.all) snapshot.push_back(*fn);
+  }
+  std::uint64_t total_excl = 0;
+  for (const FunctionInfo& fn : snapshot) total_excl += fn.exclusive_ns;
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const FunctionInfo& a, const FunctionInfo& b) {
+              return a.exclusive_ns > b.exclusive_ns;
+            });
+
+  os << "---------------------------------------------------------------------------------------\n";
+  os << "%Time    Exclusive    Inclusive       #Call      #Subrs  Inclusive Name\n";
+  os << "              msec         msec                           usec/call\n";
+  os << "---------------------------------------------------------------------------------------\n";
+  for (const FunctionInfo& fn : snapshot) {
+    const double pct =
+        total_excl == 0 ? 0.0
+                        : 100.0 * static_cast<double>(fn.exclusive_ns) /
+                              static_cast<double>(total_excl);
+    const double excl_ms = static_cast<double>(fn.exclusive_ns) / 1e6;
+    const double incl_ms = static_cast<double>(fn.inclusive_ns) / 1e6;
+    const double usec_per_call =
+        fn.calls == 0 ? 0.0
+                      : static_cast<double>(fn.inclusive_ns) / 1e3 /
+                            static_cast<double>(fn.calls);
+    os << std::fixed << std::setprecision(1) << std::setw(5) << pct << ' '
+       << std::setw(12) << excl_ms << ' ' << std::setw(12) << incl_ms << ' '
+       << std::setw(11) << fn.calls << ' ' << std::setw(11) << fn.child_calls
+       << ' ' << std::setw(10) << std::setprecision(0) << usec_per_call << "  "
+       << fn.displayName() << '\n';
+  }
+  os << "---------------------------------------------------------------------------------------\n";
+}
+
+void writeProfileFile() {
+  const char* path = std::getenv("TAU_PROFILE_FILE");
+  std::ofstream out(path != nullptr ? path : "profile.0.0.0");
+  if (out) report(out);
+}
+
+void reset() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (FunctionInfo* fn : reg.all) {
+    fn->calls = 0;
+    fn->child_calls = 0;
+    fn->inclusive_ns = 0;
+    fn->exclusive_ns = 0;
+  }
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> tlock(tb.mutex);
+  tb.events.clear();
+}
+
+void enableTracing(std::size_t capacity) {
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  tb.capacity = capacity;
+  tb.events.clear();
+  tb.events.reserve(capacity);
+  tb.enabled = true;
+}
+
+void disableTracing() {
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  tb.enabled = false;
+}
+
+void dumpTrace(std::ostream& os) {
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  for (const Event& e : tb.events) {
+    os << e.time_ns << ' ' << (e.kind == EventKind::Enter ? "ENTER" : "EXIT")
+       << ' ' << e.fn->displayName() << '\n';
+  }
+}
+
+}  // namespace tau

@@ -1,0 +1,152 @@
+#include "ast/context.h"
+
+namespace pdt::ast {
+
+AstContext::AstContext() { tu_ = create<TranslationUnitDecl>(); }
+
+AstContext::~AstContext() = default;
+
+std::string typeKey(const Type* type) {
+  switch (type->kind()) {
+    case TypeKind::Builtin:
+      return "b:" + std::string(toString(type->as<BuiltinType>()->builtin()));
+    case TypeKind::Pointer:
+      return "p(" + typeKey(type->as<PointerType>()->pointee()) + ")";
+    case TypeKind::Reference:
+      return "r(" + typeKey(type->as<ReferenceType>()->referee()) + ")";
+    case TypeKind::Qualified: {
+      const auto* q = type->as<QualifiedType>();
+      return std::string("q") + (q->isConst() ? "c" : "") +
+             (q->isVolatile() ? "v" : "") + "(" + typeKey(q->base()) + ")";
+    }
+    case TypeKind::Array: {
+      const auto* a = type->as<ArrayType>();
+      return "a" + std::to_string(a->size()) + "(" + typeKey(a->element()) + ")";
+    }
+    case TypeKind::Function: {
+      const auto* f = type->as<FunctionType>();
+      std::string key = "f(" + typeKey(f->result());
+      for (const Type* p : f->params()) key += "," + typeKey(p);
+      if (f->hasEllipsis()) key += ",...";
+      key += ")";
+      if (f->isConstMember()) key += "c";
+      for (const Type* e : f->exceptionSpecs()) key += "t" + typeKey(e);
+      return key;
+    }
+    case TypeKind::Class:
+      return "c:" + std::to_string(type->as<ClassType>()->decl()->id());
+    case TypeKind::Enum:
+      return "e:" + std::to_string(type->as<EnumType>()->decl()->id());
+    case TypeKind::Typedef:
+      return "td:" + std::to_string(type->as<TypedefType>()->decl()->id());
+    case TypeKind::TemplateParam: {
+      const auto* tp = type->as<TemplateParamType>();
+      return "tp:" + std::to_string(tp->depth()) + ":" +
+             std::to_string(tp->index());
+    }
+    case TypeKind::TemplateSpecialization: {
+      const auto* ts = type->as<TemplateSpecializationType>();
+      std::string key = "ts:" + std::to_string(ts->primary()->id()) + "(";
+      for (const Type* a : ts->args()) key += typeKey(a) + ",";
+      return key + ")";
+    }
+  }
+  return "?";
+}
+
+template <typename T>
+const T* AstContext::intern(std::unique_ptr<T> t, const std::string& key) {
+  if (const auto it = type_table_.find(key); it != type_table_.end()) {
+    return static_cast<const T*>(it->second);
+  }
+  const T* raw = t.get();
+  types_.push_back(std::move(t));
+  type_table_.emplace(key, raw);
+  return raw;
+}
+
+const BuiltinType* AstContext::builtin(BuiltinKind kind) {
+  auto t = std::make_unique<BuiltinType>(kind);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const PointerType* AstContext::pointerTo(const Type* pointee) {
+  auto t = std::make_unique<PointerType>(pointee);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const ReferenceType* AstContext::referenceTo(const Type* referee) {
+  // Reference collapsing: T& & -> T&.
+  if (const auto* r = referee->as<ReferenceType>()) return r;
+  auto t = std::make_unique<ReferenceType>(referee);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const Type* AstContext::qualified(const Type* base, bool is_const,
+                                  bool is_volatile) {
+  if (!is_const && !is_volatile) return base;
+  if (const auto* q = base->as<QualifiedType>()) {
+    // Merge nested qualifiers.
+    is_const = is_const || q->isConst();
+    is_volatile = is_volatile || q->isVolatile();
+    base = q->base();
+  }
+  auto t = std::make_unique<QualifiedType>(base, is_const, is_volatile);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const ArrayType* AstContext::arrayOf(const Type* element, std::int64_t size) {
+  auto t = std::make_unique<ArrayType>(element, size);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const FunctionType* AstContext::functionType(
+    const Type* result, std::vector<const Type*> params, bool is_const_member,
+    bool has_ellipsis, std::vector<const Type*> exception_specs) {
+  auto t = std::make_unique<FunctionType>(result, std::move(params),
+                                          is_const_member, has_ellipsis,
+                                          std::move(exception_specs));
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const ClassType* AstContext::classType(const ClassDecl* decl) {
+  auto t = std::make_unique<ClassType>(decl);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const EnumType* AstContext::enumType(const EnumDecl* decl) {
+  auto t = std::make_unique<EnumType>(decl);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const TypedefType* AstContext::typedefType(const TypedefDecl* decl,
+                                           const Type* underlying) {
+  auto t = std::make_unique<TypedefType>(decl, underlying);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const TemplateParamType* AstContext::templateParamType(const std::string& name,
+                                                       unsigned depth,
+                                                       unsigned index) {
+  auto t = std::make_unique<TemplateParamType>(name, depth, index);
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+const TemplateSpecializationType* AstContext::templateSpecType(
+    const TemplateDecl* primary, std::vector<const Type*> args) {
+  auto t = std::make_unique<TemplateSpecializationType>(primary, std::move(args));
+  const std::string key = typeKey(t.get());
+  return intern(std::move(t), key);
+}
+
+}  // namespace pdt::ast

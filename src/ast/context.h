@@ -1,0 +1,86 @@
+// AstContext: owns every IL node (arena allocation) and canonicalizes
+// types so that structural equality is pointer equality.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ast/decl.h"
+#include "ast/stmt.h"
+#include "ast/type.h"
+
+namespace pdt::ast {
+
+class AstContext {
+ public:
+  AstContext();
+  ~AstContext();
+
+  AstContext(const AstContext&) = delete;
+  AstContext& operator=(const AstContext&) = delete;
+
+  /// Creates a declaration node owned by this context.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    if constexpr (std::is_base_of_v<Decl, T>) {
+      raw->setId(next_decl_id_++);
+      decls_.push_back(std::move(node));
+    } else {
+      static_assert(std::is_base_of_v<Stmt, T>);
+      stmts_.push_back(std::move(node));
+    }
+    return raw;
+  }
+
+  [[nodiscard]] TranslationUnitDecl* translationUnit() { return tu_; }
+  [[nodiscard]] const TranslationUnitDecl* translationUnit() const { return tu_; }
+
+  // -- canonical type factory ------------------------------------------
+  [[nodiscard]] const BuiltinType* builtin(BuiltinKind kind);
+  [[nodiscard]] const Type* voidType() { return builtin(BuiltinKind::Void); }
+  [[nodiscard]] const Type* boolType() { return builtin(BuiltinKind::Bool); }
+  [[nodiscard]] const Type* intType() { return builtin(BuiltinKind::Int); }
+  [[nodiscard]] const PointerType* pointerTo(const Type* pointee);
+  [[nodiscard]] const ReferenceType* referenceTo(const Type* referee);
+  [[nodiscard]] const Type* qualified(const Type* base, bool is_const,
+                                      bool is_volatile);
+  [[nodiscard]] const ArrayType* arrayOf(const Type* element, std::int64_t size);
+  [[nodiscard]] const FunctionType* functionType(
+      const Type* result, std::vector<const Type*> params, bool is_const_member,
+      bool has_ellipsis, std::vector<const Type*> exception_specs);
+  [[nodiscard]] const ClassType* classType(const ClassDecl* decl);
+  [[nodiscard]] const EnumType* enumType(const EnumDecl* decl);
+  [[nodiscard]] const TypedefType* typedefType(const TypedefDecl* decl,
+                                               const Type* underlying);
+  [[nodiscard]] const TemplateParamType* templateParamType(const std::string& name,
+                                                           unsigned depth,
+                                                           unsigned index);
+  [[nodiscard]] const TemplateSpecializationType* templateSpecType(
+      const TemplateDecl* primary, std::vector<const Type*> args);
+
+  /// All declarations in creation order (stable ids).
+  [[nodiscard]] const std::vector<std::unique_ptr<Decl>>& allDecls() const {
+    return decls_;
+  }
+
+ private:
+  template <typename T>
+  const T* intern(std::unique_ptr<T> t, const std::string& key);
+
+  std::vector<std::unique_ptr<Decl>> decls_;
+  std::vector<std::unique_ptr<Stmt>> stmts_;
+  std::vector<std::unique_ptr<Type>> types_;
+  std::map<std::string, const Type*> type_table_;  // structural key -> node
+  TranslationUnitDecl* tu_ = nullptr;
+  std::uint32_t next_decl_id_ = 1;
+};
+
+/// Structural key used to canonicalize types; also a debugging aid.
+[[nodiscard]] std::string typeKey(const Type* type);
+
+}  // namespace pdt::ast

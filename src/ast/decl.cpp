@@ -1,0 +1,82 @@
+#include "ast/decl.h"
+
+#include <algorithm>
+
+namespace pdt::ast {
+
+std::string_view toString(AccessKind a) {
+  switch (a) {
+    case AccessKind::None: return "NA";
+    case AccessKind::Public: return "pub";
+    case AccessKind::Protected: return "prot";
+    case AccessKind::Private: return "priv";
+  }
+  return "NA";
+}
+
+std::string_view toString(TagKind t) {
+  switch (t) {
+    case TagKind::Class: return "class";
+    case TagKind::Struct: return "struct";
+    case TagKind::Union: return "union";
+  }
+  return "class";
+}
+
+std::string_view toString(TemplateKind k) {
+  switch (k) {
+    case TemplateKind::Class: return "class";
+    case TemplateKind::Function: return "func";
+    case TemplateKind::MemberFunc: return "memfunc";
+    case TemplateKind::StaticMem: return "statmem";
+  }
+  return "class";
+}
+
+std::vector<Decl*> DeclContext::lookup(std::string_view name) const {
+  std::vector<Decl*> out;
+  for (Decl* d : children()) {
+    if (d->name() == name) out.push_back(d);
+  }
+  return out;
+}
+
+std::string Decl::qualifiedName() const {
+  std::string qual;
+  for (const DeclContext* ctx = parent(); ctx != nullptr;) {
+    const Decl* d = ctx->asDecl();
+    if (d->kind() == DeclKind::TranslationUnit) break;
+    qual = d->name() + "::" + qual;
+    ctx = d->parent();
+  }
+  return qual + name();
+}
+
+const ClassDecl* FunctionDecl::memberOf() const {
+  if (parent() == nullptr) return nullptr;
+  return parent()->asDecl()->as<ClassDecl>();
+}
+
+namespace {
+
+bool sameArgs(const std::vector<const Type*>& a, const std::vector<const Type*>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
+Decl* TemplateDecl::findInstantiation(const std::vector<const Type*>& args) const {
+  for (const Instantiation& inst : instantiations) {
+    if (sameArgs(inst.args, args)) return inst.decl;
+  }
+  return nullptr;
+}
+
+Decl* TemplateDecl::findSpecialization(const std::vector<const Type*>& args) const {
+  for (const Specialization& spec : specializations) {
+    if (sameArgs(spec.args, args)) return spec.decl;
+  }
+  return nullptr;
+}
+
+}  // namespace pdt::ast

@@ -1,0 +1,326 @@
+// Declaration nodes of the PDT-C++ intermediate language.
+//
+// The shapes follow what the IL Analyzer must report per paper Table 1:
+// routines carry signatures, parents, access, storage/linkage/virtuality
+// and the template they were instantiated from; classes carry bases,
+// friends, members; templates carry their kind and text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "support/source_location.h"
+
+namespace pdt::ast {
+
+class Stmt;
+class Expr;
+class DeclContext;
+class TemplateDecl;
+
+enum class DeclKind : std::uint8_t {
+  TranslationUnit,
+  Namespace,
+  NamespaceAlias,
+  UsingDirective,
+  Class,
+  Function,
+  Param,
+  Var,
+  Enum,
+  Enumerator,
+  Typedef,
+  TemplateParam,
+  Template,
+  Friend,
+};
+
+enum class AccessKind : std::uint8_t { None, Public, Protected, Private };
+enum class TagKind : std::uint8_t { Class, Struct, Union };
+enum class StorageClass : std::uint8_t { None, Static, Extern, Mutable, Register };
+enum class Linkage : std::uint8_t { Cxx, C };
+
+[[nodiscard]] std::string_view toString(AccessKind a);
+[[nodiscard]] std::string_view toString(TagKind t);
+
+class Decl {
+ public:
+  virtual ~Decl() = default;
+  Decl(const Decl&) = delete;
+  Decl& operator=(const Decl&) = delete;
+
+  [[nodiscard]] DeclKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] SourceLocation location() const { return location_; }
+  [[nodiscard]] SourceExtent headerExtent() const { return header_extent_; }
+  [[nodiscard]] SourceExtent bodyExtent() const { return body_extent_; }
+  [[nodiscard]] AccessKind access() const { return access_; }
+  [[nodiscard]] DeclContext* parent() const { return parent_; }
+  /// Sequential id assigned by the AstContext; stable traversal order.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  void setName(std::string n) { name_ = std::move(n); }
+  void setLocation(SourceLocation loc) { location_ = loc; }
+  void setHeaderExtent(SourceExtent e) { header_extent_ = e; }
+  void setBodyExtent(SourceExtent e) { body_extent_ = e; }
+  void setAccess(AccessKind a) { access_ = a; }
+  void setParent(DeclContext* p) { parent_ = p; }
+  void setId(std::uint32_t id) { id_ = id; }
+
+  template <typename T>
+  [[nodiscard]] T* as() {
+    return dynamic_cast<T*>(this);
+  }
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return dynamic_cast<const T*>(this);
+  }
+
+  /// Qualified name, e.g. "Stack<int>::push" or "std::sort".
+  [[nodiscard]] std::string qualifiedName() const;
+
+ protected:
+  explicit Decl(DeclKind kind) : kind_(kind) {}
+
+ private:
+  DeclKind kind_;
+  std::string name_;
+  SourceLocation location_;
+  SourceExtent header_extent_;
+  SourceExtent body_extent_;
+  AccessKind access_ = AccessKind::None;
+  DeclContext* parent_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// A declaration that owns child declarations (translation unit,
+/// namespace, class). Children are stored in source order.
+class DeclContext {
+ public:
+  virtual ~DeclContext() = default;
+
+  void addChild(Decl* d) { children_.push_back(d); }
+  [[nodiscard]] const std::vector<Decl*>& children() const { return children_; }
+
+  /// All children whose name is `name` (C++ allows overload sets).
+  [[nodiscard]] std::vector<Decl*> lookup(std::string_view name) const;
+
+  /// The Decl this context is (every DeclContext is also a Decl).
+  [[nodiscard]] virtual Decl* asDecl() = 0;
+  [[nodiscard]] virtual const Decl* asDecl() const = 0;
+
+ private:
+  std::vector<Decl*> children_;
+};
+
+class TranslationUnitDecl final : public Decl, public DeclContext {
+ public:
+  TranslationUnitDecl() : Decl(DeclKind::TranslationUnit) {}
+  Decl* asDecl() override { return this; }
+  const Decl* asDecl() const override { return this; }
+};
+
+class NamespaceDecl final : public Decl, public DeclContext {
+ public:
+  NamespaceDecl() : Decl(DeclKind::Namespace) {}
+  Decl* asDecl() override { return this; }
+  const Decl* asDecl() const override { return this; }
+};
+
+class NamespaceAliasDecl final : public Decl {
+ public:
+  NamespaceAliasDecl() : Decl(DeclKind::NamespaceAlias) {}
+  NamespaceDecl* target = nullptr;
+};
+
+class UsingDirectiveDecl final : public Decl {
+ public:
+  UsingDirectiveDecl() : Decl(DeclKind::UsingDirective) {}
+  NamespaceDecl* target = nullptr;
+};
+
+struct BaseSpecifier {
+  const ClassDecl* base = nullptr;
+  /// For bases of template patterns that mention template parameters:
+  /// the dependent type, resolved to `base` at instantiation time.
+  const Type* dependent_type = nullptr;
+  AccessKind access = AccessKind::Public;
+  bool is_virtual = false;
+};
+
+struct FriendEntry {
+  bool is_class = false;
+  std::string name;          // as written
+  const Decl* resolved = nullptr;  // may stay null (forward friend)
+};
+
+class ClassDecl final : public Decl, public DeclContext {
+ public:
+  ClassDecl() : Decl(DeclKind::Class) {}
+  Decl* asDecl() override { return this; }
+  const Decl* asDecl() const override { return this; }
+
+  TagKind tag = TagKind::Class;
+  bool is_complete = false;  // definition seen (vs forward declaration)
+  std::vector<BaseSpecifier> bases;
+  std::vector<FriendEntry> friends;
+
+  /// Template provenance: non-null when this class is an instantiation.
+  const TemplateDecl* instantiated_from = nullptr;
+  std::vector<const Type*> template_args;
+  bool is_specialization = false;
+  /// When this class IS a template pattern: the template describing it.
+  const TemplateDecl* describing_template = nullptr;
+};
+
+class ParamDecl final : public Decl {
+ public:
+  ParamDecl() : Decl(DeclKind::Param) {}
+  const Type* type = nullptr;
+  Expr* default_arg = nullptr;
+};
+
+enum class FunctionKind : std::uint8_t {
+  Normal,
+  Constructor,
+  Destructor,
+  Operator,
+  Conversion,
+};
+
+class FunctionDecl final : public Decl {
+ public:
+  FunctionDecl() : Decl(DeclKind::Function) {}
+
+  FunctionKind fkind = FunctionKind::Normal;
+  const Type* return_type = nullptr;
+  std::vector<ParamDecl*> params;
+  const FunctionType* signature = nullptr;  // canonical function type
+
+  bool is_virtual = false;
+  bool is_pure_virtual = false;
+  bool is_static = false;
+  bool is_const = false;
+  bool is_inline = false;
+  bool is_explicit = false;
+  bool has_ellipsis = false;
+  StorageClass storage = StorageClass::None;
+  Linkage linkage = Linkage::Cxx;
+  std::vector<const Type*> exception_specs;
+  bool has_exception_spec = false;
+
+  Stmt* body = nullptr;          // null until (unless) defined
+  bool is_defined = false;
+
+  /// Constructor member/base initializers (": theArray(cap), Base(x)").
+  /// These are constructor calls the IL Analyzer must report (§3.1).
+  struct CtorInit {
+    std::string name;           // member or base name as written
+    std::vector<Expr*> args;
+    SourceLocation location;
+    const FunctionDecl* resolved_ctor = nullptr;
+  };
+  std::vector<CtorInit> ctor_inits;
+
+  /// Template provenance: non-null when instantiated from a template.
+  const TemplateDecl* instantiated_from = nullptr;
+  std::vector<const Type*> template_args;
+  bool is_specialization = false;
+  /// When this function IS a template pattern (or a member of a class
+  /// template pattern): the template entity describing it.
+  const TemplateDecl* describing_template = nullptr;
+
+  /// The class this is a member of, or null for free functions.
+  [[nodiscard]] const ClassDecl* memberOf() const;
+  [[nodiscard]] bool isMember() const { return memberOf() != nullptr; }
+};
+
+class VarDecl final : public Decl {
+ public:
+  VarDecl() : Decl(DeclKind::Var) {}
+  const Type* type = nullptr;
+  Expr* init = nullptr;
+  std::vector<Expr*> ctor_args;  // direct-init arguments: T v(a, b);
+  StorageClass storage = StorageClass::None;
+  /// For class-type locals: the lifetime-implied constructor/destructor
+  /// calls (paper §3.1 — these are not ordinary call expressions).
+  const FunctionDecl* resolved_ctor = nullptr;
+  const FunctionDecl* resolved_dtor = nullptr;
+  const TemplateDecl* instantiated_from = nullptr;  // static member templates
+  std::vector<const Type*> template_args;
+  const TemplateDecl* describing_template = nullptr;
+};
+
+class EnumeratorDecl final : public Decl {
+ public:
+  EnumeratorDecl() : Decl(DeclKind::Enumerator) {}
+  long long value = 0;
+};
+
+class EnumDecl final : public Decl {
+ public:
+  EnumDecl() : Decl(DeclKind::Enum) {}
+  std::vector<EnumeratorDecl*> enumerators;
+};
+
+class TypedefDecl final : public Decl {
+ public:
+  TypedefDecl() : Decl(DeclKind::Typedef) {}
+  const Type* underlying = nullptr;
+};
+
+class TemplateParamDecl final : public Decl {
+ public:
+  TemplateParamDecl() : Decl(DeclKind::TemplateParam) {}
+  enum class Kind : std::uint8_t { Type, NonType } param_kind = Kind::Type;
+  unsigned index = 0;
+  const Type* type = nullptr;          // for non-type params: the value type
+  const Type* default_type = nullptr;  // for type params with defaults
+  Expr* default_value = nullptr;       // for non-type params with defaults
+};
+
+/// Template kinds as reported in the PDB (paper Figure 3 "tkind" and the
+/// TAU instrumentor's pdbItem::TE_* constants in Figure 6).
+enum class TemplateKind : std::uint8_t {
+  Class,       // tkind class
+  Function,    // tkind func       (TE_FUNC)
+  MemberFunc,  // tkind memfunc    (TE_MEMFUNC)
+  StaticMem,   // tkind statmem    (TE_STATMEM)
+};
+
+[[nodiscard]] std::string_view toString(TemplateKind k);
+
+class TemplateDecl final : public Decl {
+ public:
+  TemplateDecl() : Decl(DeclKind::Template) {}
+
+  TemplateKind tkind = TemplateKind::Class;
+  std::vector<TemplateParamDecl*> params;
+  /// The pattern: a ClassDecl, FunctionDecl, or VarDecl left uninstantiated.
+  Decl* pattern = nullptr;
+  /// Source text of the template declaration ("ttext" in the PDB).
+  std::string text;
+
+  struct Instantiation {
+    std::vector<const Type*> args;
+    Decl* decl = nullptr;
+  };
+  std::vector<Instantiation> instantiations;
+
+  struct Specialization {
+    std::vector<const Type*> args;
+    Decl* decl = nullptr;
+  };
+  std::vector<Specialization> specializations;
+
+  /// Finds an existing instantiation with exactly these arguments.
+  [[nodiscard]] Decl* findInstantiation(const std::vector<const Type*>& args) const;
+  [[nodiscard]] Decl* findSpecialization(const std::vector<const Type*>& args) const;
+};
+
+}  // namespace pdt::ast

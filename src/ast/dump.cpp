@@ -1,0 +1,242 @@
+#include "ast/dump.h"
+
+#include "ast/walk.h"
+
+#include <ostream>
+#include <string>
+
+namespace pdt::ast {
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+std::string_view stmtKindName(StmtKind k) {
+  switch (k) {
+    case StmtKind::Compound: return "CompoundStmt";
+    case StmtKind::If: return "IfStmt";
+    case StmtKind::While: return "WhileStmt";
+    case StmtKind::DoWhile: return "DoWhileStmt";
+    case StmtKind::For: return "ForStmt";
+    case StmtKind::Switch: return "SwitchStmt";
+    case StmtKind::Case: return "CaseStmt";
+    case StmtKind::Default: return "DefaultStmt";
+    case StmtKind::Return: return "ReturnStmt";
+    case StmtKind::ExprStatement: return "ExprStmt";
+    case StmtKind::DeclStatement: return "DeclStmt";
+    case StmtKind::Break: return "BreakStmt";
+    case StmtKind::Continue: return "ContinueStmt";
+    case StmtKind::Null: return "NullStmt";
+    case StmtKind::Try: return "TryStmt";
+    case StmtKind::Goto: return "GotoStmt";
+    case StmtKind::Label: return "LabelStmt";
+    case StmtKind::IntLit: return "IntLit";
+    case StmtKind::FloatLit: return "FloatLit";
+    case StmtKind::CharLit: return "CharLit";
+    case StmtKind::StringLit: return "StringLit";
+    case StmtKind::BoolLit: return "BoolLit";
+    case StmtKind::This: return "This";
+    case StmtKind::DeclRef: return "DeclRef";
+    case StmtKind::Member: return "Member";
+    case StmtKind::Call: return "Call";
+    case StmtKind::Unary: return "Unary";
+    case StmtKind::Binary: return "Binary";
+    case StmtKind::Conditional: return "Conditional";
+    case StmtKind::Cast: return "Cast";
+    case StmtKind::New: return "New";
+    case StmtKind::Delete: return "Delete";
+    case StmtKind::Index: return "Index";
+    case StmtKind::Construct: return "Construct";
+    case StmtKind::Throw: return "Throw";
+    case StmtKind::SizeOf: return "SizeOf";
+    case StmtKind::Comma: return "Comma";
+  }
+  return "Stmt";
+}
+
+}  // namespace
+
+void dump(const Stmt* stmt, std::ostream& os, int indent) {
+  if (stmt == nullptr) return;
+  os << pad(indent) << stmtKindName(stmt->kind());
+  switch (stmt->kind()) {
+    case StmtKind::IntLit:
+      os << " " << stmt->as<IntLitExpr>()->value;
+      break;
+    case StmtKind::FloatLit:
+      os << " " << stmt->as<FloatLitExpr>()->value;
+      break;
+    case StmtKind::StringLit:
+      os << " " << stmt->as<StringLitExpr>()->spelling;
+      break;
+    case StmtKind::BoolLit:
+      os << (stmt->as<BoolLitExpr>()->value ? " true" : " false");
+      break;
+    case StmtKind::DeclRef: {
+      const auto* ref = stmt->as<DeclRefExpr>();
+      os << " '" << ref->name << "'";
+      if (ref->decl != nullptr) os << " -> " << ref->decl->qualifiedName();
+      break;
+    }
+    case StmtKind::Member: {
+      const auto* m = stmt->as<MemberExpr>();
+      os << (m->is_arrow ? " ->" : " .") << m->member;
+      break;
+    }
+    case StmtKind::Call: {
+      const auto* call = stmt->as<CallExpr>();
+      if (call->resolved != nullptr) {
+        os << " -> " << call->resolved->qualifiedName();
+        if (call->is_virtual_call) os << " (virtual)";
+      }
+      break;
+    }
+    case StmtKind::Unary:
+      os << " '" << stmt->as<UnaryExpr>()->op << "'";
+      break;
+    case StmtKind::Binary: {
+      const auto* bin = stmt->as<BinaryExpr>();
+      os << " '" << bin->op << "'";
+      if (bin->resolved_operator != nullptr)
+        os << " -> " << bin->resolved_operator->qualifiedName();
+      break;
+    }
+    case StmtKind::Construct: {
+      const auto* c = stmt->as<ConstructExpr>();
+      if (c->constructed != nullptr) os << " " << c->constructed->spelling();
+      break;
+    }
+    case StmtKind::Cast:
+      os << " (" << stmt->as<CastExpr>()->cast_kind << ")";
+      break;
+    case StmtKind::DeclStatement:
+      break;
+    default:
+      break;
+  }
+  if (const auto* e = dynamic_cast<const Expr*>(stmt);
+      e != nullptr && e->type != nullptr) {
+    os << " : " << e->type->spelling();
+  }
+  os << '\n';
+  if (const auto* ds = stmt->as<DeclStmt>()) {
+    for (const VarDecl* v : ds->vars) dump(v, os, indent + 1);
+    return;
+  }
+  forEachChild(stmt, [&](const Stmt* child) { dump(child, os, indent + 1); });
+}
+
+void dump(const Decl* decl, std::ostream& os, int indent) {
+  if (decl == nullptr) return;
+  os << pad(indent);
+  switch (decl->kind()) {
+    case DeclKind::TranslationUnit:
+      os << "TranslationUnit\n";
+      break;
+    case DeclKind::Namespace:
+      os << "Namespace " << decl->name() << '\n';
+      break;
+    case DeclKind::NamespaceAlias: {
+      const auto* a = decl->as<NamespaceAliasDecl>();
+      os << "NamespaceAlias " << decl->name() << " = "
+         << (a->target != nullptr ? a->target->name() : "?") << '\n';
+      break;
+    }
+    case DeclKind::UsingDirective: {
+      const auto* u = decl->as<UsingDirectiveDecl>();
+      os << "UsingDirective "
+         << (u->target != nullptr ? u->target->name() : "?") << '\n';
+      break;
+    }
+    case DeclKind::Class: {
+      const auto* cls = decl->as<ClassDecl>();
+      os << "Class " << decl->name();
+      if (!cls->is_complete) os << " (incomplete)";
+      if (cls->instantiated_from != nullptr)
+        os << " <- template " << cls->instantiated_from->name();
+      if (cls->is_specialization) os << " (specialization)";
+      for (const BaseSpecifier& b : cls->bases) {
+        os << " : " << toString(b.access) << ' '
+           << (b.base != nullptr ? b.base->name()
+                                 : (b.dependent_type != nullptr
+                                        ? b.dependent_type->spelling()
+                                        : std::string("?")));
+      }
+      os << '\n';
+      break;
+    }
+    case DeclKind::Function: {
+      const auto* fn = decl->as<FunctionDecl>();
+      os << "Function " << decl->name();
+      if (fn->signature != nullptr) os << " : " << fn->signature->spelling();
+      if (fn->is_virtual) os << " virtual";
+      if (fn->is_static) os << " static";
+      if (fn->instantiated_from != nullptr)
+        os << " <- template " << fn->instantiated_from->name();
+      os << '\n';
+      for (const ParamDecl* p : fn->params) dump(p, os, indent + 1);
+      if (fn->body != nullptr) dump(fn->body, os, indent + 1);
+      return;
+    }
+    case DeclKind::Param: {
+      const auto* p = decl->as<ParamDecl>();
+      os << "Param " << decl->name();
+      if (p->type != nullptr) os << " : " << p->type->spelling();
+      if (p->default_arg != nullptr) os << " (has default)";
+      os << '\n';
+      break;
+    }
+    case DeclKind::Var: {
+      const auto* v = decl->as<VarDecl>();
+      os << "Var " << decl->name();
+      if (v->type != nullptr) os << " : " << v->type->spelling();
+      os << '\n';
+      break;
+    }
+    case DeclKind::Enum: {
+      const auto* e = decl->as<EnumDecl>();
+      os << "Enum " << decl->name() << " {";
+      for (std::size_t i = 0; i < e->enumerators.size(); ++i) {
+        if (i > 0) os << ",";
+        os << ' ' << e->enumerators[i]->name() << '=' << e->enumerators[i]->value;
+      }
+      os << " }\n";
+      break;
+    }
+    case DeclKind::Enumerator:
+      os << "Enumerator " << decl->name() << '\n';
+      break;
+    case DeclKind::Typedef: {
+      const auto* t = decl->as<TypedefDecl>();
+      os << "Typedef " << decl->name() << " = "
+         << (t->underlying != nullptr ? t->underlying->spelling() : "?") << '\n';
+      break;
+    }
+    case DeclKind::TemplateParam:
+      os << "TemplateParam " << decl->name() << '\n';
+      break;
+    case DeclKind::Template: {
+      const auto* td = decl->as<TemplateDecl>();
+      os << "Template " << decl->name() << " [" << toString(td->tkind) << "] ("
+         << td->instantiations.size() << " instantiations, "
+         << td->specializations.size() << " specializations)\n";
+      if (td->pattern != nullptr) dump(td->pattern, os, indent + 1);
+      return;
+    }
+    case DeclKind::Friend:
+      os << "Friend " << decl->name() << '\n';
+      break;
+  }
+  const DeclContext* ctx = nullptr;
+  if (const auto* tu = decl->as<TranslationUnitDecl>()) ctx = tu;
+  else if (const auto* ns = decl->as<NamespaceDecl>()) ctx = ns;
+  else if (const auto* cls = decl->as<ClassDecl>()) ctx = cls;
+  if (ctx != nullptr) {
+    for (const Decl* child : ctx->children()) dump(child, os, indent + 1);
+  }
+}
+
+void dump(const AstContext& ctx, std::ostream& os) {
+  dump(ctx.translationUnit(), os, 0);
+}
+
+}  // namespace pdt::ast

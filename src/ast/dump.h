@@ -1,0 +1,22 @@
+// Human-readable IL tree dump, for debugging the frontend and for
+// tools that want to inspect the IL below the PDB level
+// (cxxparse --dump-ast).
+#pragma once
+
+#include <iosfwd>
+
+#include "ast/context.h"
+
+namespace pdt::ast {
+
+/// Prints the declaration tree (with member/statement structure) rooted
+/// at `decl`. Indentation is two spaces per level.
+void dump(const Decl* decl, std::ostream& os, int indent = 0);
+
+/// Prints a statement/expression subtree.
+void dump(const Stmt* stmt, std::ostream& os, int indent = 0);
+
+/// Dumps the whole translation unit.
+void dump(const AstContext& ctx, std::ostream& os);
+
+}  // namespace pdt::ast

@@ -1,0 +1,355 @@
+// Statement and expression nodes.
+//
+// Bodies are parsed fully so the IL Analyzer can extract the static call
+// graph — including constructor/destructor calls derived from object
+// lifetimes, which the paper notes require special handling (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "support/source_location.h"
+
+namespace pdt::ast {
+
+class Decl;
+class FunctionDecl;
+class VarDecl;
+class ClassDecl;
+
+enum class StmtKind : std::uint8_t {
+  // statements
+  Compound, If, While, DoWhile, For, Switch, Case, Default, Return,
+  ExprStatement, DeclStatement, Break, Continue, Null, Try, Goto, Label,
+  // expressions
+  IntLit, FloatLit, CharLit, StringLit, BoolLit, This,
+  DeclRef, Member, Call, Unary, Binary, Conditional, Cast, New, Delete,
+  Index, Construct, Throw, SizeOf, Comma,
+};
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceExtent extent() const { return extent_; }
+  void setExtent(SourceExtent e) { extent_ = e; }
+
+  template <typename T>
+  [[nodiscard]] T* as() {
+    return dynamic_cast<T*>(this);
+  }
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return dynamic_cast<const T*>(this);
+  }
+
+ protected:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+ private:
+  StmtKind kind_;
+  SourceExtent extent_;
+};
+
+class Expr : public Stmt {
+ public:
+  /// Static type of the expression; null when not computable in the subset.
+  const Type* type = nullptr;
+
+ protected:
+  explicit Expr(StmtKind kind) : Stmt(kind) {}
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+class CompoundStmt final : public Stmt {
+ public:
+  CompoundStmt() : Stmt(StmtKind::Compound) {}
+  std::vector<Stmt*> body;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt() : Stmt(StmtKind::If) {}
+  Expr* condition = nullptr;
+  Stmt* then_branch = nullptr;
+  Stmt* else_branch = nullptr;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt() : Stmt(StmtKind::While) {}
+  Expr* condition = nullptr;
+  Stmt* body = nullptr;
+};
+
+class DoWhileStmt final : public Stmt {
+ public:
+  DoWhileStmt() : Stmt(StmtKind::DoWhile) {}
+  Stmt* body = nullptr;
+  Expr* condition = nullptr;
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt() : Stmt(StmtKind::For) {}
+  Stmt* init = nullptr;
+  Expr* condition = nullptr;
+  Expr* increment = nullptr;
+  Stmt* body = nullptr;
+};
+
+class SwitchStmt final : public Stmt {
+ public:
+  SwitchStmt() : Stmt(StmtKind::Switch) {}
+  Expr* condition = nullptr;
+  Stmt* body = nullptr;
+};
+
+class CaseStmt final : public Stmt {
+ public:
+  CaseStmt() : Stmt(StmtKind::Case) {}
+  Expr* value = nullptr;
+  Stmt* body = nullptr;  // statement following the label
+};
+
+class DefaultStmt final : public Stmt {
+ public:
+  DefaultStmt() : Stmt(StmtKind::Default) {}
+  Stmt* body = nullptr;
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  ReturnStmt() : Stmt(StmtKind::Return) {}
+  Expr* value = nullptr;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  ExprStmt() : Stmt(StmtKind::ExprStatement) {}
+  Expr* expr = nullptr;
+};
+
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt() : Stmt(StmtKind::DeclStatement) {}
+  std::vector<VarDecl*> vars;
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+class NullStmt final : public Stmt {
+ public:
+  NullStmt() : Stmt(StmtKind::Null) {}
+};
+
+class GotoStmt final : public Stmt {
+ public:
+  GotoStmt() : Stmt(StmtKind::Goto) {}
+  std::string label;
+};
+
+class LabelStmt final : public Stmt {
+ public:
+  LabelStmt() : Stmt(StmtKind::Label) {}
+  std::string label;
+  Stmt* body = nullptr;
+};
+
+class TryStmt final : public Stmt {
+ public:
+  TryStmt() : Stmt(StmtKind::Try) {}
+  struct Handler {
+    const Type* exception_type = nullptr;  // null = catch(...)
+    VarDecl* var = nullptr;
+    Stmt* body = nullptr;
+  };
+  Stmt* body = nullptr;
+  std::vector<Handler> handlers;
+};
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+class IntLitExpr final : public Expr {
+ public:
+  IntLitExpr() : Expr(StmtKind::IntLit) {}
+  long long value = 0;
+  std::string spelling;
+};
+
+class FloatLitExpr final : public Expr {
+ public:
+  FloatLitExpr() : Expr(StmtKind::FloatLit) {}
+  double value = 0.0;
+  std::string spelling;
+};
+
+class CharLitExpr final : public Expr {
+ public:
+  CharLitExpr() : Expr(StmtKind::CharLit) {}
+  std::string spelling;
+};
+
+class StringLitExpr final : public Expr {
+ public:
+  StringLitExpr() : Expr(StmtKind::StringLit) {}
+  std::string spelling;  // with quotes
+};
+
+class BoolLitExpr final : public Expr {
+ public:
+  BoolLitExpr() : Expr(StmtKind::BoolLit) {}
+  bool value = false;
+};
+
+class ThisExpr final : public Expr {
+ public:
+  ThisExpr() : Expr(StmtKind::This) {}
+};
+
+/// A (possibly qualified) name. Sema resolves `decl` where it can; for
+/// overload sets resolution happens at the call site.
+class DeclRefExpr final : public Expr {
+ public:
+  DeclRefExpr() : Expr(StmtKind::DeclRef) {}
+  std::string name;            // unqualified name as written
+  const Decl* decl = nullptr;  // resolved target (var/function/enumerator)
+  std::vector<const Decl*> candidates;  // overload set when ambiguous
+  /// Qualifier, when written qualified: a type ("Stack<int>::pop") or a
+  /// namespace ("std::cout"). At most one is set.
+  const Type* qualifier_type = nullptr;
+  const Decl* qualifier_ns = nullptr;
+  /// Explicit template arguments: "max<int>(a, b)".
+  std::vector<const Type*> explicit_targs;
+};
+
+class MemberExpr final : public Expr {
+ public:
+  MemberExpr() : Expr(StmtKind::Member) {}
+  Expr* base = nullptr;
+  std::string member;
+  bool is_arrow = false;
+  const Decl* decl = nullptr;  // resolved member
+  std::vector<const Decl*> candidates;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr() : Expr(StmtKind::Call) {}
+  Expr* callee = nullptr;
+  std::vector<Expr*> args;
+  /// Resolved target; null when the subset cannot resolve the callee.
+  const FunctionDecl* resolved = nullptr;
+  /// True for calls dispatched through a virtual member function.
+  bool is_virtual_call = false;
+  SourceLocation call_location;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr() : Expr(StmtKind::Unary) {}
+  std::string op;
+  bool is_postfix = false;
+  Expr* operand = nullptr;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr() : Expr(StmtKind::Binary) {}
+  std::string op;
+  Expr* lhs = nullptr;
+  Expr* rhs = nullptr;
+  /// Overloaded operator target when lhs has class type (e.g. operator<<).
+  const FunctionDecl* resolved_operator = nullptr;
+};
+
+class ConditionalExpr final : public Expr {
+ public:
+  ConditionalExpr() : Expr(StmtKind::Conditional) {}
+  Expr* condition = nullptr;
+  Expr* true_value = nullptr;
+  Expr* false_value = nullptr;
+};
+
+class CastExpr final : public Expr {
+ public:
+  CastExpr() : Expr(StmtKind::Cast) {}
+  std::string cast_kind;  // "c-style", "static_cast", ...
+  const Type* target = nullptr;
+  Expr* operand = nullptr;
+};
+
+class NewExpr final : public Expr {
+ public:
+  NewExpr() : Expr(StmtKind::New) {}
+  const Type* allocated = nullptr;
+  std::vector<Expr*> args;
+  bool is_array = false;
+  const FunctionDecl* ctor = nullptr;  // resolved constructor
+};
+
+class DeleteExpr final : public Expr {
+ public:
+  DeleteExpr() : Expr(StmtKind::Delete) {}
+  Expr* operand = nullptr;
+  bool is_array = false;
+  const FunctionDecl* dtor = nullptr;  // resolved destructor
+};
+
+class IndexExpr final : public Expr {
+ public:
+  IndexExpr() : Expr(StmtKind::Index) {}
+  Expr* base = nullptr;
+  Expr* index = nullptr;
+  const FunctionDecl* resolved_operator = nullptr;  // operator[] on classes
+};
+
+/// Construction of a class-type object: `Stack<int>()` or the implicit
+/// construction in `Stack<int> s;`.
+class ConstructExpr final : public Expr {
+ public:
+  ConstructExpr() : Expr(StmtKind::Construct) {}
+  const Type* constructed = nullptr;
+  std::vector<Expr*> args;
+  const FunctionDecl* ctor = nullptr;
+};
+
+class ThrowExpr final : public Expr {
+ public:
+  ThrowExpr() : Expr(StmtKind::Throw) {}
+  Expr* operand = nullptr;  // null for rethrow
+};
+
+class SizeOfExpr final : public Expr {
+ public:
+  SizeOfExpr() : Expr(StmtKind::SizeOf) {}
+  const Type* type_operand = nullptr;
+  Expr* expr_operand = nullptr;
+};
+
+class CommaExpr final : public Expr {
+ public:
+  CommaExpr() : Expr(StmtKind::Comma) {}
+  Expr* lhs = nullptr;
+  Expr* rhs = nullptr;
+};
+
+}  // namespace pdt::ast

@@ -1,0 +1,113 @@
+#include "ast/type.h"
+
+#include "ast/decl.h"
+
+namespace pdt::ast {
+
+std::string_view toString(BuiltinKind kind) {
+  switch (kind) {
+    case BuiltinKind::Void: return "void";
+    case BuiltinKind::Bool: return "bool";
+    case BuiltinKind::Char: return "char";
+    case BuiltinKind::SChar: return "signed char";
+    case BuiltinKind::UChar: return "unsigned char";
+    case BuiltinKind::WChar: return "wchar_t";
+    case BuiltinKind::Short: return "short";
+    case BuiltinKind::UShort: return "unsigned short";
+    case BuiltinKind::Int: return "int";
+    case BuiltinKind::UInt: return "unsigned int";
+    case BuiltinKind::Long: return "long";
+    case BuiltinKind::ULong: return "unsigned long";
+    case BuiltinKind::LongLong: return "long long";
+    case BuiltinKind::ULongLong: return "unsigned long long";
+    case BuiltinKind::Float: return "float";
+    case BuiltinKind::Double: return "double";
+    case BuiltinKind::LongDouble: return "long double";
+  }
+  return "?";
+}
+
+std::string Type::spelling() const {
+  switch (kind()) {
+    case TypeKind::Builtin:
+      return std::string(toString(as<BuiltinType>()->builtin()));
+    case TypeKind::Pointer:
+      return as<PointerType>()->pointee()->spelling() + " *";
+    case TypeKind::Reference:
+      return as<ReferenceType>()->referee()->spelling() + " &";
+    case TypeKind::Qualified: {
+      const auto* q = as<QualifiedType>();
+      std::string s;
+      if (q->isConst()) s += "const ";
+      if (q->isVolatile()) s += "volatile ";
+      return s + q->base()->spelling();
+    }
+    case TypeKind::Array: {
+      const auto* a = as<ArrayType>();
+      std::string s = a->element()->spelling() + " [";
+      if (a->size() >= 0) s += std::to_string(a->size());
+      return s + "]";
+    }
+    case TypeKind::Function: {
+      const auto* f = as<FunctionType>();
+      std::string s = f->result()->spelling() + " (";
+      for (std::size_t i = 0; i < f->params().size(); ++i) {
+        if (i > 0) s += ", ";
+        s += f->params()[i]->spelling();
+      }
+      if (f->hasEllipsis()) s += f->params().empty() ? "..." : ", ...";
+      s += ")";
+      if (f->isConstMember()) s += " const";
+      return s;
+    }
+    case TypeKind::Class:
+      return as<ClassType>()->decl()->name();
+    case TypeKind::Enum:
+      return as<EnumType>()->decl()->name();
+    case TypeKind::Typedef:
+      return as<TypedefType>()->decl()->name();
+    case TypeKind::TemplateParam:
+      return as<TemplateParamType>()->name();
+    case TypeKind::TemplateSpecialization: {
+      const auto* ts = as<TemplateSpecializationType>();
+      std::string s = ts->primary()->name() + "<";
+      for (std::size_t i = 0; i < ts->args().size(); ++i) {
+        if (i > 0) s += ", ";
+        s += ts->args()[i]->spelling();
+      }
+      if (s.ends_with('>')) s += ' ';
+      return s + ">";
+    }
+  }
+  return "?";
+}
+
+const Type* canonical(const Type* type) {
+  while (type != nullptr) {
+    if (const auto* td = type->as<TypedefType>()) {
+      type = td->underlying();
+    } else if (const auto* q = type->as<QualifiedType>()) {
+      type = q->base();
+    } else {
+      break;
+    }
+  }
+  return type;
+}
+
+const Type* strippedForMemberAccess(const Type* type) {
+  while (type != nullptr) {
+    if (const auto* td = type->as<TypedefType>()) {
+      type = td->underlying();
+    } else if (const auto* q = type->as<QualifiedType>()) {
+      type = q->base();
+    } else if (const auto* r = type->as<ReferenceType>()) {
+      type = r->referee();
+    } else {
+      break;
+    }
+  }
+  return type;
+}
+
+}  // namespace pdt::ast

@@ -1,0 +1,241 @@
+// Type representation of the PDT-C++ intermediate language.
+//
+// Types are immutable and canonicalized by the AstContext: structurally
+// identical types share one node, so pointer equality is type equality.
+// The kinds map 1:1 onto the PDB "ty" item kinds of paper Figure 3
+// (ykind bool/int/ref/tref/func/...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdt::ast {
+
+class ClassDecl;
+class EnumDecl;
+class TypedefDecl;
+class TemplateDecl;
+
+enum class TypeKind : std::uint8_t {
+  Builtin,
+  Pointer,
+  Reference,
+  Qualified,   // const/volatile wrapper — PDB "tref"
+  Array,
+  Function,
+  Class,       // class/struct/union type, names a ClassDecl
+  Enum,
+  Typedef,     // names a TypedefDecl; canonical type navigates through
+  TemplateParam,
+  TemplateSpecialization,  // dependent Stack<Object> inside a template body
+};
+
+enum class BuiltinKind : std::uint8_t {
+  Void, Bool, Char, SChar, UChar, WChar, Short, UShort, Int, UInt,
+  Long, ULong, LongLong, ULongLong, Float, Double, LongDouble,
+};
+
+[[nodiscard]] std::string_view toString(BuiltinKind kind);
+
+class Type {
+ public:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+  virtual ~Type() = default;
+
+  Type(const Type&) = delete;
+  Type& operator=(const Type&) = delete;
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return dynamic_cast<const T*>(this);
+  }
+
+  /// C++ rendering of the type, e.g. "const int &", "bool () const".
+  [[nodiscard]] std::string spelling() const;
+
+  /// True when the type mentions a template parameter anywhere.
+  [[nodiscard]] bool isDependent() const { return dependent_; }
+
+ protected:
+  void setDependent(bool d) { dependent_ = d; }
+
+ private:
+  TypeKind kind_;
+  bool dependent_ = false;
+};
+
+class BuiltinType final : public Type {
+ public:
+  explicit BuiltinType(BuiltinKind builtin)
+      : Type(TypeKind::Builtin), builtin_(builtin) {}
+  [[nodiscard]] BuiltinKind builtin() const { return builtin_; }
+
+ private:
+  BuiltinKind builtin_;
+};
+
+class PointerType final : public Type {
+ public:
+  explicit PointerType(const Type* pointee)
+      : Type(TypeKind::Pointer), pointee_(pointee) {
+    setDependent(pointee->isDependent());
+  }
+  [[nodiscard]] const Type* pointee() const { return pointee_; }
+
+ private:
+  const Type* pointee_;
+};
+
+class ReferenceType final : public Type {
+ public:
+  explicit ReferenceType(const Type* referee)
+      : Type(TypeKind::Reference), referee_(referee) {
+    setDependent(referee->isDependent());
+  }
+  [[nodiscard]] const Type* referee() const { return referee_; }
+
+ private:
+  const Type* referee_;
+};
+
+/// const/volatile-qualified view of an underlying type (PDB ykind "tref").
+class QualifiedType final : public Type {
+ public:
+  QualifiedType(const Type* base, bool is_const, bool is_volatile)
+      : Type(TypeKind::Qualified), base_(base), const_(is_const),
+        volatile_(is_volatile) {
+    setDependent(base->isDependent());
+  }
+  [[nodiscard]] const Type* base() const { return base_; }
+  [[nodiscard]] bool isConst() const { return const_; }
+  [[nodiscard]] bool isVolatile() const { return volatile_; }
+
+ private:
+  const Type* base_;
+  bool const_;
+  bool volatile_;
+};
+
+class ArrayType final : public Type {
+ public:
+  ArrayType(const Type* element, std::int64_t size /* -1 = unsized */)
+      : Type(TypeKind::Array), element_(element), size_(size) {
+    setDependent(element->isDependent());
+  }
+  [[nodiscard]] const Type* element() const { return element_; }
+  [[nodiscard]] std::int64_t size() const { return size_; }
+
+ private:
+  const Type* element_;
+  std::int64_t size_;
+};
+
+class FunctionType final : public Type {
+ public:
+  FunctionType(const Type* result, std::vector<const Type*> params,
+               bool is_const_member, bool has_ellipsis,
+               std::vector<const Type*> exception_specs)
+      : Type(TypeKind::Function), result_(result), params_(std::move(params)),
+        const_member_(is_const_member), ellipsis_(has_ellipsis),
+        exception_specs_(std::move(exception_specs)) {
+    bool dep = result->isDependent();
+    for (const Type* p : params_) dep = dep || p->isDependent();
+    setDependent(dep);
+  }
+  [[nodiscard]] const Type* result() const { return result_; }
+  [[nodiscard]] const std::vector<const Type*>& params() const { return params_; }
+  [[nodiscard]] bool isConstMember() const { return const_member_; }
+  [[nodiscard]] bool hasEllipsis() const { return ellipsis_; }
+  [[nodiscard]] const std::vector<const Type*>& exceptionSpecs() const {
+    return exception_specs_;
+  }
+
+ private:
+  const Type* result_;
+  std::vector<const Type*> params_;
+  bool const_member_;
+  bool ellipsis_;
+  std::vector<const Type*> exception_specs_;
+};
+
+class ClassType final : public Type {
+ public:
+  explicit ClassType(const ClassDecl* decl) : Type(TypeKind::Class), decl_(decl) {}
+  [[nodiscard]] const ClassDecl* decl() const { return decl_; }
+
+ private:
+  const ClassDecl* decl_;
+};
+
+class EnumType final : public Type {
+ public:
+  explicit EnumType(const EnumDecl* decl) : Type(TypeKind::Enum), decl_(decl) {}
+  [[nodiscard]] const EnumDecl* decl() const { return decl_; }
+
+ private:
+  const EnumDecl* decl_;
+};
+
+class TypedefType final : public Type {
+ public:
+  TypedefType(const TypedefDecl* decl, const Type* underlying)
+      : Type(TypeKind::Typedef), decl_(decl), underlying_(underlying) {
+    setDependent(underlying->isDependent());
+  }
+  [[nodiscard]] const TypedefDecl* decl() const { return decl_; }
+  [[nodiscard]] const Type* underlying() const { return underlying_; }
+
+ private:
+  const TypedefDecl* decl_;
+  const Type* underlying_;
+};
+
+/// A template type parameter in a template pattern ("Object" in Figure 1).
+/// Identified by (depth, index) so substitution is positional.
+class TemplateParamType final : public Type {
+ public:
+  TemplateParamType(std::string name, unsigned depth, unsigned index)
+      : Type(TypeKind::TemplateParam), name_(std::move(name)), depth_(depth),
+        index_(index) {
+    setDependent(true);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] unsigned depth() const { return depth_; }
+  [[nodiscard]] unsigned index() const { return index_; }
+
+ private:
+  std::string name_;
+  unsigned depth_;
+  unsigned index_;
+};
+
+/// "Stack<Object>" inside a template body: a template name applied to
+/// (possibly dependent) arguments. Sema resolves non-dependent uses to a
+/// concrete ClassType via instantiation.
+class TemplateSpecializationType final : public Type {
+ public:
+  TemplateSpecializationType(const TemplateDecl* primary,
+                             std::vector<const Type*> args)
+      : Type(TypeKind::TemplateSpecialization), primary_(primary),
+        args_(std::move(args)) {
+    setDependent(true);
+  }
+  [[nodiscard]] const TemplateDecl* primary() const { return primary_; }
+  [[nodiscard]] const std::vector<const Type*>& args() const { return args_; }
+
+ private:
+  const TemplateDecl* primary_;
+  std::vector<const Type*> args_;
+};
+
+/// Strips typedefs and qualifiers down to the structural type.
+[[nodiscard]] const Type* canonical(const Type* type);
+
+/// Strips references, typedefs, and qualifiers — the "named class" view
+/// used when resolving member calls (`s.push(...)`).
+[[nodiscard]] const Type* strippedForMemberAccess(const Type* type);
+
+}  // namespace pdt::ast

@@ -1,0 +1,178 @@
+#include "ast/walk.h"
+
+namespace pdt::ast {
+
+void forEachChild(const Stmt* s, const std::function<void(const Stmt*)>& fn) {
+  if (s == nullptr) return;
+  const auto visit = [&fn](const Stmt* child) {
+    if (child != nullptr) fn(child);
+  };
+  switch (s->kind()) {
+    case StmtKind::Compound:
+      for (const Stmt* c : s->as<CompoundStmt>()->body) visit(c);
+      break;
+    case StmtKind::If: {
+      const auto* n = s->as<IfStmt>();
+      visit(n->condition);
+      visit(n->then_branch);
+      visit(n->else_branch);
+      break;
+    }
+    case StmtKind::While: {
+      const auto* n = s->as<WhileStmt>();
+      visit(n->condition);
+      visit(n->body);
+      break;
+    }
+    case StmtKind::DoWhile: {
+      const auto* n = s->as<DoWhileStmt>();
+      visit(n->body);
+      visit(n->condition);
+      break;
+    }
+    case StmtKind::For: {
+      const auto* n = s->as<ForStmt>();
+      visit(n->init);
+      visit(n->condition);
+      visit(n->increment);
+      visit(n->body);
+      break;
+    }
+    case StmtKind::Switch: {
+      const auto* n = s->as<SwitchStmt>();
+      visit(n->condition);
+      visit(n->body);
+      break;
+    }
+    case StmtKind::Case: {
+      const auto* n = s->as<CaseStmt>();
+      visit(n->value);
+      visit(n->body);
+      break;
+    }
+    case StmtKind::Default:
+      visit(s->as<DefaultStmt>()->body);
+      break;
+    case StmtKind::Return:
+      visit(s->as<ReturnStmt>()->value);
+      break;
+    case StmtKind::ExprStatement:
+      visit(s->as<ExprStmt>()->expr);
+      break;
+    case StmtKind::DeclStatement:
+      for (const VarDecl* v : s->as<DeclStmt>()->vars) {
+        if (v->init != nullptr) visit(v->init);
+        for (const Expr* a : v->ctor_args) visit(a);
+      }
+      break;
+    case StmtKind::Label:
+      visit(s->as<LabelStmt>()->body);
+      break;
+    case StmtKind::Try: {
+      const auto* n = s->as<TryStmt>();
+      visit(n->body);
+      for (const auto& h : n->handlers) visit(h.body);
+      break;
+    }
+    case StmtKind::Member:
+      visit(s->as<MemberExpr>()->base);
+      break;
+    case StmtKind::Call: {
+      const auto* n = s->as<CallExpr>();
+      visit(n->callee);
+      for (const Expr* a : n->args) visit(a);
+      break;
+    }
+    case StmtKind::Unary:
+      visit(s->as<UnaryExpr>()->operand);
+      break;
+    case StmtKind::Binary: {
+      const auto* n = s->as<BinaryExpr>();
+      visit(n->lhs);
+      visit(n->rhs);
+      break;
+    }
+    case StmtKind::Conditional: {
+      const auto* n = s->as<ConditionalExpr>();
+      visit(n->condition);
+      visit(n->true_value);
+      visit(n->false_value);
+      break;
+    }
+    case StmtKind::Cast:
+      visit(s->as<CastExpr>()->operand);
+      break;
+    case StmtKind::New:
+      for (const Expr* a : s->as<NewExpr>()->args) visit(a);
+      break;
+    case StmtKind::Delete:
+      visit(s->as<DeleteExpr>()->operand);
+      break;
+    case StmtKind::Index: {
+      const auto* n = s->as<IndexExpr>();
+      visit(n->base);
+      visit(n->index);
+      break;
+    }
+    case StmtKind::Construct:
+      for (const Expr* a : s->as<ConstructExpr>()->args) visit(a);
+      break;
+    case StmtKind::Throw:
+      visit(s->as<ThrowExpr>()->operand);
+      break;
+    case StmtKind::SizeOf:
+      visit(s->as<SizeOfExpr>()->expr_operand);
+      break;
+    case StmtKind::Comma: {
+      const auto* n = s->as<CommaExpr>();
+      visit(n->lhs);
+      visit(n->rhs);
+      break;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Null:
+    case StmtKind::Goto:
+    case StmtKind::IntLit:
+    case StmtKind::FloatLit:
+    case StmtKind::CharLit:
+    case StmtKind::StringLit:
+    case StmtKind::BoolLit:
+    case StmtKind::This:
+    case StmtKind::DeclRef:
+      break;  // leaves
+  }
+}
+
+void walk(const Stmt* s, const std::function<void(const Stmt*)>& fn) {
+  if (s == nullptr) return;
+  fn(s);
+  forEachChild(s, [&fn](const Stmt* child) { walk(child, fn); });
+}
+
+void walkDecls(const Decl* d, const std::function<void(const Decl*)>& fn) {
+  if (d == nullptr) return;
+  fn(d);
+  const DeclContext* ctx = nullptr;
+  switch (d->kind()) {
+    case DeclKind::TranslationUnit:
+      ctx = d->as<TranslationUnitDecl>();
+      break;
+    case DeclKind::Namespace:
+      ctx = d->as<NamespaceDecl>();
+      break;
+    case DeclKind::Class:
+      ctx = d->as<ClassDecl>();
+      break;
+    default:
+      break;
+  }
+  if (ctx != nullptr) {
+    for (const Decl* child : ctx->children()) walkDecls(child, fn);
+  }
+  if (const auto* td = d->as<TemplateDecl>(); td != nullptr && td->pattern != nullptr) {
+    walkDecls(td->pattern, fn);
+  }
+}
+
+}  // namespace pdt::ast

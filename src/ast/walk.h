@@ -1,0 +1,23 @@
+// Generic traversal over statement/expression trees and declarations.
+// Used by the instantiation engine (to find template uses in bodies) and
+// by the IL Analyzer (to extract call sites and object lifetimes).
+#pragma once
+
+#include <functional>
+
+#include "ast/decl.h"
+#include "ast/stmt.h"
+
+namespace pdt::ast {
+
+/// Invokes `fn` on every direct child statement/expression of `s`.
+void forEachChild(const Stmt* s, const std::function<void(const Stmt*)>& fn);
+
+/// Pre-order walk of the whole tree rooted at `s` (including `s`).
+void walk(const Stmt* s, const std::function<void(const Stmt*)>& fn);
+
+/// Pre-order walk of a declaration subtree: visits `d` and, for contexts,
+/// every nested declaration.
+void walkDecls(const Decl* d, const std::function<void(const Decl*)>& fn);
+
+}  // namespace pdt::ast

@@ -1,0 +1,195 @@
+#include "frontend/f90.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "support/text.h"
+
+namespace pdt::frontend {
+namespace {
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// First identifier in `text` ([a-z_][a-z0-9_]*), or "".
+std::string firstIdent(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  const std::size_t start = i;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_'))
+    ++i;
+  return std::string(text.substr(start, i - start));
+}
+
+}  // namespace
+
+pdb::PdbFile analyzeFortran(const std::string& file_name,
+                            const std::string& source) {
+  pdb::PdbFile out;
+  pdb::SourceFileItem file;
+  file.name = file_name;
+  const std::uint32_t file_id = out.addSourceFile(std::move(file));
+
+  struct OpenRoutine {
+    std::uint32_t id = 0;
+    std::vector<std::pair<std::string, pdb::Pos>> calls;  // resolved later
+  };
+  std::vector<OpenRoutine> routine_stack;
+  std::vector<std::uint32_t> module_stack;  // na ids
+  std::uint32_t open_type = 0;              // cl id of the open derived type
+
+  std::unordered_map<std::string, std::uint32_t> routine_by_name;
+  std::vector<std::pair<std::uint32_t, std::vector<std::pair<std::string, pdb::Pos>>>>
+      pending_calls;
+
+  const auto lines = split(source, '\n');
+  for (std::uint32_t line_no = 1; line_no <= lines.size(); ++line_no) {
+    std::string_view raw = lines[line_no - 1];
+    // Strip comments ('!' to end of line) and leading blanks.
+    if (const auto bang = raw.find('!'); bang != std::string_view::npos)
+      raw = raw.substr(0, bang);
+    const std::string_view trimmed = trim(raw);
+    if (trimmed.empty()) continue;
+    const std::string text = lower(trimmed);
+    const std::uint32_t col =
+        static_cast<std::uint32_t>(raw.find_first_not_of(" \t")) + 1;
+    const pdb::Pos here{file_id, line_no, col};
+
+    const auto startRoutine = [&](std::string_view keyword, bool is_function) {
+      std::string name = firstIdent(text.substr(keyword.size()));
+      if (name.empty()) return;
+      pdb::RoutineItem r;
+      r.name = name;
+      r.location = here;
+      r.kind = "routine";
+      r.linkage = is_function ? "F90-function" : "F90-subroutine";
+      r.defined = true;
+      r.extent.header_begin = here;
+      r.extent.body_begin = here;
+      if (!module_stack.empty())
+        r.parent = pdb::ItemRef{pdb::ItemKind::Namespace, module_stack.back()};
+      const std::uint32_t id = out.addRoutine(std::move(r));
+      routine_by_name[name] = id;
+      routine_stack.push_back({id, {}});
+      if (!module_stack.empty()) {
+        for (auto& ns : out.namespaces()) {
+          if (ns.id == module_stack.back())
+            ns.members.push_back({pdb::ItemKind::Routine, id});
+        }
+      }
+    };
+
+    if (startsWith(text, "module ") && !startsWith(text, "module procedure")) {
+      pdb::NamespaceItem ns;
+      ns.name = firstIdent(text.substr(7));
+      ns.location = here;
+      module_stack.push_back(out.addNamespace(std::move(ns)));
+    } else if (startsWith(text, "end module")) {
+      if (!module_stack.empty()) module_stack.pop_back();
+    } else if (startsWith(text, "type ") || startsWith(text, "type::") ||
+               startsWith(text, "type ::")) {
+      // Derived type -> class (paper §6 mapping). "type(" is a variable
+      // declaration, not a definition.
+      std::string_view rest = text;
+      rest.remove_prefix(4);
+      while (!rest.empty() && (rest.front() == ' ' || rest.front() == ':'))
+        rest.remove_prefix(1);
+      const std::string name = firstIdent(rest);
+      if (!name.empty() && text.find("type(") != 0) {
+        pdb::ClassItem cls;
+        cls.name = name;
+        cls.kind = "struct";
+        cls.location = here;
+        if (!module_stack.empty())
+          cls.parent = pdb::ItemRef{pdb::ItemKind::Namespace, module_stack.back()};
+        open_type = out.addClass(std::move(cls));
+      }
+    } else if (startsWith(text, "end type")) {
+      if (open_type != 0) {
+        for (auto& cls : out.classes()) {
+          if (cls.id == open_type) cls.extent.body_end = here;
+        }
+        open_type = 0;
+      }
+    } else if (open_type != 0 && text.find("::") != std::string::npos) {
+      // Component declaration inside a derived type: "real :: x".
+      const auto sep = trimmed.find("::");
+      pdb::ClassItem::Member m;
+      m.name = firstIdent(std::string_view(trimmed).substr(sep + 2));
+      m.location = here;
+      m.kind = "var";
+      for (auto& cls : out.classes()) {
+        if (cls.id == open_type && !m.name.empty()) cls.members.push_back(m);
+      }
+    } else if (startsWith(text, "subroutine ")) {
+      startRoutine("subroutine ", false);
+    } else if (text.find("function ") != std::string::npos &&
+               !startsWith(text, "end")) {
+      // "integer function foo(...)" or "function foo(...)".
+      const auto pos = text.find("function ");
+      std::string name = firstIdent(text.substr(pos + 9));
+      if (!name.empty()) {
+        const std::string_view keyword = "function ";
+        (void)keyword;
+        pdb::RoutineItem r;
+        r.name = name;
+        r.location = here;
+        r.kind = "routine";
+        r.linkage = "F90-function";
+        r.defined = true;
+        r.extent.header_begin = here;
+        if (!module_stack.empty())
+          r.parent = pdb::ItemRef{pdb::ItemKind::Namespace, module_stack.back()};
+        const std::uint32_t id = out.addRoutine(std::move(r));
+        routine_by_name[name] = id;
+        routine_stack.push_back({id, {}});
+        if (!module_stack.empty()) {
+          for (auto& ns : out.namespaces()) {
+            if (ns.id == module_stack.back())
+              ns.members.push_back({pdb::ItemKind::Routine, id});
+          }
+        }
+      }
+    } else if (startsWith(text, "end subroutine") ||
+               startsWith(text, "end function")) {
+      // TAU needs exit locations (paper §6): record the body end.
+      if (!routine_stack.empty()) {
+        for (auto& r : out.routines()) {
+          if (r.id == routine_stack.back().id) r.extent.body_end = here;
+        }
+        pending_calls.emplace_back(routine_stack.back().id,
+                                   std::move(routine_stack.back().calls));
+        routine_stack.pop_back();
+      }
+    } else if (startsWith(text, "call ")) {
+      if (!routine_stack.empty()) {
+        const std::string callee = firstIdent(text.substr(5));
+        if (!callee.empty())
+          routine_stack.back().calls.emplace_back(callee, here);
+      }
+    }
+  }
+
+  // Resolve call edges by name (one pass: callees may be defined later).
+  for (auto& [caller_id, calls] : pending_calls) {
+    for (auto& routine : out.routines()) {
+      if (routine.id != caller_id) continue;
+      for (const auto& [callee, pos] : calls) {
+        const auto it = routine_by_name.find(callee);
+        if (it == routine_by_name.end()) continue;
+        routine.calls.push_back({it->second, false, pos});
+      }
+    }
+  }
+  out.reindex();
+  return out;
+}
+
+}  // namespace pdt::frontend

@@ -1,0 +1,25 @@
+// Fortran 90 IL Analyzer stub (paper §6 future work).
+//
+// The paper plans multi-language support: "Fortran derived types and
+// modules will correspond to C++ classes/structs/unions, while Fortran
+// interfaces will correspond to routines"; TAU needs routine entry/exit
+// locations. This line-oriented scanner demonstrates the claim: it emits
+// the same PDB format from Fortran 90 sources — modules as namespaces,
+// derived types as classes, subroutines/functions as routines with
+// positions and static call edges — so every DUCTAPE tool works on
+// Fortran programs unchanged.
+#pragma once
+
+#include <string>
+
+#include "pdb/pdb.h"
+
+namespace pdt::frontend {
+
+/// Scans Fortran 90 source text and produces a program database.
+/// Recognized constructs: module/end module, contains, subroutine/
+/// function (+end), type :: name / end type, call statements, use.
+[[nodiscard]] pdb::PdbFile analyzeFortran(const std::string& file_name,
+                                          const std::string& source);
+
+}  // namespace pdt::frontend

@@ -1,0 +1,61 @@
+#include "frontend/frontend.h"
+
+#include "parse/parser.h"
+
+namespace pdt::frontend {
+
+CompileResult::CompileResult() = default;
+CompileResult::~CompileResult() = default;
+CompileResult::CompileResult(CompileResult&&) noexcept = default;
+CompileResult& CompileResult::operator=(CompileResult&&) noexcept = default;
+
+Frontend::Frontend(SourceManager& sm, DiagnosticEngine& diags,
+                   FrontendOptions options)
+    : sm_(sm), diags_(diags), options_(std::move(options)) {
+  for (const std::string& dir : options_.include_dirs) sm_.addSearchDir(dir);
+}
+
+CompileResult Frontend::compileFile(const std::string& path) {
+  const auto file = sm_.loadFile(path);
+  if (!file) {
+    diags_.error({}, "cannot open input file '" + path + "'");
+    CompileResult result;
+    result.success = false;
+    return result;
+  }
+  return compile(*file);
+}
+
+CompileResult Frontend::compileSource(const std::string& name,
+                                      const std::string& source) {
+  return compile(sm_.addVirtualFile(name, source));
+}
+
+CompileResult Frontend::compile(FileId main_file) {
+  const std::size_t errors_before = diags_.errorCount();
+
+  lex::Preprocessor pp(sm_, diags_);
+  for (const auto& [name, value] : options_.defines) pp.predefineMacro(name, value);
+  pp.enterMainFile(main_file);
+
+  std::vector<lex::Token> tokens;
+  for (lex::Token t = pp.next(); !t.isEnd(); t = pp.next())
+    tokens.push_back(std::move(t));
+
+  CompileResult result;
+  result.ast = std::make_unique<ast::AstContext>();
+  result.sema = std::make_unique<sema::Sema>(*result.ast, sm_, diags_,
+                                             options_.sema);
+  parse::Parser parser(*result.sema, sm_, diags_, std::move(tokens));
+  parser.parseTranslationUnit();
+  result.sema->finalize();
+
+  result.macros = pp.macroRecords();
+  result.includes = pp.includeEdges();
+  result.files = pp.filesSeen();
+  result.main_file = main_file;
+  result.success = diags_.errorCount() == errors_before;
+  return result;
+}
+
+}  // namespace pdt::frontend

@@ -1,0 +1,63 @@
+// Frontend driver: preprocess + parse + semantic analysis in one call —
+// the reproduction's stand-in for the EDG C++ Front End (DESIGN.md §2).
+// Produces the IL tree (AstContext) that the IL Analyzer consumes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/context.h"
+#include "lex/preprocessor.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace pdt::frontend {
+
+struct FrontendOptions {
+  std::vector<std::string> include_dirs;
+  std::vector<std::pair<std::string, std::string>> defines;  // -Dname=value
+  sema::SemaOptions sema;
+};
+
+/// The result of compiling one translation unit: the IL plus the
+/// preprocessor-level records the IL Analyzer needs.
+class CompileResult {
+ public:
+  CompileResult();
+  ~CompileResult();
+  CompileResult(CompileResult&&) noexcept;
+  CompileResult& operator=(CompileResult&&) noexcept;
+
+  std::unique_ptr<ast::AstContext> ast;
+  std::unique_ptr<sema::Sema> sema;
+  std::vector<lex::MacroRecord> macros;
+  std::vector<lex::IncludeEdge> includes;
+  std::vector<FileId> files;  // in first-seen order, main file first
+  FileId main_file;
+  bool success = false;
+};
+
+class Frontend {
+ public:
+  Frontend(SourceManager& sm, DiagnosticEngine& diags, FrontendOptions options = {});
+
+  /// Compiles the file at `path` (disk or previously registered virtual
+  /// file). Diagnostics accumulate in the engine; `success` is false when
+  /// errors occurred.
+  CompileResult compileFile(const std::string& path);
+
+  /// Convenience for tests: registers `source` as a virtual file named
+  /// `name` and compiles it.
+  CompileResult compileSource(const std::string& name, const std::string& source);
+
+ private:
+  CompileResult compile(FileId main_file);
+
+  SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  FrontendOptions options_;
+};
+
+}  // namespace pdt::frontend

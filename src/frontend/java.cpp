@@ -1,0 +1,233 @@
+#include "frontend/java.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "support/text.h"
+
+namespace pdt::frontend {
+namespace {
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+/// Splits a declaration head into whitespace words, dropping an inline
+/// "// comment" tail.
+std::vector<std::string> words(std::string_view line) {
+  if (const auto slash = line.find("//"); slash != std::string_view::npos)
+    line = line.substr(0, slash);
+  std::vector<std::string> out;
+  for (const auto w : splitWhitespace(line)) out.emplace_back(w);
+  return out;
+}
+
+bool isModifier(const std::string& w) {
+  return w == "public" || w == "private" || w == "protected" || w == "static" ||
+         w == "final" || w == "abstract" || w == "synchronized" ||
+         w == "native" || w == "transient" || w == "volatile";
+}
+
+}  // namespace
+
+pdb::PdbFile analyzeJava(const std::string& file_name,
+                         const std::string& source) {
+  pdb::PdbFile out;
+  pdb::SourceFileItem file;
+  file.name = file_name;
+  const std::uint32_t file_id = out.addSourceFile(std::move(file));
+
+  std::uint32_t package_id = 0;  // na item for the package, if any
+  std::unordered_map<std::string, std::uint32_t> class_by_name;
+
+  struct OpenClass {
+    std::uint32_t id = 0;
+    int depth = 0;  // brace depth at which the class body opened
+    std::vector<std::pair<std::string, pdb::Pos>> pending_bases;
+  };
+  std::vector<OpenClass> class_stack;
+
+  struct OpenMethod {
+    std::uint32_t id = 0;
+    int depth = 0;
+  };
+  std::vector<OpenMethod> method_stack;
+  // (class name, base name) edges resolved after the scan.
+  std::vector<std::pair<std::uint32_t, std::string>> base_edges;
+
+  int depth = 0;
+  const auto lines = split(source, '\n');
+  for (std::uint32_t line_no = 1; line_no <= lines.size(); ++line_no) {
+    std::string_view raw = lines[line_no - 1];
+    const std::string_view trimmed = trim(raw);
+    const std::uint32_t col =
+        trimmed.empty()
+            ? 1
+            : static_cast<std::uint32_t>(raw.find_first_not_of(" \t")) + 1;
+    const pdb::Pos here{file_id, line_no, col};
+    const auto ws = words(trimmed);
+
+    // Package declaration -> namespace.
+    if (!ws.empty() && ws[0] == "package" && ws.size() >= 2) {
+      pdb::NamespaceItem ns;
+      ns.name = ws[1];
+      if (!ns.name.empty() && ns.name.back() == ';') ns.name.pop_back();
+      ns.location = here;
+      package_id = out.addNamespace(std::move(ns));
+    }
+
+    // Class / interface declaration.
+    std::size_t kw = 0;
+    while (kw < ws.size() && isModifier(ws[kw])) ++kw;
+    if (kw < ws.size() && (ws[kw] == "class" || ws[kw] == "interface") &&
+        kw + 1 < ws.size()) {
+      pdb::ClassItem cls;
+      cls.name = ws[kw + 1];
+      while (!cls.name.empty() && !isIdentChar(cls.name.back()))
+        cls.name.pop_back();
+      cls.kind = ws[kw] == "interface" ? "interface" : "class";
+      cls.location = here;
+      cls.extent.body_begin = here;
+      if (package_id != 0)
+        cls.parent = pdb::ItemRef{pdb::ItemKind::Namespace, package_id};
+      const std::uint32_t id = out.addClass(std::move(cls));
+      class_by_name[out.classes().back().name] = id;
+      if (package_id != 0) {
+        for (auto& ns : out.namespaces()) {
+          if (ns.id == package_id)
+            ns.members.push_back({pdb::ItemKind::Class, id});
+        }
+      }
+      // extends / implements clauses on the same line.
+      for (std::size_t i = kw + 2; i + 1 < ws.size() + 1 && i < ws.size(); ++i) {
+        if (ws[i] == "extends" || ws[i] == "implements") {
+          for (std::size_t j = i + 1; j < ws.size(); ++j) {
+            if (ws[j] == "implements" || ws[j] == "{") break;
+            std::string base = ws[j];
+            std::erase(base, ',');
+            std::erase(base, '{');
+            if (!base.empty() && base != "extends") base_edges.emplace_back(id, base);
+          }
+        }
+      }
+      class_stack.push_back({id, depth + 1, {}});
+    } else if (!class_stack.empty() && method_stack.empty() &&
+               depth == class_stack.back().depth && ws.size() >= 2 &&
+               trimmed.find('(') != std::string_view::npos &&
+               trimmed.find('=') == std::string_view::npos) {
+      // Method: "[modifiers] ReturnType name(args) {" — or, ending in
+      // ';', an abstract/interface method declaration.
+      std::size_t m = 0;
+      std::string access = "NA";
+      bool is_static = false;
+      bool is_abstract = false;
+      while (m < ws.size() && isModifier(ws[m])) {
+        if (ws[m] == "public") access = "pub";
+        if (ws[m] == "private") access = "priv";
+        if (ws[m] == "protected") access = "prot";
+        if (ws[m] == "static") is_static = true;
+        if (ws[m] == "abstract") is_abstract = true;
+        ++m;
+      }
+      // The method name is the word containing '('.
+      std::string name;
+      for (std::size_t i = m; i < ws.size(); ++i) {
+        if (const auto paren = ws[i].find('('); paren != std::string::npos) {
+          name = ws[i].substr(0, paren);
+          break;
+        }
+      }
+      if (!name.empty() &&
+          std::isalpha(static_cast<unsigned char>(name[0]))) {
+        pdb::RoutineItem r;
+        r.name = name;
+        r.location = here;
+        r.access = access;
+        r.is_static = is_static;
+        r.linkage = "Java";
+        // Constructors share the class name.
+        if (!class_stack.empty()) {
+          const auto* cls = out.findClass(class_stack.back().id);
+          if (cls != nullptr && cls->name == name) r.kind = "ctor";
+          r.parent = pdb::ItemRef{pdb::ItemKind::Class, class_stack.back().id};
+        }
+        r.virtuality = is_abstract ? "pure" : "no";
+        r.defined = trimmed.find('{') != std::string_view::npos;
+        r.extent.header_begin = here;
+        r.extent.body_begin = here;
+        const std::uint32_t id = out.addRoutine(std::move(r));
+        for (auto& cls : out.classes()) {
+          if (cls.id == class_stack.back().id)
+            cls.funcs.push_back({id, here});
+        }
+        if (out.routines().back().defined)
+          method_stack.push_back({id, depth + 1});
+      }
+    } else if (!class_stack.empty() && method_stack.empty() &&
+               depth == class_stack.back().depth && ws.size() >= 2 &&
+               trimmed.ends_with(";") &&
+               trimmed.find('(') == std::string_view::npos) {
+      // Field declaration: "[modifiers] Type name [= init];".
+      std::size_t m = 0;
+      std::string access = "NA";
+      while (m < ws.size() && isModifier(ws[m])) {
+        if (ws[m] == "public") access = "pub";
+        if (ws[m] == "private") access = "priv";
+        if (ws[m] == "protected") access = "prot";
+        ++m;
+      }
+      if (m + 1 < ws.size()) {
+        pdb::ClassItem::Member member;
+        member.name = ws[m + 1];
+        while (!member.name.empty() && !isIdentChar(member.name.back()))
+          member.name.pop_back();
+        member.location = here;
+        member.access = access;
+        member.kind = "var";
+        for (auto& cls : out.classes()) {
+          if (cls.id == class_stack.back().id && !member.name.empty())
+            cls.members.push_back(member);
+        }
+      }
+    }
+
+    // Track brace depth; close methods and classes as their braces close.
+    for (const char c : trimmed) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (!method_stack.empty() && depth < method_stack.back().depth) {
+          for (auto& r : out.routines()) {
+            if (r.id == method_stack.back().id) r.extent.body_end = here;
+          }
+          method_stack.pop_back();
+        }
+        if (!class_stack.empty() && depth < class_stack.back().depth) {
+          for (auto& cls : out.classes()) {
+            if (cls.id == class_stack.back().id) cls.extent.body_end = here;
+          }
+          class_stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Resolve extends/implements edges by name.
+  for (const auto& [cls_id, base_name] : base_edges) {
+    const auto it = class_by_name.find(base_name);
+    if (it == class_by_name.end()) continue;
+    for (auto& cls : out.classes()) {
+      if (cls.id != cls_id) continue;
+      pdb::ClassItem::Base base;
+      base.cls = it->second;
+      base.access = "pub";
+      cls.bases.push_back(base);
+    }
+  }
+  out.reindex();
+  return out;
+}
+
+}  // namespace pdt::frontend

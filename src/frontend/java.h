@@ -1,0 +1,24 @@
+// Java IL Analyzer stub (paper §6 future work).
+//
+// The paper plans a Java IL Analyzer "based on EDG's Java Front End, with
+// the PDB and DUCTAPE enhanced to accommodate Java's constructs". This
+// line-oriented scanner demonstrates the uniform-database claim for the
+// third language: packages become namespaces, classes and interfaces
+// become cl items (with extends/implements as base-class edges), methods
+// become routines with entry/exit positions and modifiers, fields become
+// class members — all through the unchanged PDB/DUCTAPE stack.
+#pragma once
+
+#include <string>
+
+#include "pdb/pdb.h"
+
+namespace pdt::frontend {
+
+/// Scans Java source text and produces a program database. Recognized:
+/// package, class/interface (+extends/implements), methods with
+/// modifiers (public/private/protected/static/abstract/final), fields.
+[[nodiscard]] pdb::PdbFile analyzeJava(const std::string& file_name,
+                                       const std::string& source);
+
+}  // namespace pdt::frontend

@@ -1,0 +1,577 @@
+#include "ilanalyzer/analyzer.h"
+
+#include <functional>
+
+#include "ast/walk.h"
+
+namespace pdt::ilanalyzer {
+
+using namespace ast;
+
+IlAnalyzer::IlAnalyzer(const frontend::CompileResult& result,
+                       const SourceManager& sm, AnalyzerOptions options)
+    : result_(result), sm_(sm), options_(options) {}
+
+pdb::PdbFile analyze(const frontend::CompileResult& result,
+                     const SourceManager& sm, AnalyzerOptions options) {
+  return IlAnalyzer(result, sm, options).analyze();
+}
+
+pdb::PdbFile IlAnalyzer::analyze() {
+  const TranslationUnitDecl* tu = result_.ast->translationUnit();
+  // Separate traversals, as in the paper: ids are assigned kind by kind so
+  // each item kind can reference the others.
+  collectFiles();
+  collectNamespaces(tu);
+  collectTemplates(tu);  // the template list built "in advance"
+  collectClasses(tu);
+  collectEnums(tu);
+  collectRoutines(tu);
+  emitTemplates();
+  emitClasses();
+  emitRoutines();
+  emitNamespaces();
+  emitMacros();
+  out_.reindex();
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+bool IlAnalyzer::isPattern(const Decl* d) const {
+  if (const auto* cls = d->as<ClassDecl>()) {
+    return cls->describing_template != nullptr && cls->instantiated_from == nullptr;
+  }
+  if (const auto* fn = d->as<FunctionDecl>()) {
+    if (fn->describing_template != nullptr && fn->instantiated_from == nullptr &&
+        !fn->is_specialization)
+      return true;
+    // Members of a pattern class are patterns too.
+    if (const ClassDecl* owner = fn->memberOf()) return isPattern(owner);
+  }
+  if (const auto* var = d->as<VarDecl>()) {
+    if (var->parent() != nullptr) {
+      if (const auto* cls = var->parent()->asDecl()->as<ClassDecl>())
+        return isPattern(cls);
+    }
+  }
+  return false;
+}
+
+pdb::Pos IlAnalyzer::pos(SourceLocation loc) const {
+  if (!loc.valid()) return {};
+  const auto it = file_ids_.find(loc.file);
+  if (it == file_ids_.end()) return {};
+  return {it->second, loc.line, loc.column};
+}
+
+pdb::Extent IlAnalyzer::extent(const Decl* d) const {
+  pdb::Extent e;
+  e.header_begin = pos(d->headerExtent().begin);
+  e.header_end = pos(d->headerExtent().end);
+  e.body_begin = pos(d->bodyExtent().begin);
+  e.body_end = pos(d->bodyExtent().end);
+  return e;
+}
+
+std::optional<pdb::ItemRef> IlAnalyzer::parentRef(const Decl* d) const {
+  const DeclContext* parent = d->parent();
+  if (parent == nullptr) return std::nullopt;
+  const Decl* pd = parent->asDecl();
+  if (const auto it = class_ids_.find(pd); it != class_ids_.end())
+    return pdb::ItemRef{pdb::ItemKind::Class, it->second};
+  if (const auto it = namespace_ids_.find(pd); it != namespace_ids_.end())
+    return pdb::ItemRef{pdb::ItemKind::Namespace, it->second};
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> IlAnalyzer::templateOrigin(
+    const TemplateDecl* direct, SourceLocation inst_loc) const {
+  if (options_.use_direct_template_links) {
+    if (direct == nullptr) return std::nullopt;
+    const auto it = template_ids_.find(direct);
+    if (it == template_ids_.end()) return std::nullopt;
+    return it->second;
+  }
+  // The paper's method: scan the pre-built template list for a template
+  // whose source location matches the instantiation's. Instantiations
+  // inherit their pattern's location, so this succeeds for them; explicit
+  // specializations carry their own location and stay unattributed
+  // (the documented limitation of §3.1).
+  const auto it = template_locations_.find(inst_loc);
+  if (it == template_locations_.end()) return std::nullopt;
+  return it->second;
+}
+
+pdb::ItemRef IlAnalyzer::typeRef(const Type* type) {
+  if (type == nullptr) return {pdb::ItemKind::Type, 0};
+  if (const auto* ct = type->as<ClassType>()) {
+    // Figure 3 references classes directly: "cmtype cl#63".
+    const auto it = class_ids_.find(ct->decl());
+    if (it != class_ids_.end()) return {pdb::ItemKind::Class, it->second};
+  }
+  return {pdb::ItemKind::Type, typeId(type)};
+}
+
+std::uint32_t IlAnalyzer::typeId(const Type* type) {
+  if (type == nullptr) return 0;
+  if (const auto it = type_ids_.find(type); it != type_ids_.end())
+    return it->second;
+
+  pdb::TypeItem item;
+  item.name = type->spelling();
+  // Reserve the id before recursing (self-referential types via classes).
+  item.id = out_.addType(item);
+  type_ids_[type] = item.id;
+
+  switch (type->kind()) {
+    case TypeKind::Builtin: {
+      const auto* b = type->as<BuiltinType>();
+      switch (b->builtin()) {
+        case BuiltinKind::Void: item.kind = "void"; break;
+        case BuiltinKind::Bool: item.kind = "bool"; break;
+        case BuiltinKind::Char:
+        case BuiltinKind::SChar:
+        case BuiltinKind::UChar: item.kind = "char"; break;
+        case BuiltinKind::WChar: item.kind = "wchar"; break;
+        case BuiltinKind::Float:
+        case BuiltinKind::Double:
+        case BuiltinKind::LongDouble: item.kind = "float"; break;
+        default: item.kind = "int"; break;
+      }
+      item.ikind = std::string(toString(b->builtin()));
+      break;
+    }
+    case TypeKind::Pointer:
+      item.kind = "ptr";
+      item.ref = typeRef(type->as<PointerType>()->pointee());
+      break;
+    case TypeKind::Reference:
+      item.kind = "ref";
+      item.ref = typeRef(type->as<ReferenceType>()->referee());
+      break;
+    case TypeKind::Qualified: {
+      const auto* q = type->as<QualifiedType>();
+      item.kind = "tref";
+      item.ref = typeRef(q->base());
+      if (q->isConst()) item.qualifiers.push_back("const");
+      if (q->isVolatile()) item.qualifiers.push_back("volatile");
+      break;
+    }
+    case TypeKind::Array: {
+      const auto* a = type->as<ArrayType>();
+      item.kind = "array";
+      item.ref = typeRef(a->element());
+      item.array_size = a->size();
+      break;
+    }
+    case TypeKind::Function: {
+      const auto* f = type->as<FunctionType>();
+      item.kind = "func";
+      item.return_type = typeRef(f->result());
+      for (const Type* p : f->params()) item.params.push_back(typeRef(p));
+      if (f->isConstMember()) item.qualifiers.push_back("const");
+      item.has_ellipsis = f->hasEllipsis();
+      item.has_exception_spec = !f->exceptionSpecs().empty();
+      for (const Type* e : f->exceptionSpecs())
+        item.exception_specs.push_back(typeRef(e));
+      break;
+    }
+    case TypeKind::Class:
+      // Reached only for pattern classes without a cl item: opaque.
+      item.kind = "class";
+      break;
+    case TypeKind::Enum: {
+      item.kind = "enum";
+      const auto* en = type->as<EnumType>()->decl();
+      for (const EnumeratorDecl* e : en->enumerators)
+        item.enumerators.emplace_back(e->name(), e->value);
+      break;
+    }
+    case TypeKind::Typedef: {
+      const auto* td = type->as<TypedefType>();
+      item.kind = "typedef";
+      item.ref = typeRef(td->underlying());
+      break;
+    }
+    case TypeKind::TemplateParam:
+      item.kind = "tparam";
+      break;
+    case TypeKind::TemplateSpecialization:
+      item.kind = "dependent";
+      break;
+  }
+
+  // Update the reserved slot (appended above; recursion may have added
+  // more types after it, so search backwards from the end).
+  for (auto it = out_.types().rbegin(); it != out_.types().rend(); ++it) {
+    if (it->id == item.id) {
+      *it = item;
+      break;
+    }
+  }
+  return item.id;
+}
+
+// ---------------------------------------------------------------------------
+// Traversals
+// ---------------------------------------------------------------------------
+
+void IlAnalyzer::collectFiles() {
+  for (const FileId file : result_.files) {
+    pdb::SourceFileItem item;
+    item.name = sm_.name(file);
+    const std::uint32_t id = out_.addSourceFile(std::move(item));
+    file_ids_[file] = id;
+  }
+  for (const lex::IncludeEdge& edge : result_.includes) {
+    const auto from = file_ids_.find(edge.includer);
+    const auto to = file_ids_.find(edge.includee);
+    if (from == file_ids_.end() || to == file_ids_.end()) continue;
+    for (pdb::SourceFileItem& f : out_.sourceFiles()) {
+      if (f.id == from->second) {
+        f.includes.push_back(to->second);
+        break;
+      }
+    }
+  }
+}
+
+void IlAnalyzer::collectNamespaces(const DeclContext* ctx) {
+  for (const Decl* child : ctx->children()) {
+    if (const auto* ns = child->as<NamespaceDecl>()) {
+      if (!namespace_ids_.contains(ns)) {
+        pdb::NamespaceItem item;
+        item.name = ns->name();
+        namespace_ids_[ns] = out_.addNamespace(std::move(item));
+      }
+      collectNamespaces(ns);
+    } else if (const auto* alias = child->as<NamespaceAliasDecl>()) {
+      pdb::NamespaceItem item;
+      item.name = alias->name();
+      item.alias = alias->target != nullptr ? alias->target->name() : "?";
+      namespace_ids_[alias] = out_.addNamespace(std::move(item));
+    }
+  }
+}
+
+void IlAnalyzer::collectTemplates(const DeclContext* ctx) {
+  for (const Decl* child : ctx->children()) {
+    if (const auto* td = child->as<TemplateDecl>()) {
+      if (!options_.emit_uninstantiated_templates && td->instantiations.empty())
+        continue;
+      pdb::TemplateItem item;
+      item.name = td->name();
+      const std::uint32_t id = out_.addTemplate(std::move(item));
+      template_ids_[td] = id;
+      if (td->location().valid()) template_locations_[td->location()] = id;
+      // Member templates live inside the pattern class; the pattern
+      // member's (definition) location keys the origin scan.
+      if (td->tkind == TemplateKind::Class && td->pattern != nullptr) {
+        template_locations_[td->pattern->location()] = id;
+        collectTemplates(td->pattern->as<ClassDecl>());
+      }
+      if ((td->tkind == TemplateKind::MemberFunc ||
+           td->tkind == TemplateKind::StaticMem ||
+           td->tkind == TemplateKind::Function) &&
+          td->pattern != nullptr) {
+        template_locations_[td->pattern->location()] = id;
+      }
+    } else if (const auto* ns = child->as<NamespaceDecl>()) {
+      collectTemplates(ns);
+    } else if (const auto* cls = child->as<ClassDecl>()) {
+      if (!isPattern(cls)) collectTemplates(cls);
+    }
+  }
+}
+
+void IlAnalyzer::collectClasses(const DeclContext* ctx) {
+  for (const Decl* child : ctx->children()) {
+    if (const auto* cls = child->as<ClassDecl>()) {
+      if (isPattern(cls) || class_ids_.contains(cls)) continue;
+      pdb::ClassItem item;
+      item.name = cls->name();
+      class_ids_[cls] = out_.addClass(std::move(item));
+      collectClasses(cls);  // nested classes
+    } else if (const auto* ns = child->as<NamespaceDecl>()) {
+      collectClasses(ns);
+    }
+  }
+}
+
+void IlAnalyzer::collectEnums(const DeclContext* ctx) {
+  // Enums are TYPES in the PDB (Table 1); intern them even when nothing
+  // else references them so their enumerators are recorded.
+  for (const Decl* child : ctx->children()) {
+    if (const auto* en = child->as<EnumDecl>()) {
+      (void)typeId(result_.ast->enumType(en));
+    } else if (const auto* ns = child->as<NamespaceDecl>()) {
+      collectEnums(ns);
+    } else if (const auto* cls = child->as<ClassDecl>()) {
+      if (!isPattern(cls)) collectEnums(cls);
+    }
+  }
+}
+
+void IlAnalyzer::collectRoutines(const DeclContext* ctx) {
+  for (const Decl* child : ctx->children()) {
+    if (const auto* fn = child->as<FunctionDecl>()) {
+      if (isPattern(fn) || routine_ids_.contains(fn)) continue;
+      pdb::RoutineItem item;
+      item.name = fn->name();
+      routine_ids_[fn] = out_.addRoutine(std::move(item));
+    } else if (const auto* ns = child->as<NamespaceDecl>()) {
+      collectRoutines(ns);
+    } else if (const auto* cls = child->as<ClassDecl>()) {
+      if (!isPattern(cls)) collectRoutines(cls);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+void IlAnalyzer::emitTemplates() {
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t i = 0; i < out_.templates().size(); ++i)
+    index[out_.templates()[i].id] = i;
+  for (const auto& [decl, id] : template_ids_) {
+    const auto* td = decl->as<TemplateDecl>();
+    {
+      pdb::TemplateItem& item = out_.templates()[index.at(id)];
+      item.location = pos(td->location());
+      item.kind = std::string(toString(td->tkind));
+      item.text = td->text;
+      item.parent = parentRef(td);
+      if (td->access() != AccessKind::None)
+        item.access = std::string(toString(td->access()));
+      item.extent = extent(td);
+    }
+  }
+}
+
+void IlAnalyzer::emitClasses() {
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t i = 0; i < out_.classes().size(); ++i)
+    index[out_.classes()[i].id] = i;
+  for (const auto& [decl, id] : class_ids_) {
+    const auto* cls = decl->as<ClassDecl>();
+    {
+      pdb::ClassItem& item = out_.classes()[index.at(id)];
+      item.location = pos(cls->location());
+      item.kind = std::string(toString(cls->tag));
+      item.parent = parentRef(cls);
+      if (cls->access() != AccessKind::None)
+        item.access = std::string(toString(cls->access()));
+      item.is_specialization = cls->is_specialization;
+      if (const auto origin =
+              templateOrigin(cls->instantiated_from, cls->location())) {
+        item.template_id = *origin;
+      }
+      for (const BaseSpecifier& base : cls->bases) {
+        if (base.base == nullptr) continue;
+        const auto it = class_ids_.find(base.base);
+        if (it == class_ids_.end()) continue;
+        pdb::ClassItem::Base b;
+        b.cls = it->second;
+        b.access = std::string(toString(base.access));
+        b.is_virtual = base.is_virtual;
+        item.bases.push_back(std::move(b));
+      }
+      for (const FriendEntry& f : cls->friends) {
+        pdb::ClassItem::Friend pf;
+        pf.is_class = f.is_class;
+        pf.name = f.name;
+        if (f.resolved != nullptr) {
+          if (const auto it = class_ids_.find(f.resolved); it != class_ids_.end())
+            pf.ref = pdb::ItemRef{pdb::ItemKind::Class, it->second};
+          else if (const auto rt = routine_ids_.find(f.resolved);
+                   rt != routine_ids_.end())
+            pf.ref = pdb::ItemRef{pdb::ItemKind::Routine, rt->second};
+        }
+        item.friends.push_back(std::move(pf));
+      }
+      for (const Decl* member : cls->children()) {
+        if (const auto* fn = member->as<FunctionDecl>()) {
+          const auto it = routine_ids_.find(fn);
+          if (it == routine_ids_.end()) continue;
+          item.funcs.push_back({it->second, pos(fn->location())});
+        } else if (const auto* var = member->as<VarDecl>()) {
+          pdb::ClassItem::Member m;
+          m.name = var->name();
+          m.location = pos(var->location());
+          m.access = std::string(toString(var->access()));
+          m.kind = "var";
+          m.type = typeRef(var->type);
+          item.members.push_back(std::move(m));
+        } else if (const auto* tdf = member->as<TypedefDecl>()) {
+          pdb::ClassItem::Member m;
+          m.name = tdf->name();
+          m.location = pos(tdf->location());
+          m.access = std::string(toString(tdf->access()));
+          m.kind = "type";
+          m.type = typeRef(tdf->underlying);
+          item.members.push_back(std::move(m));
+        }
+      }
+      item.extent = extent(cls);
+    }
+  }
+}
+
+void IlAnalyzer::emitRoutines() {
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t i = 0; i < out_.routines().size(); ++i)
+    index[out_.routines()[i].id] = i;
+  for (const auto& [decl, id] : routine_ids_) {
+    const auto* fn = decl->as<FunctionDecl>();
+    {
+      pdb::RoutineItem& item = out_.routines()[index.at(id)];
+      item.location = pos(fn->location());
+      item.parent = parentRef(fn);
+      if (fn->access() != AccessKind::None)
+        item.access = std::string(toString(fn->access()));
+      item.signature = typeId(fn->signature);
+      item.linkage = fn->linkage == Linkage::C ? "C" : "C++";
+      item.storage = fn->storage == StorageClass::Static
+                         ? "static"
+                         : (fn->storage == StorageClass::Extern ? "extern" : "NA");
+      item.virtuality =
+          fn->is_pure_virtual ? "pure" : (fn->is_virtual ? "virt" : "no");
+      switch (fn->fkind) {
+        case FunctionKind::Constructor: item.kind = "ctor"; break;
+        case FunctionKind::Destructor: item.kind = "dtor"; break;
+        case FunctionKind::Conversion: item.kind = "conv"; break;
+        case FunctionKind::Operator: item.kind = "op"; break;
+        case FunctionKind::Normal: item.kind = "routine"; break;
+      }
+      item.is_static = fn->is_static;
+      item.is_inline = fn->is_inline;
+      item.is_explicit = fn->is_explicit;
+      item.is_specialization = fn->is_specialization;
+      item.defined = fn->is_defined;
+      if (const auto origin =
+              templateOrigin(fn->instantiated_from, fn->location())) {
+        item.template_id = *origin;
+      }
+      collectCalls(fn, item);
+      item.extent = extent(fn);
+    }
+  }
+}
+
+void IlAnalyzer::collectCalls(const FunctionDecl* fn, pdb::RoutineItem& item) {
+  const auto addCall = [&](const FunctionDecl* target, bool is_virtual,
+                           SourceLocation loc) {
+    if (target == nullptr) return;
+    const auto it = routine_ids_.find(target);
+    if (it == routine_ids_.end()) return;
+    item.calls.push_back({it->second, is_virtual, pos(loc)});
+  };
+
+  // Constructor initializers are constructor calls (paper §3.1).
+  for (const auto& init : fn->ctor_inits) {
+    addCall(init.resolved_ctor, false, init.location);
+  }
+  if (fn->body == nullptr) return;
+
+  // Recursive walk carrying the enclosing scope's end location so that
+  // destructor calls implied by lifetimes get a calling location.
+  std::function<void(const Stmt*, SourceLocation)> visit =
+      [&](const Stmt* s, SourceLocation scope_end) {
+        if (s == nullptr) return;
+        switch (s->kind()) {
+          case StmtKind::Compound: {
+            const SourceLocation end = s->extent().end;
+            for (const Stmt* c : s->as<CompoundStmt>()->body) visit(c, end);
+            return;
+          }
+          case StmtKind::DeclStatement: {
+            for (const VarDecl* var : s->as<DeclStmt>()->vars) {
+              addCall(var->resolved_ctor, false, var->location());
+              // The destructor runs where the lifetime ends.
+              addCall(var->resolved_dtor, false, scope_end);
+              if (var->init != nullptr) visit(var->init, scope_end);
+              for (const Expr* a : var->ctor_args) visit(a, scope_end);
+            }
+            return;
+          }
+          case StmtKind::Call: {
+            const auto* call = s->as<CallExpr>();
+            addCall(call->resolved, call->is_virtual_call, call->call_location);
+            break;
+          }
+          case StmtKind::Binary: {
+            const auto* bin = s->as<BinaryExpr>();
+            addCall(bin->resolved_operator, false, s->extent().begin);
+            break;
+          }
+          case StmtKind::Index: {
+            const auto* idx = s->as<IndexExpr>();
+            addCall(idx->resolved_operator, false, s->extent().begin);
+            break;
+          }
+          case StmtKind::Construct: {
+            const auto* c = s->as<ConstructExpr>();
+            addCall(c->ctor, false, s->extent().begin);
+            break;
+          }
+          case StmtKind::New: {
+            const auto* n = s->as<NewExpr>();
+            addCall(n->ctor, false, s->extent().begin);
+            break;
+          }
+          case StmtKind::Delete: {
+            const auto* d = s->as<DeleteExpr>();
+            addCall(d->dtor, false, s->extent().begin);
+            break;
+          }
+          default:
+            break;
+        }
+        forEachChild(s, [&](const Stmt* child) { visit(child, scope_end); });
+      };
+  visit(fn->body, fn->bodyExtent().end);
+}
+
+void IlAnalyzer::emitNamespaces() {
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t i = 0; i < out_.namespaces().size(); ++i)
+    index[out_.namespaces()[i].id] = i;
+  for (const auto& [decl, id] : namespace_ids_) {
+    {
+      pdb::NamespaceItem& item = out_.namespaces()[index.at(id)];
+      item.location = pos(decl->location());
+      if (const auto* ns = decl->as<NamespaceDecl>()) {
+        for (const Decl* member : ns->children()) {
+          if (const auto it = routine_ids_.find(member); it != routine_ids_.end())
+            item.members.push_back({pdb::ItemKind::Routine, it->second});
+          else if (const auto ct = class_ids_.find(member); ct != class_ids_.end())
+            item.members.push_back({pdb::ItemKind::Class, ct->second});
+          else if (const auto nt = namespace_ids_.find(member);
+                   nt != namespace_ids_.end())
+            item.members.push_back({pdb::ItemKind::Namespace, nt->second});
+          else if (const auto tt = template_ids_.find(member);
+                   tt != template_ids_.end())
+            item.members.push_back({pdb::ItemKind::Template, tt->second});
+        }
+      }
+    }
+  }
+}
+
+void IlAnalyzer::emitMacros() {
+  for (const lex::MacroRecord& record : result_.macros) {
+    pdb::MacroItem item;
+    item.name = record.name;
+    item.location = pos(record.location);
+    item.kind = record.kind == lex::MacroRecord::Kind::Define ? "def" : "undef";
+    item.text = record.text;
+    out_.addMacro(std::move(item));
+  }
+}
+
+}  // namespace pdt::ilanalyzer

@@ -1,0 +1,282 @@
+#include "lex/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace pdt::lex {
+namespace {
+
+const std::unordered_set<std::string_view>& keywordTable() {
+  static const std::unordered_set<std::string_view> table = {
+      "bool", "break", "case", "catch", "char", "class", "const",
+      "continue", "default", "delete", "do", "double", "else", "enum",
+      "explicit", "extern", "false", "float", "for", "friend", "goto",
+      "if", "inline", "int", "long", "mutable", "namespace", "new",
+      "operator", "private", "protected", "public", "register", "return",
+      "short", "signed", "sizeof", "static", "struct", "switch",
+      "template", "this", "throw", "true", "try", "typedef", "typeid",
+      "typename", "union", "unsigned", "using", "virtual", "void",
+      "volatile", "wchar_t", "while"};
+  return table;
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+constexpr std::array<std::string_view, 21> kLongPuncts = {
+    "<<=", ">>=", "->*", "...", "::", "->", ".*", "##", "++", "--",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*="};
+constexpr std::array<std::string_view, 4> kLongPuncts2 = {"/=", "%=", "^=",
+                                                          "&="};
+constexpr std::array<std::string_view, 1> kLongPuncts3 = {"|="};
+
+}  // namespace
+
+std::string_view toString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "end-of-file";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Keyword: return "keyword";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::CharLiteral: return "character literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::Punct: return "punctuation";
+    case TokenKind::HeaderName: return "header name";
+  }
+  return "unknown";
+}
+
+bool isKeywordSpelling(std::string_view spelling) {
+  return keywordTable().contains(spelling);
+}
+
+RawLexer::RawLexer(FileId file, std::string_view content, DiagnosticEngine& diags)
+    : file_(file), content_(content), diags_(diags) {}
+
+char RawLexer::peek(std::size_t ahead) const {
+  // Line splices (backslash-newline) are invisible to peek(0)/peek(1) only
+  // through advance(); for lookahead we do a cheap local skip.
+  std::size_t p = pos_;
+  for (std::size_t n = 0;; ++n) {
+    while (p + 1 < content_.size() && content_[p] == '\\' &&
+           (content_[p + 1] == '\n' ||
+            (content_[p + 1] == '\r' && p + 2 < content_.size() &&
+             content_[p + 2] == '\n'))) {
+      p += content_[p + 1] == '\r' ? 3 : 2;
+    }
+    if (n == ahead) break;
+    if (p >= content_.size()) return '\0';
+    ++p;
+  }
+  return p < content_.size() ? content_[p] : '\0';
+}
+
+void RawLexer::advance() {
+  // Consume splices so that logical characters flow continuously.
+  while (pos_ + 1 < content_.size() && content_[pos_] == '\\' &&
+         (content_[pos_ + 1] == '\n' ||
+          (content_[pos_ + 1] == '\r' && pos_ + 2 < content_.size() &&
+           content_[pos_ + 2] == '\n'))) {
+    pos_ += content_[pos_ + 1] == '\r' ? 3 : 2;
+    ++line_;
+    column_ = 1;
+  }
+  if (pos_ >= content_.size()) return;
+  if (content_[pos_] == '\n') {
+    ++line_;
+    column_ = 1;
+    at_line_start_ = true;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+SourceLocation RawLexer::currentLocation() const { return {file_, line_, column_}; }
+
+bool RawLexer::skipWhitespaceAndComments() {
+  bool skipped = false;
+  while (pos_ < content_.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f') {
+      advance();
+      skipped = true;
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < content_.size() && peek() != '\n') advance();
+      skipped = true;
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLocation begin = currentLocation();
+      advance();
+      advance();
+      while (pos_ < content_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (pos_ >= content_.size()) {
+        diags_.error(begin, "unterminated /* comment");
+      } else {
+        advance();
+        advance();
+      }
+      skipped = true;
+    } else {
+      break;
+    }
+  }
+  return skipped;
+}
+
+void RawLexer::skipToEndOfLine() {
+  // Respects splices: a directive continued with '\' spans lines.
+  while (pos_ < content_.size() && content_[pos_] != '\n') {
+    if (content_[pos_] == '\\' && pos_ + 1 < content_.size() &&
+        (content_[pos_ + 1] == '\n' || content_[pos_ + 1] == '\r')) {
+      advance();  // consumes the splice
+      continue;
+    }
+    advance();
+  }
+}
+
+Token RawLexer::makeToken(TokenKind kind, std::size_t begin_pos,
+                          SourceLocation begin_loc) {
+  Token t;
+  t.kind = kind;
+  t.text.assign(content_.substr(begin_pos, pos_ - begin_pos));
+  // Remove any splices embedded in the raw spelling.
+  if (t.text.find('\\') != std::string::npos) {
+    std::string clean;
+    clean.reserve(t.text.size());
+    for (std::size_t i = 0; i < t.text.size(); ++i) {
+      if (t.text[i] == '\\' && i + 1 < t.text.size() &&
+          (t.text[i + 1] == '\n' || t.text[i + 1] == '\r')) {
+        while (i + 1 < t.text.size() && t.text[i + 1] != '\n') ++i;
+        ++i;
+        continue;
+      }
+      clean.push_back(t.text[i]);
+    }
+    t.text = std::move(clean);
+  }
+  t.location = begin_loc;
+  return t;
+}
+
+Token RawLexer::next() {
+  const bool had_space = skipWhitespaceAndComments();
+  const bool starts_line = at_line_start_;
+  at_line_start_ = false;
+
+  if (pos_ >= content_.size()) {
+    Token t;
+    t.kind = TokenKind::End;
+    t.location = currentLocation();
+    t.start_of_line = starts_line;
+    return t;
+  }
+
+  const SourceLocation begin = currentLocation();
+  const std::size_t begin_pos = pos_;
+  const char c = peek();
+
+  Token t;
+  if (header_name_mode_ && c == '<') {
+    advance();
+    while (pos_ < content_.size() && peek() != '>' && peek() != '\n') advance();
+    if (peek() == '>') advance();
+    t = makeToken(TokenKind::HeaderName, begin_pos, begin);
+  } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+             (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    t = lexNumber(begin);
+  } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    t = lexIdentifier(begin);
+  } else if (c == '"' || c == '\'') {
+    t = lexCharOrString(c, begin);
+  } else {
+    t = lexPunct(begin);
+  }
+  t.start_of_line = starts_line;
+  t.leading_space = had_space;
+  return t;
+}
+
+Token RawLexer::lexNumber(SourceLocation begin) {
+  const std::size_t begin_pos = pos_;
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.' && peek(1) != '.') {  // not the '...' punctuator
+      is_float = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      if (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+          ((peek(1) == '+' || peek(1) == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        is_float = true;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+    }
+  }
+  while (std::isalpha(static_cast<unsigned char>(peek()))) advance();  // suffixes
+  return makeToken(is_float ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   begin_pos, begin);
+}
+
+Token RawLexer::lexIdentifier(SourceLocation begin) {
+  const std::size_t begin_pos = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+  Token t = makeToken(TokenKind::Identifier, begin_pos, begin);
+  if (isKeywordSpelling(t.text)) t.kind = TokenKind::Keyword;
+  return t;
+}
+
+Token RawLexer::lexCharOrString(char quote, SourceLocation begin) {
+  const std::size_t begin_pos = pos_;
+  advance();  // opening quote
+  while (pos_ < content_.size() && peek() != quote && peek() != '\n') {
+    if (peek() == '\\' && peek(1) != '\0') advance();  // escape
+    advance();
+  }
+  if (peek() == quote) {
+    advance();
+  } else {
+    diags_.error(begin, quote == '"' ? "unterminated string literal"
+                                     : "unterminated character literal");
+  }
+  return makeToken(quote == '"' ? TokenKind::StringLiteral : TokenKind::CharLiteral,
+                   begin_pos, begin);
+}
+
+Token RawLexer::lexPunct(SourceLocation begin) {
+  const std::size_t begin_pos = pos_;
+  const auto tryMatch = [&](std::string_view p) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (peek(i) != p[i]) return false;
+    }
+    for (std::size_t i = 0; i < p.size(); ++i) advance();
+    return true;
+  };
+  bool matched = false;
+  for (const auto p : kLongPuncts) {
+    if ((matched = tryMatch(p))) break;
+  }
+  if (!matched) {
+    for (const auto p : kLongPuncts2) {
+      if ((matched = tryMatch(p))) break;
+    }
+  }
+  if (!matched) {
+    for (const auto p : kLongPuncts3) {
+      if ((matched = tryMatch(p))) break;
+    }
+  }
+  if (!matched) advance();  // single character
+  return makeToken(TokenKind::Punct, begin_pos, begin);
+}
+
+}  // namespace pdt::lex

@@ -1,0 +1,54 @@
+// RawLexer: turns one file's character stream into tokens, including the
+// '#' that begins preprocessor directives. Comments and line splices are
+// handled here; directives and macros are the Preprocessor's job.
+#pragma once
+
+#include <string_view>
+
+#include "lex/token.h"
+#include "support/diagnostics.h"
+#include "support/source_location.h"
+
+namespace pdt::lex {
+
+class RawLexer {
+ public:
+  RawLexer(FileId file, std::string_view content, DiagnosticEngine& diags);
+
+  /// Lexes the next token; returns kind End at end of file.
+  Token next();
+
+  /// When true, '<...>' after #include is lexed as a single HeaderName.
+  void setHeaderNameMode(bool on) { header_name_mode_ = on; }
+
+  /// Skips to the first character of the next line (used to discard the
+  /// rest of a malformed directive).
+  void skipToEndOfLine();
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= content_.size(); }
+  [[nodiscard]] SourceLocation currentLocation() const;
+  [[nodiscard]] FileId file() const { return file_; }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  void advance();
+  bool skipWhitespaceAndComments();  // returns true if whitespace was skipped
+
+  Token makeToken(TokenKind kind, std::size_t begin_pos, SourceLocation begin_loc);
+  Token lexNumber(SourceLocation begin);
+  Token lexIdentifier(SourceLocation begin);
+  Token lexCharOrString(char quote, SourceLocation begin);
+  Token lexPunct(SourceLocation begin);
+
+  FileId file_;
+  std::string_view content_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+  bool at_line_start_ = true;
+  bool pending_space_ = false;
+  bool header_name_mode_ = false;
+};
+
+}  // namespace pdt::lex

@@ -1,0 +1,817 @@
+#include "lex/preprocessor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pdt::lex {
+namespace {
+
+/// Reconstructs readable text from tokens ("#define MAX(a, b) ..." style).
+std::string joinTokens(const std::vector<Token>& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0 && tokens[i].leading_space) out.push_back(' ');
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+Token makeEndToken() {
+  Token t;
+  t.kind = TokenKind::End;
+  return t;
+}
+
+}  // namespace
+
+Preprocessor::Preprocessor(SourceManager& sm, DiagnosticEngine& diags)
+    : sm_(sm), diags_(diags) {}
+
+Preprocessor::~Preprocessor() = default;
+
+void Preprocessor::enterMainFile(FileId main_file) {
+  assert(file_stack_.empty());
+  FileState fs;
+  fs.lexer = std::make_unique<RawLexer>(main_file, sm_.content(main_file), diags_);
+  fs.file = main_file;
+  fs.cond_depth_at_entry = 0;
+  file_stack_.push_back(std::move(fs));
+  files_seen_.push_back(main_file);
+  entered_files_.insert(main_file);
+}
+
+void Preprocessor::predefineMacro(const std::string& name, const std::string& value) {
+  Macro m;
+  m.name = name;
+  RawLexer lx(FileId{}, value, diags_);
+  for (Token t = lx.next(); !t.isEnd(); t = lx.next()) m.body.push_back(t);
+  macros_[name] = std::move(m);
+}
+
+// ---------------------------------------------------------------------------
+// Raw token plumbing
+// ---------------------------------------------------------------------------
+
+Token Preprocessor::rawNext() {
+  while (!file_stack_.empty()) {
+    FileState& fs = file_stack_.back();
+    Token t;
+    if (fs.lookahead) {
+      t = *fs.lookahead;
+      fs.lookahead.reset();
+    } else {
+      t = fs.lexer->next();
+    }
+    if (t.isEnd()) {
+      popFile();
+      continue;
+    }
+    return t;
+  }
+  return makeEndToken();
+}
+
+void Preprocessor::popFile() {
+  assert(!file_stack_.empty());
+  const FileState& fs = file_stack_.back();
+  if (static_cast<int>(cond_stack_.size()) != fs.cond_depth_at_entry) {
+    diags_.error({fs.file, 1, 1}, "unterminated #if in '" + sm_.name(fs.file) + "'");
+    cond_stack_.resize(static_cast<std::size_t>(fs.cond_depth_at_entry));
+  }
+  entered_files_.erase(fs.file);
+  file_stack_.pop_back();
+}
+
+std::vector<Token> Preprocessor::readDirectiveLine() {
+  std::vector<Token> line;
+  if (file_stack_.empty()) return line;
+  FileState& fs = file_stack_.back();
+  while (true) {
+    Token t;
+    if (fs.lookahead) {
+      t = *fs.lookahead;
+      fs.lookahead.reset();
+    } else {
+      t = fs.lexer->next();
+    }
+    if (t.isEnd()) break;
+    if (t.start_of_line) {
+      fs.lookahead = t;
+      break;
+    }
+    line.push_back(std::move(t));
+  }
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------------
+
+void Preprocessor::handleDirective(const Token& hash) {
+  FileState& fs = file_stack_.back();
+  // Read the directive name (must be on the same line as '#').
+  Token name = fs.lookahead ? *fs.lookahead : fs.lexer->next();
+  fs.lookahead.reset();
+  if (name.isEnd() || name.start_of_line) {
+    if (!name.isEnd()) fs.lookahead = name;  // null directive: bare '#'
+    return;
+  }
+  const std::string directive = name.text;
+
+  if (directive == "include") {
+    fs.lexer->setHeaderNameMode(true);
+    std::vector<Token> line = readDirectiveLine();
+    fs.lexer->setHeaderNameMode(false);
+    handleInclude(std::move(line), hash.location);
+  } else if (directive == "define") {
+    handleDefine(readDirectiveLine(), hash.location);
+  } else if (directive == "undef") {
+    handleUndef(readDirectiveLine(), hash.location);
+  } else if (directive == "if" || directive == "ifdef" || directive == "ifndef") {
+    handleConditional(directive, readDirectiveLine(), hash.location);
+  } else if (directive == "elif" || directive == "else") {
+    // We were processing the taken branch of this chain; everything until
+    // the matching #endif is now dead.
+    readDirectiveLine();
+    if (cond_stack_.empty()) {
+      diags_.error(hash.location, "#" + directive + " without matching #if");
+      return;
+    }
+    skipToElseOrEndif(/*allow_else=*/false);
+  } else if (directive == "endif") {
+    readDirectiveLine();
+    if (cond_stack_.empty()) {
+      diags_.error(hash.location, "#endif without matching #if");
+      return;
+    }
+    cond_stack_.pop_back();
+  } else if (directive == "pragma") {
+    const std::vector<Token> line = readDirectiveLine();
+    if (!line.empty() && line[0].isIdentifier("once"))
+      pragma_once_files_.insert(fs.file);
+  } else if (directive == "error") {
+    diags_.error(hash.location, "#error " + joinTokens(readDirectiveLine()));
+  } else if (directive == "warning") {
+    diags_.warning(hash.location, "#warning " + joinTokens(readDirectiveLine()));
+  } else if (directive == "line") {
+    readDirectiveLine();  // accepted and ignored; PDB keeps physical lines
+  } else {
+    diags_.warning(hash.location, "unknown directive #" + directive + " ignored");
+    readDirectiveLine();
+  }
+}
+
+void Preprocessor::handleInclude(std::vector<Token> line, SourceLocation loc) {
+  if (line.empty()) {
+    diags_.error(loc, "#include expects a file name");
+    return;
+  }
+  std::string spelling;
+  bool angled = false;
+  if (line[0].is(TokenKind::HeaderName)) {
+    angled = true;
+    spelling = line[0].text.substr(1, line[0].text.size() - 2);
+  } else if (line[0].is(TokenKind::StringLiteral)) {
+    spelling = line[0].text.substr(1, line[0].text.size() - 2);
+  } else {
+    diags_.error(loc, "#include expects \"file\" or <file>");
+    return;
+  }
+
+  const FileId includer = file_stack_.back().file;
+  const auto target = sm_.resolveInclude(spelling, angled, includer);
+  if (!target) {
+    diags_.error(loc, "cannot open include file '" + spelling + "'");
+    return;
+  }
+  include_edges_.push_back({includer, *target, loc});
+  if (std::find(files_seen_.begin(), files_seen_.end(), *target) ==
+      files_seen_.end()) {
+    files_seen_.push_back(*target);
+  }
+  if (pragma_once_files_.contains(*target)) return;
+  if (entered_files_.contains(*target)) {
+    diags_.warning(loc, "circular #include of '" + spelling + "' skipped");
+    return;
+  }
+
+  FileState fs;
+  fs.lexer = std::make_unique<RawLexer>(*target, sm_.content(*target), diags_);
+  fs.file = *target;
+  fs.cond_depth_at_entry = static_cast<int>(cond_stack_.size());
+  file_stack_.push_back(std::move(fs));
+  entered_files_.insert(*target);
+}
+
+void Preprocessor::handleDefine(std::vector<Token> line, SourceLocation loc) {
+  if (line.empty() || !(line[0].is(TokenKind::Identifier) ||
+                        line[0].is(TokenKind::Keyword))) {
+    diags_.error(loc, "#define expects a macro name");
+    return;
+  }
+  Macro m;
+  m.name = line[0].text;
+  m.location = line[0].location;
+  std::size_t i = 1;
+  if (i < line.size() && line[i].isPunct("(") && !line[i].leading_space) {
+    m.function_like = true;
+    ++i;
+    bool expect_name = true;
+    while (i < line.size() && !line[i].isPunct(")")) {
+      if (expect_name && line[i].is(TokenKind::Identifier)) {
+        m.params.push_back(line[i].text);
+        expect_name = false;
+      } else if (!expect_name && line[i].isPunct(",")) {
+        expect_name = true;
+      } else {
+        diags_.error(line[i].location, "malformed macro parameter list");
+        return;
+      }
+      ++i;
+    }
+    if (i >= line.size()) {
+      diags_.error(loc, "missing ')' in macro parameter list");
+      return;
+    }
+    ++i;  // consume ')'
+  }
+  m.body.assign(line.begin() + static_cast<std::ptrdiff_t>(i), line.end());
+  if (!m.body.empty()) m.body.front().leading_space = false;
+
+  MacroRecord rec;
+  rec.kind = MacroRecord::Kind::Define;
+  rec.name = m.name;
+  rec.location = m.location;
+  rec.function_like = m.function_like;
+  rec.text = "#define " + joinTokens(line);
+  macro_records_.push_back(std::move(rec));
+
+  macros_[m.name] = std::move(m);
+}
+
+void Preprocessor::handleUndef(std::vector<Token> line, SourceLocation loc) {
+  if (line.empty()) {
+    diags_.error(loc, "#undef expects a macro name");
+    return;
+  }
+  MacroRecord rec;
+  rec.kind = MacroRecord::Kind::Undefine;
+  rec.name = line[0].text;
+  rec.location = line[0].location;
+  rec.text = "#undef " + line[0].text;
+  macro_records_.push_back(std::move(rec));
+  macros_.erase(line[0].text);
+}
+
+void Preprocessor::handleConditional(const std::string& kind,
+                                     std::vector<Token> line, SourceLocation loc) {
+  bool value = false;
+  if (kind == "ifdef" || kind == "ifndef") {
+    if (line.empty()) {
+      diags_.error(loc, "#" + kind + " expects a macro name");
+    } else {
+      value = macros_.contains(line[0].text);
+    }
+    if (kind == "ifndef") value = !value;
+  } else {
+    value = evaluateCondition(std::move(line), loc);
+  }
+  cond_stack_.push_back({value, value, false});
+  if (!value) skipToElseOrEndif(/*allow_else=*/true);
+}
+
+void Preprocessor::skipToElseOrEndif(bool allow_else) {
+  // Consume raw tokens of the dead region, honoring nesting. Runs within
+  // the current file only: conditionals may not straddle file boundaries.
+  FileState& fs = file_stack_.back();
+  int depth = 0;
+  while (true) {
+    Token t;
+    if (fs.lookahead) {
+      t = *fs.lookahead;
+      fs.lookahead.reset();
+    } else {
+      t = fs.lexer->next();
+    }
+    if (t.isEnd()) {
+      diags_.error(fs.lexer->currentLocation(), "unterminated conditional block");
+      cond_stack_.pop_back();
+      return;
+    }
+    if (!(t.isPunct("#") && t.start_of_line)) continue;
+
+    Token name = fs.lookahead ? *fs.lookahead : fs.lexer->next();
+    fs.lookahead.reset();
+    if (name.isEnd()) continue;
+    if (name.start_of_line) {
+      fs.lookahead = name;
+      continue;
+    }
+    std::vector<Token> line = readDirectiveLine();
+
+    if (name.text == "if" || name.text == "ifdef" || name.text == "ifndef") {
+      ++depth;
+    } else if (name.text == "endif") {
+      if (depth == 0) {
+        cond_stack_.pop_back();
+        return;
+      }
+      --depth;
+    } else if (depth == 0 && allow_else && !cond_stack_.back().seen_else) {
+      if (name.text == "elif") {
+        if (!cond_stack_.back().taken &&
+            evaluateCondition(std::move(line), name.location)) {
+          cond_stack_.back().taken = true;
+          cond_stack_.back().active = true;
+          return;  // resume normal processing in this branch
+        }
+      } else if (name.text == "else") {
+        cond_stack_.back().seen_else = true;
+        if (!cond_stack_.back().taken) {
+          cond_stack_.back().taken = true;
+          cond_stack_.back().active = true;
+          return;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// #if expression evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal recursive-descent evaluator over preprocessed integer tokens.
+class CondParser {
+ public:
+  CondParser(const std::vector<Token>& toks, DiagnosticEngine& diags,
+             SourceLocation loc)
+      : toks_(toks), diags_(diags), loc_(loc) {}
+
+  long long parse() { return parseTernary(); }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  const Token* peek() const { return i_ < toks_.size() ? &toks_[i_] : nullptr; }
+  bool eatPunct(std::string_view p) {
+    if (peek() && peek()->isPunct(p)) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  void fail(const std::string& why) {
+    if (!failed_) diags_.error(loc_, "in #if expression: " + why);
+    failed_ = true;
+  }
+
+  long long parsePrimary() {
+    const Token* t = peek();
+    if (!t) {
+      fail("unexpected end of expression");
+      return 0;
+    }
+    if (t->is(TokenKind::IntLiteral)) {
+      ++i_;
+      std::string digits = t->text;
+      while (!digits.empty() &&
+             (digits.back() == 'l' || digits.back() == 'L' ||
+              digits.back() == 'u' || digits.back() == 'U'))
+        digits.pop_back();
+      return std::stoll(digits, nullptr, 0);
+    }
+    if (t->is(TokenKind::CharLiteral)) {
+      ++i_;
+      return t->text.size() >= 3 ? static_cast<long long>(t->text[1]) : 0;
+    }
+    if (t->isKeyword("true")) {
+      ++i_;
+      return 1;
+    }
+    if (t->isKeyword("false")) {
+      ++i_;
+      return 0;
+    }
+    if (t->is(TokenKind::Identifier) || t->is(TokenKind::Keyword)) {
+      ++i_;  // undefined identifiers evaluate to 0 (C++ rule)
+      return 0;
+    }
+    if (eatPunct("(")) {
+      const long long v = parseTernary();
+      if (!eatPunct(")")) fail("expected ')'");
+      return v;
+    }
+    if (eatPunct("!")) return parsePrimary() == 0 ? 1 : 0;
+    if (eatPunct("~")) return ~parsePrimary();
+    if (eatPunct("-")) return -parsePrimary();
+    if (eatPunct("+")) return parsePrimary();
+    fail("unexpected token '" + t->text + "'");
+    ++i_;
+    return 0;
+  }
+
+  long long parseBinary(int min_prec) {
+    long long lhs = parsePrimary();
+    while (const Token* t = peek()) {
+      if (!t->is(TokenKind::Punct)) break;
+      const int prec = precedence(t->text);
+      if (prec < min_prec) break;
+      const std::string op = t->text;
+      ++i_;
+      const long long rhs = parseBinary(prec + 1);
+      lhs = apply(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  long long parseTernary() {
+    const long long cond = parseBinary(1);
+    if (eatPunct("?")) {
+      const long long a = parseTernary();
+      if (!eatPunct(":")) fail("expected ':'");
+      const long long b = parseTernary();
+      return cond ? a : b;
+    }
+    return cond;
+  }
+
+  static int precedence(std::string_view op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    return 0;
+  }
+
+  long long apply(std::string_view op, long long a, long long b) {
+    if (op == "||") return (a != 0 || b != 0) ? 1 : 0;
+    if (op == "&&") return (a != 0 && b != 0) ? 1 : 0;
+    if (op == "|") return a | b;
+    if (op == "^") return a ^ b;
+    if (op == "&") return a & b;
+    if (op == "==") return a == b ? 1 : 0;
+    if (op == "!=") return a != b ? 1 : 0;
+    if (op == "<") return a < b ? 1 : 0;
+    if (op == ">") return a > b ? 1 : 0;
+    if (op == "<=") return a <= b ? 1 : 0;
+    if (op == ">=") return a >= b ? 1 : 0;
+    if (op == "<<") return a << (b & 63);
+    if (op == ">>") return a >> (b & 63);
+    if (op == "+") return a + b;
+    if (op == "-") return a - b;
+    if (op == "*") return a * b;
+    if (op == "/") {
+      if (b == 0) {
+        fail("division by zero");
+        return 0;
+      }
+      return a / b;
+    }
+    if (op == "%") {
+      if (b == 0) {
+        fail("modulo by zero");
+        return 0;
+      }
+      return a % b;
+    }
+    fail("unsupported operator '" + std::string(op) + "'");
+    return 0;
+  }
+
+  const std::vector<Token>& toks_;
+  DiagnosticEngine& diags_;
+  SourceLocation loc_;
+  std::size_t i_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+bool Preprocessor::evaluateCondition(std::vector<Token> line, SourceLocation loc) {
+  // Resolve `defined X` / `defined(X)` before macro expansion.
+  std::vector<Token> resolved;
+  resolved.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i].isIdentifier("defined")) {
+      std::string name;
+      if (i + 1 < line.size() && line[i + 1].isPunct("(")) {
+        if (i + 3 < line.size() && line[i + 3].isPunct(")")) {
+          name = line[i + 2].text;
+          i += 3;
+        } else {
+          diags_.error(loc, "malformed defined()");
+        }
+      } else if (i + 1 < line.size()) {
+        name = line[i + 1].text;
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::IntLiteral;
+      t.text = macros_.contains(name) ? "1" : "0";
+      t.location = line[i].location;
+      resolved.push_back(std::move(t));
+    } else {
+      resolved.push_back(std::move(line[i]));
+    }
+  }
+  const std::vector<Token> expanded = expandTokenList(resolved, {});
+  CondParser parser(expanded, diags_, loc);
+  const long long value = parser.parse();
+  return !parser.failed() && value != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Macro expansion
+// ---------------------------------------------------------------------------
+
+bool Preprocessor::shouldExpand(const Token& tok,
+                                const std::unordered_set<std::string>& active) const {
+  return (tok.is(TokenKind::Identifier)) && !tok.no_expand &&
+         macros_.contains(tok.text) && !active.contains(tok.text);
+}
+
+std::optional<std::vector<std::vector<Token>>> Preprocessor::collectArgsFromList(
+    const std::vector<Token>& tokens, std::size_t& index) {
+  // tokens[index] must be '('. Returns the comma-separated args, leaving
+  // index one past the closing ')'. nullopt on imbalance.
+  assert(index < tokens.size() && tokens[index].isPunct("("));
+  std::vector<std::vector<Token>> args(1);
+  int depth = 1;
+  std::size_t i = index + 1;
+  for (; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.isPunct("(")) {
+      ++depth;
+    } else if (t.isPunct(")")) {
+      if (--depth == 0) {
+        index = i + 1;
+        if (args.size() == 1 && args[0].empty()) args.clear();  // zero args
+        return args;
+      }
+    } else if (t.isPunct(",") && depth == 1) {
+      args.emplace_back();
+      continue;
+    }
+    args.back().push_back(t);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::vector<Token>>>
+Preprocessor::collectArgsFromStream() {
+  // The caller consumed the macro name; the '(' (if any) is next.
+  Token open = [&] {
+    if (!pending_.empty()) {
+      Token t = pending_.front();
+      pending_.pop_front();
+      return t;
+    }
+    return rawNext();
+  }();
+  if (!open.isPunct("(")) {
+    pending_.push_front(open);
+    return std::nullopt;
+  }
+  std::vector<std::vector<Token>> args(1);
+  int depth = 1;
+  while (true) {
+    Token t;
+    if (!pending_.empty()) {
+      t = pending_.front();
+      pending_.pop_front();
+    } else {
+      t = rawNext();
+      if (t.isPunct("#") && t.start_of_line) {
+        handleDirective(t);
+        continue;
+      }
+    }
+    if (t.isEnd()) return std::nullopt;
+    if (t.isPunct("(")) {
+      ++depth;
+    } else if (t.isPunct(")")) {
+      if (--depth == 0) {
+        if (args.size() == 1 && args[0].empty()) args.clear();
+        return args;
+      }
+    } else if (t.isPunct(",") && depth == 1) {
+      args.emplace_back();
+      continue;
+    }
+    args.back().push_back(std::move(t));
+  }
+}
+
+std::vector<Token> Preprocessor::expandMacroUse(
+    const Macro& macro, const Token& name_tok,
+    std::vector<std::vector<Token>> args, std::unordered_set<std::string> active) {
+  const auto paramIndex = [&](const Token& t) -> int {
+    if (!t.is(TokenKind::Identifier)) return -1;
+    for (std::size_t p = 0; p < macro.params.size(); ++p) {
+      if (macro.params[p] == t.text) return static_cast<int>(p);
+    }
+    return -1;
+  };
+
+  // Pre-expand arguments once (used for plain substitution sites).
+  std::vector<std::vector<Token>> expanded_args;
+  expanded_args.reserve(args.size());
+  for (const auto& a : args) expanded_args.push_back(expandTokenList(a, active));
+
+  // Phase 1: parameter substitution with # and ## handling.
+  std::vector<Token> subst;
+  const std::vector<Token>& body = macro.body;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Token& t = body[i];
+    if (t.isPunct("#") && macro.function_like && i + 1 < body.size() &&
+        paramIndex(body[i + 1]) >= 0) {
+      // Stringize: raw (unexpanded) argument spelling.
+      const int p = paramIndex(body[i + 1]);
+      Token s;
+      s.kind = TokenKind::StringLiteral;
+      s.text = "\"" + joinTokens(args[static_cast<std::size_t>(p)]) + "\"";
+      s.location = name_tok.location;
+      s.leading_space = t.leading_space;
+      subst.push_back(std::move(s));
+      ++i;
+      continue;
+    }
+    const bool next_is_paste = i + 1 < body.size() && body[i + 1].isPunct("##");
+    const bool prev_was_paste = !subst.empty() && subst.back().isPunct("##");
+    const int p = paramIndex(t);
+    if (p >= 0) {
+      // Parameter adjacent to ## substitutes unexpanded; otherwise expanded.
+      const auto& replacement =
+          (next_is_paste || prev_was_paste) ? args[static_cast<std::size_t>(p)]
+                                            : expanded_args[static_cast<std::size_t>(p)];
+      for (Token r : replacement) {
+        r.location = name_tok.location;
+        subst.push_back(std::move(r));
+      }
+      if (replacement.empty() && (next_is_paste || prev_was_paste)) {
+        Token placemarker;  // empty arg next to ##: vanishes after pasting
+        placemarker.kind = TokenKind::Punct;
+        placemarker.text = "";
+        placemarker.location = name_tok.location;
+        subst.push_back(std::move(placemarker));
+      }
+      continue;
+    }
+    Token copy = t;
+    copy.location = name_tok.location;
+    subst.push_back(std::move(copy));
+  }
+
+  // Phase 2: token pasting.
+  std::vector<Token> pasted;
+  for (std::size_t i = 0; i < subst.size(); ++i) {
+    if (subst[i].isPunct("##")) {
+      if (pasted.empty() || i + 1 >= subst.size()) {
+        diags_.error(name_tok.location, "'##' at edge of macro expansion");
+        continue;
+      }
+      Token rhs = subst[++i];
+      Token& lhs = pasted.back();
+      lhs.text += rhs.text;
+      if (lhs.text.empty()) {
+        pasted.pop_back();
+        continue;
+      }
+      // Re-classify the pasted spelling.
+      if (std::isalpha(static_cast<unsigned char>(lhs.text[0])) || lhs.text[0] == '_') {
+        lhs.kind = isKeywordSpelling(lhs.text) ? TokenKind::Keyword
+                                               : TokenKind::Identifier;
+      } else if (std::isdigit(static_cast<unsigned char>(lhs.text[0]))) {
+        lhs.kind = TokenKind::IntLiteral;
+      }
+      continue;
+    }
+    if (subst[i].text.empty()) continue;  // drop placemarkers
+    pasted.push_back(subst[i]);
+  }
+
+  // Phase 3: rescan for further expansion, with this macro painted blue.
+  active.insert(macro.name);
+  return expandTokenList(pasted, active);
+}
+
+std::vector<Token> Preprocessor::expandTokenList(
+    const std::vector<Token>& tokens, const std::unordered_set<std::string>& active) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!shouldExpand(t, active)) {
+      out.push_back(t);
+      // Paint identifiers that name active macros so they are never
+      // reconsidered once they leave this expansion context.
+      if (t.is(TokenKind::Identifier) && active.contains(t.text))
+        out.back().no_expand = true;
+      continue;
+    }
+    const Macro& macro = macros_.at(t.text);
+    if (!macro.function_like) {
+      const std::vector<Token> exp = expandMacroUse(macro, t, {}, active);
+      out.insert(out.end(), exp.begin(), exp.end());
+      continue;
+    }
+    // Function-like: expand only if '(' follows within this list.
+    std::size_t j = i + 1;
+    if (j < tokens.size() && tokens[j].isPunct("(")) {
+      auto args = collectArgsFromList(tokens, j);
+      if (args) {
+        if (args->size() != macro.params.size() &&
+            !(args->empty() && macro.params.empty())) {
+          diags_.error(t.location, "macro '" + macro.name + "' expects " +
+                                       std::to_string(macro.params.size()) +
+                                       " arguments, got " +
+                                       std::to_string(args->size()));
+          out.push_back(t);
+          continue;
+        }
+        const std::vector<Token> exp =
+            expandMacroUse(macro, t, std::move(*args), active);
+        out.insert(out.end(), exp.begin(), exp.end());
+        i = j - 1;
+        continue;
+      }
+    }
+    out.push_back(t);  // name without call: not a macro use
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Main token pump
+// ---------------------------------------------------------------------------
+
+Token Preprocessor::next() {
+  while (true) {
+    Token t;
+    if (!pending_.empty()) {
+      t = pending_.front();
+      pending_.pop_front();
+    } else {
+      t = rawNext();
+      if (t.isEnd()) return t;
+      if (t.isPunct("#") && t.start_of_line) {
+        handleDirective(t);
+        continue;
+      }
+    }
+    if (t.isEnd()) return t;
+
+    // Dynamic builtin macros reflect the current expansion site.
+    if (t.is(TokenKind::Identifier) && !t.no_expand) {
+      if (t.text == "__LINE__") {
+        t.kind = TokenKind::IntLiteral;
+        t.text = std::to_string(t.location.line);
+        return t;
+      }
+      if (t.text == "__FILE__") {
+        t.kind = TokenKind::StringLiteral;
+        t.text = sm_.known(t.location.file)
+                     ? "\"" + sm_.name(t.location.file) + "\""
+                     : "\"<unknown>\"";
+        return t;
+      }
+    }
+
+    if (shouldExpand(t, {})) {
+      const Macro& macro = macros_.at(t.text);
+      if (macro.function_like) {
+        auto args = collectArgsFromStream();
+        if (!args) return t;  // no '(' → plain identifier
+        if (args->size() != macro.params.size() &&
+            !(args->empty() && macro.params.empty())) {
+          diags_.error(t.location, "macro '" + macro.name + "' expects " +
+                                       std::to_string(macro.params.size()) +
+                                       " arguments, got " +
+                                       std::to_string(args->size()));
+          return t;
+        }
+        std::vector<Token> exp = expandMacroUse(macro, t, std::move(*args), {});
+        for (auto it = exp.rbegin(); it != exp.rend(); ++it)
+          pending_.push_front(std::move(*it));
+        continue;
+      }
+      std::vector<Token> exp = expandMacroUse(macro, t, {}, {});
+      for (auto it = exp.rbegin(); it != exp.rend(); ++it)
+        pending_.push_front(std::move(*it));
+      continue;
+    }
+    return t;
+  }
+}
+
+}  // namespace pdt::lex

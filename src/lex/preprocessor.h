@@ -1,0 +1,140 @@
+// Preprocessor for PDT-C++.
+//
+// Sits between the RawLexer and the parser: executes #include/#define/
+// conditional directives, expands macros, and — because PDT reports
+// preprocessor-level entities in the program database — records every
+// macro definition (PDB "ma" items) and every include edge (the "sinc"
+// attribute and the include tree of paper Figure 2 / pdbtree).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lex/lexer.h"
+#include "lex/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace pdt::lex {
+
+/// A recorded #define/#undef, kept for the PDB MACROS section.
+struct MacroRecord {
+  enum class Kind { Define, Undefine };
+  Kind kind = Kind::Define;
+  std::string name;
+  std::string text;  // full definition text, e.g. "#define MAX(a,b) ..."
+  SourceLocation location;
+  bool function_like = false;
+};
+
+/// One #include edge, includer -> includee.
+struct IncludeEdge {
+  FileId includer;
+  FileId includee;
+  SourceLocation location;
+};
+
+class Preprocessor {
+ public:
+  Preprocessor(SourceManager& sm, DiagnosticEngine& diags);
+  ~Preprocessor();
+
+  Preprocessor(const Preprocessor&) = delete;
+  Preprocessor& operator=(const Preprocessor&) = delete;
+
+  /// Begins preprocessing `main_file`; must be called exactly once.
+  void enterMainFile(FileId main_file);
+
+  /// Defines an object-like macro before processing starts (-D option).
+  void predefineMacro(const std::string& name, const std::string& value);
+
+  /// Next fully preprocessed token (macro-expanded, directives executed).
+  Token next();
+
+  [[nodiscard]] const std::vector<MacroRecord>& macroRecords() const {
+    return macro_records_;
+  }
+  [[nodiscard]] const std::vector<IncludeEdge>& includeEdges() const {
+    return include_edges_;
+  }
+  /// Files in the order they were first entered (main file first).
+  [[nodiscard]] const std::vector<FileId>& filesSeen() const { return files_seen_; }
+
+ private:
+  struct Macro {
+    std::string name;
+    bool function_like = false;
+    std::vector<std::string> params;
+    std::vector<Token> body;
+    SourceLocation location;
+  };
+
+  struct FileState {
+    std::unique_ptr<RawLexer> lexer;
+    FileId file;
+    std::optional<Token> lookahead;
+    int cond_depth_at_entry = 0;
+  };
+
+  // -- raw token plumbing ----------------------------------------------
+  Token rawNext();             // next raw token from the file stack
+  Token rawPeek();             // one-token lookahead within current file
+  void popFile();
+
+  // -- directives -------------------------------------------------------
+  void handleDirective(const Token& hash);
+  std::vector<Token> readDirectiveLine();  // tokens to end of logical line
+  void handleInclude(std::vector<Token> line, SourceLocation loc);
+  void handleDefine(std::vector<Token> line, SourceLocation loc);
+  void handleUndef(std::vector<Token> line, SourceLocation loc);
+  void handleConditional(const std::string& kind, std::vector<Token> line,
+                         SourceLocation loc);
+  void skipToElseOrEndif(bool allow_else);
+  [[nodiscard]] bool evaluateCondition(std::vector<Token> line,
+                                       SourceLocation loc);
+
+  // -- macro expansion ---------------------------------------------------
+  /// True if `tok` names a macro eligible for expansion given the active set.
+  bool shouldExpand(const Token& tok,
+                    const std::unordered_set<std::string>& active) const;
+  /// Expands one macro use; for function-like macros, `readArgToken` yields
+  /// the tokens following the name. Returns the fully expanded tokens.
+  std::vector<Token> expandMacroUse(const Macro& macro, const Token& name_tok,
+                                    std::vector<std::vector<Token>> args,
+                                    std::unordered_set<std::string> active);
+  std::vector<Token> expandTokenList(const std::vector<Token>& tokens,
+                                     const std::unordered_set<std::string>& active);
+  /// Collects ( arg, arg, ... ) for a function-like macro from the raw
+  /// stream; returns nullopt if no '(' follows (name is then not a use).
+  std::optional<std::vector<std::vector<Token>>> collectArgsFromStream();
+  static std::optional<std::vector<std::vector<Token>>> collectArgsFromList(
+      const std::vector<Token>& tokens, std::size_t& index);
+
+  SourceManager& sm_;
+  DiagnosticEngine& diags_;
+
+  std::vector<FileState> file_stack_;
+  std::deque<Token> pending_;  // expansion output awaiting delivery
+
+  std::unordered_map<std::string, Macro> macros_;
+  std::vector<MacroRecord> macro_records_;
+  std::vector<IncludeEdge> include_edges_;
+  std::vector<FileId> files_seen_;
+  std::unordered_set<FileId> pragma_once_files_;
+  std::unordered_set<FileId> entered_files_;  // cycle guard
+
+  // Conditional-inclusion state: one entry per active #if nesting level.
+  struct CondState {
+    bool taken;          // some branch of this #if chain was taken
+    bool active;         // current branch is being processed
+    bool seen_else;
+  };
+  std::vector<CondState> cond_stack_;
+};
+
+}  // namespace pdt::lex

@@ -1,0 +1,62 @@
+// Token definitions for the PDT-C++ frontend.
+//
+// Tokens own their spelling (macro expansion synthesizes text that exists
+// in no file) and carry the location of the characters they were lexed
+// from — for expanded tokens, the location of the macro use, so that PDB
+// positions always refer to what the programmer wrote (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.h"
+
+namespace pdt::lex {
+
+enum class TokenKind : std::uint8_t {
+  End,          // end of token stream
+  Identifier,
+  Keyword,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  Punct,        // operators and punctuation, identified by spelling
+  HeaderName,   // <...> include spelling; only inside #include
+};
+
+[[nodiscard]] std::string_view toString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;          // exact spelling
+  SourceLocation location;
+  bool start_of_line = false;   // first token on its line (pre-expansion)
+  bool leading_space = false;   // preceded by whitespace
+  bool no_expand = false;       // "blue paint": never macro-expand again
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool isIdentifier(std::string_view s) const {
+    return kind == TokenKind::Identifier && text == s;
+  }
+  [[nodiscard]] bool isKeyword(std::string_view s) const {
+    return kind == TokenKind::Keyword && text == s;
+  }
+  [[nodiscard]] bool isPunct(std::string_view s) const {
+    return kind == TokenKind::Punct && text == s;
+  }
+  [[nodiscard]] bool isEnd() const { return kind == TokenKind::End; }
+
+  /// Location of the character one past the token (same line).
+  [[nodiscard]] SourceLocation endLocation() const {
+    SourceLocation end = location;
+    end.column += static_cast<std::uint32_t>(text.size());
+    return end;
+  }
+};
+
+/// True for spellings that are PDT-C++ keywords.
+[[nodiscard]] bool isKeywordSpelling(std::string_view spelling);
+
+}  // namespace pdt::lex

@@ -1,0 +1,2168 @@
+// Parser: declarations, classes, templates. Statements and expressions
+// live in parser_expr.cpp.
+#include "parse/parser.h"
+
+#include <cassert>
+
+namespace pdt::parse {
+
+using namespace ast;
+using lex::Token;
+using lex::TokenKind;
+
+Parser::Parser(sema::Sema& sema, SourceManager& sm, DiagnosticEngine& diags,
+               std::vector<Token> tokens)
+    : sema_(sema), ctx_(sema.context()), sm_(sm), diags_(diags),
+      toks_(std::move(tokens)) {
+  if (toks_.empty() || !toks_.back().isEnd()) {
+    Token end;
+    end.kind = TokenKind::End;
+    if (!toks_.empty()) end.location = toks_.back().location;
+    toks_.push_back(end);
+  }
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < toks_.size() ? toks_[i] : toks_.back();
+}
+
+bool Parser::consumePunct(std::string_view p) {
+  if (cur().isPunct(p)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::consumeKeyword(std::string_view k) {
+  if (cur().isKeyword(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expectPunct(std::string_view p) {
+  if (consumePunct(p)) return true;
+  error("expected '" + std::string(p) + "' before '" + cur().text + "'");
+  return false;
+}
+
+void Parser::error(const std::string& message) {
+  diags_.error(loc(), message);
+}
+
+void Parser::skipToRecovery() {
+  int depth = 0;
+  while (!cur().isEnd()) {
+    if (cur().isPunct("{")) {
+      ++depth;
+    } else if (cur().isPunct("}")) {
+      if (depth == 0) return;  // let the enclosing construct see it
+      --depth;
+    } else if (cur().isPunct(";") && depth == 0) {
+      advance();
+      return;
+    }
+    advance();
+  }
+}
+
+void Parser::skipBalanced(std::string_view open, std::string_view close) {
+  int depth = 0;
+  while (!cur().isEnd()) {
+    if (cur().isPunct(open)) {
+      ++depth;
+    } else if (cur().isPunct(close)) {
+      if (--depth == 0) {
+        advance();
+        return;
+      }
+    }
+    advance();
+  }
+}
+
+void Parser::splitRightShift() {
+  assert(cur().isPunct(">>"));
+  Token first = cur();
+  first.text = ">";
+  Token second = first;
+  second.location.column += 1;
+  toks_[pos_] = first;
+  toks_.insert(toks_.begin() + static_cast<std::ptrdiff_t>(pos_) + 1, second);
+}
+
+std::string Parser::captureText(std::size_t start, std::size_t end) const {
+  std::string out;
+  for (std::size_t i = start; i < end && i < toks_.size(); ++i) {
+    if (!out.empty() && toks_[i].leading_space) out.push_back(' ');
+    out += toks_[i].text;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+void Parser::parseTranslationUnit() {
+  while (!cur().isEnd()) {
+    const std::size_t before = pos_;
+    parseTopLevel();
+    if (pos_ == before) {
+      error("unexpected token '" + cur().text + "' at file scope");
+      advance();
+    }
+  }
+}
+
+void Parser::parseTopLevel() {
+  if (cur().isPunct(";")) {
+    advance();
+    return;
+  }
+  if (cur().isKeyword("namespace")) {
+    parseNamespace();
+    return;
+  }
+  if (cur().isKeyword("using")) {
+    parseUsing();
+    return;
+  }
+  if (cur().isKeyword("template")) {
+    parseTemplate();
+    return;
+  }
+  if (cur().isKeyword("extern") && peek().is(TokenKind::StringLiteral)) {
+    parseExternBlock();
+    return;
+  }
+  parseDeclarationOrDefinition(/*in_class=*/false, AccessKind::None);
+}
+
+void Parser::parseNamespace() {
+  const SourceLocation ns_loc = loc();
+  advance();  // namespace
+  if (cur().isPunct("{")) {  // anonymous namespace: parse contents inline
+    advance();
+    while (!cur().isEnd() && !cur().isPunct("}")) parseTopLevel();
+    expectPunct("}");
+    return;
+  }
+  if (!cur().is(TokenKind::Identifier)) {
+    error("expected namespace name");
+    skipToRecovery();
+    return;
+  }
+  const std::string name = cur().text;
+  const SourceLocation name_loc = loc();
+  advance();
+
+  if (consumePunct("=")) {  // namespace alias
+    auto* alias = ctx_.create<NamespaceAliasDecl>();
+    alias->setName(name);
+    alias->setLocation(name_loc);
+    // Resolve target (possibly qualified).
+    NamespaceDecl* target = nullptr;
+    DeclContext* search = nullptr;
+    while (cur().is(TokenKind::Identifier)) {
+      const std::string seg = cur().text;
+      advance();
+      std::vector<Decl*> found = search == nullptr
+                                     ? sema_.lookupUnqualified(seg)
+                                     : sema::Sema::lookupInContext(search, seg);
+      target = nullptr;
+      for (Decl* d : found) {
+        if (auto* ns = d->as<NamespaceDecl>()) {
+          target = ns;
+          break;
+        }
+        if (auto* al = d->as<NamespaceAliasDecl>()) {
+          target = al->target;
+          break;
+        }
+      }
+      if (target == nullptr || !consumePunct("::")) break;
+      search = target;
+    }
+    alias->target = target;
+    if (target == nullptr) error("unknown namespace in alias '" + name + "'");
+    sema_.declare(alias);
+    expectPunct(";");
+    return;
+  }
+
+  // Re-open an existing namespace of the same name in this context.
+  NamespaceDecl* ns = nullptr;
+  if (DeclContext* ctx = sema_.currentContext()) {
+    for (Decl* d : ctx->lookup(name)) {
+      if (auto* existing = d->as<NamespaceDecl>()) {
+        ns = existing;
+        break;
+      }
+    }
+  }
+  if (ns == nullptr) {
+    ns = ctx_.create<NamespaceDecl>();
+    ns->setName(name);
+    ns->setLocation(name_loc);
+    ns->setHeaderExtent({ns_loc, name_loc});
+    sema_.declare(ns);
+  }
+  sema_.pushScope(sema::ScopeKind::Namespace, ns);
+  expectPunct("{");
+  while (!cur().isEnd() && !cur().isPunct("}")) parseTopLevel();
+  expectPunct("}");
+  sema_.popScope();
+}
+
+void Parser::parseUsing() {
+  advance();  // using
+  if (consumeKeyword("namespace")) {
+    // using namespace A::B;
+    NamespaceDecl* target = nullptr;
+    DeclContext* search = nullptr;
+    while (cur().is(TokenKind::Identifier)) {
+      const std::string seg = cur().text;
+      advance();
+      std::vector<Decl*> found = search == nullptr
+                                     ? sema_.lookupUnqualified(seg)
+                                     : sema::Sema::lookupInContext(search, seg);
+      target = nullptr;
+      for (Decl* d : found) {
+        if (auto* ns = d->as<NamespaceDecl>()) {
+          target = ns;
+          break;
+        }
+        if (auto* al = d->as<NamespaceAliasDecl>()) {
+          target = al->target;
+          break;
+        }
+      }
+      if (target == nullptr || !consumePunct("::")) break;
+      search = target;
+    }
+    if (target == nullptr) {
+      error("unknown namespace in using-directive");
+    } else {
+      auto* ud = ctx_.create<UsingDirectiveDecl>();
+      ud->target = target;
+      ud->setLocation(loc());
+      sema_.declare(ud);
+      sema_.currentScope()->addUsingNamespace(target);
+    }
+    expectPunct(";");
+    return;
+  }
+  // using A::x; — make the names visible in the current scope.
+  DeclContext* search = nullptr;
+  std::string last;
+  while (cur().is(TokenKind::Identifier)) {
+    last = cur().text;
+    advance();
+    if (!cur().isPunct("::")) break;
+    advance();
+    std::vector<Decl*> found = search == nullptr
+                                   ? sema_.lookupUnqualified(last)
+                                   : sema::Sema::lookupInContext(search, last);
+    search = nullptr;
+    for (Decl* d : found) {
+      if (auto* ns = d->as<NamespaceDecl>()) {
+        search = ns;
+        break;
+      }
+      if (auto* cls = d->as<ClassDecl>()) {
+        search = cls;
+        break;
+      }
+    }
+    if (search == nullptr) break;
+  }
+  if (search != nullptr && !last.empty()) {
+    for (Decl* d : sema::Sema::lookupInContext(search, last)) {
+      sema_.declareName(last, d);
+    }
+  }
+  expectPunct(";");
+}
+
+void Parser::parseExternBlock() {
+  advance();  // extern
+  const bool is_c = cur().text == "\"C\"";
+  advance();  // linkage string
+  const Linkage saved = current_linkage_;
+  if (is_c) current_linkage_ = Linkage::C;
+  if (consumePunct("{")) {
+    while (!cur().isEnd() && !cur().isPunct("}")) parseTopLevel();
+    expectPunct("}");
+  } else {
+    parseTopLevel();  // single declaration
+  }
+  current_linkage_ = saved;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration specifiers and types
+// ---------------------------------------------------------------------------
+
+bool Parser::startsDeclSpecs() const {
+  const Token& t = cur();
+  if (t.is(TokenKind::Keyword)) {
+    static constexpr std::string_view kSpecs[] = {
+        "const", "volatile", "virtual", "static", "inline", "explicit",
+        "friend", "typedef", "extern", "register", "mutable", "unsigned",
+        "signed", "short", "long", "int", "char", "bool", "float", "double",
+        "void", "wchar_t", "class", "struct", "union", "enum", "typename"};
+    for (const auto k : kSpecs) {
+      if (t.text == k) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool Parser::startsType() const {
+  if (startsDeclSpecs()) return true;
+  if (cur().is(TokenKind::Identifier)) {
+    return sema_.isTypeName(cur().text);
+  }
+  return false;
+}
+
+Parser::DeclSpecs Parser::parseDeclSpecs(bool allow_no_type) {
+  DeclSpecs specs;
+  bool is_const = false;
+  bool is_volatile = false;
+  bool saw_builtin = false;
+  bool is_unsigned = false;
+  bool is_signed = false;
+  int long_count = 0;
+  bool is_short = false;
+  std::string base;  // "int", "char", "double", ...
+
+  while (true) {
+    const Token& t = cur();
+    if (t.is(TokenKind::Keyword)) {
+      if (t.text == "virtual") { specs.is_virtual = true; advance(); continue; }
+      if (t.text == "static") { specs.is_static = true; specs.storage = StorageClass::Static; advance(); continue; }
+      if (t.text == "inline") { specs.is_inline = true; advance(); continue; }
+      if (t.text == "explicit") { specs.is_explicit = true; advance(); continue; }
+      if (t.text == "friend") { specs.is_friend = true; advance(); continue; }
+      if (t.text == "typedef") { specs.is_typedef = true; advance(); continue; }
+      if (t.text == "extern") { specs.storage = StorageClass::Extern; advance(); continue; }
+      if (t.text == "register") { specs.storage = StorageClass::Register; advance(); continue; }
+      if (t.text == "mutable") { specs.is_mutable = true; specs.storage = StorageClass::Mutable; advance(); continue; }
+      if (t.text == "const") { is_const = true; advance(); continue; }
+      if (t.text == "volatile") { is_volatile = true; advance(); continue; }
+      if (t.text == "unsigned") { is_unsigned = true; saw_builtin = true; advance(); continue; }
+      if (t.text == "signed") { is_signed = true; saw_builtin = true; advance(); continue; }
+      if (t.text == "short") { is_short = true; saw_builtin = true; advance(); continue; }
+      if (t.text == "long") { ++long_count; saw_builtin = true; advance(); continue; }
+      if (t.text == "int" || t.text == "char" || t.text == "bool" ||
+          t.text == "float" || t.text == "double" || t.text == "void" ||
+          t.text == "wchar_t") {
+        if (!base.empty() && !specs.saw_type) base.clear();
+        base = t.text;
+        saw_builtin = true;
+        advance();
+        continue;
+      }
+      if (t.text == "typename") { advance(); continue; }
+      if ((t.text == "class" || t.text == "struct" || t.text == "union") &&
+          !specs.saw_type && !saw_builtin) {
+        // Elaborated type specifier: "class Foo x;" — only when followed by
+        // a name that is NOT starting a definition (no '{' / ':' after it).
+        if (peek().is(TokenKind::Identifier) &&
+            (peek(2).isPunct("*") || peek(2).isPunct("&") ||
+             peek(2).is(TokenKind::Identifier))) {
+          advance();  // tag keyword
+          specs.type = parseNamedType();
+          specs.saw_type = specs.type != nullptr;
+          continue;
+        }
+      }
+    }
+    break;
+  }
+
+  if (saw_builtin) {
+    BuiltinKind kind = BuiltinKind::Int;
+    if (base == "void") kind = BuiltinKind::Void;
+    else if (base == "bool") kind = BuiltinKind::Bool;
+    else if (base == "wchar_t") kind = BuiltinKind::WChar;
+    else if (base == "float") kind = BuiltinKind::Float;
+    else if (base == "double")
+      kind = long_count > 0 ? BuiltinKind::LongDouble : BuiltinKind::Double;
+    else if (base == "char")
+      kind = is_unsigned ? BuiltinKind::UChar
+                         : (is_signed ? BuiltinKind::SChar : BuiltinKind::Char);
+    else {  // int family
+      if (is_short) kind = is_unsigned ? BuiltinKind::UShort : BuiltinKind::Short;
+      else if (long_count >= 2)
+        kind = is_unsigned ? BuiltinKind::ULongLong : BuiltinKind::LongLong;
+      else if (long_count == 1)
+        kind = is_unsigned ? BuiltinKind::ULong : BuiltinKind::Long;
+      else
+        kind = is_unsigned ? BuiltinKind::UInt : BuiltinKind::Int;
+    }
+    specs.type = ctx_.builtin(kind);
+    specs.saw_type = true;
+  } else if (!specs.saw_type) {
+    // Named type?
+    if (cur().is(TokenKind::Identifier) || cur().isPunct("::")) {
+      // Constructors: inside class C, "C(" is not a type-specifier.
+      const bool looks_like_ctor =
+          allow_no_type && peek().isPunct("(") &&
+          sema_.currentClass() != nullptr &&
+          cur().text == sema_.currentClass()->name();
+      if (!looks_like_ctor) {
+        const std::size_t save = pos_;
+        const Type* named = parseNamedType();
+        if (named != nullptr) {
+          specs.type = named;
+          specs.saw_type = true;
+        } else {
+          pos_ = save;
+        }
+      }
+    }
+  }
+
+  if (specs.type != nullptr && (is_const || is_volatile)) {
+    specs.type = ctx_.qualified(specs.type, is_const, is_volatile);
+  }
+  if (specs.type == nullptr && !allow_no_type) {
+    // Callers treat a null type as "not a declaration".
+  }
+  return specs;
+}
+
+const Type* Parser::parseNamedType() {
+  // [::] segment (:: segment)* where segments may carry template args.
+  DeclContext* search = nullptr;  // null = unqualified lookup
+  bool absolute = false;
+  if (consumePunct("::")) {
+    search = ctx_.translationUnit();
+    absolute = true;
+  }
+  (void)absolute;
+
+  while (true) {
+    if (!cur().is(TokenKind::Identifier)) return nullptr;
+    const std::string name = cur().text;
+    const SourceLocation name_loc = loc();
+    advance();
+
+    std::vector<Decl*> found = search == nullptr
+                                   ? sema_.lookupUnqualified(name)
+                                   : sema::Sema::lookupInContext(search, name);
+    if (found.empty()) return nullptr;
+
+    // Template-id?
+    TemplateDecl* as_template = nullptr;
+    for (Decl* d : found) {
+      if (auto* td = d->as<TemplateDecl>()) {
+        if (td->tkind == TemplateKind::Class) {
+          as_template = td;
+          break;
+        }
+      }
+    }
+    const Type* segment_type = nullptr;
+    Decl* segment_decl = nullptr;
+
+    if (as_template != nullptr && cur().isPunct("<")) {
+      auto args = parseTemplateArgs();
+      if (!args) return nullptr;
+      bool dependent = false;
+      for (const Type* a : *args) dependent = dependent || a->isDependent();
+      if (dependent) {
+        segment_type = ctx_.templateSpecType(as_template, *args);
+      } else {
+        ClassDecl* inst =
+            sema_.instantiateClassTemplate(as_template, *args, name_loc);
+        if (inst == nullptr) return nullptr;
+        segment_type = ctx_.classType(inst);
+        segment_decl = inst;
+      }
+    } else if (as_template != nullptr && inTemplate()) {
+      // Injected class name inside the template's own pattern.
+      std::vector<const Type*> own;
+      own.reserve(as_template->params.size());
+      for (const TemplateParamDecl* p : as_template->params) {
+        own.push_back(ctx_.templateParamType(p->name(), 0, p->index));
+      }
+      segment_type = ctx_.templateSpecType(as_template, own);
+    } else {
+      for (Decl* d : found) {
+        switch (d->kind()) {
+          case DeclKind::Class: {
+            auto* cls = d->as<ClassDecl>();
+            if (cls->describing_template != nullptr &&
+                cls->instantiated_from == nullptr && !cls->is_specialization) {
+              // A class template pattern's name used inside itself is the
+              // injected-class-name: Stack means Stack<Object>.
+              const auto* td = cls->describing_template;
+              std::vector<const Type*> own;
+              own.reserve(td->params.size());
+              for (const TemplateParamDecl* p : td->params) {
+                own.push_back(ctx_.templateParamType(p->name(), 0, p->index));
+              }
+              segment_type = ctx_.templateSpecType(td, own);
+            } else {
+              segment_type = ctx_.classType(cls);
+            }
+            segment_decl = d;
+            break;
+          }
+          case DeclKind::Enum:
+            segment_type = ctx_.enumType(d->as<EnumDecl>());
+            segment_decl = d;
+            break;
+          case DeclKind::Typedef: {
+            auto* td = d->as<TypedefDecl>();
+            segment_type = ctx_.typedefType(td, td->underlying);
+            segment_decl = d;
+            break;
+          }
+          case DeclKind::TemplateParam: {
+            auto* tp = d->as<TemplateParamDecl>();
+            if (tp->param_kind == TemplateParamDecl::Kind::Type)
+              segment_type = ctx_.templateParamType(tp->name(), 0, tp->index);
+            segment_decl = d;
+            break;
+          }
+          case DeclKind::Namespace:
+          case DeclKind::NamespaceAlias:
+            segment_decl = d;
+            break;
+          default:
+            break;
+        }
+        if (segment_type != nullptr || segment_decl != nullptr) break;
+      }
+    }
+
+    if (cur().isPunct("::")) {
+      advance();
+      // Descend into the named scope.
+      if (segment_decl != nullptr) {
+        if (auto* ns = segment_decl->as<NamespaceDecl>()) {
+          search = ns;
+          continue;
+        }
+        if (auto* alias = segment_decl->as<NamespaceAliasDecl>()) {
+          search = alias->target;
+          continue;
+        }
+        if (auto* cls = segment_decl->as<ClassDecl>()) {
+          search = cls;
+          continue;
+        }
+      }
+      // Dependent qualifier (Stack<Object>::size_type): not resolvable in
+      // the subset — treat the member as an opaque int-like type. But an
+      // out-of-line member name ("Stack<Object>::push", "::Stack", "::~",
+      // "::operator") is NOT a type; bail so declarator parsing sees it.
+      if (segment_type != nullptr && segment_type->isDependent()) {
+        if (cur().isPunct("~") || cur().isKeyword("operator")) return nullptr;
+        if (cur().is(TokenKind::Identifier) && !peek().isPunct("(")) {
+          advance();
+          return ctx_.intType();
+        }
+        return nullptr;
+      }
+      return nullptr;
+    }
+    return segment_type;
+  }
+}
+
+std::optional<std::vector<const Type*>> Parser::parseTemplateArgs() {
+  assert(cur().isPunct("<"));
+  advance();
+  std::vector<const Type*> args;
+  if (cur().isPunct(">")) {  // empty list
+    advance();
+    return args;
+  }
+  while (true) {
+    if (cur().isPunct(">>")) splitRightShift();
+    const Type* arg = nullptr;
+    if (startsType()) {
+      arg = parseTypeName();
+    } else if (cur().is(TokenKind::IntLiteral)) {
+      // Non-type argument: modeled as its value spelled into a typedef-less
+      // marker; the subset tracks non-type args as int builtins.
+      arg = ctx_.intType();
+      advance();
+    }
+    if (arg == nullptr) return std::nullopt;
+    args.push_back(arg);
+    if (cur().isPunct(">>")) splitRightShift();
+    if (consumePunct(">")) break;
+    if (!consumePunct(",")) return std::nullopt;
+  }
+  return args;
+}
+
+const Type* Parser::parsePointerRefSuffixes(const Type* base) {
+  const Type* type = base;
+  while (true) {
+    if (consumePunct("*")) {
+      type = ctx_.pointerTo(type);
+      bool c = false, v = false;
+      while (true) {
+        if (consumeKeyword("const")) { c = true; continue; }
+        if (consumeKeyword("volatile")) { v = true; continue; }
+        break;
+      }
+      if (c || v) type = ctx_.qualified(type, c, v);
+      continue;
+    }
+    if (consumePunct("&")) {
+      type = ctx_.referenceTo(type);
+      continue;
+    }
+    break;
+  }
+  return type;
+}
+
+const Type* Parser::parseTypeName() {
+  bool is_const = false, is_volatile = false;
+  while (true) {
+    if (consumeKeyword("const")) { is_const = true; continue; }
+    if (consumeKeyword("volatile")) { is_volatile = true; continue; }
+    if (consumeKeyword("typename")) continue;
+    break;
+  }
+  const Type* type = parseTypeSpecifier();
+  if (type == nullptr) return nullptr;
+  while (true) {  // trailing cv ("int const")
+    if (consumeKeyword("const")) { is_const = true; continue; }
+    if (consumeKeyword("volatile")) { is_volatile = true; continue; }
+    break;
+  }
+  if (is_const || is_volatile) type = ctx_.qualified(type, is_const, is_volatile);
+  return parsePointerRefSuffixes(type);
+}
+
+const Type* Parser::parseTypeSpecifier() {
+  const Token& t = cur();
+  if (t.is(TokenKind::Keyword)) {
+    static const struct {
+      std::string_view kw;
+      BuiltinKind kind;
+    } kBuiltins[] = {
+        {"void", BuiltinKind::Void},   {"bool", BuiltinKind::Bool},
+        {"char", BuiltinKind::Char},   {"wchar_t", BuiltinKind::WChar},
+        {"float", BuiltinKind::Float}, {"double", BuiltinKind::Double},
+        {"int", BuiltinKind::Int},
+    };
+    for (const auto& b : kBuiltins) {
+      if (t.text == b.kw) {
+        advance();
+        return ctx_.builtin(b.kind);
+      }
+    }
+    if (t.text == "unsigned" || t.text == "signed" || t.text == "short" ||
+        t.text == "long") {
+      // Reuse the decl-spec combination logic.
+      DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/false);
+      return specs.type;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      advance();  // elaborated specifier
+      return parseNamedType();
+    }
+    return nullptr;
+  }
+  if (t.is(TokenKind::Identifier) || t.isPunct("::")) return parseNamedType();
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Declarators
+// ---------------------------------------------------------------------------
+
+std::vector<ParamDecl*> Parser::parseParamList(bool& has_ellipsis) {
+  std::vector<ParamDecl*> params;
+  has_ellipsis = false;
+  if (consumePunct(")")) return params;
+  while (true) {
+    if (consumePunct("...")) {
+      has_ellipsis = true;
+      expectPunct(")");
+      break;
+    }
+    if (cur().isKeyword("void") && peek().isPunct(")")) {  // f(void)
+      advance();
+      advance();
+      break;
+    }
+    DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/false);
+    if (specs.type == nullptr) {
+      error("expected parameter type");
+      skipBalanced("(", ")");
+      break;
+    }
+    const Type* type = parsePointerRefSuffixes(specs.type);
+    auto* param = ctx_.create<ParamDecl>();
+    // Function-pointer parameter: "ret (*name)(params)".
+    if (cur().isPunct("(") && peek().isPunct("*")) {
+      advance();  // (
+      advance();  // *
+      if (cur().is(TokenKind::Identifier)) {
+        param->setName(cur().text);
+        param->setLocation(loc());
+        advance();
+      }
+      expectPunct(")");
+      if (cur().isPunct("(")) {
+        advance();
+        bool inner_ellipsis = false;
+        std::vector<ParamDecl*> inner = parseParamList(inner_ellipsis);
+        std::vector<const Type*> ptypes;
+        ptypes.reserve(inner.size());
+        for (const ParamDecl* ip : inner) ptypes.push_back(ip->type);
+        type = ctx_.pointerTo(
+            ctx_.functionType(type, std::move(ptypes), false, inner_ellipsis, {}));
+      }
+    } else if (cur().is(TokenKind::Identifier)) {
+      param->setName(cur().text);
+      param->setLocation(loc());
+      advance();
+    }
+    // Array parameter suffix decays to pointer.
+    while (consumePunct("[")) {
+      while (!cur().isEnd() && !cur().isPunct("]")) advance();
+      expectPunct("]");
+      type = ctx_.pointerTo(type);
+    }
+    param->type = type;
+    if (consumePunct("=")) {
+      param->default_arg = parseAssignment();
+    }
+    params.push_back(param);
+    if (consumePunct(")")) break;
+    if (!consumePunct(",")) {
+      error("expected ',' or ')' in parameter list");
+      skipBalanced("(", ")");
+      break;
+    }
+  }
+  return params;
+}
+
+Parser::Declarator Parser::parseDeclarator(const Type* base, bool allow_abstract) {
+  Declarator d;
+  const Type* type = parsePointerRefSuffixes(base);
+
+  // Destructor "~Name"?
+  if (cur().isPunct("~") && peek().is(TokenKind::Identifier)) {
+    advance();
+    d.is_dtor = true;
+    d.name = "~" + cur().text;
+    d.name_loc = loc();
+    advance();
+  } else if (cur().isKeyword("operator")) {
+    d.name_loc = loc();
+    advance();
+    d.is_operator = true;
+    if (cur().isPunct("(") && peek().isPunct(")")) {
+      d.name = "operator()";
+      advance();
+      advance();
+    } else if (cur().isPunct("[") && peek().isPunct("]")) {
+      d.name = "operator[]";
+      advance();
+      advance();
+    } else if (cur().is(TokenKind::Punct)) {
+      d.name = "operator" + cur().text;
+      advance();
+    } else if (cur().isKeyword("new") || cur().isKeyword("delete")) {
+      d.name = "operator " + cur().text;
+      advance();
+      if (cur().isPunct("[") && peek().isPunct("]")) {
+        d.name += "[]";
+        advance();
+        advance();
+      }
+    } else {
+      // Conversion operator: operator T()
+      d.is_conversion = true;
+      d.conversion_type = parseTypeName();
+      d.name = "operator " +
+               (d.conversion_type != nullptr ? d.conversion_type->spelling()
+                                             : std::string("?"));
+    }
+  } else if (cur().is(TokenKind::Identifier)) {
+    // Possibly qualified: A::B<int>::name.
+    while (true) {
+      const std::string seg = cur().text;
+      const SourceLocation seg_loc = loc();
+      // Look ahead: is this segment followed by (template-args)? '::'?
+      std::size_t after = pos_ + 1;
+      if (toks_[after].isPunct("<")) {
+        // Only a qualifier candidate if seg names a class template.
+        if (sema_.isClassTemplateName(seg)) {
+          // Find matching '>' to check for '::'.
+          int depth = 0;
+          std::size_t j = after;
+          for (; j < toks_.size() && !toks_[j].isEnd(); ++j) {
+            if (toks_[j].isPunct("<")) ++depth;
+            else if (toks_[j].isPunct(">")) {
+              if (--depth == 0) { ++j; break; }
+            } else if (toks_[j].isPunct(">>")) {
+              depth -= 2;
+              if (depth <= 0) { ++j; break; }
+            } else if (toks_[j].isPunct(";") || toks_[j].isPunct("{")) {
+              break;
+            }
+          }
+          if (j < toks_.size() && toks_[j].isPunct("::")) {
+            // Qualifier with template args: consume and resolve.
+            advance();  // seg
+            auto args = parseTemplateArgs();
+            expectPunct("::");
+            TemplateDecl* td = nullptr;
+            for (Decl* cand : sema_.lookupUnqualified(seg)) {
+              if (auto* t = cand->as<TemplateDecl>()) {
+                if (t->tkind == TemplateKind::Class) { td = t; break; }
+              }
+            }
+            if (td == nullptr || !args) {
+              error("cannot resolve qualifier '" + seg + "'");
+              break;
+            }
+            bool dependent = false;
+            for (const Type* a : *args) dependent = dependent || a->isDependent();
+            if (dependent) {
+              d.qualifier_template = td;  // out-of-line member of the pattern
+            } else if (Decl* spec = td->findSpecialization(*args)) {
+              d.qualifier_class = spec->as<ClassDecl>();
+            } else {
+              d.qualifier_class =
+                  sema_.instantiateClassTemplate(td, *args, seg_loc);
+            }
+            continue;
+          }
+        }
+        // Not a qualifier: plain name; stop here.
+        d.name = seg;
+        d.name_loc = seg_loc;
+        advance();
+        break;
+      }
+      if (toks_[after].isPunct("::") &&
+          (toks_[after + 1].is(TokenKind::Identifier) ||
+           toks_[after + 1].isPunct("~") ||
+           toks_[after + 1].isKeyword("operator"))) {
+        // Namespace or class qualifier without template args.
+        advance();  // seg
+        advance();  // ::
+        Decl* resolved = nullptr;
+        std::vector<Decl*> found =
+            d.qualifier_class != nullptr
+                ? sema::Sema::lookupInContext(d.qualifier_class, seg)
+                : sema_.lookupUnqualified(seg);
+        for (Decl* cand : found) {
+          if (cand->as<NamespaceDecl>() != nullptr ||
+              cand->as<ClassDecl>() != nullptr) {
+            resolved = cand;
+            break;
+          }
+          if (auto* alias = cand->as<NamespaceAliasDecl>()) {
+            resolved = alias->target;
+            break;
+          }
+        }
+        if (resolved == nullptr) {
+          error("cannot resolve qualifier '" + seg + "'");
+          break;
+        }
+        if (auto* cls = resolved->as<ClassDecl>()) {
+          d.qualifier_class = cls;
+        }
+        // Namespace qualifiers don't change where the entity attaches in
+        // the subset (out-of-line namespace members re-open the namespace).
+        if (auto* ns = resolved->as<NamespaceDecl>()) {
+          (void)ns;
+        }
+        if (cur().isPunct("~")) {
+          advance();
+          d.is_dtor = true;
+          d.name = "~" + cur().text;
+          d.name_loc = loc();
+          advance();
+          break;
+        }
+        if (cur().isKeyword("operator")) {
+          // Re-enter operator handling with qualifier set.
+          Declarator op = parseDeclarator(ctx_.voidType(), false);
+          d.name = op.name;
+          d.name_loc = op.name_loc;
+          d.is_operator = op.is_operator;
+          d.is_conversion = op.is_conversion;
+          d.conversion_type = op.conversion_type;
+          break;
+        }
+        continue;
+      }
+      // Plain name.
+      d.name = seg;
+      d.name_loc = seg_loc;
+      advance();
+      break;
+    }
+  } else if (!allow_abstract) {
+    // No name where one is required.
+  }
+
+  // Constructor detection: qualified "C::C" or in-class "C" handled by
+  // the caller (needs class context).
+
+  // Function declarator?
+  if (cur().isPunct("(")) {
+    // Heuristic: it is a function declarator if the parenthesis starts a
+    // parameter list (type or ')'), otherwise it is an initializer.
+    const Token& inside = peek();
+    bool is_params = inside.isPunct(")") || inside.isPunct("...");
+    if (!is_params) {
+      const std::size_t save = pos_;
+      advance();  // (
+      is_params = startsType();
+      pos_ = save;
+    }
+    if (is_params || d.is_operator || d.is_dtor) {
+      advance();  // (
+      d.is_function = true;
+      d.params = parseParamList(d.has_ellipsis);
+      // cv-qualifier on member functions.
+      while (true) {
+        if (consumeKeyword("const")) { d.is_const_member = true; continue; }
+        if (consumeKeyword("volatile")) continue;
+        break;
+      }
+      // Exception specification.
+      if (consumeKeyword("throw")) {
+        d.has_exception_spec = true;
+        expectPunct("(");
+        if (!cur().isPunct(")")) {
+          while (true) {
+            const Type* t = parseTypeName();
+            if (t != nullptr) d.exception_specs.push_back(t);
+            if (!consumePunct(",")) break;
+          }
+        }
+        expectPunct(")");
+      }
+    }
+  }
+
+  // Array suffixes (variables).
+  while (!d.is_function && cur().isPunct("[")) {
+    advance();
+    std::int64_t size = -1;
+    if (cur().is(TokenKind::IntLiteral)) {
+      size = std::stoll(cur().text, nullptr, 0);
+      advance();
+    } else {
+      while (!cur().isEnd() && !cur().isPunct("]")) advance();
+    }
+    expectPunct("]");
+    type = ctx_.arrayOf(type, size);
+  }
+
+  d.type = type;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Declarations (functions and variables)
+// ---------------------------------------------------------------------------
+
+void Parser::parseDeclarationOrDefinition(bool in_class, AccessKind access) {
+  const std::size_t start = pos_;
+
+  if (cur().isKeyword("enum")) {
+    parseEnum(in_class, access);
+    return;
+  }
+  if ((cur().isKeyword("class") || cur().isKeyword("struct") ||
+       cur().isKeyword("union"))) {
+    // Definition/forward declaration vs elaborated variable decl:
+    // "class X {" or "class X : base" or "class X ;" start a class.
+    const Token& name = peek();
+    const Token& after = peek(2);
+    if (name.is(TokenKind::Identifier) &&
+        (after.isPunct("{") || after.isPunct(":") || after.isPunct(";"))) {
+      DeclSpecs none;
+      parseClass(none, nullptr, false, {});
+      return;
+    }
+    if (name.isPunct("{")) {  // anonymous aggregate
+      DeclSpecs none;
+      parseClass(none, nullptr, false, {});
+      return;
+    }
+  }
+
+  DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/true);
+  if (specs.is_typedef) {
+    parseTypedef(specs, in_class, access);
+    return;
+  }
+  if (specs.is_friend && in_class) {
+    // "friend class X;" (type already consumed as elaborated) or
+    // "friend ret f(..);"
+    ClassDecl* cls = sema_.currentClass();
+    if (specs.saw_type && cur().isPunct(";")) {
+      advance();
+      FriendEntry fe;
+      fe.is_class = true;
+      if (const auto* ct = canonical(specs.type)->as<ClassType>()) {
+        fe.name = ct->decl()->name();
+        fe.resolved = ct->decl();
+      } else {
+        fe.name = specs.type->spelling();
+      }
+      if (cls != nullptr) cls->friends.push_back(fe);
+      return;
+    }
+    if (cur().isKeyword("class") || cur().isKeyword("struct")) {
+      advance();
+      FriendEntry fe;
+      fe.is_class = true;
+      if (cur().is(TokenKind::Identifier)) {
+        fe.name = cur().text;
+        for (Decl* d : sema_.lookupUnqualified(fe.name)) {
+          if (d->as<ClassDecl>() != nullptr) {
+            fe.resolved = d;
+            break;
+          }
+        }
+        advance();
+      }
+      if (cls != nullptr) cls->friends.push_back(fe);
+      expectPunct(";");
+      return;
+    }
+    // friend function: parse as a declaration, record the name.
+    Declarator d = parseDeclarator(specs.type != nullptr ? specs.type
+                                                         : ctx_.intType(),
+                                   false);
+    FriendEntry fe;
+    fe.name = d.name;
+    if (cls != nullptr) cls->friends.push_back(fe);
+    if (cur().isPunct("{")) skipBalanced("{", "}");  // inline friend body
+    else expectPunct(";");
+    return;
+  }
+
+  if (!specs.saw_type) {
+    // Constructor/destructor (in class or out-of-line), or not a decl.
+    const bool maybe_special = cur().isPunct("~") ||
+                               cur().is(TokenKind::Identifier) ||
+                               cur().isKeyword("operator");
+    if (!maybe_special) {
+      if (pos_ == start) {
+        error("expected declaration, found '" + cur().text + "'");
+        advance();
+        skipToRecovery();
+      }
+      return;
+    }
+  }
+
+  parseInitDeclarators(specs, in_class, access, nullptr);
+}
+
+void Parser::parseInitDeclarators(const DeclSpecs& specs, bool in_class,
+                                  AccessKind access,
+                                  TemplateDecl* enclosing_template) {
+  const Type* base = specs.saw_type ? specs.type : nullptr;
+  while (true) {
+    Declarator d = parseDeclarator(base != nullptr ? base : ctx_.voidType(),
+                                   /*allow_abstract=*/false);
+
+    // Constructor detection.
+    ClassDecl* owner = d.qualifier_class;
+    if (owner == nullptr && d.qualifier_template != nullptr &&
+        d.qualifier_template->pattern != nullptr) {
+      owner = d.qualifier_template->pattern->as<ClassDecl>();
+    }
+    if (owner == nullptr && in_class) owner = sema_.currentClass();
+    const bool qualified = d.qualifier_class != nullptr ||
+                           d.qualifier_template != nullptr;
+
+    if (!specs.saw_type && d.is_function && owner != nullptr) {
+      const std::string& cls_name =
+          d.qualifier_template != nullptr ? d.qualifier_template->name()
+                                          : owner->name();
+      if (d.name == cls_name) d.is_ctor = true;
+    }
+    if (d.is_dtor && owner == nullptr) {
+      error("destructor outside of class");
+    }
+
+    if (d.is_function) {
+      FunctionDecl* fn = nullptr;
+      if (qualified && owner != nullptr) {
+        // Out-of-line definition: find the in-class declaration.
+        for (Decl* m : owner->children()) {
+          auto* cand = m->as<FunctionDecl>();
+          if (cand == nullptr || cand->name() != d.name) continue;
+          if (cand->params.size() != d.params.size()) continue;
+          if (cand->is_const != d.is_const_member) continue;
+          fn = cand;
+          break;
+        }
+        if (fn == nullptr) {
+          error("no matching member '" + d.name + "' in '" + owner->name() + "'");
+          fn = buildFunction(specs, d, AccessKind::Public);
+          fn->setParent(owner);
+          owner->addChild(fn);
+        } else {
+          // Update to the definition site (paper Fig. 3: rloc of push is
+          // the StackAr.cpp location). Default arguments live on the
+          // declaration; carry them over to the definition's params.
+          fn->setLocation(d.name_loc);
+          for (std::size_t i = 0; i < d.params.size() && i < fn->params.size();
+               ++i) {
+            if (d.params[i]->default_arg == nullptr)
+              d.params[i]->default_arg = fn->params[i]->default_arg;
+          }
+          fn->params = d.params;
+          if (specs.saw_type) fn->return_type = specs.saw_type ? d.type : fn->return_type;
+          std::vector<const Type*> ptypes;
+          for (const ParamDecl* p : fn->params) ptypes.push_back(p->type);
+          fn->signature = ctx_.functionType(fn->return_type, std::move(ptypes),
+                                            fn->is_const, fn->has_ellipsis,
+                                            fn->exception_specs);
+        }
+      } else {
+        fn = buildFunction(specs, d, in_class ? access : AccessKind::None);
+        if (in_class) {
+          sema_.declare(fn);
+        } else {
+          // Merge with a previous declaration of the same signature.
+          FunctionDecl* prior = nullptr;
+          for (Decl* cand : sema_.lookupUnqualified(d.name)) {
+            auto* cf = cand->as<FunctionDecl>();
+            if (cf != nullptr && cf->signature == fn->signature) {
+              prior = cf;
+              break;
+            }
+          }
+          if (prior != nullptr) {
+            fn = prior;
+            fn->setLocation(d.name_loc);
+          } else {
+            sema_.declare(fn);
+          }
+        }
+      }
+
+      if (enclosing_template != nullptr && !qualified) {
+        // Free function template pattern: detach handled by caller.
+      }
+
+      // Pure virtual: "= 0".
+      if (cur().isPunct("=") && peek().text == "0") {
+        advance();
+        advance();
+        fn->is_pure_virtual = true;
+        fn->is_virtual = true;
+      }
+
+      const SourceLocation header_begin = fn->location();
+      fn->setHeaderExtent({header_begin, loc()});
+
+      if (cur().isPunct("{") || cur().isPunct(":")) {
+        const bool dependent =
+            inTemplate() || d.qualifier_template != nullptr;
+        parseFunctionRest(fn, dependent, /*delay_body=*/delayed_sink_ != nullptr);
+        return;  // a function definition ends the declaration
+      }
+      expectPunct(";");
+      if (consumePunct(",")) continue;  // rare: "void f(), g();"
+      return;
+    }
+
+    // Variable declarator.
+    if (d.name.empty()) {
+      error("expected declarator name");
+      skipToRecovery();
+      return;
+    }
+    auto* var = ctx_.create<VarDecl>();
+    var->setName(d.name);
+    var->setLocation(d.name_loc);
+    var->setAccess(in_class ? access : AccessKind::None);
+    var->type = d.type;
+    var->storage = specs.storage;
+
+    if (qualified && owner != nullptr) {
+      // Out-of-line static member definition: attach initializer info to
+      // the in-class declaration.
+      for (Decl* m : owner->children()) {
+        if (auto* mv = m->as<VarDecl>(); mv != nullptr && mv->name() == d.name) {
+          var = mv;
+          break;
+        }
+      }
+    } else {
+      sema_.declare(var);
+    }
+
+    if (consumePunct("=")) {
+      var->init = parseAssignment();
+    } else if (cur().isPunct("(")) {
+      advance();
+      if (!cur().isPunct(")")) {
+        while (true) {
+          var->ctor_args.push_back(parseAssignment());
+          if (!consumePunct(",")) break;
+        }
+      }
+      expectPunct(")");
+    }
+    if (consumePunct(",")) continue;
+    expectPunct(";");
+    return;
+  }
+}
+
+FunctionDecl* Parser::buildFunction(const DeclSpecs& specs, Declarator& d,
+                                    AccessKind access) {
+  auto* fn = ctx_.create<FunctionDecl>();
+  fn->setName(d.name);
+  fn->setLocation(d.name_loc);
+  fn->setAccess(access);
+  if (d.is_ctor) fn->fkind = FunctionKind::Constructor;
+  else if (d.is_dtor) fn->fkind = FunctionKind::Destructor;
+  else if (d.is_conversion) fn->fkind = FunctionKind::Conversion;
+  else if (d.is_operator) fn->fkind = FunctionKind::Operator;
+  fn->return_type = d.is_ctor || d.is_dtor
+                        ? ctx_.voidType()
+                        : (d.is_conversion && d.conversion_type != nullptr
+                               ? d.conversion_type
+                               : d.type);
+  fn->params = d.params;
+  fn->is_virtual = specs.is_virtual;
+  fn->is_static = specs.is_static;
+  fn->is_inline = specs.is_inline;
+  fn->is_explicit = specs.is_explicit;
+  fn->is_const = d.is_const_member;
+  fn->has_ellipsis = d.has_ellipsis;
+  fn->storage = specs.storage;
+  fn->linkage = current_linkage_;
+  fn->exception_specs = d.exception_specs;
+  fn->has_exception_spec = d.has_exception_spec;
+  std::vector<const Type*> ptypes;
+  ptypes.reserve(fn->params.size());
+  for (const ParamDecl* p : fn->params) ptypes.push_back(p->type);
+  fn->signature = ctx_.functionType(fn->return_type, std::move(ptypes),
+                                    fn->is_const, fn->has_ellipsis,
+                                    fn->exception_specs);
+  return fn;
+}
+
+void Parser::parseCtorInitializers(FunctionDecl* fn) {
+  // ": member(arg, ...), Base(arg) ..."
+  advance();  // ':'
+  while (true) {
+    if (!cur().is(TokenKind::Identifier)) {
+      error("expected member or base name in constructor initializer");
+      break;
+    }
+    FunctionDecl::CtorInit init;
+    init.name = cur().text;
+    init.location = loc();
+    advance();
+    if (cur().isPunct("<")) {  // Base<T>(...) — keep the base template name
+      skipBalanced("<", ">");
+    }
+    expectPunct("(");
+    if (!cur().isPunct(")")) {
+      while (true) {
+        init.args.push_back(parseAssignment());
+        if (!consumePunct(",")) break;
+      }
+    }
+    expectPunct(")");
+    fn->ctor_inits.push_back(std::move(init));
+    if (!consumePunct(",")) break;
+  }
+}
+
+void Parser::parseFunctionRest(FunctionDecl* fn, bool is_dependent_body,
+                               bool delay_body) {
+  if (delay_body) {
+    DelayedBody delayed;
+    delayed.fn = fn;
+    delayed.token_index = pos_;
+    delayed.is_dependent = is_dependent_body;
+    delayed_sink_->push_back(delayed);
+    // Skip the initializers and the balanced body.
+    if (cur().isPunct(":")) {
+      while (!cur().isEnd() && !cur().isPunct("{")) advance();
+    }
+    const SourceLocation body_begin = loc();
+    skipBalanced("{", "}");
+    fn->setBodyExtent({body_begin, toks_[pos_ > 0 ? pos_ - 1 : 0].location});
+    fn->is_defined = true;
+    return;
+  }
+
+  if (cur().isPunct(":")) parseCtorInitializers(fn);
+  if (!cur().isPunct("{")) {
+    error("expected function body");
+    skipToRecovery();
+    return;
+  }
+  const SourceLocation body_begin = loc();
+  sema_.pushScope(sema::ScopeKind::Function, nullptr);
+  for (ParamDecl* p : fn->params) {
+    if (!p->name().empty()) sema_.declareName(p->name(), p);
+  }
+  fn->body = parseCompound();
+  sema_.popScope();
+  const SourceLocation body_end =
+      toks_[pos_ > 0 ? pos_ - 1 : 0].location;  // the closing '}'
+  fn->setBodyExtent({body_begin, body_end});
+  fn->is_defined = true;
+  if (!is_dependent_body) sema_.queueForResolution(fn);
+}
+
+// ---------------------------------------------------------------------------
+// Classes
+// ---------------------------------------------------------------------------
+
+void Parser::parseClass(const DeclSpecs& specs, TemplateDecl* enclosing_template,
+                        bool is_specialization,
+                        std::vector<const Type*> spec_args) {
+  (void)specs;
+  const SourceLocation class_kw_loc = loc();
+  TagKind tag = TagKind::Class;
+  if (cur().isKeyword("struct")) tag = TagKind::Struct;
+  else if (cur().isKeyword("union")) tag = TagKind::Union;
+  advance();  // tag keyword
+
+  std::string name;
+  SourceLocation name_loc = loc();
+  if (cur().is(TokenKind::Identifier)) {
+    name = cur().text;
+    name_loc = loc();
+    advance();
+  }
+
+  // Specialization head: name<args> already parsed by caller? No — caller
+  // passes spec_args; the name token here is the template name and the
+  // argument list follows.
+  if (is_specialization && cur().isPunct("<")) {
+    auto args = parseTemplateArgs();
+    if (args) spec_args = *args;
+  }
+
+  // Forward declaration?
+  if (cur().isPunct(";") && !is_specialization && enclosing_template == nullptr) {
+    advance();
+    // Reuse an existing class of this name if present.
+    for (Decl* d : sema_.lookupUnqualified(name)) {
+      if (d->as<ClassDecl>() != nullptr) return;
+      if (auto* td = d->as<TemplateDecl>();
+          td != nullptr && td->tkind == TemplateKind::Class)
+        return;
+    }
+    auto* fwd = ctx_.create<ClassDecl>();
+    fwd->setName(name);
+    fwd->setLocation(name_loc);
+    fwd->tag = tag;
+    sema_.declare(fwd);
+    return;
+  }
+
+  // Find a previously forward-declared incomplete class to complete.
+  ClassDecl* cls = nullptr;
+  if (!name.empty() && enclosing_template == nullptr && !is_specialization) {
+    for (Decl* d : sema_.lookupUnqualified(name)) {
+      if (auto* existing = d->as<ClassDecl>();
+          existing != nullptr && !existing->is_complete &&
+          existing->instantiated_from == nullptr) {
+        cls = existing;
+        break;
+      }
+    }
+  }
+  if (cls == nullptr) {
+    cls = ctx_.create<ClassDecl>();
+    if (is_specialization) {
+      std::string spec_name = name + "<";
+      for (std::size_t i = 0; i < spec_args.size(); ++i) {
+        if (i > 0) spec_name += ", ";
+        spec_name += spec_args[i]->spelling();
+      }
+      if (spec_name.ends_with('>')) spec_name += ' ';
+      spec_name += ">";
+      cls->setName(spec_name);
+      cls->is_specialization = true;
+      cls->template_args = spec_args;
+    } else {
+      cls->setName(name);
+    }
+    cls->tag = tag;
+    if (enclosing_template != nullptr) {
+      // Pattern class: reachable via the template, not by direct lookup.
+      cls->setParent(sema_.currentContext());
+      sema_.declareName(name, cls);  // visible while parsing (self-reference)
+    } else {
+      sema_.declare(cls);
+    }
+  }
+  cls->setLocation(name_loc);
+  cls->tag = tag;
+
+  if (enclosing_template != nullptr) {
+    enclosing_template->pattern = cls;
+    enclosing_template->setName(name);
+    enclosing_template->setLocation(name_loc);
+    cls->describing_template = enclosing_template;
+  }
+  if (is_specialization && !name.empty()) {
+    // Register with the primary template.
+    for (Decl* d : sema_.lookupUnqualified(name)) {
+      if (auto* td = d->as<TemplateDecl>();
+          td != nullptr && td->tkind == TemplateKind::Class) {
+        td->specializations.push_back({spec_args, cls});
+        if (sema_.options().record_specialization_origin) {
+          cls->instantiated_from = td;
+        }
+        break;
+      }
+    }
+    sema_.declare(cls);
+  }
+
+  // Bases.
+  if (consumePunct(":")) {
+    while (true) {
+      BaseSpecifier base;
+      base.access = tag == TagKind::Struct ? AccessKind::Public
+                                           : AccessKind::Private;
+      while (true) {
+        if (consumeKeyword("virtual")) { base.is_virtual = true; continue; }
+        if (consumeKeyword("public")) { base.access = AccessKind::Public; continue; }
+        if (consumeKeyword("protected")) { base.access = AccessKind::Protected; continue; }
+        if (consumeKeyword("private")) { base.access = AccessKind::Private; continue; }
+        break;
+      }
+      const Type* base_type = parseNamedType();
+      if (base_type == nullptr) {
+        error("expected base class name");
+        break;
+      }
+      if (base_type->isDependent()) {
+        base.dependent_type = base_type;
+      } else if (const auto* ct = canonical(base_type)->as<ClassType>()) {
+        base.base = ct->decl();
+      }
+      cls->bases.push_back(base);
+      if (!consumePunct(",")) break;
+    }
+  }
+
+  if (!expectPunct("{")) {
+    skipToRecovery();
+    return;
+  }
+  cls->setHeaderExtent({class_kw_loc, name_loc});
+  const SourceLocation body_begin = toks_[pos_ - 1].location;
+
+  sema_.pushScope(sema::ScopeKind::Class, cls);
+  parseClassBody(cls);
+  sema_.popScope();
+
+  const SourceLocation body_end = toks_[pos_ > 0 ? pos_ - 1 : 0].location;
+  cls->setBodyExtent({body_begin, body_end});
+  cls->is_complete = true;
+
+  // "class X {} x;" — trailing declarators are rare in the inputs; accept
+  // a plain semicolon or a named variable.
+  if (cur().is(TokenKind::Identifier)) {
+    auto* var = ctx_.create<VarDecl>();
+    var->setName(cur().text);
+    var->setLocation(loc());
+    var->type = ctx_.classType(cls);
+    advance();
+    sema_.declare(var);
+  }
+  expectPunct(";");
+}
+
+void Parser::parseClassBody(ClassDecl* cls) {
+  AccessKind access =
+      cls->tag == TagKind::Struct || cls->tag == TagKind::Union
+          ? AccessKind::Public
+          : AccessKind::Private;
+
+  std::vector<DelayedBody> delayed;
+  std::vector<DelayedBody>* saved_sink = delayed_sink_;
+  delayed_sink_ = &delayed;
+
+  while (!cur().isEnd() && !cur().isPunct("}")) {
+    if (cur().isKeyword("public") && peek().isPunct(":")) {
+      access = AccessKind::Public;
+      advance();
+      advance();
+      continue;
+    }
+    if (cur().isKeyword("protected") && peek().isPunct(":")) {
+      access = AccessKind::Protected;
+      advance();
+      advance();
+      continue;
+    }
+    if (cur().isKeyword("private") && peek().isPunct(":")) {
+      access = AccessKind::Private;
+      advance();
+      advance();
+      continue;
+    }
+    if (cur().isPunct(";")) {
+      advance();
+      continue;
+    }
+    if (cur().isKeyword("friend")) {
+      parseFriend(cls);
+      continue;
+    }
+    if (cur().isKeyword("class") || cur().isKeyword("struct") ||
+        cur().isKeyword("union")) {
+      const Token& nm = peek();
+      const Token& after = peek(2);
+      if (nm.is(TokenKind::Identifier) &&
+          (after.isPunct("{") || after.isPunct(":") || after.isPunct(";"))) {
+        // Nested class definition/forward declaration.
+        const std::size_t before = pos_;
+        DeclSpecs none;
+        // Propagate access into the nested class by marking afterwards.
+        const std::size_t child_index = cls->children().size();
+        parseClass(none, nullptr, false, {});
+        if (cls->children().size() > child_index) {
+          cls->children()[child_index]->setAccess(access);
+        }
+        if (pos_ == before) advance();
+        continue;
+      }
+    }
+    if (cur().isKeyword("enum")) {
+      parseEnum(/*in_class=*/true, access);
+      continue;
+    }
+    if (cur().isKeyword("using")) {
+      parseUsing();
+      continue;
+    }
+    if (cur().isKeyword("template")) {
+      // Member function template of a regular class — the TE_MEMFUNC/
+      // TE_STATMEM entities of paper Figure 6. (Member templates of class
+      // templates — nested template depth — stay outside the subset.)
+      if (inTemplate()) {
+        error("member templates of class templates are not supported by "
+              "PDT-C++");
+        skipToRecovery();
+        continue;
+      }
+      parseMemberTemplate(cls, access);
+      continue;
+    }
+    const std::size_t before = pos_;
+    parseDeclarationOrDefinition(/*in_class=*/true, access);
+    if (pos_ == before) {
+      error("unexpected token '" + cur().text + "' in class body");
+      advance();
+    }
+  }
+  expectPunct("}");
+
+  delayed_sink_ = saved_sink;
+  parseDelayedBodies(cls, std::move(delayed));
+}
+
+void Parser::parseDelayedBodies(ClassDecl* cls, std::vector<DelayedBody> bodies) {
+  for (const DelayedBody& delayed : bodies) {
+    const std::size_t save = pos_;
+    pos_ = delayed.token_index;
+    sema_.pushScope(sema::ScopeKind::Class, cls);
+    sema_.pushScope(sema::ScopeKind::Function, nullptr);
+    for (ParamDecl* p : delayed.fn->params) {
+      if (!p->name().empty()) sema_.declareName(p->name(), p);
+    }
+    if (cur().isPunct(":")) parseCtorInitializers(delayed.fn);
+    if (cur().isPunct("{")) {
+      delayed.fn->body = parseCompound();
+      delayed.fn->is_defined = true;
+      if (!delayed.is_dependent) sema_.queueForResolution(delayed.fn);
+    }
+    sema_.popScope();
+    sema_.popScope();
+    pos_ = save;
+  }
+}
+
+void Parser::parseMemberTemplate(ClassDecl* cls, AccessKind access) {
+  const std::size_t start = pos_;
+  const SourceLocation template_loc = loc();
+  advance();  // template
+  if (!cur().isPunct("<")) {
+    error("expected template parameter list");
+    skipToRecovery();
+    return;
+  }
+  sema_.pushScope(sema::ScopeKind::TemplateParams, nullptr);
+  ++template_depth_;
+  std::vector<TemplateParamDecl*> params = parseTemplateParams();
+
+  DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/true);
+  Declarator d = parseDeclarator(
+      specs.type != nullptr ? specs.type : ctx_.voidType(), false);
+  if (!d.is_function) {
+    error("expected a member function template");
+    skipToRecovery();
+    --template_depth_;
+    sema_.popScope();
+    return;
+  }
+
+  auto* td = ctx_.create<TemplateDecl>();
+  td->tkind = specs.is_static ? TemplateKind::StaticMem
+                              : TemplateKind::MemberFunc;
+  td->setName(d.name);
+  td->setLocation(d.name_loc);
+  td->params = std::move(params);
+
+  FunctionDecl* fn = buildFunction(specs, d, access);
+  fn->describing_template = td;
+  fn->setParent(cls);  // member pattern: reachable via the template only
+  td->pattern = fn;
+  td->setAccess(access);
+  td->setParent(cls);
+  cls->addChild(td);
+  sema_.declareName(d.name, td);
+  td->setHeaderExtent({template_loc, loc()});
+
+  if (cur().isPunct("{")) {
+    // Dependent body: parsed now; resolution happens per instantiation.
+    parseFunctionRest(fn, /*is_dependent_body=*/true, /*delay_body=*/false);
+    td->setBodyExtent(fn->bodyExtent());
+    td->text = captureText(start, pos_);
+    if (const auto brace = td->text.find('{'); brace != std::string::npos) {
+      td->text = td->text.substr(0, brace) + "{...}";
+    }
+  } else {
+    expectPunct(";");
+  }
+  --template_depth_;
+  sema_.popScope();
+}
+
+void Parser::parseFriend(ClassDecl* cls) {
+  advance();  // friend
+  FriendEntry fe;
+  if (cur().isKeyword("class") || cur().isKeyword("struct")) {
+    advance();
+    fe.is_class = true;
+    if (cur().is(TokenKind::Identifier)) {
+      fe.name = cur().text;
+      for (Decl* d : sema_.lookupUnqualified(fe.name)) {
+        if (d->as<ClassDecl>() != nullptr) {
+          fe.resolved = d;
+          break;
+        }
+      }
+      advance();
+    }
+    cls->friends.push_back(fe);
+    expectPunct(";");
+    return;
+  }
+  // friend function declaration (possibly with inline body).
+  DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/true);
+  Declarator d = parseDeclarator(
+      specs.type != nullptr ? specs.type : ctx_.intType(), false);
+  fe.name = d.name;
+  cls->friends.push_back(fe);
+  if (cur().isPunct("{")) skipBalanced("{", "}");
+  else expectPunct(";");
+}
+
+// ---------------------------------------------------------------------------
+// Enums and typedefs
+// ---------------------------------------------------------------------------
+
+void Parser::parseEnum(bool in_class, AccessKind access) {
+  const SourceLocation enum_loc = loc();
+  advance();  // enum
+  auto* en = ctx_.create<EnumDecl>();
+  en->setAccess(in_class ? access : AccessKind::None);
+  if (cur().is(TokenKind::Identifier)) {
+    en->setName(cur().text);
+    en->setLocation(loc());
+    advance();
+  } else {
+    en->setLocation(enum_loc);
+  }
+  sema_.declare(en);
+  if (!expectPunct("{")) {
+    skipToRecovery();
+    return;
+  }
+  long long next_value = 0;
+  while (!cur().isEnd() && !cur().isPunct("}")) {
+    if (!cur().is(TokenKind::Identifier)) {
+      error("expected enumerator name");
+      skipToRecovery();
+      return;
+    }
+    auto* e = ctx_.create<EnumeratorDecl>();
+    e->setName(cur().text);
+    e->setLocation(loc());
+    advance();
+    if (consumePunct("=")) {
+      // Constant expressions: accept literals and previously seen
+      // enumerators; anything else keeps the running counter.
+      bool neg = false;
+      if (consumePunct("-")) neg = true;
+      if (cur().is(TokenKind::IntLiteral)) {
+        next_value = std::stoll(cur().text, nullptr, 0);
+        if (neg) next_value = -next_value;
+        advance();
+      } else {
+        while (!cur().isEnd() && !cur().isPunct(",") && !cur().isPunct("}"))
+          advance();
+      }
+    }
+    e->value = next_value++;
+    // Unscoped enumerators are members of the enclosing scope (C++98):
+    // visible to both parse-time and resolution-time lookup.
+    sema_.declare(e);
+    en->enumerators.push_back(e);
+    if (!consumePunct(",")) break;
+  }
+  expectPunct("}");
+  expectPunct(";");
+}
+
+void Parser::parseTypedef(const DeclSpecs& specs, bool in_class,
+                          AccessKind access) {
+  const Type* base = specs.type;
+  if (base == nullptr) {
+    error("typedef requires a type");
+    skipToRecovery();
+    return;
+  }
+  Declarator d = parseDeclarator(base, /*allow_abstract=*/false);
+  auto* td = ctx_.create<TypedefDecl>();
+  td->setName(d.name);
+  td->setLocation(d.name_loc);
+  td->setAccess(in_class ? access : AccessKind::None);
+  td->underlying = d.is_function
+                       ? ctx_.pointerTo(d.type)  // simplified function typedefs
+                       : d.type;
+  sema_.declare(td);
+  expectPunct(";");
+}
+
+// ---------------------------------------------------------------------------
+// Templates
+// ---------------------------------------------------------------------------
+
+std::vector<TemplateParamDecl*> Parser::parseTemplateParams() {
+  std::vector<TemplateParamDecl*> params;
+  expectPunct("<");
+  unsigned index = 0;
+  while (!cur().isEnd() && !cur().isPunct(">")) {
+    auto* p = ctx_.create<TemplateParamDecl>();
+    p->index = index++;
+    if (cur().isKeyword("class") || cur().isKeyword("typename")) {
+      advance();
+      p->param_kind = TemplateParamDecl::Kind::Type;
+      if (cur().is(TokenKind::Identifier)) {
+        p->setName(cur().text);
+        p->setLocation(loc());
+        advance();
+      }
+      if (consumePunct("=")) {
+        p->default_type = parseTypeName();
+      }
+    } else {
+      // Non-type parameter: "int N" etc.
+      p->param_kind = TemplateParamDecl::Kind::NonType;
+      p->type = parseTypeName();
+      if (cur().is(TokenKind::Identifier)) {
+        p->setName(cur().text);
+        p->setLocation(loc());
+        advance();
+      }
+      if (consumePunct("=")) {
+        p->default_value = parseAssignment();
+      }
+    }
+    params.push_back(p);
+    if (!p->name().empty()) sema_.declareName(p->name(), p);
+    if (!consumePunct(",")) break;
+  }
+  if (cur().isPunct(">>")) splitRightShift();
+  expectPunct(">");
+  return params;
+}
+
+void Parser::parseTemplate() {
+  const std::size_t start = pos_;
+  const SourceLocation template_loc = loc();
+  advance();  // template
+
+  if (!cur().isPunct("<")) {
+    parseExplicitInstantiation(template_loc);
+    return;
+  }
+  if (peek().isPunct(">")) {
+    advance();
+    advance();
+    parseExplicitSpecialization(template_loc);
+    return;
+  }
+
+  sema_.pushScope(sema::ScopeKind::TemplateParams, nullptr);
+  ++template_depth_;
+  std::vector<TemplateParamDecl*> params = parseTemplateParams();
+  parseTemplateEntity(std::move(params), template_loc, start);
+  --template_depth_;
+  sema_.popScope();
+}
+
+void Parser::parseTemplateEntity(std::vector<TemplateParamDecl*> params,
+                                 SourceLocation template_loc,
+                                 std::size_t template_index) {
+  const std::size_t entity_start = template_index;
+
+  if (cur().isKeyword("class") || cur().isKeyword("struct") ||
+      cur().isKeyword("union")) {
+    const Token& nm = peek();
+    const Token& after = peek(2);
+    if (nm.is(TokenKind::Identifier) &&
+        (after.isPunct("{") || after.isPunct(":") || after.isPunct(";"))) {
+      // Class template (or forward declaration of one).
+      if (after.isPunct(";")) {
+        // Forward declaration: create/find the template, no pattern yet.
+        const std::string name = nm.text;
+        bool exists = false;
+        for (Decl* d : sema_.lookupUnqualified(name)) {
+          if (d->as<TemplateDecl>() != nullptr) exists = true;
+        }
+        if (!exists) {
+          auto* td = ctx_.create<TemplateDecl>();
+          td->tkind = TemplateKind::Class;
+          td->setName(name);
+          td->setLocation(nm.location);
+          td->params = params;
+          sema_.declareInEnclosing(td);
+        }
+        advance();
+        advance();
+        advance();  // class Name ;
+        return;
+      }
+      // Definition: find an existing forward-declared template or create.
+      TemplateDecl* td = nullptr;
+      for (Decl* d : sema_.lookupUnqualified(nm.text)) {
+        if (auto* existing = d->as<TemplateDecl>();
+            existing != nullptr && existing->tkind == TemplateKind::Class &&
+            existing->pattern == nullptr) {
+          td = existing;
+          break;
+        }
+      }
+      if (td == nullptr) {
+        td = ctx_.create<TemplateDecl>();
+        td->tkind = TemplateKind::Class;
+        td->setName(nm.text);
+        td->setLocation(nm.location);
+        sema_.declareInEnclosing(td);
+      }
+      td->params = params;
+      DeclSpecs none;
+      parseClass(none, td, false, {});
+      td->text = captureText(entity_start, pos_);
+      // Compact the text like the paper's excerpts: body elided.
+      if (const auto brace = td->text.find('{'); brace != std::string::npos) {
+        td->text = td->text.substr(0, brace) + "{...};";
+      }
+      td->setHeaderExtent({template_loc, td->location()});
+      if (td->pattern != nullptr) {
+        td->setBodyExtent(td->pattern->bodyExtent());
+        // Member functions defined inline in the pattern get their own
+        // template entities (tkind memfunc/statmem), as EDG reports them.
+        auto* pattern_cls = td->pattern->as<ClassDecl>();
+        const std::vector<Decl*> members = pattern_cls->children();
+        for (Decl* m : members) {
+          auto* fn = m->as<FunctionDecl>();
+          if (fn == nullptr || !fn->is_defined) continue;
+          auto* te = ctx_.create<TemplateDecl>();
+          te->tkind = fn->is_static ? TemplateKind::StaticMem
+                                    : TemplateKind::MemberFunc;
+          te->setName(fn->name());
+          te->setLocation(fn->location());
+          te->setHeaderExtent(fn->headerExtent());
+          te->setBodyExtent(fn->bodyExtent());
+          te->params = td->params;
+          te->pattern = fn;
+          te->text = "template <...> " + fn->name() + "(...) {...}";
+          te->setParent(pattern_cls);
+          pattern_cls->addChild(te);
+          fn->describing_template = te;
+        }
+      }
+      return;
+    }
+  }
+
+  // Function template, out-of-line member definition, or static data
+  // member definition.
+  DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/true);
+  Declarator d = parseDeclarator(
+      specs.type != nullptr ? specs.type : ctx_.voidType(), false);
+
+  if (d.qualifier_template != nullptr) {
+    // Out-of-line member of a class template.
+    auto* pattern_cls = d.qualifier_template->pattern != nullptr
+                            ? d.qualifier_template->pattern->as<ClassDecl>()
+                            : nullptr;
+    if (pattern_cls == nullptr) {
+      error("out-of-line member of undefined class template");
+      skipToRecovery();
+      return;
+    }
+    if (!specs.saw_type && d.is_function &&
+        d.name == d.qualifier_template->name()) {
+      d.is_ctor = true;
+    }
+    if (d.is_function) {
+      FunctionDecl* member = nullptr;
+      for (Decl* m : pattern_cls->children()) {
+        auto* cand = m->as<FunctionDecl>();
+        if (cand == nullptr || cand->name() != d.name) continue;
+        if (cand->params.size() != d.params.size()) continue;
+        if (cand->is_const != d.is_const_member) continue;
+        member = cand;
+        break;
+      }
+      if (member == nullptr) {
+        error("no matching member '" + d.name + "' in class template '" +
+              d.qualifier_template->name() + "'");
+        skipToRecovery();
+        return;
+      }
+      // The definition site becomes the member's reported location
+      // (paper Fig. 3: rloc/rpos of push point into StackAr.cpp).
+      // Default arguments carry over from the in-class declaration.
+      member->setLocation(d.name_loc);
+      for (std::size_t i = 0; i < d.params.size() && i < member->params.size();
+           ++i) {
+        if (d.params[i]->default_arg == nullptr)
+          d.params[i]->default_arg = member->params[i]->default_arg;
+      }
+      member->params = d.params;
+      member->setHeaderExtent({template_loc, loc()});
+      auto* te = ctx_.create<TemplateDecl>();
+      te->tkind = member->is_static ? TemplateKind::StaticMem
+                                    : TemplateKind::MemberFunc;
+      te->setName(member->name());
+      te->setLocation(d.name_loc);
+      te->params = d.qualifier_template->params;
+      te->pattern = member;
+      te->setParent(pattern_cls);
+      pattern_cls->addChild(te);
+      member->describing_template = te;
+
+      if (cur().isPunct("{") || cur().isPunct(":")) {
+        sema_.pushScope(sema::ScopeKind::Class, pattern_cls);
+        parseFunctionRest(member, /*is_dependent_body=*/true,
+                          /*delay_body=*/false);
+        sema_.popScope();
+        te->setHeaderExtent({template_loc, member->headerExtent().end});
+        te->setBodyExtent(member->bodyExtent());
+        te->text = captureText(entity_start, pos_);
+        if (const auto brace = te->text.find('{'); brace != std::string::npos) {
+          te->text = te->text.substr(0, brace) + "{...}";
+        }
+      } else {
+        expectPunct(";");
+      }
+      return;
+    }
+    // Static data member definition: template<class T> int C<T>::count = 0;
+    VarDecl* member_var = nullptr;
+    for (Decl* m : pattern_cls->children()) {
+      if (auto* mv = m->as<VarDecl>(); mv != nullptr && mv->name() == d.name) {
+        member_var = mv;
+        break;
+      }
+    }
+    if (member_var == nullptr) {
+      error("no matching static member '" + d.name + "'");
+      skipToRecovery();
+      return;
+    }
+    auto* te = ctx_.create<TemplateDecl>();
+    te->tkind = TemplateKind::StaticMem;
+    te->setName(d.name);
+    te->setLocation(d.name_loc);
+    te->params = d.qualifier_template->params;
+    te->pattern = member_var;
+    te->setParent(pattern_cls);
+    pattern_cls->addChild(te);
+    member_var->describing_template = te;
+    if (consumePunct("=")) member_var->init = parseAssignment();
+    expectPunct(";");
+    return;
+  }
+
+  // Free function template.
+  if (!d.is_function) {
+    error("expected a function template or member definition");
+    skipToRecovery();
+    return;
+  }
+  auto* td = ctx_.create<TemplateDecl>();
+  td->tkind = TemplateKind::Function;
+  td->setName(d.name);
+  td->setLocation(d.name_loc);
+  td->params = std::move(params);
+  FunctionDecl* fn = buildFunction(specs, d, AccessKind::None);
+  fn->describing_template = td;
+  fn->setParent(sema_.currentContext());
+  td->pattern = fn;
+  sema_.declareInEnclosing(td);
+  td->setHeaderExtent({template_loc, loc()});
+  if (cur().isPunct("{")) {
+    parseFunctionRest(fn, /*is_dependent_body=*/true, /*delay_body=*/false);
+    td->setBodyExtent(fn->bodyExtent());
+    td->text = captureText(entity_start, pos_);
+    if (const auto brace = td->text.find('{'); brace != std::string::npos) {
+      td->text = td->text.substr(0, brace) + "{...}";
+    }
+  } else {
+    expectPunct(";");
+  }
+}
+
+void Parser::parseExplicitSpecialization(SourceLocation template_loc) {
+  if (cur().isKeyword("class") || cur().isKeyword("struct") ||
+      cur().isKeyword("union")) {
+    DeclSpecs none;
+    parseClass(none, nullptr, /*is_specialization=*/true, {});
+    return;
+  }
+  // Function specialization: template<> ret name<args>(params) {...}
+  DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/true);
+  if (!cur().is(TokenKind::Identifier)) {
+    error("expected specialization name");
+    skipToRecovery();
+    return;
+  }
+  const std::string name = cur().text;
+  const SourceLocation name_loc = loc();
+  advance();
+  std::vector<const Type*> args;
+  if (cur().isPunct("<")) {
+    auto parsed = parseTemplateArgs();
+    if (parsed) args = *parsed;
+  }
+  TemplateDecl* td = nullptr;
+  for (Decl* d : sema_.lookupUnqualified(name)) {
+    if (auto* t = d->as<TemplateDecl>();
+        t != nullptr && t->tkind == TemplateKind::Function) {
+      td = t;
+      break;
+    }
+  }
+  if (td == nullptr) {
+    error("specialization of unknown function template '" + name + "'");
+    skipToRecovery();
+    return;
+  }
+  Declarator d;
+  d.name = name;
+  d.name_loc = name_loc;
+  if (expectPunct("(")) {
+    d.is_function = true;
+    d.params = parseParamList(d.has_ellipsis);
+  }
+  while (consumeKeyword("const")) d.is_const_member = true;
+  d.type = specs.type != nullptr ? specs.type : ctx_.voidType();
+  FunctionDecl* fn = buildFunction(specs, d, AccessKind::None);
+  fn->is_specialization = true;
+  fn->template_args = args;
+  if (sema_.options().record_specialization_origin) fn->instantiated_from = td;
+  fn->setParent(td->parent());
+  if (td->parent() != nullptr) td->parent()->addChild(fn);
+  if (args.empty()) {
+    // Deduce from parameter types against the pattern (exact-match only).
+    const auto* pattern = td->pattern != nullptr
+                              ? td->pattern->as<FunctionDecl>()
+                              : nullptr;
+    if (pattern != nullptr && pattern->params.size() == fn->params.size()) {
+      args.assign(td->params.size(), nullptr);
+      for (std::size_t i = 0; i < fn->params.size(); ++i) {
+        if (const auto* tp =
+                canonical(pattern->params[i]->type)->as<TemplateParamType>()) {
+          if (tp->index() < args.size())
+            args[tp->index()] = canonical(fn->params[i]->type);
+        }
+      }
+      bool complete = true;
+      for (const Type* a : args) complete = complete && a != nullptr;
+      if (!complete) args.clear();
+      fn->template_args = args;
+    }
+  }
+  if (!args.empty()) td->specializations.push_back({args, fn});
+  (void)template_loc;
+  if (cur().isPunct("{")) {
+    parseFunctionRest(fn, /*is_dependent_body=*/false, /*delay_body=*/false);
+  } else {
+    expectPunct(";");
+  }
+}
+
+void Parser::parseExplicitInstantiation(SourceLocation template_loc) {
+  // "template class Stack<int>;" — instantiate everything (C++ semantics:
+  // explicit instantiation definitions instantiate all members).
+  if (cur().isKeyword("class") || cur().isKeyword("struct")) {
+    advance();
+    const Type* type = parseNamedType();
+    expectPunct(";");
+    if (type == nullptr) {
+      diags_.error(template_loc, "malformed explicit instantiation");
+      return;
+    }
+    if (const auto* ct = canonical(type)->as<ClassType>()) {
+      for (Decl* m : ct->decl()->children()) {
+        if (auto* fn = m->as<FunctionDecl>()) sema_.noteUsed(fn);
+      }
+    }
+    return;
+  }
+  diags_.error(template_loc,
+               "only class explicit instantiations are supported");
+  skipToRecovery();
+}
+
+}  // namespace pdt::parse

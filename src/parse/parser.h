@@ -1,0 +1,178 @@
+// Recursive-descent parser for PDT-C++ (DESIGN.md §3).
+//
+// The parser interleaves with Sema the way real C++ frontends must: name
+// classification (is this identifier a type? a template?) consults the
+// scope stack while parsing. It builds the IL tree; semantic resolution of
+// bodies and template instantiation happen in Sema::finalize().
+//
+// Inline member function bodies are delay-parsed until their class is
+// complete (so members may reference members declared later), using the
+// parser's random-access token buffer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/context.h"
+#include "lex/token.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace pdt::parse {
+
+class Parser {
+ public:
+  Parser(sema::Sema& sema, SourceManager& sm, DiagnosticEngine& diags,
+         std::vector<lex::Token> tokens);
+
+  /// Parses the whole token stream into the Sema's translation unit.
+  void parseTranslationUnit();
+
+ private:
+  using Token = lex::Token;
+
+  // -- token plumbing -----------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(std::size_t ahead = 1) const;
+  void advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool consumePunct(std::string_view p);
+  bool consumeKeyword(std::string_view k);
+  bool expectPunct(std::string_view p);
+  [[nodiscard]] SourceLocation loc() const { return cur().location; }
+  void error(const std::string& message);
+  void skipToRecovery();       // skip to ';' or matching '}' at depth 0
+  void skipBalanced(std::string_view open, std::string_view close);
+  /// Splits a '>>' token into two '>' (nested template argument lists).
+  void splitRightShift();
+
+  // -- declarations ----------------------------------------------------------
+  void parseTopLevel();
+  void parseDeclarationOrDefinition(bool in_class, ast::AccessKind access);
+  void parseNamespace();
+  void parseUsing();
+  void parseTemplate();
+  void parseExternBlock();
+
+  struct DeclSpecs {
+    const ast::Type* type = nullptr;
+    bool is_virtual = false;
+    bool is_static = false;
+    bool is_inline = false;
+    bool is_explicit = false;
+    bool is_friend = false;
+    bool is_typedef = false;
+    bool is_mutable = false;
+    ast::StorageClass storage = ast::StorageClass::None;
+    bool saw_type = false;
+  };
+  /// Parses decl-specifiers + the base type. `allow_no_type` supports
+  /// constructors/destructors.
+  DeclSpecs parseDeclSpecs(bool allow_no_type);
+
+  struct Declarator {
+    std::string name;
+    SourceLocation name_loc;
+    const ast::Type* type = nullptr;          // full declarator type
+    bool is_function = false;
+    std::vector<ast::ParamDecl*> params;
+    bool is_const_member = false;
+    bool has_ellipsis = false;
+    std::vector<const ast::Type*> exception_specs;
+    bool has_exception_spec = false;
+    // Qualifier for out-of-line members: "Stack<Object>::push".
+    ast::ClassDecl* qualifier_class = nullptr;      // resolved concrete class
+    ast::TemplateDecl* qualifier_template = nullptr;  // class template pattern
+    bool is_ctor = false;
+    bool is_dtor = false;
+    bool is_operator = false;
+    bool is_conversion = false;
+    const ast::Type* conversion_type = nullptr;
+  };
+  /// Parses one declarator on top of `base`.
+  Declarator parseDeclarator(const ast::Type* base, bool allow_abstract);
+  std::vector<ast::ParamDecl*> parseParamList(bool& has_ellipsis);
+
+  void parseClass(const DeclSpecs& specs, ast::TemplateDecl* enclosing_template,
+                  bool is_specialization,
+                  std::vector<const ast::Type*> spec_args);
+  void parseClassBody(ast::ClassDecl* cls);
+  void parseEnum(bool in_class, ast::AccessKind access);
+  void parseTypedef(const DeclSpecs& specs, bool in_class, ast::AccessKind access);
+  void parseFriend(ast::ClassDecl* cls);
+  /// Member function template of a non-template class (TE_MEMFUNC).
+  void parseMemberTemplate(ast::ClassDecl* cls, ast::AccessKind access);
+
+  /// Continues a declaration after specs: declarators, function bodies.
+  void parseInitDeclarators(const DeclSpecs& specs, bool in_class,
+                            ast::AccessKind access,
+                            ast::TemplateDecl* enclosing_template);
+
+  ast::FunctionDecl* buildFunction(const DeclSpecs& specs, Declarator& d,
+                                   ast::AccessKind access);
+  void parseFunctionRest(ast::FunctionDecl* fn, bool is_dependent_body,
+                         bool delay_body);
+  void parseCtorInitializers(ast::FunctionDecl* fn);
+
+  // -- types -----------------------------------------------------------------
+  /// Parses a type-specifier (builtin combos or named type), or null.
+  const ast::Type* parseTypeSpecifier();
+  /// Full type for casts/template args: specs + ptr/ref suffixes.
+  const ast::Type* parseTypeName();
+  const ast::Type* parsePointerRefSuffixes(const ast::Type* base);
+  /// Named type: qualified id with optional template arguments.
+  const ast::Type* parseNamedType();
+  std::optional<std::vector<const ast::Type*>> parseTemplateArgs();
+  /// True when the upcoming tokens start a type.
+  [[nodiscard]] bool startsType() const;
+  [[nodiscard]] bool startsDeclSpecs() const;
+
+  // -- template helpers --------------------------------------------------------
+  std::vector<ast::TemplateParamDecl*> parseTemplateParams();
+  void parseTemplateEntity(std::vector<ast::TemplateParamDecl*> params,
+                           SourceLocation template_loc,
+                           std::size_t template_index);
+  void parseExplicitSpecialization(SourceLocation template_loc);
+  void parseExplicitInstantiation(SourceLocation template_loc);
+  /// Captures template text from token `start` to current (exclusive).
+  std::string captureText(std::size_t start, std::size_t end) const;
+
+  // -- statements / expressions (parser_expr.cpp) -------------------------------
+  ast::Stmt* parseStmt();
+  ast::CompoundStmt* parseCompound();
+  ast::Stmt* parseDeclStmtOrExprStmt();
+  ast::Expr* parseExpr();
+  ast::Expr* parseAssignment();
+  ast::Expr* parseConditional();
+  ast::Expr* parseBinary(int min_prec);
+  ast::Expr* parseUnary();
+  ast::Expr* parsePostfix();
+  ast::Expr* parsePrimary();
+  std::vector<ast::Expr*> parseCallArgs();
+
+  /// Delayed inline member function bodies.
+  struct DelayedBody {
+    ast::FunctionDecl* fn = nullptr;
+    std::size_t token_index = 0;  // at '{' or ':' (ctor-inits)
+    bool is_dependent = false;    // member of a class template pattern
+  };
+  void parseDelayedBodies(ast::ClassDecl* cls, std::vector<DelayedBody> bodies);
+
+  /// True when template parameters are in scope (dependent context).
+  [[nodiscard]] bool inTemplate() const { return template_depth_ > 0; }
+
+  sema::Sema& sema_;
+  ast::AstContext& ctx_;
+  SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  int template_depth_ = 0;
+  ast::Linkage current_linkage_ = ast::Linkage::Cxx;
+  std::vector<DelayedBody>* delayed_sink_ = nullptr;  // set inside class bodies
+};
+
+}  // namespace pdt::parse

@@ -1,0 +1,820 @@
+// Parser: statements and expressions. Bodies are parsed fully so the IL
+// Analyzer can extract static call information, including calls hidden in
+// object lifetimes (paper §3.1).
+#include "parse/parser.h"
+
+namespace pdt::parse {
+
+using namespace ast;
+using lex::Token;
+using lex::TokenKind;
+
+namespace {
+
+int binaryPrecedence(std::string_view op) {
+  if (op == "||") return 1;
+  if (op == "&&") return 2;
+  if (op == "|") return 3;
+  if (op == "^") return 4;
+  if (op == "&") return 5;
+  if (op == "==" || op == "!=") return 6;
+  if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+  if (op == "<<" || op == ">>") return 8;
+  if (op == "+" || op == "-") return 9;
+  if (op == "*" || op == "/" || op == "%") return 10;
+  if (op == ".*" || op == "->*") return 11;
+  return 0;
+}
+
+bool isAssignOp(std::string_view op) {
+  return op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" ||
+         op == "%=" || op == "<<=" || op == ">>=" || op == "&=" || op == "^=" ||
+         op == "|=";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+CompoundStmt* Parser::parseCompound() {
+  auto* block = ctx_.create<CompoundStmt>();
+  const SourceLocation begin = loc();
+  expectPunct("{");
+  sema_.pushScope(sema::ScopeKind::Block, nullptr);
+  while (!cur().isEnd() && !cur().isPunct("}")) {
+    const std::size_t before = pos_;
+    Stmt* s = parseStmt();
+    if (s != nullptr) block->body.push_back(s);
+    if (pos_ == before) {
+      error("unexpected token '" + cur().text + "' in block");
+      advance();
+    }
+  }
+  const SourceLocation end = loc();
+  expectPunct("}");
+  sema_.popScope();
+  block->setExtent({begin, end});
+  return block;
+}
+
+Stmt* Parser::parseStmt() {
+  const SourceLocation begin = loc();
+
+  if (cur().isPunct("{")) return parseCompound();
+  if (cur().isPunct(";")) {
+    advance();
+    auto* s = ctx_.create<NullStmt>();
+    s->setExtent({begin, begin});
+    return s;
+  }
+  if (cur().isKeyword("if")) {
+    advance();
+    auto* s = ctx_.create<IfStmt>();
+    expectPunct("(");
+    s->condition = parseExpr();
+    expectPunct(")");
+    s->then_branch = parseStmt();
+    if (consumeKeyword("else")) s->else_branch = parseStmt();
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("while")) {
+    advance();
+    auto* s = ctx_.create<WhileStmt>();
+    expectPunct("(");
+    s->condition = parseExpr();
+    expectPunct(")");
+    s->body = parseStmt();
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("do")) {
+    advance();
+    auto* s = ctx_.create<DoWhileStmt>();
+    s->body = parseStmt();
+    if (consumeKeyword("while")) {
+      expectPunct("(");
+      s->condition = parseExpr();
+      expectPunct(")");
+    } else {
+      error("expected 'while' after do-body");
+    }
+    expectPunct(";");
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("for")) {
+    advance();
+    auto* s = ctx_.create<ForStmt>();
+    sema_.pushScope(sema::ScopeKind::Block, nullptr);
+    expectPunct("(");
+    if (!consumePunct(";")) s->init = parseDeclStmtOrExprStmt();
+    if (!cur().isPunct(";")) s->condition = parseExpr();
+    expectPunct(";");
+    if (!cur().isPunct(")")) s->increment = parseExpr();
+    expectPunct(")");
+    s->body = parseStmt();
+    sema_.popScope();
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("switch")) {
+    advance();
+    auto* s = ctx_.create<SwitchStmt>();
+    expectPunct("(");
+    s->condition = parseExpr();
+    expectPunct(")");
+    s->body = parseStmt();
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("case")) {
+    advance();
+    auto* s = ctx_.create<CaseStmt>();
+    s->value = parseConditional();
+    expectPunct(":");
+    if (!cur().isPunct("}") && !cur().isKeyword("case") &&
+        !cur().isKeyword("default"))
+      s->body = parseStmt();
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("default") && peek().isPunct(":")) {
+    advance();
+    advance();
+    auto* s = ctx_.create<DefaultStmt>();
+    if (!cur().isPunct("}") && !cur().isKeyword("case")) s->body = parseStmt();
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("return")) {
+    advance();
+    auto* s = ctx_.create<ReturnStmt>();
+    if (!cur().isPunct(";")) s->value = parseExpr();
+    expectPunct(";");
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  if (cur().isKeyword("break")) {
+    advance();
+    expectPunct(";");
+    auto* s = ctx_.create<BreakStmt>();
+    s->setExtent({begin, begin});
+    return s;
+  }
+  if (cur().isKeyword("continue")) {
+    advance();
+    expectPunct(";");
+    auto* s = ctx_.create<ContinueStmt>();
+    s->setExtent({begin, begin});
+    return s;
+  }
+  if (cur().isKeyword("goto")) {
+    advance();
+    auto* s = ctx_.create<GotoStmt>();
+    if (cur().is(TokenKind::Identifier)) {
+      s->label = cur().text;
+      advance();
+    }
+    expectPunct(";");
+    s->setExtent({begin, begin});
+    return s;
+  }
+  if (cur().isKeyword("try")) {
+    advance();
+    auto* s = ctx_.create<TryStmt>();
+    s->body = parseCompound();
+    while (cur().isKeyword("catch")) {
+      advance();
+      TryStmt::Handler handler;
+      expectPunct("(");
+      sema_.pushScope(sema::ScopeKind::Block, nullptr);
+      if (consumePunct("...")) {
+        // catch-all
+      } else {
+        handler.exception_type = parseTypeName();
+        if (cur().is(TokenKind::Identifier)) {
+          auto* var = ctx_.create<VarDecl>();
+          var->setName(cur().text);
+          var->setLocation(loc());
+          var->type = handler.exception_type;
+          handler.var = var;
+          sema_.declareName(var->name(), var);
+          advance();
+        }
+      }
+      expectPunct(")");
+      handler.body = parseCompound();
+      sema_.popScope();
+      s->handlers.push_back(handler);
+    }
+    s->setExtent({begin, loc()});
+    return s;
+  }
+  // Label: "name: stmt".
+  if (cur().is(TokenKind::Identifier) && peek().isPunct(":") &&
+      !peek(1).isPunct("::")) {
+    // Only treat as a label when the name is not a type (bit-fields and
+    // ternaries don't appear at statement start in the subset).
+    if (!sema_.isTypeName(cur().text)) {
+      auto* s = ctx_.create<LabelStmt>();
+      s->label = cur().text;
+      advance();
+      advance();
+      s->body = parseStmt();
+      s->setExtent({begin, loc()});
+      return s;
+    }
+  }
+  return parseDeclStmtOrExprStmt();
+}
+
+Stmt* Parser::parseDeclStmtOrExprStmt() {
+  const SourceLocation begin = loc();
+
+  bool is_decl = false;
+  if (startsDeclSpecs()) {
+    is_decl = true;
+  } else if (cur().is(TokenKind::Identifier) || cur().isPunct("::")) {
+    // Probe: does a type parse succeed and leave us at a declarator name?
+    const std::size_t save = pos_;
+    const std::size_t diags_before = diags_.all().size();
+    const Type* probe = parseTypeName();
+    if (probe != nullptr && cur().is(TokenKind::Identifier)) is_decl = true;
+    pos_ = save;
+    (void)diags_before;
+  }
+
+  if (!is_decl) {
+    auto* s = ctx_.create<ExprStmt>();
+    s->expr = parseExpr();
+    expectPunct(";");
+    s->setExtent({begin, loc()});
+    return s;
+  }
+
+  // Declaration statement.
+  DeclSpecs specs = parseDeclSpecs(/*allow_no_type=*/false);
+  if (specs.type == nullptr) {
+    error("expected type in declaration");
+    skipToRecovery();
+    return nullptr;
+  }
+  auto* ds = ctx_.create<DeclStmt>();
+  while (true) {
+    const Type* type = parsePointerRefSuffixes(specs.type);
+    if (!cur().is(TokenKind::Identifier)) {
+      error("expected variable name");
+      skipToRecovery();
+      break;
+    }
+    auto* var = ctx_.create<VarDecl>();
+    var->setName(cur().text);
+    var->setLocation(loc());
+    var->storage = specs.storage;
+    advance();
+    // Array suffixes.
+    while (cur().isPunct("[")) {
+      advance();
+      std::int64_t size = -1;
+      if (cur().is(TokenKind::IntLiteral)) {
+        size = std::stoll(cur().text, nullptr, 0);
+        advance();
+      } else {
+        while (!cur().isEnd() && !cur().isPunct("]")) advance();
+      }
+      expectPunct("]");
+      type = ctx_.arrayOf(type, size);
+    }
+    var->type = type;
+    if (consumePunct("=")) {
+      var->init = parseAssignment();
+    } else if (cur().isPunct("(")) {
+      advance();
+      if (!cur().isPunct(")")) {
+        while (true) {
+          var->ctor_args.push_back(parseAssignment());
+          if (!consumePunct(",")) break;
+        }
+      }
+      expectPunct(")");
+    }
+    sema_.declareName(var->name(), var);
+    ds->vars.push_back(var);
+    if (!consumePunct(",")) break;
+  }
+  expectPunct(";");
+  ds->setExtent({begin, loc()});
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Expr* Parser::parseExpr() {
+  Expr* e = parseAssignment();
+  while (cur().isPunct(",")) {
+    advance();
+    auto* comma = ctx_.create<CommaExpr>();
+    comma->lhs = e;
+    comma->rhs = parseAssignment();
+    comma->setExtent(e != nullptr ? e->extent() : SourceExtent{});
+    e = comma;
+  }
+  return e;
+}
+
+Expr* Parser::parseAssignment() {
+  const SourceLocation begin = loc();
+  if (cur().isKeyword("throw")) {
+    advance();
+    auto* t = ctx_.create<ThrowExpr>();
+    if (!cur().isPunct(";") && !cur().isPunct(")") && !cur().isPunct(",")) {
+      t->operand = parseAssignment();
+    }
+    t->setExtent({begin, loc()});
+    return t;
+  }
+  Expr* lhs = parseConditional();
+  if (cur().is(TokenKind::Punct) && isAssignOp(cur().text)) {
+    auto* bin = ctx_.create<BinaryExpr>();
+    bin->op = cur().text;
+    advance();
+    bin->lhs = lhs;
+    bin->rhs = parseAssignment();  // right-associative
+    bin->setExtent({begin, loc()});
+    return bin;
+  }
+  return lhs;
+}
+
+Expr* Parser::parseConditional() {
+  const SourceLocation begin = loc();
+  Expr* cond = parseBinary(1);
+  if (!cur().isPunct("?")) return cond;
+  advance();
+  auto* e = ctx_.create<ConditionalExpr>();
+  e->condition = cond;
+  e->true_value = parseAssignment();
+  expectPunct(":");
+  e->false_value = parseAssignment();
+  e->setExtent({begin, loc()});
+  return e;
+}
+
+Expr* Parser::parseBinary(int min_prec) {
+  const SourceLocation begin = loc();
+  Expr* lhs = parseUnary();
+  while (cur().is(TokenKind::Punct)) {
+    const int prec = binaryPrecedence(cur().text);
+    if (prec == 0 || prec < min_prec) break;
+    auto* bin = ctx_.create<BinaryExpr>();
+    bin->op = cur().text;
+    advance();
+    bin->lhs = lhs;
+    bin->rhs = parseBinary(prec + 1);
+    bin->setExtent({begin, loc()});
+    lhs = bin;
+  }
+  return lhs;
+}
+
+Expr* Parser::parseUnary() {
+  const SourceLocation begin = loc();
+  static constexpr std::string_view kPrefix[] = {"!", "~", "+", "-",
+                                                 "*", "&", "++", "--"};
+  for (const auto op : kPrefix) {
+    if (cur().isPunct(op)) {
+      advance();
+      auto* u = ctx_.create<UnaryExpr>();
+      u->op = std::string(op);
+      u->operand = parseUnary();
+      u->setExtent({begin, loc()});
+      return u;
+    }
+  }
+  if (cur().isKeyword("new")) {
+    advance();
+    auto* e = ctx_.create<NewExpr>();
+    const Type* type = parseTypeSpecifier();
+    if (type == nullptr) {
+      error("expected type after 'new'");
+      type = ctx_.intType();
+    }
+    // Pointer suffixes before the initializer.
+    while (cur().isPunct("*")) {
+      advance();
+      type = ctx_.pointerTo(type);
+    }
+    if (cur().isPunct("[")) {
+      e->is_array = true;
+      advance();
+      if (!cur().isPunct("]")) parseAssignment();  // size expression
+      expectPunct("]");
+    } else if (cur().isPunct("(")) {
+      advance();
+      if (!cur().isPunct(")")) {
+        while (true) {
+          e->args.push_back(parseAssignment());
+          if (!consumePunct(",")) break;
+        }
+      }
+      expectPunct(")");
+    }
+    e->allocated = type;
+    e->setExtent({begin, loc()});
+    return e;
+  }
+  if (cur().isKeyword("delete")) {
+    advance();
+    auto* e = ctx_.create<DeleteExpr>();
+    if (cur().isPunct("[") && peek().isPunct("]")) {
+      e->is_array = true;
+      advance();
+      advance();
+    }
+    e->operand = parseUnary();
+    e->setExtent({begin, loc()});
+    return e;
+  }
+  if (cur().isKeyword("sizeof")) {
+    advance();
+    auto* e = ctx_.create<SizeOfExpr>();
+    if (cur().isPunct("(")) {
+      const std::size_t save = pos_;
+      advance();
+      const Type* t = parseTypeName();
+      if (t != nullptr && cur().isPunct(")")) {
+        advance();
+        e->type_operand = t;
+        e->setExtent({begin, loc()});
+        return e;
+      }
+      pos_ = save;
+    }
+    e->expr_operand = parseUnary();
+    e->setExtent({begin, loc()});
+    return e;
+  }
+  return parsePostfix();
+}
+
+std::vector<Expr*> Parser::parseCallArgs() {
+  std::vector<Expr*> args;
+  expectPunct("(");
+  if (consumePunct(")")) return args;
+  while (true) {
+    args.push_back(parseAssignment());
+    if (!consumePunct(",")) break;
+  }
+  expectPunct(")");
+  return args;
+}
+
+Expr* Parser::parsePostfix() {
+  const SourceLocation begin = loc();
+  Expr* e = parsePrimary();
+  while (true) {
+    if (cur().isPunct("(")) {
+      auto* call = ctx_.create<CallExpr>();
+      call->callee = e;
+      call->call_location = e != nullptr ? e->extent().begin : begin;
+      call->args = parseCallArgs();
+      call->setExtent({begin, loc()});
+      e = call;
+      continue;
+    }
+    if (cur().isPunct("[")) {
+      advance();
+      auto* idx = ctx_.create<IndexExpr>();
+      idx->base = e;
+      idx->index = parseExpr();
+      expectPunct("]");
+      idx->setExtent({begin, loc()});
+      e = idx;
+      continue;
+    }
+    if (cur().isPunct(".") || cur().isPunct("->")) {
+      const bool arrow = cur().isPunct("->");
+      advance();
+      auto* member = ctx_.create<MemberExpr>();
+      member->base = e;
+      member->is_arrow = arrow;
+      if (cur().isPunct("~")) {  // explicit destructor call
+        advance();
+        member->member = "~" + cur().text;
+        advance();
+      } else if (cur().is(TokenKind::Identifier) ||
+                 cur().isKeyword("operator")) {
+        if (cur().isKeyword("operator")) {
+          advance();
+          member->member = "operator" + cur().text;
+          advance();
+        } else {
+          member->member = cur().text;
+          advance();
+        }
+      } else {
+        error("expected member name after '" + std::string(arrow ? "->" : ".") +
+              "'");
+      }
+      member->setExtent({begin, loc()});
+      e = member;
+      continue;
+    }
+    if (cur().isPunct("++") || cur().isPunct("--")) {
+      auto* u = ctx_.create<UnaryExpr>();
+      u->op = cur().text;
+      u->is_postfix = true;
+      u->operand = e;
+      advance();
+      u->setExtent({begin, loc()});
+      e = u;
+      continue;
+    }
+    break;
+  }
+  return e;
+}
+
+Expr* Parser::parsePrimary() {
+  const SourceLocation begin = loc();
+  const Token& t = cur();
+
+  if (t.is(TokenKind::IntLiteral)) {
+    auto* e = ctx_.create<IntLitExpr>();
+    e->spelling = t.text;
+    std::string digits = t.text;
+    while (!digits.empty() && std::isalpha(static_cast<unsigned char>(digits.back())))
+      digits.pop_back();
+    e->value = digits.empty() ? 0 : std::stoll(digits, nullptr, 0);
+    advance();
+    e->setExtent({begin, begin});
+    return e;
+  }
+  if (t.is(TokenKind::FloatLiteral)) {
+    auto* e = ctx_.create<FloatLitExpr>();
+    e->spelling = t.text;
+    std::string digits = t.text;
+    while (!digits.empty() && std::isalpha(static_cast<unsigned char>(digits.back())) &&
+           digits.back() != 'e' && digits.back() != 'E')
+      digits.pop_back();
+    e->value = digits.empty() ? 0.0 : std::stod(digits);
+    advance();
+    e->setExtent({begin, begin});
+    return e;
+  }
+  if (t.is(TokenKind::CharLiteral)) {
+    auto* e = ctx_.create<CharLitExpr>();
+    e->spelling = t.text;
+    advance();
+    e->setExtent({begin, begin});
+    return e;
+  }
+  if (t.is(TokenKind::StringLiteral)) {
+    auto* e = ctx_.create<StringLitExpr>();
+    e->spelling = t.text;
+    advance();
+    // Adjacent string literals concatenate.
+    while (cur().is(TokenKind::StringLiteral)) {
+      e->spelling += cur().text;
+      advance();
+    }
+    e->setExtent({begin, begin});
+    return e;
+  }
+  if (t.isKeyword("true") || t.isKeyword("false")) {
+    auto* e = ctx_.create<BoolLitExpr>();
+    e->value = t.isKeyword("true");
+    advance();
+    e->setExtent({begin, begin});
+    return e;
+  }
+  if (t.isKeyword("this")) {
+    auto* e = ctx_.create<ThisExpr>();
+    advance();
+    e->setExtent({begin, begin});
+    return e;
+  }
+  if (t.isPunct("(")) {
+    // C-style cast or parenthesized expression.
+    const std::size_t save = pos_;
+    advance();
+    const Type* cast_type = parseTypeName();
+    if (cast_type != nullptr && cur().isPunct(")")) {
+      const Token& after = peek();
+      const bool cast_follows =
+          after.is(TokenKind::Identifier) || after.is(TokenKind::IntLiteral) ||
+          after.is(TokenKind::FloatLiteral) || after.is(TokenKind::CharLiteral) ||
+          after.is(TokenKind::StringLiteral) || after.isPunct("(") ||
+          after.isKeyword("this") || after.isKeyword("true") ||
+          after.isKeyword("false") || after.isKeyword("new") ||
+          after.isKeyword("sizeof") || after.isPunct("!") || after.isPunct("~") ||
+          after.isPunct("*") || after.isPunct("&") || after.isPunct("-") ||
+          after.isPunct("+");
+      if (cast_follows) {
+        advance();  // ')'
+        auto* e = ctx_.create<CastExpr>();
+        e->cast_kind = "c-style";
+        e->target = cast_type;
+        e->operand = parseUnary();
+        e->setExtent({begin, loc()});
+        return e;
+      }
+    }
+    pos_ = save;
+    advance();  // '('
+    Expr* inner = parseExpr();
+    expectPunct(")");
+    if (inner != nullptr) inner->setExtent({begin, loc()});
+    return inner;
+  }
+  // Named casts (lex as identifiers: not in the keyword set).
+  if (t.is(TokenKind::Identifier) &&
+      (t.text == "static_cast" || t.text == "dynamic_cast" ||
+       t.text == "reinterpret_cast" || t.text == "const_cast")) {
+    auto* e = ctx_.create<CastExpr>();
+    e->cast_kind = t.text;
+    advance();
+    expectPunct("<");
+    e->target = parseTypeName();
+    if (cur().isPunct(">>")) splitRightShift();
+    expectPunct(">");
+    expectPunct("(");
+    e->operand = parseExpr();
+    expectPunct(")");
+    e->setExtent({begin, loc()});
+    return e;
+  }
+  if (t.isKeyword("typeid")) {
+    advance();
+    auto* e = ctx_.create<CallExpr>();  // modeled as an opaque call
+    auto* ref = ctx_.create<DeclRefExpr>();
+    ref->name = "typeid";
+    ref->setExtent({begin, begin});
+    e->callee = ref;
+    e->call_location = begin;
+    if (cur().isPunct("(")) {
+      advance();
+      const std::size_t save = pos_;
+      const Type* ty = parseTypeName();
+      if (ty == nullptr || !cur().isPunct(")")) {
+        pos_ = save;
+        e->args.push_back(parseExpr());
+      }
+      expectPunct(")");
+    }
+    e->setExtent({begin, loc()});
+    return e;
+  }
+
+  if (t.is(TokenKind::Identifier) || t.isPunct("::") ||
+      t.isKeyword("operator")) {
+    // Type-name followed by '(' is an explicit construction: Stack<int>(),
+    // Overflow(), double(x).
+    {
+      const std::size_t save = pos_;
+      const Type* type = parseTypeName();
+      if (type != nullptr && cur().isPunct("(") &&
+          !type->as<ReferenceType>()) {
+        auto* e = ctx_.create<ConstructExpr>();
+        e->constructed = type;
+        e->args = parseCallArgs();
+        e->setExtent({begin, loc()});
+        return e;
+      }
+      pos_ = save;
+    }
+    return [&]() -> Expr* {
+      // Id-expression with optional qualification and template arguments.
+      const Decl* qualifier_ns = nullptr;
+      const Type* qualifier_type = nullptr;
+      DeclContext* search = nullptr;
+      if (consumePunct("::")) search = ctx_.translationUnit();
+
+      while (true) {
+        if (!cur().is(TokenKind::Identifier)) {
+          if (cur().isKeyword("operator")) {
+            auto* ref = ctx_.create<DeclRefExpr>();
+            advance();
+            ref->name = "operator" + cur().text;
+            advance();
+            ref->qualifier_ns = qualifier_ns;
+            ref->qualifier_type = qualifier_type;
+            ref->setExtent({begin, loc()});
+            return ref;
+          }
+          error("expected identifier");
+          auto* ref = ctx_.create<DeclRefExpr>();
+          ref->setExtent({begin, begin});
+          return ref;
+        }
+        const std::string name = cur().text;
+        const SourceLocation name_loc = loc();
+        advance();
+
+        // Candidate resolution for qualifier/template decisions.
+        std::vector<Decl*> found =
+            search == nullptr ? sema_.lookupUnqualified(name)
+                              : sema::Sema::lookupInContext(search, name);
+        TemplateDecl* class_template = nullptr;
+        TemplateDecl* func_template = nullptr;
+        for (Decl* d : found) {
+          if (auto* td = d->as<TemplateDecl>()) {
+            if (td->tkind == TemplateKind::Class && class_template == nullptr)
+              class_template = td;
+            // Free and member function templates both take explicit args.
+            if (td->tkind != TemplateKind::Class && func_template == nullptr)
+              func_template = td;
+          }
+        }
+
+        if (cur().isPunct("<") && class_template != nullptr) {
+          const std::size_t save = pos_;
+          auto args = parseTemplateArgs();
+          if (args && cur().isPunct("::")) {
+            advance();
+            bool dependent = false;
+            for (const Type* a : *args) dependent = dependent || a->isDependent();
+            if (dependent) {
+              qualifier_type = ctx_.templateSpecType(class_template, *args);
+              search = nullptr;
+            } else {
+              ClassDecl* inst = sema_.instantiateClassTemplate(
+                  class_template, *args, name_loc);
+              if (inst != nullptr) {
+                qualifier_type = ctx_.classType(inst);
+                search = inst;
+              }
+            }
+            qualifier_ns = nullptr;
+            continue;
+          }
+          pos_ = save;  // '<' was a comparison after all
+        }
+        if (cur().isPunct("<") && func_template != nullptr) {
+          const std::size_t save = pos_;
+          auto args = parseTemplateArgs();
+          if (args) {
+            auto* ref = ctx_.create<DeclRefExpr>();
+            ref->name = name;
+            ref->qualifier_ns = qualifier_ns;
+            ref->qualifier_type = qualifier_type;
+            ref->explicit_targs = *args;
+            ref->setExtent({begin, name_loc});
+            return ref;
+          }
+          pos_ = save;
+        }
+        if (cur().isPunct("::")) {
+          // Namespace or class qualifier.
+          Decl* next_search = nullptr;
+          for (Decl* d : found) {
+            if (d->as<NamespaceDecl>() != nullptr ||
+                d->as<ClassDecl>() != nullptr) {
+              next_search = d;
+              break;
+            }
+            if (auto* alias = d->as<NamespaceAliasDecl>()) {
+              next_search = alias->target;
+              break;
+            }
+          }
+          if (next_search != nullptr) {
+            advance();
+            if (auto* ns = next_search->as<NamespaceDecl>()) {
+              search = ns;
+              qualifier_ns = ns;
+              qualifier_type = nullptr;
+            } else if (auto* cls = next_search->as<ClassDecl>()) {
+              search = cls;
+              qualifier_type = ctx_.classType(cls);
+              qualifier_ns = nullptr;
+            }
+            continue;
+          }
+          // "A::b" where A is unknown: swallow the qualifier politely.
+          advance();
+          continue;
+        }
+        auto* ref = ctx_.create<DeclRefExpr>();
+        ref->name = name;
+        ref->qualifier_ns = qualifier_ns;
+        ref->qualifier_type = qualifier_type;
+        ref->setExtent({begin, name_loc});
+        return ref;
+      }
+    }();
+  }
+
+  error("expected expression, found '" + t.text + "'");
+  advance();
+  auto* e = ctx_.create<IntLitExpr>();
+  e->setExtent({begin, begin});
+  return e;
+}
+
+}  // namespace pdt::parse

@@ -1,0 +1,122 @@
+#include "pdb/pdb.h"
+
+namespace pdt::pdb {
+
+std::string_view prefixOf(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::SourceFile: return "so";
+    case ItemKind::Routine: return "ro";
+    case ItemKind::Class: return "cl";
+    case ItemKind::Type: return "ty";
+    case ItemKind::Template: return "te";
+    case ItemKind::Namespace: return "na";
+    case ItemKind::Macro: return "ma";
+  }
+  return "??";
+}
+
+std::optional<ItemKind> kindFromPrefix(std::string_view prefix) {
+  if (prefix == "so") return ItemKind::SourceFile;
+  if (prefix == "ro") return ItemKind::Routine;
+  if (prefix == "cl") return ItemKind::Class;
+  if (prefix == "ty") return ItemKind::Type;
+  if (prefix == "te") return ItemKind::Template;
+  if (prefix == "na") return ItemKind::Namespace;
+  if (prefix == "ma") return ItemKind::Macro;
+  return std::nullopt;
+}
+
+std::string ItemRef::str() const {
+  return std::string(prefixOf(kind)) + "#" + std::to_string(id);
+}
+
+template <typename T>
+std::uint32_t PdbFile::add(std::vector<T>& vec,
+                           std::unordered_map<std::uint32_t, std::size_t>& index,
+                           T item, std::uint32_t& next_id) {
+  if (item.id == 0) item.id = next_id;
+  if (item.id >= next_id) next_id = item.id + 1;
+  index[item.id] = vec.size();
+  vec.push_back(std::move(item));
+  return vec.back().id;
+}
+
+std::uint32_t PdbFile::addSourceFile(SourceFileItem item) {
+  return add(files_, file_index_, std::move(item), next_file_id_);
+}
+std::uint32_t PdbFile::addRoutine(RoutineItem item) {
+  return add(routines_, routine_index_, std::move(item), next_routine_id_);
+}
+std::uint32_t PdbFile::addClass(ClassItem item) {
+  return add(classes_, class_index_, std::move(item), next_class_id_);
+}
+std::uint32_t PdbFile::addType(TypeItem item) {
+  return add(types_, type_index_, std::move(item), next_type_id_);
+}
+std::uint32_t PdbFile::addTemplate(TemplateItem item) {
+  return add(templates_, template_index_, std::move(item), next_template_id_);
+}
+std::uint32_t PdbFile::addNamespace(NamespaceItem item) {
+  return add(namespaces_, namespace_index_, std::move(item), next_namespace_id_);
+}
+std::uint32_t PdbFile::addMacro(MacroItem item) {
+  return add(macros_, macro_index_, std::move(item), next_macro_id_);
+}
+
+namespace {
+template <typename T>
+const T* findIn(const std::vector<T>& vec,
+                const std::unordered_map<std::uint32_t, std::size_t>& index,
+                std::uint32_t id) {
+  const auto it = index.find(id);
+  if (it == index.end() || it->second >= vec.size()) return nullptr;
+  return &vec[it->second];
+}
+}  // namespace
+
+const SourceFileItem* PdbFile::findSourceFile(std::uint32_t id) const {
+  return findIn(files_, file_index_, id);
+}
+const RoutineItem* PdbFile::findRoutine(std::uint32_t id) const {
+  return findIn(routines_, routine_index_, id);
+}
+const ClassItem* PdbFile::findClass(std::uint32_t id) const {
+  return findIn(classes_, class_index_, id);
+}
+const TypeItem* PdbFile::findType(std::uint32_t id) const {
+  return findIn(types_, type_index_, id);
+}
+const TemplateItem* PdbFile::findTemplate(std::uint32_t id) const {
+  return findIn(templates_, template_index_, id);
+}
+const NamespaceItem* PdbFile::findNamespace(std::uint32_t id) const {
+  return findIn(namespaces_, namespace_index_, id);
+}
+const MacroItem* PdbFile::findMacro(std::uint32_t id) const {
+  return findIn(macros_, macro_index_, id);
+}
+
+std::size_t PdbFile::itemCount() const {
+  return files_.size() + routines_.size() + classes_.size() + types_.size() +
+         templates_.size() + namespaces_.size() + macros_.size();
+}
+
+void PdbFile::reindex() {
+  const auto rebuild = [](const auto& vec, auto& index, std::uint32_t& next) {
+    index.clear();
+    next = 1;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      index[vec[i].id] = i;
+      if (vec[i].id >= next) next = vec[i].id + 1;
+    }
+  };
+  rebuild(files_, file_index_, next_file_id_);
+  rebuild(routines_, routine_index_, next_routine_id_);
+  rebuild(classes_, class_index_, next_class_id_);
+  rebuild(types_, type_index_, next_type_id_);
+  rebuild(templates_, template_index_, next_template_id_);
+  rebuild(namespaces_, namespace_index_, next_namespace_id_);
+  rebuild(macros_, macro_index_, next_macro_id_);
+}
+
+}  // namespace pdt::pdb

@@ -1,0 +1,239 @@
+// In-memory model of a program database (PDB) file.
+//
+// This is the typed representation of the ASCII format documented in
+// docs/PDB_FORMAT.md (paper Table 1 / Figure 3). The IL Analyzer fills it
+// from the IL; the writer/reader serialize it; DUCTAPE exposes it through
+// the paper's object-oriented API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pdt::pdb {
+
+enum class ItemKind : std::uint8_t {
+  SourceFile,  // so
+  Routine,     // ro
+  Class,       // cl
+  Type,        // ty
+  Template,    // te
+  Namespace,   // na
+  Macro,       // ma
+};
+
+[[nodiscard]] std::string_view prefixOf(ItemKind kind);
+[[nodiscard]] std::optional<ItemKind> kindFromPrefix(std::string_view prefix);
+
+/// Reference to another item: "ro#7".
+struct ItemRef {
+  ItemKind kind = ItemKind::Type;
+  std::uint32_t id = 0;
+
+  [[nodiscard]] bool valid() const { return id != 0; }
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const ItemRef&, const ItemRef&) = default;
+};
+
+/// A source position: "so#73 72 9"; id 0 renders as "NULL 0 0".
+struct Pos {
+  std::uint32_t file = 0;  // so item id
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return file != 0; }
+  friend bool operator==(const Pos&, const Pos&) = default;
+};
+
+/// Four-position extent: header begin/end, body begin/end (rpos/cpos/tpos).
+struct Extent {
+  Pos header_begin, header_end, body_begin, body_end;
+};
+
+struct SourceFileItem {
+  std::uint32_t id = 0;
+  std::string name;  // path
+  std::vector<std::uint32_t> includes;  // so ids, in include order
+  bool system = false;
+};
+
+struct RoutineItem {
+  std::uint32_t id = 0;
+  std::string name;
+  Pos location;
+  std::optional<ItemRef> parent;  // cl or na
+  std::string access = "NA";      // pub/prot/priv/NA
+  std::uint32_t signature = 0;    // ty id
+  std::string linkage = "C++";
+  std::string storage = "NA";
+  std::string virtuality = "no";  // no/virt/pure
+  std::string kind = "routine";   // routine/ctor/dtor/conv/op
+  std::optional<std::uint32_t> template_id;  // te id (instantiations)
+  bool is_specialization = false;
+  bool is_static = false;
+  bool is_inline = false;
+  bool is_explicit = false;
+  bool defined = false;
+
+  struct Call {
+    std::uint32_t routine = 0;  // ro id
+    bool is_virtual = false;
+    Pos position;
+  };
+  std::vector<Call> calls;
+  Extent extent;
+};
+
+struct ClassItem {
+  std::uint32_t id = 0;
+  std::string name;
+  Pos location;
+  std::optional<ItemRef> parent;
+  std::string access = "NA";
+  std::string kind = "class";  // class/struct/union
+  std::optional<std::uint32_t> template_id;  // te id
+  bool is_specialization = false;
+
+  struct Base {
+    std::uint32_t cls = 0;  // cl id
+    std::string access = "pub";
+    bool is_virtual = false;
+  };
+  std::vector<Base> bases;
+
+  struct Friend {
+    bool is_class = false;
+    std::string name;
+    std::optional<ItemRef> ref;
+  };
+  std::vector<Friend> friends;
+
+  struct MemberFunc {
+    std::uint32_t routine = 0;  // ro id
+    Pos location;
+  };
+  std::vector<MemberFunc> funcs;
+
+  struct Member {
+    std::string name;
+    Pos location;
+    std::string access = "pub";
+    std::string kind = "var";  // var/type
+    ItemRef type;
+  };
+  std::vector<Member> members;
+  Extent extent;
+};
+
+struct TypeItem {
+  std::uint32_t id = 0;
+  std::string name;  // C++ spelling
+  std::string kind;  // ykind: bool/char/int/.../ptr/ref/tref/func/enum/array/tparam
+  std::string ikind;  // builtin detail (yikind)
+  std::optional<ItemRef> ref;     // pointee/referee/qualified base/element
+  std::vector<std::string> qualifiers;  // const/volatile (tref, memfn const)
+  std::optional<ItemRef> return_type;
+  std::vector<ItemRef> params;
+  bool has_ellipsis = false;
+  std::vector<ItemRef> exception_specs;
+  bool has_exception_spec = false;
+  std::int64_t array_size = -1;
+  /// Enum types: the enumerators and their values ("yenum" lines).
+  std::vector<std::pair<std::string, long long>> enumerators;
+};
+
+struct TemplateItem {
+  std::uint32_t id = 0;
+  std::string name;
+  Pos location;
+  std::optional<ItemRef> parent;
+  std::string access = "NA";
+  std::string kind = "class";  // class/func/memfunc/statmem
+  std::string text;
+  Extent extent;
+};
+
+struct NamespaceItem {
+  std::uint32_t id = 0;
+  std::string name;
+  Pos location;
+  std::vector<ItemRef> members;
+  std::string alias;  // target name when this is an alias
+};
+
+struct MacroItem {
+  std::uint32_t id = 0;
+  std::string name;
+  Pos location;
+  std::string kind = "def";  // def/undef
+  std::string text;
+};
+
+/// One program database. Ids are unique per item kind; lookup maps are
+/// maintained by the mutators.
+class PdbFile {
+ public:
+  static constexpr std::string_view kVersion = "1.0";
+
+  std::uint32_t addSourceFile(SourceFileItem item);
+  std::uint32_t addRoutine(RoutineItem item);
+  std::uint32_t addClass(ClassItem item);
+  std::uint32_t addType(TypeItem item);
+  std::uint32_t addTemplate(TemplateItem item);
+  std::uint32_t addNamespace(NamespaceItem item);
+  std::uint32_t addMacro(MacroItem item);
+
+  [[nodiscard]] const std::vector<SourceFileItem>& sourceFiles() const { return files_; }
+  [[nodiscard]] const std::vector<RoutineItem>& routines() const { return routines_; }
+  [[nodiscard]] const std::vector<ClassItem>& classes() const { return classes_; }
+  [[nodiscard]] const std::vector<TypeItem>& types() const { return types_; }
+  [[nodiscard]] const std::vector<TemplateItem>& templates() const { return templates_; }
+  [[nodiscard]] const std::vector<NamespaceItem>& namespaces() const { return namespaces_; }
+  [[nodiscard]] const std::vector<MacroItem>& macros() const { return macros_; }
+
+  // Mutable access for pdbmerge and the analyzer.
+  [[nodiscard]] std::vector<SourceFileItem>& sourceFiles() { return files_; }
+  [[nodiscard]] std::vector<RoutineItem>& routines() { return routines_; }
+  [[nodiscard]] std::vector<ClassItem>& classes() { return classes_; }
+  [[nodiscard]] std::vector<TypeItem>& types() { return types_; }
+  [[nodiscard]] std::vector<TemplateItem>& templates() { return templates_; }
+  [[nodiscard]] std::vector<NamespaceItem>& namespaces() { return namespaces_; }
+  [[nodiscard]] std::vector<MacroItem>& macros() { return macros_; }
+
+  [[nodiscard]] const SourceFileItem* findSourceFile(std::uint32_t id) const;
+  [[nodiscard]] const RoutineItem* findRoutine(std::uint32_t id) const;
+  [[nodiscard]] const ClassItem* findClass(std::uint32_t id) const;
+  [[nodiscard]] const TypeItem* findType(std::uint32_t id) const;
+  [[nodiscard]] const TemplateItem* findTemplate(std::uint32_t id) const;
+  [[nodiscard]] const NamespaceItem* findNamespace(std::uint32_t id) const;
+  [[nodiscard]] const MacroItem* findMacro(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t itemCount() const;
+
+  /// Rebuilds the id->index maps (call after bulk mutation, e.g. merge).
+  void reindex();
+
+ private:
+  template <typename T>
+  std::uint32_t add(std::vector<T>& vec,
+                    std::unordered_map<std::uint32_t, std::size_t>& index,
+                    T item, std::uint32_t& next_id);
+
+  std::vector<SourceFileItem> files_;
+  std::vector<RoutineItem> routines_;
+  std::vector<ClassItem> classes_;
+  std::vector<TypeItem> types_;
+  std::vector<TemplateItem> templates_;
+  std::vector<NamespaceItem> namespaces_;
+  std::vector<MacroItem> macros_;
+
+  std::unordered_map<std::uint32_t, std::size_t> file_index_, routine_index_,
+      class_index_, type_index_, template_index_, namespace_index_, macro_index_;
+  std::uint32_t next_file_id_ = 1, next_routine_id_ = 1, next_class_id_ = 1,
+                next_type_id_ = 1, next_template_id_ = 1, next_namespace_id_ = 1,
+                next_macro_id_ = 1;
+};
+
+}  // namespace pdt::pdb

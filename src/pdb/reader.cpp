@@ -1,0 +1,374 @@
+#include "pdb/reader.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "support/text.h"
+
+namespace pdt::pdb {
+namespace {
+
+/// Cursor over the whitespace-separated fields of one attribute line.
+class Fields {
+ public:
+  explicit Fields(std::string_view line) : fields_(splitWhitespace(line)) {}
+
+  [[nodiscard]] bool empty() const { return pos_ >= fields_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return fields_.size() - pos_; }
+
+  std::optional<std::string_view> next() {
+    if (empty()) return std::nullopt;
+    return fields_[pos_++];
+  }
+
+  std::optional<ItemRef> nextRef() {
+    const auto f = next();
+    if (!f) return std::nullopt;
+    const auto hash = f->find('#');
+    if (hash == std::string_view::npos) return std::nullopt;
+    const auto kind = kindFromPrefix(f->substr(0, hash));
+    std::uint32_t id = 0;
+    if (!kind || !parseUint(f->substr(hash + 1), id)) return std::nullopt;
+    return ItemRef{*kind, id};
+  }
+
+  /// Next field as a string; empty when exhausted (malformed input).
+  std::string nextString() {
+    const auto f = next();
+    return f ? std::string(*f) : std::string();
+  }
+
+  std::optional<std::uint32_t> nextUint() {
+    const auto f = next();
+    std::uint32_t v = 0;
+    if (!f || !parseUint(*f, v)) return std::nullopt;
+    return v;
+  }
+
+  std::optional<Pos> nextPos() {
+    if (remaining() < 3) return std::nullopt;
+    const auto f = next();
+    Pos pos;
+    if (*f != "NULL") {
+      const auto hash = f->find('#');
+      if (hash == std::string_view::npos || f->substr(0, hash) != "so")
+        return std::nullopt;
+      if (!parseUint(f->substr(hash + 1), pos.file)) return std::nullopt;
+    }
+    const auto line = nextUint();
+    const auto col = nextUint();
+    if (!line || !col) return std::nullopt;
+    pos.line = *line;
+    pos.column = *col;
+    return pos;
+  }
+
+ private:
+  std::vector<std::string_view> fields_;
+  std::size_t pos_ = 0;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  ReadResult run() {
+    std::string line;
+    if (!std::getline(is_, line) || trim(line) != "<PDB 1.0>") {
+      error("missing or malformed <PDB 1.0> header");
+      return std::move(result_);
+    }
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const std::string_view text = trim(line);
+      if (text.empty()) {
+        flush();
+        continue;
+      }
+      if (current_kind_ == std::nullopt) {
+        startItem(text);
+      } else {
+        attribute(text);
+      }
+    }
+    flush();
+    result_.pdb.reindex();
+    return std::move(result_);
+  }
+
+ private:
+  void error(std::string message) {
+    result_.errors.push_back("line " + std::to_string(line_no_) + ": " +
+                             std::move(message));
+  }
+
+  void startItem(std::string_view text) {
+    const auto hash = text.find('#');
+    const auto space = text.find(' ');
+    if (hash == std::string_view::npos || (space != std::string_view::npos &&
+                                           hash > space)) {
+      error("expected item header, got '" + std::string(text) + "'");
+      return;
+    }
+    const auto kind = kindFromPrefix(text.substr(0, hash));
+    if (!kind) {
+      error("unknown item prefix in '" + std::string(text) + "'");
+      return;
+    }
+    const std::string_view id_text =
+        text.substr(hash + 1, space == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : space - hash - 1);
+    std::uint32_t id = 0;
+    if (!parseUint(id_text, id)) {
+      error("malformed item id in '" + std::string(text) + "'");
+      return;
+    }
+    const std::string name =
+        space == std::string_view::npos
+            ? std::string{}
+            : std::string(trim(text.substr(space + 1)));
+    current_kind_ = *kind;
+    switch (*kind) {
+      case ItemKind::SourceFile: file_ = {}; file_.id = id; file_.name = name; break;
+      case ItemKind::Routine: routine_ = {}; routine_.id = id; routine_.name = name; break;
+      case ItemKind::Class: class_ = {}; class_.id = id; class_.name = name; break;
+      case ItemKind::Type: type_ = {}; type_.id = id; type_.name = name; break;
+      case ItemKind::Template: template_ = {}; template_.id = id; template_.name = name; break;
+      case ItemKind::Namespace: namespace_ = {}; namespace_.id = id; namespace_.name = name; break;
+      case ItemKind::Macro: macro_ = {}; macro_.id = id; macro_.name = name; break;
+    }
+  }
+
+  void flush() {
+    if (!current_kind_) return;
+    switch (*current_kind_) {
+      case ItemKind::SourceFile: result_.pdb.addSourceFile(std::move(file_)); break;
+      case ItemKind::Routine: result_.pdb.addRoutine(std::move(routine_)); break;
+      case ItemKind::Class: result_.pdb.addClass(std::move(class_)); break;
+      case ItemKind::Type: result_.pdb.addType(std::move(type_)); break;
+      case ItemKind::Template: result_.pdb.addTemplate(std::move(template_)); break;
+      case ItemKind::Namespace: result_.pdb.addNamespace(std::move(namespace_)); break;
+      case ItemKind::Macro: result_.pdb.addMacro(std::move(macro_)); break;
+    }
+    current_kind_ = std::nullopt;
+  }
+
+  /// Rest of line after the key (preserves internal spacing for text).
+  static std::string_view restAfterKey(std::string_view text) {
+    const auto space = text.find(' ');
+    return space == std::string_view::npos ? std::string_view{}
+                                           : trim(text.substr(space + 1));
+  }
+
+  void attribute(std::string_view text) {
+    const auto space = text.find(' ');
+    const std::string_view key =
+        space == std::string_view::npos ? text : text.substr(0, space);
+    Fields fields(space == std::string_view::npos ? std::string_view{}
+                                                  : text.substr(space + 1));
+    const auto expectPos = [&](Pos& out) {
+      if (const auto p = fields.nextPos()) out = *p;
+      else error("malformed position in '" + std::string(text) + "'");
+    };
+    const auto expectExtent = [&](Extent& out) {
+      const auto a = fields.nextPos(), b = fields.nextPos(), c = fields.nextPos(),
+                 d = fields.nextPos();
+      if (a && b && c && d) out = {*a, *b, *c, *d};
+      else error("malformed extent in '" + std::string(text) + "'");
+    };
+
+    switch (*current_kind_) {
+      case ItemKind::SourceFile:
+        if (key == "sinc") {
+          if (const auto ref = fields.nextRef()) file_.includes.push_back(ref->id);
+        } else if (key == "ssys") {
+          file_.system = true;
+        } else {
+          error("unknown source-file attribute '" + std::string(key) + "'");
+        }
+        break;
+
+      case ItemKind::Routine:
+        if (key == "rloc") expectPos(routine_.location);
+        else if (key == "rclass" || key == "rnspace") routine_.parent = fields.nextRef();
+        else if (key == "racs") routine_.access = fields.nextString();
+        else if (key == "rsig") {
+          if (const auto ref = fields.nextRef()) routine_.signature = ref->id;
+        } else if (key == "rlink") routine_.linkage = std::string(restAfterKey(text));
+        else if (key == "rstore") routine_.storage = fields.nextString();
+        else if (key == "rvirt") routine_.virtuality = fields.nextString();
+        else if (key == "rkind") routine_.kind = fields.nextString();
+        else if (key == "rstatic") routine_.is_static = true;
+        else if (key == "rinline") routine_.is_inline = true;
+        else if (key == "rexplicit") routine_.is_explicit = true;
+        else if (key == "rtempl") {
+          if (const auto ref = fields.nextRef()) routine_.template_id = ref->id;
+        } else if (key == "rspecl") routine_.is_specialization = true;
+        else if (key == "rdef") routine_.defined = true;
+        else if (key == "rcall") {
+          RoutineItem::Call call;
+          const auto ref = fields.nextRef();
+          const auto virt = fields.next();
+          const auto pos = fields.nextPos();
+          if (ref && virt && pos) {
+            call.routine = ref->id;
+            call.is_virtual = *virt == "virt";
+            call.position = *pos;
+            routine_.calls.push_back(call);
+          } else {
+            error("malformed rcall");
+          }
+        } else if (key == "rpos") expectExtent(routine_.extent);
+        else error("unknown routine attribute '" + std::string(key) + "'");
+        break;
+
+      case ItemKind::Class:
+        if (key == "cloc") expectPos(class_.location);
+        else if (key == "cclass" || key == "cnspace") class_.parent = fields.nextRef();
+        else if (key == "cacs") class_.access = fields.nextString();
+        else if (key == "ckind") class_.kind = fields.nextString();
+        else if (key == "ctempl") {
+          if (const auto ref = fields.nextRef()) class_.template_id = ref->id;
+        } else if (key == "cspecl") class_.is_specialization = true;
+        else if (key == "cbase") {
+          ClassItem::Base base;
+          const auto acs = fields.next();
+          const auto virt = fields.next();
+          const auto ref = fields.nextRef();
+          if (acs && virt && ref) {
+            base.access = std::string(*acs);
+            base.is_virtual = *virt == "virt";
+            base.cls = ref->id;
+            class_.bases.push_back(base);
+          } else {
+            error("malformed cbase");
+          }
+        } else if (key == "cfriend") {
+          ClassItem::Friend f;
+          const auto what = fields.next();
+          const auto name = fields.next();
+          if (what && name) {
+            f.is_class = *what == "class";
+            f.name = std::string(*name);
+            if (!fields.empty()) f.ref = fields.nextRef();
+            class_.friends.push_back(std::move(f));
+          } else {
+            error("malformed cfriend");
+          }
+        } else if (key == "cfunc") {
+          ClassItem::MemberFunc mf;
+          const auto ref = fields.nextRef();
+          const auto pos = fields.nextPos();
+          if (ref && pos) {
+            mf.routine = ref->id;
+            mf.location = *pos;
+            class_.funcs.push_back(mf);
+          } else {
+            error("malformed cfunc");
+          }
+        } else if (key == "cmem") {
+          ClassItem::Member m;
+          m.name = std::string(restAfterKey(text));
+          class_.members.push_back(std::move(m));
+        } else if (key == "cmloc") {
+          if (!class_.members.empty()) expectPos(class_.members.back().location);
+        } else if (key == "cmacs") {
+          if (!class_.members.empty())
+            class_.members.back().access = fields.nextString();
+        } else if (key == "cmkind") {
+          if (!class_.members.empty())
+            class_.members.back().kind = fields.nextString();
+        } else if (key == "cmtype") {
+          if (!class_.members.empty()) {
+            if (const auto ref = fields.nextRef()) class_.members.back().type = *ref;
+          }
+        } else if (key == "cpos") expectExtent(class_.extent);
+        else error("unknown class attribute '" + std::string(key) + "'");
+        break;
+
+      case ItemKind::Type:
+        if (key == "ykind") type_.kind = fields.nextString();
+        else if (key == "yikind") type_.ikind = std::string(restAfterKey(text));
+        else if (key == "yptr" || key == "yref" || key == "ytref" || key == "yelem")
+          type_.ref = fields.nextRef();
+        else if (key == "ysize") {
+          if (const auto v = fields.nextUint()) type_.array_size = *v;
+        } else if (key == "yqual") {
+          type_.qualifiers.push_back(fields.nextString());
+        } else if (key == "yrett") type_.return_type = fields.nextRef();
+        else if (key == "yargt") {
+          if (const auto ref = fields.nextRef()) type_.params.push_back(*ref);
+        } else if (key == "yellip") type_.has_ellipsis = true;
+        else if (key == "yexcep") {
+          type_.has_exception_spec = true;
+          if (const auto ref = fields.nextRef()) type_.exception_specs.push_back(*ref);
+        } else if (key == "yenum") {
+          const std::string ename = fields.nextString();
+          const std::string value = fields.nextString();
+          if (!ename.empty() && !value.empty()) {
+            type_.enumerators.emplace_back(ename, std::stoll(value));
+          } else {
+            error("malformed yenum");
+          }
+        } else error("unknown type attribute '" + std::string(key) + "'");
+        break;
+
+      case ItemKind::Template:
+        if (key == "tloc") expectPos(template_.location);
+        else if (key == "tclass" || key == "tnspace") template_.parent = fields.nextRef();
+        else if (key == "tacs") template_.access = fields.nextString();
+        else if (key == "tkind") template_.kind = fields.nextString();
+        else if (key == "ttext")
+          template_.text = unescapePdbString(restAfterKey(text));
+        else if (key == "tpos") expectExtent(template_.extent);
+        else error("unknown template attribute '" + std::string(key) + "'");
+        break;
+
+      case ItemKind::Namespace:
+        if (key == "nloc") expectPos(namespace_.location);
+        else if (key == "nalias") namespace_.alias = std::string(restAfterKey(text));
+        else if (key == "nmem") {
+          if (const auto ref = fields.nextRef()) namespace_.members.push_back(*ref);
+        } else error("unknown namespace attribute '" + std::string(key) + "'");
+        break;
+
+      case ItemKind::Macro:
+        if (key == "mloc") expectPos(macro_.location);
+        else if (key == "mkind") macro_.kind = fields.nextString();
+        else if (key == "mtext") macro_.text = unescapePdbString(restAfterKey(text));
+        else error("unknown macro attribute '" + std::string(key) + "'");
+        break;
+    }
+  }
+
+  std::istream& is_;
+  ReadResult result_;
+  std::size_t line_no_ = 1;  // header consumed before the loop
+  std::optional<ItemKind> current_kind_;
+  SourceFileItem file_;
+  RoutineItem routine_;
+  ClassItem class_;
+  TypeItem type_;
+  TemplateItem template_;
+  NamespaceItem namespace_;
+  MacroItem macro_;
+};
+
+}  // namespace
+
+ReadResult read(std::istream& is) { return Reader(is).run(); }
+
+ReadResult readFromString(const std::string& text) {
+  std::istringstream ss(text);
+  return read(ss);
+}
+
+std::optional<ReadResult> readFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read(in);
+}
+
+}  // namespace pdt::pdb

@@ -1,0 +1,24 @@
+// Parses the ASCII PDB format back into a PdbFile (docs/PDB_FORMAT.md).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdb/pdb.h"
+
+namespace pdt::pdb {
+
+struct ReadResult {
+  PdbFile pdb;
+  std::vector<std::string> errors;  // "line N: message"
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+ReadResult read(std::istream& is);
+ReadResult readFromString(const std::string& text);
+/// Returns nullopt when the file cannot be opened.
+std::optional<ReadResult> readFromFile(const std::string& path);
+
+}  // namespace pdt::pdb

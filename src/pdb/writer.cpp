@@ -1,0 +1,180 @@
+#include "pdb/writer.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/text.h"
+
+namespace pdt::pdb {
+namespace {
+
+void writePos(std::ostream& os, const Pos& pos) {
+  if (!pos.valid()) {
+    os << "NULL 0 0";
+    return;
+  }
+  os << "so#" << pos.file << ' ' << pos.line << ' ' << pos.column;
+}
+
+void writeExtent(std::ostream& os, std::string_view key, const Extent& e) {
+  os << key << ' ';
+  writePos(os, e.header_begin);
+  os << ' ';
+  writePos(os, e.header_end);
+  os << ' ';
+  writePos(os, e.body_begin);
+  os << ' ';
+  writePos(os, e.body_end);
+  os << '\n';
+}
+
+void writeLoc(std::ostream& os, std::string_view key, const Pos& pos) {
+  os << key << ' ';
+  writePos(os, pos);
+  os << '\n';
+}
+
+}  // namespace
+
+void write(const PdbFile& pdb, std::ostream& os) {
+  os << "<PDB " << PdbFile::kVersion << ">\n\n";
+
+  for (const SourceFileItem& f : pdb.sourceFiles()) {
+    os << "so#" << f.id << ' ' << f.name << '\n';
+    if (f.system) os << "ssys yes\n";
+    for (const std::uint32_t inc : f.includes) os << "sinc so#" << inc << '\n';
+    os << '\n';
+  }
+
+  for (const TemplateItem& t : pdb.templates()) {
+    os << "te#" << t.id << ' ' << t.name << '\n';
+    if (t.location.valid()) writeLoc(os, "tloc", t.location);
+    if (t.parent) os << (t.parent->kind == ItemKind::Class ? "tclass " : "tnspace ")
+                     << t.parent->str() << '\n';
+    if (t.access != "NA") os << "tacs " << t.access << '\n';
+    os << "tkind " << t.kind << '\n';
+    if (!t.text.empty()) os << "ttext " << escapePdbString(t.text) << '\n';
+    writeExtent(os, "tpos", t.extent);
+    os << '\n';
+  }
+
+  for (const RoutineItem& r : pdb.routines()) {
+    os << "ro#" << r.id << ' ' << r.name << '\n';
+    if (r.location.valid()) writeLoc(os, "rloc", r.location);
+    if (r.parent) os << (r.parent->kind == ItemKind::Class ? "rclass " : "rnspace ")
+                     << r.parent->str() << '\n';
+    os << "racs " << r.access << '\n';
+    if (r.signature != 0) os << "rsig ty#" << r.signature << '\n';
+    os << "rlink " << r.linkage << '\n';
+    os << "rstore " << r.storage << '\n';
+    os << "rvirt " << r.virtuality << '\n';
+    if (r.kind != "routine") os << "rkind " << r.kind << '\n';
+    if (r.is_static) os << "rstatic yes\n";
+    if (r.is_inline) os << "rinline yes\n";
+    if (r.is_explicit) os << "rexplicit yes\n";
+    if (r.template_id) os << "rtempl te#" << *r.template_id << '\n';
+    if (r.is_specialization) os << "rspecl yes\n";
+    if (r.defined) os << "rdef yes\n";
+    for (const RoutineItem::Call& call : r.calls) {
+      os << "rcall ro#" << call.routine << ' '
+         << (call.is_virtual ? "virt" : "no") << ' ';
+      writePos(os, call.position);
+      os << '\n';
+    }
+    writeExtent(os, "rpos", r.extent);
+    os << '\n';
+  }
+
+  for (const ClassItem& c : pdb.classes()) {
+    os << "cl#" << c.id << ' ' << c.name << '\n';
+    if (c.location.valid()) writeLoc(os, "cloc", c.location);
+    if (c.parent) os << (c.parent->kind == ItemKind::Class ? "cclass " : "cnspace ")
+                     << c.parent->str() << '\n';
+    if (c.access != "NA") os << "cacs " << c.access << '\n';
+    os << "ckind " << c.kind << '\n';
+    if (c.template_id) os << "ctempl te#" << *c.template_id << '\n';
+    if (c.is_specialization) os << "cspecl yes\n";
+    for (const ClassItem::Base& b : c.bases) {
+      os << "cbase " << b.access << ' ' << (b.is_virtual ? "virt" : "no")
+         << " cl#" << b.cls << '\n';
+    }
+    for (const ClassItem::Friend& f : c.friends) {
+      os << "cfriend " << (f.is_class ? "class" : "func") << ' ' << f.name;
+      if (f.ref) os << ' ' << f.ref->str();
+      os << '\n';
+    }
+    for (const ClassItem::MemberFunc& mf : c.funcs) {
+      os << "cfunc ro#" << mf.routine << ' ';
+      writePos(os, mf.location);
+      os << '\n';
+    }
+    for (const ClassItem::Member& m : c.members) {
+      os << "cmem " << m.name << '\n';
+      writeLoc(os, "cmloc", m.location);
+      os << "cmacs " << m.access << '\n';
+      os << "cmkind " << m.kind << '\n';
+      os << "cmtype " << m.type.str() << '\n';
+    }
+    writeExtent(os, "cpos", c.extent);
+    os << '\n';
+  }
+
+  for (const TypeItem& t : pdb.types()) {
+    os << "ty#" << t.id << ' ' << t.name << '\n';
+    os << "ykind " << t.kind << '\n';
+    if (!t.ikind.empty()) os << "yikind " << t.ikind << '\n';
+    if (t.ref) {
+      if (t.kind == "ptr") os << "yptr " << t.ref->str() << '\n';
+      else if (t.kind == "ref") os << "yref " << t.ref->str() << '\n';
+      else if (t.kind == "tref") os << "ytref " << t.ref->str() << '\n';
+      else if (t.kind == "array") os << "yelem " << t.ref->str() << '\n';
+      else os << "yref " << t.ref->str() << '\n';
+    }
+    if (t.kind == "array" && t.array_size >= 0)
+      os << "ysize " << t.array_size << '\n';
+    for (const std::string& q : t.qualifiers) os << "yqual " << q << '\n';
+    if (t.return_type) os << "yrett " << t.return_type->str() << '\n';
+    for (const ItemRef& p : t.params) os << "yargt " << p.str() << '\n';
+    if (t.has_ellipsis) os << "yellip yes\n";
+    if (t.has_exception_spec) {
+      for (const ItemRef& e : t.exception_specs)
+        os << "yexcep " << e.str() << '\n';
+      if (t.exception_specs.empty()) os << "yexcep none\n";
+    }
+    for (const auto& [name, value] : t.enumerators)
+      os << "yenum " << name << ' ' << value << '\n';
+    os << '\n';
+  }
+
+  for (const NamespaceItem& n : pdb.namespaces()) {
+    os << "na#" << n.id << ' ' << n.name << '\n';
+    if (n.location.valid()) writeLoc(os, "nloc", n.location);
+    if (!n.alias.empty()) os << "nalias " << n.alias << '\n';
+    for (const ItemRef& m : n.members) os << "nmem " << m.str() << '\n';
+    os << '\n';
+  }
+
+  for (const MacroItem& m : pdb.macros()) {
+    os << "ma#" << m.id << ' ' << m.name << '\n';
+    if (m.location.valid()) writeLoc(os, "mloc", m.location);
+    os << "mkind " << m.kind << '\n';
+    if (!m.text.empty()) os << "mtext " << escapePdbString(m.text) << '\n';
+    os << '\n';
+  }
+}
+
+std::string writeToString(const PdbFile& pdb) {
+  std::ostringstream ss;
+  write(pdb, ss);
+  return std::move(ss).str();
+}
+
+bool writeToFile(const PdbFile& pdb, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(pdb, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pdt::pdb

@@ -1,0 +1,16 @@
+// Serializes a PdbFile to the compact ASCII format of docs/PDB_FORMAT.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pdb/pdb.h"
+
+namespace pdt::pdb {
+
+void write(const PdbFile& pdb, std::ostream& os);
+[[nodiscard]] std::string writeToString(const PdbFile& pdb);
+/// Writes to `path`; returns false on I/O failure.
+bool writeToFile(const PdbFile& pdb, const std::string& path);
+
+}  // namespace pdt::pdb

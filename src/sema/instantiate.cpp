@@ -1,0 +1,624 @@
+// Template instantiation engine — the paper's central technical focus.
+//
+// Reproduces EDG's "used" instantiation mode (paper §2): naming Stack<int>
+// instantiates the class and its member *declarations*; a member function
+// *body* is instantiated only when the member is used, driven by the
+// worklist in Sema::finalize(). Every instantiated entity is linked to the
+// template it came from so the IL Analyzer can emit rtempl/ctempl.
+#include <cassert>
+#include <unordered_map>
+
+#include "ast/walk.h"
+#include "sema/sema.h"
+
+namespace pdt::sema {
+namespace {
+
+std::string instantiationName(const ast::TemplateDecl* td,
+                              const std::vector<const ast::Type*>& args) {
+  std::string name = td->name() + "<";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += args[i]->spelling();
+  }
+  if (name.ends_with('>')) name += ' ';  // avoid '>>' in "Stack<vector<int> >"
+  return name + ">";
+}
+
+/// Deep-clones a statement/expression tree, applying `substType` to every
+/// embedded type and cloning local VarDecls. Resolved decl pointers are
+/// cleared: the resolution pass re-binds them in the instantiation context.
+class BodyCloner {
+ public:
+  BodyCloner(ast::AstContext& ctx,
+             const std::function<const ast::Type*(const ast::Type*)>& subst)
+      : ctx_(ctx), subst_(subst) {}
+
+  ast::Stmt* clone(const ast::Stmt* s) {
+    if (s == nullptr) return nullptr;
+    ast::Stmt* out = cloneImpl(s);
+    out->setExtent(s->extent());
+    return out;
+  }
+
+  ast::Expr* cloneExpr(const ast::Expr* e) {
+    return e == nullptr ? nullptr : static_cast<ast::Expr*>(clone(e));
+  }
+
+  ast::VarDecl* cloneVar(const ast::VarDecl* v) {
+    auto* out = ctx_.create<ast::VarDecl>();
+    out->setName(v->name());
+    out->setLocation(v->location());
+    out->setHeaderExtent(v->headerExtent());
+    out->type = subst_(v->type);
+    out->storage = v->storage;
+    out->init = cloneExpr(v->init);
+    for (const ast::Expr* a : v->ctor_args) out->ctor_args.push_back(cloneExpr(a));
+    return out;
+  }
+
+ private:
+  template <typename T>
+  T* make() {
+    return ctx_.create<T>();
+  }
+
+  ast::Stmt* cloneImpl(const ast::Stmt* s) {
+    using namespace ast;
+    switch (s->kind()) {
+      case StmtKind::Compound: {
+        auto* out = make<CompoundStmt>();
+        for (const Stmt* c : s->as<CompoundStmt>()->body) out->body.push_back(clone(c));
+        return out;
+      }
+      case StmtKind::If: {
+        const auto* n = s->as<IfStmt>();
+        auto* out = make<IfStmt>();
+        out->condition = cloneExpr(n->condition);
+        out->then_branch = clone(n->then_branch);
+        out->else_branch = clone(n->else_branch);
+        return out;
+      }
+      case StmtKind::While: {
+        const auto* n = s->as<WhileStmt>();
+        auto* out = make<WhileStmt>();
+        out->condition = cloneExpr(n->condition);
+        out->body = clone(n->body);
+        return out;
+      }
+      case StmtKind::DoWhile: {
+        const auto* n = s->as<DoWhileStmt>();
+        auto* out = make<DoWhileStmt>();
+        out->body = clone(n->body);
+        out->condition = cloneExpr(n->condition);
+        return out;
+      }
+      case StmtKind::For: {
+        const auto* n = s->as<ForStmt>();
+        auto* out = make<ForStmt>();
+        out->init = clone(n->init);
+        out->condition = cloneExpr(n->condition);
+        out->increment = cloneExpr(n->increment);
+        out->body = clone(n->body);
+        return out;
+      }
+      case StmtKind::Switch: {
+        const auto* n = s->as<SwitchStmt>();
+        auto* out = make<SwitchStmt>();
+        out->condition = cloneExpr(n->condition);
+        out->body = clone(n->body);
+        return out;
+      }
+      case StmtKind::Case: {
+        const auto* n = s->as<CaseStmt>();
+        auto* out = make<CaseStmt>();
+        out->value = cloneExpr(n->value);
+        out->body = clone(n->body);
+        return out;
+      }
+      case StmtKind::Default: {
+        auto* out = make<DefaultStmt>();
+        out->body = clone(s->as<DefaultStmt>()->body);
+        return out;
+      }
+      case StmtKind::Return: {
+        auto* out = make<ReturnStmt>();
+        out->value = cloneExpr(s->as<ReturnStmt>()->value);
+        return out;
+      }
+      case StmtKind::ExprStatement: {
+        auto* out = make<ExprStmt>();
+        out->expr = cloneExpr(s->as<ExprStmt>()->expr);
+        return out;
+      }
+      case StmtKind::DeclStatement: {
+        auto* out = make<DeclStmt>();
+        for (const VarDecl* v : s->as<DeclStmt>()->vars)
+          out->vars.push_back(cloneVar(v));
+        return out;
+      }
+      case StmtKind::Break:
+        return make<BreakStmt>();
+      case StmtKind::Continue:
+        return make<ContinueStmt>();
+      case StmtKind::Null:
+        return make<NullStmt>();
+      case StmtKind::Goto: {
+        auto* out = make<GotoStmt>();
+        out->label = s->as<GotoStmt>()->label;
+        return out;
+      }
+      case StmtKind::Label: {
+        const auto* n = s->as<LabelStmt>();
+        auto* out = make<LabelStmt>();
+        out->label = n->label;
+        out->body = clone(n->body);
+        return out;
+      }
+      case StmtKind::Try: {
+        const auto* n = s->as<TryStmt>();
+        auto* out = make<TryStmt>();
+        out->body = clone(n->body);
+        for (const auto& h : n->handlers) {
+          TryStmt::Handler hh;
+          hh.exception_type = h.exception_type ? subst_(h.exception_type) : nullptr;
+          hh.var = h.var ? cloneVar(h.var) : nullptr;
+          hh.body = clone(h.body);
+          out->handlers.push_back(hh);
+        }
+        return out;
+      }
+      case StmtKind::IntLit: {
+        const auto* n = s->as<IntLitExpr>();
+        auto* out = make<IntLitExpr>();
+        out->value = n->value;
+        out->spelling = n->spelling;
+        return out;
+      }
+      case StmtKind::FloatLit: {
+        const auto* n = s->as<FloatLitExpr>();
+        auto* out = make<FloatLitExpr>();
+        out->value = n->value;
+        out->spelling = n->spelling;
+        return out;
+      }
+      case StmtKind::CharLit: {
+        auto* out = make<CharLitExpr>();
+        out->spelling = s->as<CharLitExpr>()->spelling;
+        return out;
+      }
+      case StmtKind::StringLit: {
+        auto* out = make<StringLitExpr>();
+        out->spelling = s->as<StringLitExpr>()->spelling;
+        return out;
+      }
+      case StmtKind::BoolLit: {
+        auto* out = make<BoolLitExpr>();
+        out->value = s->as<BoolLitExpr>()->value;
+        return out;
+      }
+      case StmtKind::This:
+        return make<ThisExpr>();
+      case StmtKind::DeclRef: {
+        const auto* n = s->as<DeclRefExpr>();
+        auto* out = make<DeclRefExpr>();
+        out->name = n->name;  // re-resolved in the instantiation context
+        if (n->qualifier_type != nullptr) out->qualifier_type = subst_(n->qualifier_type);
+        out->qualifier_ns = n->qualifier_ns;
+        for (const Type* t : n->explicit_targs) out->explicit_targs.push_back(subst_(t));
+        return out;
+      }
+      case StmtKind::Member: {
+        const auto* n = s->as<MemberExpr>();
+        auto* out = make<MemberExpr>();
+        out->base = cloneExpr(n->base);
+        out->member = n->member;
+        out->is_arrow = n->is_arrow;
+        return out;
+      }
+      case StmtKind::Call: {
+        const auto* n = s->as<CallExpr>();
+        auto* out = make<CallExpr>();
+        out->callee = cloneExpr(n->callee);
+        for (const Expr* a : n->args) out->args.push_back(cloneExpr(a));
+        out->call_location = n->call_location;
+        return out;
+      }
+      case StmtKind::Unary: {
+        const auto* n = s->as<UnaryExpr>();
+        auto* out = make<UnaryExpr>();
+        out->op = n->op;
+        out->is_postfix = n->is_postfix;
+        out->operand = cloneExpr(n->operand);
+        return out;
+      }
+      case StmtKind::Binary: {
+        const auto* n = s->as<BinaryExpr>();
+        auto* out = make<BinaryExpr>();
+        out->op = n->op;
+        out->lhs = cloneExpr(n->lhs);
+        out->rhs = cloneExpr(n->rhs);
+        return out;
+      }
+      case StmtKind::Conditional: {
+        const auto* n = s->as<ConditionalExpr>();
+        auto* out = make<ConditionalExpr>();
+        out->condition = cloneExpr(n->condition);
+        out->true_value = cloneExpr(n->true_value);
+        out->false_value = cloneExpr(n->false_value);
+        return out;
+      }
+      case StmtKind::Cast: {
+        const auto* n = s->as<CastExpr>();
+        auto* out = make<CastExpr>();
+        out->cast_kind = n->cast_kind;
+        out->target = n->target ? subst_(n->target) : nullptr;
+        out->operand = cloneExpr(n->operand);
+        return out;
+      }
+      case StmtKind::New: {
+        const auto* n = s->as<NewExpr>();
+        auto* out = make<NewExpr>();
+        out->allocated = n->allocated ? subst_(n->allocated) : nullptr;
+        out->is_array = n->is_array;
+        for (const Expr* a : n->args) out->args.push_back(cloneExpr(a));
+        return out;
+      }
+      case StmtKind::Delete: {
+        const auto* n = s->as<DeleteExpr>();
+        auto* out = make<DeleteExpr>();
+        out->operand = cloneExpr(n->operand);
+        out->is_array = n->is_array;
+        return out;
+      }
+      case StmtKind::Index: {
+        const auto* n = s->as<IndexExpr>();
+        auto* out = make<IndexExpr>();
+        out->base = cloneExpr(n->base);
+        out->index = cloneExpr(n->index);
+        return out;
+      }
+      case StmtKind::Construct: {
+        const auto* n = s->as<ConstructExpr>();
+        auto* out = make<ConstructExpr>();
+        out->constructed = n->constructed ? subst_(n->constructed) : nullptr;
+        for (const Expr* a : n->args) out->args.push_back(cloneExpr(a));
+        return out;
+      }
+      case StmtKind::Throw: {
+        auto* out = make<ThrowExpr>();
+        out->operand = cloneExpr(s->as<ThrowExpr>()->operand);
+        return out;
+      }
+      case StmtKind::SizeOf: {
+        const auto* n = s->as<SizeOfExpr>();
+        auto* out = make<SizeOfExpr>();
+        out->type_operand = n->type_operand ? subst_(n->type_operand) : nullptr;
+        out->expr_operand = cloneExpr(n->expr_operand);
+        return out;
+      }
+      case StmtKind::Comma: {
+        const auto* n = s->as<CommaExpr>();
+        auto* out = make<CommaExpr>();
+        out->lhs = cloneExpr(n->lhs);
+        out->rhs = cloneExpr(n->rhs);
+        return out;
+      }
+    }
+    assert(false && "unhandled statement kind in clone");
+    return nullptr;
+  }
+
+  ast::AstContext& ctx_;
+  const std::function<const ast::Type*(const ast::Type*)>& subst_;
+};
+
+}  // namespace
+
+const ast::Type* Sema::substituteType(const ast::Type* type,
+                                      const std::vector<const ast::Type*>& args) {
+  using namespace ast;
+  if (type == nullptr || !type->isDependent()) return type;
+  switch (type->kind()) {
+    case TypeKind::TemplateParam: {
+      const auto* tp = type->as<TemplateParamType>();
+      if (tp->index() < args.size()) return args[tp->index()];
+      return type;  // unbound parameter (deeper nesting): leave as-is
+    }
+    case TypeKind::Pointer:
+      return ctx_.pointerTo(substituteType(type->as<PointerType>()->pointee(), args));
+    case TypeKind::Reference:
+      return ctx_.referenceTo(substituteType(type->as<ReferenceType>()->referee(), args));
+    case TypeKind::Qualified: {
+      const auto* q = type->as<QualifiedType>();
+      return ctx_.qualified(substituteType(q->base(), args), q->isConst(),
+                            q->isVolatile());
+    }
+    case TypeKind::Array: {
+      const auto* a = type->as<ArrayType>();
+      return ctx_.arrayOf(substituteType(a->element(), args), a->size());
+    }
+    case TypeKind::Function: {
+      const auto* f = type->as<FunctionType>();
+      std::vector<const Type*> params;
+      params.reserve(f->params().size());
+      for (const Type* p : f->params()) params.push_back(substituteType(p, args));
+      std::vector<const Type*> specs;
+      specs.reserve(f->exceptionSpecs().size());
+      for (const Type* e : f->exceptionSpecs()) specs.push_back(substituteType(e, args));
+      return ctx_.functionType(substituteType(f->result(), args), std::move(params),
+                               f->isConstMember(), f->hasEllipsis(), std::move(specs));
+    }
+    case TypeKind::Typedef:
+      return substituteType(type->as<TypedefType>()->underlying(), args);
+    case TypeKind::TemplateSpecialization: {
+      const auto* ts = type->as<TemplateSpecializationType>();
+      std::vector<const Type*> new_args;
+      new_args.reserve(ts->args().size());
+      bool still_dependent = false;
+      for (const Type* a : ts->args()) {
+        const Type* s = substituteType(a, args);
+        still_dependent = still_dependent || s->isDependent();
+        new_args.push_back(s);
+      }
+      if (still_dependent) return ctx_.templateSpecType(ts->primary(), new_args);
+      // Fully concrete: nested instantiation (e.g. Stack<vector<int>>).
+      auto* primary = const_cast<TemplateDecl*>(ts->primary());
+      ClassDecl* inst = instantiateClassTemplate(primary, new_args, {});
+      if (inst == nullptr) return type;
+      return ctx_.classType(inst);
+    }
+    case TypeKind::Builtin:
+    case TypeKind::Class:
+    case TypeKind::Enum:
+      return type;
+  }
+  return type;
+}
+
+ast::ClassDecl* Sema::instantiateClassTemplate(
+    ast::TemplateDecl* td, const std::vector<const ast::Type*>& args,
+    SourceLocation use_loc) {
+  using namespace ast;
+  if (td == nullptr) return nullptr;
+  // Apply default template arguments for trailing missing positions.
+  std::vector<const Type*> full_args = args;
+  if (full_args.size() < td->params.size()) {
+    for (std::size_t i = full_args.size(); i < td->params.size(); ++i) {
+      const Type* def = td->params[i]->default_type;
+      if (def == nullptr) break;
+      full_args.push_back(substituteType(def, full_args));
+    }
+  }
+  if (full_args.size() != td->params.size()) {
+    diags_.error(use_loc, "wrong number of template arguments for '" + td->name() +
+                              "': expected " + std::to_string(td->params.size()) +
+                              ", got " + std::to_string(full_args.size()));
+    return nullptr;
+  }
+
+  // Explicit (full) specializations take precedence over the primary.
+  if (Decl* spec = td->findSpecialization(full_args)) {
+    return spec->as<ClassDecl>();
+  }
+  if (Decl* existing = td->findInstantiation(full_args)) {
+    return existing->as<ClassDecl>();
+  }
+  auto* pattern = td->pattern != nullptr ? td->pattern->as<ClassDecl>() : nullptr;
+  if (pattern == nullptr || !pattern->is_complete) {
+    diags_.error(use_loc,
+                 "cannot instantiate incomplete class template '" + td->name() + "'");
+    return nullptr;
+  }
+  if (++instantiation_depth_ > 64) {
+    --instantiation_depth_;
+    diags_.error(use_loc, "template instantiation depth limit exceeded for '" +
+                              td->name() + "'");
+    return nullptr;
+  }
+
+  auto* inst = ctx_.create<ClassDecl>();
+  inst->setName(instantiationName(td, full_args));
+  // Like EDG's IL (paper Fig. 3, cl#8): the instantiation's positions are
+  // those of the template's class definition.
+  inst->setLocation(pattern->location());
+  inst->setHeaderExtent(pattern->headerExtent());
+  inst->setBodyExtent(pattern->bodyExtent());
+  inst->setAccess(pattern->access());
+  inst->tag = pattern->tag;
+  inst->is_complete = true;
+  inst->instantiated_from = td;
+  inst->template_args = full_args;
+  if (td->parent() != nullptr) {
+    inst->setParent(td->parent());
+    td->parent()->addChild(inst);
+  }
+  // Record the instantiation BEFORE members: members may mention the
+  // injected class name (Stack<Object> -> Stack<int>) recursively.
+  td->instantiations.push_back({full_args, inst});
+
+  const auto subst = [&](const Type* t) { return substituteType(t, full_args); };
+
+  // Bases.
+  for (const BaseSpecifier& base : pattern->bases) {
+    BaseSpecifier b = base;
+    if (base.dependent_type != nullptr) {
+      const Type* resolved = subst(base.dependent_type);
+      if (const auto* ct = canonical(resolved)->as<ClassType>()) {
+        b.base = ct->decl();
+        b.dependent_type = nullptr;
+      }
+    }
+    inst->bases.push_back(b);
+  }
+  for (const FriendEntry& f : pattern->friends) inst->friends.push_back(f);
+
+  // Member declarations.
+  for (Decl* member : pattern->children()) {
+    if (auto* fn = member->as<FunctionDecl>()) {
+      auto* mi = ctx_.create<FunctionDecl>();
+      mi->setName(fn->name());
+      mi->setLocation(fn->location());
+      mi->setHeaderExtent(fn->headerExtent());
+      mi->setBodyExtent(fn->bodyExtent());
+      mi->setAccess(fn->access());
+      mi->fkind = fn->fkind;
+      mi->return_type = subst(fn->return_type);
+      for (const ParamDecl* p : fn->params) {
+        auto* pi = ctx_.create<ParamDecl>();
+        pi->setName(p->name());
+        pi->setLocation(p->location());
+        pi->type = subst(p->type);
+        pi->default_arg = p->default_arg;  // shared: defaults are re-resolved
+        mi->params.push_back(pi);
+      }
+      mi->is_virtual = fn->is_virtual;
+      mi->is_pure_virtual = fn->is_pure_virtual;
+      mi->is_static = fn->is_static;
+      mi->is_const = fn->is_const;
+      mi->is_inline = fn->is_inline;
+      mi->is_explicit = fn->is_explicit;
+      mi->has_ellipsis = fn->has_ellipsis;
+      mi->storage = fn->storage;
+      mi->linkage = fn->linkage;
+      mi->has_exception_spec = fn->has_exception_spec;
+      for (const Type* e : fn->exception_specs) mi->exception_specs.push_back(subst(e));
+      {
+        std::vector<const Type*> ptypes;
+        ptypes.reserve(mi->params.size());
+        for (const ParamDecl* p : mi->params) ptypes.push_back(p->type);
+        mi->signature = ctx_.functionType(mi->return_type, std::move(ptypes),
+                                          mi->is_const, mi->has_ellipsis,
+                                          mi->exception_specs);
+      }
+      mi->instantiated_from = fn->describing_template;
+      mi->template_args = full_args;
+      mi->setParent(inst);
+      inst->addChild(mi);
+      if (fn->body != nullptr) {
+        pending_bodies_[mi] = {fn, full_args, inst};
+        if (!options_.used_mode) noteUsed(mi);
+      }
+    } else if (auto* var = member->as<VarDecl>()) {
+      auto* vi = ctx_.create<VarDecl>();
+      vi->setName(var->name());
+      vi->setLocation(var->location());
+      vi->setAccess(var->access());
+      vi->type = subst(var->type);
+      vi->storage = var->storage;
+      vi->instantiated_from = var->describing_template;
+      vi->template_args = full_args;
+      vi->setParent(inst);
+      inst->addChild(vi);
+    } else if (auto* tdf = member->as<TypedefDecl>()) {
+      auto* ti = ctx_.create<TypedefDecl>();
+      ti->setName(tdf->name());
+      ti->setLocation(tdf->location());
+      ti->setAccess(tdf->access());
+      ti->underlying = subst(tdf->underlying);
+      ti->setParent(inst);
+      inst->addChild(ti);
+    } else if (auto* en = member->as<EnumDecl>()) {
+      // Enums cannot be dependent in the subset: share the node.
+      inst->addChild(en);
+    } else if (auto* nested = member->as<ClassDecl>()) {
+      // Nested classes are exposed declaration-only in instantiations.
+      inst->addChild(nested);
+    }
+  }
+
+  --instantiation_depth_;
+  return inst;
+}
+
+ast::FunctionDecl* Sema::instantiateFunctionTemplate(
+    ast::TemplateDecl* td, const std::vector<const ast::Type*>& args,
+    SourceLocation use_loc) {
+  using namespace ast;
+  if (td == nullptr) return nullptr;
+  if (args.size() != td->params.size()) {
+    diags_.error(use_loc, "wrong number of template arguments for '" + td->name() +
+                              "'");
+    return nullptr;
+  }
+  if (Decl* spec = td->findSpecialization(args)) return spec->as<FunctionDecl>();
+  if (Decl* existing = td->findInstantiation(args)) {
+    return existing->as<FunctionDecl>();
+  }
+  auto* pattern = td->pattern != nullptr ? td->pattern->as<FunctionDecl>() : nullptr;
+  if (pattern == nullptr) {
+    diags_.error(use_loc, "cannot instantiate function template '" + td->name() + "'");
+    return nullptr;
+  }
+
+  const auto subst = [&](const Type* t) { return substituteType(t, args); };
+
+  auto* fi = ctx_.create<FunctionDecl>();
+  fi->setName(pattern->name());
+  fi->setLocation(pattern->location());
+  fi->setHeaderExtent(pattern->headerExtent());
+  fi->setBodyExtent(pattern->bodyExtent());
+  fi->setAccess(pattern->access());
+  fi->fkind = pattern->fkind;
+  fi->return_type = subst(pattern->return_type);
+  for (const ParamDecl* p : pattern->params) {
+    auto* pi = ctx_.create<ParamDecl>();
+    pi->setName(p->name());
+    pi->setLocation(p->location());
+    pi->type = subst(p->type);
+    pi->default_arg = p->default_arg;
+    fi->params.push_back(pi);
+  }
+  fi->is_static = pattern->is_static;
+  fi->is_inline = pattern->is_inline;
+  fi->is_const = pattern->is_const;
+  fi->is_virtual = pattern->is_virtual;
+  fi->has_ellipsis = pattern->has_ellipsis;
+  fi->storage = pattern->storage;
+  fi->linkage = pattern->linkage;
+  {
+    std::vector<const Type*> ptypes;
+    ptypes.reserve(fi->params.size());
+    for (const ParamDecl* p : fi->params) ptypes.push_back(p->type);
+    fi->signature = ctx_.functionType(fi->return_type, std::move(ptypes),
+                                      fi->is_const, fi->has_ellipsis, {});
+  }
+  fi->instantiated_from = td;
+  fi->template_args = args;
+  if (td->parent() != nullptr) {
+    fi->setParent(td->parent());
+    td->parent()->addChild(fi);
+  }
+  td->instantiations.push_back({args, fi});
+  if (pattern->body != nullptr) {
+    pending_bodies_[fi] = {pattern, args, nullptr};
+    noteUsed(fi);  // a function template is instantiated because it is used
+  }
+  return fi;
+}
+
+void Sema::instantiateBodyIfNeeded(ast::FunctionDecl* fn) {
+  const auto it = pending_bodies_.find(fn);
+  if (it == pending_bodies_.end()) return;
+  const PendingBody pending = it->second;
+  pending_bodies_.erase(it);
+
+  const auto subst = [this, &pending](const ast::Type* t) {
+    return substituteType(t, pending.args);
+  };
+  const std::function<const ast::Type*(const ast::Type*)> subst_fn = subst;
+  BodyCloner cloner(ctx_, subst_fn);
+  fn->body = cloner.clone(pending.pattern->body);
+  fn->is_defined = true;
+  for (const auto& init : pending.pattern->ctor_inits) {
+    ast::FunctionDecl::CtorInit ci;
+    ci.name = init.name;
+    ci.location = init.location;
+    for (const ast::Expr* a : init.args) ci.args.push_back(cloner.cloneExpr(a));
+    fn->ctor_inits.push_back(std::move(ci));
+  }
+  ++instantiated_bodies_;
+  queueForResolution(fn);
+}
+
+}  // namespace pdt::sema

@@ -1,0 +1,711 @@
+// Post-parse body resolution: binds names, resolves member and operator
+// calls (computing expression types bottom-up), marks every used template
+// entity for instantiation (EDG "used" mode), and records the constructor
+// and destructor calls implied by object lifetimes (paper §3.1).
+#include <algorithm>
+#include <unordered_map>
+
+#include "ast/walk.h"
+#include "sema/sema.h"
+
+namespace pdt::sema {
+namespace {
+
+using namespace ast;
+
+/// Resolution context for one function body.
+class BodyResolver {
+ public:
+  BodyResolver(Sema& sema, FunctionDecl* fn)
+      : sema_(sema), ctx_(sema.context()), fn_(fn) {}
+
+  void run() {
+    this_class_ = fn_->memberOf();
+    pushLocalScope();
+    for (ParamDecl* p : fn_->params) declareLocal(p->name(), p);
+    resolveCtorInits();
+    resolveStmt(fn_->body);
+    popLocalScope();
+  }
+
+ private:
+  // -- local scopes -------------------------------------------------------
+  void pushLocalScope() { locals_.emplace_back(); }
+  void popLocalScope() { locals_.pop_back(); }
+  void declareLocal(const std::string& name, Decl* d) {
+    if (!name.empty()) locals_.back()[name] = d;
+  }
+  [[nodiscard]] Decl* findLocal(const std::string& name) const {
+    for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
+      if (const auto found = it->find(name); found != it->end())
+        return found->second;
+    }
+    return nullptr;
+  }
+
+  // -- lexical lookup from the function's position -------------------------
+  [[nodiscard]] std::vector<Decl*> lookupName(const std::string& name) const {
+    if (Decl* local = findLocal(name)) return {local};
+    if (this_class_ != nullptr) {
+      auto found = Sema::lookupInClass(this_class_, name);
+      if (!found.empty()) return found;
+    }
+    // Walk enclosing contexts: class -> namespace -> TU, honoring
+    // using-directives recorded as children.
+    const DeclContext* ctx =
+        fn_->parent() != nullptr ? fn_->parent() : nullptr;
+    while (ctx != nullptr) {
+      auto found = Sema::lookupInContext(ctx, name);
+      if (!found.empty()) return found;
+      for (const Decl* child : ctx->children()) {
+        if (const auto* ud = child->as<UsingDirectiveDecl>()) {
+          if (ud->target != nullptr) {
+            auto in_ns = Sema::lookupInContext(ud->target, name);
+            if (!in_ns.empty()) return in_ns;
+          }
+        }
+      }
+      ctx = ctx->asDecl()->parent();
+    }
+    return {};
+  }
+
+  // -- overload resolution --------------------------------------------------
+  /// Picks the best function from `candidates` for `arg_types`; resolves
+  /// function templates by deduction. Simplified rules (DESIGN.md §3).
+  FunctionDecl* pickOverload(const std::vector<Decl*>& candidates,
+                             const std::vector<const Type*>& arg_types,
+                             const std::vector<const Type*>& explicit_targs,
+                             SourceLocation loc) {
+    FunctionDecl* best = nullptr;
+    int best_score = -1;
+    for (Decl* cand : candidates) {
+      FunctionDecl* fn = nullptr;
+      if (auto* fd = cand->as<FunctionDecl>()) {
+        fn = fd;
+      } else if (auto* td = cand->as<TemplateDecl>()) {
+        // Free function templates and member function templates are both
+        // callable; class templates are not.
+        if (td->tkind == TemplateKind::Class) continue;
+        if (td->pattern == nullptr ||
+            td->pattern->as<FunctionDecl>() == nullptr)
+          continue;
+        std::vector<const Type*> targs = explicit_targs;
+        if (!deduceTemplateArgs(td, arg_types, targs)) continue;
+        fn = sema_.instantiateFunctionTemplate(td, targs, loc);
+        if (fn == nullptr) continue;
+      } else {
+        continue;
+      }
+      const int score = viabilityScore(fn, arg_types);
+      if (score > best_score) {
+        best_score = score;
+        best = fn;
+      }
+    }
+    return best;
+  }
+
+  /// -1 if not viable (arity); else count of exactly matching params.
+  static int viabilityScore(const FunctionDecl* fn,
+                            const std::vector<const Type*>& arg_types) {
+    const std::size_t nargs = arg_types.size();
+    std::size_t required = 0;
+    for (const ParamDecl* p : fn->params) {
+      if (p->default_arg == nullptr) ++required;
+    }
+    if (nargs < required) return -1;
+    if (nargs > fn->params.size() && !fn->has_ellipsis) return -1;
+    int score = 0;
+    for (std::size_t i = 0; i < nargs && i < fn->params.size(); ++i) {
+      if (arg_types[i] == nullptr || fn->params[i]->type == nullptr) continue;
+      const Type* p = strippedForMemberAccess(fn->params[i]->type);
+      const Type* a = strippedForMemberAccess(arg_types[i]);
+      if (p == a) score += 2;
+      // Small preference for same type family (both class, both arith).
+      else if (p->kind() == a->kind())
+        score += 1;
+    }
+    return score;
+  }
+
+  /// Deduces missing template arguments by matching parameter patterns
+  /// against argument types. Returns false when deduction fails.
+  bool deduceTemplateArgs(const TemplateDecl* td,
+                          const std::vector<const Type*>& arg_types,
+                          std::vector<const Type*>& targs) {
+    const auto* pattern = td->pattern != nullptr
+                              ? td->pattern->as<FunctionDecl>()
+                              : nullptr;
+    if (pattern == nullptr) return false;
+    std::vector<const Type*> bound(td->params.size(), nullptr);
+    for (std::size_t i = 0; i < targs.size() && i < bound.size(); ++i)
+      bound[i] = targs[i];
+    for (std::size_t i = 0; i < pattern->params.size() && i < arg_types.size();
+         ++i) {
+      if (arg_types[i] == nullptr) continue;
+      if (!matchPattern(pattern->params[i]->type, arg_types[i], bound))
+        return false;
+    }
+    for (std::size_t i = 0; i < bound.size(); ++i) {
+      if (bound[i] == nullptr) {
+        if (td->params[i]->default_type != nullptr) {
+          bound[i] = td->params[i]->default_type;
+        } else {
+          return false;
+        }
+      }
+    }
+    targs = bound;
+    return true;
+  }
+
+  /// Structural match of a dependent parameter type against a concrete
+  /// argument type, binding template parameters.
+  bool matchPattern(const Type* param, const Type* arg,
+                    std::vector<const Type*>& bound) {
+    if (param == nullptr || arg == nullptr) return true;
+    // Strip references and top-level qualifiers from both sides.
+    while (true) {
+      if (const auto* r = param->as<ReferenceType>()) {
+        param = r->referee();
+        if (const auto* ra = arg->as<ReferenceType>()) arg = ra->referee();
+        continue;
+      }
+      if (const auto* q = param->as<QualifiedType>()) {
+        param = q->base();
+        if (const auto* qa = arg->as<QualifiedType>()) arg = qa->base();
+        continue;
+      }
+      if (const auto* qa = arg->as<QualifiedType>()) {
+        arg = qa->base();
+        continue;
+      }
+      break;
+    }
+    if (const auto* tp = param->as<TemplateParamType>()) {
+      const Type* stripped = canonical(arg);
+      if (tp->index() >= bound.size()) return false;
+      if (bound[tp->index()] != nullptr) return bound[tp->index()] == stripped;
+      bound[tp->index()] = stripped;
+      return true;
+    }
+    if (!param->isDependent()) {
+      return canonical(param) == canonical(arg);
+    }
+    if (const auto* pp = param->as<PointerType>()) {
+      const auto* ap = canonical(arg)->as<PointerType>();
+      return ap != nullptr && matchPattern(pp->pointee(), ap->pointee(), bound);
+    }
+    if (const auto* pa = param->as<ArrayType>()) {
+      const auto* aa = canonical(arg)->as<ArrayType>();
+      return aa != nullptr && matchPattern(pa->element(), aa->element(), bound);
+    }
+    if (const auto* ps = param->as<TemplateSpecializationType>()) {
+      const auto* ac = canonical(arg)->as<ClassType>();
+      if (ac == nullptr || ac->decl()->instantiated_from != ps->primary())
+        return false;
+      const auto& actual = ac->decl()->template_args;
+      if (actual.size() != ps->args().size()) return false;
+      for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (!matchPattern(ps->args()[i], actual[i], bound)) return false;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // -- constructor/destructor resolution -------------------------------------
+  FunctionDecl* findConstructor(const ClassDecl* cls,
+                                const std::vector<const Type*>& arg_types,
+                                SourceLocation loc) {
+    if (cls == nullptr) return nullptr;
+    std::vector<Decl*> ctors;
+    for (Decl* m : cls->children()) {
+      if (auto* f = m->as<FunctionDecl>();
+          f != nullptr && f->fkind == FunctionKind::Constructor)
+        ctors.push_back(m);
+    }
+    return pickOverload(ctors, arg_types, {}, loc);
+  }
+
+  FunctionDecl* findDestructor(const ClassDecl* cls) {
+    if (cls == nullptr) return nullptr;
+    for (Decl* m : cls->children()) {
+      if (auto* f = m->as<FunctionDecl>();
+          f != nullptr && f->fkind == FunctionKind::Destructor)
+        return f;
+    }
+    return nullptr;
+  }
+
+  void noteLifetime(VarDecl* var) {
+    const Type* t = canonical(var->type);
+    const auto* ct = t != nullptr ? t->as<ClassType>() : nullptr;
+    if (ct == nullptr) return;
+    auto* cls = const_cast<ClassDecl*>(ct->decl());
+    std::vector<const Type*> arg_types;
+    for (Expr* a : var->ctor_args) arg_types.push_back(a != nullptr ? a->type : nullptr);
+    if (var->init != nullptr && var->ctor_args.empty())
+      arg_types.push_back(var->init->type);
+    FunctionDecl* ctor = findConstructor(cls, arg_types, var->location());
+    var->resolved_ctor = ctor;
+    if (ctor != nullptr) sema_.noteUsed(ctor);
+    FunctionDecl* dtor = findDestructor(cls);
+    var->resolved_dtor = dtor;
+    if (dtor != nullptr) sema_.noteUsed(dtor);
+  }
+
+  void resolveCtorInits() {
+    for (auto& init : fn_->ctor_inits) {
+      for (Expr* a : init.args) resolveExpr(a);
+      std::vector<const Type*> arg_types;
+      for (Expr* a : init.args) arg_types.push_back(a != nullptr ? a->type : nullptr);
+      if (this_class_ == nullptr) continue;
+      // The initializer names a member (construct its class type) or a base.
+      const ClassDecl* target = nullptr;
+      for (const Decl* m : this_class_->children()) {
+        if (m->name() == init.name) {
+          if (const auto* v = m->as<VarDecl>()) {
+            if (const auto* ct = canonical(v->type)->as<ClassType>())
+              target = ct->decl();
+          }
+          break;
+        }
+      }
+      if (target == nullptr) {
+        for (const BaseSpecifier& b : this_class_->bases) {
+          if (b.base != nullptr && b.base->name() == init.name) {
+            target = b.base;
+            break;
+          }
+        }
+      }
+      if (target != nullptr) {
+        FunctionDecl* ctor = findConstructor(target, arg_types, init.location);
+        init.resolved_ctor = ctor;
+        if (ctor != nullptr) sema_.noteUsed(ctor);
+      }
+    }
+  }
+
+  // -- statements -------------------------------------------------------------
+  void resolveStmt(Stmt* s) {
+    if (s == nullptr) return;
+    switch (s->kind()) {
+      case StmtKind::Compound: {
+        pushLocalScope();
+        for (Stmt* c : s->as<CompoundStmt>()->body) resolveStmt(c);
+        popLocalScope();
+        break;
+      }
+      case StmtKind::DeclStatement: {
+        for (VarDecl* v : s->as<DeclStmt>()->vars) {
+          // Resolve initializers before the name is visible (C++ lets the
+          // name shadow, but init uses outer binding only in edge cases —
+          // the simple order is fine for call extraction).
+          resolveExpr(v->init);
+          for (Expr* a : v->ctor_args) resolveExpr(a);
+          declareLocal(v->name(), v);
+          noteLifetime(v);
+        }
+        break;
+      }
+      case StmtKind::If: {
+        auto* n = s->as<IfStmt>();
+        resolveExpr(n->condition);
+        resolveStmt(n->then_branch);
+        resolveStmt(n->else_branch);
+        break;
+      }
+      case StmtKind::While: {
+        auto* n = s->as<WhileStmt>();
+        resolveExpr(n->condition);
+        resolveStmt(n->body);
+        break;
+      }
+      case StmtKind::DoWhile: {
+        auto* n = s->as<DoWhileStmt>();
+        resolveStmt(n->body);
+        resolveExpr(n->condition);
+        break;
+      }
+      case StmtKind::For: {
+        auto* n = s->as<ForStmt>();
+        pushLocalScope();
+        resolveStmt(n->init);
+        resolveExpr(n->condition);
+        resolveExpr(n->increment);
+        resolveStmt(n->body);
+        popLocalScope();
+        break;
+      }
+      case StmtKind::Switch: {
+        auto* n = s->as<SwitchStmt>();
+        resolveExpr(n->condition);
+        resolveStmt(n->body);
+        break;
+      }
+      case StmtKind::Case: {
+        auto* n = s->as<CaseStmt>();
+        resolveExpr(n->value);
+        resolveStmt(n->body);
+        break;
+      }
+      case StmtKind::Default:
+        resolveStmt(s->as<DefaultStmt>()->body);
+        break;
+      case StmtKind::Return:
+        resolveExpr(s->as<ReturnStmt>()->value);
+        break;
+      case StmtKind::ExprStatement:
+        resolveExpr(s->as<ExprStmt>()->expr);
+        break;
+      case StmtKind::Label:
+        resolveStmt(s->as<LabelStmt>()->body);
+        break;
+      case StmtKind::Try: {
+        auto* n = s->as<TryStmt>();
+        resolveStmt(n->body);
+        for (auto& h : n->handlers) {
+          pushLocalScope();
+          if (h.var != nullptr) declareLocal(h.var->name(), h.var);
+          resolveStmt(h.body);
+          popLocalScope();
+        }
+        break;
+      }
+      default:
+        if (auto* e = dynamic_cast<Expr*>(s)) resolveExpr(e);
+        break;
+    }
+  }
+
+  // -- expressions: returns the computed type (also stored on the node) ------
+  const Type* resolveExpr(Expr* e) {
+    if (e == nullptr) return nullptr;
+    switch (e->kind()) {
+      case StmtKind::IntLit:
+        return e->type = ctx_.intType();
+      case StmtKind::FloatLit:
+        return e->type = ctx_.builtin(BuiltinKind::Double);
+      case StmtKind::CharLit:
+        return e->type = ctx_.builtin(BuiltinKind::Char);
+      case StmtKind::StringLit:
+        return e->type =
+                   ctx_.pointerTo(ctx_.qualified(ctx_.builtin(BuiltinKind::Char),
+                                                 true, false));
+      case StmtKind::BoolLit:
+        return e->type = ctx_.boolType();
+      case StmtKind::This: {
+        if (this_class_ != nullptr)
+          e->type = ctx_.pointerTo(ctx_.classType(this_class_));
+        return e->type;
+      }
+      case StmtKind::DeclRef:
+        return resolveDeclRef(e->as<DeclRefExpr>());
+      case StmtKind::Member:
+        return resolveMember(e->as<MemberExpr>());
+      case StmtKind::Call:
+        return resolveCall(e->as<CallExpr>());
+      case StmtKind::Unary: {
+        auto* n = e->as<UnaryExpr>();
+        const Type* t = resolveExpr(n->operand);
+        if (t == nullptr) return nullptr;
+        if (n->op == "*") {
+          if (const auto* p = canonical(t)->as<PointerType>())
+            return e->type = p->pointee();
+          return e->type = t;
+        }
+        if (n->op == "&") return e->type = ctx_.pointerTo(t);
+        if (n->op == "!") return e->type = ctx_.boolType();
+        return e->type = t;
+      }
+      case StmtKind::Binary: {
+        auto* n = e->as<BinaryExpr>();
+        const Type* lt = resolveExpr(n->lhs);
+        const Type* rt = resolveExpr(n->rhs);
+        // Overloaded operator on class-typed operands: member operators
+        // first, then free operator functions (incl. operator templates).
+        const bool class_operand =
+            (lt != nullptr &&
+             strippedForMemberAccess(lt)->as<ClassType>() != nullptr) ||
+            (rt != nullptr &&
+             strippedForMemberAccess(rt)->as<ClassType>() != nullptr);
+        if (lt != nullptr) {
+          if (const auto* ct = strippedForMemberAccess(lt)->as<ClassType>()) {
+            auto cands = Sema::lookupInClass(ct->decl(), "operator" + n->op);
+            if (!cands.empty()) {
+              FunctionDecl* op = pickOverload(cands, {rt}, {}, n->extent().begin);
+              if (op != nullptr) {
+                n->resolved_operator = op;
+                sema_.noteUsed(op);
+                return e->type = op->return_type;
+              }
+            }
+          }
+        }
+        if (class_operand) {
+          auto cands = lookupName("operator" + n->op);
+          if (!cands.empty()) {
+            FunctionDecl* op = pickOverload(cands, {lt, rt}, {}, n->extent().begin);
+            if (op != nullptr) {
+              n->resolved_operator = op;
+              sema_.noteUsed(op);
+              return e->type = op->return_type;
+            }
+          }
+        }
+        if (n->op == "==" || n->op == "!=" || n->op == "<" || n->op == ">" ||
+            n->op == "<=" || n->op == ">=" || n->op == "&&" || n->op == "||")
+          return e->type = ctx_.boolType();
+        return e->type = lt != nullptr ? lt : rt;
+      }
+      case StmtKind::Conditional: {
+        auto* n = e->as<ConditionalExpr>();
+        resolveExpr(n->condition);
+        const Type* t = resolveExpr(n->true_value);
+        resolveExpr(n->false_value);
+        return e->type = t;
+      }
+      case StmtKind::Cast: {
+        auto* n = e->as<CastExpr>();
+        resolveExpr(n->operand);
+        return e->type = n->target;
+      }
+      case StmtKind::New: {
+        auto* n = e->as<NewExpr>();
+        std::vector<const Type*> arg_types;
+        for (Expr* a : n->args) arg_types.push_back(resolveExpr(a));
+        if (const auto* ct = canonical(n->allocated)->as<ClassType>()) {
+          n->ctor = findConstructor(ct->decl(), arg_types, n->extent().begin);
+          if (n->ctor != nullptr) sema_.noteUsed(const_cast<FunctionDecl*>(n->ctor));
+        }
+        return e->type = ctx_.pointerTo(n->allocated);
+      }
+      case StmtKind::Delete: {
+        auto* n = e->as<DeleteExpr>();
+        const Type* t = resolveExpr(n->operand);
+        if (t != nullptr) {
+          if (const auto* p = canonical(t)->as<PointerType>()) {
+            if (const auto* ct = canonical(p->pointee())->as<ClassType>()) {
+              n->dtor = findDestructor(ct->decl());
+              if (n->dtor != nullptr)
+                sema_.noteUsed(const_cast<FunctionDecl*>(n->dtor));
+            }
+          }
+        }
+        return e->type = ctx_.voidType();
+      }
+      case StmtKind::Index: {
+        auto* n = e->as<IndexExpr>();
+        const Type* bt = resolveExpr(n->base);
+        resolveExpr(n->index);
+        if (bt == nullptr) return nullptr;
+        const Type* stripped = strippedForMemberAccess(bt);
+        if (const auto* p = stripped->as<PointerType>())
+          return e->type = p->pointee();
+        if (const auto* a = stripped->as<ArrayType>())
+          return e->type = a->element();
+        if (const auto* ct = stripped->as<ClassType>()) {
+          auto cands = Sema::lookupInClass(ct->decl(), "operator[]");
+          FunctionDecl* op =
+              pickOverload(cands, {n->index->type}, {}, n->extent().begin);
+          if (op != nullptr) {
+            n->resolved_operator = op;
+            sema_.noteUsed(op);
+            return e->type = op->return_type;
+          }
+        }
+        return nullptr;
+      }
+      case StmtKind::Construct: {
+        auto* n = e->as<ConstructExpr>();
+        std::vector<const Type*> arg_types;
+        for (Expr* a : n->args) arg_types.push_back(resolveExpr(a));
+        if (const auto* ct = canonical(n->constructed)->as<ClassType>()) {
+          n->ctor = findConstructor(ct->decl(), arg_types, n->extent().begin);
+          if (n->ctor != nullptr) sema_.noteUsed(const_cast<FunctionDecl*>(n->ctor));
+        }
+        return e->type = n->constructed;
+      }
+      case StmtKind::Throw: {
+        auto* n = e->as<ThrowExpr>();
+        resolveExpr(n->operand);
+        return e->type = ctx_.voidType();
+      }
+      case StmtKind::SizeOf:
+        resolveExpr(e->as<SizeOfExpr>()->expr_operand);
+        return e->type = ctx_.builtin(BuiltinKind::ULong);
+      case StmtKind::Comma: {
+        auto* n = e->as<CommaExpr>();
+        resolveExpr(n->lhs);
+        return e->type = resolveExpr(n->rhs);
+      }
+      default:
+        return nullptr;
+    }
+  }
+
+  static const Type* declType(const Decl* d) {
+    if (d == nullptr) return nullptr;
+    if (const auto* v = d->as<VarDecl>()) return v->type;
+    if (const auto* p = d->as<ParamDecl>()) return p->type;
+    if (const auto* f = d->as<FunctionDecl>()) return f->signature;
+    if (const auto* en = d->as<EnumeratorDecl>()) {
+      (void)en;
+      return nullptr;  // enumerators act as ints below
+    }
+    return nullptr;
+  }
+
+  const Type* resolveDeclRef(DeclRefExpr* e) {
+    std::vector<Decl*> found;
+    if (e->qualifier_type != nullptr) {
+      const Type* qt = e->qualifier_type;
+      if (qt->isDependent()) return nullptr;  // unreachable after subst
+      if (const auto* ct = canonical(qt)->as<ClassType>())
+        found = Sema::lookupInClass(ct->decl(), e->name);
+    } else if (e->qualifier_ns != nullptr) {
+      if (const auto* ns = e->qualifier_ns->as<NamespaceDecl>())
+        found = Sema::lookupInContext(ns, e->name);
+    } else {
+      found = lookupName(e->name);
+    }
+    if (found.empty()) return nullptr;
+    if (found.size() == 1) {
+      e->decl = found[0];
+      if (const auto* en = found[0]->as<EnumeratorDecl>()) {
+        (void)en;
+        return e->type = ctx_.intType();
+      }
+      return e->type = declType(found[0]);
+    }
+    for (const Decl* d : found) e->candidates.push_back(d);
+    e->decl = found[0];
+    return e->type = declType(found[0]);
+  }
+
+  const Type* resolveMember(MemberExpr* e) {
+    const Type* bt = resolveExpr(e->base);
+    if (bt == nullptr) return nullptr;
+    const Type* stripped = strippedForMemberAccess(bt);
+    if (e->is_arrow) {
+      if (const auto* p = stripped->as<PointerType>())
+        stripped = strippedForMemberAccess(p->pointee());
+    }
+    const auto* ct = stripped->as<ClassType>();
+    if (ct == nullptr) return nullptr;
+    auto found = Sema::lookupInClass(ct->decl(), e->member);
+    if (found.empty()) return nullptr;
+    e->decl = found[0];
+    for (const Decl* d : found) e->candidates.push_back(d);
+    return e->type = declType(found[0]);
+  }
+
+  const Type* resolveCall(CallExpr* e) {
+    std::vector<const Type*> arg_types;
+    for (Expr* a : e->args) arg_types.push_back(resolveExpr(a));
+
+    if (auto* member = e->callee->as<MemberExpr>()) {
+      const Type* bt = resolveExpr(member->base);
+      const ClassDecl* cls = nullptr;
+      if (bt != nullptr) {
+        const Type* stripped = strippedForMemberAccess(bt);
+        if (member->is_arrow) {
+          if (const auto* p = stripped->as<PointerType>())
+            stripped = strippedForMemberAccess(p->pointee());
+        }
+        if (const auto* ct = stripped->as<ClassType>()) cls = ct->decl();
+      }
+      if (cls != nullptr) {
+        auto cands = Sema::lookupInClass(cls, member->member);
+        FunctionDecl* fn = pickOverload(cands, arg_types, {}, e->call_location);
+        if (fn != nullptr) {
+          member->decl = fn;
+          e->resolved = fn;
+          e->is_virtual_call = fn->is_virtual;
+          sema_.noteUsed(fn);
+          return e->type = fn->return_type;
+        }
+      }
+      return nullptr;
+    }
+
+    if (auto* ref = e->callee->as<DeclRefExpr>()) {
+      std::vector<Decl*> cands;
+      bool qualified_member = false;
+      if (ref->qualifier_type != nullptr) {
+        if (const auto* ct = canonical(ref->qualifier_type)->as<ClassType>()) {
+          cands = Sema::lookupInClass(ct->decl(), ref->name);
+          qualified_member = true;
+        }
+      } else if (ref->qualifier_ns != nullptr) {
+        if (const auto* ns = ref->qualifier_ns->as<NamespaceDecl>())
+          cands = Sema::lookupInContext(ns, ref->name);
+      } else {
+        cands = lookupName(ref->name);
+      }
+      FunctionDecl* fn =
+          pickOverload(cands, arg_types, ref->explicit_targs, e->call_location);
+      if (fn != nullptr) {
+        ref->decl = fn;
+        e->resolved = fn;
+        // Unqualified member calls inside member functions dispatch
+        // virtually; explicitly qualified calls do not.
+        e->is_virtual_call = fn->is_virtual && !qualified_member;
+        sema_.noteUsed(fn);
+        return e->type = fn->return_type;
+      }
+      // Callee may be a variable of class type with operator().
+      const Type* vt = resolveDeclRef(ref);
+      if (vt != nullptr) {
+        if (const auto* ct = strippedForMemberAccess(vt)->as<ClassType>()) {
+          auto ops = Sema::lookupInClass(ct->decl(), "operator()");
+          FunctionDecl* op = pickOverload(ops, arg_types, {}, e->call_location);
+          if (op != nullptr) {
+            e->resolved = op;
+            sema_.noteUsed(op);
+            return e->type = op->return_type;
+          }
+        }
+        // Call through a function pointer: type is the pointee signature.
+        if (const auto* p = canonical(vt)->as<PointerType>()) {
+          if (const auto* ft = p->pointee()->as<FunctionType>())
+            return e->type = ft->result();
+        }
+        if (const auto* ft = canonical(vt)->as<FunctionType>())
+          return e->type = ft->result();
+      }
+      return nullptr;
+    }
+
+    // Arbitrary callee expression (e.g. (obj.fp)(x)).
+    const Type* ct = resolveExpr(e->callee);
+    if (ct != nullptr) {
+      if (const auto* p = canonical(ct)->as<PointerType>()) {
+        if (const auto* ft = p->pointee()->as<FunctionType>())
+          return e->type = ft->result();
+      }
+      if (const auto* ft = canonical(ct)->as<FunctionType>())
+        return e->type = ft->result();
+    }
+    return nullptr;
+  }
+
+  Sema& sema_;
+  AstContext& ctx_;
+  FunctionDecl* fn_;
+  const ClassDecl* this_class_ = nullptr;
+  std::vector<std::unordered_map<std::string, Decl*>> locals_;
+};
+
+}  // namespace
+
+void Sema::resolveFunctionBody(ast::FunctionDecl* fn) {
+  if (fn == nullptr || fn->body == nullptr) return;
+  BodyResolver resolver(*this, fn);
+  resolver.run();
+}
+
+}  // namespace pdt::sema

@@ -1,0 +1,193 @@
+#include "sema/sema.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdt::sema {
+
+std::vector<ast::Decl*> Scope::find(std::string_view name) const {
+  std::vector<ast::Decl*> out;
+  const auto [lo, hi] = names_.equal_range(std::string(name));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+Sema::Sema(ast::AstContext& ctx, SourceManager& sm, DiagnosticEngine& diags,
+           SemaOptions options)
+    : ctx_(ctx), sm_(sm), diags_(diags), options_(options) {
+  pushScope(ScopeKind::TranslationUnit, ctx_.translationUnit());
+}
+
+Sema::~Sema() = default;
+
+Scope* Sema::pushScope(ScopeKind kind, ast::DeclContext* entity) {
+  Scope* parent = scopes_.empty() ? nullptr : scopes_.back().get();
+  scopes_.push_back(std::make_unique<Scope>(kind, entity, parent));
+  return scopes_.back().get();
+}
+
+void Sema::popScope() {
+  assert(scopes_.size() > 1 && "cannot pop the translation-unit scope");
+  scopes_.pop_back();
+}
+
+ast::DeclContext* Sema::currentContext() const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    if ((*it)->entity() != nullptr) return (*it)->entity();
+  }
+  return nullptr;
+}
+
+ast::ClassDecl* Sema::currentClass() const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    if ((*it)->entity() != nullptr) {
+      if (auto* cls = (*it)->entity()->asDecl()->as<ast::ClassDecl>()) return cls;
+    }
+  }
+  return nullptr;
+}
+
+void Sema::declare(ast::Decl* d) {
+  Scope* scope = scopes_.back().get();
+  // Constructors are never found by ordinary name lookup (the class name
+  // inside its own scope is the injected-class-name, not the ctor set).
+  const auto* fn = d->as<ast::FunctionDecl>();
+  const bool is_ctor = fn != nullptr && fn->fkind == ast::FunctionKind::Constructor;
+  if (!d->name().empty() && !is_ctor) scope->declare(d->name(), d);
+  // Attach to the innermost entity-backed scope (names declared in block
+  // scopes stay local; entities parent to namespace/class/TU).
+  ast::DeclContext* ctx = scope->entity();
+  if (ctx == nullptr &&
+      (scope->kind() == ScopeKind::Function || scope->kind() == ScopeKind::Block ||
+       scope->kind() == ScopeKind::TemplateParams)) {
+    d->setParent(nullptr);
+    return;  // locals are owned by their function's statements
+  }
+  if (ctx == nullptr) ctx = currentContext();
+  if (ctx != nullptr) {
+    d->setParent(ctx);
+    ctx->addChild(d);
+  }
+}
+
+void Sema::declareName(std::string_view name, ast::Decl* d) {
+  scopes_.back()->declare(name, d);
+}
+
+void Sema::declareInEnclosing(ast::Decl* d) {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    Scope& scope = **it;
+    if (scope.entity() == nullptr) continue;
+    if (!d->name().empty()) scope.declare(d->name(), d);
+    d->setParent(scope.entity());
+    scope.entity()->addChild(d);
+    return;
+  }
+}
+
+std::vector<ast::Decl*> Sema::lookupUnqualified(std::string_view name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    const Scope& scope = **it;
+    std::vector<ast::Decl*> found = scope.find(name);
+    // Class scopes see inherited members too.
+    if (found.empty() && scope.entity() != nullptr) {
+      if (const auto* cls = scope.entity()->asDecl()->as<ast::ClassDecl>()) {
+        found = lookupInClass(cls, name);
+      }
+    }
+    // using-directives make namespace members visible at this level.
+    if (found.empty()) {
+      for (const ast::NamespaceDecl* ns : scope.usingNamespaces()) {
+        auto in_ns = lookupInContext(ns, name);
+        found.insert(found.end(), in_ns.begin(), in_ns.end());
+      }
+    }
+    if (!found.empty()) return found;
+  }
+  return {};
+}
+
+std::vector<ast::Decl*> Sema::lookupInClass(const ast::ClassDecl* cls,
+                                            std::string_view name) {
+  std::vector<ast::Decl*> found = cls->lookup(name);
+  // Ordinary lookup never yields constructors.
+  std::erase_if(found, [](const ast::Decl* d) {
+    const auto* fn = d->as<ast::FunctionDecl>();
+    return fn != nullptr && fn->fkind == ast::FunctionKind::Constructor;
+  });
+  if (!found.empty()) return found;
+  for (const ast::BaseSpecifier& base : cls->bases) {
+    if (base.base == nullptr) continue;
+    found = lookupInClass(base.base, name);
+    if (!found.empty()) return found;
+  }
+  return {};
+}
+
+std::vector<ast::Decl*> Sema::lookupInContext(const ast::DeclContext* ctx,
+                                              std::string_view name) {
+  if (ctx == nullptr) return {};
+  if (const auto* cls = ctx->asDecl()->as<ast::ClassDecl>()) {
+    return lookupInClass(cls, name);
+  }
+  return ctx->lookup(name);
+}
+
+bool Sema::isTypeName(std::string_view name) const {
+  for (ast::Decl* d : lookupUnqualified(name)) {
+    switch (d->kind()) {
+      case ast::DeclKind::Class:
+      case ast::DeclKind::Enum:
+      case ast::DeclKind::Typedef:
+        return true;
+      case ast::DeclKind::TemplateParam:
+        return d->as<ast::TemplateParamDecl>()->param_kind ==
+               ast::TemplateParamDecl::Kind::Type;
+      case ast::DeclKind::Template:
+        return d->as<ast::TemplateDecl>()->tkind == ast::TemplateKind::Class;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+bool Sema::isClassTemplateName(std::string_view name) const {
+  for (ast::Decl* d : lookupUnqualified(name)) {
+    if (const auto* td = d->as<ast::TemplateDecl>()) {
+      if (td->tkind == ast::TemplateKind::Class) return true;
+    }
+  }
+  return false;
+}
+
+void Sema::noteUsed(ast::FunctionDecl* fn) {
+  if (fn == nullptr) return;
+  use_worklist_.push_back(fn);
+}
+
+void Sema::finalize() {
+  // Resolve every body parsed so far; resolution enqueues uses, uses may
+  // instantiate bodies, which need resolution in turn — iterate to fixpoint.
+  std::size_t guard = 0;
+  while (!pending_resolution_.empty() || !use_worklist_.empty()) {
+    if (++guard > 1000000) {
+      diags_.error({}, "instantiation fixpoint did not converge");
+      break;
+    }
+    if (!pending_resolution_.empty()) {
+      ast::FunctionDecl* fn = pending_resolution_.back();
+      pending_resolution_.pop_back();
+      if (!resolved_[fn]) {
+        resolved_[fn] = true;
+        resolveFunctionBody(fn);
+      }
+      continue;
+    }
+    ast::FunctionDecl* used = use_worklist_.back();
+    use_worklist_.pop_back();
+    instantiateBodyIfNeeded(used);
+  }
+}
+
+}  // namespace pdt::sema

@@ -1,0 +1,181 @@
+// Semantic analysis for PDT-C++: scope management and name lookup used by
+// the parser while it builds the IL, plus the post-parse passes — body
+// resolution (static call graph) and the template instantiation engine
+// with EDG-style "used" mode semantics (paper §2/§3.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/context.h"
+#include "ast/decl.h"
+#include "ast/stmt.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace pdt::sema {
+
+enum class ScopeKind : std::uint8_t {
+  TranslationUnit,
+  Namespace,
+  Class,
+  TemplateParams,
+  Function,
+  Block,
+};
+
+/// One lexical scope. Scopes for namespaces/classes are backed by the
+/// corresponding DeclContext; template-param/function/block scopes hold
+/// names only for the duration of parsing/resolution.
+class Scope {
+ public:
+  Scope(ScopeKind kind, ast::DeclContext* entity, Scope* parent)
+      : kind_(kind), entity_(entity), parent_(parent) {}
+
+  [[nodiscard]] ScopeKind kind() const { return kind_; }
+  [[nodiscard]] ast::DeclContext* entity() const { return entity_; }
+  [[nodiscard]] Scope* parent() const { return parent_; }
+
+  void declare(std::string_view name, ast::Decl* d) {
+    names_.emplace(std::string(name), d);
+  }
+  [[nodiscard]] std::vector<ast::Decl*> find(std::string_view name) const;
+
+  void addUsingNamespace(ast::NamespaceDecl* ns) { using_.push_back(ns); }
+  [[nodiscard]] const std::vector<ast::NamespaceDecl*>& usingNamespaces() const {
+    return using_;
+  }
+
+ private:
+  ScopeKind kind_;
+  ast::DeclContext* entity_;
+  Scope* parent_;
+  std::unordered_multimap<std::string, ast::Decl*> names_;
+  std::vector<ast::NamespaceDecl*> using_;
+};
+
+/// Options controlling instantiation behaviour; used by ablation benches.
+struct SemaOptions {
+  /// EDG "used" instantiation mode (the paper's choice): member function
+  /// bodies are instantiated only when used. When false, instantiating a
+  /// class instantiates every member body ("instantiate-all").
+  bool used_mode = true;
+  /// The paper's proposed EDG fix: carry template IDs into specializations
+  /// so their originating template is recoverable (off reproduces the
+  /// paper's documented limitation).
+  bool record_specialization_origin = false;
+};
+
+class Sema {
+ public:
+  Sema(ast::AstContext& ctx, SourceManager& sm, DiagnosticEngine& diags,
+       SemaOptions options = {});
+  ~Sema();
+
+  Sema(const Sema&) = delete;
+  Sema& operator=(const Sema&) = delete;
+
+  [[nodiscard]] ast::AstContext& context() { return ctx_; }
+  [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+  [[nodiscard]] const SemaOptions& options() const { return options_; }
+
+  // -- scope stack (parser interface) ------------------------------------
+  Scope* pushScope(ScopeKind kind, ast::DeclContext* entity);
+  void popScope();
+  [[nodiscard]] Scope* currentScope() { return scopes_.back().get(); }
+  [[nodiscard]] ast::DeclContext* currentContext() const;
+  /// The innermost enclosing class, if any (for member function parsing).
+  [[nodiscard]] ast::ClassDecl* currentClass() const;
+
+  /// Registers `d` in the current scope and, when the scope is backed by a
+  /// DeclContext, parents it there too.
+  void declare(ast::Decl* d);
+  /// Registers a name only (no context attachment) — template params, etc.
+  void declareName(std::string_view name, ast::Decl* d);
+
+  /// Declares into the innermost entity-backed (namespace/class/TU) scope,
+  /// skipping template-parameter/function/block scopes. Used for template
+  /// declarations, which live in the scope enclosing their parameter list.
+  void declareInEnclosing(ast::Decl* d);
+
+  // -- lookup -------------------------------------------------------------
+  [[nodiscard]] std::vector<ast::Decl*> lookupUnqualified(std::string_view name) const;
+  /// Lookup within one class, following base classes.
+  [[nodiscard]] static std::vector<ast::Decl*> lookupInClass(
+      const ast::ClassDecl* cls, std::string_view name);
+  /// Lookup within a namespace or class context.
+  [[nodiscard]] static std::vector<ast::Decl*> lookupInContext(
+      const ast::DeclContext* ctx, std::string_view name);
+  /// True when `name` currently names a type (class/enum/typedef/
+  /// template-type-param) or a class template.
+  [[nodiscard]] bool isTypeName(std::string_view name) const;
+  [[nodiscard]] bool isClassTemplateName(std::string_view name) const;
+
+  // -- template instantiation (engine in instantiate.cpp) ------------------
+  /// Instantiates (or finds) Class<args>; in used mode member bodies stay
+  /// uninstantiated until use. Returns null on failure (diagnosed).
+  ast::ClassDecl* instantiateClassTemplate(ast::TemplateDecl* td,
+                                           const std::vector<const ast::Type*>& args,
+                                           SourceLocation use_loc);
+  /// Instantiates (or finds) a function template for explicit `args`.
+  ast::FunctionDecl* instantiateFunctionTemplate(
+      ast::TemplateDecl* td, const std::vector<const ast::Type*>& args,
+      SourceLocation use_loc);
+  /// Substitutes template arguments into `type` (depth-0 parameters).
+  const ast::Type* substituteType(const ast::Type* type,
+                                  const std::vector<const ast::Type*>& args);
+
+  /// Queue a member function for body instantiation (used mode).
+  void noteUsed(ast::FunctionDecl* fn);
+
+  /// Parser hook: schedule a freshly parsed body for the resolution pass.
+  void queueForResolution(ast::FunctionDecl* fn) {
+    pending_resolution_.push_back(fn);
+  }
+
+  // -- post-parse passes ----------------------------------------------------
+  /// Resolves every parsed body (names, member calls, operator calls,
+  /// ctor/dtor uses) and drives the used-mode instantiation worklist to a
+  /// fixed point. Call once after the parser finishes.
+  void finalize();
+
+  /// Count of member-function bodies instantiated (ablation metric).
+  [[nodiscard]] std::size_t instantiatedBodyCount() const {
+    return instantiated_bodies_;
+  }
+
+ private:
+  friend class BodyResolver;
+  friend class TemplateInstantiator;
+
+  void resolveFunctionBody(ast::FunctionDecl* fn);
+  /// Instantiates the body of `fn` from its pattern, if it has one pending.
+  void instantiateBodyIfNeeded(ast::FunctionDecl* fn);
+
+  ast::AstContext& ctx_;
+  SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  SemaOptions options_;
+
+  std::vector<std::unique_ptr<Scope>> scopes_;
+
+  /// Worklist of functions whose bodies still need resolution.
+  std::vector<ast::FunctionDecl*> pending_resolution_;
+  /// Member functions of class instantiations awaiting body instantiation:
+  /// instantiated decl -> (pattern function, template args).
+  struct PendingBody {
+    ast::FunctionDecl* pattern = nullptr;
+    std::vector<const ast::Type*> args;
+    ast::ClassDecl* owner = nullptr;  // instantiated class (null for free fns)
+  };
+  std::unordered_map<ast::FunctionDecl*, PendingBody> pending_bodies_;
+  std::vector<ast::FunctionDecl*> use_worklist_;
+  std::unordered_map<const ast::FunctionDecl*, bool> resolved_;
+  std::size_t instantiated_bodies_ = 0;
+  std::size_t instantiation_depth_ = 0;
+};
+
+}  // namespace pdt::sema

@@ -1,0 +1,393 @@
+#include "siloon/siloon.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pdt::siloon {
+
+using namespace ductape;
+
+namespace {
+
+const std::unordered_map<std::string, std::string>& operatorNames() {
+  static const std::unordered_map<std::string, std::string> table = {
+      {"operator[]", "op_index"},   {"operator()", "op_call"},
+      {"operator+", "op_add"},      {"operator-", "op_sub"},
+      {"operator*", "op_mul"},      {"operator/", "op_div"},
+      {"operator%", "op_mod"},      {"operator=", "op_assign"},
+      {"operator==", "op_eq"},      {"operator!=", "op_ne"},
+      {"operator<", "op_lt"},       {"operator>", "op_gt"},
+      {"operator<=", "op_le"},      {"operator>=", "op_ge"},
+      {"operator<<", "op_lshift"},  {"operator>>", "op_rshift"},
+      {"operator+=", "op_addeq"},   {"operator-=", "op_subeq"},
+      {"operator*=", "op_muleq"},   {"operator/=", "op_diveq"},
+      {"operator++", "op_incr"},    {"operator--", "op_decr"},
+      {"operator!", "op_not"},      {"operator&", "op_and"},
+      {"operator|", "op_or"},       {"operator^", "op_xor"},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string mangle(const std::string& name) {
+  // Operator names first (longest match), then character-wise mangling.
+  std::string work = name;
+  for (const auto& [op, repl] : operatorNames()) {
+    std::size_t pos;
+    while ((pos = work.find(op)) != std::string::npos) {
+      work = work.substr(0, pos) + repl + work.substr(pos + op.size());
+    }
+  }
+  std::string out;
+  out.reserve(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const char c = work[i];
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_') {
+      out.push_back(c);
+    } else if (c == ':' && i + 1 < work.size() && work[i + 1] == ':') {
+      out += "_cn_";
+      ++i;
+    } else {
+      switch (c) {
+        case '<': out += "_lt_"; break;
+        case '>': out += "_gt_"; break;
+        case ',': out += "_cm_"; break;
+        case ' ': break;  // dropped
+        case '&': out += "_am_"; break;
+        case '*': out += "_ptr_"; break;
+        case '~': out += "_dtor_"; break;
+        case '[': out += "_lb_"; break;
+        case ']': out += "_rb_"; break;
+        case '(': out += "_lp_"; break;
+        case ')': out += "_rp_"; break;
+        default: out += "_x_"; break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders the C++ parameter list and call arguments for a bridge
+/// function. Returns false when a parameter type cannot be bridged.
+struct ParamRender {
+  std::string params;      // "int a0, const double & a1"
+  std::string args;        // "a0, a1"
+  std::string sig;         // for the registry
+  bool ok = true;
+};
+
+std::string typeSpelling(const pdbType* t) {
+  return t != nullptr ? t->name() : std::string("int");
+}
+
+ParamRender renderParams(const pdbType* signature, bool skip_first_none = false) {
+  ParamRender out;
+  (void)skip_first_none;
+  if (signature == nullptr) {
+    out.ok = false;
+    return out;
+  }
+  const auto& args = signature->arguments();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string spelling = typeSpelling(args[i]);
+    if (spelling.find("dependent") != std::string::npos) {
+      out.ok = false;
+      return out;
+    }
+    if (i > 0) {
+      out.params += ", ";
+      out.args += ", ";
+    }
+    out.params += spelling + " a" + std::to_string(i);
+    out.args += "a" + std::to_string(i);
+  }
+  out.sig = signature->name();
+  return out;
+}
+
+/// How a bridge function returns the routine's result.
+struct ReturnRender {
+  std::string c_type;   // the extern "C" return type
+  std::string prologue; // text before the call ("return ", "auto& r = ")
+  std::string epilogue; // text after the call
+  bool ok = true;
+};
+
+ReturnRender renderReturn(const pdbType* ret) {
+  ReturnRender out;
+  if (ret == nullptr || ret->kind() == pdbType::TY_VOID) {
+    out.c_type = "void";
+    out.prologue = "";
+    return out;
+  }
+  switch (ret->kind()) {
+    case pdbType::TY_BOOL:
+    case pdbType::TY_CHAR:
+    case pdbType::TY_INT:
+    case pdbType::TY_FLOAT:
+    case pdbType::TY_WCHAR:
+    case pdbType::TY_ENUM:
+    case pdbType::TY_PTR:
+      out.c_type = ret->name();
+      out.prologue = "return ";
+      return out;
+    case pdbType::TY_REF:
+      // References cross the C boundary as pointers.
+      out.c_type = typeSpelling(ret->referencedType()) + " *";
+      if (ret->referencedClass() != nullptr)
+        out.c_type = ret->referencedClass()->fullName() + " *";
+      out.prologue = "return &(";
+      out.epilogue = ")";
+      return out;
+    case pdbType::TY_TREF:
+      out.c_type = ret->name();
+      out.prologue = "return ";
+      return out;
+    default:
+      out.ok = false;
+      return out;
+  }
+}
+
+bool isBridgeableClass(const pdbClass* cls) {
+  if (cls == nullptr) return false;
+  // Abstract classes cannot be constructed; still bridge their methods.
+  return true;
+}
+
+}  // namespace
+
+Bindings generate(const PDB& pdb, const GeneratorOptions& options) {
+  Bindings out;
+  std::ostringstream hdr;
+  std::ostringstream src;
+  std::ostringstream py;
+  const std::string& mod = options.module_name;
+
+  const auto wanted = [&](const pdbClass* cls) {
+    if (!isBridgeableClass(cls)) return false;
+    if (options.classes.empty()) return true;
+    return std::find(options.classes.begin(), options.classes.end(),
+                     cls->fullName()) != options.classes.end();
+  };
+
+  hdr << "// Generated by SILOON from the program database. Do not edit.\n";
+  hdr << "#pragma once\n\n";
+  for (const std::string& header : options.library_headers) {
+    hdr << "#include \"" << header << "\"\n";
+  }
+  hdr << "\nextern \"C\" {\n\n";
+  hdr << "/// SILOON routine-management entry (paper Figure 8).\n";
+  hdr << "struct " << mod << "_entry {\n"
+      << "    const char* script_name;\n"
+      << "    const char* cxx_name;\n"
+      << "    const char* signature;\n"
+      << "    void* fnptr;\n"
+      << "};\n\n";
+  hdr << "/// Returns the routine registration table; *count receives its size.\n";
+  hdr << "const " << mod << "_entry* " << mod << "_registry(int* count);\n\n";
+
+  src << "// Generated by SILOON from the program database. Do not edit.\n";
+  src << "#include \"" << mod << "_bridge.h\"\n\n";
+
+  py << "# Generated by SILOON from the program database. Do not edit.\n";
+  py << "# Python wrappers calling the C bridge in lib" << mod << ".\n";
+  py << "import ctypes\n\n";
+  py << "_lib = ctypes.CDLL(\"lib" << mod << ".so\")\n\n";
+
+  std::vector<RegisteredRoutine> registry;
+  std::unordered_set<std::string> used_symbols;
+
+  const auto uniqueSymbol = [&](std::string base) {
+    std::string symbol = base;
+    int n = 1;
+    while (!used_symbols.insert(symbol).second) {
+      symbol = base + "_" + std::to_string(++n);
+    }
+    return symbol;
+  };
+
+  const auto emitFree = [&](const pdbRoutine* fn) {
+    const ParamRender params = renderParams(fn->signature());
+    const ReturnRender ret = renderReturn(
+        fn->signature() != nullptr ? fn->signature()->returnType() : nullptr);
+    if (!params.ok || !ret.ok) {
+      out.skipped.push_back(fn->fullName() + " (unbridgeable signature)");
+      return;
+    }
+    const std::string symbol =
+        uniqueSymbol(mod + "_" + mangle(fn->fullName()));
+    hdr << ret.c_type << ' ' << symbol << '(' << params.params << ");\n";
+    src << "extern \"C\" " << ret.c_type << ' ' << symbol << '('
+        << params.params << ") {\n    " << ret.prologue << fn->fullName() << '('
+        << params.args << ')' << ret.epilogue << ";\n}\n\n";
+    registry.push_back({mangle(fn->fullName()), fn->fullName(), params.sig,
+                        symbol});
+    py << "def " << mangle(fn->name()) << "(*args):\n"
+       << "    return _lib." << symbol << "(*args)\n\n";
+  };
+
+  const auto emitClass = [&](const pdbClass* cls) {
+    const std::string cname = cls->fullName();
+    const std::string mangled = mangle(cname);
+    py << "class " << mangled << ":\n";
+    py << "    \"\"\"Wrapper for C++ class " << cname << "\"\"\"\n";
+    bool py_has_member = false;
+
+    bool has_ctor = false;
+    for (const pdbRoutine* fn : cls->funcMembers()) {
+      // SILOON exports the class's external interface only.
+      if (fn->access() != pdbItem::AC_PUB) continue;
+      if (fn->kind() == pdbItem::RO_CTOR) {
+        const ParamRender params = renderParams(fn->signature());
+        if (!params.ok) {
+          out.skipped.push_back(cname + " constructor (unbridgeable)");
+          continue;
+        }
+        const std::string symbol = uniqueSymbol(mod + "_new_" + mangled);
+        hdr << "void* " << symbol << '(' << params.params << ");\n";
+        src << "extern \"C\" void* " << symbol << '(' << params.params
+            << ") {\n    return new " << cname << '(' << params.args
+            << ");\n}\n\n";
+        registry.push_back({mangle(cname + "::" + cname), cname + "::" + cname,
+                            params.sig, symbol});
+        if (!has_ctor) {
+          py << "    def __init__(self, *args):\n"
+             << "        self._self = _lib." << symbol << "(*args)\n";
+          py_has_member = true;
+        }
+        has_ctor = true;
+        continue;
+      }
+      if (fn->kind() == pdbItem::RO_DTOR) {
+        const std::string symbol = uniqueSymbol(mod + "_delete_" + mangled);
+        hdr << "void " << symbol << "(void* self);\n";
+        src << "extern \"C\" void " << symbol << "(void* self) {\n"
+            << "    delete static_cast<" << cname << "*>(self);\n}\n\n";
+        registry.push_back({mangle(cname) + "_delete", cname + "::" + fn->name(),
+                            "void (void*)", symbol});
+        py << "    def __del__(self):\n"
+           << "        _lib." << symbol << "(self._self)\n";
+        py_has_member = true;
+        continue;
+      }
+      // Ordinary / virtual / static member functions and operators.
+      const ParamRender params = renderParams(fn->signature());
+      const ReturnRender ret = renderReturn(
+          fn->signature() != nullptr ? fn->signature()->returnType() : nullptr);
+      if (!params.ok || !ret.ok) {
+        out.skipped.push_back(fn->fullName() + " (unbridgeable signature)");
+        continue;
+      }
+      const std::string method = mangle(fn->name());
+      const std::string symbol = uniqueSymbol(mod + "_" + mangled + "_" + method);
+      if (fn->isStatic()) {
+        hdr << ret.c_type << ' ' << symbol << '(' << params.params << ");\n";
+        src << "extern \"C\" " << ret.c_type << ' ' << symbol << '('
+            << params.params << ") {\n    " << ret.prologue << cname
+            << "::" << fn->name() << '(' << params.args << ')' << ret.epilogue
+            << ";\n}\n\n";
+      } else {
+        std::string full_params = "void* self";
+        if (!params.params.empty()) full_params += ", " + params.params;
+        hdr << ret.c_type << ' ' << symbol << '(' << full_params << ");\n";
+        src << "extern \"C\" " << ret.c_type << ' ' << symbol << '('
+            << full_params << ") {\n    " << ret.prologue << "static_cast<"
+            << cname << "*>(self)->" << fn->name() << '(' << params.args << ')'
+            << ret.epilogue << ";\n}\n\n";
+      }
+      registry.push_back({mangle(cname) + "_" + method, fn->fullName(),
+                          params.sig, symbol});
+      py << "    def " << method << "(self, *args):\n"
+         << "        return _lib." << symbol << "(self._self, *args)\n";
+      py_has_member = true;
+    }
+    if (!py_has_member) py << "    pass\n";
+    py << "\n";
+  };
+
+  for (const pdbClass* cls : pdb.getClassVec()) {
+    if (wanted(cls)) emitClass(cls);
+  }
+  for (const pdbRoutine* fn : pdb.getRoutineVec()) {
+    // Free functions only: members are bridged with their class.
+    if (fn->parentClass() != nullptr) continue;
+    if (fn->kind() != pdbItem::RO_NORMAL) continue;
+    if (fn->name() == "main") continue;
+    if (!options.classes.empty()) continue;  // class-restricted generation
+    emitFree(fn);
+  }
+
+  // Routine-management structures: the registration table.
+  src << "static const " << mod << "_entry " << mod << "_entries[] = {\n";
+  for (const RegisteredRoutine& r : registry) {
+    src << "    {\"" << r.script_name << "\", \"" << r.cxx_name << "\", \""
+        << r.signature << "\", reinterpret_cast<void*>(&" << r.bridge_symbol
+        << ")},\n";
+  }
+  src << "};\n\n";
+  src << "extern \"C\" const " << mod << "_entry* " << mod
+      << "_registry(int* count) {\n"
+      << "    *count = " << registry.size() << ";\n"
+      << "    return " << mod << "_entries;\n}\n";
+
+  hdr << "\n}  // extern \"C\"\n";
+
+  out.bridge_header = hdr.str();
+  out.bridge_code = src.str();
+  out.python_code = py.str();
+  out.registered = std::move(registry);
+  return out;
+}
+
+}  // namespace pdt::siloon
+
+namespace pdt::siloon {
+
+std::vector<TemplateListing> listTemplates(const ductape::PDB& pdb) {
+  using namespace ductape;
+  std::vector<TemplateListing> out;
+  for (const pdbTemplate* te : pdb.getTemplateVec()) {
+    // The user-facing list covers class and free function templates;
+    // member entities follow their class.
+    if (te->kind() != pdbItem::TE_CLASS && te->kind() != pdbItem::TE_FUNC)
+      continue;
+    TemplateListing listing;
+    listing.name = te->fullName();
+    listing.kind = te->kind() == pdbItem::TE_CLASS ? "class" : "func";
+    if (te->kind() == pdbItem::TE_CLASS) {
+      for (const pdbClass* cls : pdb.getClassVec()) {
+        if (cls->isTemplate() == te)
+          listing.instantiations.push_back(cls->fullName());
+      }
+    } else {
+      for (const pdbRoutine* r : pdb.getRoutineVec()) {
+        if (r->isTemplate() == te)
+          listing.instantiations.push_back(r->fullName());
+      }
+    }
+    listing.instantiated = !listing.instantiations.empty();
+    out.push_back(std::move(listing));
+  }
+  return out;
+}
+
+std::string generateInstantiations(
+    const std::vector<std::pair<std::string, std::string>>& selections) {
+  std::string out =
+      "// Generated by SILOON: explicit instantiations selected from the\n"
+      "// template list (paper §4.2). Compile this into the library, then\n"
+      "// re-run PDT + SILOON to export the instantiations.\n";
+  for (const auto& [template_name, args] : selections) {
+    out += "template class " + template_name + "<" + args + ">;\n";
+  }
+  return out;
+}
+
+}  // namespace pdt::siloon

@@ -1,0 +1,84 @@
+// SILOON: Scripting Interface Languages for Object-Oriented Numerics
+// (paper §4.2, Figure 8).
+//
+// Uses the program database to generate the bridging code that links
+// scripting languages with C++ libraries:
+//   * language-independent C++ bridge functions with C linkage, which
+//     wrap constructors, destructors, member functions (incl. virtual,
+//     static, operators, overloads) and free functions, and register
+//     them in SILOON's routine-management structures;
+//   * language-specific wrapper classes (Python here) that call the
+//     bridge functions and present a natural interface.
+//
+// As the paper describes, template entities are handled like any other —
+// except that non-alphanumeric characters in their names are mangled so
+// scripting languages can address them; only *instantiated* templates
+// (present in the PDB) are exported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ductape/ductape.h"
+
+namespace pdt::siloon {
+
+struct GeneratorOptions {
+  /// Prefix for generated symbols and file-level artifacts.
+  std::string module_name = "siloon";
+  /// Restrict generation to these classes (fully qualified names).
+  /// Empty = every complete class in the PDB.
+  std::vector<std::string> classes;
+  /// Headers the bridge must #include (the user library's interface).
+  std::vector<std::string> library_headers;
+};
+
+/// One routine registered with SILOON's routine-management structures.
+struct RegisteredRoutine {
+  std::string script_name;  // mangled, scripting-language-safe
+  std::string cxx_name;     // original fully qualified name
+  std::string signature;    // C++ signature text
+  std::string bridge_symbol;
+};
+
+struct Bindings {
+  std::string bridge_header;  // declarations of the C bridge functions
+  std::string bridge_code;    // definitions + registration table
+  std::string python_code;    // scripting-language wrapper classes
+  std::vector<RegisteredRoutine> registered;
+  std::vector<std::string> skipped;  // entities we could not bridge (+why)
+};
+
+/// Transforms a C++ name into a scripting-language-safe identifier:
+/// "Stack<int>::operator[]" -> "Stack_lt_int_gt__cn_op_index".
+[[nodiscard]] std::string mangle(const std::string& name);
+
+/// Generates all bridging artifacts for the program database.
+[[nodiscard]] Bindings generate(const ductape::PDB& pdb,
+                                const GeneratorOptions& options = {});
+
+// -- the extension the paper proposes in §4.2 --------------------------------
+// "A useful extension to PDT would be to provide access to all templates,
+//  whether instantiated or not. SILOON could then present a template list
+//  to the user, and automatically generate instantiations of selected
+//  templates."
+
+/// One presentable template from the PDB, with its instantiation status.
+struct TemplateListing {
+  std::string name;
+  std::string kind;  // class/func/memfunc/statmem
+  std::vector<std::string> instantiations;  // existing concrete names
+  bool instantiated = false;
+};
+
+/// The template list SILOON presents to the user: every class/function
+/// template in the database, instantiated or not.
+[[nodiscard]] std::vector<TemplateListing> listTemplates(const ductape::PDB& pdb);
+
+/// Generates the explicit-instantiation directives ("template class
+/// Stack<int>;") a user selects from the list; compiling them into the
+/// library makes the instantiations available to a later SILOON run.
+[[nodiscard]] std::string generateInstantiations(
+    const std::vector<std::pair<std::string, std::string>>& selections);
+
+}  // namespace pdt::siloon

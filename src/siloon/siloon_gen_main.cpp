@@ -1,0 +1,50 @@
+// siloon_gen: generates SILOON bridging code from a program database
+// (paper Figure 8).
+//
+//   siloon_gen <file.pdb> -o <outdir> [--module NAME] [--header H]...
+#include <fstream>
+#include <iostream>
+
+#include "siloon/siloon.h"
+
+int main(int argc, char** argv) {
+  std::string pdb_path;
+  std::string out_dir = ".";
+  pdt::siloon::GeneratorOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--module" && i + 1 < argc) {
+      options.module_name = argv[++i];
+    } else if (arg == "--header" && i + 1 < argc) {
+      options.library_headers.emplace_back(argv[++i]);
+    } else if (arg == "--class" && i + 1 < argc) {
+      options.classes.emplace_back(argv[++i]);
+    } else if (pdb_path.empty()) {
+      pdb_path = arg;
+    } else {
+      std::cerr << "siloon_gen: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (pdb_path.empty()) {
+    std::cerr << "usage: siloon_gen <file.pdb> -o <outdir> [--module NAME] "
+                 "[--header H]... [--class C]...\n";
+    return 2;
+  }
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(pdb_path);
+  if (!pdb.valid()) {
+    std::cerr << "siloon_gen: " << pdb.errorMessage() << '\n';
+    return 1;
+  }
+  const pdt::siloon::Bindings bindings = pdt::siloon::generate(pdb, options);
+  const std::string base = out_dir + "/" + options.module_name;
+  std::ofstream(base + "_bridge.h") << bindings.bridge_header;
+  std::ofstream(base + "_bridge.cpp") << bindings.bridge_code;
+  std::ofstream(base + ".py") << bindings.python_code;
+  std::cout << "generated " << bindings.registered.size() << " bridge routines, "
+            << bindings.skipped.size() << " skipped\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "support/diagnostics.h"
+
+#include <ostream>
+
+#include "support/source_manager.h"
+
+namespace pdt {
+
+std::string_view toString(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLocation loc,
+                              std::string message) {
+  if (severity == Severity::Error) ++errors_;
+  if (severity == Severity::Warning) ++warnings_;
+  diags_.push_back({severity, loc, std::move(message)});
+  if (handler_) handler_(diags_.back());
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errors_ = 0;
+  warnings_ = 0;
+}
+
+void DiagnosticEngine::print(std::ostream& os, const SourceManager& sm) const {
+  for (const Diagnostic& d : diags_) {
+    os << sm.describe(d.location) << ": " << toString(d.severity) << ": "
+       << d.message << '\n';
+  }
+}
+
+}  // namespace pdt

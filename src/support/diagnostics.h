@@ -1,0 +1,65 @@
+// Diagnostic collection for the frontend and tools.
+//
+// All components report problems through a DiagnosticEngine instead of
+// writing to stderr directly, so library embedders (TAU, SILOON, tests)
+// can inspect, count, or render diagnostics as they see fit.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace pdt {
+
+class SourceManager;
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view toString(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLocation location;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLocation loc, std::string message);
+
+  void error(SourceLocation loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLocation loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLocation loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  [[nodiscard]] std::size_t errorCount() const { return errors_; }
+  [[nodiscard]] std::size_t warningCount() const { return warnings_; }
+  [[nodiscard]] bool hasErrors() const { return errors_ > 0; }
+
+  void clear();
+
+  /// Renders every diagnostic as "file:line:col: severity: message".
+  void print(std::ostream& os, const SourceManager& sm) const;
+
+  /// Optional hook invoked on every report (e.g. fail-fast in tests).
+  void setHandler(std::function<void(const Diagnostic&)> handler) {
+    handler_ = std::move(handler);
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+  std::function<void(const Diagnostic&)> handler_;
+};
+
+}  // namespace pdt

@@ -1,0 +1,72 @@
+// Source coordinates used throughout the toolkit.
+//
+// The paper stresses that PDT preserves "original names and locations" from
+// source code (§1, §3.1); every IL node, PDB item, and diagnostic carries a
+// SourceLocation or SourceExtent built from these types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace pdt {
+
+/// Opaque handle to a file registered with a SourceManager.
+/// Value 0 is reserved for "no file".
+class FileId {
+ public:
+  constexpr FileId() = default;
+  constexpr explicit FileId(std::uint32_t raw) : raw_(raw) {}
+
+  [[nodiscard]] constexpr bool valid() const { return raw_ != 0; }
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+
+  friend constexpr auto operator<=>(FileId, FileId) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// A point in a source file. Lines and columns are 1-based, matching the
+/// PDB format's "so#<id> <line> <col>" triples (paper Figure 3).
+struct SourceLocation {
+  FileId file;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return file.valid() && line > 0; }
+
+  friend constexpr auto operator<=>(const SourceLocation&,
+                                    const SourceLocation&) = default;
+};
+
+/// A half-open region [begin, end] of source text; used for the PDB
+/// header/body position attributes (rpos/cpos/tpos).
+struct SourceExtent {
+  SourceLocation begin;
+  SourceLocation end;
+
+  [[nodiscard]] constexpr bool valid() const { return begin.valid(); }
+
+  friend constexpr auto operator<=>(const SourceExtent&,
+                                    const SourceExtent&) = default;
+};
+
+}  // namespace pdt
+
+template <>
+struct std::hash<pdt::FileId> {
+  std::size_t operator()(pdt::FileId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.raw());
+  }
+};
+
+template <>
+struct std::hash<pdt::SourceLocation> {
+  std::size_t operator()(const pdt::SourceLocation& loc) const noexcept {
+    std::size_t h = std::hash<pdt::FileId>{}(loc.file);
+    h = h * 1000003u + loc.line;
+    h = h * 1000003u + loc.column;
+    return h;
+  }
+};

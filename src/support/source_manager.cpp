@@ -1,0 +1,127 @@
+#include "support/source_manager.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace pdt {
+namespace {
+
+/// Directory part of a path, without the trailing slash ("" if none).
+std::string_view dirName(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? std::string_view{} : path.substr(0, pos);
+}
+
+std::string joinPath(std::string_view dir, std::string_view leaf) {
+  if (dir.empty()) return std::string(leaf);
+  std::string out(dir);
+  if (!out.ends_with('/')) out.push_back('/');
+  out.append(leaf);
+  return out;
+}
+
+}  // namespace
+
+FileId SourceManager::registerFile(std::string name, std::string content) {
+  File f;
+  f.name = std::move(name);
+  f.content = std::move(content);
+  f.line_offsets.push_back(0);
+  for (std::uint32_t i = 0; i < f.content.size(); ++i) {
+    if (f.content[i] == '\n') f.line_offsets.push_back(i + 1);
+  }
+  files_.push_back(std::move(f));
+  const FileId id(static_cast<std::uint32_t>(files_.size()));  // ids are 1-based
+  by_name_.emplace(files_.back().name, id);
+  return id;
+}
+
+FileId SourceManager::addVirtualFile(std::string name, std::string content) {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  return registerFile(std::move(name), std::move(content));
+}
+
+std::optional<FileId> SourceManager::loadFile(const std::string& path) {
+  if (const auto it = by_name_.find(path); it != by_name_.end()) return it->second;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    for (const auto& dir : search_dirs_) {
+      const std::string candidate = joinPath(dir, path);
+      if (const auto it = by_name_.find(candidate); it != by_name_.end())
+        return it->second;
+      in.open(candidate, std::ios::binary);
+      if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return registerFile(candidate, std::move(ss).str());
+      }
+    }
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return registerFile(path, std::move(ss).str());
+}
+
+void SourceManager::addSearchDir(std::string dir) {
+  search_dirs_.push_back(std::move(dir));
+}
+
+std::optional<FileId> SourceManager::resolveInclude(std::string_view spelling,
+                                                    bool angled, FileId includer) {
+  const std::string leaf(spelling);
+  if (!angled && known(includer)) {
+    // "..." form: directory of the including file first.
+    const std::string sibling = joinPath(dirName(name(includer)), leaf);
+    if (const auto it = by_name_.find(sibling); it != by_name_.end())
+      return it->second;
+    if (std::ifstream in(sibling, std::ios::binary); in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      return registerFile(sibling, std::move(ss).str());
+    }
+  }
+  // Virtual files are registered under their bare spelling.
+  if (const auto it = by_name_.find(leaf); it != by_name_.end()) return it->second;
+  return loadFile(leaf);
+}
+
+const SourceManager::File& SourceManager::get(FileId id) const {
+  assert(id.valid() && id.raw() <= files_.size());
+  return files_[id.raw() - 1];
+}
+
+bool SourceManager::known(FileId id) const {
+  return id.valid() && id.raw() <= files_.size();
+}
+
+const std::string& SourceManager::name(FileId id) const { return get(id).name; }
+
+std::string_view SourceManager::content(FileId id) const { return get(id).content; }
+
+std::vector<FileId> SourceManager::allFiles() const {
+  std::vector<FileId> out;
+  out.reserve(files_.size());
+  for (std::uint32_t i = 1; i <= files_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::string_view SourceManager::lineText(FileId id, std::uint32_t line) const {
+  const File& f = get(id);
+  if (line == 0 || line > f.line_offsets.size()) return {};
+  const std::uint32_t begin = f.line_offsets[line - 1];
+  std::uint32_t end = line < f.line_offsets.size()
+                          ? f.line_offsets[line] - 1  // strip '\n'
+                          : static_cast<std::uint32_t>(f.content.size());
+  if (end > begin && f.content[end - 1] == '\r') --end;
+  return std::string_view(f.content).substr(begin, end - begin);
+}
+
+std::string SourceManager::describe(SourceLocation loc) const {
+  if (!loc.valid() || !known(loc.file)) return "<unknown>";
+  return name(loc.file) + ":" + std::to_string(loc.line) + ":" +
+         std::to_string(loc.column);
+}
+
+}  // namespace pdt

@@ -1,0 +1,70 @@
+// Registry of source files: owns file contents, assigns FileIds, resolves
+// #include paths. Supports in-memory ("virtual") files so tests and
+// benchmarks can run without touching the filesystem.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace pdt {
+
+class SourceManager {
+ public:
+  SourceManager() = default;
+
+  SourceManager(const SourceManager&) = delete;
+  SourceManager& operator=(const SourceManager&) = delete;
+
+  /// Registers an in-memory file under `name`. If a file of that name is
+  /// already registered its previous content is kept and its id returned.
+  FileId addVirtualFile(std::string name, std::string content);
+
+  /// Loads `path` from disk (resolving against the search directories if
+  /// relative). Returns nullopt when the file cannot be read.
+  std::optional<FileId> loadFile(const std::string& path);
+
+  /// Appends a directory to the #include search list (the -I path).
+  void addSearchDir(std::string dir);
+
+  /// Resolves an #include spelling to a FileId. `angled` selects the
+  /// <...> form (search dirs only); the "..." form first tries the
+  /// directory of `includer`, then virtual files, then search dirs.
+  std::optional<FileId> resolveInclude(std::string_view spelling, bool angled,
+                                       FileId includer);
+
+  [[nodiscard]] const std::string& name(FileId id) const;
+  [[nodiscard]] std::string_view content(FileId id) const;
+  [[nodiscard]] bool known(FileId id) const;
+  [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
+
+  /// All registered ids in registration order.
+  [[nodiscard]] std::vector<FileId> allFiles() const;
+
+  /// Returns the text of line `line` (1-based) of `id`, without the
+  /// trailing newline; empty view when out of range.
+  [[nodiscard]] std::string_view lineText(FileId id, std::uint32_t line) const;
+
+  /// "file:line:col" rendering for diagnostics.
+  [[nodiscard]] std::string describe(SourceLocation loc) const;
+
+ private:
+  struct File {
+    std::string name;
+    std::string content;
+    std::vector<std::uint32_t> line_offsets;  // offset of each line start
+  };
+
+  FileId registerFile(std::string name, std::string content);
+  [[nodiscard]] const File& get(FileId id) const;
+
+  std::vector<File> files_;
+  std::unordered_map<std::string, FileId> by_name_;
+  std::vector<std::string> search_dirs_;
+};
+
+}  // namespace pdt

@@ -1,0 +1,35 @@
+// Small text utilities shared by the PDB writer/reader and code generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdt {
+
+/// Splits on any run-free single occurrences of `sep` (empty fields kept).
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on whitespace runs, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> splitWhitespace(std::string_view text);
+
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+[[nodiscard]] bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view text, std::string_view from,
+                                     std::string_view to);
+
+/// Escapes newlines and backslashes so multi-line text (template bodies,
+/// macro definitions) fits on one PDB attribute line; inverse of unescape.
+[[nodiscard]] std::string escapePdbString(std::string_view text);
+[[nodiscard]] std::string unescapePdbString(std::string_view text);
+
+/// Escapes &, <, >, " for HTML output (pdbhtml).
+[[nodiscard]] std::string escapeHtml(std::string_view text);
+
+/// Parses a non-negative integer; returns false on malformed input.
+[[nodiscard]] bool parseUint(std::string_view text, std::uint32_t& out);
+
+}  // namespace pdt

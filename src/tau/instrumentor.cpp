@@ -1,0 +1,137 @@
+#include "tau/instrumentor.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace pdt::tau {
+
+using namespace ductape;
+
+namespace {
+
+bool sameFile(const pdbFile* file, const std::string& name) {
+  if (file == nullptr) return false;
+  return file->name() == name || file->name().ends_with("/" + name) ||
+         name.ends_with("/" + file->name());
+}
+
+/// "void (const int &)" + "Stack<int>::push" -> "void Stack<int>::push(const int &)"
+std::string profileName(const std::string& full_name, const pdbType* signature) {
+  if (signature == nullptr) return full_name + "()";
+  const std::string& sig = signature->name();
+  const auto paren = sig.find('(');
+  if (paren == std::string::npos) return full_name + "()";
+  return sig.substr(0, paren) + full_name + sig.substr(paren);
+}
+
+}  // namespace
+
+std::vector<ItemRef> planInstrumentation(const PDB& pdb,
+                                         const std::string& file_name,
+                                         const InstrumentOptions& options) {
+  std::vector<ItemRef> itemvec;
+  std::set<std::pair<int, int>> seen;  // body positions already planned
+
+  const auto excluded = [&](const std::string& name) {
+    for (const std::string& pattern : options.exclude) {
+      if (name.find(pattern) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  const auto plan = [&](const pdbItem* item, bool no_this, const pdbLoc& body,
+                        std::string name, std::string signature) {
+    if (!body.valid() || !sameFile(body.file(), file_name)) return;
+    if (excluded(item->name())) return;
+    if (!seen.insert({body.line(), body.col()}).second) return;
+    ItemRef ref;
+    ref.item = item;
+    ref.no_this = no_this;
+    ref.line = body.line();
+    ref.col = body.col();
+    ref.name = std::move(name);
+    ref.signature = std::move(signature);
+    itemvec.push_back(std::move(ref));
+  };
+
+  // Get the list of templates (paper Figure 6).
+  PDB::templatevec u = pdb.getTemplateVec();
+  for (PDB::templatevec::const_iterator te = u.begin(); te != u.end(); ++te) {
+    if (!sameFile((*te)->location().file(), file_name)) continue;
+    const pdbItem::templ_t tekind = (*te)->kind();
+    if ((tekind == pdbItem::TE_MEMFUNC) || (tekind == pdbItem::TE_STATMEM) ||
+        (tekind == pdbItem::TE_FUNC)) {
+      // The target helps identify if we need to put a CT(*this) in the type.
+      if ((tekind == pdbItem::TE_FUNC) || (tekind == pdbItem::TE_STATMEM)) {
+        // There's no parent class. No need to add CT(*this).
+        plan(*te, true, (*te)->bodyBegin(), (*te)->fullName() + "()", {});
+      } else {
+        // It is a member function, so add CT(*this).
+        plan(*te, false, (*te)->bodyBegin(), (*te)->fullName() + "()", {});
+      }
+    }
+  }
+
+  // Non-template routines with bodies in this file. Routines instantiated
+  // from templates share the template's body and are covered above.
+  for (const pdbRoutine* ro : pdb.getRoutineVec()) {
+    if (!ro->isDefined() || ro->isTemplate() != nullptr) continue;
+    const bool no_this = ro->parentClass() == nullptr || ro->isStatic();
+    plan(ro, no_this, ro->bodyBegin(), profileName(ro->fullName(), ro->signature()),
+         ro->signature() != nullptr ? ro->signature()->name() : std::string{});
+  }
+
+  std::sort(itemvec.begin(), itemvec.end(), [](const ItemRef& a, const ItemRef& b) {
+    return a.line != b.line ? a.line < b.line : a.col < b.col;
+  });
+  return itemvec;
+}
+
+std::string instrument(const PDB& pdb, const std::string& file_name,
+                       const std::string& source_text,
+                       const InstrumentOptions& options) {
+  std::vector<ItemRef> plan = planInstrumentation(pdb, file_name, options);
+
+  // Split into lines, preserving content exactly.
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    for (const char c : source_text) {
+      if (c == '\n') {
+        lines.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    lines.push_back(std::move(current));
+  }
+
+  // Apply insertions bottom-up so earlier positions stay valid.
+  for (auto it = plan.rbegin(); it != plan.rend(); ++it) {
+    const ItemRef& ref = *it;
+    if (ref.line < 1 || static_cast<std::size_t>(ref.line) > lines.size())
+      continue;
+    std::string& line = lines[static_cast<std::size_t>(ref.line) - 1];
+    // ref.col is the 1-based column of the body's '{'.
+    std::size_t insert_at = static_cast<std::size_t>(ref.col);
+    if (insert_at > line.size()) insert_at = line.size();
+    std::ostringstream macro;
+    macro << " TAU_PROFILE(\"" << ref.name << "\", "
+          << (ref.no_this ? "std::string(\"\")" : "CT(*this)") << ", "
+          << options.profile_group << ");";
+    line.insert(insert_at, macro.str());
+  }
+
+  std::ostringstream out;
+  out << "#include \"" << options.runtime_header << "\"\n";
+  out << "#include <string>\n";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (i + 1 < lines.size()) out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pdt::tau

@@ -1,0 +1,58 @@
+// TAU source instrumentor (paper §4.1, Figure 6).
+//
+// Iterates through the PDB descriptions of functions and templates and
+// rewrites the original source, annotating routine bodies with TAU
+// measurement macros. Template handling follows Figure 6 exactly:
+// member function templates get CT(*this) so the run-time type of the
+// object names the instantiation uniquely; function and static member
+// templates (no parent object) do not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ductape/ductape.h"
+
+namespace pdt::tau {
+
+struct InstrumentOptions {
+  /// Header inserted at the top of the rewritten file.
+  std::string runtime_header = "TAU.h";
+  /// Profile group argument passed to TAU_PROFILE.
+  std::string profile_group = "TAU_DEFAULT";
+  /// Routines whose name contains any of these substrings are not
+  /// instrumented — selective instrumentation, the standard mitigation
+  /// for the per-call overhead on tiny routines (see EXPERIMENTS.md F7).
+  std::vector<std::string> exclude;
+};
+
+/// One planned instrumentation site (exposed for tests; mirrors the
+/// itemRef vector built in paper Figure 6).
+struct ItemRef {
+  const ductape::pdbItem* item = nullptr;
+  /// True when no CT(*this) is needed (TE_FUNC / TE_STATMEM / free
+  /// routines); false for member functions (Figure 6's boolean).
+  bool no_this = true;
+  int line = 0;  // 1-based position of the body's opening '{'
+  int col = 0;
+  std::string name;       // profile name, e.g. "Stack::push()"
+  std::string signature;  // rendered signature for the profile name
+};
+
+/// Collects the instrumentation plan for `file_name` from the PDB:
+/// function/member/static-member templates (Figure 6) plus defined
+/// non-template routines. Sorted by source location.
+[[nodiscard]] std::vector<ItemRef> planInstrumentation(
+    const ductape::PDB& pdb, const std::string& file_name,
+    const InstrumentOptions& options = {});
+
+/// Rewrites `source_text` (contents of `file_name`), inserting a
+/// TAU_PROFILE macro at the start of every planned body, plus the
+/// runtime #include at the top. The original line structure is
+/// preserved (insertions are within-line) so diagnostics still map.
+[[nodiscard]] std::string instrument(const ductape::PDB& pdb,
+                                     const std::string& file_name,
+                                     const std::string& source_text,
+                                     const InstrumentOptions& options = {});
+
+}  // namespace pdt::tau

@@ -1,0 +1,66 @@
+#include "tau/profile.h"
+
+#include <sstream>
+
+#include "support/text.h"
+
+namespace pdt::tau {
+
+std::string ProfileEntry::baseName() const {
+  const auto pos = name.rfind(" <");
+  return pos == std::string::npos ? name : name.substr(0, pos);
+}
+
+std::string ProfileEntry::instantiationType() const {
+  const auto pos = name.rfind(" <");
+  if (pos == std::string::npos || !name.ends_with('>')) return {};
+  return name.substr(pos + 2, name.size() - pos - 3);
+}
+
+const ProfileEntry* Profile::find(const std::string& name_substring) const {
+  for (const ProfileEntry& e : entries) {
+    if (e.name.find(name_substring) != std::string::npos) return &e;
+  }
+  return nullptr;
+}
+
+double Profile::totalExclusiveMs() const {
+  double total = 0.0;
+  for (const ProfileEntry& e : entries) total += e.exclusive_ms;
+  return total;
+}
+
+std::optional<Profile> parseProfile(const std::string& text) {
+  if (text.find("%Time") == std::string::npos) return std::nullopt;
+  Profile profile;
+  std::istringstream lines(text);
+  std::string line;
+  bool in_body = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("----", 0) == 0) {
+      // The second rule starts the body; the last one ends it.
+      in_body = !in_body && profile.entries.empty() ? true : in_body;
+      continue;
+    }
+    if (!in_body) continue;
+    if (line.find("%Time") != std::string::npos ||
+        line.find("msec") != std::string::npos)
+      continue;
+    std::istringstream fields(line);
+    ProfileEntry entry;
+    if (!(fields >> entry.percent_time >> entry.exclusive_ms >>
+          entry.inclusive_ms >> entry.calls >> entry.child_calls >>
+          entry.usec_per_call)) {
+      continue;
+    }
+    std::string rest;
+    std::getline(fields, rest);
+    entry.name = std::string(trim(rest));
+    if (entry.name.empty()) continue;
+    profile.entries.push_back(std::move(entry));
+  }
+  if (profile.entries.empty()) return std::nullopt;
+  return profile;
+}
+
+}  // namespace pdt::tau

@@ -1,0 +1,38 @@
+// Parser for the TAU runtime's profile reports (the textual form of
+// paper Figure 7). Lets tools and tests consume measured profiles
+// programmatically — the role TAU's pprof plays in the paper's workflow.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdt::tau {
+
+struct ProfileEntry {
+  double percent_time = 0.0;
+  double exclusive_ms = 0.0;
+  double inclusive_ms = 0.0;
+  long long calls = 0;
+  long long child_calls = 0;
+  double usec_per_call = 0.0;
+  std::string name;  // display name, possibly with "<Type>" suffix
+
+  /// The routine name without the instantiation type suffix.
+  [[nodiscard]] std::string baseName() const;
+  /// The "<Type>" instantiation suffix, or "" when not a template entry.
+  [[nodiscard]] std::string instantiationType() const;
+};
+
+struct Profile {
+  std::vector<ProfileEntry> entries;  // report order: exclusive-time desc
+
+  [[nodiscard]] const ProfileEntry* find(const std::string& name_substring) const;
+  [[nodiscard]] double totalExclusiveMs() const;
+};
+
+/// Parses a report produced by tau::report / writeProfileFile.
+/// Returns nullopt when the text is not a TAU profile.
+[[nodiscard]] std::optional<Profile> parseProfile(const std::string& text);
+
+}  // namespace pdt::tau

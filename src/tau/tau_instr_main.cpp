@@ -1,0 +1,67 @@
+// tau_instr: the TAU instrumentor driver. Reads a PDB and a source file,
+// writes the instrumented source (paper §4.1).
+//
+//   tau_instr <file.pdb> <source> [-o out] [--group NAME]
+//             [--exclude SUBSTRING]...   (selective instrumentation)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "tau/instrumentor.h"
+
+int main(int argc, char** argv) {
+  std::string pdb_path;
+  std::string source_path;
+  std::string out_path;
+  pdt::tau::InstrumentOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--group" && i + 1 < argc) {
+      options.profile_group = argv[++i];
+    } else if (arg == "--exclude" && i + 1 < argc) {
+      options.exclude.emplace_back(argv[++i]);
+    } else if (pdb_path.empty()) {
+      pdb_path = arg;
+    } else if (source_path.empty()) {
+      source_path = arg;
+    } else {
+      std::cerr << "tau_instr: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (pdb_path.empty() || source_path.empty()) {
+    std::cerr << "usage: tau_instr <file.pdb> <source> [-o out] [--group NAME] "
+                 "[--exclude SUBSTRING]...\n";
+    return 2;
+  }
+
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(pdb_path);
+  if (!pdb.valid()) {
+    std::cerr << "tau_instr: " << pdb.errorMessage() << '\n';
+    return 1;
+  }
+  std::ifstream in(source_path);
+  if (!in) {
+    std::cerr << "tau_instr: cannot open '" << source_path << "'\n";
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  const std::string rewritten =
+      pdt::tau::instrument(pdb, source_path, ss.str(), options);
+  if (out_path.empty()) {
+    std::cout << rewritten;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "tau_instr: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    out << rewritten;
+  }
+  return 0;
+}

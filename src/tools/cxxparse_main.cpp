@@ -1,0 +1,111 @@
+// cxxparse: the frontend driver — parses a PDT-C++ translation unit and
+// writes its program database, i.e. "C++ Front End + IL Analyzer" of the
+// paper's Figure 2 pipeline in one command.
+//
+//   cxxparse <source.cpp>... [-I dir]... [-D name[=value]]... [-o out.pdb]
+//            [--dump-ast] [--instantiate-all] [--direct-template-links]
+//
+// With several sources, each is compiled separately and the databases
+// are merged (duplicate template instantiations eliminated), matching
+// the compile-then-pdbmerge workflow of the paper.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/dump.h"
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdb/writer.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string output;
+  bool dump_ast = false;
+  pdt::frontend::FrontendOptions fe_options;
+  pdt::ilanalyzer::AnalyzerOptions an_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-I" && i + 1 < argc) {
+      fe_options.include_dirs.emplace_back(argv[++i]);
+    } else if (arg.starts_with("-I")) {
+      fe_options.include_dirs.emplace_back(arg.substr(2));
+    } else if (arg == "-D" && i + 1 < argc) {
+      const std::string def = argv[++i];
+      const auto eq = def.find('=');
+      fe_options.defines.emplace_back(def.substr(0, eq),
+                                      eq == std::string::npos
+                                          ? "1"
+                                          : def.substr(eq + 1));
+    } else if (arg.starts_with("-D")) {
+      const std::string def = arg.substr(2);
+      const auto eq = def.find('=');
+      fe_options.defines.emplace_back(def.substr(0, eq),
+                                      eq == std::string::npos
+                                          ? "1"
+                                          : def.substr(eq + 1));
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--dump-ast") {
+      dump_ast = true;
+    } else if (arg == "--instantiate-all") {
+      fe_options.sema.used_mode = false;
+    } else if (arg == "--direct-template-links") {
+      fe_options.sema.record_specialization_origin = true;
+      an_options.use_direct_template_links = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: cxxparse <source.cpp> [-I dir] [-D name[=value]] "
+                   "[-o out.pdb] [--dump-ast] [--instantiate-all] "
+                   "[--direct-template-links]\n";
+      return 0;
+    } else if (!arg.starts_with("-")) {
+      inputs.push_back(arg);
+    } else {
+      std::cerr << "cxxparse: unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "cxxparse: no input file\n";
+    return 2;
+  }
+  if (output.empty()) {
+    output = inputs.front();
+    if (const auto dot = output.find_last_of('.'); dot != std::string::npos)
+      output.resize(dot);
+    output += ".pdb";
+  }
+
+  // Compile each translation unit; merge when there are several.
+  std::optional<pdt::ductape::PDB> merged;
+  for (const std::string& input : inputs) {
+    pdt::SourceManager sm;
+    pdt::DiagnosticEngine diags;
+    pdt::frontend::Frontend frontend(sm, diags, fe_options);
+    auto result = frontend.compileFile(input);
+    diags.print(std::cerr, sm);
+    if (!result.success) return 1;
+    if (dump_ast) {
+      pdt::ast::dump(*result.ast, std::cout);
+      continue;
+    }
+    auto pdb = pdt::ilanalyzer::analyze(result, sm, an_options);
+    if (!merged) {
+      merged = pdt::ductape::PDB::fromPdbFile(pdb);
+    } else {
+      merged->merge(pdt::ductape::PDB::fromPdbFile(pdb));
+    }
+  }
+  if (dump_ast) return 0;
+
+  if (!pdt::pdb::writeToFile(merged->raw(), output)) {
+    std::cerr << "cxxparse: cannot write '" << output << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << output << " (" << merged->raw().itemCount()
+            << " items from " << inputs.size() << " translation unit"
+            << (inputs.size() == 1 ? "" : "s") << ")\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+// pdbconv: converts files in the compact PDB format into a more readable
+// format (paper Table 2).
+#include <iostream>
+
+#include "tools/tools.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: pdbconv <file.pdb>\n";
+    return 2;
+  }
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(argv[1]);
+  if (!pdb.valid()) {
+    std::cerr << "pdbconv: " << pdb.errorMessage() << '\n';
+    return 1;
+  }
+  pdt::tools::pdbconv(pdb, std::cout);
+  return 0;
+}

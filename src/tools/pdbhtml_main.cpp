@@ -1,0 +1,29 @@
+// pdbhtml: creates web-based documentation that enables navigation of
+// code via HTML links (paper Table 2).
+#include <fstream>
+#include <iostream>
+
+#include "tools/tools.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: pdbhtml <file.pdb> [out.html]\n";
+    return 2;
+  }
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(argv[1]);
+  if (!pdb.valid()) {
+    std::cerr << "pdbhtml: " << pdb.errorMessage() << '\n';
+    return 1;
+  }
+  if (argc == 3) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::cerr << "pdbhtml: cannot write '" << argv[2] << "'\n";
+      return 1;
+    }
+    pdt::tools::pdbhtml(pdb, out, argv[1]);
+  } else {
+    pdt::tools::pdbhtml(pdb, std::cout, argv[1]);
+  }
+  return 0;
+}

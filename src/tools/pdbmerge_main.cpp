@@ -1,0 +1,30 @@
+// pdbmerge: merges PDB files from separate compilations into one PDB
+// file, eliminating duplicate template instantiations in the process
+// (paper Table 2).
+#include <iostream>
+#include <vector>
+
+#include "tools/tools.h"
+
+int main(int argc, char** argv) {
+  if (argc < 4 || std::string(argv[argc - 2]) != "-o") {
+    std::cerr << "usage: pdbmerge <in1.pdb> <in2.pdb>... -o <out.pdb>\n";
+    return 2;
+  }
+  std::vector<pdt::ductape::PDB> inputs;
+  for (int i = 1; i < argc - 2; ++i) {
+    pdt::ductape::PDB pdb = pdt::ductape::PDB::read(argv[i]);
+    if (!pdb.valid()) {
+      std::cerr << "pdbmerge: " << pdb.errorMessage() << '\n';
+      return 1;
+    }
+    inputs.push_back(std::move(pdb));
+  }
+  const pdt::ductape::PDB merged = pdt::tools::pdbmerge(std::move(inputs));
+  if (!merged.write(argv[argc - 1])) {
+    std::cerr << "pdbmerge: cannot write '" << argv[argc - 1] << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << argv[argc - 1] << '\n';
+  return 0;
+}

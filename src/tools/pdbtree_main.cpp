@@ -1,0 +1,37 @@
+// pdbtree: displays file inclusion, class hierarchy, and call graph
+// trees (paper Table 2 and Figure 5).
+#include <iostream>
+#include <string>
+
+#include "tools/tools.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: pdbtree <file.pdb> [--includes|--classes|--calls]\n";
+    return 2;
+  }
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(argv[1]);
+  if (!pdb.valid()) {
+    std::cerr << "pdbtree: " << pdb.errorMessage() << '\n';
+    return 1;
+  }
+  const std::string mode = argc == 3 ? argv[2] : "";
+  using pdt::tools::TreeKind;
+  if (mode.empty()) {
+    pdt::tools::pdbtree(pdb, TreeKind::Includes, std::cout);
+    std::cout << '\n';
+    pdt::tools::pdbtree(pdb, TreeKind::ClassHierarchy, std::cout);
+    std::cout << '\n';
+    pdt::tools::pdbtree(pdb, TreeKind::CallGraph, std::cout);
+  } else if (mode == "--includes") {
+    pdt::tools::pdbtree(pdb, TreeKind::Includes, std::cout);
+  } else if (mode == "--classes") {
+    pdt::tools::pdbtree(pdb, TreeKind::ClassHierarchy, std::cout);
+  } else if (mode == "--calls") {
+    pdt::tools::pdbtree(pdb, TreeKind::CallGraph, std::cout);
+  } else {
+    std::cerr << "pdbtree: unknown mode '" << mode << "'\n";
+    return 2;
+  }
+  return 0;
+}

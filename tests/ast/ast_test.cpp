@@ -1,0 +1,183 @@
+// Direct unit tests for the IL: type canonicalization (pointer equality
+// for structural equality), spellings, and the tree dumper.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ast/context.h"
+#include "ast/dump.h"
+#include "frontend/frontend.h"
+
+namespace pdt::ast {
+namespace {
+
+TEST(Types, BuiltinsAreInterned) {
+  AstContext ctx;
+  EXPECT_EQ(ctx.builtin(BuiltinKind::Int), ctx.builtin(BuiltinKind::Int));
+  EXPECT_NE(ctx.builtin(BuiltinKind::Int), ctx.builtin(BuiltinKind::Long));
+  EXPECT_EQ(ctx.intType(), ctx.builtin(BuiltinKind::Int));
+}
+
+TEST(Types, CompositesAreInterned) {
+  AstContext ctx;
+  const Type* a = ctx.pointerTo(ctx.intType());
+  const Type* b = ctx.pointerTo(ctx.intType());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ctx.referenceTo(a), ctx.referenceTo(b));
+  EXPECT_NE(ctx.pointerTo(a), a);
+  EXPECT_EQ(ctx.arrayOf(ctx.intType(), 4), ctx.arrayOf(ctx.intType(), 4));
+  EXPECT_NE(ctx.arrayOf(ctx.intType(), 4), ctx.arrayOf(ctx.intType(), 5));
+}
+
+TEST(Types, QualifierMergingAndIdentity) {
+  AstContext ctx;
+  const Type* ci = ctx.qualified(ctx.intType(), true, false);
+  EXPECT_EQ(ci, ctx.qualified(ctx.intType(), true, false));
+  // Qualifying an already-qualified type merges flags.
+  const Type* cvi = ctx.qualified(ci, false, true);
+  const auto* q = cvi->as<QualifiedType>();
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->isConst());
+  EXPECT_TRUE(q->isVolatile());
+  EXPECT_EQ(q->base(), ctx.intType());
+  // No-op qualification returns the type unchanged.
+  EXPECT_EQ(ctx.qualified(ctx.intType(), false, false), ctx.intType());
+}
+
+TEST(Types, ReferenceCollapsing) {
+  AstContext ctx;
+  const Type* r = ctx.referenceTo(ctx.intType());
+  EXPECT_EQ(ctx.referenceTo(r), r);
+}
+
+TEST(Types, FunctionTypeIdentity) {
+  AstContext ctx;
+  const Type* f1 = ctx.functionType(ctx.voidType(), {ctx.intType()}, false,
+                                    false, {});
+  const Type* f2 = ctx.functionType(ctx.voidType(), {ctx.intType()}, false,
+                                    false, {});
+  const Type* f3 = ctx.functionType(ctx.voidType(), {ctx.intType()}, true,
+                                    false, {});
+  EXPECT_EQ(f1, f2);
+  EXPECT_NE(f1, f3);  // const member qualifier distinguishes
+}
+
+TEST(Types, Spellings) {
+  AstContext ctx;
+  EXPECT_EQ(ctx.intType()->spelling(), "int");
+  EXPECT_EQ(ctx.pointerTo(ctx.builtin(BuiltinKind::Char))->spelling(), "char *");
+  EXPECT_EQ(
+      ctx.referenceTo(ctx.qualified(ctx.intType(), true, false))->spelling(),
+      "const int &");
+  EXPECT_EQ(ctx.arrayOf(ctx.builtin(BuiltinKind::Double), 16)->spelling(),
+            "double [16]");
+  EXPECT_EQ(ctx.functionType(ctx.boolType(), {}, true, false, {})->spelling(),
+            "bool () const");
+  EXPECT_EQ(ctx.functionType(ctx.voidType(),
+                             {ctx.intType(), ctx.pointerTo(ctx.intType())},
+                             false, true, {})
+                ->spelling(),
+            "void (int, int *, ...)");
+}
+
+TEST(Types, CanonicalStripsSugar) {
+  AstContext ctx;
+  auto* td = ctx.create<TypedefDecl>();
+  td->setName("size_type");
+  td->underlying = ctx.builtin(BuiltinKind::ULong);
+  const Type* sugared =
+      ctx.qualified(ctx.typedefType(td, td->underlying), true, false);
+  EXPECT_EQ(canonical(sugared), ctx.builtin(BuiltinKind::ULong));
+}
+
+TEST(Types, StrippedForMemberAccess) {
+  AstContext ctx;
+  auto* cls = ctx.create<ClassDecl>();
+  cls->setName("Widget");
+  const Type* t = ctx.referenceTo(
+      ctx.qualified(ctx.classType(cls), true, false));
+  const Type* stripped = strippedForMemberAccess(t);
+  ASSERT_NE(stripped->as<ClassType>(), nullptr);
+  EXPECT_EQ(stripped->as<ClassType>()->decl(), cls);
+}
+
+TEST(Types, DependentFlagPropagates) {
+  AstContext ctx;
+  const Type* tp = ctx.templateParamType("T", 0, 0);
+  EXPECT_TRUE(tp->isDependent());
+  EXPECT_TRUE(ctx.pointerTo(tp)->isDependent());
+  EXPECT_TRUE(ctx.referenceTo(ctx.qualified(tp, true, false))->isDependent());
+  EXPECT_FALSE(ctx.pointerTo(ctx.intType())->isDependent());
+}
+
+TEST(Decls, QualifiedNames) {
+  AstContext ctx;
+  auto* ns = ctx.create<NamespaceDecl>();
+  ns->setName("outer");
+  ns->setParent(ctx.translationUnit());
+  ctx.translationUnit()->addChild(ns);
+  auto* cls = ctx.create<ClassDecl>();
+  cls->setName("Thing");
+  cls->setParent(ns);
+  ns->addChild(cls);
+  auto* fn = ctx.create<FunctionDecl>();
+  fn->setName("act");
+  fn->setParent(cls);
+  cls->addChild(fn);
+  EXPECT_EQ(fn->qualifiedName(), "outer::Thing::act");
+  EXPECT_EQ(cls->qualifiedName(), "outer::Thing");
+  EXPECT_EQ(ns->qualifiedName(), "outer");
+}
+
+TEST(Decls, LookupFindsOverloadSets) {
+  AstContext ctx;
+  auto* tu = ctx.translationUnit();
+  for (int i = 0; i < 3; ++i) {
+    auto* fn = ctx.create<FunctionDecl>();
+    fn->setName("f");
+    tu->addChild(fn);
+  }
+  EXPECT_EQ(tu->lookup("f").size(), 3u);
+  EXPECT_TRUE(tu->lookup("g").empty());
+}
+
+TEST(Decls, IdsAreSequential) {
+  AstContext ctx;
+  auto* a = ctx.create<VarDecl>();
+  auto* b = ctx.create<VarDecl>();
+  EXPECT_LT(a->id(), b->id());
+}
+
+TEST(Dump, RendersTreeWithResolutions) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::Frontend fe(sm, diags);
+  auto result = fe.compileSource("d.cpp", R"(
+template <class T>
+class Box {
+public:
+    void fill(const T& v) { item = v; }
+    T item;
+};
+int driver() {
+    Box<double> b;
+    b.fill(1.5);
+    return 0;
+}
+)");
+  ASSERT_TRUE(result.success);
+  std::ostringstream os;
+  dump(*result.ast, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("TranslationUnit"), std::string::npos);
+  EXPECT_NE(text.find("Template Box [class] (1 instantiations"), std::string::npos);
+  EXPECT_NE(text.find("Class Box<double> <- template Box"), std::string::npos);
+  EXPECT_NE(text.find("Function fill : void (const double &)"), std::string::npos);
+  // Call resolution visible in the dump.
+  EXPECT_NE(text.find("Call -> Box<double>::fill"), std::string::npos);
+  // Local variable with its type.
+  EXPECT_NE(text.find("Var b : Box<double>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdt::ast

@@ -1,0 +1,186 @@
+// Fortran 90 IL Analyzer stub tests (paper §6): modules -> namespaces,
+// derived types -> classes, routines with entry/exit positions, calls.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ductape/ductape.h"
+#include "frontend/f90.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "tools/tools.h"
+
+namespace pdt::frontend {
+namespace {
+
+constexpr const char* kFortran = R"(! a small Fortran 90 program
+module physics
+  implicit none
+
+  type :: particle
+    real :: x
+    real :: v
+    real :: mass
+  end type particle
+
+contains
+
+  subroutine kick(p, dt)
+    type(particle) :: p
+    real :: dt
+    p%v = p%v + dt / p%mass
+  end subroutine kick
+
+  subroutine drift(p, dt)
+    type(particle) :: p
+    real :: dt
+    p%x = p%x + p%v * dt
+  end subroutine drift
+
+  subroutine step(p, dt)
+    type(particle) :: p
+    real :: dt
+    call kick(p, dt)
+    call drift(p, dt)
+  end subroutine step
+
+  real function energy(p)
+    type(particle) :: p
+    energy = 0.5 * p%mass * p%v * p%v
+  end function energy
+
+end module physics
+
+program main_driver
+  use physics
+end program main_driver
+)";
+
+TEST(Fortran90, ModulesBecomeNamespaces) {
+  const auto pdb = analyzeFortran("physics.f90", kFortran);
+  ASSERT_EQ(pdb.namespaces().size(), 1u);
+  EXPECT_EQ(pdb.namespaces()[0].name, "physics");
+  EXPECT_GE(pdb.namespaces()[0].members.size(), 4u);
+}
+
+TEST(Fortran90, DerivedTypesBecomeClasses) {
+  const auto pdb = analyzeFortran("physics.f90", kFortran);
+  ASSERT_EQ(pdb.classes().size(), 1u);
+  const auto& particle = pdb.classes()[0];
+  EXPECT_EQ(particle.name, "particle");
+  EXPECT_EQ(particle.kind, "struct");
+  ASSERT_EQ(particle.members.size(), 3u);
+  EXPECT_EQ(particle.members[0].name, "x");
+  EXPECT_EQ(particle.members[2].name, "mass");
+}
+
+TEST(Fortran90, RoutinesWithEntryAndExitPositions) {
+  // TAU "must know the locations of Fortran routine entry and exit
+  // points" (paper §6).
+  const auto pdb = analyzeFortran("physics.f90", kFortran);
+  ASSERT_EQ(pdb.routines().size(), 4u);
+  const pdb::RoutineItem* kick = nullptr;
+  for (const auto& r : pdb.routines()) {
+    if (r.name == "kick") kick = &r;
+  }
+  ASSERT_NE(kick, nullptr);
+  EXPECT_EQ(kick->location.line, 13u);
+  EXPECT_EQ(kick->extent.body_end.line, 17u);
+  EXPECT_EQ(kick->linkage, "F90-subroutine");
+  ASSERT_TRUE(kick->parent.has_value());
+  EXPECT_EQ(kick->parent->kind, pdb::ItemKind::Namespace);
+}
+
+TEST(Fortran90, FunctionsRecognized) {
+  const auto pdb = analyzeFortran("physics.f90", kFortran);
+  const pdb::RoutineItem* energy = nullptr;
+  for (const auto& r : pdb.routines()) {
+    if (r.name == "energy") energy = &r;
+  }
+  ASSERT_NE(energy, nullptr);
+  EXPECT_EQ(energy->linkage, "F90-function");
+}
+
+TEST(Fortran90, CallEdges) {
+  const auto pdb = analyzeFortran("physics.f90", kFortran);
+  const pdb::RoutineItem* step = nullptr;
+  const pdb::RoutineItem* kick = nullptr;
+  const pdb::RoutineItem* drift = nullptr;
+  for (const auto& r : pdb.routines()) {
+    if (r.name == "step") step = &r;
+    if (r.name == "kick") kick = &r;
+    if (r.name == "drift") drift = &r;
+  }
+  ASSERT_NE(step, nullptr);
+  ASSERT_EQ(step->calls.size(), 2u);
+  EXPECT_EQ(step->calls[0].routine, kick->id);
+  EXPECT_EQ(step->calls[1].routine, drift->id);
+  EXPECT_EQ(step->calls[0].position.line, 28u);
+}
+
+TEST(Fortran90, DuctapeToolsWorkUnchanged) {
+  // The multi-language claim: the same DUCTAPE/tool stack consumes the
+  // Fortran PDB with no changes.
+  const auto raw = analyzeFortran("physics.f90", kFortran);
+  const auto pdb = ductape::PDB::fromPdbFile(raw);
+  std::ostringstream os;
+  tools::pdbtree(pdb, tools::TreeKind::CallGraph, os);
+  EXPECT_NE(os.str().find("physics::step"), std::string::npos);
+  EXPECT_NE(os.str().find("`--> physics::kick"), std::string::npos);
+
+  std::ostringstream conv;
+  tools::pdbconv(pdb, conv);
+  EXPECT_NE(conv.str().find("particle"), std::string::npos);
+}
+
+TEST(Fortran90, CommentsAndBlanksIgnored) {
+  const auto pdb = analyzeFortran("c.f90",
+                                  "! just a comment\n\n"
+                                  "subroutine s()\n"
+                                  "end subroutine s\n");
+  ASSERT_EQ(pdb.routines().size(), 1u);
+  EXPECT_EQ(pdb.routines()[0].location.line, 3u);
+}
+
+TEST(Fortran90, TypeDeclarationIsNotTypeDefinition) {
+  const auto pdb = analyzeFortran("d.f90",
+                                  "subroutine s(p)\n"
+                                  "type(particle) :: p\n"
+                                  "end subroutine s\n");
+  EXPECT_TRUE(pdb.classes().empty());
+}
+
+}  // namespace
+}  // namespace pdt::frontend
+
+namespace pdt::frontend {
+namespace {
+
+TEST(Fortran90, MergesWithCxxDatabase) {
+  // The paper's goal (§6): one uniform database across languages. Merge a
+  // Fortran PDB into a C++ PDB and query both through DUCTAPE.
+  const auto fortran_raw = analyzeFortran("physics.f90", kFortran);
+  auto fortran = ductape::PDB::fromPdbFile(fortran_raw);
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  Frontend fe(sm, diags);
+  auto result = fe.compileSource(
+      "solver.cpp", "class Solver { public: void iterate() {} };\n"
+                    "void run() { Solver s; s.iterate(); }\n");
+  auto merged = ductape::PDB::fromPdbFile(ilanalyzer::analyze(result, sm));
+  merged.merge(fortran);
+
+  bool has_cxx = false, has_f90 = false, has_type = false;
+  for (const auto* r : merged.getRoutineVec()) {
+    has_cxx |= r->name() == "iterate";
+    has_f90 |= r->name() == "kick";
+  }
+  for (const auto* c : merged.getClassVec()) has_type |= c->name() == "particle";
+  EXPECT_TRUE(has_cxx);
+  EXPECT_TRUE(has_f90);
+  EXPECT_TRUE(has_type);
+}
+
+}  // namespace
+}  // namespace pdt::frontend

@@ -1,0 +1,395 @@
+// IL Analyzer tests: IL -> PDB extraction, including the Figure-3
+#include "pdb/reader.h"
+// structure for the paper's Stack example (tests/integration has the
+// full end-to-end check against the shipped input files).
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdb/writer.h"
+
+namespace pdt {
+namespace {
+
+struct Analyzed {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::CompileResult result;
+  pdb::PdbFile pdb;
+
+  explicit Analyzed(const std::string& source,
+                    ilanalyzer::AnalyzerOptions options = {},
+                    frontend::FrontendOptions fe_options = {}) {
+    frontend::Frontend fe(sm, diags, std::move(fe_options));
+    result = fe.compileSource("test.cpp", source);
+    pdb = ilanalyzer::analyze(result, sm, options);
+  }
+
+  [[nodiscard]] std::string diagText() const {
+    std::string out;
+    for (const auto& d : diags.all())
+      out += sm.describe(d.location) + ": " + d.message + "\n";
+    return out;
+  }
+
+  [[nodiscard]] const pdb::RoutineItem* routine(std::string_view name) const {
+    for (const auto& r : pdb.routines()) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const pdb::ClassItem* cls(std::string_view name) const {
+    for (const auto& c : pdb.classes()) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const pdb::TemplateItem* templ(std::string_view name) const {
+    for (const auto& t : pdb.templates()) {
+      if (t.name == name) return &t;
+    }
+    return nullptr;
+  }
+};
+
+TEST(Analyzer, EmitsSourceFilesWithIncludes) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  sm.addVirtualFile("inner.h", "int inner;\n");
+  sm.addVirtualFile("outer.h", "#include \"inner.h\"\nint outer;\n");
+  frontend::Frontend fe(sm, diags);
+  auto result = fe.compileSource("main.cpp", "#include \"outer.h\"\n");
+  auto pdb = ilanalyzer::analyze(result, sm);
+  ASSERT_EQ(pdb.sourceFiles().size(), 3u);
+  EXPECT_EQ(pdb.sourceFiles()[0].name, "main.cpp");
+  ASSERT_EQ(pdb.sourceFiles()[0].includes.size(), 1u);
+  const auto* outer = pdb.findSourceFile(pdb.sourceFiles()[0].includes[0]);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->name, "outer.h");
+  ASSERT_EQ(outer->includes.size(), 1u);
+}
+
+TEST(Analyzer, RoutineAttributes) {
+  Analyzed a(R"(
+class Widget {
+public:
+    virtual int poke(double x) const;
+};
+static void helper() {}
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* poke = a.routine("poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_EQ(poke->access, "pub");
+  EXPECT_EQ(poke->virtuality, "virt");
+  EXPECT_EQ(poke->linkage, "C++");
+  ASSERT_TRUE(poke->parent.has_value());
+  EXPECT_EQ(poke->parent->kind, pdb::ItemKind::Class);
+  const auto* sig = a.pdb.findType(poke->signature);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->kind, "func");
+  EXPECT_EQ(sig->name, "int (double) const");
+
+  const auto* helper = a.routine("helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(helper->storage, "static");
+  EXPECT_TRUE(helper->defined);
+}
+
+TEST(Analyzer, RoutineKinds) {
+  Analyzed a(R"(
+class Thing {
+public:
+    Thing();
+    ~Thing();
+    Thing& operator=(const Thing& o);
+    operator int() const;
+    void normal();
+};
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  EXPECT_EQ(a.routine("Thing")->kind, "ctor");
+  EXPECT_EQ(a.routine("~Thing")->kind, "dtor");
+  EXPECT_EQ(a.routine("operator=")->kind, "op");
+  EXPECT_EQ(a.routine("operator int")->kind, "conv");
+  EXPECT_EQ(a.routine("normal")->kind, "routine");
+}
+
+TEST(Analyzer, CallsWithVirtualFlagAndLocation) {
+  Analyzed a(R"(
+class Base {
+public:
+    virtual void v() {}
+    void d() {}
+};
+void driver(Base& b) {
+    b.v();
+    b.d();
+}
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* driver = a.routine("driver");
+  ASSERT_NE(driver, nullptr);
+  ASSERT_EQ(driver->calls.size(), 2u);
+  EXPECT_TRUE(driver->calls[0].is_virtual);
+  EXPECT_EQ(driver->calls[0].position.line, 8u);
+  EXPECT_FALSE(driver->calls[1].is_virtual);
+  EXPECT_EQ(driver->calls[1].position.line, 9u);
+}
+
+TEST(Analyzer, LifetimeCtorDtorCalls) {
+  // Paper §3.1: ctor/dtor calls come from object lifetimes, and the
+  // destructor's calling location is where the lifetime ends.
+  Analyzed a(R"(
+class Guard {
+public:
+    Guard() {}
+    ~Guard() {}
+};
+void scoped() {
+    Guard g;
+    int x = 0;
+}
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* scoped = a.routine("scoped");
+  ASSERT_NE(scoped, nullptr);
+  ASSERT_EQ(scoped->calls.size(), 2u);
+  const auto* ctor = a.routine("Guard");
+  const auto* dtor = a.routine("~Guard");
+  ASSERT_NE(ctor, nullptr);
+  ASSERT_NE(dtor, nullptr);
+  EXPECT_EQ(scoped->calls[0].routine, ctor->id);
+  EXPECT_EQ(scoped->calls[0].position.line, 8u);   // declaration
+  EXPECT_EQ(scoped->calls[1].routine, dtor->id);
+  EXPECT_EQ(scoped->calls[1].position.line, 10u);  // scope end
+}
+
+TEST(Analyzer, CtorInitializerCalls) {
+  Analyzed a(R"(
+class Member { public: Member(int v) {} };
+class Owner {
+public:
+    Owner() : m(5) {}
+private:
+    Member m;
+};
+void test() { Owner o; }
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* owner_ctor = a.routine("Owner");
+  ASSERT_NE(owner_ctor, nullptr);
+  ASSERT_GE(owner_ctor->calls.size(), 1u);
+  const auto* member_ctor = a.routine("Member");
+  ASSERT_NE(member_ctor, nullptr);
+  EXPECT_EQ(owner_ctor->calls[0].routine, member_ctor->id);
+}
+
+TEST(Analyzer, ClassAttributes) {
+  Analyzed a(R"(
+class A { public: int x; };
+class B {};
+class C : public A, private virtual B {
+public:
+    void method();
+    typedef int size_type;
+private:
+    double data;
+};
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* c = a.cls("C");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, "class");
+  ASSERT_EQ(c->bases.size(), 2u);
+  EXPECT_EQ(c->bases[0].access, "pub");
+  EXPECT_FALSE(c->bases[0].is_virtual);
+  EXPECT_EQ(c->bases[1].access, "priv");
+  EXPECT_TRUE(c->bases[1].is_virtual);
+  ASSERT_EQ(c->funcs.size(), 1u);
+  ASSERT_EQ(c->members.size(), 2u);
+  EXPECT_EQ(c->members[0].name, "size_type");
+  EXPECT_EQ(c->members[0].kind, "type");
+  EXPECT_EQ(c->members[1].name, "data");
+  EXPECT_EQ(c->members[1].kind, "var");
+  EXPECT_EQ(c->members[1].access, "priv");
+}
+
+TEST(Analyzer, TemplateOriginByLocationScan) {
+  // The paper's method: match instantiation locations against the
+  // pre-built template list.
+  Analyzed a(R"(
+template <class T>
+class Box {
+public:
+    void fill(const T& v) { value = v; }
+    T value;
+};
+void test() {
+    Box<int> b;
+    b.fill(3);
+}
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* box_int = a.cls("Box<int>");
+  ASSERT_NE(box_int, nullptr);
+  ASSERT_TRUE(box_int->template_id.has_value());
+  const auto* te = a.pdb.findTemplate(*box_int->template_id);
+  ASSERT_NE(te, nullptr);
+  EXPECT_EQ(te->name, "Box");
+  EXPECT_EQ(te->kind, "class");
+
+  const auto* fill = a.routine("fill");
+  ASSERT_NE(fill, nullptr);
+  ASSERT_TRUE(fill->template_id.has_value());
+  const auto* fill_te = a.pdb.findTemplate(*fill->template_id);
+  ASSERT_NE(fill_te, nullptr);
+  EXPECT_EQ(fill_te->kind, "memfunc");
+}
+
+TEST(Analyzer, SpecializationOriginReproducesPaperLimitation) {
+  const char* source = R"(
+template <class T> class Traits { public: int g; };
+template <> class Traits<char> { public: int s; };
+Traits<char> t;
+Traits<int> u;
+)";
+  // Default (location scan): the specialization has no ctempl.
+  Analyzed scan(source);
+  ASSERT_TRUE(scan.result.success) << scan.diagText();
+  const auto* spec = scan.cls("Traits<char>");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->is_specialization);
+  EXPECT_FALSE(spec->template_id.has_value());
+  const auto* inst = scan.cls("Traits<int>");
+  ASSERT_NE(inst, nullptr);
+  EXPECT_TRUE(inst->template_id.has_value());
+
+  // Paper's proposed fix: direct template IDs in the IL.
+  ilanalyzer::AnalyzerOptions direct;
+  direct.use_direct_template_links = true;
+  frontend::FrontendOptions fe;
+  fe.sema.record_specialization_origin = true;
+  Analyzed fixed(source, direct, fe);
+  const auto* fixed_spec = fixed.cls("Traits<char>");
+  ASSERT_NE(fixed_spec, nullptr);
+  EXPECT_TRUE(fixed_spec->template_id.has_value());
+}
+
+TEST(Analyzer, UninstantiatedTemplatesEmittedForSiloon) {
+  // §4.2: "A useful extension to PDT would be to provide access to all
+  // templates, whether instantiated or not."
+  const char* source = "template <class T> class Unused { public: T v; };\n";
+  Analyzed with(source);
+  EXPECT_NE(with.templ("Unused"), nullptr);
+
+  ilanalyzer::AnalyzerOptions skip;
+  skip.emit_uninstantiated_templates = false;
+  Analyzed without(source, skip);
+  EXPECT_EQ(without.templ("Unused"), nullptr);
+}
+
+TEST(Analyzer, PatternEntitiesAreNotRoutinesOrClasses) {
+  Analyzed a(R"(
+template <class T>
+class OnlyPattern { public: void f() {} };
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  // No instantiation: the pattern itself must not leak as cl/ro items.
+  EXPECT_EQ(a.cls("OnlyPattern"), nullptr);
+  EXPECT_EQ(a.routine("f"), nullptr);
+  EXPECT_NE(a.templ("OnlyPattern"), nullptr);
+}
+
+TEST(Analyzer, MacrosRecorded) {
+  Analyzed a("#define LIMIT 64\n#define SQR(x) ((x)*(x))\n#undef LIMIT\nint x;\n");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  ASSERT_EQ(a.pdb.macros().size(), 3u);
+  EXPECT_EQ(a.pdb.macros()[0].name, "LIMIT");
+  EXPECT_EQ(a.pdb.macros()[0].kind, "def");
+  EXPECT_EQ(a.pdb.macros()[2].kind, "undef");
+  EXPECT_NE(a.pdb.macros()[1].text.find("#define SQR"), std::string::npos);
+}
+
+TEST(Analyzer, NamespacesWithMembers) {
+  Analyzed a(R"(
+namespace math {
+int abs(int x) { return x; }
+class Matrix {};
+namespace detail { int helper; }
+}
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const pdb::NamespaceItem* math = nullptr;
+  for (const auto& n : a.pdb.namespaces()) {
+    if (n.name == "math") math = &n;
+  }
+  ASSERT_NE(math, nullptr);
+  EXPECT_GE(math->members.size(), 3u);
+  const auto* abs_item = a.routine("abs");
+  ASSERT_NE(abs_item, nullptr);
+  ASSERT_TRUE(abs_item->parent.has_value());
+  EXPECT_EQ(abs_item->parent->kind, pdb::ItemKind::Namespace);
+}
+
+TEST(Analyzer, TypeGraph) {
+  Analyzed a("const int& f(char* p);\n");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* f = a.routine("f");
+  ASSERT_NE(f, nullptr);
+  const auto* sig = a.pdb.findType(f->signature);
+  ASSERT_NE(sig, nullptr);
+  ASSERT_TRUE(sig->return_type.has_value());
+  // const int & -> ref -> tref(const) -> int
+  const auto* ref = a.pdb.findType(sig->return_type->id);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->kind, "ref");
+  const auto* tref = a.pdb.findType(ref->ref->id);
+  ASSERT_NE(tref, nullptr);
+  EXPECT_EQ(tref->kind, "tref");
+  ASSERT_EQ(tref->qualifiers.size(), 1u);
+  EXPECT_EQ(tref->qualifiers[0], "const");
+  const auto* base = a.pdb.findType(tref->ref->id);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->kind, "int");
+  // char* param -> ptr -> char
+  ASSERT_EQ(sig->params.size(), 1u);
+  const auto* ptr = a.pdb.findType(sig->params[0].id);
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_EQ(ptr->kind, "ptr");
+}
+
+TEST(Analyzer, MemberTypeReferencesClassDirectly) {
+  // Figure 3: "cmtype cl#63" — class members of class type reference the
+  // cl item directly.
+  Analyzed a(R"(
+class Engine {};
+class Car {
+public:
+    Engine engine;
+};
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* car = a.cls("Car");
+  ASSERT_NE(car, nullptr);
+  ASSERT_EQ(car->members.size(), 1u);
+  EXPECT_EQ(car->members[0].type.kind, pdb::ItemKind::Class);
+  const auto* engine = a.pdb.findClass(car->members[0].type.id);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name, "Engine");
+}
+
+TEST(Analyzer, WriteParseAnalyzeRoundTrip) {
+  Analyzed a(R"(
+template <class T> class Box { public: T v; void set(const T& x) { v = x; } };
+void test() { Box<int> b; b.set(1); }
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const std::string text = pdb::writeToString(a.pdb);
+  pdb::ReadResult parsed = pdb::readFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  EXPECT_EQ(parsed.pdb.itemCount(), a.pdb.itemCount());
+}
+
+}  // namespace
+}  // namespace pdt

@@ -1,0 +1,111 @@
+// Expression-template stress (inputs/expr_mini): the POOMA idiom of
+// whole-field arithmetic building nested template expression types.
+// This is the hardest template shape the paper's toolchain must survive.
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdt/pdt_paths.h"
+#include "tau/instrumentor.h"
+
+namespace pdt {
+namespace {
+
+class ExprTemplatesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sm_ = new SourceManager();
+    diags_ = new DiagnosticEngine();
+    frontend::FrontendOptions options;
+    options.include_dirs.push_back(std::string(paths::kRuntimeDir) + "/pdt_stl");
+    options.include_dirs.push_back(std::string(paths::kInputDir) + "/expr_mini");
+    frontend::Frontend fe(*sm_, *diags_, options);
+    result_ = new frontend::CompileResult(fe.compileFile(
+        std::string(paths::kInputDir) + "/expr_mini/et_demo.cpp"));
+    pdb_ = new pdb::PdbFile(ilanalyzer::analyze(*result_, *sm_));
+  }
+  static void TearDownTestSuite() {
+    delete pdb_;
+    delete result_;
+    delete diags_;
+    delete sm_;
+  }
+
+  static const pdb::ClassItem* cls(std::string_view name) {
+    for (const auto& c : pdb_->classes()) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+
+  static SourceManager* sm_;
+  static DiagnosticEngine* diags_;
+  static frontend::CompileResult* result_;
+  static pdb::PdbFile* pdb_;
+};
+
+SourceManager* ExprTemplatesTest::sm_ = nullptr;
+DiagnosticEngine* ExprTemplatesTest::diags_ = nullptr;
+frontend::CompileResult* ExprTemplatesTest::result_ = nullptr;
+pdb::PdbFile* ExprTemplatesTest::pdb_ = nullptr;
+
+TEST_F(ExprTemplatesTest, CompilesCleanly) {
+  EXPECT_TRUE(result_->success);
+}
+
+TEST_F(ExprTemplatesTest, NestedExpressionTypesInstantiated) {
+  // r = a + b * 0.5 + a * b builds this exact type tree.
+  EXPECT_NE(cls("MulExpr<Field, Scalar>"), nullptr);
+  EXPECT_NE(cls("AddExpr<Field, MulExpr<Field, Scalar> >"), nullptr);
+  EXPECT_NE(cls("MulExpr<Field, Field>"), nullptr);
+  EXPECT_NE(
+      cls("AddExpr<AddExpr<Field, MulExpr<Field, Scalar> >, MulExpr<Field, Field> >"),
+      nullptr);
+}
+
+TEST_F(ExprTemplatesTest, InstantiationsCarryTemplateOrigin) {
+  const auto* top = cls(
+      "AddExpr<AddExpr<Field, MulExpr<Field, Scalar> >, MulExpr<Field, Field> >");
+  ASSERT_NE(top, nullptr);
+  ASSERT_TRUE(top->template_id.has_value());
+  EXPECT_EQ(pdb_->findTemplate(*top->template_id)->name, "AddExpr");
+}
+
+TEST_F(ExprTemplatesTest, OperatorTemplatesInstantiatedPerShape) {
+  // operator+ instantiates once per distinct (L, R) pair.
+  int plus_instantiations = 0;
+  for (const auto& r : pdb_->routines()) {
+    if (r.name == "operator+" && r.template_id.has_value())
+      ++plus_instantiations;
+  }
+  EXPECT_EQ(plus_instantiations, 2);  // Field+Mul..., Add...+Mul...
+}
+
+TEST_F(ExprTemplatesTest, UsedModeEvalChain) {
+  // assign<TopExpr> pulls eval() down the whole expression tree: every
+  // nested expression class has its eval body instantiated, and nothing
+  // else needs it.
+  const auto* mul = cls("MulExpr<Field, Field>");
+  ASSERT_NE(mul, nullptr);
+  bool eval_defined = false;
+  for (const auto& mf : mul->funcs) {
+    const auto* r = pdb_->findRoutine(mf.routine);
+    if (r != nullptr && r->name == "eval") eval_defined = r->defined;
+  }
+  EXPECT_TRUE(eval_defined);
+}
+
+TEST_F(ExprTemplatesTest, InstrumentorNamesNestedInstantiations) {
+  // The TAU plan covers the template bodies once (shared by all
+  // instantiations), with CT(*this) for the member bodies.
+  const auto pdb = ductape::PDB::fromPdbFile(*pdb_);
+  const auto plan = tau::planInstrumentation(pdb, "ET.h");
+  bool eval_with_ct = false;
+  for (const auto& ref : plan) {
+    if (ref.item->name() == "eval") eval_with_ct |= !ref.no_this;
+  }
+  EXPECT_TRUE(eval_with_ct);
+}
+
+}  // namespace
+}  // namespace pdt

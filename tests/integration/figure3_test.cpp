@@ -1,0 +1,307 @@
+// End-to-end reproduction of paper Figure 3: compile the shipped Stack
+// sources (Figure 1) and verify the PDB exhibits the structures the
+// paper's excerpt shows.
+#include "pdb/reader.h"
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdb/writer.h"
+#include "pdt/pdt_paths.h"
+
+namespace pdt {
+namespace {
+
+class Figure3Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sm_ = new SourceManager();
+    diags_ = new DiagnosticEngine();
+    frontend::FrontendOptions options;
+    options.include_dirs.push_back(std::string(paths::kRuntimeDir) + "/pdt_stl");
+    frontend::Frontend fe(*sm_, *diags_, options);
+    result_ = new frontend::CompileResult(fe.compileFile(
+        std::string(paths::kInputDir) + "/stack/TestStackAr.cpp"));
+    pdb_ = new pdb::PdbFile(ilanalyzer::analyze(*result_, *sm_));
+  }
+  static void TearDownTestSuite() {
+    delete pdb_;
+    delete result_;
+    delete diags_;
+    delete sm_;
+    pdb_ = nullptr;
+    result_ = nullptr;
+    diags_ = nullptr;
+    sm_ = nullptr;
+  }
+
+  static std::string diagText() {
+    std::string out;
+    for (const auto& d : diags_->all())
+      out += sm_->describe(d.location) + ": " + d.message + "\n";
+    return out;
+  }
+
+  static const pdb::SourceFileItem* file(std::string_view suffix) {
+    for (const auto& f : pdb_->sourceFiles()) {
+      if (f.name.ends_with(suffix)) return &f;
+    }
+    return nullptr;
+  }
+  static const pdb::ClassItem* cls(std::string_view name) {
+    for (const auto& c : pdb_->classes()) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+  static const pdb::TemplateItem* templ(std::string_view name,
+                                        std::string_view kind) {
+    for (const auto& t : pdb_->templates()) {
+      if (t.name == name && t.kind == kind) return &t;
+    }
+    return nullptr;
+  }
+  static const pdb::RoutineItem* routineIn(const pdb::ClassItem* c,
+                                           std::string_view name) {
+    if (c == nullptr) return nullptr;
+    for (const auto& mf : c->funcs) {
+      const auto* r = pdb_->findRoutine(mf.routine);
+      if (r != nullptr && r->name == name) return r;
+    }
+    return nullptr;
+  }
+
+  static SourceManager* sm_;
+  static DiagnosticEngine* diags_;
+  static frontend::CompileResult* result_;
+  static pdb::PdbFile* pdb_;
+};
+
+SourceManager* Figure3Test::sm_ = nullptr;
+DiagnosticEngine* Figure3Test::diags_ = nullptr;
+frontend::CompileResult* Figure3Test::result_ = nullptr;
+pdb::PdbFile* Figure3Test::pdb_ = nullptr;
+
+TEST_F(Figure3Test, CompilesCleanly) {
+  ASSERT_NE(result_, nullptr);
+  EXPECT_TRUE(result_->success) << diagText();
+}
+
+TEST_F(Figure3Test, SourceFileInclusions) {
+  // Fig. 3 (2)/(5)/(6): StackAr.h includes vector.h, dsexceptions.h and
+  // StackAr.cpp; TestStackAr.cpp includes StackAr.h.
+  const auto* header = file("StackAr.h");
+  ASSERT_NE(header, nullptr);
+  ASSERT_EQ(header->includes.size(), 3u);
+  EXPECT_TRUE(pdb_->findSourceFile(header->includes[0])->name.ends_with("vector.h"));
+  EXPECT_TRUE(
+      pdb_->findSourceFile(header->includes[1])->name.ends_with("dsexceptions.h"));
+  EXPECT_TRUE(
+      pdb_->findSourceFile(header->includes[2])->name.ends_with("StackAr.cpp"));
+
+  const auto* main_file = file("TestStackAr.cpp");
+  ASSERT_NE(main_file, nullptr);
+  ASSERT_EQ(main_file->includes.size(), 2u);
+}
+
+TEST_F(Figure3Test, StackClassTemplate) {
+  // Fig. 3 (7): te#559 Stack, tkind class, located in StackAr.h.
+  const auto* te = templ("Stack", "class");
+  ASSERT_NE(te, nullptr);
+  const auto* loc_file = pdb_->findSourceFile(te->location.file);
+  ASSERT_NE(loc_file, nullptr);
+  EXPECT_TRUE(loc_file->name.ends_with("StackAr.h"));
+  EXPECT_NE(te->text.find("template <class Object>"), std::string::npos);
+}
+
+TEST_F(Figure3Test, PushMemberFunctionTemplate) {
+  // Fig. 3 (8): te#566 push, tkind memfunc, located in StackAr.cpp.
+  const auto* te = templ("push", "memfunc");
+  ASSERT_NE(te, nullptr);
+  const auto* loc_file = pdb_->findSourceFile(te->location.file);
+  ASSERT_NE(loc_file, nullptr);
+  EXPECT_TRUE(loc_file->name.ends_with("StackAr.cpp"));
+}
+
+TEST_F(Figure3Test, StackIntInstantiation) {
+  // Fig. 3 (12): cl#8 Stack<int>, ckind class, ctempl te#559, members.
+  const auto* c = cls("Stack<int>");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, "class");
+  ASSERT_TRUE(c->template_id.has_value());
+  EXPECT_EQ(pdb_->findTemplate(*c->template_id)->name, "Stack");
+
+  // cmem theArray (type vector<int>, priv) and topOfStack (int, priv).
+  ASSERT_EQ(c->members.size(), 2u);
+  EXPECT_EQ(c->members[0].name, "theArray");
+  EXPECT_EQ(c->members[0].access, "priv");
+  EXPECT_EQ(c->members[0].kind, "var");
+  EXPECT_EQ(c->members[0].type.kind, pdb::ItemKind::Class);
+  EXPECT_EQ(pdb_->findClass(c->members[0].type.id)->name, "vector<int>");
+  EXPECT_EQ(c->members[1].name, "topOfStack");
+  const auto* int_ty = pdb_->findType(c->members[1].type.id);
+  ASSERT_NE(int_ty, nullptr);
+  EXPECT_EQ(int_ty->kind, "int");
+
+  // All eight member functions are declared (cfunc entries).
+  EXPECT_EQ(c->funcs.size(), 8u);
+}
+
+TEST_F(Figure3Test, PushRoutine) {
+  // Fig. 3 (9): ro#7 push — rclass cl#8, racs pub, rtempl te#566,
+  // rcall isFull, signature void (const int &), positions in StackAr.cpp.
+  const auto* c = cls("Stack<int>");
+  const auto* push = routineIn(c, "push");
+  ASSERT_NE(push, nullptr);
+  EXPECT_EQ(push->access, "pub");
+  EXPECT_EQ(push->linkage, "C++");
+  EXPECT_EQ(push->virtuality, "no");
+  EXPECT_TRUE(push->defined);
+
+  ASSERT_TRUE(push->template_id.has_value());
+  const auto* te = pdb_->findTemplate(*push->template_id);
+  ASSERT_NE(te, nullptr);
+  EXPECT_EQ(te->name, "push");
+  EXPECT_EQ(te->kind, "memfunc");
+
+  const auto* sig = pdb_->findType(push->signature);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->name, "void (const int &)");
+
+  // push calls isFull (and operator[] on the vector, and Overflow's
+  // implicit construction is not a recorded call since Overflow has no
+  // user ctor). The isFull call must be present.
+  const auto* is_full = routineIn(c, "isFull");
+  ASSERT_NE(is_full, nullptr);
+  bool calls_isfull = false;
+  for (const auto& call : push->calls) calls_isfull |= call.routine == is_full->id;
+  EXPECT_TRUE(calls_isfull);
+
+  // rloc/rpos point into StackAr.cpp (the out-of-line definition).
+  const auto* rloc_file = pdb_->findSourceFile(push->location.file);
+  ASSERT_NE(rloc_file, nullptr);
+  EXPECT_TRUE(rloc_file->name.ends_with("StackAr.cpp"));
+}
+
+TEST_F(Figure3Test, IsFullSignatureIsConstMember) {
+  // Fig. 3 (17): ty#2054 "bool () const" — ykind func, yrett bool, const.
+  const auto* c = cls("Stack<int>");
+  const auto* is_full = routineIn(c, "isFull");
+  ASSERT_NE(is_full, nullptr);
+  const auto* sig = pdb_->findType(is_full->signature);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->name, "bool () const");
+  EXPECT_EQ(sig->kind, "func");
+  ASSERT_EQ(sig->qualifiers.size(), 1u);
+  EXPECT_EQ(sig->qualifiers[0], "const");
+  ASSERT_TRUE(sig->return_type.has_value());
+  EXPECT_EQ(pdb_->findType(sig->return_type->id)->kind, "bool");
+}
+
+TEST_F(Figure3Test, ConstIntRefTypeChain) {
+  // Fig. 3 (15)/(16): "const int &" = ref -> tref(const) -> int.
+  const pdb::TypeItem* ref = nullptr;
+  for (const auto& t : pdb_->types()) {
+    if (t.name == "const int &") ref = &t;
+  }
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->kind, "ref");
+  const auto* tref = pdb_->findType(ref->ref->id);
+  ASSERT_NE(tref, nullptr);
+  EXPECT_EQ(tref->kind, "tref");
+  ASSERT_FALSE(tref->qualifiers.empty());
+  EXPECT_EQ(tref->qualifiers[0], "const");
+}
+
+TEST_F(Figure3Test, MainCallsStackMembers) {
+  const pdb::RoutineItem* main_fn = nullptr;
+  for (const auto& r : pdb_->routines()) {
+    if (r.name == "main") main_fn = &r;
+  }
+  ASSERT_NE(main_fn, nullptr);
+  const auto* c = cls("Stack<int>");
+  const auto* push = routineIn(c, "push");
+  const auto* is_empty = routineIn(c, "isEmpty");
+  const auto* top_and_pop = routineIn(c, "topAndPop");
+  const auto* ctor = routineIn(c, "Stack");
+  ASSERT_NE(push, nullptr);
+  ASSERT_NE(is_empty, nullptr);
+  ASSERT_NE(top_and_pop, nullptr);
+  ASSERT_NE(ctor, nullptr);
+  bool calls_push = false, calls_isempty = false, calls_tap = false,
+       calls_ctor = false;
+  for (const auto& call : main_fn->calls) {
+    calls_push |= call.routine == push->id;
+    calls_isempty |= call.routine == is_empty->id;
+    calls_tap |= call.routine == top_and_pop->id;
+    calls_ctor |= call.routine == ctor->id;
+  }
+  EXPECT_TRUE(calls_push);
+  EXPECT_TRUE(calls_isempty);
+  EXPECT_TRUE(calls_tap);
+  EXPECT_TRUE(calls_ctor);  // the lifetime of `Stack<int> s`
+}
+
+TEST_F(Figure3Test, UsedModeOmitsUnusedMemberBodies) {
+  // makeEmpty and top are never used by TestStackAr.cpp: their
+  // declarations exist but no body was instantiated (EDG used mode).
+  const auto* c = cls("Stack<int>");
+  const auto* make_empty = routineIn(c, "makeEmpty");
+  ASSERT_NE(make_empty, nullptr);
+  EXPECT_FALSE(make_empty->defined);
+  const auto* push = routineIn(c, "push");
+  ASSERT_NE(push, nullptr);
+  EXPECT_TRUE(push->defined);
+}
+
+TEST_F(Figure3Test, VectorIntNestedInstantiation) {
+  // vector<Object> inside Stack instantiates vector<int> transitively,
+  // and the ctor-init `theArray(capacity)` uses vector's constructor.
+  const auto* v = cls("vector<int>");
+  ASSERT_NE(v, nullptr);
+  ASSERT_TRUE(v->template_id.has_value());
+  EXPECT_EQ(pdb_->findTemplate(*v->template_id)->name, "vector");
+
+  const auto* c = cls("Stack<int>");
+  const auto* stack_ctor = routineIn(c, "Stack");
+  const auto* vector_ctor = routineIn(v, "vector");
+  ASSERT_NE(stack_ctor, nullptr);
+  ASSERT_NE(vector_ctor, nullptr);
+  bool ctor_calls_vector_ctor = false;
+  for (const auto& call : stack_ctor->calls)
+    ctor_calls_vector_ctor |= call.routine == vector_ctor->id;
+  EXPECT_TRUE(ctor_calls_vector_ctor);
+}
+
+TEST_F(Figure3Test, OperatorIndexResolvedInPush) {
+  // theArray[++topOfStack] = x resolves to vector<int>::operator[].
+  const auto* c = cls("Stack<int>");
+  const auto* push = routineIn(c, "push");
+  const auto* v = cls("vector<int>");
+  const auto* op_index = routineIn(v, "operator[]");
+  ASSERT_NE(push, nullptr);
+  ASSERT_NE(op_index, nullptr);
+  bool calls_index = false;
+  for (const auto& call : push->calls) calls_index |= call.routine == op_index->id;
+  EXPECT_TRUE(calls_index);
+}
+
+TEST_F(Figure3Test, MacroGuardsRecorded) {
+  bool stackar_guard = false;
+  for (const auto& m : pdb_->macros()) {
+    stackar_guard |= m.name == "STACKAR_H" && m.kind == "def";
+  }
+  EXPECT_TRUE(stackar_guard);
+}
+
+TEST_F(Figure3Test, PdbRoundTripsThroughAscii) {
+  const std::string text = pdb::writeToString(*pdb_);
+  EXPECT_NE(text.find("Stack<int>"), std::string::npos);
+  EXPECT_NE(text.find("tkind memfunc"), std::string::npos);
+  pdb::ReadResult parsed = pdb::readFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  EXPECT_EQ(parsed.pdb.itemCount(), pdb_->itemCount());
+}
+
+}  // namespace
+}  // namespace pdt

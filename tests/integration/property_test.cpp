@@ -1,0 +1,309 @@
+// Property-based sweeps over generated workloads (TEST_P): invariants
+// that must hold for every input shape and size, not just the examples.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "ast/walk.h"
+#include "bench/workloads.h"
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdb/reader.h"
+#include "pdb/writer.h"
+#include "siloon/siloon.h"
+
+namespace pdt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Workload descriptors shared by the sweeps
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  const char* name;
+  std::string (*make)(int);
+  int size;
+};
+
+std::ostream& operator<<(std::ostream& os, const Workload& w) {
+  return os << w.name << '/' << w.size;
+}
+
+const Workload kWorkloads[] = {
+    {"plain", &bench::plainClasses, 3},
+    {"plain", &bench::plainClasses, 25},
+    {"templates", &bench::manyInstantiations, 3},
+    {"templates", &bench::manyInstantiations, 25},
+    {"nested", &bench::nestedInstantiation, 2},
+    {"nested", &bench::nestedInstantiation, 12},
+    {"chain", &bench::callChain, 5},
+    {"chain", &bench::callChain, 60},
+};
+
+struct Compiled {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::CompileResult result;
+
+  explicit Compiled(const std::string& src, bool used_mode = true) {
+    frontend::FrontendOptions options;
+    options.sema.used_mode = used_mode;
+    frontend::Frontend fe(sm, diags, options);
+    result = fe.compileSource("prop.cpp", src);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Frontend invariants
+// ---------------------------------------------------------------------------
+
+class FrontendProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(FrontendProperty, CompilesWithoutErrors) {
+  const Workload& w = GetParam();
+  Compiled c(w.make(w.size));
+  EXPECT_TRUE(c.result.success);
+  EXPECT_EQ(c.diags.errorCount(), 0u);
+}
+
+TEST_P(FrontendProperty, EveryDeclHasConsistentParentLinks) {
+  const Workload& w = GetParam();
+  Compiled c(w.make(w.size));
+  ast::walkDecls(c.result.ast->translationUnit(), [&](const ast::Decl* d) {
+    if (d->parent() == nullptr) return;
+    // If a decl claims a parent context, it must be among its children OR
+    // be a pattern reachable only through its template (by design).
+    const auto& siblings = d->parent()->children();
+    const bool linked =
+        std::find(siblings.begin(), siblings.end(), d) != siblings.end();
+    const bool is_pattern_like =
+        (d->as<ast::ClassDecl>() != nullptr &&
+         d->as<ast::ClassDecl>()->describing_template != nullptr) ||
+        (d->as<ast::FunctionDecl>() != nullptr &&
+         d->as<ast::FunctionDecl>()->describing_template != nullptr);
+    EXPECT_TRUE(linked || is_pattern_like) << d->name();
+  });
+}
+
+TEST_P(FrontendProperty, ResolvedCallsTargetRealFunctions) {
+  const Workload& w = GetParam();
+  Compiled c(w.make(w.size));
+  ast::walkDecls(c.result.ast->translationUnit(), [&](const ast::Decl* d) {
+    const auto* fn = d->as<ast::FunctionDecl>();
+    if (fn == nullptr || fn->body == nullptr) return;
+    ast::walk(fn->body, [&](const ast::Stmt* s) {
+      if (const auto* call = s->as<ast::CallExpr>()) {
+        if (call->resolved != nullptr) {
+          EXPECT_FALSE(call->resolved->name().empty());
+        }
+      }
+    });
+  });
+}
+
+TEST_P(FrontendProperty, UsedModeNeverInstantiatesMoreThanAll) {
+  const Workload& w = GetParam();
+  Compiled used(w.make(w.size), /*used_mode=*/true);
+  Compiled all(w.make(w.size), /*used_mode=*/false);
+  ASSERT_TRUE(used.result.success);
+  ASSERT_TRUE(all.result.success);
+  EXPECT_LE(used.result.sema->instantiatedBodyCount(),
+            all.result.sema->instantiatedBodyCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FrontendProperty,
+                         ::testing::ValuesIn(kWorkloads));
+
+// ---------------------------------------------------------------------------
+// PDB round-trip invariants
+// ---------------------------------------------------------------------------
+
+class PdbRoundTripProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(PdbRoundTripProperty, WriteReadWriteIsStable) {
+  const Workload& w = GetParam();
+  Compiled c(w.make(w.size));
+  ASSERT_TRUE(c.result.success);
+  const auto pdb = ilanalyzer::analyze(c.result, c.sm);
+  const std::string once = pdb::writeToString(pdb);
+  auto parsed = pdb::readFromString(once);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  EXPECT_EQ(parsed.pdb.itemCount(), pdb.itemCount());
+  const std::string twice = pdb::writeToString(parsed.pdb);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(PdbRoundTripProperty, AllReferencesResolve) {
+  const Workload& w = GetParam();
+  Compiled c(w.make(w.size));
+  ASSERT_TRUE(c.result.success);
+  auto pdb = ilanalyzer::analyze(c.result, c.sm);
+  const auto check = [&](const pdb::ItemRef& ref) {
+    if (!ref.valid()) return;
+    switch (ref.kind) {
+      case pdb::ItemKind::Type:
+        EXPECT_NE(pdb.findType(ref.id), nullptr) << ref.str();
+        break;
+      case pdb::ItemKind::Class:
+        EXPECT_NE(pdb.findClass(ref.id), nullptr) << ref.str();
+        break;
+      case pdb::ItemKind::Routine:
+        EXPECT_NE(pdb.findRoutine(ref.id), nullptr) << ref.str();
+        break;
+      default:
+        break;
+    }
+  };
+  for (const auto& r : pdb.routines()) {
+    if (r.parent) check(*r.parent);
+    for (const auto& call : r.calls)
+      EXPECT_NE(pdb.findRoutine(call.routine), nullptr);
+    if (r.signature != 0) {
+      EXPECT_NE(pdb.findType(r.signature), nullptr);
+    }
+  }
+  for (const auto& cls : pdb.classes()) {
+    for (const auto& b : cls.bases) EXPECT_NE(pdb.findClass(b.cls), nullptr);
+    for (const auto& mf : cls.funcs)
+      EXPECT_NE(pdb.findRoutine(mf.routine), nullptr);
+    for (const auto& m : cls.members) check(m.type);
+    if (cls.template_id) {
+      EXPECT_NE(pdb.findTemplate(*cls.template_id), nullptr);
+    }
+  }
+  for (const auto& t : pdb.types()) {
+    if (t.ref) check(*t.ref);
+    if (t.return_type) check(*t.return_type);
+    for (const auto& p : t.params) check(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PdbRoundTripProperty,
+                         ::testing::ValuesIn(kWorkloads));
+
+// ---------------------------------------------------------------------------
+// Merge invariants
+// ---------------------------------------------------------------------------
+
+class MergeProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(MergeProperty, SelfMergeIsIdempotent) {
+  const Workload& w = GetParam();
+  Compiled c(w.make(w.size));
+  ASSERT_TRUE(c.result.success);
+  const auto raw = ilanalyzer::analyze(c.result, c.sm);
+  auto a = ductape::PDB::fromPdbFile(raw);
+  const auto b = ductape::PDB::fromPdbFile(raw);
+  const std::size_t before = a.getItemVec().size();
+  a.merge(b);
+  EXPECT_EQ(a.getItemVec().size(), before);
+  a.merge(b);  // and again
+  EXPECT_EQ(a.getItemVec().size(), before);
+}
+
+TEST_P(MergeProperty, MergedDatabaseStillRoundTrips) {
+  const Workload& w = GetParam();
+  Compiled c1(w.make(w.size));
+  Compiled c2(bench::plainClasses(4));
+  auto a = ductape::PDB::fromPdbFile(ilanalyzer::analyze(c1.result, c1.sm));
+  const auto b = ductape::PDB::fromPdbFile(ilanalyzer::analyze(c2.result, c2.sm));
+  a.merge(b);
+  const std::string text = pdb::writeToString(a.raw());
+  auto parsed = pdb::readFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  EXPECT_EQ(parsed.pdb.itemCount(), a.raw().itemCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MergeProperty,
+                         ::testing::ValuesIn(kWorkloads));
+
+// ---------------------------------------------------------------------------
+// Instantiation-count sweep
+// ---------------------------------------------------------------------------
+
+class InstantiationCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(InstantiationCount, ExactlyNDistinctInstantiations) {
+  const int n = GetParam();
+  Compiled c(bench::manyInstantiations(n));
+  ASSERT_TRUE(c.result.success);
+  const ast::TemplateDecl* box = nullptr;
+  ast::walkDecls(c.result.ast->translationUnit(), [&](const ast::Decl* d) {
+    if (box != nullptr || d->name() != "Box") return;
+    if (const auto* td = d->as<ast::TemplateDecl>()) {
+      if (td->tkind == ast::TemplateKind::Class) box = td;
+    }
+  });
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(box->instantiations.size(), static_cast<std::size_t>(n));
+  // All argument lists distinct.
+  std::set<std::string> seen;
+  for (const auto& inst : box->instantiations) {
+    EXPECT_TRUE(seen.insert(inst.args[0]->spelling()).second);
+  }
+}
+
+TEST_P(InstantiationCount, PdbHasOneClassItemPerInstantiation) {
+  const int n = GetParam();
+  Compiled c(bench::manyInstantiations(n));
+  auto pdb = ilanalyzer::analyze(c.result, c.sm);
+  int boxes = 0;
+  for (const auto& cls : pdb.classes()) {
+    boxes += cls.name.rfind("Box<", 0) == 0;
+  }
+  EXPECT_EQ(boxes, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InstantiationCount,
+                         ::testing::Values(1, 2, 5, 17, 64));
+
+// ---------------------------------------------------------------------------
+// Nesting-depth sweep
+// ---------------------------------------------------------------------------
+
+class NestingDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestingDepth, DepthDProducesDInstantiations) {
+  const int d = GetParam();
+  Compiled c(bench::nestedInstantiation(d));
+  ASSERT_TRUE(c.result.success);
+  auto pdb = ilanalyzer::analyze(c.result, c.sm);
+  int boxes = 0;
+  for (const auto& cls : pdb.classes()) {
+    boxes += cls.name.rfind("Box<", 0) == 0;
+  }
+  EXPECT_EQ(boxes, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, NestingDepth,
+                         ::testing::Values(1, 2, 3, 8, 24));
+
+// ---------------------------------------------------------------------------
+// Mangling properties
+// ---------------------------------------------------------------------------
+
+class MangleProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MangleProperty, OutputIsScriptSafe) {
+  const std::string m = siloon::mangle(GetParam());
+  ASSERT_FALSE(m.empty());
+  for (const char c : m) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_');
+  }
+}
+
+TEST_P(MangleProperty, Deterministic) {
+  EXPECT_EQ(siloon::mangle(GetParam()), siloon::mangle(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, MangleProperty,
+    ::testing::Values("Stack<int>", "Map<int, Stack<double> >",
+                      "ns::Klass::operator[]", "operator<<", "~Dtor",
+                      "f(int, char*)", "A<B<C<D> > >", "x", "operator()"));
+
+}  // namespace
+}  // namespace pdt

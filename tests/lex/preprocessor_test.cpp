@@ -1,0 +1,327 @@
+#include "lex/preprocessor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/source_manager.h"
+
+namespace pdt::lex {
+namespace {
+
+struct PpResult {
+  std::vector<Token> tokens;
+  DiagnosticEngine diags;
+};
+
+/// Preprocesses `main_src` with optional extra virtual files.
+std::vector<Token> pp(SourceManager& sm, DiagnosticEngine& de,
+                      const std::string& main_src) {
+  const FileId main = sm.addVirtualFile("main.cpp", main_src);
+  Preprocessor p(sm, de);
+  p.enterMainFile(main);
+  std::vector<Token> out;
+  for (Token t = p.next(); !t.isEnd(); t = p.next()) out.push_back(t);
+  return out;
+}
+
+std::string joined(const std::vector<Token>& toks) {
+  std::string s;
+  for (const auto& t : toks) {
+    if (!s.empty()) s += ' ';
+    s += t.text;
+  }
+  return s;
+}
+
+TEST(Preprocessor, ObjectMacro) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define N 10\nint a[N];\n");
+  EXPECT_EQ(joined(toks), "int a [ 10 ] ;");
+  EXPECT_FALSE(de.hasErrors());
+}
+
+TEST(Preprocessor, FunctionMacro) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define MAX(a,b) ((a)>(b)?(a):(b))\nint x = MAX(1, 2);\n");
+  EXPECT_EQ(joined(toks), "int x = ( ( 1 ) > ( 2 ) ? ( 1 ) : ( 2 ) ) ;");
+}
+
+TEST(Preprocessor, FunctionMacroNameWithoutCallIsNotExpanded) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define F(x) x\nint F;\n");
+  EXPECT_EQ(joined(toks), "int F ;");
+}
+
+TEST(Preprocessor, NestedExpansion) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define A B\n#define B C\nA x;\n");
+  EXPECT_EQ(joined(toks), "C x ;");
+}
+
+TEST(Preprocessor, RecursiveMacroIsPaintedBlue) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define X X y\nX;\n");
+  EXPECT_EQ(joined(toks), "X y ;");
+}
+
+TEST(Preprocessor, MutuallyRecursiveMacros) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define A B\n#define B A\nA;\n");
+  EXPECT_EQ(joined(toks), "A ;");
+}
+
+TEST(Preprocessor, Stringize) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define STR(x) #x\nconst char* s = STR(hello world);\n");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[5].kind, TokenKind::StringLiteral);
+  EXPECT_EQ(toks[5].text, "\"hello world\"");
+}
+
+TEST(Preprocessor, TokenPaste) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define GLUE(a,b) a##b\nint GLUE(var, 1);\n");
+  EXPECT_EQ(joined(toks), "int var1 ;");
+}
+
+TEST(Preprocessor, MacroArgumentsExpandBeforeSubstitution) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define ONE 1\n#define ID(x) x\nint a = ID(ONE);\n");
+  EXPECT_EQ(joined(toks), "int a = 1 ;");
+}
+
+TEST(Preprocessor, Undef) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define N 3\n#undef N\nint N;\n");
+  EXPECT_EQ(joined(toks), "int N ;");
+}
+
+TEST(Preprocessor, IfdefTaken) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define YES\n#ifdef YES\nint a;\n#endif\n");
+  EXPECT_EQ(joined(toks), "int a ;");
+}
+
+TEST(Preprocessor, IfdefNotTaken) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#ifdef NO\nint a;\n#else\nint b;\n#endif\n");
+  EXPECT_EQ(joined(toks), "int b ;");
+}
+
+TEST(Preprocessor, IfndefGuardPattern) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  sm.addVirtualFile("g.h",
+                    "#ifndef G_H\n#define G_H\nint guarded;\n#endif\n");
+  const auto toks =
+      pp(sm, de, "#include \"g.h\"\n#include \"g.h\"\nint after;\n");
+  EXPECT_EQ(joined(toks), "int guarded ; int after ;");
+  EXPECT_FALSE(de.hasErrors());
+}
+
+TEST(Preprocessor, PragmaOnce) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  sm.addVirtualFile("p.h", "#pragma once\nint once_only;\n");
+  const auto toks = pp(sm, de, "#include \"p.h\"\n#include \"p.h\"\n");
+  EXPECT_EQ(joined(toks), "int once_only ;");
+}
+
+TEST(Preprocessor, IfExpressionArithmetic) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de,
+                       "#define V 3\n"
+                       "#if V * 2 == 6 && defined(V)\nint yes;\n#else\nint no;\n#endif\n");
+  EXPECT_EQ(joined(toks), "int yes ;");
+}
+
+TEST(Preprocessor, ElifChain) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de,
+                       "#define V 2\n"
+                       "#if V == 1\nint one;\n"
+                       "#elif V == 2\nint two;\n"
+                       "#elif V == 3\nint three;\n"
+                       "#else\nint other;\n#endif\n");
+  EXPECT_EQ(joined(toks), "int two ;");
+}
+
+TEST(Preprocessor, NestedConditionals) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de,
+                       "#if 1\n#if 0\nint dead;\n#endif\nint live;\n#endif\n"
+                       "#if 0\n#if 1\nint dead2;\n#endif\n#endif\n");
+  EXPECT_EQ(joined(toks), "int live ;");
+  EXPECT_FALSE(de.hasErrors());
+}
+
+TEST(Preprocessor, UndefinedIdentifierInIfIsZero) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#if UNDEFINED_THING\nint a;\n#else\nint b;\n#endif\n");
+  EXPECT_EQ(joined(toks), "int b ;");
+}
+
+TEST(Preprocessor, IncludeRecordsEdgesAndFiles) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  sm.addVirtualFile("inner.h", "int inner;\n");
+  sm.addVirtualFile("outer.h", "#include \"inner.h\"\nint outer;\n");
+  const FileId main = sm.addVirtualFile("main.cpp", "#include \"outer.h\"\nint m;\n");
+  Preprocessor p(sm, de);
+  p.enterMainFile(main);
+  while (!p.next().isEnd()) {
+  }
+  ASSERT_EQ(p.includeEdges().size(), 2u);
+  EXPECT_EQ(sm.name(p.includeEdges()[0].includer), "main.cpp");
+  EXPECT_EQ(sm.name(p.includeEdges()[0].includee), "outer.h");
+  EXPECT_EQ(sm.name(p.includeEdges()[1].includer), "outer.h");
+  EXPECT_EQ(sm.name(p.includeEdges()[1].includee), "inner.h");
+  ASSERT_EQ(p.filesSeen().size(), 3u);
+  EXPECT_EQ(sm.name(p.filesSeen()[0]), "main.cpp");
+}
+
+TEST(Preprocessor, MissingIncludeIsError) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  pp(sm, de, "#include \"missing.h\"\n");
+  EXPECT_TRUE(de.hasErrors());
+}
+
+TEST(Preprocessor, CircularIncludeIsCutWithWarning) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  sm.addVirtualFile("a.h", "#include \"b.h\"\nint a;\n");
+  sm.addVirtualFile("b.h", "#include \"a.h\"\nint b;\n");
+  const auto toks = pp(sm, de, "#include \"a.h\"\n");
+  EXPECT_EQ(joined(toks), "int b ; int a ;");
+  EXPECT_FALSE(de.hasErrors());
+  EXPECT_GE(de.warningCount(), 1u);
+}
+
+TEST(Preprocessor, MacroRecordsKeepDefinitionText) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const FileId main = sm.addVirtualFile(
+      "main.cpp", "#define SQR(x) ((x)*(x))\n#undef SQR\n");
+  Preprocessor p(sm, de);
+  p.enterMainFile(main);
+  while (!p.next().isEnd()) {
+  }
+  ASSERT_EQ(p.macroRecords().size(), 2u);
+  EXPECT_EQ(p.macroRecords()[0].name, "SQR");
+  EXPECT_EQ(p.macroRecords()[0].kind, MacroRecord::Kind::Define);
+  EXPECT_TRUE(p.macroRecords()[0].function_like);
+  EXPECT_NE(p.macroRecords()[0].text.find("#define SQR"), std::string::npos);
+  EXPECT_EQ(p.macroRecords()[1].kind, MacroRecord::Kind::Undefine);
+}
+
+TEST(Preprocessor, PredefinedMacro) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const FileId main = sm.addVirtualFile("main.cpp", "int v = WIDTH;\n");
+  Preprocessor p(sm, de);
+  p.predefineMacro("WIDTH", "128");
+  p.enterMainFile(main);
+  std::vector<Token> toks;
+  for (Token t = p.next(); !t.isEnd(); t = p.next()) toks.push_back(t);
+  EXPECT_EQ(joined(toks), "int v = 128 ;");
+}
+
+TEST(Preprocessor, ErrorDirective) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  pp(sm, de, "#error something went wrong\n");
+  ASSERT_TRUE(de.hasErrors());
+  EXPECT_NE(de.all()[0].message.find("something went wrong"), std::string::npos);
+}
+
+TEST(Preprocessor, UnterminatedIfDiagnosed) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  pp(sm, de, "#if 1\nint a;\n");
+  EXPECT_TRUE(de.hasErrors());
+}
+
+TEST(Preprocessor, ExpandedTokensKeepUseLocation) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const auto toks = pp(sm, de, "#define N 5\n\nint a = N;\n");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].text, "5");
+  EXPECT_EQ(toks[3].location.line, 3u);  // location of use, not definition
+}
+
+TEST(Preprocessor, MacroSpanningIncludeBoundaryArgs) {
+  // Function-like macro use where arguments come from the same file after
+  // an include finishes — exercises the file-stack pop during collection.
+  SourceManager sm;
+  DiagnosticEngine de;
+  sm.addVirtualFile("def.h", "#define CALL(f) f()\n");
+  const auto toks = pp(sm, de, "#include \"def.h\"\nint x = CALL(get);\n");
+  EXPECT_EQ(joined(toks), "int x = get ( ) ;");
+}
+
+TEST(Preprocessor, WrongArgCountDiagnosed) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  pp(sm, de, "#define TWO(a,b) a b\nTWO(1)\n");
+  EXPECT_TRUE(de.hasErrors());
+}
+
+}  // namespace
+}  // namespace pdt::lex
+
+namespace pdt::lex {
+namespace {
+
+TEST(Preprocessor, BuiltinLineAndFileMacros) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  const FileId main = sm.addVirtualFile("main.cpp", "int a = __LINE__;\n\nconst char* f = __FILE__;\n");
+  Preprocessor p(sm, de);
+  p.enterMainFile(main);
+  std::vector<Token> toks;
+  for (Token t = p.next(); !t.isEnd(); t = p.next()) toks.push_back(t);
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[3].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(toks[3].text, "1");
+  bool has_file = false;
+  for (const auto& t : toks) {
+    has_file |= t.kind == TokenKind::StringLiteral && t.text == "\"main.cpp\"";
+  }
+  EXPECT_TRUE(has_file);
+}
+
+TEST(Preprocessor, BuiltinLineTracksIncludes) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  sm.addVirtualFile("h.h", "\n\nint in_header = __LINE__;\n");
+  const FileId main = sm.addVirtualFile("main.cpp", "#include \"h.h\"\n");
+  Preprocessor p(sm, de);
+  p.enterMainFile(main);
+  std::vector<Token> toks;
+  for (Token t = p.next(); !t.isEnd(); t = p.next()) toks.push_back(t);
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[3].text, "3");  // line within h.h
+}
+
+}  // namespace
+}  // namespace pdt::lex

@@ -1,0 +1,426 @@
+// Structural tests for the parser: declarations, classes, namespaces,
+// enums, typedefs, functions, and source positions.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "ast/walk.h"
+#include "frontend/frontend.h"
+
+namespace pdt {
+namespace {
+
+using namespace ast;
+
+struct Compiled {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::CompileResult result;
+
+  explicit Compiled(const std::string& source,
+                    frontend::FrontendOptions options = {}) {
+    frontend::Frontend fe(sm, diags, std::move(options));
+    result = fe.compileSource("test.cpp", source);
+  }
+
+  [[nodiscard]] const TranslationUnitDecl* tu() const {
+    return result.ast->translationUnit();
+  }
+  [[nodiscard]] std::string diagText() const {
+    std::string out;
+    for (const auto& d : diags.all()) out += d.message + "\n";
+    return out;
+  }
+
+  template <typename T>
+  T* find(std::string_view name) const {
+    T* out = nullptr;
+    std::function<void(const Decl*)> visit = [&](const Decl* d) {
+      if (out == nullptr && d->name() == name) {
+        out = const_cast<T*>(d->as<T>());
+      }
+    };
+    walkDecls(tu(), visit);
+    return out;
+  }
+};
+
+TEST(Parser, GlobalVariable) {
+  Compiled c("int x;\ndouble y = 2.5;\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* x = c.find<VarDecl>("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->type->spelling(), "int");
+  auto* y = c.find<VarDecl>("y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->type->spelling(), "double");
+  EXPECT_NE(y->init, nullptr);
+}
+
+TEST(Parser, FunctionDeclarationAndDefinition) {
+  Compiled c("int add(int a, int b);\nint add(int a, int b) { return a + b; }\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* fn = c.find<FunctionDecl>("add");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->is_defined);
+  ASSERT_EQ(fn->params.size(), 2u);
+  EXPECT_EQ(fn->params[0]->name(), "a");
+  EXPECT_EQ(fn->signature->spelling(), "int (int, int)");
+}
+
+TEST(Parser, FunctionMergesForwardDeclaration) {
+  Compiled c("void f();\nvoid f() {}\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  int count = 0;
+  for (const Decl* d : c.tu()->children()) {
+    if (d->name() == "f") ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Parser, PointerAndReferenceTypes) {
+  Compiled c("int* p; int& r = *p; const char* s; int** pp;\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  EXPECT_EQ(c.find<VarDecl>("p")->type->spelling(), "int *");
+  EXPECT_EQ(c.find<VarDecl>("r")->type->spelling(), "int &");
+  EXPECT_EQ(c.find<VarDecl>("s")->type->spelling(), "const char *");
+  EXPECT_EQ(c.find<VarDecl>("pp")->type->spelling(), "int * *");
+}
+
+TEST(Parser, ArrayTypes) {
+  Compiled c("int a[10]; double m[3][4];\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* a = c.find<VarDecl>("a");
+  ASSERT_NE(a, nullptr);
+  const auto* arr = a->type->as<ArrayType>();
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->size(), 10);
+}
+
+TEST(Parser, ClassWithMembers) {
+  Compiled c(R"(
+class Point {
+public:
+    Point(int x, int y);
+    ~Point();
+    int getX() const;
+    void move(int dx, int dy);
+private:
+    int x_;
+    int y_;
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* cls = c.find<ClassDecl>("Point");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_TRUE(cls->is_complete);
+  EXPECT_EQ(cls->tag, TagKind::Class);
+
+  auto* ctor = c.find<FunctionDecl>("Point");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_EQ(ctor->fkind, FunctionKind::Constructor);
+  EXPECT_EQ(ctor->access(), AccessKind::Public);
+
+  auto* dtor = c.find<FunctionDecl>("~Point");
+  ASSERT_NE(dtor, nullptr);
+  EXPECT_EQ(dtor->fkind, FunctionKind::Destructor);
+
+  auto* getx = c.find<FunctionDecl>("getX");
+  ASSERT_NE(getx, nullptr);
+  EXPECT_TRUE(getx->is_const);
+  EXPECT_EQ(getx->signature->spelling(), "int () const");
+
+  auto* x = c.find<VarDecl>("x_");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->access(), AccessKind::Private);
+}
+
+TEST(Parser, StructDefaultsToPublic) {
+  Compiled c("struct S { int a; };\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  EXPECT_EQ(c.find<VarDecl>("a")->access(), AccessKind::Public);
+  EXPECT_EQ(c.find<ClassDecl>("S")->tag, TagKind::Struct);
+}
+
+TEST(Parser, MultipleInheritance) {
+  Compiled c(R"(
+class A { public: int a; };
+class B { public: int b; };
+class C : public A, private B, public virtual A {
+public:
+    int c;
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* cls = c.find<ClassDecl>("C");
+  ASSERT_NE(cls, nullptr);
+  ASSERT_EQ(cls->bases.size(), 3u);
+  EXPECT_EQ(cls->bases[0].base->name(), "A");
+  EXPECT_EQ(cls->bases[0].access, AccessKind::Public);
+  EXPECT_EQ(cls->bases[1].access, AccessKind::Private);
+  EXPECT_TRUE(cls->bases[2].is_virtual);
+}
+
+TEST(Parser, VirtualAndStaticMembers) {
+  Compiled c(R"(
+class Shape {
+public:
+    virtual double area() const;
+    virtual void draw() = 0;
+    static int count();
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  EXPECT_TRUE(c.find<FunctionDecl>("area")->is_virtual);
+  auto* draw = c.find<FunctionDecl>("draw");
+  EXPECT_TRUE(draw->is_pure_virtual);
+  EXPECT_TRUE(c.find<FunctionDecl>("count")->is_static);
+}
+
+TEST(Parser, InheritedMemberLookup) {
+  Compiled c(R"(
+class Base { public: void hello(); };
+class Derived : public Base {};
+void test() { Derived d; d.hello(); }
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+}
+
+TEST(Parser, Namespaces) {
+  Compiled c(R"(
+namespace outer {
+namespace inner {
+int deep;
+}
+int shallow;
+}
+namespace outer {  // re-opened
+int more;
+}
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* outer = c.find<NamespaceDecl>("outer");
+  ASSERT_NE(outer, nullptr);
+  auto* deep = c.find<VarDecl>("deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_EQ(deep->qualifiedName(), "outer::inner::deep");
+  auto* more = c.find<VarDecl>("more");
+  ASSERT_NE(more, nullptr);
+  EXPECT_EQ(more->parent()->asDecl(), outer);
+}
+
+TEST(Parser, UsingDirective) {
+  Compiled c(R"(
+namespace math { int abs(int x) { return x < 0 ? -x : x; } }
+using namespace math;
+int test() { return abs(-4); }
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+}
+
+TEST(Parser, NamespaceAlias) {
+  Compiled c(R"(
+namespace very_long_name { int value; }
+namespace vn = very_long_name;
+int test() { return vn::value; }
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+}
+
+TEST(Parser, Enums) {
+  Compiled c("enum Color { RED, GREEN = 5, BLUE };\nColor c = GREEN;\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* e = c.find<EnumDecl>("Color");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->enumerators.size(), 3u);
+  EXPECT_EQ(e->enumerators[0]->value, 0);
+  EXPECT_EQ(e->enumerators[1]->value, 5);
+  EXPECT_EQ(e->enumerators[2]->value, 6);
+}
+
+TEST(Parser, Typedefs) {
+  Compiled c("typedef unsigned long size_type;\nsize_type n = 0;\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* td = c.find<TypedefDecl>("size_type");
+  ASSERT_NE(td, nullptr);
+  EXPECT_EQ(td->underlying->spelling(), "unsigned long");
+  auto* n = c.find<VarDecl>("n");
+  EXPECT_EQ(canonical(n->type)->spelling(), "unsigned long");
+}
+
+TEST(Parser, DefaultArguments) {
+  Compiled c("void greet(int times = 3, char sep = ',');\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* fn = c.find<FunctionDecl>("greet");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_NE(fn->params[0]->default_arg, nullptr);
+  EXPECT_NE(fn->params[1]->default_arg, nullptr);
+}
+
+TEST(Parser, OverloadedOperators) {
+  Compiled c(R"(
+class Vec {
+public:
+    Vec operator+(const Vec& other) const;
+    bool operator==(const Vec& other) const;
+    int operator[](int i) const;
+    Vec& operator=(const Vec& other);
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  EXPECT_NE(c.find<FunctionDecl>("operator+"), nullptr);
+  EXPECT_NE(c.find<FunctionDecl>("operator=="), nullptr);
+  EXPECT_NE(c.find<FunctionDecl>("operator[]"), nullptr);
+  auto* plus = c.find<FunctionDecl>("operator+");
+  EXPECT_EQ(plus->fkind, FunctionKind::Operator);
+}
+
+TEST(Parser, FriendDeclarations) {
+  Compiled c(R"(
+class Helper { public: int help(); };
+class Secret {
+    friend class Helper;
+    friend int peek(const Secret& s);
+    int hidden;
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* cls = c.find<ClassDecl>("Secret");
+  ASSERT_NE(cls, nullptr);
+  ASSERT_EQ(cls->friends.size(), 2u);
+  EXPECT_TRUE(cls->friends[0].is_class);
+  EXPECT_EQ(cls->friends[0].name, "Helper");
+  EXPECT_NE(cls->friends[0].resolved, nullptr);
+  EXPECT_FALSE(cls->friends[1].is_class);
+  EXPECT_EQ(cls->friends[1].name, "peek");
+}
+
+TEST(Parser, ExceptionSpecification) {
+  Compiled c(R"(
+class Overflow {};
+void push(int x) throw(Overflow);
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* fn = c.find<FunctionDecl>("push");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->has_exception_spec);
+  ASSERT_EQ(fn->exception_specs.size(), 1u);
+  EXPECT_EQ(fn->exception_specs[0]->spelling(), "Overflow");
+}
+
+TEST(Parser, ExternCLinkage) {
+  Compiled c("extern \"C\" { void c_function(int); }\nvoid cpp_function();\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  EXPECT_EQ(c.find<FunctionDecl>("c_function")->linkage, Linkage::C);
+  EXPECT_EQ(c.find<FunctionDecl>("cpp_function")->linkage, Linkage::Cxx);
+}
+
+TEST(Parser, ConstructorInitializers) {
+  Compiled c(R"(
+class Base { public: Base(int v); };
+class Derived : public Base {
+public:
+    Derived(int a, int b) : Base(a), value(b) {}
+private:
+    int value;
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* ctor = c.find<FunctionDecl>("Derived");
+  ASSERT_NE(ctor, nullptr);
+  ASSERT_EQ(ctor->ctor_inits.size(), 2u);
+  EXPECT_EQ(ctor->ctor_inits[0].name, "Base");
+  EXPECT_EQ(ctor->ctor_inits[1].name, "value");
+}
+
+TEST(Parser, NestedClasses) {
+  Compiled c(R"(
+class Outer {
+public:
+    class Inner { public: int value; };
+    Inner make();
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* inner = c.find<ClassDecl>("Inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->qualifiedName(), "Outer::Inner");
+}
+
+TEST(Parser, ForwardDeclarationCompleted) {
+  Compiled c("class Node;\nclass Node { public: Node* next; };\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* node = c.find<ClassDecl>("Node");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->is_complete);
+  auto* next = c.find<VarDecl>("next");
+  EXPECT_EQ(next->type->spelling(), "Node *");
+}
+
+TEST(Parser, MemberUsesLaterMember) {
+  // Inline bodies are delay-parsed until the class is complete.
+  Compiled c(R"(
+class Widget {
+public:
+    int first() { return second(); }
+    int second() { return 42; }
+};
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* first = c.find<FunctionDecl>("first");
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->is_defined);
+  EXPECT_NE(first->body, nullptr);
+}
+
+TEST(Parser, SourcePositions) {
+  Compiled c("int variable;\n  void spaced();\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* v = c.find<VarDecl>("variable");
+  EXPECT_EQ(v->location().line, 1u);
+  EXPECT_EQ(v->location().column, 5u);
+  auto* fn = c.find<FunctionDecl>("spaced");
+  EXPECT_EQ(fn->location().line, 2u);
+  EXPECT_EQ(fn->location().column, 8u);
+}
+
+TEST(Parser, OutOfLineMemberDefinition) {
+  Compiled c(R"(
+class Calc {
+public:
+    int twice(int x);
+};
+int Calc::twice(int x) { return x * 2; }
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* fn = c.find<FunctionDecl>("twice");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->is_defined);
+  EXPECT_EQ(fn->location().line, 6u);  // definition site
+  EXPECT_EQ(fn->memberOf()->name(), "Calc");
+}
+
+TEST(Parser, ConversionOperator) {
+  Compiled c("class Wrapper { public: operator int() const; };\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* conv = c.find<FunctionDecl>("operator int");
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->fkind, FunctionKind::Conversion);
+  EXPECT_EQ(conv->return_type->spelling(), "int");
+}
+
+TEST(Parser, ErrorRecovery) {
+  Compiled c("int ok1;\n@#$ garbage;\nint ok2;\n");
+  EXPECT_FALSE(c.result.success);
+  EXPECT_NE(c.find<VarDecl>("ok1"), nullptr);
+  EXPECT_NE(c.find<VarDecl>("ok2"), nullptr);
+}
+
+TEST(Parser, AnonymousNamespace) {
+  Compiled c("namespace { int hidden; }\nint visible;\n");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  EXPECT_NE(c.find<VarDecl>("hidden"), nullptr);
+}
+
+}  // namespace
+}  // namespace pdt

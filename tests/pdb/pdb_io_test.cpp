@@ -1,0 +1,222 @@
+// PDB writer/reader round-trip and format tests.
+#include <gtest/gtest.h>
+
+#include "pdb/pdb.h"
+#include "pdb/reader.h"
+#include "pdb/writer.h"
+
+namespace pdt::pdb {
+namespace {
+
+PdbFile samplePdb() {
+  PdbFile pdb;
+  SourceFileItem header;
+  header.name = "StackAr.h";
+  const std::uint32_t header_id = pdb.addSourceFile(std::move(header));
+  SourceFileItem impl;
+  impl.name = "StackAr.cpp";
+  const std::uint32_t impl_id = pdb.addSourceFile(std::move(impl));
+  pdb.sourceFiles()[0].includes.push_back(impl_id);
+
+  TypeItem int_ty;
+  int_ty.name = "int";
+  int_ty.kind = "int";
+  int_ty.ikind = "int";
+  const std::uint32_t int_id = pdb.addType(std::move(int_ty));
+
+  TypeItem sig;
+  sig.name = "void (int)";
+  sig.kind = "func";
+  sig.return_type = ItemRef{ItemKind::Type, int_id};
+  sig.params.push_back({ItemKind::Type, int_id});
+  const std::uint32_t sig_id = pdb.addType(std::move(sig));
+
+  TemplateItem te;
+  te.name = "Stack";
+  te.kind = "class";
+  te.text = "template <class Object>\nclass Stack {...};";
+  te.location = {header_id, 8, 7};
+  const std::uint32_t te_id = pdb.addTemplate(std::move(te));
+
+  ClassItem cls;
+  cls.name = "Stack<int>";
+  cls.kind = "class";
+  cls.template_id = te_id;
+  cls.location = {header_id, 8, 7};
+  const std::uint32_t cls_id = pdb.addClass(std::move(cls));
+
+  RoutineItem push;
+  push.name = "push";
+  push.location = {impl_id, 72, 29};
+  push.parent = ItemRef{ItemKind::Class, cls_id};
+  push.access = "pub";
+  push.signature = sig_id;
+  push.template_id = te_id;
+  push.defined = true;
+  push.calls.push_back({1, false, {impl_id, 74, 17}});
+  push.extent = {{impl_id, 72, 9}, {impl_id, 72, 52}, {impl_id, 73, 9},
+                 {impl_id, 77, 9}};
+  const std::uint32_t push_id = pdb.addRoutine(std::move(push));
+  pdb.classes()[0].funcs.push_back({push_id, {impl_id, 72, 29}});
+
+  ClassItem::Member mem;
+  mem.name = "topOfStack";
+  mem.access = "priv";
+  mem.kind = "var";
+  mem.type = {ItemKind::Type, int_id};
+  mem.location = {header_id, 39, 28};
+  pdb.classes()[0].members.push_back(std::move(mem));
+
+  NamespaceItem ns;
+  ns.name = "util";
+  ns.members.push_back({ItemKind::Routine, push_id});
+  pdb.addNamespace(std::move(ns));
+
+  MacroItem ma;
+  ma.name = "STACKAR_H";
+  ma.kind = "def";
+  ma.text = "#define STACKAR_H";
+  ma.location = {header_id, 2, 1};
+  pdb.addMacro(std::move(ma));
+  return pdb;
+}
+
+TEST(PdbIo, WriterEmitsHeaderAndPrefixes) {
+  const std::string text = writeToString(samplePdb());
+  EXPECT_TRUE(text.starts_with("<PDB 1.0>\n"));
+  EXPECT_NE(text.find("so#1 StackAr.h"), std::string::npos);
+  EXPECT_NE(text.find("sinc so#2"), std::string::npos);
+  EXPECT_NE(text.find("te#1 Stack"), std::string::npos);
+  EXPECT_NE(text.find("cl#1 Stack<int>"), std::string::npos);
+  EXPECT_NE(text.find("ro#1 push"), std::string::npos);
+  EXPECT_NE(text.find("rtempl te#1"), std::string::npos);
+  EXPECT_NE(text.find("ctempl te#1"), std::string::npos);
+  EXPECT_NE(text.find("rcall ro#1 no so#2 74 17"), std::string::npos);
+  EXPECT_NE(text.find("cmem topOfStack"), std::string::npos);
+  EXPECT_NE(text.find("ma#1 STACKAR_H"), std::string::npos);
+}
+
+TEST(PdbIo, MultiLineTextIsEscaped) {
+  const std::string text = writeToString(samplePdb());
+  EXPECT_NE(text.find("ttext template <class Object>\\nclass Stack {...};"),
+            std::string::npos);
+}
+
+TEST(PdbIo, RoundTripPreservesEverything) {
+  const PdbFile original = samplePdb();
+  const std::string text = writeToString(original);
+  ReadResult parsed = readFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+
+  const PdbFile& pdb = parsed.pdb;
+  ASSERT_EQ(pdb.sourceFiles().size(), 2u);
+  EXPECT_EQ(pdb.sourceFiles()[0].name, "StackAr.h");
+  ASSERT_EQ(pdb.sourceFiles()[0].includes.size(), 1u);
+
+  ASSERT_EQ(pdb.routines().size(), 1u);
+  const RoutineItem& push = pdb.routines()[0];
+  EXPECT_EQ(push.name, "push");
+  EXPECT_EQ(push.location, (Pos{2, 72, 29}));
+  ASSERT_TRUE(push.parent.has_value());
+  EXPECT_EQ(push.parent->kind, ItemKind::Class);
+  EXPECT_EQ(push.access, "pub");
+  ASSERT_TRUE(push.template_id.has_value());
+  EXPECT_TRUE(push.defined);
+  ASSERT_EQ(push.calls.size(), 1u);
+  EXPECT_EQ(push.calls[0].position, (Pos{2, 74, 17}));
+  EXPECT_EQ(push.extent.body_end, (Pos{2, 77, 9}));
+
+  ASSERT_EQ(pdb.classes().size(), 1u);
+  const ClassItem& cls = pdb.classes()[0];
+  EXPECT_EQ(cls.name, "Stack<int>");
+  ASSERT_EQ(cls.funcs.size(), 1u);
+  ASSERT_EQ(cls.members.size(), 1u);
+  EXPECT_EQ(cls.members[0].name, "topOfStack");
+  EXPECT_EQ(cls.members[0].access, "priv");
+
+  ASSERT_EQ(pdb.templates().size(), 1u);
+  EXPECT_EQ(pdb.templates()[0].text,
+            "template <class Object>\nclass Stack {...};");
+
+  ASSERT_EQ(pdb.types().size(), 2u);
+  const TypeItem& sig = pdb.types()[1];
+  EXPECT_EQ(sig.kind, "func");
+  ASSERT_EQ(sig.params.size(), 1u);
+
+  ASSERT_EQ(pdb.namespaces().size(), 1u);
+  ASSERT_EQ(pdb.namespaces()[0].members.size(), 1u);
+
+  ASSERT_EQ(pdb.macros().size(), 1u);
+  EXPECT_EQ(pdb.macros()[0].text, "#define STACKAR_H");
+}
+
+TEST(PdbIo, DoubleRoundTripIsStable) {
+  const std::string once = writeToString(samplePdb());
+  ReadResult parsed = readFromString(once);
+  ASSERT_TRUE(parsed.ok());
+  const std::string twice = writeToString(parsed.pdb);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(PdbIo, MissingHeaderIsError) {
+  ReadResult r = readFromString("so#1 foo.h\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PdbIo, MalformedLinesAreReportedWithNumbers) {
+  ReadResult r = readFromString(
+      "<PDB 1.0>\n\nro#1 f\nrcall bogus\n\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("line 4"), std::string::npos);
+}
+
+TEST(PdbIo, UnknownAttributeIsReported) {
+  ReadResult r = readFromString("<PDB 1.0>\n\nso#1 a.h\nzzz nonsense\n\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PdbIo, IdsArePerKind) {
+  PdbFile pdb;
+  SourceFileItem f;
+  f.name = "a";
+  RoutineItem r;
+  r.name = "f";
+  ClassItem c;
+  c.name = "C";
+  EXPECT_EQ(pdb.addSourceFile(std::move(f)), 1u);
+  EXPECT_EQ(pdb.addRoutine(std::move(r)), 1u);  // separate id space
+  EXPECT_EQ(pdb.addClass(std::move(c)), 1u);
+}
+
+TEST(PdbIo, FindByIdAfterReindex) {
+  PdbFile pdb = samplePdb();
+  pdb.reindex();
+  ASSERT_NE(pdb.findRoutine(1), nullptr);
+  EXPECT_EQ(pdb.findRoutine(1)->name, "push");
+  EXPECT_EQ(pdb.findRoutine(999), nullptr);
+  ASSERT_NE(pdb.findClass(1), nullptr);
+  ASSERT_NE(pdb.findTemplate(1), nullptr);
+  ASSERT_NE(pdb.findSourceFile(2), nullptr);
+}
+
+TEST(PdbIo, ItemRefRendering) {
+  EXPECT_EQ((ItemRef{ItemKind::Routine, 7}.str()), "ro#7");
+  EXPECT_EQ((ItemRef{ItemKind::Class, 8}.str()), "cl#8");
+  EXPECT_EQ((ItemRef{ItemKind::Type, 2058}.str()), "ty#2058");
+}
+
+TEST(PdbIo, NullPositionsRoundTrip) {
+  PdbFile pdb;
+  TemplateItem te;
+  te.name = "T";
+  te.kind = "class";
+  pdb.addTemplate(std::move(te));
+  const std::string text = writeToString(pdb);
+  EXPECT_NE(text.find("NULL 0 0"), std::string::npos);
+  ReadResult parsed = readFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  EXPECT_FALSE(parsed.pdb.templates()[0].location.valid());
+}
+
+}  // namespace
+}  // namespace pdt::pdb

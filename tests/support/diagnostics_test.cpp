@@ -1,0 +1,60 @@
+#include "support/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/source_manager.h"
+
+namespace pdt {
+namespace {
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine de;
+  de.error({}, "e1");
+  de.warning({}, "w1");
+  de.error({}, "e2");
+  de.note({}, "n1");
+  EXPECT_EQ(de.errorCount(), 2u);
+  EXPECT_EQ(de.warningCount(), 1u);
+  EXPECT_TRUE(de.hasErrors());
+  EXPECT_EQ(de.all().size(), 4u);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine de;
+  de.error({}, "e");
+  de.clear();
+  EXPECT_FALSE(de.hasErrors());
+  EXPECT_TRUE(de.all().empty());
+}
+
+TEST(Diagnostics, PrintFormat) {
+  SourceManager sm;
+  const FileId f = sm.addVirtualFile("t.cpp", "x");
+  DiagnosticEngine de;
+  de.warning({f, 3, 4}, "something odd");
+  std::ostringstream os;
+  de.print(os, sm);
+  EXPECT_EQ(os.str(), "t.cpp:3:4: warning: something odd\n");
+}
+
+TEST(Diagnostics, HandlerInvoked) {
+  DiagnosticEngine de;
+  int calls = 0;
+  de.setHandler([&](const Diagnostic& d) {
+    ++calls;
+    EXPECT_EQ(d.message, "boom");
+  });
+  de.error({}, "boom");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Diagnostics, SeverityNames) {
+  EXPECT_EQ(toString(Severity::Note), "note");
+  EXPECT_EQ(toString(Severity::Warning), "warning");
+  EXPECT_EQ(toString(Severity::Error), "error");
+}
+
+}  // namespace
+}  // namespace pdt

@@ -1,0 +1,73 @@
+#include "support/source_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace pdt {
+namespace {
+
+TEST(SourceManager, RegistersVirtualFiles) {
+  SourceManager sm;
+  const FileId a = sm.addVirtualFile("a.h", "int x;\n");
+  const FileId b = sm.addVirtualFile("b.h", "int y;\n");
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sm.name(a), "a.h");
+  EXPECT_EQ(sm.content(b), "int y;\n");
+  EXPECT_EQ(sm.fileCount(), 2u);
+}
+
+TEST(SourceManager, DuplicateVirtualFileKeepsFirst) {
+  SourceManager sm;
+  const FileId a = sm.addVirtualFile("a.h", "first");
+  const FileId b = sm.addVirtualFile("a.h", "second");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sm.content(a), "first");
+}
+
+TEST(SourceManager, LineText) {
+  SourceManager sm;
+  const FileId f = sm.addVirtualFile("f.cpp", "line one\nline two\r\nline three");
+  EXPECT_EQ(sm.lineText(f, 1), "line one");
+  EXPECT_EQ(sm.lineText(f, 2), "line two");
+  EXPECT_EQ(sm.lineText(f, 3), "line three");
+  EXPECT_EQ(sm.lineText(f, 4), "");
+  EXPECT_EQ(sm.lineText(f, 0), "");
+}
+
+TEST(SourceManager, DescribeLocation) {
+  SourceManager sm;
+  const FileId f = sm.addVirtualFile("x.cpp", "abc");
+  EXPECT_EQ(sm.describe({f, 2, 7}), "x.cpp:2:7");
+  EXPECT_EQ(sm.describe({}), "<unknown>");
+}
+
+TEST(SourceManager, ResolveIncludeVirtual) {
+  SourceManager sm;
+  const FileId header = sm.addVirtualFile("stack.h", "class S;");
+  const FileId main = sm.addVirtualFile("main.cpp", "#include \"stack.h\"");
+  const auto resolved = sm.resolveInclude("stack.h", /*angled=*/false, main);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, header);
+}
+
+TEST(SourceManager, ResolveIncludeMissing) {
+  SourceManager sm;
+  const FileId main = sm.addVirtualFile("main.cpp", "");
+  EXPECT_FALSE(sm.resolveInclude("nope.h", false, main).has_value());
+  EXPECT_FALSE(sm.resolveInclude("nope.h", true, main).has_value());
+}
+
+TEST(SourceManager, AllFilesInRegistrationOrder) {
+  SourceManager sm;
+  sm.addVirtualFile("1", "");
+  sm.addVirtualFile("2", "");
+  sm.addVirtualFile("3", "");
+  const auto files = sm.allFiles();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(sm.name(files[0]), "1");
+  EXPECT_EQ(sm.name(files[2]), "3");
+}
+
+}  // namespace
+}  // namespace pdt

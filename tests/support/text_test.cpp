@@ -1,0 +1,66 @@
+#include "support/text.h"
+
+#include <gtest/gtest.h>
+
+namespace pdt {
+namespace {
+
+TEST(Text, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Text, SplitSingle) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Text, SplitWhitespace) {
+  const auto parts = splitWhitespace("  foo\tbar  baz\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(Text, ReplaceAll) {
+  EXPECT_EQ(replaceAll("a<b<c", "<", "&lt;"), "a&lt;b&lt;c");
+  EXPECT_EQ(replaceAll("none", "x", "y"), "none");
+}
+
+TEST(Text, PdbStringRoundTrip) {
+  const std::string original = "line1\nline2\\with\\slashes\n";
+  const std::string escaped = escapePdbString(original);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(unescapePdbString(escaped), "line1\nline2\\with\\slashes\n");
+}
+
+TEST(Text, EscapeHtml) {
+  EXPECT_EQ(escapeHtml("a<b> & \"c\""), "a&lt;b&gt; &amp; &quot;c&quot;");
+}
+
+TEST(Text, ParseUint) {
+  std::uint32_t v = 0;
+  EXPECT_TRUE(parseUint("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parseUint("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(parseUint("", v));
+  EXPECT_FALSE(parseUint("-1", v));
+  EXPECT_FALSE(parseUint("12x", v));
+  EXPECT_FALSE(parseUint("99999999999", v));
+}
+
+}  // namespace
+}  // namespace pdt

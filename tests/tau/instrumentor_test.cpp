@@ -1,0 +1,251 @@
+// TAU instrumentor tests: the Figure-6 selection rules and the source
+// rewriting, plus the full dynamic-analysis loop (instrument -> compile
+// with the system compiler -> run -> check the profile).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdt/pdt_paths.h"
+#include "tau/instrumentor.h"
+
+namespace pdt::tau {
+namespace {
+
+using ductape::PDB;
+
+struct Compiled {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PDB pdb;
+  std::string source;
+
+  Compiled(const std::string& name, std::string src) : source(std::move(src)) {
+    frontend::Frontend fe(sm, diags);
+    auto result = fe.compileSource(name, source);
+    pdb = PDB::fromPdbFile(ilanalyzer::analyze(result, sm));
+  }
+};
+
+constexpr const char* kTemplates = R"(
+template <class T>
+class Holder {
+public:
+    void keep(const T& x) { item = x; }
+    static int tag() { return 7; }
+    T item;
+};
+
+template <class T>
+T identity(T v) { return v; }
+
+void plain() {}
+
+class Widget {
+public:
+    void poke() {}
+};
+
+void driver() {
+    Holder<int> h;
+    h.keep(1);
+    Holder<int>::tag();
+    identity(4);
+    plain();
+    Widget w;
+    w.poke();
+}
+)";
+
+TEST(Instrumentor, Figure6SelectionRules) {
+  Compiled c("templates.cpp", kTemplates);
+  const auto plan = planInstrumentation(c.pdb, "templates.cpp");
+
+  const ItemRef* keep = nullptr;
+  const ItemRef* tag = nullptr;
+  const ItemRef* identity = nullptr;
+  for (const ItemRef& ref : plan) {
+    if (ref.item->name() == "keep") keep = &ref;
+    if (ref.item->name() == "tag") tag = &ref;
+    if (ref.item->name() == "identity") identity = &ref;
+  }
+  // Member function template: CT(*this) required (no_this == false).
+  ASSERT_NE(keep, nullptr);
+  EXPECT_FALSE(keep->no_this);
+  // Static member template: no parent object, no CT(*this).
+  ASSERT_NE(tag, nullptr);
+  EXPECT_TRUE(tag->no_this);
+  // Free function template: no CT(*this).
+  ASSERT_NE(identity, nullptr);
+  EXPECT_TRUE(identity->no_this);
+}
+
+TEST(Instrumentor, NonTemplateRoutinesPlanned) {
+  Compiled c("templates.cpp", kTemplates);
+  const auto plan = planInstrumentation(c.pdb, "templates.cpp");
+  bool has_plain = false, has_poke = false, has_driver = false;
+  for (const ItemRef& ref : plan) {
+    has_plain |= ref.item->name() == "plain";
+    has_poke |= ref.item->name() == "poke";
+    has_driver |= ref.item->name() == "driver";
+  }
+  EXPECT_TRUE(has_plain);
+  EXPECT_TRUE(has_poke);
+  EXPECT_TRUE(has_driver);
+}
+
+TEST(Instrumentor, InstantiatedRoutinesNotDoublePlanned) {
+  Compiled c("templates.cpp", kTemplates);
+  const auto plan = planInstrumentation(c.pdb, "templates.cpp");
+  // 'keep' appears once (the template body), not once per instantiation.
+  int keep_count = 0;
+  for (const ItemRef& ref : plan) keep_count += ref.item->name() == "keep";
+  EXPECT_EQ(keep_count, 1);
+}
+
+TEST(Instrumentor, PlanIsSortedBySourceLocation) {
+  Compiled c("templates.cpp", kTemplates);
+  const auto plan = planInstrumentation(c.pdb, "templates.cpp");
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].line, plan[i].line);
+  }
+}
+
+TEST(Instrumentor, RewriteInsertsMacros) {
+  Compiled c("templates.cpp", kTemplates);
+  const std::string out = instrument(c.pdb, "templates.cpp", c.source);
+  EXPECT_TRUE(out.starts_with("#include \"TAU.h\""));
+  // Member function template gets CT(*this)...
+  EXPECT_NE(out.find("TAU_PROFILE(\"keep()\", CT(*this), TAU_DEFAULT)"),
+            std::string::npos);
+  // ...function template and plain routines do not.
+  EXPECT_NE(out.find("TAU_PROFILE(\"identity()\", std::string(\"\"),"),
+            std::string::npos);
+  EXPECT_NE(out.find("void plain()"), std::string::npos);
+}
+
+TEST(Instrumentor, RewritePreservesLineCount) {
+  Compiled c("templates.cpp", kTemplates);
+  const std::string out = instrument(c.pdb, "templates.cpp", c.source);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  // Two prepended #include lines; body insertions are within-line.
+  EXPECT_EQ(count(out), count(c.source) + 2);
+}
+
+TEST(Instrumentor, OtherFilesUntouched) {
+  Compiled c("templates.cpp", kTemplates);
+  const auto plan = planInstrumentation(c.pdb, "other.cpp");
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(Instrumentor, CustomGroupAndHeader) {
+  Compiled c("templates.cpp", kTemplates);
+  InstrumentOptions options;
+  options.runtime_header = "my_tau.h";
+  options.profile_group = "TAU_USER";
+  const std::string out = instrument(c.pdb, "templates.cpp", c.source, options);
+  EXPECT_TRUE(out.starts_with("#include \"my_tau.h\""));
+  EXPECT_NE(out.find("TAU_USER)"), std::string::npos);
+}
+
+TEST(Instrumentor, SelectiveExclusion) {
+  Compiled c("templates.cpp", kTemplates);
+  InstrumentOptions options;
+  options.exclude = {"keep", "poke"};
+  const auto plan = planInstrumentation(c.pdb, "templates.cpp", options);
+  for (const ItemRef& ref : plan) {
+    EXPECT_EQ(ref.item->name().find("keep"), std::string::npos);
+    EXPECT_EQ(ref.item->name().find("poke"), std::string::npos);
+  }
+  bool still_has_driver = false;
+  for (const ItemRef& ref : plan) still_has_driver |= ref.item->name() == "driver";
+  EXPECT_TRUE(still_has_driver);
+
+  const std::string out = instrument(c.pdb, "templates.cpp", c.source, options);
+  EXPECT_EQ(out.find("TAU_PROFILE(\"keep()\""), std::string::npos);
+  EXPECT_NE(out.find("TAU_PROFILE"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Full dynamic-analysis loop: instrument the paper's Stack example,
+// compile it with the system compiler, run it, inspect the profile.
+// ---------------------------------------------------------------------------
+
+TEST(Instrumentor, EndToEndStackProfile) {
+  const std::string input_dir = std::string(paths::kInputDir) + "/stack";
+  const std::string stl_dir = std::string(paths::kRuntimeDir) + "/pdt_stl";
+  const std::string tau_dir = std::string(paths::kRuntimeDir) + "/tau";
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::FrontendOptions options;
+  options.include_dirs.push_back(stl_dir);
+  frontend::Frontend fe(sm, diags, options);
+  auto result = fe.compileFile(input_dir + "/TestStackAr.cpp");
+  ASSERT_TRUE(result.success);
+  PDB pdb = PDB::fromPdbFile(ilanalyzer::analyze(result, sm));
+
+  const std::string work = ::testing::TempDir() + "/pdt_tau_e2e";
+  std::system(("rm -rf '" + work + "' && mkdir -p '" + work + "'").c_str());
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const auto emit = [&](const std::string& name, const std::string& text) {
+    std::ofstream out(work + "/" + name);
+    out << text;
+  };
+
+  // Instrument the template bodies (StackAr.cpp) and the driver.
+  emit("StackAr.cpp",
+       instrument(pdb, "StackAr.cpp", slurp(input_dir + "/StackAr.cpp")));
+  emit("TestStackAr.cpp",
+       instrument(pdb, "TestStackAr.cpp", slurp(input_dir + "/TestStackAr.cpp")));
+  emit("StackAr.h", slurp(input_dir + "/StackAr.h"));
+  emit("dsexceptions.h", slurp(input_dir + "/dsexceptions.h"));
+
+  const std::string profile = work + "/profile.txt";
+  const std::string compile =
+      "g++ -std=c++17 -O1 -I '" + work + "' -I '" + stl_dir + "' -I '" +
+      tau_dir + "' '" + work + "/TestStackAr.cpp' '" + stl_dir +
+      "/pdt_stl_impl.cpp' '" + tau_dir + "/tau_runtime.cpp' -o '" + work +
+      "/stack_instr' 2> '" + work + "/compile.log'";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << slurp(work + "/compile.log");
+
+  const std::string run = "cd '" + work + "' && TAU_PROFILE_FILE='" + profile +
+                          "' ./stack_instr > run.log 2>&1";
+  ASSERT_EQ(std::system(run.c_str()), 0) << slurp(work + "/run.log");
+
+  // The uninstrumented program prints 9..0; output must be unchanged.
+  EXPECT_NE(slurp(work + "/run.log").find("9\n8\n7"), std::string::npos);
+
+  const std::string prof = slurp(profile);
+  ASSERT_FALSE(prof.empty());
+  // Template members profiled with their run-time type (CT(*this)):
+  EXPECT_NE(prof.find("push()"), std::string::npos);
+  EXPECT_NE(prof.find("Stack<int>"), std::string::npos);
+  // main() profiled as a plain routine:
+  EXPECT_NE(prof.find("main"), std::string::npos);
+  // push was called 10 times.
+  bool found_push_10 = false;
+  std::istringstream lines(prof);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("push()") != std::string::npos &&
+        line.find("        10 ") != std::string::npos) {
+      found_push_10 = true;
+    }
+  }
+  EXPECT_TRUE(found_push_10) << prof;
+}
+
+}  // namespace
+}  // namespace pdt::tau

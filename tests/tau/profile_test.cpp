@@ -1,0 +1,84 @@
+// Tests for the TAU profile parser, including a live round trip through
+// the measurement runtime.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "TAU.h"
+#include "tau/profile.h"
+
+namespace pdt::tau {
+namespace {
+
+constexpr const char* kSample = R"(---------------------------------------------------------------------------------------
+%Time    Exclusive    Inclusive       #Call      #Subrs  Inclusive Name
+              msec         msec                           usec/call
+---------------------------------------------------------------------------------------
+ 29.9         43.2         54.5         256      262400        213  axpy()
+ 16.7         24.1         24.1      558848           0          0  operator()() <Array<double>>
+  0.2          0.4        144.3           1        1673     144254  solve() <CGSolver<double>>
+---------------------------------------------------------------------------------------
+)";
+
+TEST(ProfileParser, ParsesEntries) {
+  const auto profile = parseProfile(kSample);
+  ASSERT_TRUE(profile.has_value());
+  ASSERT_EQ(profile->entries.size(), 3u);
+  const ProfileEntry& axpy = profile->entries[0];
+  EXPECT_DOUBLE_EQ(axpy.percent_time, 29.9);
+  EXPECT_DOUBLE_EQ(axpy.exclusive_ms, 43.2);
+  EXPECT_DOUBLE_EQ(axpy.inclusive_ms, 54.5);
+  EXPECT_EQ(axpy.calls, 256);
+  EXPECT_EQ(axpy.child_calls, 262400);
+  EXPECT_EQ(axpy.name, "axpy()");
+}
+
+TEST(ProfileParser, InstantiationTypes) {
+  const auto profile = parseProfile(kSample);
+  ASSERT_TRUE(profile.has_value());
+  const ProfileEntry* op = profile->find("operator()()");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->baseName(), "operator()()");
+  EXPECT_EQ(op->instantiationType(), "Array<double>");
+  const ProfileEntry* axpy = profile->find("axpy");
+  ASSERT_NE(axpy, nullptr);
+  EXPECT_EQ(axpy->instantiationType(), "");
+}
+
+TEST(ProfileParser, FindAndTotals) {
+  const auto profile = parseProfile(kSample);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_NE(profile->find("solve"), nullptr);
+  EXPECT_EQ(profile->find("nonexistent"), nullptr);
+  EXPECT_NEAR(profile->totalExclusiveMs(), 67.7, 0.01);
+}
+
+TEST(ProfileParser, RejectsNonProfiles) {
+  EXPECT_FALSE(parseProfile("hello world").has_value());
+  EXPECT_FALSE(parseProfile("").has_value());
+}
+
+TEST(ProfileParser, RoundTripsThroughRuntime) {
+  ::tau::reset();
+  {
+    TAU_PROFILE("roundtrip_outer()", std::string(""), TAU_DEFAULT);
+    for (int i = 0; i < 7; ++i) {
+      TAU_PROFILE("roundtrip_inner()", std::string(""), TAU_DEFAULT);
+    }
+  }
+  std::ostringstream os;
+  ::tau::report(os);
+  const auto profile = parseProfile(os.str());
+  ASSERT_TRUE(profile.has_value());
+  const ProfileEntry* inner = profile->find("roundtrip_inner()");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 7);
+  const ProfileEntry* outer = profile->find("roundtrip_outer()");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 1);
+  EXPECT_EQ(outer->child_calls, 7);
+  EXPECT_GE(outer->inclusive_ms, inner->inclusive_ms);
+}
+
+}  // namespace
+}  // namespace pdt::tau
