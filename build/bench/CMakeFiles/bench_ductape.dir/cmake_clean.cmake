@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ductape.dir/bench_ductape.cpp.o"
+  "CMakeFiles/bench_ductape.dir/bench_ductape.cpp.o.d"
+  "bench_ductape"
+  "bench_ductape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ductape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilanalyzer.dir/bench_ilanalyzer.cpp.o"
+  "CMakeFiles/bench_ilanalyzer.dir/bench_ilanalyzer.cpp.o.d"
+  "bench_ilanalyzer"
+  "bench_ilanalyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilanalyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

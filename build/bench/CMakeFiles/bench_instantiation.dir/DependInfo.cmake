@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_instantiation.cpp" "bench/CMakeFiles/bench_instantiation.dir/bench_instantiation.cpp.o" "gcc" "bench/CMakeFiles/bench_instantiation.dir/bench_instantiation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/pdt_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/pdt_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/pdt_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/lex/CMakeFiles/pdt_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/pdt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdb/CMakeFiles/pdt_pdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instrumentor.dir/bench_instrumentor.cpp.o"
+  "CMakeFiles/bench_instrumentor.dir/bench_instrumentor.cpp.o.d"
+  "bench_instrumentor"
+  "bench_instrumentor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instrumentor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

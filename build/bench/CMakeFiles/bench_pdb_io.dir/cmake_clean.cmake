@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdb_io.dir/bench_pdb_io.cpp.o"
+  "CMakeFiles/bench_pdb_io.dir/bench_pdb_io.cpp.o.d"
+  "bench_pdb_io"
+  "bench_pdb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

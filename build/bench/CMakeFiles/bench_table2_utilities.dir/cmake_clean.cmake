@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_utilities.dir/bench_table2_utilities.cpp.o"
+  "CMakeFiles/bench_table2_utilities.dir/bench_table2_utilities.cpp.o.d"
+  "bench_table2_utilities"
+  "bench_table2_utilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_utilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

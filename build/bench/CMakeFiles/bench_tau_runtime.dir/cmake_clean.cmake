@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tau_runtime.dir/bench_tau_runtime.cpp.o"
+  "CMakeFiles/bench_tau_runtime.dir/bench_tau_runtime.cpp.o.d"
+  "bench_tau_runtime"
+  "bench_tau_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tau_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

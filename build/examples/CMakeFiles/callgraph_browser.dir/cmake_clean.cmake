@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callgraph_browser.dir/callgraph_browser.cpp.o"
+  "CMakeFiles/callgraph_browser.dir/callgraph_browser.cpp.o.d"
+  "callgraph_browser"
+  "callgraph_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callgraph_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_profile.dir/expr_profile.cpp.o"
+  "CMakeFiles/expr_profile.dir/expr_profile.cpp.o.d"
+  "expr_profile"
+  "expr_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krylov.dir/krylov.cpp.o"
+  "CMakeFiles/krylov.dir/krylov.cpp.o.d"
+  "krylov"
+  "krylov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krylov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

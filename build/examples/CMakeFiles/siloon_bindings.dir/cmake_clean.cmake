@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloon_bindings.dir/siloon_bindings.cpp.o"
+  "CMakeFiles/siloon_bindings.dir/siloon_bindings.cpp.o.d"
+  "siloon_bindings"
+  "siloon_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloon_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for siloon_bindings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_pdb.dir/stack_pdb.cpp.o"
+  "CMakeFiles/stack_pdb.dir/stack_pdb.cpp.o.d"
+  "stack_pdb"
+  "stack_pdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_pdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lex")
+subdirs("ast")
+subdirs("parse")
+subdirs("sema")
+subdirs("frontend")
+subdirs("pdb")
+subdirs("ilanalyzer")
+subdirs("ductape")
+subdirs("tools")
+subdirs("tau")
+subdirs("siloon")

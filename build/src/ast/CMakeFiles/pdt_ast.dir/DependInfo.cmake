@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/context.cpp" "src/ast/CMakeFiles/pdt_ast.dir/context.cpp.o" "gcc" "src/ast/CMakeFiles/pdt_ast.dir/context.cpp.o.d"
+  "/root/repo/src/ast/decl.cpp" "src/ast/CMakeFiles/pdt_ast.dir/decl.cpp.o" "gcc" "src/ast/CMakeFiles/pdt_ast.dir/decl.cpp.o.d"
+  "/root/repo/src/ast/dump.cpp" "src/ast/CMakeFiles/pdt_ast.dir/dump.cpp.o" "gcc" "src/ast/CMakeFiles/pdt_ast.dir/dump.cpp.o.d"
+  "/root/repo/src/ast/type.cpp" "src/ast/CMakeFiles/pdt_ast.dir/type.cpp.o" "gcc" "src/ast/CMakeFiles/pdt_ast.dir/type.cpp.o.d"
+  "/root/repo/src/ast/walk.cpp" "src/ast/CMakeFiles/pdt_ast.dir/walk.cpp.o" "gcc" "src/ast/CMakeFiles/pdt_ast.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

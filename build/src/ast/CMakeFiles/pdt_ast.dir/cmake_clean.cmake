@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_ast.dir/context.cpp.o"
+  "CMakeFiles/pdt_ast.dir/context.cpp.o.d"
+  "CMakeFiles/pdt_ast.dir/decl.cpp.o"
+  "CMakeFiles/pdt_ast.dir/decl.cpp.o.d"
+  "CMakeFiles/pdt_ast.dir/dump.cpp.o"
+  "CMakeFiles/pdt_ast.dir/dump.cpp.o.d"
+  "CMakeFiles/pdt_ast.dir/type.cpp.o"
+  "CMakeFiles/pdt_ast.dir/type.cpp.o.d"
+  "CMakeFiles/pdt_ast.dir/walk.cpp.o"
+  "CMakeFiles/pdt_ast.dir/walk.cpp.o.d"
+  "libpdt_ast.a"
+  "libpdt_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_ductape.dir/ductape.cpp.o"
+  "CMakeFiles/pdt_ductape.dir/ductape.cpp.o.d"
+  "libpdt_ductape.a"
+  "libpdt_ductape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_ductape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

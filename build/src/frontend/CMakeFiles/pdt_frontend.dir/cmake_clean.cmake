@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_frontend.dir/f90.cpp.o"
+  "CMakeFiles/pdt_frontend.dir/f90.cpp.o.d"
+  "CMakeFiles/pdt_frontend.dir/frontend.cpp.o"
+  "CMakeFiles/pdt_frontend.dir/frontend.cpp.o.d"
+  "CMakeFiles/pdt_frontend.dir/java.cpp.o"
+  "CMakeFiles/pdt_frontend.dir/java.cpp.o.d"
+  "libpdt_frontend.a"
+  "libpdt_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

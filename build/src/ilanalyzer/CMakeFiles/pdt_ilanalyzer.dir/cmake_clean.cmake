@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_ilanalyzer.dir/analyzer.cpp.o"
+  "CMakeFiles/pdt_ilanalyzer.dir/analyzer.cpp.o.d"
+  "libpdt_ilanalyzer.a"
+  "libpdt_ilanalyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_ilanalyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

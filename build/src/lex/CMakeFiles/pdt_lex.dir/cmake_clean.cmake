@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_lex.dir/lexer.cpp.o"
+  "CMakeFiles/pdt_lex.dir/lexer.cpp.o.d"
+  "CMakeFiles/pdt_lex.dir/preprocessor.cpp.o"
+  "CMakeFiles/pdt_lex.dir/preprocessor.cpp.o.d"
+  "libpdt_lex.a"
+  "libpdt_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_parse.dir/parser.cpp.o"
+  "CMakeFiles/pdt_parse.dir/parser.cpp.o.d"
+  "CMakeFiles/pdt_parse.dir/parser_expr.cpp.o"
+  "CMakeFiles/pdt_parse.dir/parser_expr.cpp.o.d"
+  "libpdt_parse.a"
+  "libpdt_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

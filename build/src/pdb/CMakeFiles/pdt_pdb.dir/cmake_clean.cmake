@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_pdb.dir/pdb.cpp.o"
+  "CMakeFiles/pdt_pdb.dir/pdb.cpp.o.d"
+  "CMakeFiles/pdt_pdb.dir/reader.cpp.o"
+  "CMakeFiles/pdt_pdb.dir/reader.cpp.o.d"
+  "CMakeFiles/pdt_pdb.dir/writer.cpp.o"
+  "CMakeFiles/pdt_pdb.dir/writer.cpp.o.d"
+  "libpdt_pdb.a"
+  "libpdt_pdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_pdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

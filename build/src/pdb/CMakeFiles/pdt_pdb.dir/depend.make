@@ -1,0 +1,2 @@
+# Empty dependencies file for pdt_pdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sema/instantiate.cpp" "src/sema/CMakeFiles/pdt_sema.dir/instantiate.cpp.o" "gcc" "src/sema/CMakeFiles/pdt_sema.dir/instantiate.cpp.o.d"
+  "/root/repo/src/sema/resolve.cpp" "src/sema/CMakeFiles/pdt_sema.dir/resolve.cpp.o" "gcc" "src/sema/CMakeFiles/pdt_sema.dir/resolve.cpp.o.d"
+  "/root/repo/src/sema/sema.cpp" "src/sema/CMakeFiles/pdt_sema.dir/sema.cpp.o" "gcc" "src/sema/CMakeFiles/pdt_sema.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/pdt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

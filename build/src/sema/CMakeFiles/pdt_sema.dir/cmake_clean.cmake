@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_sema.dir/instantiate.cpp.o"
+  "CMakeFiles/pdt_sema.dir/instantiate.cpp.o.d"
+  "CMakeFiles/pdt_sema.dir/resolve.cpp.o"
+  "CMakeFiles/pdt_sema.dir/resolve.cpp.o.d"
+  "CMakeFiles/pdt_sema.dir/sema.cpp.o"
+  "CMakeFiles/pdt_sema.dir/sema.cpp.o.d"
+  "libpdt_sema.a"
+  "libpdt_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

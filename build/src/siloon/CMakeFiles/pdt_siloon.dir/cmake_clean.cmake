@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_siloon.dir/siloon.cpp.o"
+  "CMakeFiles/pdt_siloon.dir/siloon.cpp.o.d"
+  "libpdt_siloon.a"
+  "libpdt_siloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_siloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloon_gen.dir/siloon_gen_main.cpp.o"
+  "CMakeFiles/siloon_gen.dir/siloon_gen_main.cpp.o.d"
+  "siloon_gen"
+  "siloon_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloon_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/pdt_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/pdt_support.dir/source_manager.cpp.o"
+  "CMakeFiles/pdt_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/pdt_support.dir/text.cpp.o"
+  "CMakeFiles/pdt_support.dir/text.cpp.o.d"
+  "libpdt_support.a"
+  "libpdt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_tau.dir/instrumentor.cpp.o"
+  "CMakeFiles/pdt_tau.dir/instrumentor.cpp.o.d"
+  "CMakeFiles/pdt_tau.dir/profile.cpp.o"
+  "CMakeFiles/pdt_tau.dir/profile.cpp.o.d"
+  "libpdt_tau.a"
+  "libpdt_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

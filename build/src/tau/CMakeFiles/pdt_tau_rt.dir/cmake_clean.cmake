@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_tau_rt.dir/__/__/runtime/tau/tau_runtime.cpp.o"
+  "CMakeFiles/pdt_tau_rt.dir/__/__/runtime/tau/tau_runtime.cpp.o.d"
+  "libpdt_tau_rt.a"
+  "libpdt_tau_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_tau_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tau_instr.dir/tau_instr_main.cpp.o"
+  "CMakeFiles/tau_instr.dir/tau_instr_main.cpp.o.d"
+  "tau_instr"
+  "tau_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tau_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tau_instr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxxparse.dir/cxxparse_main.cpp.o"
+  "CMakeFiles/cxxparse.dir/cxxparse_main.cpp.o.d"
+  "cxxparse"
+  "cxxparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxxparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cxxparse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdbconv.dir/pdbconv_main.cpp.o"
+  "CMakeFiles/pdbconv.dir/pdbconv_main.cpp.o.d"
+  "pdbconv"
+  "pdbconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdbconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdbhtml.dir/pdbhtml_main.cpp.o"
+  "CMakeFiles/pdbhtml.dir/pdbhtml_main.cpp.o.d"
+  "pdbhtml"
+  "pdbhtml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdbhtml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

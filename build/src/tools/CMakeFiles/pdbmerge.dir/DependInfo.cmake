@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/pdbmerge_main.cpp" "src/tools/CMakeFiles/pdbmerge.dir/pdbmerge_main.cpp.o" "gcc" "src/tools/CMakeFiles/pdbmerge.dir/pdbmerge_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/pdt_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/ductape/CMakeFiles/pdt_ductape.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdb/CMakeFiles/pdt_pdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdbmerge.dir/pdbmerge_main.cpp.o"
+  "CMakeFiles/pdbmerge.dir/pdbmerge_main.cpp.o.d"
+  "pdbmerge"
+  "pdbmerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdbmerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdbtree.dir/pdbtree_main.cpp.o"
+  "CMakeFiles/pdbtree.dir/pdbtree_main.cpp.o.d"
+  "pdbtree"
+  "pdbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

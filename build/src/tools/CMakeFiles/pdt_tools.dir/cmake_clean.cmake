@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_tools.dir/tools.cpp.o"
+  "CMakeFiles/pdt_tools.dir/tools.cpp.o.d"
+  "libpdt_tools.a"
+  "libpdt_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lex")
+subdirs("parse")
+subdirs("sema")
+subdirs("pdb")
+subdirs("ilanalyzer")
+subdirs("integration")
+subdirs("ductape")
+subdirs("tools")
+subdirs("tau")
+subdirs("siloon")
+subdirs("frontend")
+subdirs("ast")

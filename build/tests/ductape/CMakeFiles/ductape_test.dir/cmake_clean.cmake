@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ductape_test.dir/ductape_test.cpp.o"
+  "CMakeFiles/ductape_test.dir/ductape_test.cpp.o.d"
+  "ductape_test"
+  "ductape_test.pdb"
+  "ductape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ductape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

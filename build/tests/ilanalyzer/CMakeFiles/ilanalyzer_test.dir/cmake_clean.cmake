@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilanalyzer_test.dir/analyzer_test.cpp.o"
+  "CMakeFiles/ilanalyzer_test.dir/analyzer_test.cpp.o.d"
+  "ilanalyzer_test"
+  "ilanalyzer_test.pdb"
+  "ilanalyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilanalyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

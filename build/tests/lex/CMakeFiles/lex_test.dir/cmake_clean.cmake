@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lex_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/lex_test.dir/lexer_test.cpp.o.d"
+  "CMakeFiles/lex_test.dir/preprocessor_test.cpp.o"
+  "CMakeFiles/lex_test.dir/preprocessor_test.cpp.o.d"
+  "lex_test"
+  "lex_test.pdb"
+  "lex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdb_test.dir/pdb_io_test.cpp.o"
+  "CMakeFiles/pdb_test.dir/pdb_io_test.cpp.o.d"
+  "pdb_test"
+  "pdb_test.pdb"
+  "pdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloon_test.dir/siloon_test.cpp.o"
+  "CMakeFiles/siloon_test.dir/siloon_test.cpp.o.d"
+  "siloon_test"
+  "siloon_test.pdb"
+  "siloon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

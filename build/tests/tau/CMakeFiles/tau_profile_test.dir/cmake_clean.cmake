@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tau_profile_test.dir/profile_test.cpp.o"
+  "CMakeFiles/tau_profile_test.dir/profile_test.cpp.o.d"
+  "tau_profile_test"
+  "tau_profile_test.pdb"
+  "tau_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tau_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

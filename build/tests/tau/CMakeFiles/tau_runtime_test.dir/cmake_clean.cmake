@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tau_runtime_test.dir/runtime_test.cpp.o"
+  "CMakeFiles/tau_runtime_test.dir/runtime_test.cpp.o.d"
+  "tau_runtime_test"
+  "tau_runtime_test.pdb"
+  "tau_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tau_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

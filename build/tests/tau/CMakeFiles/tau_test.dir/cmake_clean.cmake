@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tau_test.dir/instrumentor_test.cpp.o"
+  "CMakeFiles/tau_test.dir/instrumentor_test.cpp.o.d"
+  "tau_test"
+  "tau_test.pdb"
+  "tau_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

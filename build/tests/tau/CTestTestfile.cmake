@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tau
+# Build directory: /root/repo/build/tests/tau
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tau/tau_test[1]_include.cmake")
+include("/root/repo/build/tests/tau/tau_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/tau/tau_profile_test[1]_include.cmake")
