@@ -83,4 +83,5 @@ BENCHMARK(BM_PdbhtmlRender)->Arg(50);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

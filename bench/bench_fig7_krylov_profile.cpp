@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "ductape/ductape.h"
+#include "bench/bench_json.h"
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
 #include "pdt/pdt_paths.h"
@@ -37,7 +38,10 @@ double timeCommand(const std::string& cmd, int repeats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const pdt::benchutil::PlainBenchTimer bench_timer(
+      argv[0] != nullptr ? argv[0] : "bench",
+      pdt::benchutil::extractJsonPath(argc, argv));
   const std::string input_dir = std::string(pdt::paths::kInputDir) + "/pooma_mini";
   const std::string stl_dir = std::string(pdt::paths::kRuntimeDir) + "/pdt_stl";
   const std::string tau_dir = std::string(pdt::paths::kRuntimeDir) + "/tau";

@@ -85,4 +85,5 @@ BENCHMARK(BM_PdbTextSize)->Arg(10)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

@@ -100,4 +100,5 @@ BENCHMARK(BM_RepeatedInstantiationIsCached)->Arg(10)->Arg(100)->Arg(400);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

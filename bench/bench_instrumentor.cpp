@@ -69,4 +69,5 @@ BENCHMARK(BM_SiloonMangle);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

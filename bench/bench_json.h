@@ -1,0 +1,104 @@
+// JSON summary output shared by every bench_* binary: records are written
+// as an array of {"name", "iters", "ns_per_op"} objects when --json <path>
+// is passed. This header is dependency-free so the PLAIN table/figure
+// benches can use it too; the google-benchmark binaries layer a collecting
+// reporter on top (bench_main.h).
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace pdt::benchutil {
+
+struct JsonRecord {
+  std::string name;
+  long long iters = 0;
+  double ns_per_op = 0.0;
+};
+
+inline std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+inline bool writeJson(const std::string& path,
+                      const std::vector<JsonRecord>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write '" << path << "'\n";
+    return false;
+  }
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    os << "  {\"name\": \"" << jsonEscape(records[i].name)
+       << "\", \"iters\": " << records[i].iters
+       << ", \"ns_per_op\": " << records[i].ns_per_op << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.good();
+}
+
+/// Consumes --json/--json=<path> from argv and returns the path (empty if
+/// absent). The remaining argv is compacted in place.
+inline std::string extractJsonPath(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+/// Wall-clock scope timer for the PLAIN benches: measures main's body and
+/// writes a single {name, iters: 1, ns_per_op} record on destruction.
+class PlainBenchTimer {
+ public:
+  PlainBenchTimer(std::string name, std::string json_path)
+      : name_(std::move(name)),
+        json_path_(std::move(json_path)),
+        start_(std::chrono::steady_clock::now()) {
+    // argv[0] may be a path; keep just the binary name.
+    if (const auto slash = name_.find_last_of('/'); slash != std::string::npos)
+      name_ = name_.substr(slash + 1);
+  }
+
+  ~PlainBenchTimer() {
+    if (json_path_.empty()) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    JsonRecord record;
+    record.name = name_;
+    record.iters = 1;
+    record.ns_per_op = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    writeJson(json_path_, {record});
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pdt::benchutil

@@ -63,4 +63,5 @@ BENCHMARK(BM_PreprocessMacroHeavy)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

@@ -1,0 +1,58 @@
+// Shared main() for the google-benchmark binaries: every bench accepts
+//   --json <path>   (or --json=<path>)
+// and writes a machine-readable summary of the per-iteration runs as a
+// JSON array of {"name", "iters", "ns_per_op"} objects alongside the
+// normal console output. BENCH_pr*.json snapshots in the repo root are
+// produced this way.
+//
+// Include this header after the BENCHMARK() registrations and invoke
+// PDT_BENCH_MAIN() instead of BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+
+namespace pdt::benchutil {
+
+/// Console reporter that additionally collects per-iteration run records
+/// (aggregates and errored runs are skipped) for the --json output.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      JsonRecord record;
+      record.name = run.benchmark_name();
+      record.iters = static_cast<long long>(run.iterations);
+      if (run.iterations > 0) {
+        record.ns_per_op = run.real_accumulated_time * 1e9 /
+                           static_cast<double>(run.iterations);
+      }
+      records.push_back(std::move(record));
+    }
+  }
+
+  std::vector<JsonRecord> records;
+};
+
+inline int benchMain(int argc, char** argv) {
+  const std::string json_path = extractJsonPath(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() && !writeJson(json_path, reporter.records)) return 1;
+  return 0;
+}
+
+}  // namespace pdt::benchutil
+
+#define PDT_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                        \
+    return pdt::benchutil::benchMain(argc, argv);          \
+  }

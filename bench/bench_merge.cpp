@@ -62,4 +62,5 @@ BENCHMARK(BM_MergeUnits)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

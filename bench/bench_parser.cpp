@@ -74,4 +74,5 @@ BENCHMARK(BM_CompileKrylovExample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

@@ -76,4 +76,5 @@ BENCHMARK(BM_RoundTrip)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

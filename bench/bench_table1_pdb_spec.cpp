@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
 #include "pdb/writer.h"
@@ -85,7 +86,10 @@ namespace alias_u = util;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const pdt::benchutil::PlainBenchTimer bench_timer(
+      argv[0] != nullptr ? argv[0] : "bench",
+      pdt::benchutil::extractJsonPath(argc, argv));
   pdt::SourceManager sm;
   sm.addVirtualFile("cover.h", "int covered;\n");
   pdt::DiagnosticEngine diags;

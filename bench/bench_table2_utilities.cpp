@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench/bench_json.h"
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
 #include "pdt/pdt_paths.h"
@@ -45,7 +46,10 @@ void report(const char* util, const char* functionality, bool ok) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const pdt::benchutil::PlainBenchTimer bench_timer(
+      argv[0] != nullptr ? argv[0] : "bench",
+      pdt::benchutil::extractJsonPath(argc, argv));
   std::cout << "Table 2: DUCTAPE Utilities\n";
   std::cout << "==========================\n\n";
 

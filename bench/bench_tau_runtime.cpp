@@ -91,4 +91,5 @@ BENCHMARK(BM_NestedProfiledScopes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

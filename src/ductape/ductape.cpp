@@ -31,7 +31,7 @@ PDB PDB::fromPdbFile(const pdb::PdbFile& file) {
   PDB out;
   out.raw_ = file;
   out.raw_.reindex();
-  out.build();
+  out.graph_dirty_ = true;
   return out;
 }
 
@@ -47,7 +47,7 @@ PDB PDB::read(const std::string& path) {
     return out;
   }
   out.raw_ = std::move(result->pdb);
-  out.build();
+  out.graph_dirty_ = true;
   return out;
 }
 
@@ -56,6 +56,14 @@ bool PDB::write(const std::string& path) const {
 }
 
 void PDB::write(std::ostream& os) const { pdb::write(raw_, os); }
+
+void PDB::ensureBuilt() const {
+  if (!graph_dirty_) return;
+  // Logically-const lazy construction; instances are single-thread-confined.
+  auto* self = const_cast<PDB*>(this);
+  self->build();
+  self->graph_dirty_ = false;
+}
 
 void PDB::build() {
   file_storage_.clear();
@@ -135,7 +143,7 @@ void PDB::build() {
     l.col_ = static_cast<int>(pos.column);
     return l;
   };
-  const auto access = [](const std::string& a) {
+  const auto access = [](std::string_view a) {
     if (a == "pub") return pdbItem::AC_PUB;
     if (a == "prot") return pdbItem::AC_PROT;
     if (a == "priv") return pdbItem::AC_PRIV;
@@ -198,7 +206,7 @@ void PDB::build() {
       obj->referenced_ = typeOf(*t.ref);
       obj->referenced_class_ = classOf(*t.ref);
     }
-    for (const std::string& q : t.qualifiers) {
+    for (const std::string_view q : t.qualifiers) {
       if (q == "const") obj->is_const_ = true;
       if (q == "volatile") obj->is_volatile_ = true;
     }
@@ -356,6 +364,7 @@ void PDB::build() {
 // ---------------------------------------------------------------------------
 
 PDB::itemvec PDB::getItemVec() const {
+  ensureBuilt();
   itemvec out;
   out.reserve(files_.size() + routines_.size() + classes_.size() + types_.size() +
               templates_.size() + namespaces_.size() + macros_.size());
@@ -370,6 +379,7 @@ PDB::itemvec PDB::getItemVec() const {
 }
 
 PDB::filevec PDB::getIncludeTreeRoots() const {
+  ensureBuilt();
   std::unordered_set<const pdbFile*> included;
   for (const pdbFile* f : files_) {
     for (const pdbFile* inc : f->includes()) included.insert(inc);
@@ -382,6 +392,7 @@ PDB::filevec PDB::getIncludeTreeRoots() const {
 }
 
 PDB::routinevec PDB::getCallTreeRoots() const {
+  ensureBuilt();
   routinevec roots;
   for (const pdbRoutine* r : routines_) {
     if (r->callers().empty()) roots.push_back(r);
@@ -390,6 +401,7 @@ PDB::routinevec PDB::getCallTreeRoots() const {
 }
 
 PDB::classvec PDB::getClassHierarchyRoots() const {
+  ensureBuilt();
   classvec roots;
   for (const pdbClass* c : classes_) {
     if (c->baseClasses().empty()) roots.push_back(c);
@@ -413,10 +425,25 @@ std::string posKey(const pdb::PdbFile& owner, const pdb::Pos& pos) {
          std::to_string(pos.column);
 }
 
-std::string typeKey(const pdb::TypeItem& t) { return t.kind + "|" + t.name; }
+/// Joins key parts with '|' in one allocation (parts may be string_views).
+template <typename... Parts>
+std::string joinKey(const Parts&... parts) {
+  std::string key;
+  key.reserve((std::string_view(parts).size() + ...) + sizeof...(parts));
+  bool first = true;
+  const auto append = [&](std::string_view part) {
+    if (!first) key.push_back('|');
+    first = false;
+    key.append(part);
+  };
+  (append(parts), ...);
+  return key;
+}
+
+std::string typeKey(const pdb::TypeItem& t) { return joinKey(t.kind, t.name); }
 
 std::string templateKey(const pdb::PdbFile& owner, const pdb::TemplateItem& t) {
-  return t.kind + "|" + t.name + "|" + posKey(owner, t.location);
+  return joinKey(t.kind, t.name, posKey(owner, t.location));
 }
 
 std::string classKey(const pdb::ClassItem& c) { return c.name; }
@@ -437,7 +464,7 @@ std::string routineKey(const pdb::PdbFile& owner, const pdb::RoutineItem& r) {
 std::string namespaceKey(const pdb::NamespaceItem& n) { return n.name; }
 
 std::string macroKey(const pdb::MacroItem& m) {
-  return m.kind + "|" + m.name + "|" + m.text;
+  return joinKey(m.kind, m.name, m.text);
 }
 
 }  // namespace
@@ -475,30 +502,37 @@ void PDB::merge(const PDB& other) {
     }
     pdb::SourceFileItem copy = f;
     copy.id = 0;
+    // The include list still holds ids from `theirs`; drop it so the fixup
+    // pass below rebuilds it from remapped ids. Keeping it would union
+    // remapped ids onto stale ones whenever the id spaces differ (as they
+    // do for the intermediates of the tree-reduction pdbmerge).
+    copy.includes.clear();
     const std::uint32_t id = raw_.addSourceFile(std::move(copy));
     file_map[f.id] = id;
     my_files.emplace(fileKey(f), id);
   }
   // Fix include lists of newly added files and union those of duplicates.
+  // Indexed by id up front — scanning raw_.sourceFiles() per input file made
+  // this quadratic in the number of files.
+  std::unordered_map<std::uint32_t, std::size_t> mine_file_at;
+  mine_file_at.reserve(raw_.sourceFiles().size());
+  for (std::size_t i = 0; i < raw_.sourceFiles().size(); ++i)
+    mine_file_at.emplace(raw_.sourceFiles()[i].id, i);
   for (const auto& f : theirs.sourceFiles()) {
-    const std::uint32_t merged_id = file_map.at(f.id);
-    for (auto& mine : raw_.sourceFiles()) {
-      if (mine.id != merged_id) continue;
-      std::vector<std::uint32_t> remapped;
-      for (const std::uint32_t inc : f.includes) {
-        if (const auto it = file_map.find(inc); it != file_map.end())
-          remapped.push_back(it->second);
+    auto& mine = raw_.sourceFiles()[mine_file_at.at(file_map.at(f.id))];
+    std::vector<std::uint32_t> remapped;
+    for (const std::uint32_t inc : f.includes) {
+      if (const auto it = file_map.find(inc); it != file_map.end())
+        remapped.push_back(it->second);
+    }
+    if (mine.includes.empty()) {
+      mine.includes = std::move(remapped);
+    } else {
+      for (const std::uint32_t inc : remapped) {
+        if (std::find(mine.includes.begin(), mine.includes.end(), inc) ==
+            mine.includes.end())
+          mine.includes.push_back(inc);
       }
-      if (mine.includes.empty()) {
-        mine.includes = std::move(remapped);
-      } else {
-        for (const std::uint32_t inc : remapped) {
-          if (std::find(mine.includes.begin(), mine.includes.end(), inc) ==
-              mine.includes.end())
-            mine.includes.push_back(inc);
-        }
-      }
-      break;
     }
   }
 
@@ -694,20 +728,23 @@ void PDB::merge(const PDB& other) {
     for (auto& m : n.members) remapRef(m);
   }
   // Union member lists of namespaces that merged with existing ones.
-  for (auto& [ns_id, members] : namespace_member_appends) {
-    for (auto& n : raw_.namespaces()) {
-      if (n.id != ns_id) continue;
+  if (!namespace_member_appends.empty()) {
+    std::unordered_map<std::uint32_t, std::size_t> mine_ns_at;
+    mine_ns_at.reserve(raw_.namespaces().size());
+    for (std::size_t i = 0; i < raw_.namespaces().size(); ++i)
+      mine_ns_at.emplace(raw_.namespaces()[i].id, i);
+    for (auto& [ns_id, members] : namespace_member_appends) {
+      auto& n = raw_.namespaces()[mine_ns_at.at(ns_id)];
       for (pdb::ItemRef m : members) {
         remapRef(m);
         if (std::find(n.members.begin(), n.members.end(), m) == n.members.end())
           n.members.push_back(m);
       }
-      break;
     }
   }
 
   raw_.reindex();
-  build();  // rebuild the object graph over the merged database
+  graph_dirty_ = true;  // object graph rebuilt lazily at the next accessor
 }
 
 }  // namespace pdt::ductape

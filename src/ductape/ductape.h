@@ -451,18 +451,25 @@ class PDB {
 
   /// Merges `other` into this database, renumbering ids and eliminating
   /// duplicate template instantiations (paper Table 2, pdbmerge).
+  ///
+  /// The object graph is rebuilt lazily: a chain of merges (cxxparse over
+  /// many TUs, pdbmerge's reduction tree) pays for one graph construction
+  /// at the first accessor call instead of one per merge. Pointers obtained
+  /// from the accessor vectors before a merge are invalidated by it, as
+  /// before. A PDB object is not internally synchronized — confine each
+  /// instance to one thread at a time (the parallel pipeline does).
   void merge(const PDB& other);
 
   [[nodiscard]] bool valid() const { return error_.empty(); }
   [[nodiscard]] const std::string& errorMessage() const { return error_; }
 
-  [[nodiscard]] const filevec& getFileVec() const { return files_; }
-  [[nodiscard]] const routinevec& getRoutineVec() const { return routines_; }
-  [[nodiscard]] const classvec& getClassVec() const { return classes_; }
-  [[nodiscard]] const typevec& getTypeVec() const { return types_; }
-  [[nodiscard]] const templatevec& getTemplateVec() const { return templates_; }
-  [[nodiscard]] const namespacevec& getNamespaceVec() const { return namespaces_; }
-  [[nodiscard]] const macrovec& getMacroVec() const { return macros_; }
+  [[nodiscard]] const filevec& getFileVec() const { ensureBuilt(); return files_; }
+  [[nodiscard]] const routinevec& getRoutineVec() const { ensureBuilt(); return routines_; }
+  [[nodiscard]] const classvec& getClassVec() const { ensureBuilt(); return classes_; }
+  [[nodiscard]] const typevec& getTypeVec() const { ensureBuilt(); return types_; }
+  [[nodiscard]] const templatevec& getTemplateVec() const { ensureBuilt(); return templates_; }
+  [[nodiscard]] const namespacevec& getNamespaceVec() const { ensureBuilt(); return namespaces_; }
+  [[nodiscard]] const macrovec& getMacroVec() const { ensureBuilt(); return macros_; }
   /// Every item in the database (paper: "a list of all items contained").
   [[nodiscard]] itemvec getItemVec() const;
 
@@ -478,9 +485,11 @@ class PDB {
 
  private:
   void build();  // constructs the object graph from raw_
+  void ensureBuilt() const;  // lazy rebuild after merge/load
 
   pdb::PdbFile raw_;
   std::string error_;
+  mutable bool graph_dirty_ = false;
 
   std::vector<std::unique_ptr<pdbFile>> file_storage_;
   std::vector<std::unique_ptr<pdbRoutine>> routine_storage_;

@@ -120,7 +120,7 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
       // Method: "[modifiers] ReturnType name(args) {" — or, ending in
       // ';', an abstract/interface method declaration.
       std::size_t m = 0;
-      std::string access = "NA";
+      std::string_view access = "NA";
       bool is_static = false;
       bool is_abstract = false;
       while (m < ws.size() && isModifier(ws[m])) {
@@ -171,7 +171,7 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
                trimmed.find('(') == std::string_view::npos) {
       // Field declaration: "[modifiers] Type name [= init];".
       std::size_t m = 0;
-      std::string access = "NA";
+      std::string_view access = "NA";
       while (m < ws.size() && isModifier(ws[m])) {
         if (ws[m] == "public") access = "pub";
         if (ws[m] == "private") access = "priv";

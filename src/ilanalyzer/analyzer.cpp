@@ -1,12 +1,35 @@
 #include "ilanalyzer/analyzer.h"
 
+#include <algorithm>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "ast/walk.h"
 
 namespace pdt::ilanalyzer {
 
 using namespace ast;
+
+namespace {
+
+/// Snapshots a decl -> id map ordered by id. The emit passes must not
+/// iterate the unordered_map directly: its order depends on pointer
+/// hashes (i.e. heap addresses), and emission creates referenced type
+/// items on demand, so hash-order iteration makes the PDB output vary
+/// with allocator state — in particular between the main thread and the
+/// worker threads of the parallel driver. Ids were assigned by the
+/// deterministic collect* AST traversals, so id order is stable.
+template <typename K>
+std::vector<std::pair<K, std::uint32_t>> byId(
+    const std::unordered_map<K, std::uint32_t>& map) {
+  std::vector<std::pair<K, std::uint32_t>> items(map.begin(), map.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return items;
+}
+
+}  // namespace
 
 IlAnalyzer::IlAnalyzer(const frontend::CompileResult& result,
                        const SourceManager& sm, AnalyzerOptions options)
@@ -141,7 +164,7 @@ std::uint32_t IlAnalyzer::typeId(const Type* type) {
         case BuiltinKind::LongDouble: item.kind = "float"; break;
         default: item.kind = "int"; break;
       }
-      item.ikind = std::string(toString(b->builtin()));
+      item.ikind = toString(b->builtin());
       break;
     }
     case TypeKind::Pointer:
@@ -338,16 +361,16 @@ void IlAnalyzer::emitTemplates() {
   std::unordered_map<std::uint32_t, std::size_t> index;
   for (std::size_t i = 0; i < out_.templates().size(); ++i)
     index[out_.templates()[i].id] = i;
-  for (const auto& [decl, id] : template_ids_) {
+  for (const auto& [decl, id] : byId(template_ids_)) {
     const auto* td = decl->as<TemplateDecl>();
     {
       pdb::TemplateItem& item = out_.templates()[index.at(id)];
       item.location = pos(td->location());
-      item.kind = std::string(toString(td->tkind));
+      item.kind = toString(td->tkind);
       item.text = td->text;
       item.parent = parentRef(td);
       if (td->access() != AccessKind::None)
-        item.access = std::string(toString(td->access()));
+        item.access = toString(td->access());
       item.extent = extent(td);
     }
   }
@@ -357,15 +380,15 @@ void IlAnalyzer::emitClasses() {
   std::unordered_map<std::uint32_t, std::size_t> index;
   for (std::size_t i = 0; i < out_.classes().size(); ++i)
     index[out_.classes()[i].id] = i;
-  for (const auto& [decl, id] : class_ids_) {
+  for (const auto& [decl, id] : byId(class_ids_)) {
     const auto* cls = decl->as<ClassDecl>();
     {
       pdb::ClassItem& item = out_.classes()[index.at(id)];
       item.location = pos(cls->location());
-      item.kind = std::string(toString(cls->tag));
+      item.kind = toString(cls->tag);
       item.parent = parentRef(cls);
       if (cls->access() != AccessKind::None)
-        item.access = std::string(toString(cls->access()));
+        item.access = toString(cls->access());
       item.is_specialization = cls->is_specialization;
       if (const auto origin =
               templateOrigin(cls->instantiated_from, cls->location())) {
@@ -377,7 +400,7 @@ void IlAnalyzer::emitClasses() {
         if (it == class_ids_.end()) continue;
         pdb::ClassItem::Base b;
         b.cls = it->second;
-        b.access = std::string(toString(base.access));
+        b.access = toString(base.access);
         b.is_virtual = base.is_virtual;
         item.bases.push_back(std::move(b));
       }
@@ -403,7 +426,7 @@ void IlAnalyzer::emitClasses() {
           pdb::ClassItem::Member m;
           m.name = var->name();
           m.location = pos(var->location());
-          m.access = std::string(toString(var->access()));
+          m.access = toString(var->access());
           m.kind = "var";
           m.type = typeRef(var->type);
           item.members.push_back(std::move(m));
@@ -411,7 +434,7 @@ void IlAnalyzer::emitClasses() {
           pdb::ClassItem::Member m;
           m.name = tdf->name();
           m.location = pos(tdf->location());
-          m.access = std::string(toString(tdf->access()));
+          m.access = toString(tdf->access());
           m.kind = "type";
           m.type = typeRef(tdf->underlying);
           item.members.push_back(std::move(m));
@@ -426,14 +449,14 @@ void IlAnalyzer::emitRoutines() {
   std::unordered_map<std::uint32_t, std::size_t> index;
   for (std::size_t i = 0; i < out_.routines().size(); ++i)
     index[out_.routines()[i].id] = i;
-  for (const auto& [decl, id] : routine_ids_) {
+  for (const auto& [decl, id] : byId(routine_ids_)) {
     const auto* fn = decl->as<FunctionDecl>();
     {
       pdb::RoutineItem& item = out_.routines()[index.at(id)];
       item.location = pos(fn->location());
       item.parent = parentRef(fn);
       if (fn->access() != AccessKind::None)
-        item.access = std::string(toString(fn->access()));
+        item.access = toString(fn->access());
       item.signature = typeId(fn->signature);
       item.linkage = fn->linkage == Linkage::C ? "C" : "C++";
       item.storage = fn->storage == StorageClass::Static
@@ -541,7 +564,7 @@ void IlAnalyzer::emitNamespaces() {
   std::unordered_map<std::uint32_t, std::size_t> index;
   for (std::size_t i = 0; i < out_.namespaces().size(); ++i)
     index[out_.namespaces()[i].id] = i;
-  for (const auto& [decl, id] : namespace_ids_) {
+  for (const auto& [decl, id] : byId(namespace_ids_)) {
     {
       pdb::NamespaceItem& item = out_.namespaces()[index.at(id)];
       item.location = pos(decl->location());

@@ -9,8 +9,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "support/interner.h"
 
 namespace pdt::pdb {
 
@@ -59,17 +62,23 @@ struct SourceFileItem {
   bool system = false;
 };
 
+// Enum-like attribute fields (access, linkage, kind, ...) are string_views
+// over storage that outlives every PdbFile: either string literals (the
+// analyzer/frontends assign from fixed vocabularies) or the process-wide
+// intern table (the reader routes parsed tokens through PdbFile::intern).
+// This keeps items cheap to copy and lets merged databases share storage.
+
 struct RoutineItem {
   std::uint32_t id = 0;
   std::string name;
   Pos location;
   std::optional<ItemRef> parent;  // cl or na
-  std::string access = "NA";      // pub/prot/priv/NA
-  std::uint32_t signature = 0;    // ty id
-  std::string linkage = "C++";
-  std::string storage = "NA";
-  std::string virtuality = "no";  // no/virt/pure
-  std::string kind = "routine";   // routine/ctor/dtor/conv/op
+  std::string_view access = "NA";  // pub/prot/priv/NA
+  std::uint32_t signature = 0;     // ty id
+  std::string_view linkage = "C++";
+  std::string_view storage = "NA";
+  std::string_view virtuality = "no";  // no/virt/pure
+  std::string_view kind = "routine";   // routine/ctor/dtor/conv/op
   std::optional<std::uint32_t> template_id;  // te id (instantiations)
   bool is_specialization = false;
   bool is_static = false;
@@ -91,14 +100,14 @@ struct ClassItem {
   std::string name;
   Pos location;
   std::optional<ItemRef> parent;
-  std::string access = "NA";
-  std::string kind = "class";  // class/struct/union
+  std::string_view access = "NA";
+  std::string_view kind = "class";  // class/struct/union
   std::optional<std::uint32_t> template_id;  // te id
   bool is_specialization = false;
 
   struct Base {
     std::uint32_t cls = 0;  // cl id
-    std::string access = "pub";
+    std::string_view access = "pub";
     bool is_virtual = false;
   };
   std::vector<Base> bases;
@@ -119,8 +128,8 @@ struct ClassItem {
   struct Member {
     std::string name;
     Pos location;
-    std::string access = "pub";
-    std::string kind = "var";  // var/type
+    std::string_view access = "pub";
+    std::string_view kind = "var";  // var/type
     ItemRef type;
   };
   std::vector<Member> members;
@@ -130,10 +139,10 @@ struct ClassItem {
 struct TypeItem {
   std::uint32_t id = 0;
   std::string name;  // C++ spelling
-  std::string kind;  // ykind: bool/char/int/.../ptr/ref/tref/func/enum/array/tparam
-  std::string ikind;  // builtin detail (yikind)
+  std::string_view kind;  // ykind: bool/char/int/.../ptr/ref/tref/func/enum/array/tparam
+  std::string_view ikind;  // builtin detail (yikind)
   std::optional<ItemRef> ref;     // pointee/referee/qualified base/element
-  std::vector<std::string> qualifiers;  // const/volatile (tref, memfn const)
+  std::vector<std::string_view> qualifiers;  // const/volatile (tref, memfn const)
   std::optional<ItemRef> return_type;
   std::vector<ItemRef> params;
   bool has_ellipsis = false;
@@ -149,8 +158,8 @@ struct TemplateItem {
   std::string name;
   Pos location;
   std::optional<ItemRef> parent;
-  std::string access = "NA";
-  std::string kind = "class";  // class/func/memfunc/statmem
+  std::string_view access = "NA";
+  std::string_view kind = "class";  // class/func/memfunc/statmem
   std::string text;
   Extent extent;
 };
@@ -167,7 +176,7 @@ struct MacroItem {
   std::uint32_t id = 0;
   std::string name;
   Pos location;
-  std::string kind = "def";  // def/undef
+  std::string_view kind = "def";  // def/undef
   std::string text;
 };
 
@@ -176,6 +185,12 @@ struct MacroItem {
 class PdbFile {
  public:
   static constexpr std::string_view kVersion = "1.0";
+
+  /// Interned-string table for attribute values: returns a view that stays
+  /// valid for the life of the process (shared across all databases).
+  static std::string_view intern(std::string_view text) {
+    return internString(text);
+  }
 
   std::uint32_t addSourceFile(SourceFileItem item);
   std::uint32_t addRoutine(RoutineItem item);

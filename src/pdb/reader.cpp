@@ -1,5 +1,6 @@
 #include "pdb/reader.h"
 
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <sstream>
@@ -10,16 +11,22 @@ namespace pdt::pdb {
 namespace {
 
 /// Cursor over the whitespace-separated fields of one attribute line.
+/// Tokenizes lazily in place — no per-line vector, no per-field string.
 class Fields {
  public:
-  explicit Fields(std::string_view line) : fields_(splitWhitespace(line)) {}
+  explicit Fields(std::string_view line) : text_(line) {}
 
-  [[nodiscard]] bool empty() const { return pos_ >= fields_.size(); }
-  [[nodiscard]] std::size_t remaining() const { return fields_.size() - pos_; }
+  [[nodiscard]] bool empty() const {
+    skipSpace();
+    return pos_ >= text_.size();
+  }
 
   std::optional<std::string_view> next() {
-    if (empty()) return std::nullopt;
-    return fields_[pos_++];
+    skipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !isSpace(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
   }
 
   std::optional<ItemRef> nextRef() {
@@ -33,10 +40,12 @@ class Fields {
     return ItemRef{*kind, id};
   }
 
-  /// Next field as a string; empty when exhausted (malformed input).
-  std::string nextString() {
+  /// Next field as a stable interned view; empty when exhausted (malformed
+  /// input). Use for the bounded attribute vocabulary (access, kind, ...);
+  /// the returned view outlives the parse buffer.
+  std::string_view nextInterned() {
     const auto f = next();
-    return f ? std::string(*f) : std::string();
+    return f ? PdbFile::intern(*f) : std::string_view{};
   }
 
   std::optional<std::uint32_t> nextUint() {
@@ -47,8 +56,8 @@ class Fields {
   }
 
   std::optional<Pos> nextPos() {
-    if (remaining() < 3) return std::nullopt;
     const auto f = next();
+    if (!f) return std::nullopt;
     Pos pos;
     if (*f != "NULL") {
       const auto hash = f->find('#');
@@ -65,23 +74,33 @@ class Fields {
   }
 
  private:
-  std::vector<std::string_view> fields_;
-  std::size_t pos_ = 0;
+  static bool isSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+           c == '\f';
+  }
+  void skipSpace() const {
+    while (pos_ < text_.size() && isSpace(text_[pos_])) ++pos_;
+  }
+
+  std::string_view text_;
+  mutable std::size_t pos_ = 0;
 };
 
+/// Parses the whole database out of one contiguous buffer. Lines are
+/// sliced with find('\n') — the buffer is read exactly once and the only
+/// allocations left are the item vectors and genuinely unique names.
 class Reader {
  public:
-  explicit Reader(std::istream& is) : is_(is) {}
+  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
 
   ReadResult run() {
-    std::string line;
-    if (!std::getline(is_, line) || trim(line) != "<PDB 1.0>") {
+    if (trim(nextLine()) != "<PDB 1.0>") {
       error("missing or malformed <PDB 1.0> header");
       return std::move(result_);
     }
-    while (std::getline(is_, line)) {
+    while (cursor_ < buffer_.size()) {
+      const std::string_view text = trim(nextLine());
       ++line_no_;
-      const std::string_view text = trim(line);
       if (text.empty()) {
         flush();
         continue;
@@ -98,6 +117,17 @@ class Reader {
   }
 
  private:
+  std::string_view nextLine() {
+    const std::size_t start = cursor_;
+    const std::size_t nl = buffer_.find('\n', start);
+    if (nl == std::string_view::npos) {
+      cursor_ = buffer_.size();
+      return buffer_.substr(start);
+    }
+    cursor_ = nl + 1;
+    return buffer_.substr(start, nl - start);
+  }
+
   void error(std::string message) {
     result_.errors.push_back("line " + std::to_string(line_no_) + ": " +
                              std::move(message));
@@ -193,13 +223,13 @@ class Reader {
       case ItemKind::Routine:
         if (key == "rloc") expectPos(routine_.location);
         else if (key == "rclass" || key == "rnspace") routine_.parent = fields.nextRef();
-        else if (key == "racs") routine_.access = fields.nextString();
+        else if (key == "racs") routine_.access = fields.nextInterned();
         else if (key == "rsig") {
           if (const auto ref = fields.nextRef()) routine_.signature = ref->id;
-        } else if (key == "rlink") routine_.linkage = std::string(restAfterKey(text));
-        else if (key == "rstore") routine_.storage = fields.nextString();
-        else if (key == "rvirt") routine_.virtuality = fields.nextString();
-        else if (key == "rkind") routine_.kind = fields.nextString();
+        } else if (key == "rlink") routine_.linkage = PdbFile::intern(restAfterKey(text));
+        else if (key == "rstore") routine_.storage = fields.nextInterned();
+        else if (key == "rvirt") routine_.virtuality = fields.nextInterned();
+        else if (key == "rkind") routine_.kind = fields.nextInterned();
         else if (key == "rstatic") routine_.is_static = true;
         else if (key == "rinline") routine_.is_inline = true;
         else if (key == "rexplicit") routine_.is_explicit = true;
@@ -227,8 +257,8 @@ class Reader {
       case ItemKind::Class:
         if (key == "cloc") expectPos(class_.location);
         else if (key == "cclass" || key == "cnspace") class_.parent = fields.nextRef();
-        else if (key == "cacs") class_.access = fields.nextString();
-        else if (key == "ckind") class_.kind = fields.nextString();
+        else if (key == "cacs") class_.access = fields.nextInterned();
+        else if (key == "ckind") class_.kind = fields.nextInterned();
         else if (key == "ctempl") {
           if (const auto ref = fields.nextRef()) class_.template_id = ref->id;
         } else if (key == "cspecl") class_.is_specialization = true;
@@ -238,7 +268,7 @@ class Reader {
           const auto virt = fields.next();
           const auto ref = fields.nextRef();
           if (acs && virt && ref) {
-            base.access = std::string(*acs);
+            base.access = PdbFile::intern(*acs);
             base.is_virtual = *virt == "virt";
             base.cls = ref->id;
             class_.bases.push_back(base);
@@ -276,10 +306,10 @@ class Reader {
           if (!class_.members.empty()) expectPos(class_.members.back().location);
         } else if (key == "cmacs") {
           if (!class_.members.empty())
-            class_.members.back().access = fields.nextString();
+            class_.members.back().access = fields.nextInterned();
         } else if (key == "cmkind") {
           if (!class_.members.empty())
-            class_.members.back().kind = fields.nextString();
+            class_.members.back().kind = fields.nextInterned();
         } else if (key == "cmtype") {
           if (!class_.members.empty()) {
             if (const auto ref = fields.nextRef()) class_.members.back().type = *ref;
@@ -289,14 +319,14 @@ class Reader {
         break;
 
       case ItemKind::Type:
-        if (key == "ykind") type_.kind = fields.nextString();
-        else if (key == "yikind") type_.ikind = std::string(restAfterKey(text));
+        if (key == "ykind") type_.kind = fields.nextInterned();
+        else if (key == "yikind") type_.ikind = PdbFile::intern(restAfterKey(text));
         else if (key == "yptr" || key == "yref" || key == "ytref" || key == "yelem")
           type_.ref = fields.nextRef();
         else if (key == "ysize") {
           if (const auto v = fields.nextUint()) type_.array_size = *v;
         } else if (key == "yqual") {
-          type_.qualifiers.push_back(fields.nextString());
+          type_.qualifiers.push_back(fields.nextInterned());
         } else if (key == "yrett") type_.return_type = fields.nextRef();
         else if (key == "yargt") {
           if (const auto ref = fields.nextRef()) type_.params.push_back(*ref);
@@ -305,10 +335,15 @@ class Reader {
           type_.has_exception_spec = true;
           if (const auto ref = fields.nextRef()) type_.exception_specs.push_back(*ref);
         } else if (key == "yenum") {
-          const std::string ename = fields.nextString();
-          const std::string value = fields.nextString();
-          if (!ename.empty() && !value.empty()) {
-            type_.enumerators.emplace_back(ename, std::stoll(value));
+          const auto ename = fields.next();
+          const auto value = fields.next();
+          long long parsed = 0;
+          const bool value_ok =
+              value && !value->empty() &&
+              std::from_chars(value->data(), value->data() + value->size(),
+                              parsed).ec == std::errc{};
+          if (ename && !ename->empty() && value_ok) {
+            type_.enumerators.emplace_back(std::string(*ename), parsed);
           } else {
             error("malformed yenum");
           }
@@ -318,8 +353,8 @@ class Reader {
       case ItemKind::Template:
         if (key == "tloc") expectPos(template_.location);
         else if (key == "tclass" || key == "tnspace") template_.parent = fields.nextRef();
-        else if (key == "tacs") template_.access = fields.nextString();
-        else if (key == "tkind") template_.kind = fields.nextString();
+        else if (key == "tacs") template_.access = fields.nextInterned();
+        else if (key == "tkind") template_.kind = fields.nextInterned();
         else if (key == "ttext")
           template_.text = unescapePdbString(restAfterKey(text));
         else if (key == "tpos") expectExtent(template_.extent);
@@ -336,14 +371,15 @@ class Reader {
 
       case ItemKind::Macro:
         if (key == "mloc") expectPos(macro_.location);
-        else if (key == "mkind") macro_.kind = fields.nextString();
+        else if (key == "mkind") macro_.kind = fields.nextInterned();
         else if (key == "mtext") macro_.text = unescapePdbString(restAfterKey(text));
         else error("unknown macro attribute '" + std::string(key) + "'");
         break;
     }
   }
 
-  std::istream& is_;
+  std::string_view buffer_;
+  std::size_t cursor_ = 0;
   ReadResult result_;
   std::size_t line_no_ = 1;  // header consumed before the loop
   std::optional<ItemKind> current_kind_;
@@ -358,17 +394,33 @@ class Reader {
 
 }  // namespace
 
-ReadResult read(std::istream& is) { return Reader(is).run(); }
+ReadResult readFromBuffer(std::string_view text) { return Reader(text).run(); }
+
+ReadResult read(std::istream& is) {
+  // Slurp the stream; parsing one contiguous buffer beats getline-per-line.
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return readFromBuffer(std::move(ss).str());
+}
 
 ReadResult readFromString(const std::string& text) {
-  std::istringstream ss(text);
-  return read(ss);
+  return readFromBuffer(text);
 }
 
 std::optional<ReadResult> readFromFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
-  return read(in);
+  // One-shot read of the whole file instead of line-by-line getline.
+  std::string buffer;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    buffer.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(buffer.data(), size);
+    buffer.resize(static_cast<std::size_t>(in.gcount()));
+  }
+  return readFromBuffer(buffer);
 }
 
 }  // namespace pdt::pdb

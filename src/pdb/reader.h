@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pdb/pdb.h"
@@ -18,7 +19,12 @@ struct ReadResult {
 
 ReadResult read(std::istream& is);
 ReadResult readFromString(const std::string& text);
-/// Returns nullopt when the file cannot be opened.
+/// Zero-copy parse over a caller-owned buffer (the fast path: `read` and
+/// `readFromFile` slurp their input and delegate here). Enum-like attribute
+/// values are interned, so the result does not alias `text`.
+ReadResult readFromBuffer(std::string_view text);
+/// Returns nullopt when the file cannot be opened. Reads the whole file in
+/// one shot rather than line-by-line.
 std::optional<ReadResult> readFromFile(const std::string& path);
 
 }  // namespace pdt::pdb

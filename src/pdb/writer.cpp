@@ -133,7 +133,7 @@ void write(const PdbFile& pdb, std::ostream& os) {
     }
     if (t.kind == "array" && t.array_size >= 0)
       os << "ysize " << t.array_size << '\n';
-    for (const std::string& q : t.qualifiers) os << "yqual " << q << '\n';
+    for (const std::string_view q : t.qualifiers) os << "yqual " << q << '\n';
     if (t.return_type) os << "yrett " << t.return_type->str() << '\n';
     for (const ItemRef& p : t.params) os << "yargt " << p.str() << '\n';
     if (t.has_ellipsis) os << "yellip yes\n";

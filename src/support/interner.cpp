@@ -1,0 +1,53 @@
+#include "support/interner.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+
+namespace pdt {
+namespace {
+
+struct ViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct Table {
+  std::shared_mutex mutex;
+  // Views in `set` point into `storage`; deque never relocates elements.
+  std::deque<std::string> storage;
+  std::unordered_set<std::string_view, ViewHash, std::equal_to<>> set;
+};
+
+Table& table() {
+  static Table* t = new Table;  // immortal: views must outlive everything
+  return *t;
+}
+
+}  // namespace
+
+std::string_view internString(std::string_view text) {
+  if (text.empty()) return {};
+  Table& t = table();
+  {
+    std::shared_lock lock(t.mutex);
+    if (const auto it = t.set.find(text); it != t.set.end()) return *it;
+  }
+  std::unique_lock lock(t.mutex);
+  if (const auto it = t.set.find(text); it != t.set.end()) return *it;
+  const std::string& owned = t.storage.emplace_back(text);
+  t.set.insert(owned);
+  return owned;
+}
+
+std::size_t internedStringCount() {
+  Table& t = table();
+  std::shared_lock lock(t.mutex);
+  return t.set.size();
+}
+
+}  // namespace pdt

@@ -1,0 +1,30 @@
+// Process-wide string interning for the PDB attribute vocabulary.
+//
+// The ASCII PDB format repeats a small set of attribute tokens millions of
+// times across a large build: access specifiers ("pub"/"prot"/"priv"/"NA"),
+// linkage ("C++"/"C"), routine/class/type kinds, qualifiers, builtin
+// spellings. Storing each occurrence as its own std::string makes reading a
+// database allocation-bound. Instead, the typed PDB model keeps these fields
+// as std::string_view and the reader routes every parsed token through
+// internString(), which returns a view into storage with static lifetime.
+//
+// Interned views therefore never dangle: they stay valid across PdbFile
+// copies, moves, and merges, and can be shared freely between databases and
+// threads. The table is append-only and guarded by a shared mutex, so
+// concurrent readers (the parallel compile/merge pipeline) only serialize on
+// a genuinely new token — which, for the bounded attribute vocabulary,
+// stops happening almost immediately.
+#pragma once
+
+#include <string_view>
+
+namespace pdt {
+
+/// Returns a stable view of `text` backed by the process-wide intern table.
+/// Safe to call from any thread.
+[[nodiscard]] std::string_view internString(std::string_view text);
+
+/// Number of distinct strings interned so far (observability/tests).
+[[nodiscard]] std::size_t internedStringCount();
+
+}  // namespace pdt

@@ -1,0 +1,51 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace pdt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::defaultConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();  // packaged_task: exceptions land in the future
+  }
+}
+
+}  // namespace pdt

@@ -1,0 +1,69 @@
+// Fixed-size thread pool for the parallel compilation pipeline.
+//
+// Design goals (DESIGN.md "Parallel pipeline"):
+//   * deterministic orchestration — the pool runs tasks, callers own the
+//     ordering. Results are retrieved through std::future in whatever order
+//     the caller chooses (cxxparse collects per-TU futures in input order,
+//     so its merged output is byte-identical to the serial path);
+//   * exception propagation — a task that throws stores the exception in
+//     its future; the pool itself never dies;
+//   * reuse after drain — waiting on all futures leaves the pool idle and
+//     ready for the next batch (pdbmerge runs one batch per reduction
+//     round on a single pool).
+//
+// There is deliberately no work stealing and no task priority: tasks are
+// executed FIFO by whichever worker frees up first. Anything that needs a
+// deterministic result must get it from the futures, not from run order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pdt {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future yields its result or rethrows the
+  /// exception it exited with.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Hardware concurrency with a sane floor (hardware_concurrency may be 0).
+  [[nodiscard]] static std::size_t defaultConcurrency();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pdt

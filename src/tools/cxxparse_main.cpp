@@ -3,62 +3,94 @@
 // paper's Figure 2 pipeline in one command.
 //
 //   cxxparse <source.cpp>... [-I dir]... [-D name[=value]]... [-o out.pdb]
-//            [--dump-ast] [--instantiate-all] [--direct-template-links]
+//            [-j N] [--dump-ast] [--instantiate-all] [--direct-template-links]
 //
 // With several sources, each is compiled separately and the databases
 // are merged (duplicate template instantiations eliminated), matching
-// the compile-then-pdbmerge workflow of the paper.
+// the compile-then-pdbmerge workflow of the paper. -j N compiles the
+// translation units on N worker threads; the merge is always performed
+// in input order, so the output is byte-identical to a serial run.
+#include <charconv>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "ast/dump.h"
-#include "ductape/ductape.h"
 #include "frontend/frontend.h"
-#include "ilanalyzer/analyzer.h"
 #include "pdb/writer.h"
+#include "tools/driver.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cxxparse <source.cpp>... [-I dir] [-D name[=value]] "
+    "[-o out.pdb] [-j N] [--dump-ast] [--instantiate-all] "
+    "[--direct-template-links]\n"
+    "  -j N, --jobs N   compile translation units on N worker threads\n"
+    "                   (N >= 1; output is identical to a serial run)\n";
+
+/// Parses a -j/--jobs value: a positive decimal integer. Exits with a
+/// diagnostic on 0 or non-numeric input instead of quietly misbehaving.
+std::size_t parseJobs(const std::string& value) {
+  std::size_t jobs = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), jobs);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || jobs == 0) {
+    std::cerr << "cxxparse: invalid jobs value '" << value
+              << "' (expected a positive integer)\n";
+    std::exit(2);
+  }
+  return jobs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string output;
   bool dump_ast = false;
-  pdt::frontend::FrontendOptions fe_options;
-  pdt::ilanalyzer::AnalyzerOptions an_options;
+  pdt::tools::DriverOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-I" && i + 1 < argc) {
-      fe_options.include_dirs.emplace_back(argv[++i]);
+      options.frontend.include_dirs.emplace_back(argv[++i]);
     } else if (arg.starts_with("-I")) {
-      fe_options.include_dirs.emplace_back(arg.substr(2));
+      options.frontend.include_dirs.emplace_back(arg.substr(2));
     } else if (arg == "-D" && i + 1 < argc) {
       const std::string def = argv[++i];
       const auto eq = def.find('=');
-      fe_options.defines.emplace_back(def.substr(0, eq),
-                                      eq == std::string::npos
-                                          ? "1"
-                                          : def.substr(eq + 1));
+      options.frontend.defines.emplace_back(def.substr(0, eq),
+                                            eq == std::string::npos
+                                                ? "1"
+                                                : def.substr(eq + 1));
     } else if (arg.starts_with("-D")) {
       const std::string def = arg.substr(2);
       const auto eq = def.find('=');
-      fe_options.defines.emplace_back(def.substr(0, eq),
-                                      eq == std::string::npos
-                                          ? "1"
-                                          : def.substr(eq + 1));
+      options.frontend.defines.emplace_back(def.substr(0, eq),
+                                            eq == std::string::npos
+                                                ? "1"
+                                                : def.substr(eq + 1));
     } else if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
+    } else if ((arg == "-j" || arg == "--jobs") && i + 1 < argc) {
+      options.jobs = parseJobs(argv[++i]);
+    } else if (arg.starts_with("-j") && arg != "-j") {
+      options.jobs = parseJobs(arg.substr(2));
+    } else if (arg.starts_with("--jobs=")) {
+      options.jobs = parseJobs(arg.substr(7));
+    } else if (arg == "-j" || arg == "--jobs") {
+      std::cerr << "cxxparse: " << arg << " requires a value\n";
+      return 2;
     } else if (arg == "--dump-ast") {
       dump_ast = true;
     } else if (arg == "--instantiate-all") {
-      fe_options.sema.used_mode = false;
+      options.frontend.sema.used_mode = false;
     } else if (arg == "--direct-template-links") {
-      fe_options.sema.record_specialization_origin = true;
-      an_options.use_direct_template_links = true;
+      options.frontend.sema.record_specialization_origin = true;
+      options.analyzer.use_direct_template_links = true;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: cxxparse <source.cpp> [-I dir] [-D name[=value]] "
-                   "[-o out.pdb] [--dump-ast] [--instantiate-all] "
-                   "[--direct-template-links]\n";
+      std::cout << kUsage;
       return 0;
     } else if (!arg.starts_with("-")) {
       inputs.push_back(arg);
@@ -78,33 +110,31 @@ int main(int argc, char** argv) {
     output += ".pdb";
   }
 
-  // Compile each translation unit; merge when there are several.
-  std::optional<pdt::ductape::PDB> merged;
-  for (const std::string& input : inputs) {
-    pdt::SourceManager sm;
-    pdt::DiagnosticEngine diags;
-    pdt::frontend::Frontend frontend(sm, diags, fe_options);
-    auto result = frontend.compileFile(input);
-    diags.print(std::cerr, sm);
-    if (!result.success) return 1;
-    if (dump_ast) {
+  if (dump_ast) {
+    // AST dumping stays serial: it is a debugging aid and writes straight
+    // to stdout per TU.
+    for (const std::string& input : inputs) {
+      pdt::SourceManager sm;
+      pdt::DiagnosticEngine diags;
+      pdt::frontend::Frontend frontend(sm, diags, options.frontend);
+      auto result = frontend.compileFile(input);
+      diags.print(std::cerr, sm);
+      if (!result.success) return 1;
       pdt::ast::dump(*result.ast, std::cout);
-      continue;
     }
-    auto pdb = pdt::ilanalyzer::analyze(result, sm, an_options);
-    if (!merged) {
-      merged = pdt::ductape::PDB::fromPdbFile(pdb);
-    } else {
-      merged->merge(pdt::ductape::PDB::fromPdbFile(pdb));
-    }
+    return 0;
   }
-  if (dump_ast) return 0;
 
-  if (!pdt::pdb::writeToFile(merged->raw(), output)) {
+  const pdt::tools::DriverResult result =
+      pdt::tools::compileAndMerge(inputs, options);
+  std::cerr << result.diagnostics;
+  if (!result.success) return 1;
+
+  if (!pdt::pdb::writeToFile(result.pdb->raw(), output)) {
     std::cerr << "cxxparse: cannot write '" << output << "'\n";
     return 1;
   }
-  std::cout << "wrote " << output << " (" << merged->raw().itemCount()
+  std::cout << "wrote " << output << " (" << result.pdb->raw().itemCount()
             << " items from " << inputs.size() << " translation unit"
             << (inputs.size() == 1 ? "" : "s") << ")\n";
   return 0;

@@ -1,0 +1,82 @@
+#include "tools/driver.h"
+
+#include <future>
+#include <sstream>
+
+#include "pdb/pdb.h"
+#include "support/thread_pool.h"
+
+namespace pdt::tools {
+
+namespace {
+
+/// Everything one TU compilation produces: the typed database plus the
+/// diagnostics text, captured so the caller can emit it in input order.
+struct UnitResult {
+  pdb::PdbFile pdb;
+  std::string diagnostics;
+  bool success = false;
+};
+
+UnitResult compileUnit(const std::string& input, const DriverOptions& options) {
+  // Per-TU state only — SourceManager, DiagnosticEngine, and Frontend are
+  // not shared across tasks, which keeps the parallel path race-free.
+  UnitResult unit;
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::Frontend frontend(sm, diags, options.frontend);
+  auto result = frontend.compileFile(input);
+  std::ostringstream diag_text;
+  diags.print(diag_text, sm);
+  unit.diagnostics = std::move(diag_text).str();
+  unit.success = result.success;
+  if (unit.success) unit.pdb = ilanalyzer::analyze(result, sm, options.analyzer);
+  return unit;
+}
+
+}  // namespace
+
+DriverResult compileAndMerge(const std::vector<std::string>& inputs,
+                             const DriverOptions& options) {
+  DriverResult out;
+  std::vector<UnitResult> units(inputs.size());
+
+  if (options.jobs <= 1 || inputs.size() <= 1) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      units[i] = compileUnit(inputs[i], options);
+      if (!units[i].success) {
+        // Serial behaviour: stop at the first failing TU.
+        units.resize(i + 1);
+        break;
+      }
+    }
+  } else {
+    ThreadPool pool(options.jobs);
+    std::vector<std::future<UnitResult>> futures;
+    futures.reserve(inputs.size());
+    for (const std::string& input : inputs) {
+      futures.push_back(pool.submit(
+          [&input, &options] { return compileUnit(input, options); }));
+    }
+    // Collect in input order regardless of completion order.
+    for (std::size_t i = 0; i < futures.size(); ++i) units[i] = futures[i].get();
+  }
+
+  // Emit diagnostics and merge in input order; both match the serial run
+  // byte for byte (the merge is order-dependent, the compiles are not).
+  std::optional<ductape::PDB> merged;
+  for (const UnitResult& unit : units) {
+    out.diagnostics += unit.diagnostics;
+    if (!unit.success) return out;
+    if (!merged) {
+      merged = ductape::PDB::fromPdbFile(unit.pdb);
+    } else {
+      merged->merge(ductape::PDB::fromPdbFile(unit.pdb));
+    }
+  }
+  out.pdb = std::move(merged);
+  out.success = out.pdb.has_value();
+  return out;
+}
+
+}  // namespace pdt::tools

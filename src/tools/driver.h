@@ -1,0 +1,44 @@
+// The multi-TU compile driver behind cxxparse: compile each translation
+// unit (paper Figure 2: C++ Front End + IL Analyzer), then merge the
+// per-TU databases in input order, eliminating duplicate template
+// instantiations (Table 2).
+//
+// With jobs > 1 the TUs are compiled concurrently on a fixed-size thread
+// pool; results are collected and merged strictly in input order, so the
+// merged database — and the serialized PDB — is byte-identical to the
+// serial (jobs == 1) run. Exposed as a library function so the
+// determinism guarantee is testable without spawning processes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+
+namespace pdt::tools {
+
+struct DriverOptions {
+  frontend::FrontendOptions frontend;
+  ilanalyzer::AnalyzerOptions analyzer;
+  std::size_t jobs = 1;  // worker threads for per-TU compilation
+};
+
+struct DriverResult {
+  /// Merged database; engaged only when every TU compiled successfully.
+  std::optional<ductape::PDB> pdb;
+  /// Per-TU diagnostics concatenated in input order. On failure, TUs after
+  /// the first failing one are omitted, matching the serial driver which
+  /// stops at the first failure.
+  std::string diagnostics;
+  bool success = false;
+};
+
+/// Compiles `inputs` (each its own TU) and merges the databases in input
+/// order. `jobs` only changes wall-clock time, never the result.
+[[nodiscard]] DriverResult compileAndMerge(const std::vector<std::string>& inputs,
+                                           const DriverOptions& options);
+
+}  // namespace pdt::tools

@@ -1,30 +1,95 @@
 // pdbmerge: merges PDB files from separate compilations into one PDB
 // file, eliminating duplicate template instantiations in the process
 // (paper Table 2).
+//
+// -j N reads the input files and runs the pairwise merge reduction on N
+// worker threads; the result is byte-identical to the serial merge.
+#include <charconv>
+#include <future>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "support/thread_pool.h"
 #include "tools/tools.h"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pdbmerge <in1.pdb> <in2.pdb>... -o <out.pdb> [-j N]\n"
+    "  -j N, --jobs N   read and merge on N worker threads (N >= 1)\n";
+
+std::size_t parseJobs(const std::string& value) {
+  std::size_t jobs = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), jobs);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || jobs == 0) {
+    std::cerr << "pdbmerge: invalid jobs value '" << value
+              << "' (expected a positive integer)\n";
+    std::exit(2);
+  }
+  return jobs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 4 || std::string(argv[argc - 2]) != "-o") {
-    std::cerr << "usage: pdbmerge <in1.pdb> <in2.pdb>... -o <out.pdb>\n";
+  std::vector<std::string> paths;
+  std::string output;
+  std::size_t jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if ((arg == "-j" || arg == "--jobs") && i + 1 < argc) {
+      jobs = parseJobs(argv[++i]);
+    } else if (arg.starts_with("-j") && arg != "-j") {
+      jobs = parseJobs(arg.substr(2));
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.starts_with("-")) {
+      paths.push_back(arg);
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (paths.empty() || output.empty()) {
+    std::cerr << kUsage;
     return 2;
   }
+
+  // Read every input (in parallel with -j); report errors in input order.
   std::vector<pdt::ductape::PDB> inputs;
-  for (int i = 1; i < argc - 2; ++i) {
-    pdt::ductape::PDB pdb = pdt::ductape::PDB::read(argv[i]);
+  if (jobs > 1 && paths.size() > 1) {
+    pdt::ThreadPool pool(jobs);
+    std::vector<std::future<pdt::ductape::PDB>> reads;
+    reads.reserve(paths.size());
+    for (const std::string& path : paths) {
+      reads.push_back(
+          pool.submit([&path] { return pdt::ductape::PDB::read(path); }));
+    }
+    inputs.reserve(paths.size());
+    for (auto& r : reads) inputs.push_back(r.get());
+  } else {
+    inputs.reserve(paths.size());
+    for (const std::string& path : paths)
+      inputs.push_back(pdt::ductape::PDB::read(path));
+  }
+  for (const pdt::ductape::PDB& pdb : inputs) {
     if (!pdb.valid()) {
       std::cerr << "pdbmerge: " << pdb.errorMessage() << '\n';
       return 1;
     }
-    inputs.push_back(std::move(pdb));
   }
-  const pdt::ductape::PDB merged = pdt::tools::pdbmerge(std::move(inputs));
-  if (!merged.write(argv[argc - 1])) {
-    std::cerr << "pdbmerge: cannot write '" << argv[argc - 1] << "'\n";
+
+  const pdt::ductape::PDB merged = pdt::tools::pdbmerge(std::move(inputs), jobs);
+  if (!merged.write(output)) {
+    std::cerr << "pdbmerge: cannot write '" << output << "'\n";
     return 1;
   }
-  std::cout << "wrote " << argv[argc - 1] << '\n';
+  std::cout << "wrote " << output << '\n';
   return 0;
 }

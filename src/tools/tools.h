@@ -26,7 +26,12 @@ void pdbhtml(const ductape::PDB& pdb, std::ostream& os,
              const std::string& title = "Program Database");
 
 /// pdbmerge: merges `inputs[1..]` into `inputs[0]` and returns the result.
-[[nodiscard]] ductape::PDB pdbmerge(std::vector<ductape::PDB> inputs);
+/// With jobs > 1, adjacent pairs are merged concurrently on a thread pool
+/// in a log-depth tree reduction instead of the linear left fold; the
+/// reduction preserves input order, so the result is byte-identical to the
+/// serial merge (verified by the determinism tests).
+[[nodiscard]] ductape::PDB pdbmerge(std::vector<ductape::PDB> inputs,
+                                    std::size_t jobs = 1);
 
 /// pdbtree: which tree to display.
 enum class TreeKind { Includes, ClassHierarchy, CallGraph };
