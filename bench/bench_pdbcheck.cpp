@@ -1,0 +1,119 @@
+// pdbcheck costs: AnalysisContext (collapsed call graph) construction and
+// rule throughput over the synthetic POOMA-shaped workloads, serial vs
+// parallel rule execution, and render costs.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analysis/checker.h"
+#include "analysis/context.h"
+#include "bench/workloads.h"
+#include "ductape/ductape.h"
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+
+namespace {
+
+pdt::ductape::PDB compile(const std::string& src) {
+  pdt::SourceManager sm;
+  pdt::DiagnosticEngine diags;
+  pdt::frontend::Frontend fe(sm, diags);
+  auto result = fe.compileSource("bench.cpp", src);
+  return pdt::ductape::PDB::fromPdbFile(pdt::ilanalyzer::analyze(result, sm));
+}
+
+void BM_BuildContext_Classes(benchmark::State& state) {
+  const auto pdb = compile(pdt::bench::plainClasses(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto ctx = pdt::analysis::AnalysisContext::build(pdb);
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pdb.getRoutineVec().size()));
+}
+BENCHMARK(BM_BuildContext_Classes)->Arg(50)->Arg(200);
+
+void BM_BuildContext_Instantiations(benchmark::State& state) {
+  // The collapse path: N instantiations of the same template members.
+  const auto pdb =
+      compile(pdt::bench::manyInstantiations(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto ctx = pdt::analysis::AnalysisContext::build(pdb);
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pdb.getRoutineVec().size()));
+}
+BENCHMARK(BM_BuildContext_Instantiations)->Arg(20)->Arg(80);
+
+void BM_RuleDeadCode(benchmark::State& state) {
+  // callChain has no main of its own; add one so the reachability BFS
+  // actually walks the whole chain instead of exiting on an empty root set.
+  const auto pdb = compile(pdt::bench::callChain(static_cast<int>(state.range(0))) +
+                           "int main() { return driver(); }\n");
+  const auto ctx = pdt::analysis::AnalysisContext::build(pdb);
+  pdt::analysis::CheckOptions options;
+  options.checks = "dead-code";
+  for (auto _ : state) {
+    auto result = pdt::analysis::runChecks(ctx, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuleDeadCode)->Arg(50)->Arg(500);
+
+void BM_RuleRecursionCycles(benchmark::State& state) {
+  const auto pdb = compile(pdt::bench::callChain(static_cast<int>(state.range(0))));
+  const auto ctx = pdt::analysis::AnalysisContext::build(pdb);
+  pdt::analysis::CheckOptions options;
+  options.checks = "recursion-cycles";
+  for (auto _ : state) {
+    auto result = pdt::analysis::runChecks(ctx, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuleRecursionCycles)->Arg(50)->Arg(500);
+
+void BM_AllRules(benchmark::State& state) {
+  const auto pdb =
+      compile(pdt::bench::manyInstantiations(static_cast<int>(state.range(0))));
+  const auto ctx = pdt::analysis::AnalysisContext::build(pdb);
+  pdt::analysis::CheckOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto result = pdt::analysis::runChecks(ctx, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AllRules)->Args({40, 1})->Args({40, 4});
+
+void BM_EndToEndCheck(benchmark::State& state) {
+  // Context build + all rules + text render: what the pdbcheck binary does
+  // after the PDB is loaded.
+  const auto pdb = compile(pdt::bench::plainClasses(static_cast<int>(state.range(0))));
+  const pdt::analysis::CheckOptions options;
+  for (auto _ : state) {
+    const auto result = pdt::analysis::runChecks(pdb, options);
+    std::ostringstream os;
+    pdt::analysis::render(result, options, os);
+    benchmark::DoNotOptimize(os);
+  }
+}
+BENCHMARK(BM_EndToEndCheck)->Arg(100);
+
+void BM_RenderJson(benchmark::State& state) {
+  const auto pdb = compile(pdt::bench::plainClasses(static_cast<int>(state.range(0))));
+  const auto result = pdt::analysis::runChecks(pdb, {});
+  for (auto _ : state) {
+    std::ostringstream os;
+    pdt::analysis::renderJson(result, os);
+    benchmark::DoNotOptimize(os);
+  }
+}
+BENCHMARK(BM_RenderJson)->Arg(100);
+
+}  // namespace
+
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: address-sanitized build, the full test suite, repository
+# lint, and a self-hosted pdbcheck run over the repo's own example program.
+#
+#   scripts/ci.sh [build-dir]      (default: build-ci)
+#
+# Everything must pass; the script stops at the first failure.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure (ASan) =="
+cmake -S "${ROOT}" -B "${BUILD}" -DPDT_SANITIZE=address
+
+echo "== build =="
+cmake --build "${BUILD}" -j "${JOBS}"
+
+echo "== lint =="
+cmake --build "${BUILD}" --target check-lint
+
+echo "== tests =="
+ctest --test-dir "${BUILD}" --output-on-failure -j "${JOBS}"
+
+echo "== self-hosted pdbcheck =="
+# Compile the shipped Krylov solver (the Figure 7 subject) to a database
+# and run every check over it. The inputs are clean code: any warning or
+# error — or any false positive — fails the gate (exit 1 on findings).
+"${BUILD}/src/tools/cxxparse" \
+    "${ROOT}/inputs/pooma_mini/krylov.cpp" \
+    -I "${ROOT}/inputs/pooma_mini" -I "${ROOT}/runtime/pdt_stl" \
+    -o "${BUILD}/ci_krylov.pdb"
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_krylov.pdb" --checks=all -j "${JOBS}"
+
+echo "== CI gate passed =="

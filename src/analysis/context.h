@@ -1,0 +1,89 @@
+// AnalysisContext: the shared whole-program indexes pdbcheck rules run
+// over. Built once per database, then handed read-only to every rule (the
+// checker runs independent rules on worker threads, so nothing here may
+// mutate after build()).
+//
+// The call graph is built from pdbRoutine::callees()/callers() with
+// template-instantiation edges collapsed onto their origin templates:
+// corresponding member routines of Stack<int> and Stack<double> (both
+// back-mapped to template Stack by the paper's used-mode recovery) share
+// one node, so analyses see the program the way its author wrote it, not
+// the way the instantiator expanded it.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ductape/ductape.h"
+
+namespace pdt::analysis {
+
+/// One call-graph node: a routine, or the family of routines instantiated
+/// from the same template member (collapsed).
+struct CallNode {
+  /// Lowest-id member; supplies the display name and source location.
+  const ductape::pdbRoutine* rep = nullptr;
+  /// Every routine collapsed into this node, in id order.
+  std::vector<const ductape::pdbRoutine*> members;
+  /// The template the members were instantiated from (null for plain
+  /// routines and for specializations without a template back-link).
+  const ductape::pdbTemplate* origin = nullptr;
+  std::vector<int> succ;  // callee nodes, sorted, unique
+  std::vector<int> pred;  // caller nodes, sorted, unique
+};
+
+struct AnalysisContext {
+  const ductape::PDB* pdb = nullptr;
+
+  // --- Collapsed call graph -----------------------------------------------
+  std::vector<CallNode> nodes;
+  std::unordered_map<const ductape::pdbRoutine*, int> node_of;
+
+  /// Entry points for reachability: main() plus defined extern "C"
+  /// routines (the exported surface of a library). Node indices, sorted.
+  std::vector<int> roots;
+
+  // --- Class hierarchy index ----------------------------------------------
+  /// base virtual routine -> routines in derived classes that override it
+  /// (same name, compatible arity), sorted by id.
+  std::unordered_map<const ductape::pdbRoutine*,
+                     std::vector<const ductape::pdbRoutine*>>
+      overrides;
+
+  // --- Include graph usage ------------------------------------------------
+  /// file -> files whose entities its own entities reference (call targets,
+  /// base classes, member/signature class types, template origins).
+  /// Sorted by id, unique. Used by the unused-include check.
+  std::unordered_map<const ductape::pdbFile*,
+                     std::vector<const ductape::pdbFile*>>
+      uses;
+
+  [[nodiscard]] static AnalysisContext build(const ductape::PDB& pdb);
+
+  /// Display name of a node: the representative's qualified name, plus the
+  /// origin template and instantiation count when collapsed.
+  [[nodiscard]] std::string nodeName(int node) const;
+};
+
+/// All transitive base classes of `c`, visited depth-first in declaration
+/// order (each class once; virtual bases deduplicated).
+[[nodiscard]] std::vector<const ductape::pdbClass*> collectAncestors(
+    const ductape::pdbClass* c);
+
+/// Parameter count of a routine's signature, -1 when unknown.
+[[nodiscard]] int routineArity(const ductape::pdbRoutine* r);
+
+/// Whether two routines "correspond" (hierarchy override, or the same
+/// member across instantiations): names are compared by the caller; this
+/// checks arity compatibility, with unknown arity matching anything.
+[[nodiscard]] bool aritiesCompatible(const ductape::pdbRoutine* a,
+                                     const ductape::pdbRoutine* b);
+
+/// Stricter check used by the hierarchy rules: same arity AND matching
+/// parameter type names position by position ('f(int)' does not override
+/// 'f(double)'). Unknown signatures fall back to arity compatibility.
+[[nodiscard]] bool signaturesCompatible(const ductape::pdbRoutine* a,
+                                        const ductape::pdbRoutine* b);
+
+}  // namespace pdt::analysis

@@ -1,0 +1,59 @@
+#include "analysis/diagnostics.h"
+
+#include <tuple>
+
+namespace pdt::analysis {
+
+std::string_view severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "note";
+}
+
+std::string locationText(const ductape::pdbLoc& loc) {
+  if (!loc.valid()) return std::string(kGeneratedLoc);
+  return loc.file()->name() + ":" + std::to_string(loc.line()) + ":" +
+         std::to_string(loc.col());
+}
+
+std::string Diag::locationText() const {
+  if (!hasLocation()) return std::string(kGeneratedLoc);
+  return file + ":" + std::to_string(line) + ":" + std::to_string(col);
+}
+
+bool diagLess(const Diag& a, const Diag& b) {
+  // Located diagnostics first (sorted by position), then <generated> ones.
+  const auto key = [](const Diag& d) {
+    return std::tuple<bool, const std::string&, int, int, const std::string&,
+                      const std::string&, const std::string&>(
+        !d.hasLocation(), d.file, d.line, d.col, d.rule, d.message, d.entity);
+  };
+  return key(a) < key(b);
+}
+
+void DiagSink::report(std::string rule, Severity severity, std::string message,
+                      const ductape::pdbItem* subject) {
+  report(std::move(rule), severity, std::move(message),
+         subject != nullptr ? subject->fullName() : std::string{},
+         subject != nullptr ? subject->location() : ductape::pdbLoc{});
+}
+
+void DiagSink::report(std::string rule, Severity severity, std::string message,
+                      std::string entity, const ductape::pdbLoc& loc) {
+  Diag d;
+  d.rule = std::move(rule);
+  d.severity = severity;
+  d.message = std::move(message);
+  d.entity = std::move(entity);
+  if (loc.valid()) {
+    d.file = loc.file()->name();
+    d.line = loc.line();
+    d.col = loc.col();
+  }
+  diags_.push_back(std::move(d));
+}
+
+}  // namespace pdt::analysis

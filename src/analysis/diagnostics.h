@@ -1,0 +1,64 @@
+// Diagnostics for the whole-program analyses (pdbcheck).
+//
+// A Diag is one finding of one rule: severity, message, the entity it is
+// about, and a full source position recovered from the PDB. Entities with
+// no recorded source location (compiler-generated ctors/dtors, builtins)
+// render as "<generated>" rather than an empty or garbage file:line.
+//
+// DiagSink is the accumulation interface rules write into; each rule gets
+// its own sink so independent rules can run on worker threads, and the
+// checker concatenates and location-sorts the per-rule results into one
+// deterministic stream (the same bytes at -j 1 and -j N).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ductape/ductape.h"
+
+namespace pdt::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view severityName(Severity s);
+
+/// The spelling used for positions with no source location.
+inline constexpr std::string_view kGeneratedLoc = "<generated>";
+
+struct Diag {
+  std::string rule;     // rule id ("dead-code")
+  Severity severity = Severity::Warning;
+  std::string message;  // human-readable finding text
+  std::string entity;   // fully qualified name of the subject ("" if none)
+  std::string file;     // source file path; "" means no location
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool hasLocation() const { return !file.empty(); }
+  /// "path:line:col" or "<generated>".
+  [[nodiscard]] std::string locationText() const;
+};
+
+/// Renders a DUCTAPE location, "<generated>" when the item has none.
+[[nodiscard]] std::string locationText(const ductape::pdbLoc& loc);
+
+/// Deterministic presentation order: location, then rule, then message.
+[[nodiscard]] bool diagLess(const Diag& a, const Diag& b);
+
+class DiagSink {
+ public:
+  void report(std::string rule, Severity severity, std::string message,
+              const ductape::pdbItem* subject);
+  void report(std::string rule, Severity severity, std::string message,
+              std::string entity, const ductape::pdbLoc& loc);
+
+  [[nodiscard]] const std::vector<Diag>& diags() const { return diags_; }
+  [[nodiscard]] std::vector<Diag>& diags() { return diags_; }
+
+ private:
+  std::vector<Diag> diags_;
+};
+
+}  // namespace pdt::analysis

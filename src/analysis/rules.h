@@ -1,0 +1,36 @@
+// The pdbcheck rule registry. A Rule is one whole-program check over the
+// shared AnalysisContext; rules are independent of each other (the checker
+// may run them concurrently) and must be deterministic pure functions of
+// the context: same database, same findings, in the same order.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/diagnostics.h"
+
+namespace pdt::analysis {
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable identifier used by --checks and in diagnostics ("dead-code").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  virtual void run(const AnalysisContext& ctx, DiagSink& sink) const = 0;
+};
+
+/// Every registered rule, in canonical (execution and report) order.
+[[nodiscard]] const std::vector<const Rule*>& allRules();
+
+/// Parses a --checks selection: a comma-separated list of rule names,
+/// "all", and "-name" exclusions, applied left to right. A spec with only
+/// exclusions starts from the full set ("-dead-code" = all but dead-code).
+/// Returns the selection in canonical order; on an unknown name, returns
+/// an empty vector and sets `error`.
+[[nodiscard]] std::vector<const Rule*> selectRules(std::string_view spec,
+                                                   std::string* error);
+
+}  // namespace pdt::analysis

@@ -598,11 +598,17 @@ void PDB::merge(const PDB& other) {
     my_classes.emplace(classKey(c), id);
   }
 
-  // Routines.
+  // Routines. When the duplicate pair is a declaration (one TU sees only a
+  // prototype) and a definition (another TU holds the body), the merged
+  // routine must carry the definition — its location, extent, and call
+  // edges — or the whole-program call graph loses every cross-TU edge out
+  // of that routine. Collected here, applied after the id maps close.
+  std::vector<std::pair<std::uint32_t, const pdb::RoutineItem*>> dup_routines;
   for (const auto& r : theirs.routines()) {
     if (const auto it = my_routines.find(routineKey(theirs, r));
         it != my_routines.end()) {
       routine_map[r.id] = it->second;
+      dup_routines.emplace_back(it->second, &r);
       continue;
     }
     pdb::RoutineItem copy = r;
@@ -726,6 +732,29 @@ void PDB::merge(const PDB& other) {
   for (auto& n : raw_.namespaces()) {
     if (!new_namespace_set.contains(n.id)) continue;
     for (auto& m : n.members) remapRef(m);
+  }
+  // Declaration + definition pairs: adopt the definition side.
+  if (!dup_routines.empty()) {
+    std::unordered_map<std::uint32_t, std::size_t> mine_routine_at;
+    mine_routine_at.reserve(raw_.routines().size());
+    for (std::size_t i = 0; i < raw_.routines().size(); ++i)
+      mine_routine_at.emplace(raw_.routines()[i].id, i);
+    for (const auto& [my_id, their_r] : dup_routines) {
+      auto& mine = raw_.routines()[mine_routine_at.at(my_id)];
+      if (mine.defined || !their_r->defined) continue;
+      mine.defined = true;
+      mine.location = their_r->location;
+      remapPos(mine.location);
+      mine.extent = their_r->extent;
+      remapExtent(mine.extent);
+      mine.calls = their_r->calls;
+      for (auto& call : mine.calls) {
+        if (const auto it = routine_map.find(call.routine);
+            it != routine_map.end())
+          call.routine = it->second;
+        remapPos(call.position);
+      }
+    }
   }
   // Union member lists of namespaces that merged with existing ones.
   if (!namespace_member_appends.empty()) {

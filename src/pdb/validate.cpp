@@ -1,0 +1,129 @@
+#include "pdb/validate.h"
+
+namespace pdt::pdb {
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const PdbFile& pdb) : pdb_(pdb) {}
+
+  std::vector<std::string> run() {
+    for (const auto& f : pdb_.sourceFiles()) {
+      where_ = "source file '" + f.name + "' (so#" + std::to_string(f.id) + ")";
+      for (const std::uint32_t inc : f.includes) {
+        if (pdb_.findSourceFile(inc) == nullptr)
+          fail("includes undefined so#" + std::to_string(inc));
+      }
+    }
+    for (const auto& r : pdb_.routines()) {
+      where_ = "routine '" + r.name + "' (ro#" + std::to_string(r.id) + ")";
+      checkPos(r.location, "location");
+      checkParent(r.parent);
+      if (r.signature != 0 && pdb_.findType(r.signature) == nullptr)
+        fail("signature references undefined ty#" + std::to_string(r.signature));
+      if (r.template_id && pdb_.findTemplate(*r.template_id) == nullptr)
+        fail("rtempl references undefined te#" + std::to_string(*r.template_id));
+      for (const auto& call : r.calls) {
+        if (pdb_.findRoutine(call.routine) == nullptr)
+          fail("call references undefined ro#" + std::to_string(call.routine));
+        checkPos(call.position, "call site");
+      }
+      checkExtent(r.extent);
+    }
+    for (const auto& c : pdb_.classes()) {
+      where_ = "class '" + c.name + "' (cl#" + std::to_string(c.id) + ")";
+      checkPos(c.location, "location");
+      checkParent(c.parent);
+      if (c.template_id && pdb_.findTemplate(*c.template_id) == nullptr)
+        fail("ctempl references undefined te#" + std::to_string(*c.template_id));
+      for (const auto& b : c.bases) {
+        if (pdb_.findClass(b.cls) == nullptr)
+          fail("base references undefined cl#" + std::to_string(b.cls));
+      }
+      for (const auto& fr : c.friends) {
+        if (fr.ref) checkRef(*fr.ref, "friend");
+      }
+      for (const auto& mf : c.funcs) {
+        if (pdb_.findRoutine(mf.routine) == nullptr)
+          fail("member function references undefined ro#" +
+               std::to_string(mf.routine));
+        checkPos(mf.location, "member function");
+      }
+      for (const auto& m : c.members) {
+        checkRef(m.type, "member '" + m.name + "' type");
+        checkPos(m.location, "member '" + m.name + "'");
+      }
+      checkExtent(c.extent);
+    }
+    for (const auto& t : pdb_.types()) {
+      where_ = "type '" + t.name + "' (ty#" + std::to_string(t.id) + ")";
+      if (t.ref) checkRef(*t.ref, "referenced type");
+      if (t.return_type) checkRef(*t.return_type, "return type");
+      for (const auto& p : t.params) checkRef(p, "parameter type");
+      for (const auto& e : t.exception_specs) checkRef(e, "exception spec");
+    }
+    for (const auto& t : pdb_.templates()) {
+      where_ = "template '" + t.name + "' (te#" + std::to_string(t.id) + ")";
+      checkPos(t.location, "location");
+      checkParent(t.parent);
+      checkExtent(t.extent);
+    }
+    for (const auto& n : pdb_.namespaces()) {
+      where_ = "namespace '" + n.name + "' (na#" + std::to_string(n.id) + ")";
+      checkPos(n.location, "location");
+      for (const auto& m : n.members) checkRef(m, "member");
+    }
+    for (const auto& m : pdb_.macros()) {
+      where_ = "macro '" + m.name + "' (ma#" + std::to_string(m.id) + ")";
+      checkPos(m.location, "location");
+    }
+    return std::move(errors_);
+  }
+
+ private:
+  void fail(const std::string& what) { errors_.push_back(where_ + ": " + what); }
+
+  void checkPos(const Pos& pos, const std::string& what) {
+    if (pos.file != 0 && pdb_.findSourceFile(pos.file) == nullptr)
+      fail(what + " references undefined so#" + std::to_string(pos.file));
+  }
+
+  void checkExtent(const Extent& e) {
+    checkPos(e.header_begin, "header begin");
+    checkPos(e.header_end, "header end");
+    checkPos(e.body_begin, "body begin");
+    checkPos(e.body_end, "body end");
+  }
+
+  void checkParent(const std::optional<ItemRef>& parent) {
+    if (parent) checkRef(*parent, "parent");
+  }
+
+  void checkRef(const ItemRef& ref, const std::string& what) {
+    if (ref.id == 0) return;
+    bool found = false;
+    switch (ref.kind) {
+      case ItemKind::SourceFile: found = pdb_.findSourceFile(ref.id) != nullptr; break;
+      case ItemKind::Routine: found = pdb_.findRoutine(ref.id) != nullptr; break;
+      case ItemKind::Class: found = pdb_.findClass(ref.id) != nullptr; break;
+      case ItemKind::Type: found = pdb_.findType(ref.id) != nullptr; break;
+      case ItemKind::Template: found = pdb_.findTemplate(ref.id) != nullptr; break;
+      case ItemKind::Namespace: found = pdb_.findNamespace(ref.id) != nullptr; break;
+      case ItemKind::Macro: found = pdb_.findMacro(ref.id) != nullptr; break;
+    }
+    if (!found) fail(what + " references undefined " + ref.str());
+  }
+
+  const PdbFile& pdb_;
+  std::string where_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate(const PdbFile& pdb) {
+  return Validator(pdb).run();
+}
+
+}  // namespace pdt::pdb

@@ -1,0 +1,21 @@
+// Referential-integrity validation of a program database: every item id a
+// PDB mentions (call targets, base classes, signatures, includes, source
+// positions, ...) must resolve to an item of the right kind. Tools that
+// consume untrusted .pdb files (pdbcheck, pdbmerge) run this up front and
+// refuse databases with dangling references instead of silently dropping
+// edges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdb/pdb.h"
+
+namespace pdt::pdb {
+
+/// Returns one message per dangling reference ("routine 'f' (ro#3): call
+/// references undefined ro#99"); empty means the database is closed under
+/// its own references.
+[[nodiscard]] std::vector<std::string> validate(const PdbFile& pdb);
+
+}  // namespace pdt::pdb

@@ -1,0 +1,116 @@
+// pdbcheck: rule-driven whole-program static analyzer over PDB databases.
+//
+// Loads one or more PDB files through DUCTAPE (merging them first, so the
+// checks see the whole program the way pdbmerge's cross-TU databases
+// describe it), validates referential integrity, and runs the registered
+// rules over a shared AnalysisContext.
+//
+// Exit codes: 0 clean, 1 findings (warnings or errors), 2 usage error,
+// 3 invalid input (unreadable file or dangling item references).
+#include <charconv>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "pdb/validate.h"
+#include "tools/tools.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pdbcheck <in.pdb>... [options]\n"
+    "  --checks=LIST    comma-separated rule selection: names, 'all', and\n"
+    "                   '-name' exclusions (default: all)\n"
+    "  --format=FMT     text | json (SARIF-shaped; see docs/PDBCHECK.md)\n"
+    "  -j N, --jobs N   run independent rules on N worker threads; output\n"
+    "                   is byte-identical to -j 1\n"
+    "  --list-checks    print the rule catalog and exit\n"
+    "exit codes: 0 clean, 1 findings, 2 usage error, 3 invalid input\n";
+
+std::size_t parseJobs(const std::string& value) {
+  std::size_t jobs = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), jobs);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || jobs == 0) {
+    std::cerr << "pdbcheck: invalid jobs value '" << value
+              << "' (expected a positive integer)\n";
+    std::exit(2);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  pdt::analysis::CheckOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checks=", 0) == 0) {
+      options.checks = arg.substr(9);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string fmt = arg.substr(9);
+      if (fmt == "text") {
+        options.format = pdt::analysis::CheckOptions::Format::Text;
+      } else if (fmt == "json") {
+        options.format = pdt::analysis::CheckOptions::Format::Json;
+      } else {
+        std::cerr << "pdbcheck: unknown format '" << fmt << "'\n" << kUsage;
+        return 2;
+      }
+    } else if ((arg == "-j" || arg == "--jobs") && i + 1 < argc) {
+      options.jobs = parseJobs(argv[++i]);
+    } else if (arg.rfind("-j", 0) == 0 && arg != "-j") {
+      options.jobs = parseJobs(arg.substr(2));
+    } else if (arg == "--list-checks") {
+      for (const pdt::analysis::Rule* rule : pdt::analysis::allRules()) {
+        std::cout << rule->name() << "\n    " << rule->description() << '\n';
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.starts_with("-")) {
+      paths.push_back(arg);
+    } else {
+      std::cerr << "pdbcheck: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::vector<pdt::ductape::PDB> inputs;
+  inputs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    pdt::ductape::PDB pdb = pdt::ductape::PDB::read(path);
+    if (!pdb.valid()) {
+      std::cerr << "pdbcheck: " << pdb.errorMessage() << '\n';
+      return 3;
+    }
+    const std::vector<std::string> errors = pdt::pdb::validate(pdb.raw());
+    if (!errors.empty()) {
+      for (const std::string& e : errors)
+        std::cerr << "pdbcheck: " << path << ": " << e << '\n';
+      std::cerr << "pdbcheck: '" << path
+                << "' references undefined items; refusing to analyze\n";
+      return 3;
+    }
+    inputs.push_back(std::move(pdb));
+  }
+
+  const pdt::ductape::PDB merged =
+      pdt::tools::pdbmerge(std::move(inputs), options.jobs);
+  const pdt::analysis::CheckResult result =
+      pdt::analysis::runChecks(merged, options);
+  if (!result.ok()) {
+    std::cerr << "pdbcheck: " << result.error << '\n';
+    return 2;
+  }
+  pdt::analysis::render(result, options, std::cout);
+  return result.hasFindings() ? 1 : 0;
+}

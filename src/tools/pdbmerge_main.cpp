@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "pdb/validate.h"
 #include "support/thread_pool.h"
 #include "tools/tools.h"
 
@@ -78,9 +79,19 @@ int main(int argc, char** argv) {
     for (const std::string& path : paths)
       inputs.push_back(pdt::ductape::PDB::read(path));
   }
-  for (const pdt::ductape::PDB& pdb : inputs) {
-    if (!pdb.valid()) {
-      std::cerr << "pdbmerge: " << pdb.errorMessage() << '\n';
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!inputs[i].valid()) {
+      std::cerr << "pdbmerge: " << inputs[i].errorMessage() << '\n';
+      return 1;
+    }
+    // Refuse inputs with dangling item references: merging would silently
+    // drop the broken edges and corrupt the combined database.
+    const std::vector<std::string> errors = pdt::pdb::validate(inputs[i].raw());
+    if (!errors.empty()) {
+      for (const std::string& e : errors)
+        std::cerr << "pdbmerge: " << paths[i] << ": " << e << '\n';
+      std::cerr << "pdbmerge: '" << paths[i]
+                << "' references undefined items; refusing to merge\n";
       return 1;
     }
   }

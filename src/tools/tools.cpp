@@ -34,13 +34,13 @@ std::string_view templateKindName(pdbItem::templ_t k) {
   return "?";
 }
 
+}  // namespace
+
 std::string locText(const pdbLoc& loc) {
-  if (!loc.valid()) return "<unknown>";
+  if (!loc.valid()) return "<generated>";
   return loc.file()->name() + ":" + std::to_string(loc.line()) + ":" +
          std::to_string(loc.col());
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // pdbconv
@@ -99,7 +99,7 @@ void pdbconv(const PDB& pdb, std::ostream& os) {
   for (const pdbRoutine* r : pdb.getRoutineVec()) {
     os << "  ro#" << r->id() << "  " << r->fullName();
     if (r->signature() != nullptr) os << " : " << r->signature()->name();
-    os << '\n';
+    os << " at " << locText(r->location()) << '\n';
     os << "      access: " << accessName(r->access())
        << "  virtual: "
        << (r->virtuality() == pdbItem::VI_PURE
@@ -209,6 +209,8 @@ void pdbhtml(const PDB& pdb, std::ostream& os, const std::string& title) {
   for (const pdbClass* c : pdb.getClassVec()) {
     os << "<div class=\"item\" id=\"" << anchor("cl", c->id()) << "\"><b>"
        << escapeHtml(c->fullName()) << "</b>";
+    os << "<div class=\"attr\">at " << escapeHtml(locText(c->location()))
+       << "</div>";
     if (c->isTemplate() != nullptr) {
       os << "<div class=\"attr\">instantiated from "
          << link("te", c->isTemplate()->id(), c->isTemplate()->name()) << "</div>";
@@ -238,6 +240,8 @@ void pdbhtml(const PDB& pdb, std::ostream& os, const std::string& title) {
   for (const pdbRoutine* r : pdb.getRoutineVec()) {
     os << "<div class=\"item\" id=\"" << anchor("ro", r->id()) << "\"><b>"
        << escapeHtml(r->fullName()) << "</b>";
+    os << "<div class=\"attr\">at " << escapeHtml(locText(r->location()))
+       << "</div>";
     if (r->signature() != nullptr)
       os << " <span class=\"attr\">" << escapeHtml(r->signature()->name())
          << "</span>";
@@ -362,7 +366,8 @@ void printIncludeTree(const pdbFile* f, int level, std::ostream& os) {
 
 void printClassTree(const pdbClass* c, int level, std::ostream& os) {
   c->flag(ACTIVE);
-  os << std::setw(level * 4) << "" << c->fullName() << '\n';
+  os << std::setw(level * 4) << "" << c->fullName() << "  ["
+     << locText(c->location()) << "]\n";
   for (const pdbClass* d : c->derivedClasses()) {
     if (d->flag() == ACTIVE) {
       os << std::setw((level + 1) * 4) << "" << d->fullName() << " ...\n";

@@ -41,4 +41,9 @@ void pdbtree(const ductape::PDB& pdb, TreeKind kind, std::ostream& os);
 /// The call-graph printer of paper Figure 5 (exposed for tests).
 void printFuncTree(const ductape::pdbRoutine* r, int level, std::ostream& os);
 
+/// Shared location renderer: "path:line:col", or "<generated>" for items
+/// with no source location (compiler-generated ctors/dtors, builtins) —
+/// never an empty or garbage file:line.
+[[nodiscard]] std::string locText(const ductape::pdbLoc& loc);
+
 }  // namespace pdt::tools

@@ -8,6 +8,7 @@
 #include "ductape/ductape.h"
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
+#include "pdb/writer.h"
 
 namespace pdt::ductape {
 namespace {
@@ -371,6 +372,55 @@ TEST(Ductape, EnumConstantsSurviveAsciiRoundTrip) {
 
 namespace pdt::ductape {
 namespace {
+
+// Satellite of the pdbcheck work: the whole-program call graph a merged
+// database exposes. A call into a routine that is only declared in the
+// calling TU must, after merging with the defining TU, resolve to the
+// defined routine with symmetric callees()/callers() edges, and repeated
+// merges of the same inputs must serialize to identical bytes.
+TEST(Ductape, CrossTuCallEdgesAreSymmetricAndStable) {
+  const auto build = [] {
+    PDB a = compileToPdb(
+        "caller.cpp", "int work(int v);\nint driver() { return work(3); }\n");
+    PDB b = compileToPdb("callee.cpp", "int work(int v) { return v + 1; }\n");
+    a.merge(b);
+    return a;
+  };
+  PDB merged = build();
+
+  const pdbRoutine* driver = nullptr;
+  const pdbRoutine* work = nullptr;
+  for (const pdbRoutine* r : merged.getRoutineVec()) {
+    if (r->name() == "driver") driver = r;
+    if (r->name() == "work") work = r;
+  }
+  ASSERT_NE(driver, nullptr);
+  ASSERT_NE(work, nullptr);
+  // The declaration-only 'work' from caller.cpp and the definition from
+  // callee.cpp merged into one defined routine.
+  EXPECT_TRUE(work->isDefined());
+
+  bool forward = false;
+  for (const pdbCall* c : driver->callees()) forward |= c->call() == work;
+  EXPECT_TRUE(forward) << "driver -> work edge lost by merge";
+  bool backward = false;
+  for (const pdbCall* c : work->callers()) backward |= c->call() == driver;
+  EXPECT_TRUE(backward) << "work's callers do not record driver";
+
+  // Every callee edge in the merged database has its inverse.
+  for (const pdbRoutine* r : merged.getRoutineVec()) {
+    for (const pdbCall* c : r->callees()) {
+      bool has_inverse = false;
+      for (const pdbCall* back : c->call()->callers())
+        has_inverse |= back->call() == r;
+      EXPECT_TRUE(has_inverse) << r->fullName() << " -> "
+                               << c->call()->fullName();
+    }
+  }
+
+  // Stability: rebuilding from the same inputs gives the same bytes.
+  EXPECT_EQ(pdb::writeToString(merged.raw()), pdb::writeToString(build().raw()));
+}
 
 TEST(Ductape, MergeUnionsNamespaceMembers) {
   PDB a = compileToPdb("a.cpp", "namespace util { void from_a() {} }\n");

@@ -5,6 +5,7 @@
 
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
+#include "pdb/pdb.h"
 #include "tools/tools.h"
 
 namespace pdt::tools {
@@ -206,6 +207,46 @@ TEST(Pdbhtml, TableOfContentsAndAllSections) {
   }
   EXPECT_NE(html.find("id=\"ma"), std::string::npos);  // macro items present
   EXPECT_NE(html.find("LIMIT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdt::tools
+
+namespace pdt::tools {
+namespace {
+
+// Regression: entities with no recorded source location (compiler-generated
+// ctors/dtors, builtins) must render as "<generated>" in every utility —
+// never as an empty or garbage file:line.
+TEST(LocText, MissingLocationRendersAsGenerated) {
+  EXPECT_EQ(locText(ductape::pdbLoc{}), "<generated>");
+}
+
+TEST(LocText, GeneratedAppearsInConvAndHtmlOutput) {
+  pdb::PdbFile raw;
+  pdb::SourceFileItem file;
+  file.name = "gen.cpp";
+  const std::uint32_t so = raw.addSourceFile(std::move(file));
+  pdb::RoutineItem located;
+  located.name = "anchor";
+  located.location = {so, 4, 1};
+  located.defined = true;
+  raw.addRoutine(std::move(located));
+  pdb::RoutineItem generated;  // no location: a synthesized default ctor
+  generated.name = "synth";
+  generated.defined = true;
+  raw.addRoutine(std::move(generated));
+
+  const ductape::PDB pdb = ductape::PDB::fromPdbFile(raw);
+  std::ostringstream conv;
+  pdbconv(pdb, conv);
+  EXPECT_NE(conv.str().find("<generated>"), std::string::npos);
+  EXPECT_NE(conv.str().find("gen.cpp:4:1"), std::string::npos);
+
+  std::ostringstream html;
+  pdbhtml(pdb, html);
+  // The HTML escapes the angle brackets but must carry the same marker.
+  EXPECT_NE(html.str().find("&lt;generated&gt;"), std::string::npos);
 }
 
 }  // namespace
