@@ -1,0 +1,166 @@
+// Build-cache effectiveness: the same multi-TU compile-and-merge run
+// cold (empty cache: compile + store), warm (every TU hits), and with a
+// 10%-dirty tree (one TU of ten misses). The acceptance bar for the
+// cache (ISSUE PR3): warm must be at least 3x faster than cold.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "tools/build_cache.h"
+#include "tools/driver.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kUnits = 10;
+
+/// A ten-TU scratch project sharing one template-heavy header, plus a
+/// cache directory — built once, reused by every benchmark in this
+/// binary, removed at exit.
+class Project {
+ public:
+  Project() {
+    dir_ = fs::temp_directory_path() /
+           ("pdt_bench_cache_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(cacheDir());
+    std::ofstream(dir_ / "lib.h")
+        << "#pragma once\n"
+           "template <class T>\n"
+           "class Box {\n"
+           "public:\n"
+           "    Box() : inner(T()) {}\n"
+           "    void put(const T& x) { inner = x; }\n"
+           "    T take() { return inner; }\n"
+           "    bool vacant() const { return false; }\n"
+           "    int probe() const { return 1; }\n"
+           "    T inner;\n"
+           "};\n";
+    for (int u = 0; u < kUnits; ++u) {
+      const fs::path tu = dir_ / ("tu" + std::to_string(u) + ".cpp");
+      std::ofstream(tu) << source(u);
+      inputs_.push_back(tu.string());
+    }
+    options_.frontend.include_dirs.push_back(dir_.string());
+    options_.cache.dir = cacheDir().string();
+  }
+
+  ~Project() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Statement-heavy functions over the shared Box template: expensive
+  /// to parse and type-check, but the resulting database is a handful of
+  /// items — the workload shape where republishing a cached PDB pays off
+  /// most (the cache skips parse/sema/IL, not the merge).
+  [[nodiscard]] std::string source(int unit) const {
+    const std::string id = std::to_string(unit);
+    std::string src = "#include \"lib.h\"\n";
+    for (int f = 0; f < 4; ++f) {
+      src += "int calc" + id + "_" + std::to_string(f) + "(int x) {\n";
+      src += "    Box<int> b;\n    b.put(x);\n";
+      for (int i = 0; i < 400; ++i) {
+        src += "    x = x + " + std::to_string(i) + " * 2 - (x / 3);\n";
+      }
+      src += "    return x + b.take();\n}\n";
+    }
+    return src;
+  }
+
+  [[nodiscard]] fs::path cacheDir() const { return dir_ / "cache"; }
+
+  void clearCache() const {
+    fs::remove_all(cacheDir());
+    fs::create_directories(cacheDir());
+  }
+
+  /// Removes the cached entry for input `unit` so the next run misses it.
+  void evictUnit(int unit) const {
+    pdt::SourceManager sm;
+    const auto key = pdt::tools::computeCacheKey(
+        sm, inputs_[static_cast<std::size_t>(unit)], options_.frontend,
+        options_.analyzer);
+    if (!key) return;
+    std::error_code ec;
+    fs::remove(cacheDir() / (key->hex + ".pdb"), ec);
+    fs::remove(cacheDir() / (key->hex + ".manifest"), ec);
+  }
+
+  [[nodiscard]] pdt::tools::DriverResult compile(std::size_t jobs) const {
+    pdt::tools::DriverOptions options = options_;
+    options.jobs = jobs;
+    return pdt::tools::compileAndMerge(inputs_, options);
+  }
+
+ private:
+  fs::path dir_;
+  std::vector<std::string> inputs_;
+  pdt::tools::DriverOptions options_;
+};
+
+Project& project() {
+  static Project instance;
+  return instance;
+}
+
+void recordStats(benchmark::State& state, const pdt::tools::CacheStats& stats) {
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+}
+
+void BM_CacheCold(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  pdt::tools::CacheStats last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    project().clearCache();
+    state.ResumeTiming();
+    const pdt::tools::DriverResult result = project().compile(jobs);
+    benchmark::DoNotOptimize(result.success);
+    last = result.cache_stats;
+  }
+  recordStats(state, last);
+}
+BENCHMARK(BM_CacheCold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CacheWarm(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  project().clearCache();
+  (void)project().compile(jobs);  // populate
+  pdt::tools::CacheStats last;
+  for (auto _ : state) {
+    const pdt::tools::DriverResult result = project().compile(jobs);
+    benchmark::DoNotOptimize(result.success);
+    last = result.cache_stats;
+  }
+  recordStats(state, last);
+}
+BENCHMARK(BM_CacheWarm)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CacheDirty10Percent(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  project().clearCache();
+  (void)project().compile(jobs);  // populate
+  pdt::tools::CacheStats last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    project().evictUnit(0);  // 1 of 10 TUs must recompile
+    state.ResumeTiming();
+    const pdt::tools::DriverResult result = project().compile(jobs);
+    benchmark::DoNotOptimize(result.success);
+    last = result.cache_stats;
+  }
+  recordStats(state, last);
+}
+BENCHMARK(BM_CacheDirty10Percent)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+#include "bench/bench_main.h"
+PDT_BENCH_MAIN()

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary with --json and merges the per-binary records
+# into one snapshot array (the BENCH_pr*.json format committed at the
+# repo root).
+#
+#   scripts/bench.sh [build-dir] [output.json]
+#
+# Defaults: build-dir = ./build, output = BENCH_pr3.json in the repo
+# root. Binaries that fail to run fail the script (a bench that cannot
+# run must not silently vanish from the snapshot).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+OUT="${2:-${ROOT}/BENCH_pr3.json}"
+BENCH_DIR="${BUILD}/bench"
+
+if [ ! -d "${BENCH_DIR}" ]; then
+    echo "no bench directory at ${BENCH_DIR}; build first" >&2
+    exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+ran=0
+for bin in "${BENCH_DIR}"/bench_*; do
+    [ -f "${bin}" ] && [ -x "${bin}" ] || continue
+    name="$(basename "${bin}")"
+    echo "== ${name} =="
+    "${bin}" --json "${TMP}/${name}.json" > /dev/null
+    ran=$((ran + 1))
+done
+
+if [ "${ran}" -eq 0 ]; then
+    echo "no bench_* binaries under ${BENCH_DIR}" >&2
+    exit 1
+fi
+
+# Each --json file is an array of {"name", "iters", "ns_per_op"} records;
+# the snapshot is their concatenation, in binary-name order.
+jq -s 'add' "${TMP}"/bench_*.json > "${OUT}"
+echo "wrote $(jq 'length' "${OUT}") records to ${OUT}"

@@ -33,4 +33,24 @@ echo "== self-hosted pdbcheck =="
     -o "${BUILD}/ci_krylov.pdb"
 "${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_krylov.pdb" --checks=all -j "${JOBS}"
 
+echo "== build cache determinism =="
+# Compile the same inputs twice into a fresh cache directory: the first
+# run compiles and stores, the second republishes every TU from the
+# cache. The merged databases must be byte-identical (and identical to
+# the uncached database produced above).
+CACHE_DIR="${BUILD}/ci_cache"
+rm -rf "${CACHE_DIR}"
+"${BUILD}/src/tools/cxxparse" \
+    "${ROOT}/inputs/pooma_mini/krylov.cpp" \
+    -I "${ROOT}/inputs/pooma_mini" -I "${ROOT}/runtime/pdt_stl" \
+    --cache-dir "${CACHE_DIR}" --cache-stats -j "${JOBS}" \
+    -o "${BUILD}/ci_krylov_cold.pdb"
+"${BUILD}/src/tools/cxxparse" \
+    "${ROOT}/inputs/pooma_mini/krylov.cpp" \
+    -I "${ROOT}/inputs/pooma_mini" -I "${ROOT}/runtime/pdt_stl" \
+    --cache-dir "${CACHE_DIR}" --cache-stats -j "${JOBS}" \
+    -o "${BUILD}/ci_krylov_warm.pdb"
+cmp "${BUILD}/ci_krylov_cold.pdb" "${BUILD}/ci_krylov_warm.pdb"
+cmp "${BUILD}/ci_krylov.pdb" "${BUILD}/ci_krylov_warm.pdb"
+
 echo "== CI gate passed =="

@@ -18,9 +18,17 @@ PDB::PDB(PDB&&) noexcept = default;
 PDB& PDB::operator=(PDB&&) noexcept = default;
 
 std::string pdbItem::fullName() const {
-  if (parent_class_ != nullptr) return parent_class_->fullName() + "::" + name_;
-  if (parent_nspace_ != nullptr) return parent_nspace_->fullName() + "::" + name_;
-  return name_;
+  if (parent_class_ == nullptr && parent_nspace_ == nullptr) return name_;
+  if (full_name_.empty()) {
+    const std::string parent = parent_class_ != nullptr
+                                   ? parent_class_->fullName()
+                                   : parent_nspace_->fullName();
+    full_name_.reserve(parent.size() + 2 + name_.size());
+    full_name_ = parent;
+    full_name_ += "::";
+    full_name_ += name_;
+  }
+  return full_name_;
 }
 
 // ---------------------------------------------------------------------------

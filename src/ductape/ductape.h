@@ -141,6 +141,14 @@ class pdbItem : public pdbSimpleItem {
   access_t access_ = AC_NA;
   const pdbClass* parent_class_ = nullptr;
   const pdbNamespace* parent_nspace_ = nullptr;
+
+ private:
+  /// Qualified-name cache: parents never change after PDB::build(), and a
+  /// merge discards and rebuilds every object, so the first computation
+  /// stays valid for the object's lifetime. Tree walks (pdbtree, the
+  /// instrumentor) ask for fullName() once per visited edge; without the
+  /// cache each ask re-walks the parent chain and reallocates.
+  mutable std::string full_name_;
 };
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "support/text.h"
+
 namespace pdt::lex {
 namespace {
 
@@ -76,7 +78,8 @@ void Preprocessor::popFile() {
   assert(!file_stack_.empty());
   const FileState& fs = file_stack_.back();
   if (static_cast<int>(cond_stack_.size()) != fs.cond_depth_at_entry) {
-    diags_.error({fs.file, 1, 1}, "unterminated #if in '" + sm_.name(fs.file) + "'");
+    diags_.error({fs.file, 1, 1},
+                 concat({"unterminated #if in '", sm_.name(fs.file), "'"}));
     cond_stack_.resize(static_cast<std::size_t>(fs.cond_depth_at_entry));
   }
   entered_files_.erase(fs.file);
@@ -136,7 +139,7 @@ void Preprocessor::handleDirective(const Token& hash) {
     // the matching #endif is now dead.
     readDirectiveLine();
     if (cond_stack_.empty()) {
-      diags_.error(hash.location, "#" + directive + " without matching #if");
+      diags_.error(hash.location, concat({"#", directive, " without matching #if"}));
       return;
     }
     skipToElseOrEndif(/*allow_else=*/false);
@@ -152,13 +155,15 @@ void Preprocessor::handleDirective(const Token& hash) {
     if (!line.empty() && line[0].isIdentifier("once"))
       pragma_once_files_.insert(fs.file);
   } else if (directive == "error") {
-    diags_.error(hash.location, "#error " + joinTokens(readDirectiveLine()));
+    diags_.error(hash.location, concat({"#error ", joinTokens(readDirectiveLine())}));
   } else if (directive == "warning") {
-    diags_.warning(hash.location, "#warning " + joinTokens(readDirectiveLine()));
+    diags_.warning(hash.location,
+                   concat({"#warning ", joinTokens(readDirectiveLine())}));
   } else if (directive == "line") {
     readDirectiveLine();  // accepted and ignored; PDB keeps physical lines
   } else {
-    diags_.warning(hash.location, "unknown directive #" + directive + " ignored");
+    diags_.warning(hash.location,
+                   concat({"unknown directive #", directive, " ignored"}));
     readDirectiveLine();
   }
 }
@@ -183,7 +188,7 @@ void Preprocessor::handleInclude(std::vector<Token> line, SourceLocation loc) {
   const FileId includer = file_stack_.back().file;
   const auto target = sm_.resolveInclude(spelling, angled, includer);
   if (!target) {
-    diags_.error(loc, "cannot open include file '" + spelling + "'");
+    diags_.error(loc, concat({"cannot open include file '", spelling, "'"}));
     return;
   }
   include_edges_.push_back({includer, *target, loc});
@@ -193,7 +198,7 @@ void Preprocessor::handleInclude(std::vector<Token> line, SourceLocation loc) {
   }
   if (pragma_once_files_.contains(*target)) return;
   if (entered_files_.contains(*target)) {
-    diags_.warning(loc, "circular #include of '" + spelling + "' skipped");
+    diags_.warning(loc, concat({"circular #include of '", spelling, "' skipped"}));
     return;
   }
 
@@ -270,7 +275,7 @@ void Preprocessor::handleConditional(const std::string& kind,
   bool value = false;
   if (kind == "ifdef" || kind == "ifndef") {
     if (line.empty()) {
-      diags_.error(loc, "#" + kind + " expects a macro name");
+      diags_.error(loc, concat({"#", kind, " expects a macro name"}));
     } else {
       value = macros_.contains(line[0].text);
     }
@@ -365,7 +370,7 @@ class CondParser {
     return false;
   }
   void fail(const std::string& why) {
-    if (!failed_) diags_.error(loc_, "in #if expression: " + why);
+    if (!failed_) diags_.error(loc_, concat({"in #if expression: ", why}));
     failed_ = true;
   }
 
@@ -409,7 +414,7 @@ class CondParser {
     if (eatPunct("~")) return ~parsePrimary();
     if (eatPunct("-")) return -parsePrimary();
     if (eatPunct("+")) return parsePrimary();
-    fail("unexpected token '" + t->text + "'");
+    fail(concat({"unexpected token '", t->text, "'"}));
     ++i_;
     return 0;
   }
@@ -484,7 +489,7 @@ class CondParser {
       }
       return a % b;
     }
-    fail("unsupported operator '" + std::string(op) + "'");
+    fail(concat({"unsupported operator '", op, "'"}));
     return 0;
   }
 
@@ -732,10 +737,10 @@ std::vector<Token> Preprocessor::expandTokenList(
       if (args) {
         if (args->size() != macro.params.size() &&
             !(args->empty() && macro.params.empty())) {
-          diags_.error(t.location, "macro '" + macro.name + "' expects " +
-                                       std::to_string(macro.params.size()) +
-                                       " arguments, got " +
-                                       std::to_string(args->size()));
+          diags_.error(t.location,
+                       concat({"macro '", macro.name, "' expects ",
+                               std::to_string(macro.params.size()),
+                               " arguments, got ", std::to_string(args->size())}));
           out.push_back(t);
           continue;
         }
@@ -794,10 +799,10 @@ Token Preprocessor::next() {
         if (!args) return t;  // no '(' → plain identifier
         if (args->size() != macro.params.size() &&
             !(args->empty() && macro.params.empty())) {
-          diags_.error(t.location, "macro '" + macro.name + "' expects " +
-                                       std::to_string(macro.params.size()) +
-                                       " arguments, got " +
-                                       std::to_string(args->size()));
+          diags_.error(t.location,
+                       concat({"macro '", macro.name, "' expects ",
+                               std::to_string(macro.params.size()),
+                               " arguments, got ", std::to_string(args->size())}));
           return t;
         }
         std::vector<Token> exp = expandMacroUse(macro, t, std::move(*args), {});

@@ -1,0 +1,78 @@
+#include "support/hash.h"
+
+#include <array>
+#include <istream>
+
+namespace pdt {
+
+namespace {
+
+// FNV-1a 128-bit parameters (offset basis and prime), as two 64-bit halves.
+constexpr std::uint64_t kBasisHi = 0x6c62272e07bb0142ull;
+constexpr std::uint64_t kBasisLo = 0x62b821756295c58dull;
+constexpr std::uint64_t kPrimeHi = 0x0000000001000000ull;
+constexpr std::uint64_t kPrimeLo = 0x000000000000013bull;
+
+constexpr unsigned __int128 make128(std::uint64_t hi, std::uint64_t lo) {
+  return (static_cast<unsigned __int128>(hi) << 64) | lo;
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(i)] = kDigits[(hi >> (60 - 4 * i)) & 0xF];
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(16 + i)] = kDigits[(lo >> (60 - 4 * i)) & 0xF];
+  return out;
+}
+
+Fnv128::Fnv128() : state_(make128(kBasisHi, kBasisLo)) {}
+
+Fnv128& Fnv128::update(std::string_view bytes) {
+  constexpr unsigned __int128 prime = make128(kPrimeHi, kPrimeLo);
+  unsigned __int128 h = state_;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= prime;
+  }
+  state_ = h;
+  return *this;
+}
+
+Fnv128& Fnv128::updateU64(std::uint64_t value) {
+  std::array<char, 8> bytes;
+  for (int i = 0; i < 8; ++i)
+    bytes[static_cast<std::size_t>(i)] = static_cast<char>(value >> (8 * i));
+  return update(std::string_view(bytes.data(), bytes.size()));
+}
+
+Digest128 Fnv128::digest() const {
+  return {static_cast<std::uint64_t>(state_ >> 64),
+          static_cast<std::uint64_t>(state_)};
+}
+
+std::uint64_t hash64(std::string_view bytes) {
+  return Fnv64{}.update(bytes).digest();
+}
+
+Digest128 hash128(std::string_view bytes) {
+  return Fnv128{}.update(bytes).digest();
+}
+
+std::size_t hashStream(Fnv128& hasher, std::istream& is) {
+  std::array<char, 64 * 1024> buffer;
+  std::size_t total = 0;
+  while (is) {
+    is.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const auto got = static_cast<std::size_t>(is.gcount());
+    if (got == 0) break;
+    hasher.update(std::string_view(buffer.data(), got));
+    total += got;
+  }
+  return total;
+}
+
+}  // namespace pdt

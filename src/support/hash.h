@@ -1,0 +1,77 @@
+// Fast non-cryptographic content hashing (FNV-1a, 64- and 128-bit).
+//
+// The build cache keys cache entries by the hash of a TU's full
+// preprocessed input, so the hasher must be deterministic across runs,
+// platforms, and processes — no pointer mixing, no seeding. FNV-1a fits:
+// byte-at-a-time, well-known fixed vectors to test against, and the
+// 128-bit variant gives collision headroom for content addressing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace pdt {
+
+/// Streaming 64-bit FNV-1a. update() may be called any number of times;
+/// the digest of the concatenation equals the digest of one-shot input.
+class Fnv64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  Fnv64& update(std::string_view bytes) {
+    for (const char c : bytes) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+  /// Hashes `value`'s little-endian byte representation (length framing).
+  Fnv64& updateU64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= static_cast<unsigned char>(value >> (8 * i));
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// A 128-bit digest as two 64-bit halves (hi/lo of the FNV state).
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+  /// 32 lowercase hex characters, hi half first — stable across runs, so
+  /// it doubles as an on-disk cache entry name.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Streaming 128-bit FNV-1a, same contract as Fnv64.
+class Fnv128 {
+ public:
+  Fnv128();
+
+  Fnv128& update(std::string_view bytes);
+  Fnv128& updateU64(std::uint64_t value);
+  [[nodiscard]] Digest128 digest() const;
+
+ private:
+  unsigned __int128 state_;
+};
+
+/// One-shot conveniences.
+[[nodiscard]] std::uint64_t hash64(std::string_view bytes);
+[[nodiscard]] Digest128 hash128(std::string_view bytes);
+
+/// Streams the remainder of `is` through `hasher` in fixed-size chunks;
+/// returns the number of bytes consumed.
+std::size_t hashStream(Fnv128& hasher, std::istream& is);
+
+}  // namespace pdt

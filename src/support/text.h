@@ -1,6 +1,8 @@
 // Small text utilities shared by the PDB writer/reader and code generators.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,5 +33,17 @@ namespace pdt {
 
 /// Parses a non-negative integer; returns false on malformed input.
 [[nodiscard]] bool parseUint(std::string_view text, std::uint32_t& out);
+
+/// Joins the pieces into one string with a single exact-size allocation.
+/// Diagnostic-message call sites build text from 3-6 fragments; chaining
+/// operator+ there allocates a fresh temporary per fragment.
+[[nodiscard]] inline std::string concat(std::initializer_list<std::string_view> pieces) {
+  std::size_t total = 0;
+  for (std::string_view p : pieces) total += p.size();
+  std::string out;
+  out.reserve(total);
+  for (std::string_view p : pieces) out.append(p);
+  return out;
+}
 
 }  // namespace pdt

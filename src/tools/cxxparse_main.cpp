@@ -3,13 +3,19 @@
 // paper's Figure 2 pipeline in one command.
 //
 //   cxxparse <source.cpp>... [-I dir]... [-D name[=value]]... [-o out.pdb]
-//            [-j N] [--dump-ast] [--instantiate-all] [--direct-template-links]
+//            [-j N] [--cache-dir dir] [--cache-limit-mb N] [--cache-stats]
+//            [--no-cache] [--dump-ast] [--instantiate-all]
+//            [--direct-template-links]
 //
 // With several sources, each is compiled separately and the databases
 // are merged (duplicate template instantiations eliminated), matching
 // the compile-then-pdbmerge workflow of the paper. -j N compiles the
 // translation units on N worker threads; the merge is always performed
 // in input order, so the output is byte-identical to a serial run.
+//
+// --cache-dir enables the content-addressed per-TU build cache
+// (docs/CACHING.md): unchanged TUs are republished from disk instead of
+// recompiled, and cached/uncached/mixed runs stay byte-identical.
 #include <charconv>
 #include <iostream>
 #include <string>
@@ -24,10 +30,18 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: cxxparse <source.cpp>... [-I dir] [-D name[=value]] "
-    "[-o out.pdb] [-j N] [--dump-ast] [--instantiate-all] "
+    "[-o out.pdb] [-j N] [--cache-dir dir] [--cache-limit-mb N] "
+    "[--cache-stats] [--no-cache] [--dump-ast] [--instantiate-all] "
     "[--direct-template-links]\n"
-    "  -j N, --jobs N   compile translation units on N worker threads\n"
-    "                   (N >= 1; output is identical to a serial run)\n";
+    "  -j N, --jobs N      compile translation units on N worker threads\n"
+    "                      (N >= 1; output is identical to a serial run)\n"
+    "  --cache-dir dir     reuse per-TU results from the content-addressed\n"
+    "                      build cache in dir (created if missing); output\n"
+    "                      is identical to an uncached run\n"
+    "  --cache-limit-mb N  after the run, evict least-recently-used cache\n"
+    "                      entries until the cache is at most N MiB\n"
+    "  --cache-stats       print hit/miss/store counters to stderr\n"
+    "  --no-cache          ignore --cache-dir (compile everything)\n";
 
 /// Parses a -j/--jobs value: a positive decimal integer. Exits with a
 /// diagnostic on 0 or non-numeric input instead of quietly misbehaving.
@@ -43,12 +57,28 @@ std::size_t parseJobs(const std::string& value) {
   return jobs;
 }
 
+/// Parses a --cache-limit-mb value: a non-negative decimal integer
+/// (0 = unlimited, the default).
+std::size_t parseCacheLimit(const std::string& value) {
+  std::size_t mb = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), mb);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    std::cerr << "cxxparse: invalid cache limit '" << value
+              << "' (expected a size in MiB)\n";
+    std::exit(2);
+  }
+  return mb;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string output;
   bool dump_ast = false;
+  bool no_cache = false;
+  bool cache_stats = false;
   pdt::tools::DriverOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +110,21 @@ int main(int argc, char** argv) {
     } else if (arg.starts_with("--jobs=")) {
       options.jobs = parseJobs(arg.substr(7));
     } else if (arg == "-j" || arg == "--jobs") {
+      std::cerr << "cxxparse: " << arg << " requires a value\n";
+      return 2;
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      options.cache.dir = argv[++i];
+    } else if (arg.starts_with("--cache-dir=")) {
+      options.cache.dir = arg.substr(12);
+    } else if (arg == "--cache-limit-mb" && i + 1 < argc) {
+      options.cache.limit_mb = parseCacheLimit(argv[++i]);
+    } else if (arg.starts_with("--cache-limit-mb=")) {
+      options.cache.limit_mb = parseCacheLimit(arg.substr(17));
+    } else if (arg == "--cache-stats") {
+      cache_stats = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--cache-dir" || arg == "--cache-limit-mb") {
       std::cerr << "cxxparse: " << arg << " requires a value\n";
       return 2;
     } else if (arg == "--dump-ast") {
@@ -125,10 +170,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (no_cache) options.cache = {};
   const pdt::tools::DriverResult result =
       pdt::tools::compileAndMerge(inputs, options);
   std::cerr << result.diagnostics;
+  if (cache_stats) {
+    const auto& s = result.cache_stats;
+    std::cerr << "cache: " << s.hits << " hit" << (s.hits == 1 ? "" : "s")
+              << ", " << s.misses << " miss" << (s.misses == 1 ? "" : "es")
+              << ", " << s.stores << " stored, " << s.evictions
+              << " evicted, " << s.unkeyed << " unkeyed\n";
+  }
   if (!result.success) return 1;
+
+  if (!options.cache.dir.empty() && options.cache.limit_mb > 0) {
+    // Post-run LRU sweep: trims the cache back under the cap after the
+    // fresh entries from this run have been published.
+    const pdt::tools::BuildCache cache(options.cache);
+    cache.sweep();
+  }
 
   if (!pdt::pdb::writeToFile(result.pdb->raw(), output)) {
     std::cerr << "cxxparse: cannot write '" << output << "'\n";

@@ -15,14 +15,34 @@ namespace {
 struct UnitResult {
   pdb::PdbFile pdb;
   std::string diagnostics;
+  CacheStats cache_stats;
   bool success = false;
 };
 
-UnitResult compileUnit(const std::string& input, const DriverOptions& options) {
+UnitResult compileUnit(const std::string& input, const DriverOptions& options,
+                       const BuildCache* cache) {
   // Per-TU state only — SourceManager, DiagnosticEngine, and Frontend are
-  // not shared across tasks, which keeps the parallel path race-free.
+  // not shared across tasks, which keeps the parallel path race-free. The
+  // BuildCache is shared but stateless beyond its atomic-rename filesystem
+  // protocol, so concurrent workers may fetch/store freely.
   UnitResult unit;
   SourceManager sm;
+
+  std::optional<CacheKey> key;
+  if (cache != nullptr && cache->enabled()) {
+    // The scan loads the TU's include closure into `sm`, so a cache miss
+    // compiles over already-loaded contents instead of re-reading disk.
+    key = computeCacheKey(sm, input, options.frontend, options.analyzer);
+    if (!key) ++unit.cache_stats.unkeyed;
+    if (key) {
+      if (auto cached = cache->fetch(*key, unit.cache_stats)) {
+        unit.pdb = std::move(*cached);
+        unit.success = true;
+        return unit;
+      }
+    }
+  }
+
   DiagnosticEngine diags;
   frontend::Frontend frontend(sm, diags, options.frontend);
   auto result = frontend.compileFile(input);
@@ -31,6 +51,10 @@ UnitResult compileUnit(const std::string& input, const DriverOptions& options) {
   unit.diagnostics = std::move(diag_text).str();
   unit.success = result.success;
   if (unit.success) unit.pdb = ilanalyzer::analyze(result, sm, options.analyzer);
+  // Only silent successes are cached: a hit skips the compile, so any
+  // diagnostics a cached TU produced would vanish from warm runs.
+  if (key && unit.success && unit.diagnostics.empty())
+    cache->store(*key, unit.pdb, unit.cache_stats);
   return unit;
 }
 
@@ -40,10 +64,12 @@ DriverResult compileAndMerge(const std::vector<std::string>& inputs,
                              const DriverOptions& options) {
   DriverResult out;
   std::vector<UnitResult> units(inputs.size());
+  const BuildCache cache(options.cache);
+  const BuildCache* cache_ptr = cache.enabled() ? &cache : nullptr;
 
   if (options.jobs <= 1 || inputs.size() <= 1) {
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      units[i] = compileUnit(inputs[i], options);
+      units[i] = compileUnit(inputs[i], options, cache_ptr);
       if (!units[i].success) {
         // Serial behaviour: stop at the first failing TU.
         units.resize(i + 1);
@@ -55,8 +81,9 @@ DriverResult compileAndMerge(const std::vector<std::string>& inputs,
     std::vector<std::future<UnitResult>> futures;
     futures.reserve(inputs.size());
     for (const std::string& input : inputs) {
-      futures.push_back(pool.submit(
-          [&input, &options] { return compileUnit(input, options); }));
+      futures.push_back(pool.submit([&input, &options, cache_ptr] {
+        return compileUnit(input, options, cache_ptr);
+      }));
     }
     // Collect in input order regardless of completion order.
     for (std::size_t i = 0; i < futures.size(); ++i) units[i] = futures[i].get();
@@ -67,6 +94,7 @@ DriverResult compileAndMerge(const std::vector<std::string>& inputs,
   std::optional<ductape::PDB> merged;
   for (const UnitResult& unit : units) {
     out.diagnostics += unit.diagnostics;
+    out.cache_stats += unit.cache_stats;
     if (!unit.success) return out;
     if (!merged) {
       merged = ductape::PDB::fromPdbFile(unit.pdb);

@@ -17,6 +17,7 @@
 #include "ductape/ductape.h"
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
+#include "tools/build_cache.h"
 
 namespace pdt::tools {
 
@@ -24,6 +25,11 @@ struct DriverOptions {
   frontend::FrontendOptions frontend;
   ilanalyzer::AnalyzerOptions analyzer;
   std::size_t jobs = 1;  // worker threads for per-TU compilation
+  /// Per-TU build cache (cache.dir empty = disabled). A hit republishes
+  /// the cached database instead of compiling; hits, misses, and mixed
+  /// runs all produce byte-identical merged output (enforced by
+  /// tests/integration/cache_determinism_test).
+  CacheOptions cache;
 };
 
 struct DriverResult {
@@ -33,6 +39,8 @@ struct DriverResult {
   /// the first failing one are omitted, matching the serial driver which
   /// stops at the first failure.
   std::string diagnostics;
+  /// Aggregated cache counters (all zero when the cache is disabled).
+  CacheStats cache_stats;
   bool success = false;
 };
 

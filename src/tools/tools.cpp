@@ -1,9 +1,9 @@
 #include "tools/tools.h"
 
 #include <future>
-#include <iomanip>
 #include <ostream>
 #include <utility>
+#include <vector>
 
 #include "support/text.h"
 #include "support/thread_pool.h"
@@ -325,54 +325,94 @@ PDB pdbmerge(std::vector<PDB> inputs, std::size_t jobs) {
 // pdbtree
 // ---------------------------------------------------------------------------
 
-// The call-graph display routine, reproduced from paper Figure 5. The
-// only changes are the explicit std:: qualifiers and the ostream
-// parameter in place of the global cout.
+namespace {
+
+/// Writes `width` spaces from a caller-owned, reusable pad buffer. The
+/// deep-tree walks emit O(depth) padding per line — going through the
+/// ostream's setw/fill machinery for each line dominated BM_CallTreeWalk
+/// (the /500 chain spends most of its bytes on indentation).
+void writePad(std::ostream& os, std::string& pad, int width) {
+  if (width <= 0) return;
+  const auto w = static_cast<std::size_t>(width);
+  if (pad.size() < w) pad.resize(w, ' ');
+  os.write(pad.data(), static_cast<std::streamsize>(w));
+}
+
+}  // namespace
+
+// The call-graph display routine of paper Figure 5, with the same output
+// byte for byte. The paper's version recurses per callee and re-copies
+// each callvec; on deep call chains (BM_CallTreeWalk/500) that walk is
+// hot, so this implementation drives an explicit worklist instead:
+// no per-node vector copies, no recursion depth limit, and indentation
+// comes from a single reusable pad buffer.
 void printFuncTree(const pdbRoutine* r, int level, std::ostream& os) {
+  struct Frame {
+    const pdbRoutine* routine;
+    std::size_t next = 0;  // index of the next callee to visit
+  };
+  std::string pad;
+  std::vector<Frame> stack;
   r->flag(ACTIVE);
-  pdbRoutine::callvec c = r->callees();
-  for (pdbRoutine::callvec::iterator it = c.begin(); it != c.end(); ++it) {
-    const pdbRoutine* rr = (*it)->call();
-    if (level != 0 || rr->callees().size()) {
-      os << std::setw((level - 1) * 5) << "";
-      if (level) os << "`--> ";
+  stack.push_back({r});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const pdbRoutine::callvec& callees = frame.routine->callees();
+    if (frame.next >= callees.size()) {
+      frame.routine->flag(INACTIVE);
+      stack.pop_back();
+      continue;
+    }
+    const pdbCall* call = callees[frame.next++];
+    const pdbRoutine* rr = call->call();
+    // The routine on top of the stack prints its callees at `level` plus
+    // its depth below the root — exactly the paper's level parameter.
+    const int cur = level + static_cast<int>(stack.size()) - 1;
+    if (cur != 0 || !rr->callees().empty()) {
+      writePad(os, pad, (cur - 1) * 5);
+      if (cur) os << "`--> ";
       os << rr->fullName();
-      if ((*it)->isVirtual()) os << " (VIRTUAL)";
+      if (call->isVirtual()) os << " (VIRTUAL)";
       if (rr->flag() == ACTIVE) {
         os << " ... " << '\n';
       } else {
         os << '\n';
-        printFuncTree(rr, level + 1, os);
+        rr->flag(ACTIVE);
+        stack.push_back({rr});  // invalidates `frame`; loop re-derives it
       }
     }
   }
-  r->flag(INACTIVE);
 }
 
 namespace {
 
-void printIncludeTree(const pdbFile* f, int level, std::ostream& os) {
+void printIncludeTree(const pdbFile* f, int level, std::ostream& os,
+                      std::string& pad) {
   f->flag(ACTIVE);
-  os << std::setw(level * 4) << "" << f->name() << '\n';
+  writePad(os, pad, level * 4);
+  os << f->name() << '\n';
   for (const pdbFile* inc : f->includes()) {
     if (inc->flag() == ACTIVE) {
-      os << std::setw((level + 1) * 4) << "" << inc->name() << " ...\n";
+      writePad(os, pad, (level + 1) * 4);
+      os << inc->name() << " ...\n";
     } else {
-      printIncludeTree(inc, level + 1, os);
+      printIncludeTree(inc, level + 1, os, pad);
     }
   }
   f->flag(INACTIVE);
 }
 
-void printClassTree(const pdbClass* c, int level, std::ostream& os) {
+void printClassTree(const pdbClass* c, int level, std::ostream& os,
+                    std::string& pad) {
   c->flag(ACTIVE);
-  os << std::setw(level * 4) << "" << c->fullName() << "  ["
-     << locText(c->location()) << "]\n";
+  writePad(os, pad, level * 4);
+  os << c->fullName() << "  [" << locText(c->location()) << "]\n";
   for (const pdbClass* d : c->derivedClasses()) {
     if (d->flag() == ACTIVE) {
-      os << std::setw((level + 1) * 4) << "" << d->fullName() << " ...\n";
+      writePad(os, pad, (level + 1) * 4);
+      os << d->fullName() << " ...\n";
     } else {
-      printClassTree(d, level + 1, os);
+      printClassTree(d, level + 1, os, pad);
     }
   }
   c->flag(INACTIVE);
@@ -381,18 +421,19 @@ void printClassTree(const pdbClass* c, int level, std::ostream& os) {
 }  // namespace
 
 void pdbtree(const PDB& pdb, TreeKind kind, std::ostream& os) {
+  std::string pad;
   switch (kind) {
     case TreeKind::Includes: {
       os << "Source file inclusion tree\n--------------------------\n";
       for (const pdbFile* root : pdb.getIncludeTreeRoots()) {
-        printIncludeTree(root, 0, os);
+        printIncludeTree(root, 0, os, pad);
       }
       break;
     }
     case TreeKind::ClassHierarchy: {
       os << "Class hierarchy\n---------------\n";
       for (const pdbClass* root : pdb.getClassHierarchyRoots()) {
-        printClassTree(root, 0, os);
+        printClassTree(root, 0, os, pad);
       }
       break;
     }

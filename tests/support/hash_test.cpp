@@ -1,0 +1,89 @@
+// Fixed-vector tests for the FNV-1a hasher underlying build-cache keys.
+// The vectors are the published FNV-1a reference values; if either
+// digest drifts, every existing cache entry silently misses, so these
+// constants are load-bearing for cache stability across builds.
+#include "support/hash.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pdt {
+namespace {
+
+TEST(Fnv64, FixedVectors) {
+  EXPECT_EQ(hash64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(hash64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(hash64("abc"), 0xe71fa2190541574bull);
+  EXPECT_EQ(hash64("foobar"), 0x85944171f73967e8ull);
+  EXPECT_EQ(hash64("hello world"), 0x779a65e7023cd2e7ull);
+}
+
+TEST(Fnv64, StreamingMatchesOneShot) {
+  Fnv64 h;
+  h.update("foo");
+  h.update("");
+  h.update("bar");
+  EXPECT_EQ(h.digest(), hash64("foobar"));
+}
+
+TEST(Fnv64, UpdateU64IsLittleEndian) {
+  Fnv64 a;
+  a.updateU64(0x0807060504030201ull);
+  Fnv64 b;
+  b.update(std::string_view("\x01\x02\x03\x04\x05\x06\x07\x08", 8));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Fnv128, FixedVectors) {
+  EXPECT_EQ(hash128("").hex(), "6c62272e07bb014262b821756295c58d");
+  EXPECT_EQ(hash128("a").hex(), "d228cb696f1a8caf78912b704e4a8964");
+  EXPECT_EQ(hash128("abc").hex(), "a68d622cec8b5822836dbc7977af7f3b");
+  EXPECT_EQ(hash128("foobar").hex(), "343e1662793c64bf6f0d3597ba446f18");
+  EXPECT_EQ(hash128("hello world").hex(), "6c155799fdc8eec4b91523808e7726b7");
+}
+
+TEST(Fnv128, StreamingMatchesOneShot) {
+  Fnv128 h;
+  h.update("hello");
+  h.update(" ");
+  h.update("world");
+  EXPECT_EQ(h.digest().hex(), hash128("hello world").hex());
+}
+
+TEST(Fnv128, HexIs32LowercaseChars) {
+  const std::string hex = hash128("x").hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Fnv128, DistinctInputsDistinctDigests) {
+  const Digest128 a = hash128("tu1.cpp contents");
+  const Digest128 b = hash128("tu1.cpp contents ");
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(HashStream, MatchesBufferHash) {
+  // Larger than one 64 KiB chunk so the chunked reader exercises both
+  // the full-read and the partial-tail paths.
+  std::string big;
+  big.reserve(200000);
+  for (int i = 0; i < 20000; ++i) big += "0123456789";
+  std::istringstream in(big);
+  Fnv128 streamed;
+  hashStream(streamed, in);
+  EXPECT_EQ(streamed.digest().hex(), hash128(big).hex());
+}
+
+TEST(HashStream, EmptyStream) {
+  std::istringstream in("");
+  Fnv128 streamed;
+  hashStream(streamed, in);
+  EXPECT_EQ(streamed.digest().hex(), hash128("").hex());
+}
+
+}  // namespace
+}  // namespace pdt
