@@ -1,8 +1,8 @@
 // JSON summary output shared by every bench_* binary: records are written
 // as an array of {"name", "iters", "ns_per_op"} objects when --json <path>
-// is passed. This header is dependency-free so the PLAIN table/figure
-// benches can use it too; the google-benchmark binaries layer a collecting
-// reporter on top (bench_main.h).
+// is passed. String escaping comes from support/text.h (one escaper for
+// every JSON writer in the tree); the google-benchmark binaries layer a
+// collecting reporter on top (bench_main.h).
 #pragma once
 
 #include <chrono>
@@ -10,6 +10,8 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "support/text.h"
 
 namespace pdt::benchutil {
 
@@ -20,18 +22,7 @@ struct JsonRecord {
 };
 
 inline std::string jsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out.push_back(c); break;
-    }
-  }
-  return out;
+  return escapeJson(text);
 }
 
 inline bool writeJson(const std::string& path,

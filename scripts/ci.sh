@@ -53,4 +53,52 @@ rm -rf "${CACHE_DIR}"
 cmp "${BUILD}/ci_krylov_cold.pdb" "${BUILD}/ci_krylov_warm.pdb"
 cmp "${BUILD}/ci_krylov.pdb" "${BUILD}/ci_krylov_warm.pdb"
 
+echo "== observability =="
+# Traced + stats'd Krylov builds. Validates (a) the trace file is
+# well-formed Chrome trace_event JSON with real spans, (b) the stats
+# counters are non-trivial, and (c) the counter totals are
+# byte-identical across -j values and across the cold/warm cache runs
+# (docs/OBSERVABILITY.md) — the determinism contract that makes stats
+# diffs meaningful in CI.
+OBS_CACHE="${BUILD}/ci_obs_cache"
+rm -rf "${OBS_CACHE}"
+for run in j1 j4 cold warm; do
+    case "${run}" in
+        j1)   extra=(-j 1) ;;
+        j4)   extra=(-j 4) ;;
+        cold) extra=(-j "${JOBS}" --cache-dir "${OBS_CACHE}") ;;
+        warm) extra=(-j "${JOBS}" --cache-dir "${OBS_CACHE}") ;;
+    esac
+    "${BUILD}/src/tools/cxxparse" \
+        "${ROOT}/inputs/pooma_mini/krylov.cpp" \
+        -I "${ROOT}/inputs/pooma_mini" -I "${ROOT}/runtime/pdt_stl" \
+        -o "${BUILD}/ci_obs_${run}.pdb" "${extra[@]}" \
+        --stats=json --stats-out "${BUILD}/ci_obs_${run}.stats.json" \
+        --trace-out "${BUILD}/ci_obs_${run}.trace.json" 2> /dev/null
+done
+python3 - "${BUILD}" <<'PY'
+import json, sys
+build = sys.argv[1]
+
+trace = json.load(open(f"{build}/ci_obs_j1.trace.json"))
+events = trace["traceEvents"]
+spans = [e for e in events if e["ph"] == "X"]
+assert spans, "trace has no complete spans"
+assert any(e["name"] == "tu.compile" for e in spans), "no tu.compile span"
+assert all(e["dur"] >= 0 for e in spans), "negative span duration"
+assert any(e["ph"] == "M" for e in events), "no thread-name metadata"
+
+def counters(run):
+    return json.load(open(f"{build}/ci_obs_{run}.stats.json"))["counters"]
+
+j1 = counters("j1")
+assert j1["lex.tokens"] > 0 and j1["sema.class_instantiations"] > 0, \
+    f"implausible counters: {j1}"
+assert j1["driver.tus"] == 1, j1["driver.tus"]
+for run in ("j4", "cold", "warm"):
+    assert counters(run) == j1, f"counters differ for {run} run"
+print(f"observability OK: {len(spans)} spans, "
+      f"{j1['lex.tokens']} tokens, counters identical across 4 runs")
+PY
+
 echo "== CI gate passed =="

@@ -4,11 +4,14 @@
 #include <future>
 #include <ostream>
 
+#include "support/text.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace pdt::analysis {
 
 CheckResult runChecks(const ductape::PDB& pdb, const CheckOptions& options) {
+  PDT_TRACE_SCOPE("check.context");
   const AnalysisContext ctx = AnalysisContext::build(pdb);
   return runChecks(ctx, options);
 }
@@ -32,12 +35,17 @@ CheckResult runChecks(const AnalysisContext& ctx, const CheckOptions& options) {
     done.reserve(result.rules_run.size());
     for (std::size_t i = 0; i < result.rules_run.size(); ++i) {
       done.push_back(pool.submit([&ctx, rule = result.rules_run[i],
-                                  sink = &sinks[i]] { rule->run(ctx, *sink); }));
+                                  sink = &sinks[i]] {
+        PDT_TRACE_SCOPE("check.rule", rule->name());
+        rule->run(ctx, *sink);
+      }));
     }
     for (auto& f : done) f.get();
   } else {
-    for (std::size_t i = 0; i < result.rules_run.size(); ++i)
+    for (std::size_t i = 0; i < result.rules_run.size(); ++i) {
+      PDT_TRACE_SCOPE("check.rule", result.rules_run[i]->name());
       result.rules_run[i]->run(ctx, sinks[i]);
+    }
   }
 
   for (DiagSink& sink : sinks) {
@@ -50,6 +58,10 @@ CheckResult runChecks(const AnalysisContext& ctx, const CheckOptions& options) {
       case Severity::Warning: ++result.warnings; break;
       case Severity::Note: ++result.notes; break;
     }
+    // Counted post-sort on the caller's thread, so totals and per-rule
+    // keys are identical for every -j.
+    trace::count(trace::Counter::CheckFindings);
+    trace::countKey("check.findings.by_rule", d.rule);
   }
   return result;
 }
@@ -66,29 +78,8 @@ void renderText(const CheckResult& result, std::ostream& os) {
 
 namespace {
 
-std::string jsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xF];
-          out += hex[c & 0xF];
-        } else {
-          out.push_back(c);
-        }
-        break;
-    }
-  }
-  return out;
-}
+/// JSON string escaping is shared with every other writer in the tree.
+std::string jsonEscape(std::string_view text) { return escapeJson(text); }
 
 std::string_view sarifLevel(Severity s) {
   switch (s) {

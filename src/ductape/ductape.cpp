@@ -9,6 +9,7 @@
 
 #include "pdb/reader.h"
 #include "pdb/writer.h"
+#include "support/trace.h"
 
 namespace pdt::ductape {
 
@@ -478,7 +479,10 @@ std::string macroKey(const pdb::MacroItem& m) {
 }  // namespace
 
 void PDB::merge(const PDB& other) {
+  PDT_TRACE_SCOPE("ductape.merge");
+  trace::count(trace::Counter::MergeMerges);
   const pdb::PdbFile& theirs = other.raw_;
+  const std::size_t items_before = raw_.itemCount();
 
   // Old-id -> merged-id maps, per kind.
   std::unordered_map<std::uint32_t, std::uint32_t> file_map, type_map,
@@ -781,6 +785,11 @@ void PDB::merge(const PDB& other) {
   }
 
   raw_.reindex();
+  // Whatever `theirs` carried that did not grow the merged database was a
+  // duplicate folded into an existing item.
+  const std::size_t grew = raw_.itemCount() - items_before;
+  trace::count(trace::Counter::MergeDuplicatesElided,
+               theirs.itemCount() >= grew ? theirs.itemCount() - grew : 0);
   graph_dirty_ = true;  // object graph rebuilt lazily at the next accessor
 }
 

@@ -1,6 +1,7 @@
 #include "frontend/frontend.h"
 
 #include "parse/parser.h"
+#include "support/trace.h"
 
 namespace pdt::frontend {
 
@@ -33,22 +34,37 @@ CompileResult Frontend::compileSource(const std::string& name,
 
 CompileResult Frontend::compile(FileId main_file) {
   const std::size_t errors_before = diags_.errorCount();
+  // Phase spans carry the TU path as their detail, which is what groups
+  // them into --stats per-TU rows (trace::StatsReport). Copied, not a
+  // reference: loading included files can reallocate the SourceManager's
+  // file table out from under it.
+  const std::string tu = sm_.name(main_file);
 
   lex::Preprocessor pp(sm_, diags_);
-  for (const auto& [name, value] : options_.defines) pp.predefineMacro(name, value);
-  pp.enterMainFile(main_file);
-
   std::vector<lex::Token> tokens;
-  for (lex::Token t = pp.next(); !t.isEnd(); t = pp.next())
-    tokens.push_back(std::move(t));
+  {
+    PDT_TRACE_SCOPE("frontend.lex", tu);
+    for (const auto& [name, value] : options_.defines)
+      pp.predefineMacro(name, value);
+    pp.enterMainFile(main_file);
+    for (lex::Token t = pp.next(); !t.isEnd(); t = pp.next())
+      tokens.push_back(std::move(t));
+    trace::count(trace::Counter::LexTokens, tokens.size());
+  }
 
   CompileResult result;
   result.ast = std::make_unique<ast::AstContext>();
   result.sema = std::make_unique<sema::Sema>(*result.ast, sm_, diags_,
                                              options_.sema);
-  parse::Parser parser(*result.sema, sm_, diags_, std::move(tokens));
-  parser.parseTranslationUnit();
-  result.sema->finalize();
+  {
+    PDT_TRACE_SCOPE("frontend.parse", tu);
+    parse::Parser parser(*result.sema, sm_, diags_, std::move(tokens));
+    parser.parseTranslationUnit();
+  }
+  {
+    PDT_TRACE_SCOPE("sema.finalize", tu);
+    result.sema->finalize();
+  }
 
   result.macros = pp.macroRecords();
   result.includes = pp.includeEdges();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ast/walk.h"
+#include "support/trace.h"
 
 namespace pdt::ilanalyzer {
 
@@ -37,7 +38,10 @@ IlAnalyzer::IlAnalyzer(const frontend::CompileResult& result,
 
 pdb::PdbFile analyze(const frontend::CompileResult& result,
                      const SourceManager& sm, AnalyzerOptions options) {
-  return IlAnalyzer(result, sm, options).analyze();
+  PDT_TRACE_SCOPE("il.analyze", sm.name(result.main_file));
+  pdb::PdbFile out = IlAnalyzer(result, sm, options).analyze();
+  trace::count(trace::Counter::IlItems, out.itemCount());
+  return out;
 }
 
 pdb::PdbFile IlAnalyzer::analyze() {

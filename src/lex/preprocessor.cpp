@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "support/text.h"
+#include "support/trace.h"
 
 namespace pdt::lex {
 namespace {
@@ -192,6 +193,7 @@ void Preprocessor::handleInclude(std::vector<Token> line, SourceLocation loc) {
     return;
   }
   include_edges_.push_back({includer, *target, loc});
+  trace::count(trace::Counter::PpIncludes);
   if (std::find(files_seen_.begin(), files_seen_.end(), *target) ==
       files_seen_.end()) {
     files_seen_.push_back(*target);
@@ -620,6 +622,7 @@ Preprocessor::collectArgsFromStream() {
 std::vector<Token> Preprocessor::expandMacroUse(
     const Macro& macro, const Token& name_tok,
     std::vector<std::vector<Token>> args, std::unordered_set<std::string> active) {
+  trace::count(trace::Counter::PpMacroExpansions);
   const auto paramIndex = [&](const Token& t) -> int {
     if (!t.is(TokenKind::Identifier)) return -1;
     for (std::size_t p = 0; p < macro.params.size(); ++p) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/text.h"
+#include "support/trace.h"
 
 namespace pdt::pdb {
 namespace {
@@ -394,7 +395,14 @@ class Reader {
 
 }  // namespace
 
-ReadResult readFromBuffer(std::string_view text) { return Reader(text).run(); }
+ReadResult readFromBuffer(std::string_view text) {
+  ReadResult result = Reader(text).run();
+  if (result.ok()) {
+    trace::count(trace::Counter::PdbFilesRead);
+    trace::count(trace::Counter::PdbItemsRead, result.pdb.itemCount());
+  }
+  return result;
+}
 
 ReadResult read(std::istream& is) {
   // Slurp the stream; parsing one contiguous buffer beats getline-per-line.
@@ -408,6 +416,7 @@ ReadResult readFromString(const std::string& text) {
 }
 
 std::optional<ReadResult> readFromFile(const std::string& path) {
+  PDT_TRACE_SCOPE("pdb.read", path);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   // One-shot read of the whole file instead of line-by-line getline.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/text.h"
+#include "support/trace.h"
 
 namespace pdt::pdb {
 namespace {
@@ -38,6 +39,8 @@ void writeLoc(std::ostream& os, std::string_view key, const Pos& pos) {
 }  // namespace
 
 void write(const PdbFile& pdb, std::ostream& os) {
+  trace::count(trace::Counter::PdbFilesWritten);
+  trace::count(trace::Counter::PdbItemsWritten, pdb.itemCount());
   os << "<PDB " << PdbFile::kVersion << ">\n\n";
 
   for (const SourceFileItem& f : pdb.sourceFiles()) {
@@ -171,6 +174,7 @@ std::string writeToString(const PdbFile& pdb) {
 }
 
 bool writeToFile(const PdbFile& pdb, const std::string& path) {
+  PDT_TRACE_SCOPE("pdb.write", path);
   std::ofstream out(path);
   if (!out) return false;
   write(pdb, out);

@@ -10,6 +10,7 @@
 
 #include "ast/walk.h"
 #include "sema/sema.h"
+#include "support/trace.h"
 
 namespace pdt::sema {
 namespace {
@@ -417,6 +418,10 @@ ast::ClassDecl* Sema::instantiateClassTemplate(
     return nullptr;
   }
 
+  PDT_TRACE_SCOPE("sema.instantiate", td->name());
+  trace::count(trace::Counter::SemaClassInstantiations);
+  trace::countKey("sema.instantiations.by_template", td->name());
+
   auto* inst = ctx_.create<ClassDecl>();
   inst->setName(instantiationName(td, full_args));
   // Like EDG's IL (paper Fig. 3, cl#8): the instantiation's positions are
@@ -551,6 +556,10 @@ ast::FunctionDecl* Sema::instantiateFunctionTemplate(
     return nullptr;
   }
 
+  PDT_TRACE_SCOPE("sema.instantiate", td->name());
+  trace::count(trace::Counter::SemaFuncInstantiations);
+  trace::countKey("sema.instantiations.by_template", td->name());
+
   const auto subst = [&](const Type* t) { return substituteType(t, args); };
 
   auto* fi = ctx_.create<FunctionDecl>();
@@ -618,6 +627,7 @@ void Sema::instantiateBodyIfNeeded(ast::FunctionDecl* fn) {
     fn->ctor_inits.push_back(std::move(ci));
   }
   ++instantiated_bodies_;
+  trace::count(trace::Counter::SemaBodiesInstantiated);
   queueForResolution(fn);
 }
 

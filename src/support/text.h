@@ -31,6 +31,11 @@ namespace pdt {
 /// Escapes &, <, >, " for HTML output (pdbhtml).
 [[nodiscard]] std::string escapeHtml(std::string_view text);
 
+/// Escapes ", \, and control characters for a JSON string literal. Shared
+/// by every JSON writer in the tree (trace/stats output, pdbcheck's SARIF
+/// renderer, the bench harness).
+[[nodiscard]] std::string escapeJson(std::string_view text);
+
 /// Parses a non-negative integer; returns false on malformed input.
 [[nodiscard]] bool parseUint(std::string_view text, std::uint32_t& out);
 

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "support/trace.h"
+
 namespace pdt {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -27,24 +29,44 @@ std::size_t ThreadPool::defaultConcurrency() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  Job entry{std::move(job), 0};
+  const bool collecting = trace::collecting();
+  if (collecting) entry.enqueue_us = trace::nowUs();
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(job));
+    queue_.push(std::move(entry));
+    if (collecting) {
+      trace::counterSample("pool.queue_depth",
+                           static_cast<std::int64_t>(queue_.size()));
+    }
   }
   wake_.notify_one();
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t index) {
+  if (trace::collecting())
+    trace::setThreadName("worker-" + std::to_string(index));
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop();
+      if (trace::collecting()) {
+        trace::counterSample("pool.queue_depth",
+                             static_cast<std::int64_t>(queue_.size()));
+      }
     }
-    job();  // packaged_task: exceptions land in the future
+    if (job.enqueue_us != 0) {
+      // Queue latency: enqueue -> dequeue, attributed to this worker.
+      const std::uint64_t now = trace::nowUs();
+      trace::emitComplete("pool.wait", job.enqueue_us,
+                          now >= job.enqueue_us ? now - job.enqueue_us : 0);
+    }
+    PDT_TRACE_SCOPE("pool.task");
+    job.fn();  // packaged_task: exceptions land in the future
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -56,12 +57,20 @@ class ThreadPool {
   [[nodiscard]] static std::size_t defaultConcurrency();
 
  private:
+  /// Queue entry: the job plus its enqueue timestamp (0 when tracing is
+  /// off) so the worker can emit a "pool.wait" span for the time the task
+  /// sat in the queue.
+  struct Job {
+    std::function<void()> fn;
+    std::uint64_t enqueue_us = 0;
+  };
+
   void enqueue(std::function<void()> job);
-  void workerLoop();
+  void workerLoop(std::size_t index);
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <unistd.h>
+#include <utility>
 
 #include "lex/preprocessor.h"
 #include "pdb/reader.h"
@@ -117,13 +119,48 @@ std::optional<Manifest> parseManifest(const fs::path& path) {
   return m;
 }
 
-void removeEntryFiles(const fs::path& pdb_path, const fs::path& manifest_path) {
+void removeEntryFiles(const fs::path& pdb_path, const fs::path& manifest_path,
+                      const fs::path& stats_path) {
   std::error_code ec;
   fs::remove(pdb_path, ec);
   fs::remove(manifest_path, ec);
+  fs::remove(stats_path, ec);
+}
+
+std::optional<std::string> slurpFile(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
 }
 
 }  // namespace
+
+std::string cacheStatsText(const CacheStats& stats) {
+  std::string line = "cache: ";
+  line += std::to_string(stats.hits);
+  line += stats.hits == 1 ? " hit, " : " hits, ";
+  line += std::to_string(stats.misses);
+  line += stats.misses == 1 ? " miss, " : " misses, ";
+  line += std::to_string(stats.stores);
+  line += " stored, ";
+  line += std::to_string(stats.evictions);
+  line += " evicted, ";
+  line += std::to_string(stats.unkeyed);
+  line += " unkeyed";
+  return line;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> cacheStatsSection(
+    const CacheStats& stats) {
+  return {{"hits", stats.hits},
+          {"misses", stats.misses},
+          {"stores", stats.stores},
+          {"evictions", stats.evictions},
+          {"unkeyed", stats.unkeyed},
+          {"revalidations", stats.revalidations}};
+}
 
 std::string canonicalOptionsText(
     const frontend::FrontendOptions& frontend_options,
@@ -158,6 +195,10 @@ std::optional<CacheKey> computeCacheKey(
     SourceManager& sm, const std::string& input,
     const frontend::FrontendOptions& frontend_options,
     const ilanalyzer::AnalyzerOptions& analyzer_options) {
+  // The scan is cache plumbing, not compilation: its preprocessor counts
+  // (includes, macro expansions) must not pollute the TU's counters, or
+  // warm and cold runs would disagree.
+  const trace::CounterScope suppress(nullptr);
   for (const std::string& dir : frontend_options.include_dirs)
     sm.addSearchDir(dir);
   const auto main_file = sm.loadFile(input);
@@ -221,11 +262,20 @@ std::string BuildCache::manifestPath(const CacheKey& key) const {
   return (fs::path(options_.dir) / (key.hex + ".manifest")).string();
 }
 
+std::string BuildCache::statsPath(const CacheKey& key) const {
+  return (fs::path(options_.dir) / (key.hex + ".stats")).string();
+}
+
 std::optional<pdb::PdbFile> BuildCache::fetch(const CacheKey& key,
-                                              CacheStats& stats) const {
+                                              CacheStats& stats,
+                                              trace::CounterBlock* replay) const {
   if (!enabled()) return std::nullopt;
+  // Cache I/O (the entry's pdb parse in particular) must not count as
+  // compilation work; the entry's own sidecar carries the real counters.
+  const trace::CounterScope suppress(nullptr);
   const fs::path pdb_path = pdbPath(key);
   const fs::path manifest_path = manifestPath(key);
+  const fs::path stats_path = statsPath(key);
 
   // The manifest is published last, so its presence marks a complete
   // entry; no manifest (or an unparsable one) means miss.
@@ -233,7 +283,7 @@ std::optional<pdb::PdbFile> BuildCache::fetch(const CacheKey& key,
   std::error_code ec;
   if (!manifest || manifest->key != key.hex) {
     if (manifest || fs::exists(pdb_path, ec)) {
-      removeEntryFiles(pdb_path, manifest_path);
+      removeEntryFiles(pdb_path, manifest_path, stats_path);
       ++stats.evictions;
     }
     ++stats.misses;
@@ -243,25 +293,37 @@ std::optional<pdb::PdbFile> BuildCache::fetch(const CacheKey& key,
   auto read = pdb::readFromFile(pdb_path.string());
   const bool parses = read && read->ok();
   // Never trust a cache entry: a truncated, hand-edited, or stale-format
-  // value must fall back to a recompile, not flow into the merge.
-  if (!parses || !pdb::validate(read->pdb).empty()) {
-    removeEntryFiles(pdb_path, manifest_path);
+  // value must fall back to a recompile, not flow into the merge. The
+  // counter sidecar is part of the entry: without it a hit could not
+  // replay the compile's counters, so it too is revalidated here.
+  const auto sidecar_text = slurpFile(stats_path);
+  const auto sidecar =
+      sidecar_text ? trace::CounterBlock::deserialize(*sidecar_text)
+                   : std::nullopt;
+  if (!parses || !sidecar || !pdb::validate(read->pdb).empty()) {
+    removeEntryFiles(pdb_path, manifest_path, stats_path);
     ++stats.evictions;
     ++stats.misses;
     return std::nullopt;
   }
+  ++stats.revalidations;
 
   // Bump the manifest stamp so the LRU sweep sees this entry as fresh.
   (void)atomicWrite(manifest_path, renderManifest(key, nowStamp(), manifest->size));
   ++stats.hits;
+  if (replay != nullptr) *replay = *sidecar;
   return std::move(read->pdb);
 }
 
 void BuildCache::store(const CacheKey& key, const pdb::PdbFile& pdb,
+                       const trace::CounterBlock& counters,
                        CacheStats& stats) const {
   if (!enabled()) return;
+  // Serializing the pdb here is cache plumbing; see fetch().
+  const trace::CounterScope suppress(nullptr);
   const std::string bytes = pdb::writeToString(pdb);
   if (!atomicWrite(pdbPath(key), bytes)) return;
+  if (!atomicWrite(statsPath(key), counters.serialize())) return;
   if (!atomicWrite(manifestPath(key), renderManifest(key, nowStamp(), bytes.size())))
     return;
   ++stats.stores;
@@ -303,6 +365,9 @@ std::size_t BuildCache::sweep() const {
     std::error_code size_ec;
     const auto pdb_size = fs::file_size(e.pdb_path, size_ec);
     if (!size_ec) e.bytes += static_cast<std::uint64_t>(pdb_size);
+    const auto stats_size =
+        fs::file_size(fs::path(path).replace_extension(".stats"), size_ec);
+    if (!size_ec) e.bytes += static_cast<std::uint64_t>(stats_size);
     // An unparsable manifest sorts oldest (stamp 0): evicted first.
     if (manifest) e.stamp = manifest->stamp;
     total += e.bytes;
@@ -317,7 +382,8 @@ std::size_t BuildCache::sweep() const {
   std::size_t removed = 0;
   for (const Entry& e : entries) {
     if (total <= cap) break;
-    removeEntryFiles(e.pdb_path, e.manifest_path);
+    removeEntryFiles(e.pdb_path, e.manifest_path,
+                     fs::path(e.manifest_path).replace_extension(".stats"));
     total -= std::min(total, e.bytes);
     ++removed;
   }

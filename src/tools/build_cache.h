@@ -13,9 +13,11 @@
 //     order (discovered by a preprocessor-only scan, so a header edit —
 //     or a -D that flips a conditional include — changes the key).
 //
-// Entry layout: <dir>/<key>.pdb (the serialized per-TU database) plus
+// Entry layout: <dir>/<key>.pdb (the serialized per-TU database),
+// <dir>/<key>.stats (the TU's trace::CounterBlock, replayed on hit so
+// --stats is identical across warm and cold runs), and
 // <dir>/<key>.manifest (one "key|stamp|size|source|dep;dep;..." line).
-// Both are published atomically (write temp + rename), so concurrent
+// All are published atomically (write temp + rename), so concurrent
 // writers at any -j are safe: both produce identical bytes and either
 // rename wins. Fetches revalidate with pdb::validate; truncated, corrupt,
 // or referentially broken entries are silently evicted and recompiled —
@@ -25,18 +27,20 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
 #include "pdb/pdb.h"
 #include "support/source_manager.h"
+#include "support/trace.h"
 
 namespace pdt::tools {
 
 /// Bumped whenever the PDB serialization or the key derivation changes;
 /// entries written by other versions simply never match.
-inline constexpr std::string_view kCacheFormatVersion = "pdt-cache-1";
+inline constexpr std::string_view kCacheFormatVersion = "pdt-cache-2";
 
 struct CacheOptions {
   std::string dir;            // empty = caching disabled
@@ -48,8 +52,9 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t stores = 0;
-  std::size_t evictions = 0;   // corrupt/stale entries dropped on fetch
-  std::size_t unkeyed = 0;     // TUs whose dependency scan failed
+  std::size_t evictions = 0;       // corrupt/stale entries dropped on fetch
+  std::size_t unkeyed = 0;         // TUs whose dependency scan failed
+  std::size_t revalidations = 0;   // entries re-parsed + validated on fetch
 
   CacheStats& operator+=(const CacheStats& o) {
     hits += o.hits;
@@ -57,9 +62,19 @@ struct CacheStats {
     stores += o.stores;
     evictions += o.evictions;
     unkeyed += o.unkeyed;
+    revalidations += o.revalidations;
     return *this;
   }
 };
+
+/// The historical one-line --cache-stats text: "cache: N hits, N misses,
+/// N stored, N evicted, N unkeyed". Kept byte-stable for scripts.
+[[nodiscard]] std::string cacheStatsText(const CacheStats& stats);
+
+/// The same counters as a named section for trace::StatsReport (--stats /
+/// --cache-stats=json).
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+cacheStatsSection(const CacheStats& stats);
 
 /// A computed cache key plus the dependency list that went into it (kept
 /// for the manifest, so `--cache-dir` contents are inspectable).
@@ -96,14 +111,24 @@ class BuildCache {
   /// that fails to parse or fails pdb::validate is deleted (counted in
   /// `stats.evictions`) and nullopt returned. `stats` is the caller's
   /// per-TU counter block (the driver keeps one per task and sums them).
-  [[nodiscard]] std::optional<pdb::PdbFile> fetch(const CacheKey& key,
-                                                  CacheStats& stats) const;
+  ///
+  /// When `replay` is non-null, the entry's counter sidecar (the
+  /// trace::CounterBlock recorded when the TU was compiled and stored) is
+  /// deserialized into it; an entry with a missing or corrupt sidecar is
+  /// evicted, so a hit always replays the original compile's counters —
+  /// that is what keeps --stats byte-identical across warm and cold runs.
+  /// All I/O done here is counted under a suppressing CounterScope so
+  /// cache plumbing never leaks into compile counters.
+  [[nodiscard]] std::optional<pdb::PdbFile> fetch(
+      const CacheKey& key, CacheStats& stats,
+      trace::CounterBlock* replay = nullptr) const;
 
-  /// Publishes `pdb` under `key` (atomic: temp file + rename). Failures
-  /// are silent — the cache is an optimization, never a correctness
-  /// dependency.
+  /// Publishes `pdb` under `key` (atomic: temp file + rename), together
+  /// with the TU's counter sidecar `counters` (written before the
+  /// manifest, which still publishes last). Failures are silent — the
+  /// cache is an optimization, never a correctness dependency.
   void store(const CacheKey& key, const pdb::PdbFile& pdb,
-             CacheStats& stats) const;
+             const trace::CounterBlock& counters, CacheStats& stats) const;
 
   /// Size-capped LRU sweep: while the entries' total size exceeds
   /// `limit_mb`, evict oldest-stamp-first (manifest stamps are bumped on
@@ -117,6 +142,7 @@ class BuildCache {
  private:
   [[nodiscard]] std::string pdbPath(const CacheKey& key) const;
   [[nodiscard]] std::string manifestPath(const CacheKey& key) const;
+  [[nodiscard]] std::string statsPath(const CacheKey& key) const;
 
   CacheOptions options_;
 };

@@ -24,6 +24,7 @@
 #include "ast/dump.h"
 #include "frontend/frontend.h"
 #include "pdb/writer.h"
+#include "support/trace.h"
 #include "tools/driver.h"
 
 namespace {
@@ -31,7 +32,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: cxxparse <source.cpp>... [-I dir] [-D name[=value]] "
     "[-o out.pdb] [-j N] [--cache-dir dir] [--cache-limit-mb N] "
-    "[--cache-stats] [--no-cache] [--dump-ast] [--instantiate-all] "
+    "[--cache-stats[=json]] [--no-cache] [--stats[=json]] [--stats-out FILE] "
+    "[--trace-out FILE] [--dump-ast] [--instantiate-all] "
     "[--direct-template-links]\n"
     "  -j N, --jobs N      compile translation units on N worker threads\n"
     "                      (N >= 1; output is identical to a serial run)\n"
@@ -41,7 +43,14 @@ constexpr const char* kUsage =
     "  --cache-limit-mb N  after the run, evict least-recently-used cache\n"
     "                      entries until the cache is at most N MiB\n"
     "  --cache-stats       print hit/miss/store counters to stderr\n"
-    "  --no-cache          ignore --cache-dir (compile everything)\n";
+    "                      (--cache-stats=json for a machine-readable form)\n"
+    "  --no-cache          ignore --cache-dir (compile everything)\n"
+    "  --stats[=json]      per-phase timing + counter report on stderr;\n"
+    "                      counters are identical at any -j and across\n"
+    "                      warm/cold cache runs (docs/OBSERVABILITY.md)\n"
+    "  --stats-out FILE    write the stats report to FILE\n"
+    "  --trace-out FILE    write a Chrome trace_event JSON timeline to FILE\n"
+    "                      (load in chrome://tracing or ui.perfetto.dev)\n";
 
 /// Parses a -j/--jobs value: a positive decimal integer. Exits with a
 /// diagnostic on 0 or non-numeric input instead of quietly misbehaving.
@@ -79,6 +88,8 @@ int main(int argc, char** argv) {
   bool dump_ast = false;
   bool no_cache = false;
   bool cache_stats = false;
+  bool cache_stats_json = false;
+  pdt::trace::ToolObservability obs;
   pdt::tools::DriverOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -120,8 +131,12 @@ int main(int argc, char** argv) {
       options.cache.limit_mb = parseCacheLimit(argv[++i]);
     } else if (arg.starts_with("--cache-limit-mb=")) {
       options.cache.limit_mb = parseCacheLimit(arg.substr(17));
-    } else if (arg == "--cache-stats") {
+    } else if (arg == "--cache-stats" || arg == "--cache-stats=text") {
       cache_stats = true;
+      cache_stats_json = false;
+    } else if (arg == "--cache-stats=json") {
+      cache_stats = true;
+      cache_stats_json = true;
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--cache-dir" || arg == "--cache-limit-mb") {
@@ -140,6 +155,17 @@ int main(int argc, char** argv) {
     } else if (!arg.starts_with("-")) {
       inputs.push_back(arg);
     } else {
+      bool used_next = false;
+      std::string error;
+      if (obs.parseFlag(arg, i + 1 < argc ? argv[i + 1] : nullptr, used_next,
+                        error)) {
+        if (!error.empty()) {
+          std::cerr << "cxxparse: " << error << '\n';
+          return 2;
+        }
+        if (used_next) ++i;
+        continue;
+      }
       std::cerr << "cxxparse: unknown option '" << arg << "'\n";
       return 2;
     }
@@ -171,17 +197,40 @@ int main(int argc, char** argv) {
   }
 
   if (no_cache) options.cache = {};
+  obs.begin();
   const pdt::tools::DriverResult result =
       pdt::tools::compileAndMerge(inputs, options);
   std::cerr << result.diagnostics;
   if (cache_stats) {
-    const auto& s = result.cache_stats;
-    std::cerr << "cache: " << s.hits << " hit" << (s.hits == 1 ? "" : "s")
-              << ", " << s.misses << " miss" << (s.misses == 1 ? "" : "es")
-              << ", " << s.stores << " stored, " << s.evictions
-              << " evicted, " << s.unkeyed << " unkeyed\n";
+    if (cache_stats_json) {
+      // The JSON form goes through the shared stats layer; the text form
+      // below stays byte-for-byte what scripts have always parsed.
+      pdt::trace::StatsReport report("cxxparse");
+      report.addSection("cache",
+                        pdt::tools::cacheStatsSection(result.cache_stats));
+      report.renderJson(std::cerr);
+    } else {
+      std::cerr << pdt::tools::cacheStatsText(result.cache_stats) << '\n';
+    }
   }
-  if (!result.success) return 1;
+  const auto emit_observability = [&] {
+    if (!obs.wanted()) return true;
+    pdt::trace::StatsReport report("cxxparse");
+    // Driver counters (per-TU blocks summed in input order) plus whatever
+    // was counted outside a TU scope: the input-order merge and the final
+    // database write.
+    pdt::trace::CounterBlock totals = result.counters;
+    totals += pdt::trace::globalCounters();
+    report.setCounters(std::move(totals));
+    if (!options.cache.dir.empty())
+      report.addSection("cache",
+                        pdt::tools::cacheStatsSection(result.cache_stats));
+    return obs.finish(report);
+  };
+  if (!result.success) {
+    emit_observability();
+    return 1;
+  }
 
   if (!options.cache.dir.empty() && options.cache.limit_mb > 0) {
     // Post-run LRU sweep: trims the cache back under the cap after the
@@ -197,5 +246,5 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << output << " (" << result.pdb->raw().itemCount()
             << " items from " << inputs.size() << " translation unit"
             << (inputs.size() == 1 ? "" : "s") << ")\n";
-  return 0;
+  return emit_observability() ? 0 : 1;
 }

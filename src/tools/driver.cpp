@@ -5,6 +5,7 @@
 
 #include "pdb/pdb.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace pdt::tools {
 
@@ -16,6 +17,7 @@ struct UnitResult {
   pdb::PdbFile pdb;
   std::string diagnostics;
   CacheStats cache_stats;
+  trace::CounterBlock counters;
   bool success = false;
 };
 
@@ -26,18 +28,32 @@ UnitResult compileUnit(const std::string& input, const DriverOptions& options,
   // BuildCache is shared but stateless beyond its atomic-rename filesystem
   // protocol, so concurrent workers may fetch/store freely.
   UnitResult unit;
+  // Everything this TU counts lands in its own block; the caller sums the
+  // blocks in input order, which is what makes --stats totals independent
+  // of -j and of which worker ran which TU.
+  const trace::CounterScope counter_scope(&unit.counters);
+  PDT_TRACE_SCOPE("tu.compile", input);
   SourceManager sm;
 
   std::optional<CacheKey> key;
   if (cache != nullptr && cache->enabled()) {
     // The scan loads the TU's include closure into `sm`, so a cache miss
     // compiles over already-loaded contents instead of re-reading disk.
-    key = computeCacheKey(sm, input, options.frontend, options.analyzer);
+    {
+      PDT_TRACE_SCOPE("cache.scan", input);
+      key = computeCacheKey(sm, input, options.frontend, options.analyzer);
+    }
     if (!key) ++unit.cache_stats.unkeyed;
     if (key) {
-      if (auto cached = cache->fetch(*key, unit.cache_stats)) {
+      std::optional<pdb::PdbFile> cached;
+      {
+        PDT_TRACE_SCOPE("cache.fetch", input);
+        cached = cache->fetch(*key, unit.cache_stats, &unit.counters);
+      }
+      if (cached) {
         unit.pdb = std::move(*cached);
         unit.success = true;
+        trace::count(trace::Counter::DriverTus);
         return unit;
       }
     }
@@ -53,8 +69,18 @@ UnitResult compileUnit(const std::string& input, const DriverOptions& options,
   if (unit.success) unit.pdb = ilanalyzer::analyze(result, sm, options.analyzer);
   // Only silent successes are cached: a hit skips the compile, so any
   // diagnostics a cached TU produced would vanish from warm runs.
-  if (key && unit.success && unit.diagnostics.empty())
-    cache->store(*key, unit.pdb, unit.cache_stats);
+  if (key && unit.success && unit.diagnostics.empty()) {
+    PDT_TRACE_SCOPE("cache.store", input);
+    cache->store(*key, unit.pdb, unit.counters, unit.cache_stats);
+  }
+  // Diagnostic totals are counted after the store on purpose: only silent
+  // TUs are cached, so the sidecar never carries (and a warm run never
+  // replays) nonzero diag counters — identical either way.
+  trace::count(trace::Counter::DiagErrors, diags.errorCount());
+  trace::count(trace::Counter::DiagWarnings, diags.warningCount());
+  trace::countKey("diag.errors.by_tu", input, diags.errorCount());
+  trace::countKey("diag.warnings.by_tu", input, diags.warningCount());
+  trace::count(trace::Counter::DriverTus);
   return unit;
 }
 
@@ -95,6 +121,7 @@ DriverResult compileAndMerge(const std::vector<std::string>& inputs,
   for (const UnitResult& unit : units) {
     out.diagnostics += unit.diagnostics;
     out.cache_stats += unit.cache_stats;
+    out.counters += unit.counters;
     if (!unit.success) return out;
     if (!merged) {
       merged = ductape::PDB::fromPdbFile(unit.pdb);

@@ -41,6 +41,10 @@ struct DriverResult {
   std::string diagnostics;
   /// Aggregated cache counters (all zero when the cache is disabled).
   CacheStats cache_stats;
+  /// Per-TU trace counters summed in input order (so --stats totals are
+  /// identical at any -j). On a cache hit the TU's counters are replayed
+  /// from the entry's sidecar, keeping warm and cold runs identical too.
+  trace::CounterBlock counters;
   bool success = false;
 };
 

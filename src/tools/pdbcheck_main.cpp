@@ -14,6 +14,7 @@
 
 #include "analysis/checker.h"
 #include "pdb/validate.h"
+#include "support/trace.h"
 #include "tools/tools.h"
 
 namespace {
@@ -26,6 +27,9 @@ constexpr const char* kUsage =
     "  -j N, --jobs N   run independent rules on N worker threads; output\n"
     "                   is byte-identical to -j 1\n"
     "  --list-checks    print the rule catalog and exit\n"
+    "  --stats[=json]   finding counters + per-rule timing on stderr\n"
+    "  --stats-out FILE write the stats report to FILE\n"
+    "  --trace-out FILE write a Chrome trace_event JSON timeline to FILE\n"
     "exit codes: 0 clean, 1 findings, 2 usage error, 3 invalid input\n";
 
 std::size_t parseJobs(const std::string& value) {
@@ -45,6 +49,7 @@ std::size_t parseJobs(const std::string& value) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   pdt::analysis::CheckOptions options;
+  pdt::trace::ToolObservability obs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +80,17 @@ int main(int argc, char** argv) {
     } else if (!arg.starts_with("-")) {
       paths.push_back(arg);
     } else {
+      bool used_next = false;
+      std::string error;
+      if (obs.parseFlag(arg, i + 1 < argc ? argv[i + 1] : nullptr, used_next,
+                        error)) {
+        if (!error.empty()) {
+          std::cerr << "pdbcheck: " << error << '\n';
+          return 2;
+        }
+        if (used_next) ++i;
+        continue;
+      }
       std::cerr << "pdbcheck: unknown option '" << arg << "'\n" << kUsage;
       return 2;
     }
@@ -83,6 +99,7 @@ int main(int argc, char** argv) {
     std::cerr << kUsage;
     return 2;
   }
+  obs.begin();
 
   std::vector<pdt::ductape::PDB> inputs;
   inputs.reserve(paths.size());
@@ -112,5 +129,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   pdt::analysis::render(result, options, std::cout);
+  if (obs.wanted()) {
+    pdt::trace::StatsReport report("pdbcheck");
+    report.setCounters(pdt::trace::globalCounters());
+    if (!obs.finish(report)) return 2;
+  }
   return result.hasFindings() ? 1 : 0;
 }

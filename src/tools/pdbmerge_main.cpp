@@ -12,13 +12,18 @@
 
 #include "pdb/validate.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 #include "tools/tools.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: pdbmerge <in1.pdb> <in2.pdb>... -o <out.pdb> [-j N]\n"
-    "  -j N, --jobs N   read and merge on N worker threads (N >= 1)\n";
+    "                [--stats[=json]] [--stats-out FILE] [--trace-out FILE]\n"
+    "  -j N, --jobs N    read and merge on N worker threads (N >= 1)\n"
+    "  --stats[=json]    merge counter + phase timing report on stderr\n"
+    "  --stats-out FILE  write the stats report to FILE\n"
+    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
 
 std::size_t parseJobs(const std::string& value) {
   std::size_t jobs = 0;
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string output;
   std::size_t jobs = 1;
+  pdt::trace::ToolObservability obs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +59,17 @@ int main(int argc, char** argv) {
     } else if (!arg.starts_with("-")) {
       paths.push_back(arg);
     } else {
+      bool used_next = false;
+      std::string error;
+      if (obs.parseFlag(arg, i + 1 < argc ? argv[i + 1] : nullptr, used_next,
+                        error)) {
+        if (!error.empty()) {
+          std::cerr << "pdbmerge: " << error << '\n';
+          return 2;
+        }
+        if (used_next) ++i;
+        continue;
+      }
       std::cerr << kUsage;
       return 2;
     }
@@ -61,6 +78,7 @@ int main(int argc, char** argv) {
     std::cerr << kUsage;
     return 2;
   }
+  obs.begin();
 
   // Read every input (in parallel with -j); report errors in input order.
   std::vector<pdt::ductape::PDB> inputs;
@@ -102,5 +120,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << output << '\n';
+  if (obs.wanted()) {
+    pdt::trace::StatsReport report("pdbmerge");
+    report.setCounters(pdt::trace::globalCounters());
+    if (!obs.finish(report)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,434 @@
+// Unit tests for the tracing/metrics subsystem: counter blocks and their
+// serialization (the build cache sidecar format), CounterScope routing,
+// disabled-mode zero-emission, Chrome trace_event JSON shape, and the
+// StatsReport aggregation behind --stats.
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pdt::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker (no external deps): validates the writers'
+// output is well-formed, not merely non-empty.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Every trace test starts from a clean slate and leaves collection off for
+/// the rest of the binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setCollecting(false);
+    resetEvents();
+    resetGlobalCounters();
+  }
+  void TearDown() override {
+    setCollecting(false);
+    resetEvents();
+    resetGlobalCounters();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, CounterScopeRoutesIntoBlock) {
+  CounterBlock block;
+  {
+    const CounterScope scope(&block);
+    count(Counter::LexTokens, 10);
+    count(Counter::LexTokens, 5);
+    countKey("sema.instantiations.by_template", "Stack", 2);
+  }
+  EXPECT_EQ(block.get(Counter::LexTokens), 15u);
+  EXPECT_EQ(block.keyed.at("sema.instantiations.by_template").at("Stack"), 2u);
+  // Nothing leaked into the global block.
+  EXPECT_EQ(globalCounters().get(Counter::LexTokens), 0u);
+}
+
+TEST_F(TraceTest, CountsOutsideScopeGoToGlobalBlock) {
+  count(Counter::MergeMerges, 3);
+  EXPECT_EQ(globalCounters().get(Counter::MergeMerges), 3u);
+}
+
+TEST_F(TraceTest, NullScopeSuppressesCounting) {
+  CounterBlock block;
+  const CounterScope outer(&block);
+  count(Counter::PpIncludes);
+  {
+    // The build cache opens this around its scan/fetch/store I/O.
+    const CounterScope suppress(nullptr);
+    count(Counter::PpIncludes, 100);
+    countKey("diag.errors.by_tu", "x.cpp", 1);
+  }
+  count(Counter::PpIncludes);
+  EXPECT_EQ(block.get(Counter::PpIncludes), 2u);
+  EXPECT_TRUE(block.keyed.empty());
+}
+
+TEST_F(TraceTest, ScopesNestAndRestore) {
+  CounterBlock outer_block, inner_block;
+  const CounterScope outer(&outer_block);
+  count(Counter::IlItems);
+  {
+    const CounterScope inner(&inner_block);
+    count(Counter::IlItems, 7);
+  }
+  count(Counter::IlItems);
+  EXPECT_EQ(outer_block.get(Counter::IlItems), 2u);
+  EXPECT_EQ(inner_block.get(Counter::IlItems), 7u);
+}
+
+TEST_F(TraceTest, ZeroCountIsNoOp) {
+  CounterBlock block;
+  const CounterScope scope(&block);
+  count(Counter::DiagErrors, 0);
+  countKey("diag.errors.by_tu", "x.cpp", 0);
+  EXPECT_EQ(block, CounterBlock{});
+  // In particular no keyed entry appears, so a run with zero diagnostics
+  // serializes identically to one that never touched the dimension.
+  EXPECT_TRUE(block.keyed.empty());
+}
+
+TEST_F(TraceTest, CounterBlockSerializeRoundTrips) {
+  CounterBlock block;
+  block.values[static_cast<std::size_t>(Counter::LexTokens)] = 1234;
+  block.values[static_cast<std::size_t>(Counter::SemaBodiesSkipped)] = 7;
+  block.keyed["sema.instantiations.by_template"]["Array"] = 3;
+  block.keyed["sema.instantiations.by_template"]["Stack"] = 1;
+  block.keyed["check.findings.by_rule"]["unused-template"] = 2;
+
+  const std::string text = block.serialize();
+  const auto back = CounterBlock::deserialize(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, block);
+  // Stable bytes: re-serializing reproduces the exact text (the warm/cold
+  // identity of the cache sidecar rests on this).
+  EXPECT_EQ(back->serialize(), text);
+  // All fixed slots serialize, even zero ones.
+  EXPECT_NE(text.find("counter merge.merges 0\n"), std::string::npos);
+}
+
+TEST_F(TraceTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(CounterBlock::deserialize("counter not.a.counter 5\n").has_value());
+  EXPECT_FALSE(CounterBlock::deserialize("counter lex.tokens abc\n").has_value());
+  EXPECT_FALSE(CounterBlock::deserialize("bogus line\n").has_value());
+  EXPECT_FALSE(CounterBlock::deserialize("keyed missing-bar 5\n").has_value());
+  // Empty text is a valid (all-zero) block.
+  EXPECT_TRUE(CounterBlock::deserialize("").has_value());
+}
+
+TEST_F(TraceTest, CounterBlockSumsCommutatively) {
+  CounterBlock a, b;
+  a.values[0] = 1;
+  a.keyed["d"]["x"] = 2;
+  b.values[0] = 10;
+  b.keyed["d"]["x"] = 1;
+  b.keyed["d"]["y"] = 4;
+  CounterBlock ab = a;
+  ab += b;
+  CounterBlock ba = b;
+  ba += a;
+  // Input-order summation in the driver is safe: + is commutative, so any
+  // grouping of per-TU blocks yields the same totals.
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.values[0], 11u);
+  EXPECT_EQ(ab.keyed.at("d").at("x"), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Timing events
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, DisabledModeEmitsNothing) {
+  ASSERT_FALSE(collecting());
+  {
+    PDT_TRACE_SCOPE("tu.compile", "x.cpp");
+    PDT_TRACE_SCOPE("frontend.lex");
+  }
+  emitComplete("pool.wait", 1, 2);
+  counterSample("pool.queue_depth", 3);
+  EXPECT_TRUE(snapshotEvents().empty());
+  EXPECT_EQ(nowUs(), 0u);
+
+  std::ostringstream os;
+  writeChromeTrace(os);
+  // Still a valid (empty) trace document.
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST_F(TraceTest, SpansBalanceAndNest) {
+  setCollecting(true);
+  setThreadName("main");
+  {
+    PDT_TRACE_SCOPE("tu.compile", "a.cpp");
+    {
+      PDT_TRACE_SCOPE("frontend.lex", "a.cpp");
+    }
+    {
+      PDT_TRACE_SCOPE("frontend.parse", "a.cpp");
+    }
+  }
+  const std::vector<Event> events = snapshotEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Complete events close when the scope does, so every span recorded is by
+  // construction balanced; children must sit inside the parent interval.
+  const auto find = [&](std::string_view name) -> const Event& {
+    for (const Event& e : events)
+      if (name == e.name) return e;
+    ADD_FAILURE() << "missing span " << name;
+    static Event none;
+    return none;
+  };
+  const Event& tu = find("tu.compile");
+  const Event& lex = find("frontend.lex");
+  const Event& parse = find("frontend.parse");
+  for (const Event* child : {&lex, &parse}) {
+    EXPECT_GE(child->ts_us, tu.ts_us);
+    EXPECT_LE(child->ts_us + child->dur_us, tu.ts_us + tu.dur_us);
+  }
+  // Siblings do not overlap: lex fully precedes parse.
+  EXPECT_LE(lex.ts_us + lex.dur_us, parse.ts_us);
+  EXPECT_EQ(tu.detail, "a.cpp");
+  EXPECT_EQ(threadName(tu.tid), "main");
+}
+
+TEST_F(TraceTest, ChromeTraceIsValidJsonWithExpectedShape) {
+  setCollecting(true);
+  setThreadName("main");
+  {
+    PDT_TRACE_SCOPE("tu.compile", "dir/with \"quotes\"\\a.cpp");
+  }
+  counterSample("pool.queue_depth", 5);
+  std::ostringstream os;
+  writeChromeTrace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"M\""), std::string::npos);   // thread_name
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);   // span
+  EXPECT_NE(text.find("\"ph\": \"C\""), std::string::npos);   // counter track
+  EXPECT_NE(text.find("\"dur\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ResetEventsDropsBufferedEvents) {
+  setCollecting(true);
+  {
+    PDT_TRACE_SCOPE("tu.compile");
+  }
+  ASSERT_FALSE(snapshotEvents().empty());
+  resetEvents();
+  EXPECT_TRUE(snapshotEvents().empty());
+  // Recording still works after the reset (buffers re-register lazily).
+  {
+    PDT_TRACE_SCOPE("tu.compile");
+  }
+  EXPECT_EQ(snapshotEvents().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// StatsReport
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, StatsReportAggregatesPhases) {
+  setCollecting(true);
+  setThreadName("main");
+  for (const char* tu : {"a.cpp", "b.cpp"}) {
+    PDT_TRACE_SCOPE("tu.compile", tu);
+    PDT_TRACE_SCOPE("frontend.lex", tu);
+  }
+  StatsReport report("test");
+  report.captureTimings();
+  ASSERT_FALSE(report.phases().empty());
+  for (const SpanStats& p : report.phases()) {
+    if (p.name == "tu.compile" || p.name == "frontend.lex") {
+      EXPECT_EQ(p.count, 2u);
+      EXPECT_GE(p.max_us, p.min_us);
+      EXPECT_GE(p.total_us, p.max_us);
+    }
+  }
+}
+
+TEST_F(TraceTest, StatsReportRendersValidJson) {
+  setCollecting(true);
+  setThreadName("main");
+  {
+    PDT_TRACE_SCOPE("tu.compile", "a.cpp");
+  }
+  CounterBlock counters;
+  counters.values[static_cast<std::size_t>(Counter::LexTokens)] = 42;
+  counters.keyed["sema.instantiations.by_template"]["Array<T>"] = 2;
+
+  StatsReport report("cxxparse");
+  report.setCounters(std::move(counters));
+  report.addSection("cache", {{"hits", 1}, {"misses", 2}});
+  report.captureTimings();
+
+  std::ostringstream json;
+  report.renderJson(json);
+  EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str();
+  EXPECT_NE(json.str().find("\"lex.tokens\": 42"), std::string::npos);
+  EXPECT_NE(json.str().find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"tus\""), std::string::npos);
+
+  std::ostringstream text;
+  report.renderText(text);
+  EXPECT_NE(text.str().find("== cxxparse stats =="), std::string::npos);
+  EXPECT_NE(text.str().find("lex.tokens"), std::string::npos);
+  EXPECT_NE(text.str().find("per-TU phases:"), std::string::npos);
+}
+
+TEST_F(TraceTest, StatsReportCountersOnlyIsValidJson) {
+  // pdbmerge/pdbcheck may be invoked with --stats but produce no events
+  // (e.g. --stats without timing-relevant work); the report must still be
+  // well-formed.
+  StatsReport report("pdbmerge");
+  report.setCounters(CounterBlock{});
+  std::ostringstream json;
+  report.renderJson(json);
+  EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str();
+}
+
+// ---------------------------------------------------------------------------
+// ToolObservability flag parsing
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, ToolObservabilityParsesFlags) {
+  ToolObservability obs;
+  bool used_next = false;
+  std::string error;
+
+  EXPECT_FALSE(obs.parseFlag("--jobs", nullptr, used_next, error));
+  EXPECT_TRUE(obs.parseFlag("--stats", nullptr, used_next, error));
+  EXPECT_TRUE(obs.stats);
+  EXPECT_FALSE(obs.json);
+  EXPECT_TRUE(obs.parseFlag("--stats=json", nullptr, used_next, error));
+  EXPECT_TRUE(obs.json);
+  EXPECT_TRUE(error.empty());
+
+  EXPECT_TRUE(obs.parseFlag("--trace-out", "t.json", used_next, error));
+  EXPECT_TRUE(used_next);
+  EXPECT_EQ(obs.trace_out, "t.json");
+  EXPECT_TRUE(obs.parseFlag("--stats-out=s.json", nullptr, used_next, error));
+  EXPECT_EQ(obs.stats_out, "s.json");
+  EXPECT_TRUE(obs.wanted());
+
+  EXPECT_TRUE(obs.parseFlag("--stats=yaml", nullptr, used_next, error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_TRUE(obs.parseFlag("--trace-out", nullptr, used_next, error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace pdt::trace

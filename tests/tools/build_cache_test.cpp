@@ -86,6 +86,9 @@ TEST_F(BuildCacheTest, ColdRunMissesAndStoresWarmRunHits) {
   EXPECT_EQ(cold.cache_stats.stores, 2u);
   EXPECT_EQ(cacheFiles(".pdb").size(), 2u);
   EXPECT_EQ(cacheFiles(".manifest").size(), 2u);
+  // Every entry carries its counter sidecar (replayed on hit so --stats
+  // matches across warm and cold runs).
+  EXPECT_EQ(cacheFiles(".stats").size(), 2u);
 
   tools::DriverResult warm;
   const std::string warm_bytes = compileBytes(warm);
@@ -239,6 +242,32 @@ TEST_F(BuildCacheTest, GarbageManifestIsEvictedAndRecompiled) {
   tools::DriverResult warm;
   (void)compileBytes(warm);
   EXPECT_EQ(warm.cache_stats.hits, 2u);
+}
+
+TEST_F(BuildCacheTest, MissingCounterSidecarIsEvictedAndRecompiled) {
+  tools::DriverResult cold;
+  const std::string cold_bytes = compileBytes(cold);
+
+  // Without its sidecar an entry cannot replay the compile's counters, so
+  // it is treated like any other corrupt entry: evict and recompile.
+  for (const fs::path& stats_file : cacheFiles(".stats"))
+    fs::remove(stats_file);
+  tools::DriverResult rerun;
+  const std::string rerun_bytes = compileBytes(rerun);
+  EXPECT_EQ(rerun.cache_stats.hits, 0u);
+  EXPECT_EQ(rerun.cache_stats.evictions, 2u);
+  EXPECT_EQ(rerun.cache_stats.misses, 2u);
+  EXPECT_EQ(rerun.cache_stats.stores, 2u);
+  EXPECT_EQ(cold_bytes, rerun_bytes);
+  // Counters of the recompiled run match the cold run (evict path counts
+  // nothing of its own).
+  EXPECT_EQ(cold.counters.serialize(), rerun.counters.serialize());
+
+  tools::DriverResult warm;
+  (void)compileBytes(warm);
+  EXPECT_EQ(warm.cache_stats.hits, 2u);
+  EXPECT_EQ(warm.cache_stats.revalidations, 2u);
+  EXPECT_EQ(warm.counters.serialize(), cold.counters.serialize());
 }
 
 TEST_F(BuildCacheTest, SweepEvictsOldestStampFirst) {
