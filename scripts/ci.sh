@@ -33,6 +33,43 @@ echo "== self-hosted pdbcheck =="
     -o "${BUILD}/ci_krylov.pdb"
 "${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_krylov.pdb" --checks=all -j "${JOBS}"
 
+echo "== storage formats =="
+# The binary v2 container must be lossless against the canonical ASCII
+# form (docs/PDB_FORMAT.md §"Binary v2"): compile the seed programs to
+# both formats, convert each way with pdbconv, and require byte identity.
+for seed in stack krylov; do
+    case "${seed}" in
+        stack)  src="${ROOT}/inputs/stack/TestStackAr.cpp";  inc="${ROOT}/inputs/stack" ;;
+        krylov) src="${ROOT}/inputs/pooma_mini/krylov.cpp"; inc="${ROOT}/inputs/pooma_mini" ;;
+    esac
+    "${BUILD}/src/tools/cxxparse" "${src}" -I "${inc}" -I "${ROOT}/runtime/pdt_stl" \
+        -o "${BUILD}/ci_fmt_${seed}.pdb"
+    "${BUILD}/src/tools/cxxparse" "${src}" -I "${inc}" -I "${ROOT}/runtime/pdt_stl" \
+        --format=bin -o "${BUILD}/ci_fmt_${seed}.bpdb"
+    "${BUILD}/src/tools/pdbconv" --to=bin "${BUILD}/ci_fmt_${seed}.pdb" \
+        -o "${BUILD}/ci_fmt_${seed}.conv.bpdb"
+    "${BUILD}/src/tools/pdbconv" --to=ascii "${BUILD}/ci_fmt_${seed}.conv.bpdb" \
+        -o "${BUILD}/ci_fmt_${seed}.back.pdb"
+    # ASCII -> binary -> ASCII reproduces the compiler's output, and the
+    # converted binary equals the directly-compiled one.
+    cmp "${BUILD}/ci_fmt_${seed}.pdb" "${BUILD}/ci_fmt_${seed}.back.pdb"
+    cmp "${BUILD}/ci_fmt_${seed}.bpdb" "${BUILD}/ci_fmt_${seed}.conv.bpdb"
+done
+# pdbcheck must report the same diagnostics (and exit code) whichever
+# format its merged inputs are stored in.
+"${BUILD}/src/tools/pdbmerge" "${BUILD}/ci_fmt_stack.pdb" "${BUILD}/ci_fmt_krylov.pdb" \
+    -o "${BUILD}/ci_fmt_merged.pdb"
+"${BUILD}/src/tools/pdbmerge" "${BUILD}/ci_fmt_stack.bpdb" "${BUILD}/ci_fmt_krylov.bpdb" \
+    --format=bin -o "${BUILD}/ci_fmt_merged.bpdb"
+ascii_rc=0
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_fmt_merged.pdb" --checks=all \
+    -j "${JOBS}" > "${BUILD}/ci_fmt_check_ascii.out" || ascii_rc=$?
+bin_rc=0
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_fmt_merged.bpdb" --checks=all \
+    -j "${JOBS}" > "${BUILD}/ci_fmt_check_bin.out" || bin_rc=$?
+[ "${ascii_rc}" -eq "${bin_rc}" ]
+cmp "${BUILD}/ci_fmt_check_ascii.out" "${BUILD}/ci_fmt_check_bin.out"
+
 echo "== build cache determinism =="
 # Compile the same inputs twice into a fresh cache directory: the first
 # run compiles and stores, the second republishes every TU from the

@@ -512,6 +512,12 @@ const std::vector<const Rule*>& allRules() {
   return rules;
 }
 
+pdb::Sections requiredSections(const std::vector<const Rule*>& rules) {
+  pdb::Sections sections = kContextSections;
+  for (const Rule* rule : rules) sections |= rule->sections();
+  return sections;
+}
+
 std::vector<const Rule*> selectRules(std::string_view spec,
                                      std::string* error) {
   const auto& rules = allRules();

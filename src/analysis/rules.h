@@ -10,8 +10,15 @@
 
 #include "analysis/context.h"
 #include "analysis/diagnostics.h"
+#include "pdb/pdb.h"
 
 namespace pdt::analysis {
+
+/// Sections AnalysisContext itself touches while building its indexes
+/// (call graph, override index, include-usage index): everything except
+/// macros, which no rule or index ever dereferences.
+inline constexpr pdb::Sections kContextSections =
+    pdb::Sections::All & ~pdb::Sections::Macros;
 
 class Rule {
  public:
@@ -19,11 +26,22 @@ class Rule {
   /// Stable identifier used by --checks and in diagnostics ("dead-code").
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual std::string_view description() const = 0;
+  /// Database sections the rule reads (beyond what the shared context
+  /// needs) — pdbcheck unions these over the selected rules to drive a
+  /// lazy section-masked read of the inputs.
+  [[nodiscard]] virtual pdb::Sections sections() const {
+    return kContextSections;
+  }
   virtual void run(const AnalysisContext& ctx, DiagSink& sink) const = 0;
 };
 
 /// Every registered rule, in canonical (execution and report) order.
 [[nodiscard]] const std::vector<const Rule*>& allRules();
+
+/// Union of kContextSections and the selected rules' section masks: the
+/// sections pdbcheck must materialize from its inputs.
+[[nodiscard]] pdb::Sections requiredSections(
+    const std::vector<const Rule*>& rules);
 
 /// Parses a --checks selection: a comma-separated list of rule names,
 /// "all", and "-name" exclusions, applied left to right. A spec with only

@@ -45,8 +45,12 @@ PDB PDB::fromPdbFile(const pdb::PdbFile& file) {
 }
 
 PDB PDB::read(const std::string& path) {
+  return read(path, pdb::Sections::All);
+}
+
+PDB PDB::read(const std::string& path, pdb::Sections sections) {
   PDB out;
-  auto result = pdb::readFromFile(path);
+  auto result = pdb::readFile(path, sections);
   if (!result) {
     out.error_ = "cannot open '" + path + "'";
     return out;
@@ -62,6 +66,10 @@ PDB PDB::read(const std::string& path) {
 
 bool PDB::write(const std::string& path) const {
   return pdb::writeToFile(raw_, path);
+}
+
+bool PDB::write(const std::string& path, pdb::Format format) const {
+  return pdb::writeFile(raw_, path, format);
 }
 
 void PDB::write(std::ostream& os) const { pdb::write(raw_, os); }
@@ -790,6 +798,9 @@ void PDB::merge(const PDB& other) {
   const std::size_t grew = raw_.itemCount() - items_before;
   trace::count(trace::Counter::MergeDuplicatesElided,
                theirs.itemCount() >= grew ? theirs.itemCount() - grew : 0);
+  // Merged items come from two files; their record offsets no longer mean
+  // anything, so validation reports plain ids again.
+  raw_.setOffsetUnit(pdb::OffsetUnit::None);
   graph_dirty_ = true;  // object graph rebuilt lazily at the next accessor
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "pdb/format.h"
 #include "pdb/pdb.h"
 
 namespace pdt::ductape {
@@ -450,12 +451,19 @@ class PDB {
 
   /// Builds the object graph from an in-memory database.
   static PDB fromPdbFile(const pdb::PdbFile& file);
-  /// Reads a PDB file from disk; empty PDB + error message on failure.
+  /// Reads a PDB file from disk, auto-detecting the storage format (ASCII
+  /// or binary v2); empty PDB + error message on failure.
   static PDB read(const std::string& path);
+  /// Lazy variant: materializes only `sections`. The object graph
+  /// tolerates the missing cross-references (every lookup is guarded), so
+  /// tools that need one slice of a large database skip the rest.
+  static PDB read(const std::string& path, pdb::Sections sections);
 
   /// Writes the database back to the ASCII format.
   bool write(const std::string& path) const;
   void write(std::ostream& os) const;
+  /// Writes in an explicit storage format (`--format` in the tools).
+  bool write(const std::string& path, pdb::Format format) const;
 
   /// Merges `other` into this database, renumbering ids and eliminating
   /// duplicate template instantiations (paper Table 2, pdbmerge).

@@ -1,0 +1,51 @@
+// Shared layout constants and integrity checksum for the binary PDB v2
+// container (docs/PDB_FORMAT.md §binary-v2). Internal to the pdb library:
+// binary_writer.cpp and binary_reader.cpp must agree on these byte for
+// byte, so they live in one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pdt::pdb::binary {
+
+/// magic(8) + section_count(u32) + total_size(u64) + strtab_offset(u64) +
+/// strtab_size(u64).
+inline constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 8;
+/// kind(u32) + item_count(u32) + offset(u64) + size(u64).
+inline constexpr std::size_t kSectionEntrySize = 4 + 4 + 8 + 8;
+
+/// Container checksum: FNV-1a folded over 8-byte little-endian lanes
+/// (tail lane zero-padded, then length-framed). One multiply per eight
+/// input bytes instead of one per byte keeps the integrity pass off the
+/// read path's critical cost — the byte-wise FNV's serial multiply chain
+/// was the single largest term in a lazy section read.
+inline std::uint64_t checksum64(std::string_view bytes) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const char* p = bytes.data();
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    // Assembled explicitly so the lane value is the same on any host
+    // endianness; compilers fold this into a single load on LE targets.
+    std::uint64_t lane = 0;
+    for (int b = 0; b < 8; ++b)
+      lane |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(p[i + b]))
+              << (8 * b);
+    h = (h ^ lane) * kPrime;
+  }
+  if (i < bytes.size()) {
+    std::uint64_t lane = 0;
+    for (std::size_t b = 0; i + b < bytes.size(); ++b)
+      lane |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(p[i + b]))
+              << (8 * b);
+    h = (h ^ lane) * kPrime;
+  }
+  h = (h ^ static_cast<std::uint64_t>(bytes.size())) * kPrime;
+  return h;
+}
+
+}  // namespace pdt::pdb::binary

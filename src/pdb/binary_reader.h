@@ -1,0 +1,21 @@
+// Parses the binary PDB v2 representation back into a PdbFile
+// (docs/PDB_FORMAT.md §"Binary v2"). The trailing checksum is always
+// verified first — truncated or bit-flipped files are rejected before any
+// record is decoded — and the section table lets a lazy read deserialize
+// only the sections in the caller's mask.
+#pragma once
+
+#include <string_view>
+
+#include "pdb/pdb.h"
+#include "pdb/reader.h"
+
+namespace pdt::pdb {
+
+/// True when `bytes` starts with the binary v2 magic.
+[[nodiscard]] bool isBinaryPdb(std::string_view bytes);
+
+ReadResult readBinaryFromBuffer(std::string_view bytes,
+                                Sections sections = Sections::All);
+
+}  // namespace pdt::pdb

@@ -1,0 +1,357 @@
+#include "pdb/binary_writer.h"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "pdb/binary_layout.h"
+#include "pdb/format.h"
+#include "support/trace.h"
+
+namespace pdt::pdb {
+namespace {
+
+// On-disk layout (docs/PDB_FORMAT.md §"Binary v2"). Everything after the
+// magic is little-endian:
+//
+//   magic[8]                      "\x89PDB2\r\n\x1a"
+//   u32 section_count             non-empty sections only
+//   u64 total_size                whole file, incl. trailing checksum
+//   u64 strtab_offset, u64 strtab_size
+//   section table: section_count x { u32 kind, u32 item_count,
+//                                    u64 offset, u64 size }
+//   section payloads (writer order: so te ro cl ty na ma)
+//   string table: u32 count, then per string u32 length + bytes
+//   u64 checksum                  binary::checksum64 of [0, total_size - 8)
+//
+// The section table is what makes lazy reads O(1): a reader seeks straight
+// to the payloads it wants and never touches the rest.
+
+using binary::kHeaderSize;
+using binary::kSectionEntrySize;
+
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Deduplicated string table built in first-encounter order (deterministic
+/// because section encoding order is fixed).
+class StringTable {
+ public:
+  std::uint32_t idOf(std::string_view s) {
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  [[nodiscard]] std::string encode() const {
+    Encoder enc;
+    enc.u32(static_cast<std::uint32_t>(strings_.size()));
+    for (const std::string& s : strings_) {
+      enc.u32(static_cast<std::uint32_t>(s.size()));
+      for (const char c : s) enc.u8(static_cast<std::uint8_t>(c));
+    }
+    return enc.take();
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t, SvHash, SvEq> ids_;
+};
+
+class SectionEncoder : public Encoder {
+ public:
+  explicit SectionEncoder(StringTable& strings) : strings_(strings) {}
+
+  void str(std::string_view s) { u32(strings_.idOf(s)); }
+  void ref(const ItemRef& r) {
+    u8(static_cast<std::uint8_t>(r.kind));
+    u32(r.id);
+  }
+  void optRef(const std::optional<ItemRef>& r) {
+    if (r) {
+      ref(*r);
+    } else {
+      u8(0xff);
+      u32(0);
+    }
+  }
+  void optU32(const std::optional<std::uint32_t>& v) {
+    u8(v ? 1 : 0);
+    u32(v ? *v : 0);
+  }
+  void pos(const Pos& p) {
+    u32(p.file);
+    u32(p.line);
+    u32(p.column);
+  }
+  void extent(const Extent& e) {
+    pos(e.header_begin);
+    pos(e.header_end);
+    pos(e.body_begin);
+    pos(e.body_end);
+  }
+
+ private:
+  StringTable& strings_;
+};
+
+std::string encodeSourceFiles(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const SourceFileItem& f : pdb.sourceFiles()) {
+    enc.u32(f.id);
+    enc.str(f.name);
+    enc.u32(static_cast<std::uint32_t>(f.includes.size()));
+    for (const std::uint32_t inc : f.includes) enc.u32(inc);
+    enc.u8(f.system ? 1 : 0);
+  }
+  return enc.take();
+}
+
+std::string encodeTemplates(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const TemplateItem& t : pdb.templates()) {
+    enc.u32(t.id);
+    enc.str(t.name);
+    enc.pos(t.location);
+    enc.optRef(t.parent);
+    enc.str(t.access);
+    enc.str(t.kind);
+    enc.str(t.text);
+    enc.extent(t.extent);
+  }
+  return enc.take();
+}
+
+std::string encodeRoutines(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const RoutineItem& r : pdb.routines()) {
+    enc.u32(r.id);
+    enc.str(r.name);
+    enc.pos(r.location);
+    enc.optRef(r.parent);
+    enc.str(r.access);
+    enc.u32(r.signature);
+    enc.str(r.linkage);
+    enc.str(r.storage);
+    enc.str(r.virtuality);
+    enc.str(r.kind);
+    enc.optU32(r.template_id);
+    enc.u8(static_cast<std::uint8_t>((r.is_specialization ? 0x01 : 0) |
+                                     (r.is_static ? 0x02 : 0) |
+                                     (r.is_inline ? 0x04 : 0) |
+                                     (r.is_explicit ? 0x08 : 0) |
+                                     (r.defined ? 0x10 : 0)));
+    enc.u32(static_cast<std::uint32_t>(r.calls.size()));
+    for (const RoutineItem::Call& c : r.calls) {
+      enc.u32(c.routine);
+      enc.u8(c.is_virtual ? 1 : 0);
+      enc.pos(c.position);
+    }
+    enc.extent(r.extent);
+  }
+  return enc.take();
+}
+
+std::string encodeClasses(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const ClassItem& c : pdb.classes()) {
+    enc.u32(c.id);
+    enc.str(c.name);
+    enc.pos(c.location);
+    enc.optRef(c.parent);
+    enc.str(c.access);
+    enc.str(c.kind);
+    enc.optU32(c.template_id);
+    enc.u8(c.is_specialization ? 1 : 0);
+    enc.u32(static_cast<std::uint32_t>(c.bases.size()));
+    for (const ClassItem::Base& b : c.bases) {
+      enc.u32(b.cls);
+      enc.str(b.access);
+      enc.u8(b.is_virtual ? 1 : 0);
+    }
+    enc.u32(static_cast<std::uint32_t>(c.friends.size()));
+    for (const ClassItem::Friend& f : c.friends) {
+      enc.u8(f.is_class ? 1 : 0);
+      enc.str(f.name);
+      enc.optRef(f.ref);
+    }
+    enc.u32(static_cast<std::uint32_t>(c.funcs.size()));
+    for (const ClassItem::MemberFunc& mf : c.funcs) {
+      enc.u32(mf.routine);
+      enc.pos(mf.location);
+    }
+    enc.u32(static_cast<std::uint32_t>(c.members.size()));
+    for (const ClassItem::Member& m : c.members) {
+      enc.str(m.name);
+      enc.pos(m.location);
+      enc.str(m.access);
+      enc.str(m.kind);
+      enc.ref(m.type);
+    }
+    enc.extent(c.extent);
+  }
+  return enc.take();
+}
+
+std::string encodeTypes(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const TypeItem& t : pdb.types()) {
+    enc.u32(t.id);
+    enc.str(t.name);
+    enc.str(t.kind);
+    enc.str(t.ikind);
+    enc.optRef(t.ref);
+    enc.u32(static_cast<std::uint32_t>(t.qualifiers.size()));
+    for (const std::string_view q : t.qualifiers) enc.str(q);
+    enc.optRef(t.return_type);
+    enc.u32(static_cast<std::uint32_t>(t.params.size()));
+    for (const ItemRef& p : t.params) enc.ref(p);
+    enc.u8(static_cast<std::uint8_t>((t.has_ellipsis ? 0x01 : 0) |
+                                     (t.has_exception_spec ? 0x02 : 0)));
+    enc.u32(static_cast<std::uint32_t>(t.exception_specs.size()));
+    for (const ItemRef& e : t.exception_specs) enc.ref(e);
+    enc.i64(t.array_size);
+    enc.u32(static_cast<std::uint32_t>(t.enumerators.size()));
+    for (const auto& [name, value] : t.enumerators) {
+      enc.str(name);
+      enc.i64(value);
+    }
+  }
+  return enc.take();
+}
+
+std::string encodeNamespaces(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const NamespaceItem& n : pdb.namespaces()) {
+    enc.u32(n.id);
+    enc.str(n.name);
+    enc.pos(n.location);
+    enc.u32(static_cast<std::uint32_t>(n.members.size()));
+    for (const ItemRef& m : n.members) enc.ref(m);
+    enc.str(n.alias);
+  }
+  return enc.take();
+}
+
+std::string encodeMacros(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const MacroItem& m : pdb.macros()) {
+    enc.u32(m.id);
+    enc.str(m.name);
+    enc.pos(m.location);
+    enc.str(m.kind);
+    enc.str(m.text);
+  }
+  return enc.take();
+}
+
+struct SectionBlob {
+  ItemKind kind;
+  std::uint32_t item_count = 0;
+  std::string payload;
+};
+
+}  // namespace
+
+std::string writeBinaryToString(const PdbFile& pdb) {
+  trace::count(trace::Counter::PdbFilesWritten);
+  trace::count(trace::Counter::PdbItemsWritten, pdb.itemCount());
+
+  StringTable strings;
+  std::vector<SectionBlob> sections;
+  const auto addSection = [&](ItemKind kind, std::size_t count,
+                              std::string payload) {
+    if (count == 0) return;
+    sections.push_back(
+        {kind, static_cast<std::uint32_t>(count), std::move(payload)});
+  };
+  // Same section order as the ASCII writer (so te ro cl ty na ma).
+  addSection(ItemKind::SourceFile, pdb.sourceFiles().size(),
+             encodeSourceFiles(pdb, strings));
+  addSection(ItemKind::Template, pdb.templates().size(),
+             encodeTemplates(pdb, strings));
+  addSection(ItemKind::Routine, pdb.routines().size(),
+             encodeRoutines(pdb, strings));
+  addSection(ItemKind::Class, pdb.classes().size(),
+             encodeClasses(pdb, strings));
+  addSection(ItemKind::Type, pdb.types().size(), encodeTypes(pdb, strings));
+  addSection(ItemKind::Namespace, pdb.namespaces().size(),
+             encodeNamespaces(pdb, strings));
+  addSection(ItemKind::Macro, pdb.macros().size(),
+             encodeMacros(pdb, strings));
+
+  const std::string strtab = strings.encode();
+
+  std::size_t payload_size = 0;
+  for (const SectionBlob& s : sections) payload_size += s.payload.size();
+  const std::size_t table_size = sections.size() * kSectionEntrySize;
+  const std::uint64_t strtab_offset = kHeaderSize + table_size + payload_size;
+  const std::uint64_t total_size = strtab_offset + strtab.size() + 8;
+
+  Encoder out;
+  for (const char c : kBinaryMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(static_cast<std::uint32_t>(sections.size()));
+  out.u64(total_size);
+  out.u64(strtab_offset);
+  out.u64(strtab.size());
+  std::uint64_t offset = kHeaderSize + table_size;
+  for (const SectionBlob& s : sections) {
+    out.u32(static_cast<std::uint32_t>(s.kind));
+    out.u32(s.item_count);
+    out.u64(offset);
+    out.u64(s.payload.size());
+    offset += s.payload.size();
+  }
+  std::string bytes = out.take();
+  bytes.reserve(total_size);
+  for (const SectionBlob& s : sections) bytes += s.payload;
+  bytes += strtab;
+
+  const std::uint64_t checksum = binary::checksum64(bytes);
+  Encoder tail;
+  tail.u64(checksum);
+  bytes += tail.bytes();
+  return bytes;
+}
+
+bool writeBinaryToFile(const PdbFile& pdb, const std::string& path) {
+  PDT_TRACE_SCOPE("pdb.write", path);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string bytes = writeBinaryToString(pdb);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace pdt::pdb

@@ -1,0 +1,19 @@
+// Serializes a PdbFile to the compact binary PDB v2 representation
+// (docs/PDB_FORMAT.md §"Binary v2"): fixed-width little-endian records
+// grouped into sections, a section table for O(1) lazy section reads, a
+// deduplicated string table, and a trailing FNV-1a checksum so readers
+// reject truncated or bit-flipped files cheaply.
+#pragma once
+
+#include <string>
+
+#include "pdb/pdb.h"
+
+namespace pdt::pdb {
+
+[[nodiscard]] std::string writeBinaryToString(const PdbFile& pdb);
+
+/// Writes to `path`; returns false on I/O failure.
+bool writeBinaryToFile(const PdbFile& pdb, const std::string& path);
+
+}  // namespace pdt::pdb

@@ -1,0 +1,116 @@
+#include "pdb/format.h"
+
+#include <fstream>
+
+#include "pdb/binary_reader.h"
+#include "pdb/binary_writer.h"
+#include "pdb/writer.h"
+#include "support/trace.h"
+
+namespace pdt::pdb {
+namespace {
+
+class AsciiFormatReader final : public FormatReader {
+ public:
+  [[nodiscard]] Format format() const override { return Format::Ascii; }
+  [[nodiscard]] ReadResult readBuffer(std::string_view bytes,
+                                      Sections sections) const override {
+    return readFromBuffer(bytes, sections);
+  }
+};
+
+class AsciiFormatWriter final : public FormatWriter {
+ public:
+  [[nodiscard]] Format format() const override { return Format::Ascii; }
+  [[nodiscard]] std::string writeString(const PdbFile& pdb) const override {
+    return writeToString(pdb);
+  }
+};
+
+class BinaryFormatReader final : public FormatReader {
+ public:
+  [[nodiscard]] Format format() const override { return Format::Binary; }
+  [[nodiscard]] ReadResult readBuffer(std::string_view bytes,
+                                      Sections sections) const override {
+    return readBinaryFromBuffer(bytes, sections);
+  }
+};
+
+class BinaryFormatWriter final : public FormatWriter {
+ public:
+  [[nodiscard]] Format format() const override { return Format::Binary; }
+  [[nodiscard]] std::string writeString(const PdbFile& pdb) const override {
+    return writeBinaryToString(pdb);
+  }
+};
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string buffer;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    buffer.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(buffer.data(), size);
+    buffer.resize(static_cast<std::size_t>(in.gcount()));
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view formatName(Format format) {
+  switch (format) {
+    case Format::Ascii: return "ascii";
+    case Format::Binary: return "binary";
+  }
+  return "??";
+}
+
+std::optional<Format> formatFromName(std::string_view name) {
+  if (name == "ascii") return Format::Ascii;
+  if (name == "bin" || name == "binary") return Format::Binary;
+  return std::nullopt;
+}
+
+Format detectFormat(std::string_view bytes) {
+  return isBinaryPdb(bytes) ? Format::Binary : Format::Ascii;
+}
+
+const FormatReader& readerFor(Format format) {
+  static const AsciiFormatReader ascii;
+  static const BinaryFormatReader binary;
+  return format == Format::Binary ? static_cast<const FormatReader&>(binary)
+                                  : ascii;
+}
+
+const FormatWriter& writerFor(Format format) {
+  static const AsciiFormatWriter ascii;
+  static const BinaryFormatWriter binary;
+  return format == Format::Binary ? static_cast<const FormatWriter&>(binary)
+                                  : ascii;
+}
+
+ReadResult readBuffer(std::string_view bytes, Sections sections) {
+  return readerFor(detectFormat(bytes)).readBuffer(bytes, sections);
+}
+
+std::optional<ReadResult> readFile(const std::string& path, Sections sections) {
+  PDT_TRACE_SCOPE("pdb.read", path);
+  const auto bytes = slurp(path);
+  if (!bytes) return std::nullopt;
+  return readBuffer(*bytes, sections);
+}
+
+std::string writeString(const PdbFile& pdb, Format format) {
+  return writerFor(format).writeString(pdb);
+}
+
+bool writeFile(const PdbFile& pdb, const std::string& path, Format format) {
+  if (format == Format::Ascii) return writeToFile(pdb, path);
+  return writeBinaryToFile(pdb, path);
+}
+
+}  // namespace pdt::pdb

@@ -1,0 +1,80 @@
+// Pluggable PDB storage formats.
+//
+// The ASCII grammar of docs/PDB_FORMAT.md stays the canonical interchange
+// form (what the paper's pdbconv calls "a standardized form"); this seam
+// lets tools store and load the same database in other representations —
+// today the compact binary v2 — without the DUCTAPE API or any consumer
+// caring which bytes are on disk. Readers auto-detect the format from the
+// leading magic bytes; writers are chosen explicitly (`--format`).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pdb/pdb.h"
+#include "pdb/reader.h"
+
+namespace pdt::pdb {
+
+enum class Format : std::uint8_t {
+  Ascii,   // docs/PDB_FORMAT.md §grammar — canonical interchange
+  Binary,  // docs/PDB_FORMAT.md §binary-v2 — section-indexed, checksummed
+};
+
+/// Leading magic of a binary v2 database. The high first byte guarantees
+/// no ASCII database (which starts with "<PDB") can collide.
+inline constexpr std::string_view kBinaryMagic{"\x89PDB2\r\n\x1a", 8};
+
+/// "ascii" / "binary".
+[[nodiscard]] std::string_view formatName(Format format);
+
+/// Accepts "ascii", "bin", "binary"; nullopt otherwise.
+[[nodiscard]] std::optional<Format> formatFromName(std::string_view name);
+
+/// Sniffs serialized bytes: binary magic wins, anything else is ASCII
+/// (whose own reader rejects malformed headers).
+[[nodiscard]] Format detectFormat(std::string_view bytes);
+
+/// Deserializes one storage format. `sections` is the lazy-read mask: the
+/// reader materializes at most those sections (the binary reader skips
+/// unrequested sections in O(1) via its section table; the ASCII reader
+/// skips their attribute decoding). `ReadResult::loaded` records what was
+/// actually materialized.
+class FormatReader {
+ public:
+  virtual ~FormatReader() = default;
+  [[nodiscard]] virtual Format format() const = 0;
+  [[nodiscard]] virtual ReadResult readBuffer(std::string_view bytes,
+                                              Sections sections) const = 0;
+};
+
+/// Serializes to one storage format. Output is deterministic: the same
+/// PdbFile always produces the same bytes.
+class FormatWriter {
+ public:
+  virtual ~FormatWriter() = default;
+  [[nodiscard]] virtual Format format() const = 0;
+  [[nodiscard]] virtual std::string writeString(const PdbFile& pdb) const = 0;
+};
+
+/// Registry: one stateless singleton per format.
+[[nodiscard]] const FormatReader& readerFor(Format format);
+[[nodiscard]] const FormatWriter& writerFor(Format format);
+
+/// Auto-detecting read of serialized bytes.
+[[nodiscard]] ReadResult readBuffer(std::string_view bytes,
+                                    Sections sections = Sections::All);
+
+/// Auto-detecting one-shot file read; nullopt when the file cannot be
+/// opened. This is the entry point every tool and the DUCTAPE loader use.
+[[nodiscard]] std::optional<ReadResult> readFile(
+    const std::string& path, Sections sections = Sections::All);
+
+/// Serializes in the requested format.
+[[nodiscard]] std::string writeString(const PdbFile& pdb, Format format);
+
+/// Writes to `path` in the requested format; false on I/O failure.
+bool writeFile(const PdbFile& pdb, const std::string& path, Format format);
+
+}  // namespace pdt::pdb

@@ -30,6 +30,49 @@ enum class ItemKind : std::uint8_t {
 [[nodiscard]] std::string_view prefixOf(ItemKind kind);
 [[nodiscard]] std::optional<ItemKind> kindFromPrefix(std::string_view prefix);
 
+/// Bitmask of the seven item sections. Readers accept a mask and skip the
+/// sections a tool does not need (the binary format's section table makes
+/// the skip O(1); the ASCII reader skips item bodies without decoding
+/// their attributes).
+enum class Sections : std::uint8_t {
+  None = 0,
+  SourceFiles = 1u << 0,
+  Routines = 1u << 1,
+  Classes = 1u << 2,
+  Types = 1u << 3,
+  Templates = 1u << 4,
+  Namespaces = 1u << 5,
+  Macros = 1u << 6,
+  All = 0x7f,
+};
+
+[[nodiscard]] constexpr Sections operator|(Sections a, Sections b) {
+  return static_cast<Sections>(static_cast<std::uint8_t>(a) |
+                               static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr Sections operator&(Sections a, Sections b) {
+  return static_cast<Sections>(static_cast<std::uint8_t>(a) &
+                               static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr Sections operator~(Sections a) {
+  return static_cast<Sections>(~static_cast<std::uint8_t>(a) & 0x7f);
+}
+inline Sections& operator|=(Sections& a, Sections b) { return a = a | b; }
+
+/// True when `set` contains every section in `want`.
+[[nodiscard]] constexpr bool hasSections(Sections set, Sections want) {
+  return (set & want) == want;
+}
+
+[[nodiscard]] constexpr Sections sectionOf(ItemKind kind) {
+  return static_cast<Sections>(1u << static_cast<std::uint8_t>(kind));
+}
+
+/// What an item's `src_offset` counts: the source line (ASCII reader), the
+/// byte offset of its record (binary reader), or nothing (databases built
+/// in memory, merged databases).
+enum class OffsetUnit : std::uint8_t { None, Line, Byte };
+
 /// Reference to another item: "ro#7".
 struct ItemRef {
   ItemKind kind = ItemKind::Type;
@@ -60,6 +103,7 @@ struct SourceFileItem {
   std::string name;  // path
   std::vector<std::uint32_t> includes;  // so ids, in include order
   bool system = false;
+  std::uint64_t src_offset = 0;  // see PdbFile::offsetUnit()
 };
 
 // Enum-like attribute fields (access, linkage, kind, ...) are string_views
@@ -93,6 +137,7 @@ struct RoutineItem {
   };
   std::vector<Call> calls;
   Extent extent;
+  std::uint64_t src_offset = 0;
 };
 
 struct ClassItem {
@@ -134,6 +179,7 @@ struct ClassItem {
   };
   std::vector<Member> members;
   Extent extent;
+  std::uint64_t src_offset = 0;
 };
 
 struct TypeItem {
@@ -151,6 +197,7 @@ struct TypeItem {
   std::int64_t array_size = -1;
   /// Enum types: the enumerators and their values ("yenum" lines).
   std::vector<std::pair<std::string, long long>> enumerators;
+  std::uint64_t src_offset = 0;
 };
 
 struct TemplateItem {
@@ -162,6 +209,7 @@ struct TemplateItem {
   std::string_view kind = "class";  // class/func/memfunc/statmem
   std::string text;
   Extent extent;
+  std::uint64_t src_offset = 0;
 };
 
 struct NamespaceItem {
@@ -170,6 +218,7 @@ struct NamespaceItem {
   Pos location;
   std::vector<ItemRef> members;
   std::string alias;  // target name when this is an alias
+  std::uint64_t src_offset = 0;
 };
 
 struct MacroItem {
@@ -178,6 +227,7 @@ struct MacroItem {
   Pos location;
   std::string_view kind = "def";  // def/undef
   std::string text;
+  std::uint64_t src_offset = 0;
 };
 
 /// One program database. Ids are unique per item kind; lookup maps are
@@ -227,6 +277,12 @@ class PdbFile {
 
   [[nodiscard]] std::size_t itemCount() const;
 
+  /// What the items' `src_offset` fields count. Readers set this;
+  /// databases built or merged in memory leave it at None (their offsets
+  /// are meaningless and diagnostics omit them).
+  [[nodiscard]] OffsetUnit offsetUnit() const { return offset_unit_; }
+  void setOffsetUnit(OffsetUnit unit) { offset_unit_ = unit; }
+
   /// Rebuilds the id->index maps (call after bulk mutation, e.g. merge).
   void reindex();
 
@@ -249,6 +305,7 @@ class PdbFile {
   std::uint32_t next_file_id_ = 1, next_routine_id_ = 1, next_class_id_ = 1,
                 next_type_id_ = 1, next_template_id_ = 1, next_namespace_id_ = 1,
                 next_macro_id_ = 1;
+  OffsetUnit offset_unit_ = OffsetUnit::None;
 };
 
 }  // namespace pdt::pdb

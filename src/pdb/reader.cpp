@@ -92,7 +92,8 @@ class Fields {
 /// allocations left are the item vectors and genuinely unique names.
 class Reader {
  public:
-  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
+  explicit Reader(std::string_view buffer, Sections sections)
+      : buffer_(buffer), sections_(sections) {}
 
   ReadResult run() {
     if (trim(nextLine()) != "<PDB 1.0>") {
@@ -108,13 +109,24 @@ class Reader {
       }
       if (current_kind_ == std::nullopt) {
         startItem(text);
-      } else {
+      } else if (!skip_) {
         attribute(text);
       }
     }
     flush();
     result_.pdb.reindex();
+    result_.pdb.setOffsetUnit(OffsetUnit::Line);
+    result_.loaded = sections_;
     return std::move(result_);
+  }
+
+  /// Sections present in the input but left unloaded by the mask.
+  [[nodiscard]] std::uint64_t skippedSectionCount() const {
+    std::uint64_t n = 0;
+    for (auto bits = static_cast<std::uint8_t>(skipped_present_); bits != 0;
+         bits &= bits - 1)
+      ++n;
+    return n;
   }
 
  private:
@@ -147,6 +159,13 @@ class Reader {
       error("unknown item prefix in '" + std::string(text) + "'");
       return;
     }
+    if (!hasSections(sections_, sectionOf(*kind))) {
+      // Lazy read: remember the section exists, decode nothing.
+      skipped_present_ |= sectionOf(*kind);
+      current_kind_ = *kind;
+      skip_ = true;
+      return;
+    }
     const std::string_view id_text =
         text.substr(hash + 1, space == std::string_view::npos
                                   ? std::string_view::npos
@@ -161,19 +180,25 @@ class Reader {
             ? std::string{}
             : std::string(trim(text.substr(space + 1)));
     current_kind_ = *kind;
+    const auto off = static_cast<std::uint64_t>(line_no_);
     switch (*kind) {
-      case ItemKind::SourceFile: file_ = {}; file_.id = id; file_.name = name; break;
-      case ItemKind::Routine: routine_ = {}; routine_.id = id; routine_.name = name; break;
-      case ItemKind::Class: class_ = {}; class_.id = id; class_.name = name; break;
-      case ItemKind::Type: type_ = {}; type_.id = id; type_.name = name; break;
-      case ItemKind::Template: template_ = {}; template_.id = id; template_.name = name; break;
-      case ItemKind::Namespace: namespace_ = {}; namespace_.id = id; namespace_.name = name; break;
-      case ItemKind::Macro: macro_ = {}; macro_.id = id; macro_.name = name; break;
+      case ItemKind::SourceFile: file_ = {}; file_.id = id; file_.name = name; file_.src_offset = off; break;
+      case ItemKind::Routine: routine_ = {}; routine_.id = id; routine_.name = name; routine_.src_offset = off; break;
+      case ItemKind::Class: class_ = {}; class_.id = id; class_.name = name; class_.src_offset = off; break;
+      case ItemKind::Type: type_ = {}; type_.id = id; type_.name = name; type_.src_offset = off; break;
+      case ItemKind::Template: template_ = {}; template_.id = id; template_.name = name; template_.src_offset = off; break;
+      case ItemKind::Namespace: namespace_ = {}; namespace_.id = id; namespace_.name = name; namespace_.src_offset = off; break;
+      case ItemKind::Macro: macro_ = {}; macro_.id = id; macro_.name = name; macro_.src_offset = off; break;
     }
   }
 
   void flush() {
     if (!current_kind_) return;
+    if (skip_) {
+      skip_ = false;
+      current_kind_ = std::nullopt;
+      return;
+    }
     switch (*current_kind_) {
       case ItemKind::SourceFile: result_.pdb.addSourceFile(std::move(file_)); break;
       case ItemKind::Routine: result_.pdb.addRoutine(std::move(routine_)); break;
@@ -380,9 +405,12 @@ class Reader {
   }
 
   std::string_view buffer_;
+  Sections sections_ = Sections::All;
+  Sections skipped_present_ = Sections::None;
   std::size_t cursor_ = 0;
   ReadResult result_;
   std::size_t line_no_ = 1;  // header consumed before the loop
+  bool skip_ = false;  // current item's section is outside sections_
   std::optional<ItemKind> current_kind_;
   SourceFileItem file_;
   RoutineItem routine_;
@@ -395,13 +423,21 @@ class Reader {
 
 }  // namespace
 
-ReadResult readFromBuffer(std::string_view text) {
-  ReadResult result = Reader(text).run();
+ReadResult readFromBuffer(std::string_view text, Sections sections) {
+  Reader reader(text, sections);
+  ReadResult result = reader.run();
   if (result.ok()) {
     trace::count(trace::Counter::PdbFilesRead);
     trace::count(trace::Counter::PdbItemsRead, result.pdb.itemCount());
+    trace::countKey("pdb.read.by_format", "ascii");
+    if (const auto skipped = reader.skippedSectionCount(); skipped > 0)
+      trace::count(trace::Counter::PdbSectionsSkipped, skipped);
   }
   return result;
+}
+
+ReadResult readFromBuffer(std::string_view text) {
+  return readFromBuffer(text, Sections::All);
 }
 
 ReadResult read(std::istream& is) {

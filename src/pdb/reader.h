@@ -14,6 +14,10 @@ namespace pdt::pdb {
 struct ReadResult {
   PdbFile pdb;
   std::vector<std::string> errors;  // "line N: message"
+  /// Sections actually materialized (== the requested mask for lazy reads;
+  /// Sections::All for a plain full read). pdb::validate takes this to
+  /// skip references into sections that were deliberately left unloaded.
+  Sections loaded = Sections::All;
   [[nodiscard]] bool ok() const { return errors.empty(); }
 };
 
@@ -23,6 +27,10 @@ ReadResult readFromString(const std::string& text);
 /// `readFromFile` slurp their input and delegate here). Enum-like attribute
 /// values are interned, so the result does not alias `text`.
 ReadResult readFromBuffer(std::string_view text);
+/// Lazy variant: items outside `sections` are skipped without decoding
+/// their attributes (format.h routes the mask to the binary reader's O(1)
+/// section-table skip as well).
+ReadResult readFromBuffer(std::string_view text, Sections sections);
 /// Returns nullopt when the file cannot be opened. Reads the whole file in
 /// one shot rather than line-by-line.
 std::optional<ReadResult> readFromFile(const std::string& path);

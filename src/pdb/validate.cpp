@@ -6,46 +6,54 @@ namespace {
 
 class Validator {
  public:
-  explicit Validator(const PdbFile& pdb) : pdb_(pdb) {}
+  Validator(const PdbFile& pdb, Sections loaded) : pdb_(pdb), loaded_(loaded) {}
 
   std::vector<std::string> run() {
     for (const auto& f : pdb_.sourceFiles()) {
-      where_ = "source file '" + f.name + "' (so#" + std::to_string(f.id) + ")";
+      where_ = "source file '" + f.name + "' (so#" + std::to_string(f.id) +
+               at(f.src_offset) + ")";
       for (const std::uint32_t inc : f.includes) {
-        if (pdb_.findSourceFile(inc) == nullptr)
+        if (checkable(ItemKind::SourceFile) && pdb_.findSourceFile(inc) == nullptr)
           fail("includes undefined so#" + std::to_string(inc));
       }
     }
     for (const auto& r : pdb_.routines()) {
-      where_ = "routine '" + r.name + "' (ro#" + std::to_string(r.id) + ")";
+      where_ = "routine '" + r.name + "' (ro#" + std::to_string(r.id) +
+               at(r.src_offset) + ")";
       checkPos(r.location, "location");
       checkParent(r.parent);
-      if (r.signature != 0 && pdb_.findType(r.signature) == nullptr)
+      if (checkable(ItemKind::Type) && r.signature != 0 &&
+          pdb_.findType(r.signature) == nullptr)
         fail("signature references undefined ty#" + std::to_string(r.signature));
-      if (r.template_id && pdb_.findTemplate(*r.template_id) == nullptr)
+      if (checkable(ItemKind::Template) && r.template_id &&
+          pdb_.findTemplate(*r.template_id) == nullptr)
         fail("rtempl references undefined te#" + std::to_string(*r.template_id));
       for (const auto& call : r.calls) {
-        if (pdb_.findRoutine(call.routine) == nullptr)
+        if (checkable(ItemKind::Routine) &&
+            pdb_.findRoutine(call.routine) == nullptr)
           fail("call references undefined ro#" + std::to_string(call.routine));
         checkPos(call.position, "call site");
       }
       checkExtent(r.extent);
     }
     for (const auto& c : pdb_.classes()) {
-      where_ = "class '" + c.name + "' (cl#" + std::to_string(c.id) + ")";
+      where_ = "class '" + c.name + "' (cl#" + std::to_string(c.id) +
+               at(c.src_offset) + ")";
       checkPos(c.location, "location");
       checkParent(c.parent);
-      if (c.template_id && pdb_.findTemplate(*c.template_id) == nullptr)
+      if (checkable(ItemKind::Template) && c.template_id &&
+          pdb_.findTemplate(*c.template_id) == nullptr)
         fail("ctempl references undefined te#" + std::to_string(*c.template_id));
       for (const auto& b : c.bases) {
-        if (pdb_.findClass(b.cls) == nullptr)
+        if (checkable(ItemKind::Class) && pdb_.findClass(b.cls) == nullptr)
           fail("base references undefined cl#" + std::to_string(b.cls));
       }
       for (const auto& fr : c.friends) {
         if (fr.ref) checkRef(*fr.ref, "friend");
       }
       for (const auto& mf : c.funcs) {
-        if (pdb_.findRoutine(mf.routine) == nullptr)
+        if (checkable(ItemKind::Routine) &&
+            pdb_.findRoutine(mf.routine) == nullptr)
           fail("member function references undefined ro#" +
                std::to_string(mf.routine));
         checkPos(mf.location, "member function");
@@ -57,34 +65,59 @@ class Validator {
       checkExtent(c.extent);
     }
     for (const auto& t : pdb_.types()) {
-      where_ = "type '" + t.name + "' (ty#" + std::to_string(t.id) + ")";
+      where_ = "type '" + t.name + "' (ty#" + std::to_string(t.id) +
+               at(t.src_offset) + ")";
       if (t.ref) checkRef(*t.ref, "referenced type");
       if (t.return_type) checkRef(*t.return_type, "return type");
       for (const auto& p : t.params) checkRef(p, "parameter type");
       for (const auto& e : t.exception_specs) checkRef(e, "exception spec");
     }
     for (const auto& t : pdb_.templates()) {
-      where_ = "template '" + t.name + "' (te#" + std::to_string(t.id) + ")";
+      where_ = "template '" + t.name + "' (te#" + std::to_string(t.id) +
+               at(t.src_offset) + ")";
       checkPos(t.location, "location");
       checkParent(t.parent);
       checkExtent(t.extent);
     }
     for (const auto& n : pdb_.namespaces()) {
-      where_ = "namespace '" + n.name + "' (na#" + std::to_string(n.id) + ")";
+      where_ = "namespace '" + n.name + "' (na#" + std::to_string(n.id) +
+               at(n.src_offset) + ")";
       checkPos(n.location, "location");
       for (const auto& m : n.members) checkRef(m, "member");
     }
     for (const auto& m : pdb_.macros()) {
-      where_ = "macro '" + m.name + "' (ma#" + std::to_string(m.id) + ")";
+      where_ = "macro '" + m.name + "' (ma#" + std::to_string(m.id) +
+               at(m.src_offset) + ")";
       checkPos(m.location, "location");
     }
     return std::move(errors_);
   }
 
  private:
+  /// True when references *to* this kind can be resolved — i.e. the
+  /// section was materialized. A lazy read leaves sections out on purpose;
+  /// dangling edges into them are expected, not corruption.
+  [[nodiscard]] bool checkable(ItemKind kind) const {
+    return hasSections(loaded_, sectionOf(kind));
+  }
+
+  /// Where the item's record lives in the file it was read from: ", line
+  /// N" (ASCII), ", byte N" (binary), or nothing for databases built in
+  /// memory — so corrupt files are actionable without changing messages
+  /// elsewhere.
+  [[nodiscard]] std::string at(std::uint64_t offset) const {
+    switch (pdb_.offsetUnit()) {
+      case OffsetUnit::Line: return ", line " + std::to_string(offset);
+      case OffsetUnit::Byte: return ", byte " + std::to_string(offset);
+      case OffsetUnit::None: break;
+    }
+    return {};
+  }
+
   void fail(const std::string& what) { errors_.push_back(where_ + ": " + what); }
 
   void checkPos(const Pos& pos, const std::string& what) {
+    if (!checkable(ItemKind::SourceFile)) return;
     if (pos.file != 0 && pdb_.findSourceFile(pos.file) == nullptr)
       fail(what + " references undefined so#" + std::to_string(pos.file));
   }
@@ -101,7 +134,7 @@ class Validator {
   }
 
   void checkRef(const ItemRef& ref, const std::string& what) {
-    if (ref.id == 0) return;
+    if (ref.id == 0 || !checkable(ref.kind)) return;
     bool found = false;
     switch (ref.kind) {
       case ItemKind::SourceFile: found = pdb_.findSourceFile(ref.id) != nullptr; break;
@@ -116,6 +149,7 @@ class Validator {
   }
 
   const PdbFile& pdb_;
+  Sections loaded_;
   std::string where_;
   std::vector<std::string> errors_;
 };
@@ -123,7 +157,11 @@ class Validator {
 }  // namespace
 
 std::vector<std::string> validate(const PdbFile& pdb) {
-  return Validator(pdb).run();
+  return Validator(pdb, Sections::All).run();
+}
+
+std::vector<std::string> validate(const PdbFile& pdb, Sections loaded) {
+  return Validator(pdb, loaded).run();
 }
 
 }  // namespace pdt::pdb

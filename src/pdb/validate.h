@@ -13,9 +13,18 @@
 
 namespace pdt::pdb {
 
-/// Returns one message per dangling reference ("routine 'f' (ro#3): call
-/// references undefined ro#99"); empty means the database is closed under
-/// its own references.
+/// Returns one message per dangling reference; empty means the database is
+/// closed under its own references. Each message names the offending
+/// entity and, when the database came from a reader, where its record
+/// lives ("routine 'f' (ro#3, line 42): call references undefined ro#99" —
+/// line numbers for ASCII input, byte offsets for binary; see
+/// PdbFile::offsetUnit).
 [[nodiscard]] std::vector<std::string> validate(const PdbFile& pdb);
+
+/// Lazy-read variant: references into sections outside `loaded` (left
+/// unmaterialized by a section-masked read, ReadResult::loaded) are not
+/// checked — everything else is validated as usual.
+[[nodiscard]] std::vector<std::string> validate(const PdbFile& pdb,
+                                                Sections loaded);
 
 }  // namespace pdt::pdb

@@ -31,6 +31,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "pdb.items_read",
     "pdb.files_written",
     "pdb.items_written",
+    "pdb.sections_skipped",
     "merge.merges",
     "merge.duplicates_elided",
     "driver.tus",

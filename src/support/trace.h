@@ -54,6 +54,7 @@ enum class Counter : std::size_t {
   PdbItemsRead,          // pdb.items_read
   PdbFilesWritten,       // pdb.files_written
   PdbItemsWritten,       // pdb.items_written
+  PdbSectionsSkipped,    // pdb.sections_skipped — sections a lazy read left unloaded
   MergeMerges,           // merge.merges — pairwise PDB::merge calls
   MergeDuplicatesElided, // merge.duplicates_elided — items deduplicated away
   DriverTus,             // driver.tus — translation units processed

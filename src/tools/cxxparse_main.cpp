@@ -23,6 +23,7 @@
 
 #include "ast/dump.h"
 #include "frontend/frontend.h"
+#include "pdb/format.h"
 #include "pdb/writer.h"
 #include "support/trace.h"
 #include "tools/driver.h"
@@ -33,8 +34,8 @@ constexpr const char* kUsage =
     "usage: cxxparse <source.cpp>... [-I dir] [-D name[=value]] "
     "[-o out.pdb] [-j N] [--cache-dir dir] [--cache-limit-mb N] "
     "[--cache-stats[=json]] [--no-cache] [--stats[=json]] [--stats-out FILE] "
-    "[--trace-out FILE] [--dump-ast] [--instantiate-all] "
-    "[--direct-template-links]\n"
+    "[--trace-out FILE] [--format=ascii|bin] [--dump-ast] "
+    "[--instantiate-all] [--direct-template-links]\n"
     "  -j N, --jobs N      compile translation units on N worker threads\n"
     "                      (N >= 1; output is identical to a serial run)\n"
     "  --cache-dir dir     reuse per-TU results from the content-addressed\n"
@@ -50,7 +51,9 @@ constexpr const char* kUsage =
     "                      warm/cold cache runs (docs/OBSERVABILITY.md)\n"
     "  --stats-out FILE    write the stats report to FILE\n"
     "  --trace-out FILE    write a Chrome trace_event JSON timeline to FILE\n"
-    "                      (load in chrome://tracing or ui.perfetto.dev)\n";
+    "                      (load in chrome://tracing or ui.perfetto.dev)\n"
+    "  --format=FMT        output database format: ascii (default) or bin\n"
+    "                      (binary PDB v2; see docs/PDB_FORMAT.md)\n";
 
 /// Parses a -j/--jobs value: a positive decimal integer. Exits with a
 /// diagnostic on 0 or non-numeric input instead of quietly misbehaving.
@@ -85,6 +88,7 @@ std::size_t parseCacheLimit(const std::string& value) {
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string output;
+  pdt::pdb::Format format = pdt::pdb::Format::Ascii;
   bool dump_ast = false;
   bool no_cache = false;
   bool cache_stats = false;
@@ -142,6 +146,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-dir" || arg == "--cache-limit-mb") {
       std::cerr << "cxxparse: " << arg << " requires a value\n";
       return 2;
+    } else if (arg.starts_with("--format=")) {
+      const auto parsed = pdt::pdb::formatFromName(arg.substr(9));
+      if (!parsed) {
+        std::cerr << "cxxparse: unknown format '" << arg.substr(9)
+                  << "' (expected ascii or bin)\n";
+        return 2;
+      }
+      format = *parsed;
     } else if (arg == "--dump-ast") {
       dump_ast = true;
     } else if (arg == "--instantiate-all") {
@@ -239,7 +251,7 @@ int main(int argc, char** argv) {
     cache.sweep();
   }
 
-  if (!pdt::pdb::writeToFile(result.pdb->raw(), output)) {
+  if (!pdt::pdb::writeFile(result.pdb->raw(), output, format)) {
     std::cerr << "cxxparse: cannot write '" << output << "'\n";
     return 1;
   }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/checker.h"
+#include "analysis/rules.h"
 #include "pdb/validate.h"
 #include "support/trace.h"
 #include "tools/tools.h"
@@ -101,15 +102,27 @@ int main(int argc, char** argv) {
   }
   obs.begin();
 
+  // The selected rules declare which database sections they need; the
+  // inputs are read with exactly that mask (today: everything but macros)
+  // and validation is told what was deliberately left out. An invalid
+  // --checks spec falls back to a full read — runChecks reports it.
+  std::string select_error;
+  const std::vector<const pdt::analysis::Rule*> selected =
+      pdt::analysis::selectRules(options.checks, &select_error);
+  const pdt::pdb::Sections sections =
+      select_error.empty() ? pdt::analysis::requiredSections(selected)
+                           : pdt::pdb::Sections::All;
+
   std::vector<pdt::ductape::PDB> inputs;
   inputs.reserve(paths.size());
   for (const std::string& path : paths) {
-    pdt::ductape::PDB pdb = pdt::ductape::PDB::read(path);
+    pdt::ductape::PDB pdb = pdt::ductape::PDB::read(path, sections);
     if (!pdb.valid()) {
       std::cerr << "pdbcheck: " << pdb.errorMessage() << '\n';
       return 3;
     }
-    const std::vector<std::string> errors = pdt::pdb::validate(pdb.raw());
+    const std::vector<std::string> errors =
+        pdt::pdb::validate(pdb.raw(), sections);
     if (!errors.empty()) {
       for (const std::string& e : errors)
         std::cerr << "pdbcheck: " << path << ": " << e << '\n';

@@ -2,28 +2,82 @@
 // code via HTML links (paper Table 2).
 #include <fstream>
 #include <iostream>
+#include <string>
 
+#include "support/trace.h"
 #include "tools/tools.h"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pdbhtml <file.pdb> [out.html]\n"
+    "               [--stats[=json]] [--stats-out FILE] [--trace-out FILE]\n"
+    "  --stats[=json]    counter + phase timing report on stderr\n"
+    "  --stats-out FILE  write the stats report to FILE\n"
+    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::cerr << "usage: pdbhtml <file.pdb> [out.html]\n";
+  std::string input;
+  std::string output;
+  pdt::trace::ToolObservability obs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.starts_with("-")) {
+      if (input.empty()) {
+        input = arg;
+      } else if (output.empty()) {
+        output = arg;
+      } else {
+        std::cerr << kUsage;
+        return 2;
+      }
+    } else {
+      bool used_next = false;
+      std::string error;
+      if (obs.parseFlag(arg, i + 1 < argc ? argv[i + 1] : nullptr, used_next,
+                        error)) {
+        if (!error.empty()) {
+          std::cerr << "pdbhtml: " << error << '\n';
+          return 2;
+        }
+        if (used_next) ++i;
+        continue;
+      }
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::cerr << kUsage;
     return 2;
   }
-  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(argv[1]);
+  obs.begin();
+
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(input);
   if (!pdb.valid()) {
     std::cerr << "pdbhtml: " << pdb.errorMessage() << '\n';
     return 1;
   }
-  if (argc == 3) {
-    std::ofstream out(argv[2]);
+  if (!output.empty()) {
+    std::ofstream out(output);
     if (!out) {
-      std::cerr << "pdbhtml: cannot write '" << argv[2] << "'\n";
+      std::cerr << "pdbhtml: cannot write '" << output << "'\n";
       return 1;
     }
-    pdt::tools::pdbhtml(pdb, out, argv[1]);
+    pdt::tools::pdbhtml(pdb, out, input);
   } else {
-    pdt::tools::pdbhtml(pdb, std::cout, argv[1]);
+    pdt::tools::pdbhtml(pdb, std::cout, input);
+  }
+  if (obs.wanted()) {
+    pdt::trace::StatsReport report("pdbhtml");
+    report.setCounters(pdt::trace::globalCounters());
+    if (!obs.finish(report)) return 1;
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "pdb/format.h"
 #include "pdb/validate.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
@@ -19,8 +20,11 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: pdbmerge <in1.pdb> <in2.pdb>... -o <out.pdb> [-j N]\n"
-    "                [--stats[=json]] [--stats-out FILE] [--trace-out FILE]\n"
+    "                [--format=ascii|bin] [--stats[=json]] [--stats-out FILE]\n"
+    "                [--trace-out FILE]\n"
     "  -j N, --jobs N    read and merge on N worker threads (N >= 1)\n"
+    "  --format=FORMAT   storage format of the output (default ascii);\n"
+    "                    input formats are auto-detected\n"
     "  --stats[=json]    merge counter + phase timing report on stderr\n"
     "  --stats-out FILE  write the stats report to FILE\n"
     "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
@@ -43,12 +47,21 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string output;
   std::size_t jobs = 1;
+  pdt::pdb::Format format = pdt::pdb::Format::Ascii;
   pdt::trace::ToolObservability obs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
       output = argv[++i];
+    } else if (arg.starts_with("--format=")) {
+      const auto parsed = pdt::pdb::formatFromName(arg.substr(9));
+      if (!parsed) {
+        std::cerr << "pdbmerge: unknown format '" << arg.substr(9)
+                  << "' (expected ascii or bin)\n";
+        return 2;
+      }
+      format = *parsed;
     } else if ((arg == "-j" || arg == "--jobs") && i + 1 < argc) {
       jobs = parseJobs(argv[++i]);
     } else if (arg.starts_with("-j") && arg != "-j") {
@@ -115,7 +128,7 @@ int main(int argc, char** argv) {
   }
 
   const pdt::ductape::PDB merged = pdt::tools::pdbmerge(std::move(inputs), jobs);
-  if (!merged.write(output)) {
+  if (!merged.write(output, format)) {
     std::cerr << "pdbmerge: cannot write '" << output << "'\n";
     return 1;
   }

@@ -1,0 +1,313 @@
+// Storage-format round-trip tests: the binary PDB v2 representation must
+// be lossless against the canonical ASCII form (ASCII -> binary -> ASCII
+// is byte-identical), reject corrupted bytes instead of mis-parsing them,
+// and interoperate with the build cache's binary entries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pdb/format.h"
+#include "pdb/reader.h"
+#include "pdb/validate.h"
+#include "pdb/writer.h"
+#include "pdt/pdt_paths.h"
+#include "tools/driver.h"
+
+namespace pdt::pdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One item of every kind, exercising every attribute the ASCII grammar
+/// can express (mirrors pdb_io_test's sample).
+PdbFile samplePdb() {
+  PdbFile pdb;
+  SourceFileItem header;
+  header.name = "StackAr.h";
+  const std::uint32_t header_id = pdb.addSourceFile(std::move(header));
+  SourceFileItem impl;
+  impl.name = "StackAr.cpp";
+  const std::uint32_t impl_id = pdb.addSourceFile(std::move(impl));
+  pdb.sourceFiles()[0].includes.push_back(impl_id);
+
+  TypeItem int_ty;
+  int_ty.name = "int";
+  int_ty.kind = "int";
+  int_ty.ikind = "int";
+  const std::uint32_t int_id = pdb.addType(std::move(int_ty));
+
+  TypeItem sig;
+  sig.name = "void (int)";
+  sig.kind = "func";
+  sig.return_type = ItemRef{ItemKind::Type, int_id};
+  sig.params.push_back({ItemKind::Type, int_id});
+  const std::uint32_t sig_id = pdb.addType(std::move(sig));
+
+  TemplateItem te;
+  te.name = "Stack";
+  te.kind = "class";
+  te.text = "template <class Object>\nclass Stack {...};";
+  te.location = {header_id, 8, 7};
+  const std::uint32_t te_id = pdb.addTemplate(std::move(te));
+
+  ClassItem cls;
+  cls.name = "Stack<int>";
+  cls.kind = "class";
+  cls.template_id = te_id;
+  cls.location = {header_id, 8, 7};
+  const std::uint32_t cls_id = pdb.addClass(std::move(cls));
+
+  RoutineItem push;
+  push.name = "push";
+  push.location = {impl_id, 72, 29};
+  push.parent = ItemRef{ItemKind::Class, cls_id};
+  push.access = "pub";
+  push.signature = sig_id;
+  push.template_id = te_id;
+  push.defined = true;
+  push.calls.push_back({1, false, {impl_id, 74, 17}});
+  push.extent = {{impl_id, 72, 9}, {impl_id, 72, 52}, {impl_id, 73, 9},
+                 {impl_id, 77, 9}};
+  const std::uint32_t push_id = pdb.addRoutine(std::move(push));
+  pdb.classes()[0].funcs.push_back({push_id, {impl_id, 72, 29}});
+
+  ClassItem::Member mem;
+  mem.name = "topOfStack";
+  mem.access = "priv";
+  mem.kind = "var";
+  mem.type = {ItemKind::Type, int_id};
+  mem.location = {header_id, 39, 28};
+  pdb.classes()[0].members.push_back(std::move(mem));
+
+  NamespaceItem ns;
+  ns.name = "util";
+  ns.members.push_back({ItemKind::Routine, push_id});
+  pdb.addNamespace(std::move(ns));
+
+  MacroItem ma;
+  ma.name = "STACKAR_H";
+  ma.kind = "def";
+  ma.text = "#define STACKAR_H";
+  ma.location = {header_id, 2, 1};
+  pdb.addMacro(std::move(ma));
+  return pdb;
+}
+
+/// ASCII -> binary -> ASCII must reproduce the original ASCII text
+/// byte for byte, and a second binary encoding must be stable too.
+void expectLosslessRoundTrip(const PdbFile& original) {
+  const std::string ascii = writeToString(original);
+
+  const std::string binary = writeString(original, Format::Binary);
+  ASSERT_TRUE(binary.starts_with(kBinaryMagic));
+  ASSERT_EQ(detectFormat(binary), Format::Binary);
+  ASSERT_EQ(detectFormat(ascii), Format::Ascii);
+
+  ReadResult parsed = readBuffer(binary);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  EXPECT_EQ(parsed.pdb.offsetUnit(), OffsetUnit::Byte);
+
+  EXPECT_EQ(writeToString(parsed.pdb), ascii);
+  EXPECT_EQ(writeString(parsed.pdb, Format::Binary), binary);
+}
+
+std::string inputPath(const std::string& rel) {
+  return std::string(paths::kInputDir) + "/" + rel;
+}
+
+/// Compiles one shipped input program to a merged database.
+PdbFile compileSeed(const std::vector<std::string>& sources,
+                    const std::vector<std::string>& include_dirs) {
+  tools::DriverOptions options;
+  options.frontend.include_dirs = include_dirs;
+  options.frontend.include_dirs.push_back(std::string(paths::kRuntimeDir) +
+                                          "/pdt_stl");
+  tools::DriverResult result = tools::compileAndMerge(sources, options);
+  EXPECT_TRUE(result.success) << result.diagnostics;
+  return result.pdb ? result.pdb->raw() : PdbFile{};
+}
+
+TEST(FormatRoundTrip, SampleDatabaseIsByteIdentical) {
+  expectLosslessRoundTrip(samplePdb());
+}
+
+TEST(FormatRoundTrip, EmptyDatabaseIsByteIdentical) {
+  expectLosslessRoundTrip(PdbFile{});
+}
+
+TEST(FormatRoundTrip, StackSeedIsByteIdentical) {
+  expectLosslessRoundTrip(compileSeed({inputPath("stack/TestStackAr.cpp")},
+                                      {inputPath("stack")}));
+}
+
+TEST(FormatRoundTrip, ExprMiniSeedIsByteIdentical) {
+  expectLosslessRoundTrip(compileSeed({inputPath("expr_mini/et_demo.cpp")},
+                                      {inputPath("expr_mini")}));
+}
+
+TEST(FormatRoundTrip, KrylovSeedIsByteIdentical) {
+  expectLosslessRoundTrip(compileSeed({inputPath("pooma_mini/krylov.cpp")},
+                                      {inputPath("pooma_mini")}));
+}
+
+TEST(FormatRoundTrip, LazyReadLoadsOnlyRequestedSections) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+
+  ReadResult lazy = readBuffer(binary, Sections::Routines);
+  ASSERT_TRUE(lazy.ok()) << lazy.errors.front();
+  EXPECT_EQ(lazy.loaded, Sections::Routines);
+  EXPECT_EQ(lazy.pdb.routines().size(), 1u);
+  EXPECT_TRUE(lazy.pdb.classes().empty());
+  EXPECT_TRUE(lazy.pdb.sourceFiles().empty());
+  EXPECT_TRUE(lazy.pdb.types().empty());
+
+  // Section-aware validation must not flag the routine's references into
+  // the sections that were deliberately left unloaded.
+  EXPECT_TRUE(validate(lazy.pdb, lazy.loaded).empty());
+  EXPECT_FALSE(validate(lazy.pdb).empty());
+}
+
+TEST(FormatRoundTrip, AsciiReaderHonorsSectionMask) {
+  const std::string ascii = writeToString(samplePdb());
+
+  ReadResult lazy = readBuffer(ascii, Sections::Classes);
+  ASSERT_TRUE(lazy.ok()) << lazy.errors.front();
+  EXPECT_EQ(lazy.loaded, Sections::Classes);
+  EXPECT_EQ(lazy.pdb.classes().size(), 1u);
+  EXPECT_TRUE(lazy.pdb.routines().empty());
+  EXPECT_TRUE(validate(lazy.pdb, lazy.loaded).empty());
+}
+
+TEST(FormatRoundTrip, BinaryRecordsByteOffsetsForDiagnostics) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+  ReadResult parsed = readBuffer(binary);
+  ASSERT_TRUE(parsed.ok());
+  // Break a reference, then check the diagnostic carries the item's byte
+  // offset inside the binary file.
+  parsed.pdb.routines()[0].calls[0].routine = 9999;
+  parsed.pdb.reindex();
+  const std::vector<std::string> errors = validate(parsed.pdb);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("ro#1"), std::string::npos);
+  EXPECT_NE(errors[0].find(", byte "), std::string::npos);
+  EXPECT_NE(errors[0].find("undefined ro#9999"), std::string::npos);
+}
+
+TEST(FormatCorruption, EveryTruncationIsRejected) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+  for (std::size_t len = 0; len < binary.size();
+       len += (len < 64 ? 1 : 37)) {
+    ReadResult r = readBuffer(binary.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "truncation to " << len
+                         << " bytes was accepted";
+  }
+}
+
+TEST(FormatCorruption, TrailingGarbageIsRejected) {
+  std::string binary = writeString(samplePdb(), Format::Binary);
+  binary += '\0';
+  EXPECT_FALSE(readBuffer(binary).ok());
+}
+
+TEST(FormatCorruption, EveryBitFlipIsRejected) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+  const std::string ascii = writeToString(samplePdb());
+  for (std::size_t at = 0; at < binary.size(); ++at) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string mutated = binary;
+      mutated[at] = static_cast<char>(mutated[at] ^ (1 << bit));
+      ReadResult r = readBuffer(mutated);
+      // The checksum (or, for flips in the magic, the ASCII header
+      // check) must catch the corruption; silently succeeding with
+      // different content would be a data-integrity bug.
+      if (r.ok()) {
+        EXPECT_EQ(writeToString(r.pdb), ascii)
+            << "bit " << bit << " at byte " << at
+            << " changed the database without being detected";
+        ADD_FAILURE() << "bit flip at byte " << at << " was accepted";
+      }
+    }
+  }
+}
+
+/// Build-cache integration: entries are stored in the binary format and
+/// corrupt entries are evicted and recompiled, not trusted.
+class FormatCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pdt_format_cache_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir_ / "cache");
+    std::ofstream os(dir_ / "tu.cpp");
+    os << "template <class T>\nT twice(T v) { return v + v; }\n"
+          "int use() { return twice(21); }\n";
+    inputs_.push_back((dir_ / "tu.cpp").string());
+    options_.cache.dir = (dir_ / "cache").string();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string compileBytes(tools::DriverResult& out) {
+    out = tools::compileAndMerge(inputs_, options_);
+    EXPECT_TRUE(out.success) << out.diagnostics;
+    return out.pdb ? writeToString(out.pdb->raw()) : std::string();
+  }
+
+  [[nodiscard]] std::vector<fs::path> cacheEntries() const {
+    std::vector<fs::path> found;
+    for (const auto& entry : fs::directory_iterator(dir_ / "cache"))
+      if (entry.path().extension() == ".pdb") found.push_back(entry.path());
+    return found;
+  }
+
+  fs::path dir_;
+  std::vector<std::string> inputs_;
+  tools::DriverOptions options_;
+};
+
+TEST_F(FormatCacheTest, EntriesAreStoredInBinaryFormat) {
+  tools::DriverResult cold;
+  (void)compileBytes(cold);
+  EXPECT_EQ(cold.cache_stats.stores, 1u);
+  const std::vector<fs::path> entries = cacheEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  std::ifstream is(entries[0], std::ios::binary);
+  std::string head(kBinaryMagic.size(), '\0');
+  is.read(head.data(), static_cast<std::streamsize>(head.size()));
+  EXPECT_EQ(head, kBinaryMagic);
+}
+
+TEST_F(FormatCacheTest, CorruptBinaryEntryIsEvictedAndRecompiled) {
+  tools::DriverResult cold;
+  const std::string cold_bytes = compileBytes(cold);
+
+  for (const fs::path& entry : cacheEntries()) {
+    // Flip one payload byte; the checksum makes the entry unreadable.
+    std::fstream f(entry, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(kBinaryMagic.size()) + 40);
+    f.put('\x7e');
+  }
+
+  tools::DriverResult rerun;
+  const std::string rerun_bytes = compileBytes(rerun);
+  EXPECT_EQ(rerun.cache_stats.hits, 0u);
+  EXPECT_EQ(rerun.cache_stats.evictions, 1u);
+  EXPECT_EQ(rerun.cache_stats.stores, 1u);
+  EXPECT_EQ(cold_bytes, rerun_bytes);
+
+  tools::DriverResult warm;
+  (void)compileBytes(warm);
+  EXPECT_EQ(warm.cache_stats.hits, 1u);
+}
+
+}  // namespace
+}  // namespace pdt::pdb
