@@ -31,14 +31,14 @@ pdt::pdb::PdbFile synthesize(int routines) {
   const auto sig_id = pdb.addType(std::move(sig));
   for (int i = 0; i < routines; ++i) {
     pdt::pdb::TypeItem ty;
-    ty.name = "T" + std::to_string(i) + "<int>";
+    ty.name = pdb.own("T" + std::to_string(i) + "<int>");
     ty.kind = "tparam";
     pdb.addType(std::move(ty));
   }
 
   for (int i = 0; i < routines / 10 + 1; ++i) {
     pdt::pdb::ClassItem cls;
-    cls.name = "C" + std::to_string(i);
+    cls.name = pdb.own("C" + std::to_string(i));
     cls.kind = "class";
     cls.location = {file_id, static_cast<std::uint32_t>(i + 1), 1};
     pdt::pdb::ClassItem::Member mem;
@@ -52,7 +52,7 @@ pdt::pdb::PdbFile synthesize(int routines) {
 
   for (int i = 0; i < routines; ++i) {
     pdt::pdb::RoutineItem r;
-    r.name = "fn" + std::to_string(i);
+    r.name = pdb.own("fn" + std::to_string(i));
     r.location = {file_id, static_cast<std::uint32_t>(i + 1), 1};
     r.signature = sig_id;
     r.defined = true;

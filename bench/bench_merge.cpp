@@ -5,12 +5,19 @@
 // how much of the input volume the merge collapsed.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench/workloads.h"
 #include "ductape/ductape.h"
 #include "frontend/frontend.h"
 #include "ilanalyzer/analyzer.h"
+#include "pdb/format.h"
+#include "tools/shard_merge.h"
+#include "tools/synth.h"
 
 namespace {
 
@@ -59,6 +66,69 @@ BENCHMARK(BM_MergeUnits)
     ->Args({4, 10, 10})
     ->Args({4, 0, 20})
     ->Args({16, 10, 2});
+
+/// A synthetic on-disk corpus of `units` binary databases (written once
+/// per size and reused across iterations and configurations).
+const std::vector<std::string>& corpusFiles(int units) {
+  static std::map<int, std::vector<std::string>> cache;
+  auto it = cache.find(units);
+  if (it != cache.end()) return it->second;
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("pdt_bench_merge_" + std::to_string(units));
+  fs::create_directories(dir);
+  std::vector<std::string> files;
+  for (int u = 0; u < units; ++u) {
+    const fs::path path = dir / ("tu" + std::to_string(u) + ".pdb");
+    pdt::pdb::writeFile(pdt::tools::synthUnit(u), path.string(),
+                        pdt::pdb::Format::Binary);
+    files.push_back(path.string());
+  }
+  return cache.emplace(units, std::move(files)).first->second;
+}
+
+/// External sharded merge at 100-1000x krylov scale: units x jobs x
+/// memory budget. budget_mb=0 never spills; small budgets exercise the
+/// spill round trip. merge.shards / merge.spills are exported so the
+/// BENCH_pr6.json snapshot records how hard each configuration worked.
+void BM_ShardedMergeFiles(benchmark::State& state) {
+  const int units = static_cast<int>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  const auto budget_mb = static_cast<std::uint64_t>(state.range(2));
+  const std::vector<std::string>& files = corpusFiles(units);
+
+  pdt::tools::ShardedMergeStats stats;
+  std::size_t merged_items = 0;
+  for (auto _ : state) {
+    pdt::tools::ShardedMergeOptions opts;
+    opts.jobs = jobs;
+    opts.mem_budget_bytes = budget_mb * 1024 * 1024;
+    opts.temp_dir = (std::filesystem::temp_directory_path() /
+                     "pdt_bench_merge_spill")
+                        .string();
+    auto result = pdt::tools::shardedMergeFiles(files, opts);
+    if (!result.ok()) {
+      state.SkipWithError("sharded merge failed");
+      break;
+    }
+    stats = result.stats;
+    merged_items = result.merged->getItemVec().size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["merged_items"] = static_cast<double>(merged_items);
+  state.counters["shards"] = static_cast<double>(stats.shards);
+  state.counters["spills"] = static_cast<double>(stats.spills);
+  state.SetItemsProcessed(state.iterations() * units);
+}
+// units x jobs x budget_mb: serial vs parallel, unlimited vs tight.
+BENCHMARK(BM_ShardedMergeFiles)
+    ->Args({64, 1, 0})
+    ->Args({64, 8, 0})
+    ->Args({64, 8, 4})
+    ->Args({256, 8, 0})
+    ->Args({256, 8, 16})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -20,7 +20,7 @@ pdt::pdb::PdbFile synthesize(int routines) {
 
   for (int i = 0; i < routines; ++i) {
     pdt::pdb::RoutineItem r;
-    r.name = "fn" + std::to_string(i);
+    r.name = pdb.own("fn" + std::to_string(i));
     r.location = {file_id, static_cast<std::uint32_t>(i + 1), 1};
     r.signature = sig_id;
     r.defined = true;

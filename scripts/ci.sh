@@ -70,6 +70,27 @@ bin_rc=0
 [ "${ascii_rc}" -eq "${bin_rc}" ]
 cmp "${BUILD}/ci_fmt_check_ascii.out" "${BUILD}/ci_fmt_check_bin.out"
 
+echo "== sharded merge =="
+# External merge at scale (docs/MERGE.md): generate a ~1k-TU synthetic
+# corpus with pdbgen, merge it in-memory and again under a memory budget
+# far smaller than the corpus (forcing shard spills), at two job counts.
+# Every output must be byte-identical, and the run-scoped spill
+# directory must be gone afterward.
+SHARD_DIR="${BUILD}/ci_shard_corpus"
+rm -rf "${SHARD_DIR}"
+mkdir -p "${SHARD_DIR}"
+"${BUILD}/src/tools/pdbgen" -o "${SHARD_DIR}" -n 1000
+corpus_mb="$(du -sm "${SHARD_DIR}" | cut -f1)"
+"${BUILD}/src/tools/pdbmerge" "${SHARD_DIR}"/tu_*.pdb \
+    -o "${BUILD}/ci_shard_ref.pdb" -j "${JOBS}"
+for j in 1 "${JOBS}"; do
+    "${BUILD}/src/tools/pdbmerge" "${SHARD_DIR}"/tu_*.pdb \
+        -o "${BUILD}/ci_shard_j${j}.pdb" -j "${j}" --merge-mem-mb=8
+    cmp "${BUILD}/ci_shard_ref.pdb" "${BUILD}/ci_shard_j${j}.pdb"
+    [ ! -e "${BUILD}/ci_shard_j${j}.pdb.merge-tmp" ]
+done
+echo "sharded merge OK: ${corpus_mb} MB corpus merged under an 8 MB budget"
+
 echo "== build cache determinism =="
 # Compile the same inputs twice into a fresh cache directory: the first
 # run compiles and stores, the second republishes every TU from the

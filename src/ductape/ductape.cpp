@@ -108,44 +108,44 @@ void PDB::build() {
 
   // Pass 1: create all objects so cross-references can be wired in pass 2.
   for (const auto& f : raw_.sourceFiles()) {
-    auto obj = std::make_unique<pdbFile>(f.name, static_cast<int>(f.id));
+    auto obj = std::make_unique<pdbFile>(std::string(f.name), static_cast<int>(f.id));
     obj->system_ = f.system;
     file_by_id[f.id] = obj.get();
     files_.push_back(obj.get());
     file_storage_.push_back(std::move(obj));
   }
   for (const auto& r : raw_.routines()) {
-    auto obj = std::make_unique<pdbRoutine>(r.name, static_cast<int>(r.id));
+    auto obj = std::make_unique<pdbRoutine>(std::string(r.name), static_cast<int>(r.id));
     routine_by_id[r.id] = obj.get();
     routines_.push_back(obj.get());
     routine_storage_.push_back(std::move(obj));
   }
   for (const auto& c : raw_.classes()) {
-    auto obj = std::make_unique<pdbClass>(c.name, static_cast<int>(c.id));
+    auto obj = std::make_unique<pdbClass>(std::string(c.name), static_cast<int>(c.id));
     class_by_id[c.id] = obj.get();
     classes_.push_back(obj.get());
     class_storage_.push_back(std::move(obj));
   }
   for (const auto& t : raw_.types()) {
-    auto obj = std::make_unique<pdbType>(t.name, static_cast<int>(t.id));
+    auto obj = std::make_unique<pdbType>(std::string(t.name), static_cast<int>(t.id));
     type_by_id[t.id] = obj.get();
     types_.push_back(obj.get());
     type_storage_.push_back(std::move(obj));
   }
   for (const auto& t : raw_.templates()) {
-    auto obj = std::make_unique<pdbTemplate>(t.name, static_cast<int>(t.id));
+    auto obj = std::make_unique<pdbTemplate>(std::string(t.name), static_cast<int>(t.id));
     template_by_id[t.id] = obj.get();
     templates_.push_back(obj.get());
     template_storage_.push_back(std::move(obj));
   }
   for (const auto& n : raw_.namespaces()) {
-    auto obj = std::make_unique<pdbNamespace>(n.name, static_cast<int>(n.id));
+    auto obj = std::make_unique<pdbNamespace>(std::string(n.name), static_cast<int>(n.id));
     namespace_by_id[n.id] = obj.get();
     namespaces_.push_back(obj.get());
     namespace_storage_.push_back(std::move(obj));
   }
   for (const auto& m : raw_.macros()) {
-    auto obj = std::make_unique<pdbMacro>(m.name, static_cast<int>(m.id));
+    auto obj = std::make_unique<pdbMacro>(std::string(m.name), static_cast<int>(m.id));
     obj->kind_ = m.kind == "undef" ? pdbMacro::MA_UNDEF : pdbMacro::MA_DEF;
     obj->text_ = m.text;
     macros_.push_back(obj.get());
@@ -433,13 +433,13 @@ PDB::classvec PDB::getClassHierarchyRoots() const {
 namespace {
 
 /// Identity keys used to detect duplicates across compilations.
-std::string fileKey(const pdb::SourceFileItem& f) { return f.name; }
+std::string fileKey(const pdb::SourceFileItem& f) { return std::string(f.name); }
 
 std::string posKey(const pdb::PdbFile& owner, const pdb::Pos& pos) {
   if (!pos.valid()) return "@";
   const auto* f = owner.findSourceFile(pos.file);
-  return (f != nullptr ? f->name : "?") + ":" + std::to_string(pos.line) + ":" +
-         std::to_string(pos.column);
+  return std::string(f != nullptr ? f->name : "?") + ":" +
+         std::to_string(pos.line) + ":" + std::to_string(pos.column);
 }
 
 /// Joins key parts with '|' in one allocation (parts may be string_views).
@@ -463,7 +463,7 @@ std::string templateKey(const pdb::PdbFile& owner, const pdb::TemplateItem& t) {
   return joinKey(t.kind, t.name, posKey(owner, t.location));
 }
 
-std::string classKey(const pdb::ClassItem& c) { return c.name; }
+std::string classKey(const pdb::ClassItem& c) { return std::string(c.name); }
 
 std::string routineKey(const pdb::PdbFile& owner, const pdb::RoutineItem& r) {
   const auto* sig = owner.findType(r.signature);
@@ -475,10 +475,11 @@ std::string routineKey(const pdb::PdbFile& owner, const pdb::RoutineItem& r) {
     const auto* ns = owner.findNamespace(r.parent->id);
     if (ns != nullptr) parent = ns->name;
   }
-  return parent + "::" + r.name + "|" + (sig != nullptr ? sig->name : "?");
+  return parent + "::" + std::string(r.name) + "|" +
+         std::string(sig != nullptr ? sig->name : "?");
 }
 
-std::string namespaceKey(const pdb::NamespaceItem& n) { return n.name; }
+std::string namespaceKey(const pdb::NamespaceItem& n) { return std::string(n.name); }
 
 std::string macroKey(const pdb::MacroItem& m) {
   return joinKey(m.kind, m.name, m.text);
@@ -491,6 +492,9 @@ void PDB::merge(const PDB& other) {
   trace::count(trace::Counter::MergeMerges);
   const pdb::PdbFile& theirs = other.raw_;
   const std::size_t items_before = raw_.itemCount();
+  // Items copied from `theirs` carry string views into its backings; the
+  // merged database must keep that storage alive.
+  raw_.adoptBackingsOf(theirs);
 
   // Old-id -> merged-id maps, per kind.
   std::unordered_map<std::uint32_t, std::uint32_t> file_map, type_map,

@@ -34,7 +34,7 @@ pdb::PdbFile analyzeFortran(const std::string& file_name,
                             const std::string& source) {
   pdb::PdbFile out;
   pdb::SourceFileItem file;
-  file.name = file_name;
+  file.name = out.own(file_name);
   const std::uint32_t file_id = out.addSourceFile(std::move(file));
 
   struct OpenRoutine {
@@ -66,7 +66,7 @@ pdb::PdbFile analyzeFortran(const std::string& file_name,
       std::string name = firstIdent(text.substr(keyword.size()));
       if (name.empty()) return;
       pdb::RoutineItem r;
-      r.name = name;
+      r.name = out.own(name);
       r.location = here;
       r.kind = "routine";
       r.linkage = is_function ? "F90-function" : "F90-subroutine";
@@ -88,7 +88,7 @@ pdb::PdbFile analyzeFortran(const std::string& file_name,
 
     if (startsWith(text, "module ") && !startsWith(text, "module procedure")) {
       pdb::NamespaceItem ns;
-      ns.name = firstIdent(text.substr(7));
+      ns.name = out.own(firstIdent(text.substr(7)));
       ns.location = here;
       module_stack.push_back(out.addNamespace(std::move(ns)));
     } else if (startsWith(text, "end module")) {
@@ -104,7 +104,7 @@ pdb::PdbFile analyzeFortran(const std::string& file_name,
       const std::string name = firstIdent(rest);
       if (!name.empty() && text.find("type(") != 0) {
         pdb::ClassItem cls;
-        cls.name = name;
+        cls.name = out.own(name);
         cls.kind = "struct";
         cls.location = here;
         if (!module_stack.empty())
@@ -122,7 +122,7 @@ pdb::PdbFile analyzeFortran(const std::string& file_name,
       // Component declaration inside a derived type: "real :: x".
       const auto sep = trimmed.find("::");
       pdb::ClassItem::Member m;
-      m.name = firstIdent(std::string_view(trimmed).substr(sep + 2));
+      m.name = out.own(firstIdent(std::string_view(trimmed).substr(sep + 2)));
       m.location = here;
       m.kind = "var";
       for (auto& cls : out.classes()) {
@@ -139,7 +139,7 @@ pdb::PdbFile analyzeFortran(const std::string& file_name,
         const std::string_view keyword = "function ";
         (void)keyword;
         pdb::RoutineItem r;
-        r.name = name;
+        r.name = out.own(name);
         r.location = here;
         r.kind = "routine";
         r.linkage = "F90-function";

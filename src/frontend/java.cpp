@@ -36,7 +36,7 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
                          const std::string& source) {
   pdb::PdbFile out;
   pdb::SourceFileItem file;
-  file.name = file_name;
+  file.name = out.own(file_name);
   const std::uint32_t file_id = out.addSourceFile(std::move(file));
 
   std::uint32_t package_id = 0;  // na item for the package, if any
@@ -72,8 +72,9 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
     // Package declaration -> namespace.
     if (!ws.empty() && ws[0] == "package" && ws.size() >= 2) {
       pdb::NamespaceItem ns;
-      ns.name = ws[1];
-      if (!ns.name.empty() && ns.name.back() == ';') ns.name.pop_back();
+      std::string pkg = ws[1];
+      if (!pkg.empty() && pkg.back() == ';') pkg.pop_back();
+      ns.name = out.own(std::move(pkg));
       ns.location = here;
       package_id = out.addNamespace(std::move(ns));
     }
@@ -84,16 +85,17 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
     if (kw < ws.size() && (ws[kw] == "class" || ws[kw] == "interface") &&
         kw + 1 < ws.size()) {
       pdb::ClassItem cls;
-      cls.name = ws[kw + 1];
-      while (!cls.name.empty() && !isIdentChar(cls.name.back()))
-        cls.name.pop_back();
+      std::string cls_name = ws[kw + 1];
+      while (!cls_name.empty() && !isIdentChar(cls_name.back()))
+        cls_name.pop_back();
+      cls.name = out.own(cls_name);
       cls.kind = ws[kw] == "interface" ? "interface" : "class";
       cls.location = here;
       cls.extent.body_begin = here;
       if (package_id != 0)
         cls.parent = pdb::ItemRef{pdb::ItemKind::Namespace, package_id};
       const std::uint32_t id = out.addClass(std::move(cls));
-      class_by_name[out.classes().back().name] = id;
+      class_by_name[std::move(cls_name)] = id;
       if (package_id != 0) {
         for (auto& ns : out.namespaces()) {
           if (ns.id == package_id)
@@ -142,7 +144,7 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
       if (!name.empty() &&
           std::isalpha(static_cast<unsigned char>(name[0]))) {
         pdb::RoutineItem r;
-        r.name = name;
+        r.name = out.own(name);
         r.location = here;
         r.access = access;
         r.is_static = is_static;
@@ -180,9 +182,10 @@ pdb::PdbFile analyzeJava(const std::string& file_name,
       }
       if (m + 1 < ws.size()) {
         pdb::ClassItem::Member member;
-        member.name = ws[m + 1];
-        while (!member.name.empty() && !isIdentChar(member.name.back()))
-          member.name.pop_back();
+        std::string member_name = ws[m + 1];
+        while (!member_name.empty() && !isIdentChar(member_name.back()))
+          member_name.pop_back();
+        member.name = out.own(std::move(member_name));
         member.location = here;
         member.access = access;
         member.kind = "var";

@@ -148,7 +148,7 @@ std::uint32_t IlAnalyzer::typeId(const Type* type) {
     return it->second;
 
   pdb::TypeItem item;
-  item.name = type->spelling();
+  item.name = out_.own(type->spelling());
   // Reserve the id before recursing (self-referential types via classes).
   item.id = out_.addType(item);
   type_ids_[type] = item.id;
@@ -214,7 +214,7 @@ std::uint32_t IlAnalyzer::typeId(const Type* type) {
       item.kind = "enum";
       const auto* en = type->as<EnumType>()->decl();
       for (const EnumeratorDecl* e : en->enumerators)
-        item.enumerators.emplace_back(e->name(), e->value);
+        item.enumerators.emplace_back(out_.own(e->name()), e->value);
       break;
     }
     case TypeKind::Typedef: {
@@ -249,7 +249,7 @@ std::uint32_t IlAnalyzer::typeId(const Type* type) {
 void IlAnalyzer::collectFiles() {
   for (const FileId file : result_.files) {
     pdb::SourceFileItem item;
-    item.name = sm_.name(file);
+    item.name = out_.own(sm_.name(file));
     const std::uint32_t id = out_.addSourceFile(std::move(item));
     file_ids_[file] = id;
   }
@@ -271,14 +271,15 @@ void IlAnalyzer::collectNamespaces(const DeclContext* ctx) {
     if (const auto* ns = child->as<NamespaceDecl>()) {
       if (!namespace_ids_.contains(ns)) {
         pdb::NamespaceItem item;
-        item.name = ns->name();
+        item.name = out_.own(ns->name());
         namespace_ids_[ns] = out_.addNamespace(std::move(item));
       }
       collectNamespaces(ns);
     } else if (const auto* alias = child->as<NamespaceAliasDecl>()) {
       pdb::NamespaceItem item;
-      item.name = alias->name();
-      item.alias = alias->target != nullptr ? alias->target->name() : "?";
+      item.name = out_.own(alias->name());
+      item.alias = alias->target != nullptr ? out_.own(alias->target->name())
+                                            : std::string_view("?");
       namespace_ids_[alias] = out_.addNamespace(std::move(item));
     }
   }
@@ -290,7 +291,7 @@ void IlAnalyzer::collectTemplates(const DeclContext* ctx) {
       if (!options_.emit_uninstantiated_templates && td->instantiations.empty())
         continue;
       pdb::TemplateItem item;
-      item.name = td->name();
+      item.name = out_.own(td->name());
       const std::uint32_t id = out_.addTemplate(std::move(item));
       template_ids_[td] = id;
       if (td->location().valid()) template_locations_[td->location()] = id;
@@ -319,7 +320,7 @@ void IlAnalyzer::collectClasses(const DeclContext* ctx) {
     if (const auto* cls = child->as<ClassDecl>()) {
       if (isPattern(cls) || class_ids_.contains(cls)) continue;
       pdb::ClassItem item;
-      item.name = cls->name();
+      item.name = out_.own(cls->name());
       class_ids_[cls] = out_.addClass(std::move(item));
       collectClasses(cls);  // nested classes
     } else if (const auto* ns = child->as<NamespaceDecl>()) {
@@ -347,7 +348,7 @@ void IlAnalyzer::collectRoutines(const DeclContext* ctx) {
     if (const auto* fn = child->as<FunctionDecl>()) {
       if (isPattern(fn) || routine_ids_.contains(fn)) continue;
       pdb::RoutineItem item;
-      item.name = fn->name();
+      item.name = out_.own(fn->name());
       routine_ids_[fn] = out_.addRoutine(std::move(item));
     } else if (const auto* ns = child->as<NamespaceDecl>()) {
       collectRoutines(ns);
@@ -371,7 +372,7 @@ void IlAnalyzer::emitTemplates() {
       pdb::TemplateItem& item = out_.templates()[index.at(id)];
       item.location = pos(td->location());
       item.kind = toString(td->tkind);
-      item.text = td->text;
+      item.text = out_.own(td->text);
       item.parent = parentRef(td);
       if (td->access() != AccessKind::None)
         item.access = toString(td->access());
@@ -411,7 +412,7 @@ void IlAnalyzer::emitClasses() {
       for (const FriendEntry& f : cls->friends) {
         pdb::ClassItem::Friend pf;
         pf.is_class = f.is_class;
-        pf.name = f.name;
+        pf.name = out_.own(f.name);
         if (f.resolved != nullptr) {
           if (const auto it = class_ids_.find(f.resolved); it != class_ids_.end())
             pf.ref = pdb::ItemRef{pdb::ItemKind::Class, it->second};
@@ -428,7 +429,7 @@ void IlAnalyzer::emitClasses() {
           item.funcs.push_back({it->second, pos(fn->location())});
         } else if (const auto* var = member->as<VarDecl>()) {
           pdb::ClassItem::Member m;
-          m.name = var->name();
+          m.name = out_.own(var->name());
           m.location = pos(var->location());
           m.access = toString(var->access());
           m.kind = "var";
@@ -436,7 +437,7 @@ void IlAnalyzer::emitClasses() {
           item.members.push_back(std::move(m));
         } else if (const auto* tdf = member->as<TypedefDecl>()) {
           pdb::ClassItem::Member m;
-          m.name = tdf->name();
+          m.name = out_.own(tdf->name());
           m.location = pos(tdf->location());
           m.access = toString(tdf->access());
           m.kind = "type";
@@ -593,10 +594,10 @@ void IlAnalyzer::emitNamespaces() {
 void IlAnalyzer::emitMacros() {
   for (const lex::MacroRecord& record : result_.macros) {
     pdb::MacroItem item;
-    item.name = record.name;
+    item.name = out_.own(record.name);
     item.location = pos(record.location);
     item.kind = record.kind == lex::MacroRecord::Kind::Define ? "def" : "undef";
-    item.text = record.text;
+    item.text = out_.own(record.text);
     out_.addMacro(std::move(item));
   }
 }

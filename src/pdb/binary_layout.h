@@ -4,17 +4,41 @@
 // byte, so they live in one place.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace pdt::pdb::binary {
 
+/// One little-endian u64 lane. memcpy compiles to a single load (plus a
+/// byte swap on big-endian hosts); assembling the lane byte-by-byte with
+/// shifts does not reliably fold and was measured ~5x slower, which made
+/// the integrity pass the largest term of a full-file read.
+inline std::uint64_t loadLaneLE(const char* p) {
+  std::uint64_t lane = 0;
+  std::memcpy(&lane, p, sizeof lane);
+  if constexpr (std::endian::native == std::endian::big) {
+    std::uint64_t swapped = 0;
+    for (int b = 0; b < 8; ++b)
+      swapped |= ((lane >> (8 * b)) & 0xff) << (8 * (7 - b));
+    lane = swapped;
+  }
+  return lane;
+}
+
 /// magic(8) + section_count(u32) + total_size(u64) + strtab_offset(u64) +
-/// strtab_size(u64).
-inline constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 8;
-/// kind(u32) + item_count(u32) + offset(u64) + size(u64).
-inline constexpr std::size_t kSectionEntrySize = 4 + 4 + 8 + 8;
+/// strtab_size(u64) + strtab_checksum(u64).
+inline constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 8 + 8;
+/// kind(u32) + item_count(u32) + offset(u64) + size(u64) + checksum(u64).
+///
+/// The per-section (and string-table) checksums exist for the zero-copy
+/// lazy read path: a full read verifies the whole-file trailing checksum
+/// as before, but a masked read over an mmap'd file verifies only the
+/// string table and the sections it was asked for — an unrequested
+/// section's pages are never faulted in.
+inline constexpr std::size_t kSectionEntrySize = 4 + 4 + 8 + 8 + 8;
 
 /// Container checksum: FNV-1a folded over 8-byte little-endian lanes
 /// (tail lane zero-padded, then length-framed). One multiply per eight
@@ -26,16 +50,8 @@ inline std::uint64_t checksum64(std::string_view bytes) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   const char* p = bytes.data();
   std::size_t i = 0;
-  for (; i + 8 <= bytes.size(); i += 8) {
-    // Assembled explicitly so the lane value is the same on any host
-    // endianness; compilers fold this into a single load on LE targets.
-    std::uint64_t lane = 0;
-    for (int b = 0; b < 8; ++b)
-      lane |= static_cast<std::uint64_t>(
-                  static_cast<std::uint8_t>(p[i + b]))
-              << (8 * b);
-    h = (h ^ lane) * kPrime;
-  }
+  for (; i + 8 <= bytes.size(); i += 8)
+    h = (h ^ loadLaneLE(p + i)) * kPrime;
   if (i < bytes.size()) {
     std::uint64_t lane = 0;
     for (std::size_t b = 0; i + b < bytes.size(); ++b)

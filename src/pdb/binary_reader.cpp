@@ -1,6 +1,8 @@
 #include "pdb/binary_reader.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <vector>
 
 #include "pdb/binary_layout.h"
@@ -26,21 +28,23 @@ class Cursor {
   }
   std::uint32_t u32() {
     if (!need(4)) return 0;
+    // Single load (see binary::loadLaneLE): the record decode loop is
+    // fixed-width-field bound, so the load must not expand into per-byte
+    // shifts.
     std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>(bytes_[pos_ + i]))
-           << (8 * i);
+    std::memcpy(&v, bytes_.data() + pos_, sizeof v);
+    if constexpr (std::endian::native == std::endian::big) {
+      std::uint32_t swapped = 0;
+      for (int b = 0; b < 4; ++b)
+        swapped |= ((v >> (8 * b)) & 0xffu) << (8 * (3 - b));
+      v = swapped;
+    }
     pos_ += 4;
     return v;
   }
   std::uint64_t u64() {
     if (!need(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>(bytes_[pos_ + i]))
-           << (8 * i);
+    const std::uint64_t v = binary::loadLaneLE(bytes_.data() + pos_);
     pos_ += 8;
     return v;
   }
@@ -68,12 +72,15 @@ struct SectionEntry {
   std::uint32_t item_count = 0;
   std::uint64_t offset = 0;
   std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
 };
 
 class BinaryReader {
  public:
   BinaryReader(std::string_view bytes, Sections sections)
-      : bytes_(bytes), sections_(sections) {}
+      : bytes_(bytes),
+        sections_(sections),
+        full_(sections == Sections::All) {}
 
   ReadResult run() {
     if (!checkEnvelope()) return std::move(result_);
@@ -107,6 +114,13 @@ class BinaryReader {
 
   /// Magic, size, checksum, header, section table. Runs before any record
   /// decode so corrupt files are rejected in one cheap pass.
+  ///
+  /// Integrity policy, chosen so a lazy read composes with mmap: a full
+  /// read (mask == All) verifies the trailing whole-file checksum exactly
+  /// as before; a masked read verifies the string-table checksum here and
+  /// each requested section's checksum in decodeSection — bytes of
+  /// unrequested sections are never touched, so their pages are never
+  /// faulted in.
   bool checkEnvelope() {
     if (bytes_.size() < kHeaderSize + 8 ||
         bytes_.substr(0, kBinaryMagic.size()) != kBinaryMagic) {
@@ -118,18 +132,21 @@ class BinaryReader {
     const std::uint64_t total_size = header.u64();
     strtab_offset_ = header.u64();
     strtab_size_ = header.u64();
+    const std::uint64_t strtab_checksum = header.u64();
     if (total_size != bytes_.size()) {
       error("size mismatch: header says " + std::to_string(total_size) +
             " bytes, file has " + std::to_string(bytes_.size()));
       return false;
     }
-    const std::string_view body = bytes_.substr(0, bytes_.size() - 8);
-    Cursor tail(bytes_, bytes_.size() - 8);
-    const std::uint64_t stored = tail.u64();
-    const std::uint64_t computed = binary::checksum64(body);
-    if (stored != computed) {
-      error("checksum mismatch (file corrupt or truncated)");
-      return false;
+    if (full_) {
+      const std::string_view body = bytes_.substr(0, bytes_.size() - 8);
+      Cursor tail(bytes_, bytes_.size() - 8);
+      const std::uint64_t stored = tail.u64();
+      const std::uint64_t computed = binary::checksum64(body);
+      if (stored != computed) {
+        error("checksum mismatch (file corrupt or truncated)");
+        return false;
+      }
     }
     if (kHeaderSize + section_count * kSectionEntrySize > bytes_.size() - 8) {
       error("section table overruns file");
@@ -139,6 +156,13 @@ class BinaryReader {
       error("string table overruns file");
       return false;
     }
+    if (!full_ &&
+        binary::checksum64(bytes_.substr(
+            static_cast<std::size_t>(strtab_offset_),
+            static_cast<std::size_t>(strtab_size_))) != strtab_checksum) {
+      error("string table checksum mismatch (file corrupt or truncated)");
+      return false;
+    }
     Cursor cur(bytes_, kHeaderSize);
     for (std::uint32_t i = 0; i < section_count; ++i) {
       SectionEntry entry;
@@ -146,6 +170,7 @@ class BinaryReader {
       entry.item_count = cur.u32();
       entry.offset = cur.u64();
       entry.size = cur.u64();
+      entry.checksum = cur.u64();
       if (entry.offset + entry.size > bytes_.size() - 8) {
         error("section " + std::to_string(i) + " overruns file");
         return false;
@@ -177,11 +202,12 @@ class BinaryReader {
       strings_.push_back(bytes_.substr(cur.pos(), len));
       cur = Cursor(bytes_, cur.pos() + len);
     }
-    interned_.resize(strings_.size());
   }
 
-  /// String-table lookup as a view over the file buffer; out-of-range
-  /// indexes report once and yield "".
+  /// String-table lookup as a view over the file buffer — the zero-copy
+  /// contract: every string field of the result aliases `bytes_`, and the
+  /// file-level entry points park the buffer in the PdbFile as a backing.
+  /// Out-of-range indexes report once and yield "".
   std::string_view str(std::uint32_t id) {
     if (id >= strings_.size()) {
       if (!bad_string_reported_) {
@@ -193,15 +219,6 @@ class BinaryReader {
       return {};
     }
     return strings_[id];
-  }
-  /// Enum-like attribute fields must outlive the parse buffer: intern.
-  /// The string table is dedup'd, so the intern result is memoized per
-  /// table index — one hash lookup per distinct string, not per field.
-  std::string_view internedStr(std::uint32_t id) {
-    if (id >= interned_.size()) return str(id);  // reports the bad index
-    std::string_view& slot = interned_[id];
-    if (slot.data() == nullptr) slot = PdbFile::intern(strings_[id]);
-    return slot;
   }
 
   std::optional<ItemRef> optRef(Cursor& cur) {
@@ -270,6 +287,14 @@ class BinaryReader {
   }
 
   void decodeSection(ItemKind kind, const SectionEntry& entry) {
+    if (!full_ &&
+        binary::checksum64(bytes_.substr(
+            static_cast<std::size_t>(entry.offset),
+            static_cast<std::size_t>(entry.size))) != entry.checksum) {
+      error(std::string(prefixOf(kind)) +
+            " section checksum mismatch (file corrupt or truncated)");
+      return;
+    }
     reserveSection(kind, entry.item_count);
     Cursor cur(bytes_, static_cast<std::size_t>(entry.offset));
     const std::size_t end = entry.offset + entry.size;
@@ -298,7 +323,7 @@ class BinaryReader {
   void decodeSourceFile(Cursor& cur, std::uint64_t off) {
     SourceFileItem f;
     f.id = cur.u32();
-    f.name = std::string(str(cur.u32()));
+    f.name = str(cur.u32());
     const std::uint32_t n = cur.u32();
     for (std::uint32_t i = 0; i < n && cur.ok(); ++i)
       f.includes.push_back(cur.u32());
@@ -310,12 +335,12 @@ class BinaryReader {
   void decodeTemplate(Cursor& cur, std::uint64_t off) {
     TemplateItem t;
     t.id = cur.u32();
-    t.name = std::string(str(cur.u32()));
+    t.name = str(cur.u32());
     t.location = pos(cur);
     t.parent = optRef(cur);
-    t.access = internedStr(cur.u32());
-    t.kind = internedStr(cur.u32());
-    t.text = std::string(str(cur.u32()));
+    t.access = str(cur.u32());
+    t.kind = str(cur.u32());
+    t.text = str(cur.u32());
     t.extent = extent(cur);
     t.src_offset = off;
     if (cur.ok()) result_.pdb.addTemplate(std::move(t));
@@ -324,15 +349,15 @@ class BinaryReader {
   void decodeRoutine(Cursor& cur, std::uint64_t off) {
     RoutineItem r;
     r.id = cur.u32();
-    r.name = std::string(str(cur.u32()));
+    r.name = str(cur.u32());
     r.location = pos(cur);
     r.parent = optRef(cur);
-    r.access = internedStr(cur.u32());
+    r.access = str(cur.u32());
     r.signature = cur.u32();
-    r.linkage = internedStr(cur.u32());
-    r.storage = internedStr(cur.u32());
-    r.virtuality = internedStr(cur.u32());
-    r.kind = internedStr(cur.u32());
+    r.linkage = str(cur.u32());
+    r.storage = str(cur.u32());
+    r.virtuality = str(cur.u32());
+    r.kind = str(cur.u32());
     r.template_id = optU32(cur);
     const std::uint8_t flags = cur.u8();
     r.is_specialization = (flags & 0x01) != 0;
@@ -356,18 +381,18 @@ class BinaryReader {
   void decodeClass(Cursor& cur, std::uint64_t off) {
     ClassItem c;
     c.id = cur.u32();
-    c.name = std::string(str(cur.u32()));
+    c.name = str(cur.u32());
     c.location = pos(cur);
     c.parent = optRef(cur);
-    c.access = internedStr(cur.u32());
-    c.kind = internedStr(cur.u32());
+    c.access = str(cur.u32());
+    c.kind = str(cur.u32());
     c.template_id = optU32(cur);
     c.is_specialization = cur.u8() != 0;
     const std::uint32_t nbases = cur.u32();
     for (std::uint32_t i = 0; i < nbases && cur.ok(); ++i) {
       ClassItem::Base b;
       b.cls = cur.u32();
-      b.access = internedStr(cur.u32());
+      b.access = str(cur.u32());
       b.is_virtual = cur.u8() != 0;
       c.bases.push_back(b);
     }
@@ -375,9 +400,9 @@ class BinaryReader {
     for (std::uint32_t i = 0; i < nfriends && cur.ok(); ++i) {
       ClassItem::Friend f;
       f.is_class = cur.u8() != 0;
-      f.name = std::string(str(cur.u32()));
+      f.name = str(cur.u32());
       f.ref = optRef(cur);
-      c.friends.push_back(std::move(f));
+      c.friends.push_back(f);
     }
     const std::uint32_t nfuncs = cur.u32();
     for (std::uint32_t i = 0; i < nfuncs && cur.ok(); ++i) {
@@ -389,12 +414,12 @@ class BinaryReader {
     const std::uint32_t nmembers = cur.u32();
     for (std::uint32_t i = 0; i < nmembers && cur.ok(); ++i) {
       ClassItem::Member m;
-      m.name = std::string(str(cur.u32()));
+      m.name = str(cur.u32());
       m.location = pos(cur);
-      m.access = internedStr(cur.u32());
-      m.kind = internedStr(cur.u32());
+      m.access = str(cur.u32());
+      m.kind = str(cur.u32());
       m.type = ref(cur);
-      c.members.push_back(std::move(m));
+      c.members.push_back(m);
     }
     c.extent = extent(cur);
     c.src_offset = off;
@@ -404,13 +429,13 @@ class BinaryReader {
   void decodeType(Cursor& cur, std::uint64_t off) {
     TypeItem t;
     t.id = cur.u32();
-    t.name = std::string(str(cur.u32()));
-    t.kind = internedStr(cur.u32());
-    t.ikind = internedStr(cur.u32());
+    t.name = str(cur.u32());
+    t.kind = str(cur.u32());
+    t.ikind = str(cur.u32());
     t.ref = optRef(cur);
     const std::uint32_t nquals = cur.u32();
     for (std::uint32_t i = 0; i < nquals && cur.ok(); ++i)
-      t.qualifiers.push_back(internedStr(cur.u32()));
+      t.qualifiers.push_back(str(cur.u32()));
     t.return_type = optRef(cur);
     const std::uint32_t nparams = cur.u32();
     for (std::uint32_t i = 0; i < nparams && cur.ok(); ++i)
@@ -424,7 +449,7 @@ class BinaryReader {
     t.array_size = cur.i64();
     const std::uint32_t nenum = cur.u32();
     for (std::uint32_t i = 0; i < nenum && cur.ok(); ++i) {
-      const std::string name(str(cur.u32()));
+      const std::string_view name = str(cur.u32());
       const std::int64_t value = cur.i64();
       t.enumerators.emplace_back(name, value);
     }
@@ -435,12 +460,12 @@ class BinaryReader {
   void decodeNamespace(Cursor& cur, std::uint64_t off) {
     NamespaceItem n;
     n.id = cur.u32();
-    n.name = std::string(str(cur.u32()));
+    n.name = str(cur.u32());
     n.location = pos(cur);
     const std::uint32_t nmem = cur.u32();
     for (std::uint32_t i = 0; i < nmem && cur.ok(); ++i)
       n.members.push_back(ref(cur));
-    n.alias = std::string(str(cur.u32()));
+    n.alias = str(cur.u32());
     n.src_offset = off;
     if (cur.ok()) result_.pdb.addNamespace(std::move(n));
   }
@@ -448,21 +473,21 @@ class BinaryReader {
   void decodeMacro(Cursor& cur, std::uint64_t off) {
     MacroItem m;
     m.id = cur.u32();
-    m.name = std::string(str(cur.u32()));
+    m.name = str(cur.u32());
     m.location = pos(cur);
-    m.kind = internedStr(cur.u32());
-    m.text = std::string(str(cur.u32()));
+    m.kind = str(cur.u32());
+    m.text = str(cur.u32());
     m.src_offset = off;
     if (cur.ok()) result_.pdb.addMacro(std::move(m));
   }
 
   std::string_view bytes_;
   Sections sections_ = Sections::All;
+  bool full_ = true;  // mask == All: verify the trailing whole-file checksum
   std::uint64_t strtab_offset_ = 0;
   std::uint64_t strtab_size_ = 0;
   std::vector<SectionEntry> table_;
   std::vector<std::string_view> strings_;   // views into bytes_
-  std::vector<std::string_view> interned_;  // memoized intern() per index
   bool bad_string_reported_ = false;
   std::uint64_t skipped_ = 0;
   ReadResult result_;

@@ -18,14 +18,19 @@ namespace {
 //   u32 section_count             non-empty sections only
 //   u64 total_size                whole file, incl. trailing checksum
 //   u64 strtab_offset, u64 strtab_size
+//   u64 strtab_checksum           binary::checksum64 of the string table
 //   section table: section_count x { u32 kind, u32 item_count,
-//                                    u64 offset, u64 size }
+//                                    u64 offset, u64 size,
+//                                    u64 checksum (of the payload) }
 //   section payloads (writer order: so te ro cl ty na ma)
 //   string table: u32 count, then per string u32 length + bytes
 //   u64 checksum                  binary::checksum64 of [0, total_size - 8)
 //
 // The section table is what makes lazy reads O(1): a reader seeks straight
-// to the payloads it wants and never touches the rest.
+// to the payloads it wants and never touches the rest. The per-section and
+// string-table checksums let the mmap-backed lazy read verify integrity of
+// exactly what it loads without faulting in the sections it skips; the
+// trailing whole-file checksum is what a full read verifies.
 
 using binary::kHeaderSize;
 using binary::kSectionEntrySize;
@@ -325,12 +330,14 @@ std::string writeBinaryToString(const PdbFile& pdb) {
   out.u64(total_size);
   out.u64(strtab_offset);
   out.u64(strtab.size());
+  out.u64(binary::checksum64(strtab));
   std::uint64_t offset = kHeaderSize + table_size;
   for (const SectionBlob& s : sections) {
     out.u32(static_cast<std::uint32_t>(s.kind));
     out.u32(s.item_count);
     out.u64(offset);
     out.u64(s.payload.size());
+    out.u64(binary::checksum64(s.payload));
     offset += s.payload.size();
   }
   std::string bytes = out.take();

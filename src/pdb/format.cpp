@@ -1,10 +1,13 @@
 #include "pdb/format.h"
 
+#include <atomic>
 #include <fstream>
+#include <memory>
 
 #include "pdb/binary_reader.h"
 #include "pdb/binary_writer.h"
 #include "pdb/writer.h"
+#include "support/mmap_buffer.h"
 #include "support/trace.h"
 
 namespace pdt::pdb {
@@ -44,20 +47,7 @@ class BinaryFormatWriter final : public FormatWriter {
   }
 };
 
-std::optional<std::string> slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string buffer;
-  in.seekg(0, std::ios::end);
-  const auto size = in.tellg();
-  if (size > 0) {
-    buffer.resize(static_cast<std::size_t>(size));
-    in.seekg(0, std::ios::beg);
-    in.read(buffer.data(), size);
-    buffer.resize(static_cast<std::size_t>(in.gcount()));
-  }
-  return buffer;
-}
+std::atomic<MmapMode> g_mmap_mode{MmapMode::Auto};
 
 }  // namespace
 
@@ -97,11 +87,31 @@ ReadResult readBuffer(std::string_view bytes, Sections sections) {
   return readerFor(detectFormat(bytes)).readBuffer(bytes, sections);
 }
 
+void setMmapMode(MmapMode mode) {
+  g_mmap_mode.store(mode, std::memory_order_relaxed);
+}
+
+MmapMode mmapMode() { return g_mmap_mode.load(std::memory_order_relaxed); }
+
+std::optional<MmapMode> mmapModeFromName(std::string_view name) {
+  if (name == "on") return MmapMode::On;
+  if (name == "off") return MmapMode::Off;
+  if (name == "auto") return MmapMode::Auto;
+  return std::nullopt;
+}
+
 std::optional<ReadResult> readFile(const std::string& path, Sections sections) {
   PDT_TRACE_SCOPE("pdb.read", path);
-  const auto bytes = slurp(path);
-  if (!bytes) return std::nullopt;
-  return readBuffer(*bytes, sections);
+  const bool allow_mmap = mmapMode() != MmapMode::Off;
+  // Full reads touch every byte (whole-file checksum + all sections), so
+  // pre-fault the mapping; masked reads stay lazy.
+  auto buffer =
+      support::MmapBuffer::open(path, allow_mmap, sections == Sections::All);
+  if (!buffer) return std::nullopt;
+  auto backing = std::make_shared<const support::MmapBuffer>(std::move(*buffer));
+  ReadResult result = readBuffer(backing->view(), sections);
+  result.pdb.adoptBacking(std::move(backing));
+  return result;
 }
 
 std::string writeString(const PdbFile& pdb, Format format) {

@@ -7,10 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/interner.h"
@@ -100,21 +103,35 @@ struct Extent {
 
 struct SourceFileItem {
   std::uint32_t id = 0;
-  std::string name;  // path
+  std::string_view name;  // path
   std::vector<std::uint32_t> includes;  // so ids, in include order
   bool system = false;
   std::uint64_t src_offset = 0;  // see PdbFile::offsetUnit()
 };
 
-// Enum-like attribute fields (access, linkage, kind, ...) are string_views
-// over storage that outlives every PdbFile: either string literals (the
-// analyzer/frontends assign from fixed vocabularies) or the process-wide
-// intern table (the reader routes parsed tokens through PdbFile::intern).
-// This keeps items cheap to copy and lets merged databases share storage.
+// Every string field of an item — names, template/macro text, aliases as
+// well as the enum-like attributes (access, linkage, kind, ...) — is a
+// string_view over storage that outlives the item:
+//
+//  * string literals (the analyzer/frontends assign from fixed
+//    vocabularies),
+//  * the process-wide intern table (PdbFile::intern — producers route
+//    computed names through it),
+//  * a read buffer the owning PdbFile has adopted as a backing
+//    (PdbFile::adoptBacking — the zero-copy readers alias the mmap'd or
+//    slurped file bytes directly), or
+//  * the owning PdbFile's own arena (PdbFile::own — per-database storage
+//    released with the database, used for strings synthesized during a
+//    parse, e.g. unescaped template text).
+//
+// This is what makes reads zero-copy and items cheap to copy; the cost is
+// an ownership rule: whoever assigns a computed std::string must park it
+// in one of the four storages first. Assigning a std::string temporary
+// compiles (string -> string_view converts implicitly) and dangles.
 
 struct RoutineItem {
   std::uint32_t id = 0;
-  std::string name;
+  std::string_view name;
   Pos location;
   std::optional<ItemRef> parent;  // cl or na
   std::string_view access = "NA";  // pub/prot/priv/NA
@@ -142,7 +159,7 @@ struct RoutineItem {
 
 struct ClassItem {
   std::uint32_t id = 0;
-  std::string name;
+  std::string_view name;
   Pos location;
   std::optional<ItemRef> parent;
   std::string_view access = "NA";
@@ -159,7 +176,7 @@ struct ClassItem {
 
   struct Friend {
     bool is_class = false;
-    std::string name;
+    std::string_view name;
     std::optional<ItemRef> ref;
   };
   std::vector<Friend> friends;
@@ -171,7 +188,7 @@ struct ClassItem {
   std::vector<MemberFunc> funcs;
 
   struct Member {
-    std::string name;
+    std::string_view name;
     Pos location;
     std::string_view access = "pub";
     std::string_view kind = "var";  // var/type
@@ -184,7 +201,7 @@ struct ClassItem {
 
 struct TypeItem {
   std::uint32_t id = 0;
-  std::string name;  // C++ spelling
+  std::string_view name;  // C++ spelling
   std::string_view kind;  // ykind: bool/char/int/.../ptr/ref/tref/func/enum/array/tparam
   std::string_view ikind;  // builtin detail (yikind)
   std::optional<ItemRef> ref;     // pointee/referee/qualified base/element
@@ -196,37 +213,37 @@ struct TypeItem {
   bool has_exception_spec = false;
   std::int64_t array_size = -1;
   /// Enum types: the enumerators and their values ("yenum" lines).
-  std::vector<std::pair<std::string, long long>> enumerators;
+  std::vector<std::pair<std::string_view, long long>> enumerators;
   std::uint64_t src_offset = 0;
 };
 
 struct TemplateItem {
   std::uint32_t id = 0;
-  std::string name;
+  std::string_view name;
   Pos location;
   std::optional<ItemRef> parent;
   std::string_view access = "NA";
   std::string_view kind = "class";  // class/func/memfunc/statmem
-  std::string text;
+  std::string_view text;
   Extent extent;
   std::uint64_t src_offset = 0;
 };
 
 struct NamespaceItem {
   std::uint32_t id = 0;
-  std::string name;
+  std::string_view name;
   Pos location;
   std::vector<ItemRef> members;
-  std::string alias;  // target name when this is an alias
+  std::string_view alias;  // target name when this is an alias
   std::uint64_t src_offset = 0;
 };
 
 struct MacroItem {
   std::uint32_t id = 0;
-  std::string name;
+  std::string_view name;
   Pos location;
   std::string_view kind = "def";  // def/undef
-  std::string text;
+  std::string_view text;
   std::uint64_t src_offset = 0;
 };
 
@@ -240,6 +257,36 @@ class PdbFile {
   /// valid for the life of the process (shared across all databases).
   static std::string_view intern(std::string_view text) {
     return internString(text);
+  }
+
+  /// Keeps `storage` alive for as long as this database (or any copy of
+  /// it) lives. The zero-copy readers park the parse buffer here so item
+  /// views can alias it; shared_ptr semantics make copies of the PdbFile
+  /// share the backing instead of duplicating the bytes.
+  void adoptBacking(std::shared_ptr<const void> storage) {
+    if (storage != nullptr) backings_.push_back(std::move(storage));
+  }
+
+  /// Adopts every backing (and the arena) of `other` — required when items
+  /// are copied across databases (merge) and their views must outlive the
+  /// source.
+  void adoptBackingsOf(const PdbFile& other) {
+    backings_.insert(backings_.end(), other.backings_.begin(),
+                     other.backings_.end());
+    if (other.arena_ != nullptr) backings_.push_back(other.arena_);
+  }
+
+  /// Copies `text` into this database's own arena and returns a stable
+  /// view. Unlike intern(), the storage is released with the database —
+  /// use it for strings synthesized during a parse (unescaped template
+  /// text) whose lifetime should not be the whole process.
+  std::string_view own(std::string_view text) { return own(std::string(text)); }
+  std::string_view own(std::string&& text) {
+    // Deque: grow never relocates elements, so views into the stored
+    // strings stay valid (a vector would invalidate SSO strings on grow).
+    if (arena_ == nullptr) arena_ = std::make_shared<std::deque<std::string>>();
+    arena_->push_back(std::move(text));
+    return arena_->back();
   }
 
   std::uint32_t addSourceFile(SourceFileItem item);
@@ -306,6 +353,12 @@ class PdbFile {
                 next_type_id_ = 1, next_template_id_ = 1, next_namespace_id_ = 1,
                 next_macro_id_ = 1;
   OffsetUnit offset_unit_ = OffsetUnit::None;
+
+  // Ownership for item string_views: adopted read buffers and the
+  // database's own string arena. shared_ptr so PdbFile stays copyable and
+  // copies share rather than duplicate the storage.
+  std::vector<std::shared_ptr<const void>> backings_;
+  std::shared_ptr<std::deque<std::string>> arena_;
 };
 
 }  // namespace pdt::pdb

@@ -175,10 +175,11 @@ class Reader {
       error("malformed item id in '" + std::string(text) + "'");
       return;
     }
-    const std::string name =
-        space == std::string_view::npos
-            ? std::string{}
-            : std::string(trim(text.substr(space + 1)));
+    // Zero-copy: the name aliases the parse buffer (the file-level entry
+    // points park the buffer in the PdbFile as a backing).
+    const std::string_view name =
+        space == std::string_view::npos ? std::string_view{}
+                                        : trim(text.substr(space + 1));
     current_kind_ = *kind;
     const auto off = static_cast<std::uint64_t>(line_no_);
     switch (*kind) {
@@ -216,6 +217,14 @@ class Reader {
     const auto space = text.find(' ');
     return space == std::string_view::npos ? std::string_view{}
                                            : trim(text.substr(space + 1));
+  }
+
+  /// Escaped text (ttext/mtext): most lines carry no escape at all, in
+  /// which case the raw bytes are the value and can alias the buffer;
+  /// otherwise the unescaped copy is parked in the database's arena.
+  std::string_view unescaped(std::string_view raw) {
+    if (raw.find('\\') == std::string_view::npos) return raw;
+    return result_.pdb.own(unescapePdbString(raw));
   }
 
   void attribute(std::string_view text) {
@@ -307,9 +316,9 @@ class Reader {
           const auto name = fields.next();
           if (what && name) {
             f.is_class = *what == "class";
-            f.name = std::string(*name);
+            f.name = *name;
             if (!fields.empty()) f.ref = fields.nextRef();
-            class_.friends.push_back(std::move(f));
+            class_.friends.push_back(f);
           } else {
             error("malformed cfriend");
           }
@@ -326,8 +335,8 @@ class Reader {
           }
         } else if (key == "cmem") {
           ClassItem::Member m;
-          m.name = std::string(restAfterKey(text));
-          class_.members.push_back(std::move(m));
+          m.name = restAfterKey(text);
+          class_.members.push_back(m);
         } else if (key == "cmloc") {
           if (!class_.members.empty()) expectPos(class_.members.back().location);
         } else if (key == "cmacs") {
@@ -369,7 +378,7 @@ class Reader {
               std::from_chars(value->data(), value->data() + value->size(),
                               parsed).ec == std::errc{};
           if (ename && !ename->empty() && value_ok) {
-            type_.enumerators.emplace_back(std::string(*ename), parsed);
+            type_.enumerators.emplace_back(*ename, parsed);
           } else {
             error("malformed yenum");
           }
@@ -382,14 +391,14 @@ class Reader {
         else if (key == "tacs") template_.access = fields.nextInterned();
         else if (key == "tkind") template_.kind = fields.nextInterned();
         else if (key == "ttext")
-          template_.text = unescapePdbString(restAfterKey(text));
+          template_.text = unescaped(restAfterKey(text));
         else if (key == "tpos") expectExtent(template_.extent);
         else error("unknown template attribute '" + std::string(key) + "'");
         break;
 
       case ItemKind::Namespace:
         if (key == "nloc") expectPos(namespace_.location);
-        else if (key == "nalias") namespace_.alias = std::string(restAfterKey(text));
+        else if (key == "nalias") namespace_.alias = restAfterKey(text);
         else if (key == "nmem") {
           if (const auto ref = fields.nextRef()) namespace_.members.push_back(*ref);
         } else error("unknown namespace attribute '" + std::string(key) + "'");
@@ -398,7 +407,7 @@ class Reader {
       case ItemKind::Macro:
         if (key == "mloc") expectPos(macro_.location);
         else if (key == "mkind") macro_.kind = fields.nextInterned();
-        else if (key == "mtext") macro_.text = unescapePdbString(restAfterKey(text));
+        else if (key == "mtext") macro_.text = unescaped(restAfterKey(text));
         else error("unknown macro attribute '" + std::string(key) + "'");
         break;
     }
@@ -440,15 +449,24 @@ ReadResult readFromBuffer(std::string_view text) {
   return readFromBuffer(text, Sections::All);
 }
 
+ReadResult readOwning(std::string text, Sections sections) {
+  // The result aliases the buffer, so the buffer moves into a shared
+  // backing the parsed database keeps alive.
+  auto backing = std::make_shared<const std::string>(std::move(text));
+  ReadResult result = readFromBuffer(*backing, sections);
+  result.pdb.adoptBacking(std::move(backing));
+  return result;
+}
+
 ReadResult read(std::istream& is) {
   // Slurp the stream; parsing one contiguous buffer beats getline-per-line.
   std::ostringstream ss;
   ss << is.rdbuf();
-  return readFromBuffer(std::move(ss).str());
+  return readOwning(std::move(ss).str(), Sections::All);
 }
 
 ReadResult readFromString(const std::string& text) {
-  return readFromBuffer(text);
+  return readOwning(text, Sections::All);
 }
 
 std::optional<ReadResult> readFromFile(const std::string& path) {
@@ -465,7 +483,7 @@ std::optional<ReadResult> readFromFile(const std::string& path) {
     in.read(buffer.data(), size);
     buffer.resize(static_cast<std::size_t>(in.gcount()));
   }
-  return readFromBuffer(buffer);
+  return readOwning(std::move(buffer), Sections::All);
 }
 
 }  // namespace pdt::pdb

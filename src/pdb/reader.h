@@ -21,16 +21,24 @@ struct ReadResult {
   [[nodiscard]] bool ok() const { return errors.empty(); }
 };
 
+// Ownership: parsing is zero-copy, so item string fields are views. The
+// convenience entry points (read, readFromString, readFromFile) move their
+// buffer into the result as a backing — the returned database owns what it
+// aliases. readFromBuffer is the expert API: its result aliases `text`,
+// which must outlive the database (or be adopted via PdbFile::adoptBacking).
+
 ReadResult read(std::istream& is);
 ReadResult readFromString(const std::string& text);
-/// Zero-copy parse over a caller-owned buffer (the fast path: `read` and
-/// `readFromFile` slurp their input and delegate here). Enum-like attribute
-/// values are interned, so the result does not alias `text`.
+/// Zero-copy parse over a caller-owned buffer (the fast path: the other
+/// entry points slurp their input and delegate here). The result's string
+/// fields alias `text`.
 ReadResult readFromBuffer(std::string_view text);
 /// Lazy variant: items outside `sections` are skipped without decoding
 /// their attributes (format.h routes the mask to the binary reader's O(1)
 /// section-table skip as well).
 ReadResult readFromBuffer(std::string_view text, Sections sections);
+/// Parses `text` and transfers it into the result as a backing.
+ReadResult readOwning(std::string text, Sections sections);
 /// Returns nullopt when the file cannot be opened. Reads the whole file in
 /// one shot rather than line-by-line.
 std::optional<ReadResult> readFromFile(const std::string& path);

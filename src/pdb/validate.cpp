@@ -10,7 +10,7 @@ class Validator {
 
   std::vector<std::string> run() {
     for (const auto& f : pdb_.sourceFiles()) {
-      where_ = "source file '" + f.name + "' (so#" + std::to_string(f.id) +
+      where_ = "source file '" + std::string(f.name) + "' (so#" + std::to_string(f.id) +
                at(f.src_offset) + ")";
       for (const std::uint32_t inc : f.includes) {
         if (checkable(ItemKind::SourceFile) && pdb_.findSourceFile(inc) == nullptr)
@@ -18,7 +18,7 @@ class Validator {
       }
     }
     for (const auto& r : pdb_.routines()) {
-      where_ = "routine '" + r.name + "' (ro#" + std::to_string(r.id) +
+      where_ = "routine '" + std::string(r.name) + "' (ro#" + std::to_string(r.id) +
                at(r.src_offset) + ")";
       checkPos(r.location, "location");
       checkParent(r.parent);
@@ -37,7 +37,7 @@ class Validator {
       checkExtent(r.extent);
     }
     for (const auto& c : pdb_.classes()) {
-      where_ = "class '" + c.name + "' (cl#" + std::to_string(c.id) +
+      where_ = "class '" + std::string(c.name) + "' (cl#" + std::to_string(c.id) +
                at(c.src_offset) + ")";
       checkPos(c.location, "location");
       checkParent(c.parent);
@@ -59,13 +59,13 @@ class Validator {
         checkPos(mf.location, "member function");
       }
       for (const auto& m : c.members) {
-        checkRef(m.type, "member '" + m.name + "' type");
-        checkPos(m.location, "member '" + m.name + "'");
+        checkRef(m.type, "member '" + std::string(m.name) + "' type");
+        checkPos(m.location, "member '" + std::string(m.name) + "'");
       }
       checkExtent(c.extent);
     }
     for (const auto& t : pdb_.types()) {
-      where_ = "type '" + t.name + "' (ty#" + std::to_string(t.id) +
+      where_ = "type '" + std::string(t.name) + "' (ty#" + std::to_string(t.id) +
                at(t.src_offset) + ")";
       if (t.ref) checkRef(*t.ref, "referenced type");
       if (t.return_type) checkRef(*t.return_type, "return type");
@@ -73,20 +73,20 @@ class Validator {
       for (const auto& e : t.exception_specs) checkRef(e, "exception spec");
     }
     for (const auto& t : pdb_.templates()) {
-      where_ = "template '" + t.name + "' (te#" + std::to_string(t.id) +
+      where_ = "template '" + std::string(t.name) + "' (te#" + std::to_string(t.id) +
                at(t.src_offset) + ")";
       checkPos(t.location, "location");
       checkParent(t.parent);
       checkExtent(t.extent);
     }
     for (const auto& n : pdb_.namespaces()) {
-      where_ = "namespace '" + n.name + "' (na#" + std::to_string(n.id) +
+      where_ = "namespace '" + std::string(n.name) + "' (na#" + std::to_string(n.id) +
                at(n.src_offset) + ")";
       checkPos(n.location, "location");
       for (const auto& m : n.members) checkRef(m, "member");
     }
     for (const auto& m : pdb_.macros()) {
-      where_ = "macro '" + m.name + "' (ma#" + std::to_string(m.id) +
+      where_ = "macro '" + std::string(m.name) + "' (ma#" + std::to_string(m.id) +
                at(m.src_offset) + ")";
       checkPos(m.location, "location");
     }

@@ -1,0 +1,118 @@
+#include "support/mmap_buffer.h"
+
+#include <cstdio>
+
+#include "support/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PDT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PDT_HAVE_MMAP 0
+#endif
+
+namespace pdt::support {
+
+MmapBuffer& MmapBuffer::operator=(MmapBuffer&& other) noexcept {
+  if (this == &other) return *this;
+#if PDT_HAVE_MMAP
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<void*>(data_), size_);
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  owned_ = std::move(other.owned_);
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+MmapBuffer::~MmapBuffer() {
+#if PDT_HAVE_MMAP
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<void*>(data_), size_);
+#endif
+}
+
+std::optional<MmapBuffer> MmapBuffer::open(const std::string& path,
+                                           bool allow_mmap, bool populate) {
+#if PDT_HAVE_MMAP
+  if (allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+        const auto size = static_cast<std::size_t>(st.st_size);
+        if (size == 0) {
+          // mmap(0) is ill-defined; an empty file needs no mapping.
+          ::close(fd);
+          MmapBuffer buf;
+          buf.data_ = "";
+          buf.size_ = 0;
+          buf.mapped_ = false;
+          return buf;
+        }
+        int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+        // A full read touches every byte anyway; pre-faulting the whole
+        // mapping in one syscall beats one soft fault per 4K page.
+        if (populate) flags |= MAP_POPULATE;
+#endif
+        void* map = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+        ::close(fd);
+        if (map != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+          if (populate) ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+          MmapBuffer buf;
+          buf.data_ = map;
+          buf.size_ = size;
+          buf.mapped_ = true;
+          trace::count(trace::Counter::PdbMmapBytesMapped, size);
+          return buf;
+        }
+      } else {
+        ::close(fd);
+        return std::nullopt;  // unreadable or not a regular file
+      }
+      // mmap itself failed (exotic filesystem, torn file): fall through
+      // to the portable read, which will surface a hard failure if the
+      // file really is unreadable.
+    }
+  }
+#else
+  (void)allow_mmap;
+  (void)populate;
+#endif
+  // Portable path: slurp into owned storage.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::rewind(f);
+  const auto size = static_cast<std::size_t>(end);
+  MmapBuffer buf;
+  buf.owned_ = std::make_unique<char[]>(size > 0 ? size : 1);
+  std::size_t got = 0;
+  if (size > 0) got = std::fread(buf.owned_.get(), 1, size, f);
+  std::fclose(f);
+  if (got != size) return std::nullopt;
+  buf.data_ = buf.owned_.get();
+  buf.size_ = size;
+  buf.mapped_ = false;
+  return buf;
+}
+
+}  // namespace pdt::support

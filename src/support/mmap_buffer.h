@@ -1,0 +1,62 @@
+// Read-only memory-mapped file buffer with a portable fallback.
+//
+// The zero-copy PDB read path (docs/PDB_FORMAT.md §zero-copy) serves
+// string-table entries and records as views straight over the mapping, so
+// the buffer must (a) stay immutable for its whole life and (b) be cheap
+// to share — a PdbFile adopts the buffer as a backing and keeps it alive
+// for as long as any item view may point into it.
+//
+// On POSIX hosts open() maps the file PROT_READ/MAP_PRIVATE; pages fault
+// in on first touch, which is what lets a lazy section read skip the
+// payloads it never asks for. Where mmap is unavailable (or fails — e.g.
+// a file truncated mid-write by a crashed producer) the same call falls
+// back to reading the whole file into an owned heap buffer, so callers
+// never branch on platform.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pdt::support {
+
+class MmapBuffer {
+ public:
+  /// Opens `path` read-only. Prefers mmap (when `allow_mmap`), falls back
+  /// to a whole-file read; nullopt only when the file cannot be opened or
+  /// read at all. Set `populate` when the caller will touch every byte
+  /// (a full-section read): the mapping is pre-faulted in one go instead
+  /// of one soft fault per page, and the kernel is told the access is
+  /// sequential. Lazy masked reads must leave it false — pre-faulting
+  /// would defeat skipping unrequested sections.
+  [[nodiscard]] static std::optional<MmapBuffer> open(const std::string& path,
+                                                     bool allow_mmap = true,
+                                                     bool populate = false);
+
+  MmapBuffer() = default;
+  MmapBuffer(MmapBuffer&& other) noexcept { *this = std::move(other); }
+  MmapBuffer& operator=(MmapBuffer&& other) noexcept;
+  MmapBuffer(const MmapBuffer&) = delete;
+  MmapBuffer& operator=(const MmapBuffer&) = delete;
+  ~MmapBuffer();
+
+  /// The file contents. Valid for the lifetime of this buffer.
+  [[nodiscard]] std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+  /// True when the contents are served by an actual memory mapping (the
+  /// fallback path reports false).
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;              // data_ is an mmap region
+  std::unique_ptr<char[]> owned_;    // fallback storage (mapped_ == false)
+};
+
+}  // namespace pdt::support

@@ -32,8 +32,11 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "pdb.files_written",
     "pdb.items_written",
     "pdb.sections_skipped",
+    "pdb.mmap.bytes_mapped",
     "merge.merges",
     "merge.duplicates_elided",
+    "merge.shards",
+    "merge.spills",
     "driver.tus",
     "diag.errors",
     "diag.warnings",

@@ -55,8 +55,11 @@ enum class Counter : std::size_t {
   PdbFilesWritten,       // pdb.files_written
   PdbItemsWritten,       // pdb.items_written
   PdbSectionsSkipped,    // pdb.sections_skipped — sections a lazy read left unloaded
+  PdbMmapBytesMapped,    // pdb.mmap.bytes_mapped — bytes served via mmap
   MergeMerges,           // merge.merges — pairwise PDB::merge calls
   MergeDuplicatesElided, // merge.duplicates_elided — items deduplicated away
+  MergeShards,           // merge.shards — shard workers of a sharded merge
+  MergeSpills,           // merge.spills — partial merges spilled to disk
   DriverTus,             // driver.tus — translation units processed
   DiagErrors,            // diag.errors
   DiagWarnings,          // diag.warnings

@@ -34,7 +34,7 @@ constexpr const char* kUsage =
     "usage: cxxparse <source.cpp>... [-I dir] [-D name[=value]] "
     "[-o out.pdb] [-j N] [--cache-dir dir] [--cache-limit-mb N] "
     "[--cache-stats[=json]] [--no-cache] [--stats[=json]] [--stats-out FILE] "
-    "[--trace-out FILE] [--format=ascii|bin] [--dump-ast] "
+    "[--trace-out FILE] [--format=ascii|bin] [--mmap=MODE] [--dump-ast] "
     "[--instantiate-all] [--direct-template-links]\n"
     "  -j N, --jobs N      compile translation units on N worker threads\n"
     "                      (N >= 1; output is identical to a serial run)\n"
@@ -53,7 +53,9 @@ constexpr const char* kUsage =
     "  --trace-out FILE    write a Chrome trace_event JSON timeline to FILE\n"
     "                      (load in chrome://tracing or ui.perfetto.dev)\n"
     "  --format=FMT        output database format: ascii (default) or bin\n"
-    "                      (binary PDB v2; see docs/PDB_FORMAT.md)\n";
+    "                      (binary PDB v2; see docs/PDB_FORMAT.md)\n"
+    "  --mmap=MODE         how binary databases (e.g. cache entries) are\n"
+    "                      read: auto (default), on, off\n";
 
 /// Parses a -j/--jobs value: a positive decimal integer. Exits with a
 /// diagnostic on 0 or non-numeric input instead of quietly misbehaving.
@@ -154,6 +156,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       format = *parsed;
+    } else if (arg.starts_with("--mmap=")) {
+      const auto mode = pdt::pdb::mmapModeFromName(arg.substr(7));
+      if (!mode) {
+        std::cerr << "cxxparse: unknown --mmap mode '" << arg.substr(7)
+                  << "' (expected auto, on, or off)\n";
+        return 2;
+      }
+      pdt::pdb::setMmapMode(*mode);
     } else if (arg == "--dump-ast") {
       dump_ast = true;
     } else if (arg == "--instantiate-all") {

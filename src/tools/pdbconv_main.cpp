@@ -15,11 +15,12 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: pdbconv <file.pdb> [--to=ascii|bin] [-o <out.pdb>]\n"
+    "usage: pdbconv <file.pdb> [--to=ascii|bin] [-o <out.pdb>] [--mmap=MODE]\n"
     "  (no --to)      print the readable dump to stdout / -o file\n"
     "  --to=FORMAT    rewrite the database in FORMAT (ascii or bin);\n"
     "                 the input's own format is auto-detected\n"
-    "  -o FILE        write the result to FILE instead of stdout\n";
+    "  -o FILE        write the result to FILE instead of stdout\n"
+    "  --mmap=MODE    input mapping: auto (default), on, off\n";
 
 }  // namespace
 
@@ -39,6 +40,14 @@ int main(int argc, char** argv) {
                   << "' (expected ascii or bin)\n";
         return 2;
       }
+    } else if (arg.starts_with("--mmap=")) {
+      const auto mode = pdt::pdb::mmapModeFromName(arg.substr(7));
+      if (!mode) {
+        std::cerr << "pdbconv: unknown --mmap mode '" << arg.substr(7)
+                  << "' (expected auto, on, or off)\n";
+        return 2;
+      }
+      pdt::pdb::setMmapMode(*mode);
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;
@@ -54,27 +63,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(input);
-  if (!pdb.valid()) {
-    std::cerr << "pdbconv: " << pdb.errorMessage() << '\n';
-    return 1;
-  }
-
   if (to) {
+    // Format conversion streams through the zero-copy reader: the typed
+    // model aliases the (usually mmap'd) input buffer and the DUCTAPE
+    // object graph is never built, so peak memory is roughly the input
+    // size instead of input + graph (bench/bench_mmap tracks this).
+    const std::optional<pdt::pdb::ReadResult> read = pdt::pdb::readFile(input);
+    if (!read) {
+      std::cerr << "pdbconv: cannot open '" << input << "'\n";
+      return 1;
+    }
+    if (!read->ok()) {
+      std::cerr << "pdbconv: " << input << ": " << read->errors.front() << '\n';
+      return 1;
+    }
     if (output.empty()) {
       // A binary database on a terminal helps nobody; require -o there.
       if (*to == pdt::pdb::Format::Binary) {
         std::cerr << "pdbconv: --to=bin requires -o FILE\n";
         return 2;
       }
-      std::cout << pdt::pdb::writeString(pdb.raw(), *to);
+      std::cout << pdt::pdb::writeString(read->pdb, *to);
       return 0;
     }
-    if (!pdb.write(output, *to)) {
+    if (!pdt::pdb::writeFile(read->pdb, output, *to)) {
       std::cerr << "pdbconv: cannot write '" << output << "'\n";
       return 1;
     }
     return 0;
+  }
+
+  const pdt::ductape::PDB pdb = pdt::ductape::PDB::read(input);
+  if (!pdb.valid()) {
+    std::cerr << "pdbconv: " << pdb.errorMessage() << '\n';
+    return 1;
   }
 
   if (!output.empty()) {

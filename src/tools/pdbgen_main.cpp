@@ -1,0 +1,92 @@
+// pdbgen: generates a deterministic synthetic PDB corpus for scale
+// benchmarks and the sharded-merge CI gate. One output file per synthetic
+// translation unit; the same flags always produce byte-identical files.
+#include <charconv>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "pdb/format.h"
+#include "tools/synth.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pdbgen -o <dir> -n <units> [--format=ascii|bin]\n"
+    "              [--shared N] [--unique N] [--routines N] [--name-bytes N]\n"
+    "  -o DIR            output directory (must exist); files are\n"
+    "                    DIR/tu_<index>.pdb\n"
+    "  -n UNITS          number of synthetic translation units\n"
+    "  --format=FORMAT   storage format of the units (default bin)\n"
+    "  --shared N        shared template instantiations per TU (default 32)\n"
+    "  --unique N        unique classes per TU (default 4)\n"
+    "  --routines N      routines per TU (default 16)\n"
+    "  --name-bytes N    approximate type-spelling length (default 120)\n";
+
+bool parseInt(const std::string& value, int& out) {
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  return ec == std::errc{} && ptr == value.data() + value.size() && out >= 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  int units = -1;
+  pdt::pdb::Format format = pdt::pdb::Format::Binary;
+  pdt::tools::SynthOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto intFlag = [&](const char* name, int& out) {
+      if (arg != name || i + 1 >= argc) return false;
+      if (!parseInt(argv[++i], out)) {
+        std::cerr << "pdbgen: invalid value for " << name << '\n';
+        std::exit(2);
+      }
+      return true;
+    };
+    if (arg == "-o" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "-n" && i + 1 < argc) {
+      if (!parseInt(argv[++i], units)) {
+        std::cerr << "pdbgen: invalid value for -n\n";
+        return 2;
+      }
+    } else if (arg.starts_with("--format=")) {
+      const auto parsed = pdt::pdb::formatFromName(arg.substr(9));
+      if (!parsed) {
+        std::cerr << "pdbgen: unknown format '" << arg.substr(9) << "'\n";
+        return 2;
+      }
+      format = *parsed;
+    } else if (intFlag("--shared", opts.shared_classes) ||
+               intFlag("--unique", opts.unique_classes) ||
+               intFlag("--routines", opts.routines) ||
+               intFlag("--name-bytes", opts.name_bytes)) {
+      // parsed by intFlag
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (dir.empty() || units < 0) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  for (int i = 0; i < units; ++i) {
+    const pdt::pdb::PdbFile pdb = pdt::tools::synthUnit(i, opts);
+    const std::string path = dir + "/tu_" + std::to_string(i) + ".pdb";
+    if (!pdt::pdb::writeFile(pdb, path, format)) {
+      std::cerr << "pdbgen: cannot write '" << path << "'\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote " << units << " units to " << dir << '\n';
+  return 0;
+}

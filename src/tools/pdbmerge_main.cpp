@@ -5,6 +5,7 @@
 // -j N reads the input files and runs the pairwise merge reduction on N
 // worker threads; the result is byte-identical to the serial merge.
 #include <charconv>
+#include <cstdint>
 #include <future>
 #include <iostream>
 #include <string>
@@ -14,17 +15,24 @@
 #include "pdb/validate.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
+#include "tools/shard_merge.h"
 #include "tools/tools.h"
 
 namespace {
 
 constexpr const char* kUsage =
     "usage: pdbmerge <in1.pdb> <in2.pdb>... -o <out.pdb> [-j N]\n"
-    "                [--format=ascii|bin] [--stats[=json]] [--stats-out FILE]\n"
-    "                [--trace-out FILE]\n"
+    "                [--format=ascii|bin] [--merge-mem-mb=N] [--mmap=MODE]\n"
+    "                [--stats[=json]] [--stats-out FILE] [--trace-out FILE]\n"
     "  -j N, --jobs N    read and merge on N worker threads (N >= 1)\n"
     "  --format=FORMAT   storage format of the output (default ascii);\n"
     "                    input formats are auto-detected\n"
+    "  --merge-mem-mb=N  soft memory budget: merge in external shards,\n"
+    "                    spilling partial merges to temp files when a\n"
+    "                    worker's partial exceeds its slice of N MiB\n"
+    "                    (0 or absent = classic in-memory merge; the\n"
+    "                    output bytes are identical either way)\n"
+    "  --mmap=MODE       binary input mapping: auto (default), on, off\n"
     "  --stats[=json]    merge counter + phase timing report on stderr\n"
     "  --stats-out FILE  write the stats report to FILE\n"
     "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
@@ -41,12 +49,25 @@ std::size_t parseJobs(const std::string& value) {
   return jobs;
 }
 
+std::uint64_t parseMemMb(const std::string& value) {
+  std::uint64_t mb = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), mb);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    std::cerr << "pdbmerge: invalid --merge-mem-mb value '" << value
+              << "' (expected a non-negative integer)\n";
+    std::exit(2);
+  }
+  return mb;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string output;
   std::size_t jobs = 1;
+  std::uint64_t merge_mem_mb = 0;
   pdt::pdb::Format format = pdt::pdb::Format::Ascii;
   pdt::trace::ToolObservability obs;
 
@@ -66,6 +87,16 @@ int main(int argc, char** argv) {
       jobs = parseJobs(argv[++i]);
     } else if (arg.starts_with("-j") && arg != "-j") {
       jobs = parseJobs(arg.substr(2));
+    } else if (arg.starts_with("--merge-mem-mb=")) {
+      merge_mem_mb = parseMemMb(arg.substr(15));
+    } else if (arg.starts_with("--mmap=")) {
+      const auto mode = pdt::pdb::mmapModeFromName(arg.substr(7));
+      if (!mode) {
+        std::cerr << "pdbmerge: unknown --mmap mode '" << arg.substr(7)
+                  << "' (expected auto, on, or off)\n";
+        return 2;
+      }
+      pdt::pdb::setMmapMode(*mode);
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;
@@ -92,6 +123,37 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs.begin();
+
+  // External sharded merge: never holds every input at once, spills
+  // partials past the budget, and produces the same bytes as the
+  // in-memory path below.
+  if (merge_mem_mb > 0) {
+    pdt::tools::ShardedMergeOptions sopts;
+    sopts.jobs = jobs;
+    sopts.mem_budget_bytes = merge_mem_mb * 1024ull * 1024ull;
+    sopts.temp_dir = output + ".merge-tmp";
+    pdt::tools::ShardedMergeResult sharded =
+        pdt::tools::shardedMergeFiles(paths, sopts);
+    if (!sharded.ok()) {
+      for (const std::string& e : sharded.errors)
+        std::cerr << "pdbmerge: " << e << '\n';
+      return 1;
+    }
+    if (!sharded.merged->write(output, format)) {
+      std::cerr << "pdbmerge: cannot write '" << output << "'\n";
+      return 1;
+    }
+    std::cout << "wrote " << output << '\n';
+    if (obs.wanted()) {
+      pdt::trace::StatsReport report("pdbmerge");
+      report.setCounters(pdt::trace::globalCounters());
+      report.addSection("sharded merge",
+                        {{"shards", sharded.stats.shards},
+                         {"spills", sharded.stats.spills}});
+      if (!obs.finish(report)) return 1;
+    }
+    return 0;
+  }
 
   // Read every input (in parallel with -j); report errors in input order.
   std::vector<pdt::ductape::PDB> inputs;

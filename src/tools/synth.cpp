@@ -1,0 +1,119 @@
+#include "tools/synth.h"
+
+#include <utility>
+
+namespace pdt::tools {
+namespace {
+
+/// A template spelling padded toward `target` bytes. Same inputs, same
+/// spelling — the padding is a deterministic nested-template chain, so
+/// the shared instantiations dedup across TUs byte-for-byte.
+std::string spelling(const std::string& stem, int j, int target) {
+  std::string name = stem + "<std::map<std::basic_string<char>, Payload" +
+                     std::to_string(j) + ">";
+  while (static_cast<int>(name.size()) + 16 < target)
+    name += ", std::allocator<std::pair<const Key, Value> >";
+  name += " >";
+  return name;
+}
+
+}  // namespace
+
+pdb::PdbFile synthUnit(int index, const SynthOptions& opts) {
+  pdb::PdbFile pdb;
+  const auto own = [&pdb](std::string s) { return pdb.own(std::move(s)); };
+
+  // Shared header + this TU's source file.
+  pdb::SourceFileItem header;
+  header.name = "include/synth.h";
+  const std::uint32_t header_id = pdb.addSourceFile(std::move(header));
+  pdb::SourceFileItem tu;
+  tu.name = own("src/tu_" + std::to_string(index) + ".cc");
+  tu.includes.push_back(header_id);
+  const std::uint32_t tu_id = pdb.addSourceFile(std::move(tu));
+
+  // One shared signature type.
+  pdb::TypeItem sig;
+  sig.name = "void ()";
+  sig.kind = "func";
+  const std::uint32_t sig_id = pdb.addType(std::move(sig));
+
+  // Shared template instantiations: identical in every TU, so pdbmerge
+  // collapses them (the paper's duplicate-instantiation elimination).
+  std::vector<std::uint32_t> shared_routines;
+  for (int j = 0; j < opts.shared_classes; ++j) {
+    pdb::TemplateItem te;
+    te.name = own("Container" + std::to_string(j));
+    te.kind = "class";
+    te.location = {header_id, static_cast<std::uint32_t>(10 + j), 1};
+    te.text = own("template <typename K, typename V> class Container" +
+                  std::to_string(j) + " { K key; V value; };");
+    const std::uint32_t te_id = pdb.addTemplate(std::move(te));
+
+    pdb::ClassItem cl;
+    cl.name = own(spelling("Container" + std::to_string(j), j, opts.name_bytes));
+    cl.kind = "class";
+    cl.location = {header_id, static_cast<std::uint32_t>(10 + j), 1};
+    cl.template_id = te_id;
+    cl.is_specialization = false;
+    pdb::ClassItem::Member m;
+    m.name = own("storage_" + std::to_string(j));
+    m.access = "priv";
+    m.kind = "var";
+    m.type = {pdb::ItemKind::Type, sig_id};
+    cl.members.push_back(m);
+    const std::uint32_t cl_id = pdb.addClass(std::move(cl));
+
+    pdb::RoutineItem ro;
+    ro.name = own("Container" + std::to_string(j) + "::insert");
+    ro.parent = pdb::ItemRef{pdb::ItemKind::Class, cl_id};
+    ro.access = "pub";
+    ro.signature = sig_id;
+    ro.kind = "routine";
+    ro.defined = true;
+    ro.location = {header_id, static_cast<std::uint32_t>(10 + j), 3};
+    shared_routines.push_back(pdb.addRoutine(std::move(ro)));
+  }
+
+  // Per-TU unique classes.
+  for (int j = 0; j < opts.unique_classes; ++j) {
+    pdb::ClassItem cl;
+    cl.name = own(spelling(
+        "Local" + std::to_string(index) + "_" + std::to_string(j), j,
+        opts.name_bytes));
+    cl.kind = "struct";
+    cl.location = {tu_id, static_cast<std::uint32_t>(5 + j), 1};
+    pdb.addClass(std::move(cl));
+  }
+
+  // Per-TU routines with call edges into the shared methods (exercises
+  // cross-database id remapping during merge).
+  std::uint32_t prev = 0;
+  for (int j = 0; j < opts.routines; ++j) {
+    pdb::RoutineItem ro;
+    ro.name = own("tu" + std::to_string(index) + "_fn" + std::to_string(j));
+    ro.signature = sig_id;
+    ro.kind = "routine";
+    ro.defined = true;
+    ro.location = {tu_id, static_cast<std::uint32_t>(100 + j), 1};
+    if (!shared_routines.empty()) {
+      pdb::RoutineItem::Call call;
+      call.routine = shared_routines[static_cast<std::size_t>(j) %
+                                     shared_routines.size()];
+      call.position = {tu_id, static_cast<std::uint32_t>(100 + j), 5};
+      ro.calls.push_back(call);
+    }
+    if (prev != 0) {
+      pdb::RoutineItem::Call call;
+      call.routine = prev;
+      call.position = {tu_id, static_cast<std::uint32_t>(100 + j), 9};
+      ro.calls.push_back(call);
+    }
+    prev = pdb.addRoutine(std::move(ro));
+  }
+
+  pdb.reindex();
+  return pdb;
+}
+
+}  // namespace pdt::tools

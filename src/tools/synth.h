@@ -1,0 +1,36 @@
+// Deterministic synthetic program databases for scale testing.
+//
+// The krylov example (examples/) exercises correctness; benchmarking the
+// 100k-TU regime needs databases 100-1000x that size without shipping a
+// giant corpus. synthUnit() fabricates the database one translation unit
+// of a synthetic template-heavy codebase would produce: a shared header
+// worth of template instantiations that repeat across every TU (so merge
+// has duplicates to eliminate, like Stack<int> in the paper) plus per-TU
+// unique classes and routines with call edges (so the merged database
+// still grows). All names are generated from the unit index alone —
+// the same index always yields byte-identical databases, which keeps
+// benches and the sharded-merge CI gate reproducible.
+//
+// Template spellings are padded toward `name_bytes` to mimic real
+// instantiation names (std::map<std::basic_string<...>, ...> easily runs
+// to hundreds of bytes); string-heavy payloads are exactly what the
+// zero-copy read path is optimized for, so the benches lean on it.
+#pragma once
+
+#include <string>
+
+#include "pdb/pdb.h"
+
+namespace pdt::tools {
+
+struct SynthOptions {
+  int shared_classes = 32;  // instantiations repeated in every TU (dedup fodder)
+  int unique_classes = 4;   // classes only this TU defines
+  int routines = 16;        // per-TU free routines (with call edges)
+  int name_bytes = 120;     // approximate length of synthetic type spellings
+};
+
+/// The program database of TU `index` of the synthetic codebase.
+[[nodiscard]] pdb::PdbFile synthUnit(int index, const SynthOptions& opts = {});
+
+}  // namespace pdt::tools

@@ -225,6 +225,25 @@ TEST_F(BuildCacheTest, TruncatedPdbEntryIsEvictedAndRecompiled) {
   EXPECT_EQ(cold_bytes, rerun_bytes);
 }
 
+TEST_F(BuildCacheTest, UnmappableEntryIsEvictedAndRecompiled) {
+  tools::DriverResult cold;
+  const std::string cold_bytes = compileBytes(cold);
+
+  // A torn entry whose bytes cannot even be opened/mapped (here: the
+  // value path is not a regular file at all) must route to the same
+  // evict-and-recompile fallback as a corrupt-but-readable one.
+  for (const fs::path& pdb_file : cacheFiles(".pdb")) {
+    fs::remove(pdb_file);
+    fs::create_directory(pdb_file);
+  }
+  tools::DriverResult rerun;
+  const std::string rerun_bytes = compileBytes(rerun);
+  EXPECT_EQ(rerun.cache_stats.hits, 0u);
+  EXPECT_EQ(rerun.cache_stats.evictions, 2u);
+  EXPECT_EQ(rerun.cache_stats.misses, 2u);
+  EXPECT_EQ(cold_bytes, rerun_bytes);
+}
+
 TEST_F(BuildCacheTest, GarbageManifestIsEvictedAndRecompiled) {
   tools::DriverResult cold;
   const std::string cold_bytes = compileBytes(cold);
