@@ -70,6 +70,68 @@ bin_rc=0
 [ "${ascii_rc}" -eq "${bin_rc}" ]
 cmp "${BUILD}/ci_fmt_check_ascii.out" "${BUILD}/ci_fmt_check_bin.out"
 
+echo "== dataflow rules =="
+# The dataflow rules (docs/PDBCHECK.md) must agree across storage formats
+# and stay silent on the clean seed corpus — zero false positives is the
+# contract that lets the self-hosted gate above run --checks=all. A
+# seeded-bug translation unit proves each rule actually fires, and
+# pdbduct must answer reaching-definition queries from the same database
+# while leaving the sections its queries never touch on disk.
+DF_CHECKS="uninitialized-read,dead-store,null-deref-candidate"
+df_ascii_rc=0
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_fmt_merged.pdb" \
+    --checks="${DF_CHECKS}" -j "${JOBS}" > "${BUILD}/ci_df_ascii.out" \
+    || df_ascii_rc=$?
+df_bin_rc=0
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_fmt_merged.bpdb" \
+    --checks="${DF_CHECKS}" -j "${JOBS}" > "${BUILD}/ci_df_bin.out" \
+    || df_bin_rc=$?
+[ "${df_ascii_rc}" -eq "${df_bin_rc}" ]
+cmp "${BUILD}/ci_df_ascii.out" "${BUILD}/ci_df_bin.out"
+# Clean inputs: the dataflow rules must find nothing.
+[ "${df_ascii_rc}" -eq 0 ]
+# Seeded bugs: one uninitialized read, one dead store, one null deref.
+cat > "${BUILD}/ci_df_seeded.cpp" <<'EOF'
+int read_uninit(int c) {
+  int x;
+  if (c > 0) { return x; }
+  x = 2;
+  return x;
+}
+int dead_store(int a) {
+  int t = a;
+  t = a + 1;
+  t = a + 2;
+  return t;
+}
+int null_deref() {
+  int* q = 0;
+  return *q;
+}
+EOF
+"${BUILD}/src/tools/cxxparse" "${BUILD}/ci_df_seeded.cpp" \
+    -o "${BUILD}/ci_df_seeded.pdb"
+df_seed_rc=0
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_df_seeded.pdb" \
+    --checks="${DF_CHECKS}" > "${BUILD}/ci_df_seeded.out" || df_seed_rc=$?
+[ "${df_seed_rc}" -eq 1 ]
+grep -q "uninitialized-read" "${BUILD}/ci_df_seeded.out"
+grep -q "dead-store" "${BUILD}/ci_df_seeded.out"
+grep -q "null-deref-candidate" "${BUILD}/ci_df_seeded.out"
+# pdbduct: lazy queries over the merged database must leave the type,
+# template, and macro sections unloaded (pdb.sections_skipped counts them).
+"${BUILD}/src/tools/pdbduct" "${BUILD}/ci_fmt_merged.bpdb" --var alpha \
+    --defs --stats=json --stats-out "${BUILD}/ci_df_duct.stats.json" \
+    > /dev/null
+python3 - "${BUILD}" <<'PY'
+import json, sys
+stats = json.load(open(f"{sys.argv[1]}/ci_df_duct.stats.json"))
+skipped = stats["counters"]["pdb.sections_skipped"]
+assert skipped >= 3, f"pdbduct loaded sections it must skip (skipped={skipped})"
+print(f"dataflow OK: format parity, clean corpus silent, seeded bugs found, "
+      f"pdbduct skipped {skipped} section(s)")
+PY
+
 echo "== sharded merge =="
 # External merge at scale (docs/MERGE.md): generate a ~1k-TU synthetic
 # corpus with pdbgen, merge it in-memory and again under a memory budget

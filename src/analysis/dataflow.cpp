@@ -1,0 +1,354 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <string_view>
+#include <unordered_map>
+
+namespace pdt::analysis::dataflow {
+
+namespace {
+
+using pdb::DefUseItem;
+using pdb::DuOp;
+
+/// Recursive-descent builder over the well-nested marker grammar the IL
+/// analyzer emits. Any stream that does not match the grammar (stray or
+/// missing markers) is flagged irregular rather than rejected.
+struct Builder {
+  explicit Builder(const DefUseItem& item) : item_(item) {}
+
+  void run() {
+    entry_ = newBlock();
+    exit_ = newBlock();
+    cur_ = entry_;
+    parseSeq({});
+    if (i_ < item_.events.size()) irregular_ = true;  // unconsumed stop marker
+    edge(cur_, exit_);  // falling off the end returns
+  }
+  int newBlock() {
+    blocks_.emplace_back();
+    return static_cast<int>(blocks_.size()) - 1;
+  }
+  void edge(int from, int to) {
+    blocks_[from].succ.push_back(to);
+    blocks_[to].pred.push_back(from);
+  }
+  [[nodiscard]] std::string_view markerAt(std::size_t i) const {
+    const DefUseItem::Event& e = item_.events[i];
+    return e.op == DuOp::Marker ? e.name : std::string_view{};
+  }
+  static bool contains(const std::vector<std::string_view>& set,
+                       std::string_view name) {
+    return std::find(set.begin(), set.end(), name) != set.end();
+  }
+
+  /// Consumes events until one of `stop` (left unconsumed) or stream end.
+  void parseSeq(const std::vector<std::string_view>& stop) {
+    while (i_ < item_.events.size()) {
+      const std::string_view marker = markerAt(i_);
+      if (marker.empty()) {  // plain def/use event
+        blocks_[cur_].events.push_back(static_cast<EventIndex>(i_));
+        ++i_;
+        continue;
+      }
+      if (contains(stop, marker)) return;
+      if (marker == "then") {
+        parseIf();
+      } else if (marker == "loop") {
+        parseLoop();
+      } else if (marker == "doloop") {
+        parseDo();
+      } else if (marker == "switch") {
+        parseSwitch();
+      } else if (marker == "ret") {
+        ++i_;
+        edge(cur_, exit_);
+        cur_ = newBlock();  // continuation is unreachable
+      } else if (marker == "break") {
+        ++i_;
+        if (break_targets_.empty()) {
+          irregular_ = true;
+        } else {
+          edge(cur_, break_targets_.back());
+          cur_ = newBlock();
+        }
+      } else if (marker == "continue") {
+        ++i_;
+        if (continue_targets_.empty()) {
+          irregular_ = true;
+        } else {
+          edge(cur_, continue_targets_.back());
+          cur_ = newBlock();
+        }
+      } else {
+        // "irregular", or a structural closer with no matching opener.
+        irregular_ = true;
+        ++i_;
+      }
+    }
+  }
+
+  // `cur_` holds the condition events; we are at "then".
+  void parseIf() {
+    ++i_;
+    const int cond = cur_;
+    const int then_entry = newBlock();
+    edge(cond, then_entry);
+    cur_ = then_entry;
+    parseSeq({"else", "endif"});
+    const int then_exit = cur_;
+    int else_exit = -1;
+    if (i_ < item_.events.size() && markerAt(i_) == "else") {
+      ++i_;
+      const int else_entry = newBlock();
+      edge(cond, else_entry);
+      cur_ = else_entry;
+      parseSeq({"endif"});
+      else_exit = cur_;
+    }
+    if (i_ < item_.events.size() && markerAt(i_) == "endif") ++i_;
+    else irregular_ = true;
+    const int join = newBlock();
+    edge(then_exit, join);
+    if (else_exit >= 0) edge(else_exit, join);
+    else edge(cond, join);  // no else: condition may fail straight through
+    cur_ = join;
+  }
+
+  // while/for: "loop" <cond events> "body" <body+increment> "endloop".
+  void parseLoop() {
+    ++i_;
+    const int before = cur_;
+    const int header = newBlock();
+    edge(before, header);
+    cur_ = header;
+    parseSeq({"body"});
+    const int cond_exit = cur_;
+    if (i_ < item_.events.size() && markerAt(i_) == "body") ++i_;
+    else irregular_ = true;
+    const int join = newBlock();
+    break_targets_.push_back(join);
+    continue_targets_.push_back(header);
+    const int body_entry = newBlock();
+    edge(cond_exit, body_entry);
+    edge(cond_exit, join);  // zero iterations
+    cur_ = body_entry;
+    parseSeq({"endloop"});
+    edge(cur_, header);  // back edge
+    if (i_ < item_.events.size() && markerAt(i_) == "endloop") ++i_;
+    else irregular_ = true;
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    cur_ = join;
+  }
+
+  // do-while: "doloop" "body" <body+cond events> "endloop". The body runs
+  // at least once; the condition events sit at the end of the body region.
+  void parseDo() {
+    ++i_;
+    if (i_ < item_.events.size() && markerAt(i_) == "body") ++i_;
+    else irregular_ = true;
+    const int before = cur_;
+    const int body_entry = newBlock();
+    edge(before, body_entry);
+    const int join = newBlock();
+    break_targets_.push_back(join);
+    continue_targets_.push_back(body_entry);
+    cur_ = body_entry;
+    parseSeq({"endloop"});
+    edge(cur_, body_entry);  // back edge
+    edge(cur_, join);
+    if (i_ < item_.events.size() && markerAt(i_) == "endloop") ++i_;
+    else irregular_ = true;
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    cur_ = join;
+  }
+
+  // "switch" ("case"|"default" <stmts>)* "endswitch". Each label is
+  // entered from the switch head; label regions fall through to the next.
+  void parseSwitch() {
+    ++i_;
+    const int head = cur_;
+    const int join = newBlock();
+    break_targets_.push_back(join);
+    bool has_default = false;
+    int prev_exit = -1;
+    while (i_ < item_.events.size()) {
+      const std::string_view marker = markerAt(i_);
+      if (marker == "case" || marker == "default") {
+        has_default = has_default || marker == "default";
+        ++i_;
+        const int label_entry = newBlock();
+        edge(head, label_entry);
+        if (prev_exit >= 0) edge(prev_exit, label_entry);  // fallthrough
+        cur_ = label_entry;
+        parseSeq({"case", "default", "endswitch"});
+        prev_exit = cur_;
+        continue;
+      }
+      break;
+    }
+    if (i_ < item_.events.size() && markerAt(i_) == "endswitch") ++i_;
+    else irregular_ = true;
+    if (prev_exit >= 0) edge(prev_exit, join);
+    // No default label (or an empty switch): the selector may match
+    // nothing and control falls straight through.
+    if (!has_default || prev_exit < 0) edge(head, join);
+    break_targets_.pop_back();
+    cur_ = join;
+  }
+
+  const DefUseItem& item_;
+  std::vector<Block> blocks_;
+  std::size_t i_ = 0;
+  int cur_ = 0;
+  int entry_ = 0;
+  int exit_ = 0;
+  bool irregular_ = false;
+  std::vector<int> break_targets_;
+  std::vector<int> continue_targets_;
+};
+
+}  // namespace
+
+Cfg Cfg::build(const pdb::DefUseItem& item) {
+  Builder b(item);
+  b.run();
+  Cfg cfg;
+  cfg.item_ = &item;
+  cfg.blocks_ = std::move(b.blocks_);
+  cfg.entry_ = b.entry_;
+  cfg.exit_ = b.exit_;
+  cfg.irregular_ = b.irregular_;
+  cfg.block_of_.assign(item.events.size(), cfg.entry_);
+  for (std::size_t blk = 0; blk < cfg.blocks_.size(); ++blk)
+    for (const EventIndex e : cfg.blocks_[blk].events)
+      cfg.block_of_[e] = static_cast<int>(blk);
+  return cfg;
+}
+
+bool BitSet::unionWith(const BitSet& other) {
+  bool changed = false;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t next = words_[w] | other.words_[w];
+    changed = changed || next != words_[w];
+    words_[w] = next;
+  }
+  return changed;
+}
+
+void BitSet::forEach(const std::function<void(std::size_t)>& fn) const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      fn(w * 64 + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+std::vector<BitSet> solveForward(const Cfg& cfg, std::size_t lattice_bits,
+                                 const Transfer& transfer) {
+  const std::size_t n = cfg.blocks().size();
+  std::vector<BitSet> in(n, BitSet(lattice_bits));
+  std::deque<int> work;
+  std::vector<char> queued(n, 1);
+  for (std::size_t b = 0; b < n; ++b) work.push_back(static_cast<int>(b));
+  while (!work.empty()) {
+    const int b = work.front();
+    work.pop_front();
+    queued[b] = 0;
+    BitSet out = in[b];
+    transfer(b, out);
+    for (const int s : cfg.blocks()[b].succ) {
+      if (in[s].unionWith(out) && queued[s] == 0) {
+        queued[s] = 1;
+        work.push_back(s);
+      }
+    }
+  }
+  return in;
+}
+
+const std::vector<EventIndex> ReachingDefs::kEmpty;
+
+ReachingDefs::ReachingDefs(const Cfg& cfg) {
+  const auto& events = cfg.item().events;
+  var_of_.assign(events.size(), -1);
+  std::unordered_map<std::string_view, int> var_ids;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (events[e].op == DuOp::Marker) continue;
+    const auto [it, inserted] =
+        var_ids.try_emplace(events[e].name, static_cast<int>(var_names_.size()));
+    if (inserted) var_names_.push_back(events[e].name);
+    var_of_[e] = it->second;
+  }
+  defs_of_var_.resize(var_names_.size());
+  uses_of_var_.resize(var_names_.size());
+  std::vector<EventIndex> def_events;
+  std::vector<int> fact_of(events.size(), -1);
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (events[e].op == DuOp::Def) {
+      fact_of[e] = static_cast<int>(def_events.size());
+      def_events.push_back(static_cast<EventIndex>(e));
+      defs_of_var_[var_of_[e]].push_back(static_cast<EventIndex>(e));
+    } else if (events[e].op == DuOp::Use) {
+      uses_of_var_[var_of_[e]].push_back(static_cast<EventIndex>(e));
+    }
+  }
+
+  // Facts are def events; one pass per block applies the event sequence.
+  const auto apply = [&](const DefUseItem::Event& ev, EventIndex e,
+                         BitSet& state) {
+    if (ev.op != DuOp::Def) return;
+    // Weak update: an escaped/conditional def adds a possible value but
+    // cannot retire the others.
+    if ((ev.flags & pdb::du::kUnknown) == 0) {
+      for (const EventIndex d : defs_of_var_[var_of_[e]])
+        state.reset(static_cast<std::size_t>(fact_of[d]));
+    }
+    state.set(static_cast<std::size_t>(fact_of[e]));
+  };
+  const Transfer transfer = [&](int block, BitSet& state) {
+    for (const EventIndex e : cfg.blocks()[block].events)
+      apply(events[e], e, state);
+  };
+  const std::vector<BitSet> block_in =
+      solveForward(cfg, def_events.size(), transfer);
+
+  // Reconstruct per-use reaching sets by replaying each block once.
+  reaching_.resize(events.size());
+  reached_.resize(events.size());
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    BitSet state = block_in[b];
+    for (const EventIndex e : cfg.blocks()[b].events) {
+      if (events[e].op == DuOp::Use) {
+        const int var = var_of_[e];
+        state.forEach([&](std::size_t fact) {
+          const EventIndex d = def_events[fact];
+          if (var_of_[d] != var) return;
+          reaching_[e].push_back(d);
+          reached_[d].push_back(static_cast<EventIndex>(e));
+        });
+      }
+      apply(events[e], e, state);
+    }
+  }
+  for (auto& v : reaching_) std::sort(v.begin(), v.end());
+  for (auto& v : reached_) std::sort(v.begin(), v.end());
+}
+
+const std::vector<EventIndex>& ReachingDefs::defsReaching(
+    EventIndex use_event) const {
+  return use_event < reaching_.size() ? reaching_[use_event] : kEmpty;
+}
+
+const std::vector<EventIndex>& ReachingDefs::usesReached(
+    EventIndex def_event) const {
+  return def_event < reached_.size() ? reached_[def_event] : kEmpty;
+}
+
+}  // namespace pdt::analysis::dataflow

@@ -1,0 +1,151 @@
+// Intra-procedural dataflow over PDB def-use streams (pdbcheck's du
+// section, PDB_FORMAT.md §du).
+//
+// The du stream is marker-structured: the IL analyzer emits structural
+// markers from a closed vocabulary (then/else/endif, loop/doloop/body/
+// endloop, switch/case/default/endswitch, ret/break/continue, irregular)
+// interleaved with the def/use events, which lets this module rebuild a
+// CFG-lite per routine without re-parsing any source. On top of the CFG
+// sits a generic forward worklist solver with pluggable transfer
+// functions, and one concrete client: reaching definitions, the engine
+// behind the uninitialized-read and dead-store rules.
+//
+// Precision contract: the CFG may only OVER-approximate the real paths
+// (extra edges, never missing ones). Union-style analyses built on it
+// then err toward larger fact sets, which the rules turn into silence —
+// a missed finding, never a false positive. Streams containing the
+// "irregular" marker (goto, labels, try) are flagged so flow-sensitive
+// clients can skip the routine entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "pdb/pdb.h"
+
+namespace pdt::analysis::dataflow {
+
+using EventIndex = std::uint32_t;
+
+/// One CFG-lite basic block: a run of consecutive stream events with a
+/// single entry and exit.
+struct Block {
+  std::vector<EventIndex> events;  // indices into DefUseItem::events
+  std::vector<int> succ;
+  std::vector<int> pred;
+};
+
+/// Per-routine control-flow graph rebuilt from the marker stream.
+class Cfg {
+ public:
+  /// Builds the CFG for one routine's stream. Never fails: malformed or
+  /// irregular streams produce a graph with `irregular()` set, which
+  /// solvers treat as "all bets off".
+  [[nodiscard]] static Cfg build(const pdb::DefUseItem& item);
+
+  [[nodiscard]] const pdb::DefUseItem& item() const { return *item_; }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] int entry() const { return entry_; }
+  [[nodiscard]] int exit() const { return exit_; }
+  /// Block containing an event (every non-dropped event is in one block).
+  [[nodiscard]] int blockOf(EventIndex e) const { return block_of_[e]; }
+  /// True when the stream contains irregular control flow (goto, label,
+  /// try) or structure the builder could not pair up.
+  [[nodiscard]] bool irregular() const { return irregular_; }
+
+ private:
+  const pdb::DefUseItem* item_ = nullptr;
+  std::vector<Block> blocks_;
+  std::vector<int> block_of_;
+  int entry_ = 0;
+  int exit_ = 0;
+  bool irregular_ = false;
+};
+
+/// Dense bitset used as the dataflow lattice element (powerset, union
+/// meet).
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t bits) : bits_(bits), words_((bits + 63) / 64) {}
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  /// this |= other; returns true when any bit changed.
+  bool unionWith(const BitSet& other);
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  /// Invokes fn on every set bit, ascending.
+  void forEach(const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Pluggable transfer function: applies one block's effect to `state` in
+/// place. The framework owns iteration order and convergence; clients own
+/// semantics.
+using Transfer = std::function<void(int block, BitSet& state)>;
+
+/// Generic forward may-analysis: meet is union, boundary is the empty
+/// set. Returns the fixed-point IN state of every block. Iterates a
+/// worklist seeded in block order, so the result is deterministic.
+[[nodiscard]] std::vector<BitSet> solveForward(const Cfg& cfg,
+                                               std::size_t lattice_bits,
+                                               const Transfer& transfer);
+
+/// Reaching definitions over one routine's du stream. Facts are def
+/// events; a def "reaches" a point when some CFG path from the def to the
+/// point is free of killing redefinitions of the same variable.
+///
+/// Kill semantics honor the stream's flags: a def carrying kUnknown
+/// (escaped storage, conditionally-evaluated context) generates but never
+/// kills — a weak update — so downstream rules see every value such
+/// storage might still hold.
+class ReachingDefs {
+ public:
+  explicit ReachingDefs(const Cfg& cfg);
+
+  /// Defs reaching the given use event, ascending by event index.
+  [[nodiscard]] const std::vector<EventIndex>& defsReaching(
+      EventIndex use_event) const;
+  /// Uses reached by the given def event, ascending by event index.
+  [[nodiscard]] const std::vector<EventIndex>& usesReached(
+      EventIndex def_event) const;
+
+  /// Dense variable numbering of the stream (names in first-seen order).
+  [[nodiscard]] const std::vector<std::string_view>& varNames() const {
+    return var_names_;
+  }
+  /// Variable index of an event, -1 for markers.
+  [[nodiscard]] int varOf(EventIndex e) const { return var_of_[e]; }
+  /// All def events of a variable, in stream order.
+  [[nodiscard]] const std::vector<EventIndex>& defsOf(int var) const {
+    return defs_of_var_[var];
+  }
+  /// All use events of a variable, in stream order.
+  [[nodiscard]] const std::vector<EventIndex>& usesOf(int var) const {
+    return uses_of_var_[var];
+  }
+
+ private:
+  static const std::vector<EventIndex> kEmpty;
+
+  std::vector<std::string_view> var_names_;
+  std::vector<int> var_of_;
+  std::vector<std::vector<EventIndex>> defs_of_var_;
+  std::vector<std::vector<EventIndex>> uses_of_var_;
+  /// use event -> reaching defs; def event -> reached uses. Sparse maps
+  /// keyed by event index (streams are small; vectors indexed by event).
+  std::vector<std::vector<EventIndex>> reaching_;
+  std::vector<std::vector<EventIndex>> reached_;
+};
+
+}  // namespace pdt::analysis::dataflow

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dataflow.h"
+
 namespace pdt::analysis {
 
 using namespace ductape;
@@ -114,6 +116,7 @@ class RecursionCycleRule final : public Rule {
     return "strongly connected components of the call graph (direct and "
            "mutual recursion), with the cycle path";
   }
+  Severity defaultSeverity() const override { return Severity::Note; }
 
   void run(const AnalysisContext& ctx, DiagSink& sink) const override {
     // Iterative Tarjan over the collapsed graph. Nodes are visited in
@@ -445,6 +448,7 @@ class TemplateBloatRule final : public Rule {
     return "per-template instantiation counts and estimated duplicated "
            "routine mass (used-mode back-mapping)";
   }
+  Severity defaultSeverity() const override { return Severity::Note; }
 
   void run(const AnalysisContext& ctx, DiagSink& sink) const override {
     std::unordered_map<const pdbTemplate*, int> class_counts;
@@ -499,6 +503,194 @@ class TemplateBloatRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Dataflow rules over the du section (PDB_FORMAT.md §du)
+// ---------------------------------------------------------------------------
+
+namespace du = pdb::du;
+
+/// Shared scaffolding for the du-stream rules: these read the raw def-use
+/// streams (which the object graph does not wrap) and resolve stream
+/// positions and owning-routine ids back to object-graph entities for
+/// reporting.
+class DuRuleBase : public Rule {
+ public:
+  pdb::Sections sections() const override {
+    return kContextSections | pdb::Sections::DefUses;
+  }
+
+ protected:
+  struct DuWorld {
+    std::unordered_map<std::uint32_t, const pdbFile*> files;
+    std::unordered_map<std::uint32_t, const pdbRoutine*> routines;
+
+    explicit DuWorld(const AnalysisContext& ctx) {
+      for (const pdbFile* f : ctx.pdb->getFileVec())
+        files.emplace(static_cast<std::uint32_t>(f->id()), f);
+      for (const pdbRoutine* r : ctx.pdb->getRoutineVec())
+        routines.emplace(static_cast<std::uint32_t>(r->id()), r);
+    }
+    [[nodiscard]] pdbLoc loc(const pdb::Pos& pos) const {
+      pdbLoc l;
+      if (const auto it = files.find(pos.file); it != files.end())
+        l.file_ptr = it->second;
+      l.line_ = static_cast<int>(pos.line);
+      l.col_ = static_cast<int>(pos.column);
+      return l;
+    }
+    [[nodiscard]] std::string routineName(std::uint32_t id) const {
+      const auto it = routines.find(id);
+      return it == routines.end() ? std::string("<unknown routine>")
+                                  : it->second->fullName();
+    }
+  };
+};
+
+class UninitializedReadRule final : public DuRuleBase {
+ public:
+  std::string_view name() const override { return "uninitialized-read"; }
+  std::string_view description() const override {
+    return "local variables whose every reaching definition at a read is "
+           "the uninitialized declaration (reaching-definitions over the "
+           "du stream)";
+  }
+
+  void run(const AnalysisContext& ctx, DiagSink& sink) const override {
+    const DuWorld world(ctx);
+    for (const pdb::DefUseItem& item : ctx.pdb->raw().defUses()) {
+      const dataflow::Cfg cfg = dataflow::Cfg::build(item);
+      if (cfg.irregular()) continue;  // goto/label/try: no reliable CFG
+      const dataflow::ReachingDefs rd(cfg);
+      std::unordered_set<int> reported;
+      for (std::size_t e = 0; e < item.events.size(); ++e) {
+        const auto& ev = item.events[e];
+        if (ev.op != pdb::DuOp::Use) continue;
+        if ((ev.flags & du::kMember) != 0) continue;  // may alias
+        const int var = rd.varOf(static_cast<dataflow::EventIndex>(e));
+        if (reported.contains(var)) continue;
+        // Only a must-uninitialized read fires: the declaration is the
+        // sole definition reaching this use on every path.
+        const auto& defs =
+            rd.defsReaching(static_cast<dataflow::EventIndex>(e));
+        if (defs.size() != 1) continue;
+        const auto& def = item.events[defs.front()];
+        if ((def.flags & du::kUninit) == 0) continue;
+        reported.insert(var);
+        sink.report(std::string(name()), Severity::Warning,
+                    "local '" + std::string(ev.name) +
+                        "' is read here but no path from its declaration "
+                        "assigns it a value first",
+                    world.routineName(item.routine), world.loc(ev.pos));
+      }
+    }
+  }
+};
+
+class DeadStoreRule final : public DuRuleBase {
+ public:
+  std::string_view name() const override { return "dead-store"; }
+  std::string_view description() const override {
+    return "assignments to locals whose value no later read can observe "
+           "(reaching-definitions over the du stream; skips escaped, "
+           "member, reference, and parameter storage)";
+  }
+
+  void run(const AnalysisContext& ctx, DiagSink& sink) const override {
+    const DuWorld world(ctx);
+    for (const pdb::DefUseItem& item : ctx.pdb->raw().defUses()) {
+      const dataflow::Cfg cfg = dataflow::Cfg::build(item);
+      if (cfg.irregular()) continue;
+      const dataflow::ReachingDefs rd(cfg);
+      for (std::size_t var = 0; var < rd.varNames().size(); ++var) {
+        if (!storeTrackable(item, rd, static_cast<int>(var))) continue;
+        const auto& defs = rd.defsOf(static_cast<int>(var));
+        // The first def is the declaration/initializer; redundant
+        // initialization is style, not a lost value, so start at the
+        // second.
+        for (std::size_t d = 1; d < defs.size(); ++d) {
+          if (!rd.usesReached(defs[d]).empty()) continue;
+          const auto& ev = item.events[defs[d]];
+          sink.report(std::string(name()), Severity::Warning,
+                      "value assigned to local '" + std::string(ev.name) +
+                          "' is never read",
+                      world.routineName(item.routine), world.loc(ev.pos));
+        }
+      }
+    }
+  }
+
+ private:
+  /// A variable is store-trackable when every write we see is every write
+  /// there is: no member/alias paths, no escaped or conditionally-written
+  /// storage, no references (writes land elsewhere), no parameters
+  /// (callers may observe via aliasing conventions).
+  static bool storeTrackable(const pdb::DefUseItem& item,
+                             const dataflow::ReachingDefs& rd, int var) {
+    constexpr std::uint8_t kSkip =
+        du::kMember | du::kReference | du::kUnknown;
+    for (const auto e : rd.defsOf(var)) {
+      const auto& ev = item.events[e];
+      if ((ev.flags & (kSkip | du::kParam)) != 0) return false;
+    }
+    for (const auto e : rd.usesOf(var)) {
+      if ((item.events[e].flags & kSkip) != 0) return false;
+    }
+    return true;
+  }
+};
+
+class NullDerefRule final : public DuRuleBase {
+ public:
+  std::string_view name() const override { return "null-deref-candidate"; }
+  std::string_view description() const override {
+    return "dereferences of pointers whose every definition in the "
+           "routine is a null constant (flow-insensitive over the du "
+           "stream)";
+  }
+
+  void run(const AnalysisContext& ctx, DiagSink& sink) const override {
+    const DuWorld world(ctx);
+    struct VarFacts {
+      std::string_view name;
+      int defs = 0;
+      bool all_null = true;
+      bool escaped = false;  // kUnknown/kParam/kMember anywhere
+      const pdb::DefUseItem::Event* first_deref = nullptr;
+    };
+    for (const pdb::DefUseItem& item : ctx.pdb->raw().defUses()) {
+      // Flow-insensitive (the first Andersen-style step): one pass over
+      // the stream, no CFG needed — irregular routines included.
+      std::vector<VarFacts> vars;
+      std::unordered_map<std::string_view, std::size_t> index;
+      for (const auto& ev : item.events) {
+        if (ev.op == pdb::DuOp::Marker) continue;
+        const auto [it, inserted] = index.try_emplace(ev.name, vars.size());
+        if (inserted) vars.push_back({.name = ev.name});
+        VarFacts& v = vars[it->second];
+        if ((ev.flags & (du::kMember | du::kParam | du::kUnknown)) != 0)
+          v.escaped = true;
+        if (ev.op == pdb::DuOp::Def) {
+          ++v.defs;
+          v.all_null = v.all_null && (ev.flags & du::kNullValue) != 0;
+        } else if ((ev.flags & du::kDeref) != 0 && v.first_deref == nullptr) {
+          v.first_deref = &ev;
+        }
+      }
+      for (const VarFacts& v : vars) {
+        if (v.defs == 0 || !v.all_null || v.escaped ||
+            v.first_deref == nullptr)
+          continue;
+        sink.report(std::string(name()), Severity::Warning,
+                    "pointer '" + std::string(v.name) +
+                        "' can only hold the null value here and is "
+                        "dereferenced",
+                    world.routineName(item.routine),
+                    world.loc(v.first_deref->pos));
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<const Rule*>& allRules() {
@@ -507,8 +699,12 @@ const std::vector<const Rule*>& allRules() {
   static const HierarchyRule hierarchy;
   static const IncludeGraphRule includes;
   static const TemplateBloatRule bloat;
+  static const UninitializedReadRule uninit;
+  static const DeadStoreRule dead_store;
+  static const NullDerefRule null_deref;
   static const std::vector<const Rule*> rules{
-      &dead_code, &recursion, &hierarchy, &includes, &bloat};
+      &dead_code, &recursion, &hierarchy,  &includes,
+      &bloat,     &uninit,    &dead_store, &null_deref};
   return rules;
 }
 

@@ -16,9 +16,10 @@ namespace pdt::analysis {
 
 /// Sections AnalysisContext itself touches while building its indexes
 /// (call graph, override index, include-usage index): everything except
-/// macros, which no rule or index ever dereferences.
+/// macros and def-use streams, which no index dereferences — the dataflow
+/// rules that need `du` request it via Rule::sections().
 inline constexpr pdb::Sections kContextSections =
-    pdb::Sections::All & ~pdb::Sections::Macros;
+    pdb::Sections::All & ~(pdb::Sections::Macros | pdb::Sections::DefUses);
 
 class Rule {
  public:
@@ -31,6 +32,11 @@ class Rule {
   /// lazy section-masked read of the inputs.
   [[nodiscard]] virtual pdb::Sections sections() const {
     return kContextSections;
+  }
+  /// Severity the rule reports with when it has nothing finer-grained to
+  /// say (--list-rules shows this).
+  [[nodiscard]] virtual Severity defaultSeverity() const {
+    return Severity::Warning;
   }
   virtual void run(const AnalysisContext& ctx, DiagSink& sink) const = 0;
 };

@@ -676,6 +676,27 @@ void PDB::merge(const PDB& other) {
     my_macros.insert(macroKey(m));
   }
 
+  // Def-use streams: one per defined routine, keyed by the merged routine
+  // id. When both sides carry a stream for the same routine (the routine
+  // itself was a duplicate) the first one wins — mirroring the
+  // declaration/definition rule above, where only the defining TU emits a
+  // stream at all.
+  {
+    std::unordered_set<std::uint32_t> my_du_routines;
+    my_du_routines.reserve(raw_.defUses().size());
+    for (const auto& d : raw_.defUses()) my_du_routines.insert(d.routine);
+    for (const auto& d : theirs.defUses()) {
+      pdb::DefUseItem copy = d;
+      copy.id = 0;
+      if (const auto it = routine_map.find(copy.routine);
+          it != routine_map.end())
+        copy.routine = it->second;
+      if (!my_du_routines.insert(copy.routine).second) continue;
+      for (auto& e : copy.events) remapPos(e.pos);
+      raw_.addDefUse(std::move(copy));
+    }
+  }
+
   // Reference fixups on newly appended items.
   const auto remapRef = [&](pdb::ItemRef& ref) {
     const std::unordered_map<std::uint32_t, std::uint32_t>* map = nullptr;

@@ -59,6 +59,7 @@ pdb::PdbFile IlAnalyzer::analyze() {
   emitRoutines();
   emitNamespaces();
   emitMacros();
+  emitDefUse();
   out_.reindex();
   return std::move(out_);
 }
@@ -563,6 +564,506 @@ void IlAnalyzer::collectCalls(const FunctionDecl* fn, pdb::RoutineItem& item) {
         forEachChild(s, [&](const Stmt* child) { visit(child, scope_end); });
       };
   visit(fn->body, fn->bodyExtent().end);
+}
+
+void IlAnalyzer::emitDefUse() {
+  for (const auto& [decl, id] : byId(routine_ids_)) {
+    const auto* fn = decl->as<FunctionDecl>();
+    if (fn == nullptr || fn->body == nullptr) continue;
+    pdb::DefUseItem item;
+    item.routine = id;
+    collectDefUse(fn, item);
+    if (!item.events.empty()) out_.addDefUse(std::move(item));
+  }
+}
+
+// Statement-level def-use extraction (docs/PDB_FORMAT.md §du). One
+// deterministic source-order walk per routine body emits three event
+// kinds: Def (storage written), Use (storage read), and structural
+// markers from a closed vocabulary that let consumers rebuild a CFG-lite
+// without reparsing sources. Only storage the routine owns is tracked —
+// parameters, body locals, and member paths rooted at `this` or a local —
+// because the dataflow rules built on the stream are intra-procedural.
+void IlAnalyzer::collectDefUse(const FunctionDecl* fn, pdb::DefUseItem& item) {
+  namespace du = pdb::du;
+  // Locals the stream tracks: parameters plus every VarDecl declared in
+  // the body (DeclStmts and catch-handler variables).
+  std::unordered_map<const Decl*, std::uint8_t> tracked;
+  const auto typeFlags = [](const ast::Type* t) -> std::uint8_t {
+    t = canonical(t);
+    if (t == nullptr) return 0;
+    if (t->kind() == TypeKind::Pointer) return du::kPointer;
+    if (t->kind() == TypeKind::Reference) return du::kReference;
+    return 0;
+  };
+  for (const ParamDecl* p : fn->params)
+    if (!p->name().empty()) tracked.emplace(p, typeFlags(p->type));
+  walk(fn->body, [&](const Stmt* s) {
+    if (const auto* ds = s->as<DeclStmt>()) {
+      for (const VarDecl* var : ds->vars)
+        if (!var->name().empty()) tracked.emplace(var, typeFlags(var->type));
+    } else if (const auto* ts = s->as<TryStmt>()) {
+      for (const TryStmt::Handler& h : ts->handlers)
+        if (h.var != nullptr && !h.var->name().empty())
+          tracked.emplace(h.var, typeFlags(h.var->type));
+    }
+  });
+
+  // Depth of conditionally-evaluated expression context (short-circuit
+  // rhs, conditional-operator arms). Defs emitted there may not execute,
+  // so they are weakened to kUnknown: they gen but never kill, and the
+  // dataflow rules treat the variable as escaped.
+  std::uint32_t cond_depth = 0;
+  const auto event = [&](pdb::DuOp op, std::uint8_t flags,
+                         std::string_view name, SourceLocation loc) {
+    if (op == pdb::DuOp::Def && cond_depth > 0) flags |= pdb::du::kUnknown;
+    item.events.push_back({op, flags, pdb::PdbFile::intern(name), pos(loc)});
+  };
+  const auto marker = [&](std::string_view kind, SourceLocation loc) {
+    event(pdb::DuOp::Marker, 0, kind, loc);
+  };
+
+  /// Variable path of an lvalue expression: "x", "this.top", "s.rep.len";
+  /// empty when the expression does not name tracked storage.
+  std::function<std::string(const Expr*)> pathOf = [&](const Expr* e)
+      -> std::string {
+    if (e == nullptr) return {};
+    switch (e->kind()) {
+      case StmtKind::This: return "this";
+      case StmtKind::DeclRef: {
+        const auto* ref = e->as<DeclRefExpr>();
+        if (ref->decl != nullptr && tracked.contains(ref->decl))
+          return ref->name;
+        return {};
+      }
+      case StmtKind::Member: {
+        const auto* mem = e->as<MemberExpr>();
+        const std::string base = pathOf(mem->base);
+        if (base.empty()) return {};
+        return base + "." + mem->member;
+      }
+      case StmtKind::Cast:
+        return pathOf(e->as<CastExpr>()->operand);
+      default: return {};
+    }
+  };
+  const auto flagsOfPath = [&](const Expr* e) -> std::uint8_t {
+    // Member paths carry kMember plus the member's own type flags; plain
+    // DeclRefs carry the tracked variable's type flags.
+    if (e->kind() == StmtKind::Member)
+      return static_cast<std::uint8_t>(du::kMember | typeFlags(e->type));
+    if (const auto* ref = e->as<DeclRefExpr>()) {
+      if (const auto it = tracked.find(ref->decl); it != tracked.end())
+        return it->second;
+    }
+    return 0;
+  };
+  /// True for an rhs that is a null pointer constant (possibly cast).
+  std::function<bool(const Expr*)> isNullConstant = [&](const Expr* e) -> bool {
+    if (e == nullptr) return false;
+    if (const auto* lit = e->as<IntLitExpr>()) return lit->value == 0;
+    if (const auto* cast = e->as<CastExpr>())
+      return isNullConstant(cast->operand);
+    return false;
+  };
+
+  enum class Mode { Read, Write, ReadWrite };
+  // Expression walk. `extra` adds flags to the event the expression
+  // itself produces (e.g. kDeref on the operand of unary '*').
+  std::function<void(const Expr*, Mode, std::uint8_t)> visitExpr;
+  /// Emit use/def events for an lvalue path, or fall back to visiting
+  /// children as reads when the expression names no tracked storage.
+  const auto lvalue = [&](const Expr* e, Mode mode, std::uint8_t extra) {
+    const std::string path = pathOf(e);
+    if (path.empty() || path == "this") {
+      // Not tracked storage: its subexpressions are still reads.
+      if (const auto* mem = e->as<MemberExpr>()) {
+        visitExpr(mem->base, Mode::Read,
+                  mem->is_arrow ? du::kDeref : std::uint8_t{0});
+      } else {
+        forEachChild(e, [&](const Stmt* c) {
+          if (const auto* ce = dynamic_cast<const Expr*>(c))
+            visitExpr(ce, Mode::Read, 0);
+        });
+      }
+      return;
+    }
+    // An arrow access reads (and dereferences) the base pointer.
+    if (const auto* mem = e->as<MemberExpr>(); mem != nullptr && mem->is_arrow)
+      visitExpr(mem->base, Mode::Read, du::kDeref);
+    const auto flags = static_cast<std::uint8_t>(flagsOfPath(e) | extra);
+    const SourceLocation loc = e->extent().begin;
+    if (mode != Mode::Write) event(pdb::DuOp::Use, flags, path, loc);
+    if (mode != Mode::Read) event(pdb::DuOp::Def, flags, path, loc);
+  };
+  /// Conservative argument handling: an argument passed by non-const
+  /// reference or pointer — or to an unresolved callee — may be written.
+  const auto visitArg = [&](const Expr* arg, const ast::Type* param_type,
+                            bool callee_known) {
+    const std::string path = pathOf(arg);
+    bool may_write = !callee_known;
+    if (param_type != nullptr) {
+      if (const auto* ref = canonical(param_type)->as<ReferenceType>())
+        may_write = ref->referee() == nullptr ||
+                    ref->referee()->kind() != TypeKind::Qualified ||
+                    !ref->referee()->as<QualifiedType>()->isConst();
+      // By-value and const-ref parameters cannot write the argument.
+    }
+    if (!path.empty() && path != "this" && may_write) {
+      lvalue(arg, Mode::Read, 0);
+      event(pdb::DuOp::Def,
+            static_cast<std::uint8_t>(flagsOfPath(arg) | du::kUnknown), path,
+            arg->extent().begin);
+    } else {
+      visitExpr(arg, Mode::Read, 0);
+    }
+  };
+  const auto visitCallArgs = [&](const std::vector<Expr*>& args,
+                                 const FunctionDecl* callee) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const ast::Type* param_type =
+          callee != nullptr && i < callee->params.size()
+              ? callee->params[i]->type
+              : nullptr;
+      visitArg(args[i], param_type, callee != nullptr);
+    }
+  };
+
+  const auto isAssignOp = [](std::string_view op) {
+    if (op == "=") return true;
+    return op.size() >= 2 && op.back() == '=' && op != "==" && op != "!=" &&
+           op != "<=" && op != ">=";
+  };
+  /// Trailing read of an lvalue whose new value is consumed by the
+  /// enclosing expression (`y = (x = 5)` reads x after defining it).
+  const auto useOf = [&](const Expr* e) {
+    const std::string path = pathOf(e);
+    if (!path.empty() && path != "this")
+      event(pdb::DuOp::Use, flagsOfPath(e), path, e->extent().begin);
+  };
+  /// Assignment or compound assignment; `value_used` is false only in
+  /// value-discarding positions (expression statements, for-increments).
+  const auto assign = [&](const BinaryExpr* bin, bool value_used) {
+    // Evaluation order for the stream: the rhs read precedes the lhs
+    // def so `x = x + 1` chains correctly.
+    visitExpr(bin->rhs, Mode::Read, 0);
+    std::uint8_t def_flags = 0;
+    if (bin->op == "=" && isNullConstant(bin->rhs))
+      def_flags |= du::kNullValue;
+    if (bin->resolved_operator != nullptr) {
+      // Overloaded assignment is a member call on the lhs.
+      visitArg(bin->lhs, nullptr, false);
+      return;
+    }
+    lvalue(bin->lhs, bin->op == "=" ? Mode::Write : Mode::ReadWrite,
+           def_flags);
+    if (value_used) useOf(bin->lhs);
+  };
+  const auto incdec = [&](const UnaryExpr* un, bool value_used) {
+    visitExpr(un->operand, Mode::ReadWrite, 0);
+    if (value_used) useOf(un->operand);
+  };
+
+  visitExpr = [&](const Expr* e, Mode mode, std::uint8_t extra) {
+    if (e == nullptr) return;
+    switch (e->kind()) {
+      case StmtKind::DeclRef:
+      case StmtKind::Member:
+        lvalue(e, mode, extra);
+        return;
+      case StmtKind::Unary: {
+        const auto* un = e->as<UnaryExpr>();
+        if (un->op == "&") {
+          // Address taken: the storage escapes, so its value is unknown
+          // from here on (and aliased writes are possible).
+          const std::string path = pathOf(un->operand);
+          if (!path.empty() && path != "this") {
+            lvalue(un->operand, Mode::Read, 0);
+            event(pdb::DuOp::Def,
+                  static_cast<std::uint8_t>(flagsOfPath(un->operand) |
+                                            du::kUnknown),
+                  path, e->extent().begin);
+          } else {
+            visitExpr(un->operand, Mode::Read, 0);
+          }
+          return;
+        }
+        if (un->op == "*") {
+          visitExpr(un->operand, Mode::Read, du::kDeref);
+          return;
+        }
+        if (un->op == "++" || un->op == "--") {
+          incdec(un, /*value_used=*/true);
+          return;
+        }
+        visitExpr(un->operand, Mode::Read, 0);
+        return;
+      }
+      case StmtKind::Binary: {
+        const auto* bin = e->as<BinaryExpr>();
+        if (isAssignOp(bin->op)) {
+          assign(bin, /*value_used=*/true);
+          return;
+        }
+        if (bin->op == "&&" || bin->op == "||") {
+          // The rhs may never execute; defs inside it become weak.
+          visitExpr(bin->lhs, Mode::Read, 0);
+          ++cond_depth;
+          visitExpr(bin->rhs, Mode::Read, 0);
+          --cond_depth;
+          return;
+        }
+        visitExpr(bin->lhs, Mode::Read, 0);
+        visitExpr(bin->rhs, Mode::Read, 0);
+        return;
+      }
+      case StmtKind::Conditional: {
+        const auto* c = e->as<ConditionalExpr>();
+        visitExpr(c->condition, Mode::Read, 0);
+        // Either arm may be skipped; defs inside them become weak.
+        ++cond_depth;
+        visitExpr(c->true_value, Mode::Read, 0);
+        visitExpr(c->false_value, Mode::Read, 0);
+        --cond_depth;
+        return;
+      }
+      case StmtKind::Call: {
+        const auto* call = e->as<CallExpr>();
+        // A method call reads its receiver; a non-const (or unresolved)
+        // method may also write it.
+        if (const auto* mem = call->callee->as<MemberExpr>()) {
+          const bool is_const_call =
+              call->resolved != nullptr && call->resolved->is_const;
+          if (mem->is_arrow) visitExpr(mem->base, Mode::Read, du::kDeref);
+          else if (is_const_call) visitExpr(mem->base, Mode::Read, 0);
+          else visitArg(mem->base, nullptr, false);
+        } else if (call->callee->kind() != StmtKind::DeclRef) {
+          visitExpr(call->callee, Mode::Read, 0);
+        } else if (const auto* ref = call->callee->as<DeclRefExpr>();
+                   ref->decl != nullptr && tracked.contains(ref->decl)) {
+          // Calling through a local function pointer reads (and derefs) it.
+          visitExpr(call->callee, Mode::Read, du::kDeref);
+        }
+        visitCallArgs(call->args, call->resolved);
+        return;
+      }
+      case StmtKind::Index: {
+        const auto* idx = e->as<IndexExpr>();
+        // Writing an element writes through the base, not the base
+        // variable itself — a deref read of the base either way.
+        const std::uint8_t base_deref =
+            idx->resolved_operator == nullptr ? du::kDeref : std::uint8_t{0};
+        visitExpr(idx->base, Mode::Read, base_deref);
+        visitExpr(idx->index, Mode::Read, 0);
+        return;
+      }
+      case StmtKind::Construct: {
+        const auto* c = e->as<ConstructExpr>();
+        visitCallArgs(c->args, c->ctor);
+        return;
+      }
+      case StmtKind::New: {
+        const auto* n = e->as<NewExpr>();
+        visitCallArgs(n->args, n->ctor);
+        return;
+      }
+      case StmtKind::Delete:
+        visitExpr(e->as<DeleteExpr>()->operand, Mode::Read, 0);
+        return;
+      case StmtKind::Cast:
+        visitExpr(e->as<CastExpr>()->operand, mode, extra);
+        return;
+      case StmtKind::Comma: {
+        const auto* comma = e->as<CommaExpr>();
+        visitExpr(comma->lhs, Mode::Read, 0);
+        visitExpr(comma->rhs, mode, extra);
+        return;
+      }
+      case StmtKind::SizeOf:
+        return;  // unevaluated operand: no reads happen
+      default:
+        forEachChild(e, [&](const Stmt* c) {
+          if (const auto* ce = dynamic_cast<const Expr*>(c))
+            visitExpr(ce, Mode::Read, 0);
+        });
+        return;
+    }
+  };
+
+  /// Expression in a value-discarding position: top-level assignments and
+  /// increments skip the trailing lvalue read `assign`/`incdec` would
+  /// otherwise emit for a consumed value.
+  std::function<void(const Expr*)> discardValue = [&](const Expr* e) {
+    if (e == nullptr) return;
+    if (const auto* cast = e->as<CastExpr>()) {
+      discardValue(cast->operand);
+      return;
+    }
+    if (const auto* comma = e->as<CommaExpr>()) {
+      discardValue(comma->lhs);
+      discardValue(comma->rhs);
+      return;
+    }
+    if (const auto* bin = e->as<BinaryExpr>(); bin != nullptr &&
+                                               isAssignOp(bin->op)) {
+      assign(bin, /*value_used=*/false);
+      return;
+    }
+    if (const auto* un = e->as<UnaryExpr>();
+        un != nullptr && (un->op == "++" || un->op == "--")) {
+      incdec(un, /*value_used=*/false);
+      return;
+    }
+    visitExpr(e, Mode::Read, 0);
+  };
+
+  std::function<void(const Stmt*)> visitStmt = [&](const Stmt* s) {
+    if (s == nullptr) return;
+    switch (s->kind()) {
+      case StmtKind::Compound:
+        for (const Stmt* c : s->as<CompoundStmt>()->body) visitStmt(c);
+        return;
+      case StmtKind::DeclStatement:
+        for (const VarDecl* var : s->as<DeclStmt>()->vars) {
+          for (const Expr* a : var->ctor_args) visitArg(a, nullptr, false);
+          if (var->init != nullptr) visitExpr(var->init, Mode::Read, 0);
+          if (var->name().empty()) continue;
+          std::uint8_t flags = 0;
+          if (const auto it = tracked.find(var); it != tracked.end())
+            flags = it->second;
+          const bool constructed = var->resolved_ctor != nullptr ||
+                                   canonical(var->type) != nullptr &&
+                                       canonical(var->type)->kind() ==
+                                           TypeKind::Class;
+          if (var->init == nullptr && var->ctor_args.empty() && !constructed)
+            flags |= du::kUninit;
+          if (var->init != nullptr && isNullConstant(var->init))
+            flags |= du::kNullValue;
+          event(pdb::DuOp::Def, flags, var->name(), var->location());
+        }
+        return;
+      case StmtKind::ExprStatement:
+        discardValue(s->as<ExprStmt>()->expr);
+        return;
+      case StmtKind::If: {
+        const auto* iff = s->as<IfStmt>();
+        visitExpr(iff->condition, Mode::Read, 0);
+        marker("then", s->extent().begin);
+        visitStmt(iff->then_branch);
+        if (iff->else_branch != nullptr) {
+          marker("else", iff->else_branch->extent().begin);
+          visitStmt(iff->else_branch);
+        }
+        marker("endif", s->extent().end);
+        return;
+      }
+      case StmtKind::While: {
+        const auto* loop = s->as<WhileStmt>();
+        marker("loop", s->extent().begin);
+        visitExpr(loop->condition, Mode::Read, 0);
+        marker("body", s->extent().begin);
+        visitStmt(loop->body);
+        marker("endloop", s->extent().end);
+        return;
+      }
+      case StmtKind::DoWhile: {
+        const auto* loop = s->as<DoWhileStmt>();
+        marker("doloop", s->extent().begin);
+        marker("body", s->extent().begin);
+        visitStmt(loop->body);
+        visitExpr(loop->condition, Mode::Read, 0);
+        marker("endloop", s->extent().end);
+        return;
+      }
+      case StmtKind::For: {
+        const auto* loop = s->as<ForStmt>();
+        visitStmt(loop->init);
+        marker("loop", s->extent().begin);
+        if (loop->condition != nullptr)
+          visitExpr(loop->condition, Mode::Read, 0);
+        marker("body", s->extent().begin);
+        visitStmt(loop->body);
+        if (loop->increment != nullptr) discardValue(loop->increment);
+        marker("endloop", s->extent().end);
+        return;
+      }
+      case StmtKind::Switch: {
+        const auto* sw = s->as<SwitchStmt>();
+        visitExpr(sw->condition, Mode::Read, 0);
+        marker("switch", s->extent().begin);
+        visitStmt(sw->body);
+        marker("endswitch", s->extent().end);
+        return;
+      }
+      case StmtKind::Case: {
+        const auto* cs = s->as<CaseStmt>();
+        marker("case", s->extent().begin);
+        // Case values are constant expressions; no storage is read.
+        visitStmt(cs->body);
+        return;
+      }
+      case StmtKind::Default:
+        marker("default", s->extent().begin);
+        visitStmt(s->as<DefaultStmt>()->body);
+        return;
+      case StmtKind::Return: {
+        const auto* ret = s->as<ReturnStmt>();
+        if (ret->value != nullptr) visitExpr(ret->value, Mode::Read, 0);
+        marker("ret", s->extent().begin);
+        return;
+      }
+      case StmtKind::Break:
+        marker("break", s->extent().begin);
+        return;
+      case StmtKind::Continue:
+        marker("continue", s->extent().begin);
+        return;
+      case StmtKind::Goto:
+      case StmtKind::Label:
+        // Irregular control flow the CFG-lite does not model; analyses
+        // see the marker and skip the routine.
+        marker("irregular", s->extent().begin);
+        if (const auto* label = s->as<LabelStmt>()) visitStmt(label->body);
+        return;
+      case StmtKind::Try: {
+        const auto* tr = s->as<TryStmt>();
+        marker("irregular", s->extent().begin);
+        visitStmt(tr->body);
+        for (const TryStmt::Handler& h : tr->handlers) {
+          if (h.var != nullptr && !h.var->name().empty()) {
+            std::uint8_t flags = 0;
+            if (const auto it = tracked.find(h.var); it != tracked.end())
+              flags = it->second;
+            event(pdb::DuOp::Def, flags, h.var->name(), h.var->location());
+          }
+          visitStmt(h.body);
+        }
+        return;
+      }
+      case StmtKind::Null:
+        return;
+      default:
+        // An expression in statement position.
+        if (const auto* e = dynamic_cast<const Expr*>(s))
+          visitExpr(e, Mode::Read, 0);
+        return;
+    }
+  };
+
+  // Parameters are defined on entry.
+  for (const ParamDecl* p : fn->params) {
+    if (p->name().empty()) continue;
+    std::uint8_t flags = du::kParam;
+    if (const auto it = tracked.find(p); it != tracked.end())
+      flags |= it->second;
+    event(pdb::DuOp::Def, flags, p->name(), p->location());
+  }
+  // Constructor initializers define members (and read their arguments).
+  for (const auto& init : fn->ctor_inits) {
+    for (const Expr* a : init.args) visitExpr(a, Mode::Read, 0);
+    event(pdb::DuOp::Def, du::kMember, "this." + init.name, init.location);
+  }
+  visitStmt(fn->body);
 }
 
 void IlAnalyzer::emitNamespaces() {

@@ -49,6 +49,7 @@ class IlAnalyzer {
   void emitRoutines();
   void emitNamespaces();
   void emitMacros();
+  void emitDefUse();
 
   [[nodiscard]] bool isPattern(const ast::Decl* d) const;
 
@@ -63,6 +64,7 @@ class IlAnalyzer {
                                               SourceLocation inst_loc) const;
 
   void collectCalls(const ast::FunctionDecl* fn, pdb::RoutineItem& item);
+  void collectDefUse(const ast::FunctionDecl* fn, pdb::DefUseItem& item);
 
   const frontend::CompileResult& result_;
   const SourceManager& sm_;

@@ -87,7 +87,7 @@ class BinaryReader {
     decodeStringTable();
     if (!result_.errors.empty()) return std::move(result_);
     for (const SectionEntry& entry : table_) {
-      if (entry.kind > static_cast<std::uint32_t>(ItemKind::Macro)) {
+      if (entry.kind > static_cast<std::uint32_t>(ItemKind::DefUse)) {
         error("section table names unknown item kind " +
               std::to_string(entry.kind));
         continue;
@@ -225,7 +225,7 @@ class BinaryReader {
     const std::uint8_t kind = cur.u8();
     const std::uint32_t id = cur.u32();
     if (kind == 0xff) return std::nullopt;
-    if (kind > static_cast<std::uint8_t>(ItemKind::Macro)) {
+    if (kind > static_cast<std::uint8_t>(ItemKind::DefUse)) {
       error("record references unknown item kind " + std::to_string(kind));
       return std::nullopt;
     }
@@ -283,6 +283,9 @@ class BinaryReader {
       case ItemKind::Macro:
         pdb.macros().reserve(pdb.macros().size() + n);
         break;
+      case ItemKind::DefUse:
+        pdb.defUses().reserve(pdb.defUses().size() + n);
+        break;
     }
   }
 
@@ -308,6 +311,7 @@ class BinaryReader {
         case ItemKind::Type: decodeType(cur, record_offset); break;
         case ItemKind::Namespace: decodeNamespace(cur, record_offset); break;
         case ItemKind::Macro: decodeMacro(cur, record_offset); break;
+        case ItemKind::DefUse: decodeDefUse(cur, record_offset); break;
       }
       if (!cur.ok() || cur.pos() > end) {
         error(std::string(prefixOf(kind)) + " section truncated at item " +
@@ -479,6 +483,28 @@ class BinaryReader {
     m.text = str(cur.u32());
     m.src_offset = off;
     if (cur.ok()) result_.pdb.addMacro(std::move(m));
+  }
+
+  void decodeDefUse(Cursor& cur, std::uint64_t off) {
+    DefUseItem d;
+    d.id = cur.u32();
+    d.routine = cur.u32();
+    const std::uint32_t nevents = cur.u32();
+    for (std::uint32_t i = 0; i < nevents && cur.ok(); ++i) {
+      DefUseItem::Event e;
+      const std::uint8_t op = cur.u8();
+      if (op > static_cast<std::uint8_t>(DuOp::Marker)) {
+        error("du event names unknown op " + std::to_string(op));
+        return;
+      }
+      e.op = static_cast<DuOp>(op);
+      e.flags = cur.u8();
+      e.name = str(cur.u32());
+      e.pos = pos(cur);
+      d.events.push_back(e);
+    }
+    d.src_offset = off;
+    if (cur.ok()) result_.pdb.addDefUse(std::move(d));
   }
 
   std::string_view bytes_;

@@ -281,6 +281,22 @@ std::string encodeMacros(const PdbFile& pdb, StringTable& strings) {
   return enc.take();
 }
 
+std::string encodeDefUses(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const DefUseItem& d : pdb.defUses()) {
+    enc.u32(d.id);
+    enc.u32(d.routine);
+    enc.u32(static_cast<std::uint32_t>(d.events.size()));
+    for (const DefUseItem::Event& e : d.events) {
+      enc.u8(static_cast<std::uint8_t>(e.op));
+      enc.u8(e.flags);
+      enc.str(e.name);
+      enc.pos(e.pos);
+    }
+  }
+  return enc.take();
+}
+
 struct SectionBlob {
   ItemKind kind;
   std::uint32_t item_count = 0;
@@ -301,7 +317,7 @@ std::string writeBinaryToString(const PdbFile& pdb) {
     sections.push_back(
         {kind, static_cast<std::uint32_t>(count), std::move(payload)});
   };
-  // Same section order as the ASCII writer (so te ro cl ty na ma).
+  // Same section order as the ASCII writer (so te ro cl ty na ma du).
   addSection(ItemKind::SourceFile, pdb.sourceFiles().size(),
              encodeSourceFiles(pdb, strings));
   addSection(ItemKind::Template, pdb.templates().size(),
@@ -315,6 +331,8 @@ std::string writeBinaryToString(const PdbFile& pdb) {
              encodeNamespaces(pdb, strings));
   addSection(ItemKind::Macro, pdb.macros().size(),
              encodeMacros(pdb, strings));
+  addSection(ItemKind::DefUse, pdb.defUses().size(),
+             encodeDefUses(pdb, strings));
 
   const std::string strtab = strings.encode();
 

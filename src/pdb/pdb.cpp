@@ -11,6 +11,7 @@ std::string_view prefixOf(ItemKind kind) {
     case ItemKind::Template: return "te";
     case ItemKind::Namespace: return "na";
     case ItemKind::Macro: return "ma";
+    case ItemKind::DefUse: return "du";
   }
   return "??";
 }
@@ -23,8 +24,40 @@ std::optional<ItemKind> kindFromPrefix(std::string_view prefix) {
   if (prefix == "te") return ItemKind::Template;
   if (prefix == "na") return ItemKind::Namespace;
   if (prefix == "ma") return ItemKind::Macro;
+  if (prefix == "du") return ItemKind::DefUse;
   return std::nullopt;
 }
+
+namespace du {
+
+namespace {
+// One mnemonic letter per flag bit, in bit order.
+constexpr std::string_view kFlagLetters = "PRMNUAXD";
+}  // namespace
+
+std::string flagsText(std::uint8_t flags) {
+  if (flags == 0) return "-";
+  std::string text;
+  for (std::size_t bit = 0; bit < kFlagLetters.size(); ++bit)
+    if ((flags & (1u << bit)) != 0) text.push_back(kFlagLetters[bit]);
+  return text;
+}
+
+std::optional<std::uint8_t> flagsFromText(std::string_view text) {
+  if (text == "-") return 0;
+  if (text.empty()) return std::nullopt;
+  std::uint8_t flags = 0;
+  for (const char c : text) {
+    const auto bit = kFlagLetters.find(c);
+    if (bit == std::string_view::npos) return std::nullopt;
+    const auto mask = static_cast<std::uint8_t>(1u << bit);
+    if ((flags & mask) != 0) return std::nullopt;  // duplicate letter
+    flags |= mask;
+  }
+  return flags;
+}
+
+}  // namespace du
 
 std::string ItemRef::str() const {
   return std::string(prefixOf(kind)) + "#" + std::to_string(id);
@@ -62,6 +95,9 @@ std::uint32_t PdbFile::addNamespace(NamespaceItem item) {
 std::uint32_t PdbFile::addMacro(MacroItem item) {
   return add(macros_, macro_index_, std::move(item), next_macro_id_);
 }
+std::uint32_t PdbFile::addDefUse(DefUseItem item) {
+  return add(def_uses_, def_use_index_, std::move(item), next_def_use_id_);
+}
 
 namespace {
 template <typename T>
@@ -95,10 +131,14 @@ const NamespaceItem* PdbFile::findNamespace(std::uint32_t id) const {
 const MacroItem* PdbFile::findMacro(std::uint32_t id) const {
   return findIn(macros_, macro_index_, id);
 }
+const DefUseItem* PdbFile::findDefUse(std::uint32_t id) const {
+  return findIn(def_uses_, def_use_index_, id);
+}
 
 std::size_t PdbFile::itemCount() const {
   return files_.size() + routines_.size() + classes_.size() + types_.size() +
-         templates_.size() + namespaces_.size() + macros_.size();
+         templates_.size() + namespaces_.size() + macros_.size() +
+         def_uses_.size();
 }
 
 void PdbFile::reindex() {
@@ -117,6 +157,7 @@ void PdbFile::reindex() {
   rebuild(templates_, template_index_, next_template_id_);
   rebuild(namespaces_, namespace_index_, next_namespace_id_);
   rebuild(macros_, macro_index_, next_macro_id_);
+  rebuild(def_uses_, def_use_index_, next_def_use_id_);
 }
 
 }  // namespace pdt::pdb

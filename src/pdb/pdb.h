@@ -28,12 +28,13 @@ enum class ItemKind : std::uint8_t {
   Template,    // te
   Namespace,   // na
   Macro,       // ma
+  DefUse,      // du
 };
 
 [[nodiscard]] std::string_view prefixOf(ItemKind kind);
 [[nodiscard]] std::optional<ItemKind> kindFromPrefix(std::string_view prefix);
 
-/// Bitmask of the seven item sections. Readers accept a mask and skip the
+/// Bitmask of the eight item sections. Readers accept a mask and skip the
 /// sections a tool does not need (the binary format's section table makes
 /// the skip O(1); the ASCII reader skips item bodies without decoding
 /// their attributes).
@@ -46,7 +47,8 @@ enum class Sections : std::uint8_t {
   Templates = 1u << 4,
   Namespaces = 1u << 5,
   Macros = 1u << 6,
-  All = 0x7f,
+  DefUses = 1u << 7,
+  All = 0xff,
 };
 
 [[nodiscard]] constexpr Sections operator|(Sections a, Sections b) {
@@ -58,7 +60,7 @@ enum class Sections : std::uint8_t {
                                static_cast<std::uint8_t>(b));
 }
 [[nodiscard]] constexpr Sections operator~(Sections a) {
-  return static_cast<Sections>(~static_cast<std::uint8_t>(a) & 0x7f);
+  return static_cast<Sections>(~static_cast<std::uint8_t>(a) & 0xff);
 }
 inline Sections& operator|=(Sections& a, Sections b) { return a = a | b; }
 
@@ -247,6 +249,49 @@ struct MacroItem {
   std::uint64_t src_offset = 0;
 };
 
+/// What one def-use event does to its variable.
+enum class DuOp : std::uint8_t {
+  Def,     // writes the named storage
+  Use,     // reads the named storage
+  Marker,  // structural control-flow marker (name = marker kind)
+};
+
+/// Flag bits on a def/use event (DefUseItem::Event::flags).
+namespace du {
+inline constexpr std::uint8_t kPointer = 1u << 0;    // pointer-typed variable
+inline constexpr std::uint8_t kReference = 1u << 1;  // reference-typed variable
+inline constexpr std::uint8_t kMember = 1u << 2;     // member access (a.b / p->b)
+inline constexpr std::uint8_t kNullValue = 1u << 3;  // def assigns a null constant
+inline constexpr std::uint8_t kUninit = 1u << 4;     // def leaves storage uninitialized
+inline constexpr std::uint8_t kParam = 1u << 5;      // def of a routine parameter
+inline constexpr std::uint8_t kUnknown = 1u << 6;    // def with unanalyzable value
+inline constexpr std::uint8_t kDeref = 1u << 7;      // use dereferences a pointer
+/// Mnemonic letters, one per bit, in bit order ("PRMNUAXD"); "-" = none.
+[[nodiscard]] std::string flagsText(std::uint8_t flags);
+[[nodiscard]] std::optional<std::uint8_t> flagsFromText(std::string_view text);
+}  // namespace du
+
+/// Per-routine ordered def-use stream ("du" items). One item per routine
+/// with a body; `events` lists defs, uses, and structural markers in a
+/// deterministic source walk order. Marker names come from a small closed
+/// vocabulary (if/then/else/endif, loop/body/endloop, switch/case/
+/// endswitch, ret/break/continue, irregular) that lets consumers rebuild a
+/// CFG-lite without reparsing sources (docs/PDB_FORMAT.md §du).
+struct DefUseItem {
+  std::uint32_t id = 0;
+  std::uint32_t routine = 0;  // ro id
+
+  struct Event {
+    DuOp op = DuOp::Use;
+    std::uint8_t flags = 0;
+    std::string_view name;  // variable path ("x", "this.top") or marker kind
+    Pos pos;
+    friend bool operator==(const Event&, const Event&) = default;
+  };
+  std::vector<Event> events;
+  std::uint64_t src_offset = 0;
+};
+
 /// One program database. Ids are unique per item kind; lookup maps are
 /// maintained by the mutators.
 class PdbFile {
@@ -296,6 +341,7 @@ class PdbFile {
   std::uint32_t addTemplate(TemplateItem item);
   std::uint32_t addNamespace(NamespaceItem item);
   std::uint32_t addMacro(MacroItem item);
+  std::uint32_t addDefUse(DefUseItem item);
 
   [[nodiscard]] const std::vector<SourceFileItem>& sourceFiles() const { return files_; }
   [[nodiscard]] const std::vector<RoutineItem>& routines() const { return routines_; }
@@ -304,6 +350,7 @@ class PdbFile {
   [[nodiscard]] const std::vector<TemplateItem>& templates() const { return templates_; }
   [[nodiscard]] const std::vector<NamespaceItem>& namespaces() const { return namespaces_; }
   [[nodiscard]] const std::vector<MacroItem>& macros() const { return macros_; }
+  [[nodiscard]] const std::vector<DefUseItem>& defUses() const { return def_uses_; }
 
   // Mutable access for pdbmerge and the analyzer.
   [[nodiscard]] std::vector<SourceFileItem>& sourceFiles() { return files_; }
@@ -313,6 +360,7 @@ class PdbFile {
   [[nodiscard]] std::vector<TemplateItem>& templates() { return templates_; }
   [[nodiscard]] std::vector<NamespaceItem>& namespaces() { return namespaces_; }
   [[nodiscard]] std::vector<MacroItem>& macros() { return macros_; }
+  [[nodiscard]] std::vector<DefUseItem>& defUses() { return def_uses_; }
 
   [[nodiscard]] const SourceFileItem* findSourceFile(std::uint32_t id) const;
   [[nodiscard]] const RoutineItem* findRoutine(std::uint32_t id) const;
@@ -321,6 +369,7 @@ class PdbFile {
   [[nodiscard]] const TemplateItem* findTemplate(std::uint32_t id) const;
   [[nodiscard]] const NamespaceItem* findNamespace(std::uint32_t id) const;
   [[nodiscard]] const MacroItem* findMacro(std::uint32_t id) const;
+  [[nodiscard]] const DefUseItem* findDefUse(std::uint32_t id) const;
 
   [[nodiscard]] std::size_t itemCount() const;
 
@@ -346,12 +395,14 @@ class PdbFile {
   std::vector<TemplateItem> templates_;
   std::vector<NamespaceItem> namespaces_;
   std::vector<MacroItem> macros_;
+  std::vector<DefUseItem> def_uses_;
 
   std::unordered_map<std::uint32_t, std::size_t> file_index_, routine_index_,
-      class_index_, type_index_, template_index_, namespace_index_, macro_index_;
+      class_index_, type_index_, template_index_, namespace_index_, macro_index_,
+      def_use_index_;
   std::uint32_t next_file_id_ = 1, next_routine_id_ = 1, next_class_id_ = 1,
                 next_type_id_ = 1, next_template_id_ = 1, next_namespace_id_ = 1,
-                next_macro_id_ = 1;
+                next_macro_id_ = 1, next_def_use_id_ = 1;
   OffsetUnit offset_unit_ = OffsetUnit::None;
 
   // Ownership for item string_views: adopted read buffers and the

@@ -190,6 +190,17 @@ class Reader {
       case ItemKind::Template: template_ = {}; template_.id = id; template_.name = name; template_.src_offset = off; break;
       case ItemKind::Namespace: namespace_ = {}; namespace_.id = id; namespace_.name = name; namespace_.src_offset = off; break;
       case ItemKind::Macro: macro_ = {}; macro_.id = id; macro_.name = name; macro_.src_offset = off; break;
+      case ItemKind::DefUse: {
+        def_use_ = {};
+        def_use_.id = id;
+        def_use_.src_offset = off;
+        // Header carries the owning routine: "du#3 ro#7".
+        Fields fields(name);
+        const auto ref = fields.nextRef();
+        if (ref && ref->kind == ItemKind::Routine) def_use_.routine = ref->id;
+        else error("malformed du header routine in '" + std::string(text) + "'");
+        break;
+      }
     }
   }
 
@@ -208,6 +219,7 @@ class Reader {
       case ItemKind::Template: result_.pdb.addTemplate(std::move(template_)); break;
       case ItemKind::Namespace: result_.pdb.addNamespace(std::move(namespace_)); break;
       case ItemKind::Macro: result_.pdb.addMacro(std::move(macro_)); break;
+      case ItemKind::DefUse: result_.pdb.addDefUse(std::move(def_use_)); break;
     }
     current_kind_ = std::nullopt;
   }
@@ -410,6 +422,39 @@ class Reader {
         else if (key == "mtext") macro_.text = unescaped(restAfterKey(text));
         else error("unknown macro attribute '" + std::string(key) + "'");
         break;
+
+      case ItemKind::DefUse:
+        if (key == "ddef" || key == "duse") {
+          DefUseItem::Event event;
+          event.op = key == "ddef" ? DuOp::Def : DuOp::Use;
+          const auto flags_text = fields.next();
+          const auto flags =
+              flags_text ? du::flagsFromText(*flags_text) : std::nullopt;
+          const auto name = fields.next();
+          const auto pos = fields.nextPos();
+          if (flags && name && pos) {
+            event.flags = *flags;
+            event.name = *name;  // zero-copy: aliases the parse buffer
+            event.pos = *pos;
+            def_use_.events.push_back(event);
+          } else {
+            error("malformed " + std::string(key));
+          }
+        } else if (key == "dmark") {
+          DefUseItem::Event event;
+          event.op = DuOp::Marker;
+          const auto name = fields.next();
+          const auto pos = fields.nextPos();
+          if (name && pos) {
+            // Marker kinds are a closed vocabulary — intern them.
+            event.name = PdbFile::intern(*name);
+            event.pos = *pos;
+            def_use_.events.push_back(event);
+          } else {
+            error("malformed dmark");
+          }
+        } else error("unknown def-use attribute '" + std::string(key) + "'");
+        break;
     }
   }
 
@@ -428,6 +473,7 @@ class Reader {
   TemplateItem template_;
   NamespaceItem namespace_;
   MacroItem macro_;
+  DefUseItem def_use_;
 };
 
 }  // namespace

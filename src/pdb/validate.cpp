@@ -11,7 +11,7 @@ class Validator {
   std::vector<std::string> run() {
     for (const auto& f : pdb_.sourceFiles()) {
       where_ = "source file '" + std::string(f.name) + "' (so#" + std::to_string(f.id) +
-               at(f.src_offset) + ")";
+               at(f.src_offset, ItemKind::SourceFile) + ")";
       for (const std::uint32_t inc : f.includes) {
         if (checkable(ItemKind::SourceFile) && pdb_.findSourceFile(inc) == nullptr)
           fail("includes undefined so#" + std::to_string(inc));
@@ -19,7 +19,7 @@ class Validator {
     }
     for (const auto& r : pdb_.routines()) {
       where_ = "routine '" + std::string(r.name) + "' (ro#" + std::to_string(r.id) +
-               at(r.src_offset) + ")";
+               at(r.src_offset, ItemKind::Routine) + ")";
       checkPos(r.location, "location");
       checkParent(r.parent);
       if (checkable(ItemKind::Type) && r.signature != 0 &&
@@ -38,7 +38,7 @@ class Validator {
     }
     for (const auto& c : pdb_.classes()) {
       where_ = "class '" + std::string(c.name) + "' (cl#" + std::to_string(c.id) +
-               at(c.src_offset) + ")";
+               at(c.src_offset, ItemKind::Class) + ")";
       checkPos(c.location, "location");
       checkParent(c.parent);
       if (checkable(ItemKind::Template) && c.template_id &&
@@ -66,7 +66,7 @@ class Validator {
     }
     for (const auto& t : pdb_.types()) {
       where_ = "type '" + std::string(t.name) + "' (ty#" + std::to_string(t.id) +
-               at(t.src_offset) + ")";
+               at(t.src_offset, ItemKind::Type) + ")";
       if (t.ref) checkRef(*t.ref, "referenced type");
       if (t.return_type) checkRef(*t.return_type, "return type");
       for (const auto& p : t.params) checkRef(p, "parameter type");
@@ -74,21 +74,31 @@ class Validator {
     }
     for (const auto& t : pdb_.templates()) {
       where_ = "template '" + std::string(t.name) + "' (te#" + std::to_string(t.id) +
-               at(t.src_offset) + ")";
+               at(t.src_offset, ItemKind::Template) + ")";
       checkPos(t.location, "location");
       checkParent(t.parent);
       checkExtent(t.extent);
     }
     for (const auto& n : pdb_.namespaces()) {
       where_ = "namespace '" + std::string(n.name) + "' (na#" + std::to_string(n.id) +
-               at(n.src_offset) + ")";
+               at(n.src_offset, ItemKind::Namespace) + ")";
       checkPos(n.location, "location");
       for (const auto& m : n.members) checkRef(m, "member");
     }
     for (const auto& m : pdb_.macros()) {
       where_ = "macro '" + std::string(m.name) + "' (ma#" + std::to_string(m.id) +
-               at(m.src_offset) + ")";
+               at(m.src_offset, ItemKind::Macro) + ")";
       checkPos(m.location, "location");
+    }
+    for (const auto& d : pdb_.defUses()) {
+      where_ = "def-use stream (du#" + std::to_string(d.id) +
+               at(d.src_offset, ItemKind::DefUse) + ")";
+      if (checkable(ItemKind::Routine) && d.routine != 0 &&
+          pdb_.findRoutine(d.routine) == nullptr)
+        fail("belongs to undefined ro#" + std::to_string(d.routine));
+      if (d.routine == 0) fail("has no owning routine");
+      for (const auto& e : d.events)
+        checkPos(e.pos, "event '" + std::string(e.name) + "'");
     }
     return std::move(errors_);
   }
@@ -105,10 +115,14 @@ class Validator {
   /// N" (ASCII), ", byte N" (binary), or nothing for databases built in
   /// memory — so corrupt files are actionable without changing messages
   /// elsewhere.
-  [[nodiscard]] std::string at(std::uint64_t offset) const {
+  [[nodiscard]] std::string at(std::uint64_t offset, ItemKind kind) const {
     switch (pdb_.offsetUnit()) {
       case OffsetUnit::Line: return ", line " + std::to_string(offset);
-      case OffsetUnit::Byte: return ", byte " + std::to_string(offset);
+      case OffsetUnit::Byte:
+        // Binary offsets are section-relative, so name the section too —
+        // "byte 120" alone is not actionable against the section table.
+        return ", byte " + std::to_string(offset) + " of " +
+               std::string(prefixOf(kind)) + " section";
       case OffsetUnit::None: break;
     }
     return {};
@@ -144,6 +158,7 @@ class Validator {
       case ItemKind::Template: found = pdb_.findTemplate(ref.id) != nullptr; break;
       case ItemKind::Namespace: found = pdb_.findNamespace(ref.id) != nullptr; break;
       case ItemKind::Macro: found = pdb_.findMacro(ref.id) != nullptr; break;
+      case ItemKind::DefUse: found = pdb_.findDefUse(ref.id) != nullptr; break;
     }
     if (!found) fail(what + " references undefined " + ref.str());
   }

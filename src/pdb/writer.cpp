@@ -165,6 +165,21 @@ void write(const PdbFile& pdb, std::ostream& os) {
     if (!m.text.empty()) os << "mtext " << escapePdbString(m.text) << '\n';
     os << '\n';
   }
+
+  for (const DefUseItem& d : pdb.defUses()) {
+    os << "du#" << d.id << " ro#" << d.routine << '\n';
+    for (const DefUseItem::Event& e : d.events) {
+      switch (e.op) {
+        case DuOp::Def: os << "ddef " << du::flagsText(e.flags); break;
+        case DuOp::Use: os << "duse " << du::flagsText(e.flags); break;
+        case DuOp::Marker: os << "dmark"; break;
+      }
+      os << ' ' << e.name << ' ';
+      writePos(os, e.pos);
+      os << '\n';
+    }
+    os << '\n';
+  }
 }
 
 std::string writeToString(const PdbFile& pdb) {

@@ -28,10 +28,25 @@ constexpr const char* kUsage =
     "  -j N, --jobs N   run independent rules on N worker threads; output\n"
     "                   is byte-identical to -j 1\n"
     "  --list-checks    print the rule catalog and exit\n"
+    "  --list-rules     print each rule's name, default severity, and the\n"
+    "                   PDB sections it reads, then exit\n"
     "  --stats[=json]   finding counters + per-rule timing on stderr\n"
     "  --stats-out FILE write the stats report to FILE\n"
     "  --trace-out FILE write a Chrome trace_event JSON timeline to FILE\n"
     "exit codes: 0 clean, 1 findings, 2 usage error, 3 invalid input\n";
+
+/// Renders a section mask as the section prefixes it selects ("so ro du").
+std::string sectionsText(pdt::pdb::Sections sections) {
+  std::string out;
+  for (int k = 0; k <= static_cast<int>(pdt::pdb::ItemKind::DefUse); ++k) {
+    const auto kind = static_cast<pdt::pdb::ItemKind>(k);
+    if ((sections & pdt::pdb::sectionOf(kind)) == pdt::pdb::Sections{})
+      continue;
+    if (!out.empty()) out += ' ';
+    out += pdt::pdb::prefixOf(kind);
+  }
+  return out;
+}
 
 std::size_t parseJobs(const std::string& value) {
   std::size_t jobs = 0;
@@ -73,6 +88,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-checks") {
       for (const pdt::analysis::Rule* rule : pdt::analysis::allRules()) {
         std::cout << rule->name() << "\n    " << rule->description() << '\n';
+      }
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const pdt::analysis::Rule* rule : pdt::analysis::allRules()) {
+        std::cout << rule->name() << "  ["
+                  << pdt::analysis::severityName(rule->defaultSeverity())
+                  << "]  sections: " << sectionsText(rule->sections())
+                  << "\n    " << rule->description() << '\n';
       }
       return 0;
     } else if (arg == "-h" || arg == "--help") {

@@ -1,0 +1,262 @@
+// pdbduct: interactive def-use queries over PDB du streams.
+//
+// Answers "which definitions reach this use?" and "which uses observe
+// this definition?" with the same reaching-definitions engine the
+// pdbcheck dataflow rules run on (src/analysis/dataflow.h), so a
+// diagnostic from pdbcheck can be replayed and explored here.
+//
+// The queries touch only routine identities, source positions, and the
+// du streams, so inputs are read with a lazy section mask that leaves
+// types, templates, and macros on disk (visible as pdb.sections_skipped
+// in --stats); the storage format (ASCII or binary v2) is auto-detected
+// per input.
+#include <charconv>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "pdb/pdb.h"
+#include "support/trace.h"
+#include "tools/tools.h"
+
+namespace {
+
+namespace dataflow = pdt::analysis::dataflow;
+using pdt::pdb::DefUseItem;
+using pdt::pdb::DuOp;
+
+constexpr const char* kUsage =
+    "usage: pdbduct <in.pdb>... [options]\n"
+    "  --routine NAME    restrict to routines named NAME (plain or\n"
+    "                    fully qualified); default: all routines\n"
+    "  --var NAME        restrict to events of this variable path\n"
+    "                    ('x', 'this.top')\n"
+    "  --at LINE[:COL]   restrict to events at this source position\n"
+    "  --defs            for each selected use, print the definitions\n"
+    "                    that reach it\n"
+    "  --uses            for each selected definition, print the uses\n"
+    "                    that observe it\n"
+    "  (without --defs/--uses: one summary line per du stream)\n"
+    "  --stats[=json]    counter + phase timing report on stderr\n"
+    "  --stats-out FILE  write the stats report to FILE\n"
+    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n"
+    "exit codes: 0 ok, 2 usage error, 3 invalid input\n";
+
+/// Everything pdbduct renders: positions and routine names resolved from
+/// the merged database.
+struct World {
+  std::unordered_map<std::uint32_t, std::string_view> files;
+  std::unordered_map<std::uint32_t, const pdt::ductape::pdbRoutine*> routines;
+
+  explicit World(const pdt::ductape::PDB& pdb) {
+    for (const auto& f : pdb.raw().sourceFiles()) files.emplace(f.id, f.name);
+    for (const pdt::ductape::pdbRoutine* r : pdb.getRoutineVec())
+      routines.emplace(static_cast<std::uint32_t>(r->id()), r);
+  }
+  [[nodiscard]] std::string pos(const pdt::pdb::Pos& p) const {
+    if (!p.valid()) return "<generated>";
+    const auto it = files.find(p.file);
+    std::string out = it == files.end() ? std::string("<unknown file>")
+                                        : std::string(it->second);
+    out += ':' + std::to_string(p.line) + ':' + std::to_string(p.column);
+    return out;
+  }
+  [[nodiscard]] std::string routineName(std::uint32_t id) const {
+    const auto it = routines.find(id);
+    return it == routines.end() ? std::string("<unknown routine>")
+                                : it->second->fullName();
+  }
+  [[nodiscard]] bool routineMatches(std::uint32_t id,
+                                    const std::string& name) const {
+    const auto it = routines.find(id);
+    if (it == routines.end()) return false;
+    return it->second->name() == name || it->second->fullName() == name;
+  }
+};
+
+struct Query {
+  std::string routine;  // empty: all
+  std::string var;      // empty: all
+  int line = -1;
+  int col = -1;  // -1: any column on the line
+  bool defs = false;
+  bool uses = false;
+};
+
+bool eventSelected(const DefUseItem::Event& e, const Query& q) {
+  if (e.op == DuOp::Marker) return false;
+  if (!q.var.empty() && e.name != q.var) return false;
+  if (q.line >= 0 && static_cast<int>(e.pos.line) != q.line) return false;
+  if (q.col >= 0 && static_cast<int>(e.pos.column) != q.col) return false;
+  return true;
+}
+
+std::string eventText(const World& world, const DefUseItem::Event& e) {
+  std::string out = e.op == DuOp::Def ? "def of '" : "use of '";
+  out += std::string(e.name) + "' at " + world.pos(e.pos);
+  out += " [" + pdt::pdb::du::flagsText(e.flags) + "]";
+  return out;
+}
+
+void runQuery(const pdt::ductape::PDB& merged, const Query& query) {
+  const World world(merged);
+  for (const DefUseItem& item : merged.raw().defUses()) {
+    if (!query.routine.empty() &&
+        !world.routineMatches(item.routine, query.routine))
+      continue;
+
+    if (!query.defs && !query.uses) {
+      int defs = 0, uses = 0, markers = 0;
+      for (const auto& e : item.events) {
+        if (e.op == DuOp::Def) ++defs;
+        else if (e.op == DuOp::Use) ++uses;
+        else ++markers;
+      }
+      std::cout << "du#" << item.id << " routine '"
+                << world.routineName(item.routine) << "': " << defs
+                << " def(s), " << uses << " use(s), " << markers
+                << " marker(s)\n";
+      continue;
+    }
+
+    const dataflow::Cfg cfg = dataflow::Cfg::build(item);
+    if (cfg.irregular()) {
+      std::cout << "routine '" << world.routineName(item.routine)
+                << "': irregular control flow (goto/label/try); no "
+                   "flow-sensitive answer\n";
+      continue;
+    }
+    const dataflow::ReachingDefs rd(cfg);
+    bool header_printed = false;
+    const auto header = [&] {
+      if (header_printed) return;
+      header_printed = true;
+      std::cout << "routine '" << world.routineName(item.routine) << "' (du#"
+                << item.id << "):\n";
+    };
+    for (std::size_t e = 0; e < item.events.size(); ++e) {
+      const auto& ev = item.events[e];
+      if (!eventSelected(ev, query)) continue;
+      const auto idx = static_cast<dataflow::EventIndex>(e);
+      if (query.defs && ev.op == DuOp::Use) {
+        header();
+        std::cout << "  " << eventText(world, ev) << '\n';
+        const auto& defs = rd.defsReaching(idx);
+        if (defs.empty()) std::cout << "    reached by no definition\n";
+        for (const auto d : defs)
+          std::cout << "    reached by " << eventText(world, item.events[d])
+                    << '\n';
+      }
+      if (query.uses && ev.op == DuOp::Def) {
+        header();
+        std::cout << "  " << eventText(world, ev) << '\n';
+        const auto& uses = rd.usesReached(idx);
+        if (uses.empty()) std::cout << "    reaches no use\n";
+        for (const auto u : uses)
+          std::cout << "    reaches " << eventText(world, item.events[u])
+                    << '\n';
+      }
+    }
+  }
+}
+
+bool parseAt(const std::string& value, Query& query) {
+  const std::size_t colon = value.find(':');
+  const std::string line = value.substr(0, colon);
+  int parsed = 0;
+  auto [ptr, ec] =
+      std::from_chars(line.data(), line.data() + line.size(), parsed);
+  if (ec != std::errc{} || ptr != line.data() + line.size() || parsed <= 0)
+    return false;
+  query.line = parsed;
+  if (colon == std::string::npos) return true;
+  const std::string col = value.substr(colon + 1);
+  auto [cptr, cec] = std::from_chars(col.data(), col.data() + col.size(),
+                                     parsed);
+  if (cec != std::errc{} || cptr != col.data() + col.size() || parsed <= 0)
+    return false;
+  query.col = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  Query query;
+  pdt::trace::ToolObservability obs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--routine" && i + 1 < argc) {
+      query.routine = argv[++i];
+    } else if (arg == "--var" && i + 1 < argc) {
+      query.var = argv[++i];
+    } else if (arg == "--at" && i + 1 < argc) {
+      if (!parseAt(argv[++i], query)) {
+        std::cerr << "pdbduct: invalid --at position '" << argv[i]
+                  << "' (expected LINE[:COL])\n";
+        return 2;
+      }
+    } else if (arg == "--defs") {
+      query.defs = true;
+    } else if (arg == "--uses") {
+      query.uses = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.starts_with("-")) {
+      paths.push_back(arg);
+    } else {
+      bool used_next = false;
+      std::string error;
+      if (obs.parseFlag(arg, i + 1 < argc ? argv[i + 1] : nullptr, used_next,
+                        error)) {
+        if (!error.empty()) {
+          std::cerr << "pdbduct: " << error << '\n';
+          return 2;
+        }
+        if (used_next) ++i;
+        continue;
+      }
+      std::cerr << "pdbduct: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  obs.begin();
+
+  // The queries only render routine identities (routine/class/namespace
+  // names), positions (source files), and the streams themselves; the
+  // type, template, and macro sections stay on disk.
+  constexpr pdt::pdb::Sections kMask =
+      pdt::pdb::Sections::SourceFiles | pdt::pdb::Sections::Routines |
+      pdt::pdb::Sections::Classes | pdt::pdb::Sections::Namespaces |
+      pdt::pdb::Sections::DefUses;
+
+  std::vector<pdt::ductape::PDB> inputs;
+  inputs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    pdt::ductape::PDB pdb = pdt::ductape::PDB::read(path, kMask);
+    if (!pdb.valid()) {
+      std::cerr << "pdbduct: " << pdb.errorMessage() << '\n';
+      return 3;
+    }
+    inputs.push_back(std::move(pdb));
+  }
+  const pdt::ductape::PDB merged = pdt::tools::pdbmerge(std::move(inputs), 1);
+
+  runQuery(merged, query);
+
+  if (obs.wanted()) {
+    pdt::trace::StatsReport report("pdbduct");
+    report.setCounters(pdt::trace::globalCounters());
+    if (!obs.finish(report)) return 2;
+  }
+  return 0;
+}

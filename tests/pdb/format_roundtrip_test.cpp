@@ -94,6 +94,25 @@ PdbFile samplePdb() {
   ma.text = "#define STACKAR_H";
   ma.location = {header_id, 2, 1};
   pdb.addMacro(std::move(ma));
+
+  // One def-use stream exercising every event op and every flag letter.
+  DefUseItem du_item;
+  du_item.routine = push_id;
+  du_item.events.push_back({DuOp::Def, du::kParam, "x", {impl_id, 72, 43}});
+  du_item.events.push_back(
+      {DuOp::Def, du::kUninit, "tmp", {impl_id, 73, 13}});
+  du_item.events.push_back({DuOp::Marker, 0, "then", {impl_id, 74, 9}});
+  du_item.events.push_back(
+      {DuOp::Use, static_cast<std::uint8_t>(du::kPointer | du::kDeref), "p",
+       {impl_id, 74, 11}});
+  du_item.events.push_back(
+      {DuOp::Def, static_cast<std::uint8_t>(du::kMember | du::kNullValue),
+       "this.topOfStack", {impl_id, 75, 9}});
+  du_item.events.push_back(
+      {DuOp::Use, static_cast<std::uint8_t>(du::kReference | du::kUnknown),
+       "r", {impl_id, 76, 9}});
+  du_item.events.push_back({DuOp::Marker, 0, "endif", {impl_id, 77, 9}});
+  pdb.addDefUse(std::move(du_item));
   return pdb;
 }
 
@@ -180,6 +199,33 @@ TEST(FormatRoundTrip, AsciiReaderHonorsSectionMask) {
   EXPECT_EQ(lazy.pdb.classes().size(), 1u);
   EXPECT_TRUE(lazy.pdb.routines().empty());
   EXPECT_TRUE(validate(lazy.pdb, lazy.loaded).empty());
+}
+
+TEST(FormatRoundTrip, LazyReadCanLoadOnlyDefUses) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+
+  ReadResult lazy = readBuffer(binary, Sections::DefUses);
+  ASSERT_TRUE(lazy.ok()) << lazy.errors.front();
+  EXPECT_EQ(lazy.loaded, Sections::DefUses);
+  ASSERT_EQ(lazy.pdb.defUses().size(), 1u);
+  EXPECT_EQ(lazy.pdb.defUses()[0].events.size(), 7u);
+  EXPECT_TRUE(lazy.pdb.routines().empty());
+  // The stream's ro# reference points into an unloaded section; the
+  // section-aware validator must not flag it.
+  EXPECT_TRUE(validate(lazy.pdb, lazy.loaded).empty());
+}
+
+TEST(FormatRoundTrip, BinaryDiagnosticsNameTheDuSection) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+  ReadResult parsed = readBuffer(binary);
+  ASSERT_TRUE(parsed.ok());
+  parsed.pdb.defUses()[0].routine = 9999;
+  parsed.pdb.reindex();
+  const std::vector<std::string> errors = validate(parsed.pdb);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("du#1"), std::string::npos);
+  EXPECT_NE(errors[0].find("of du section"), std::string::npos);
+  EXPECT_NE(errors[0].find("undefined ro#9999"), std::string::npos);
 }
 
 TEST(FormatRoundTrip, BinaryRecordsByteOffsetsForDiagnostics) {
