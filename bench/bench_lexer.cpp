@@ -1,9 +1,15 @@
 // Lexing + preprocessing throughput vs input size.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <sstream>
+#include <vector>
+
 #include "bench/workloads.h"
 #include "lex/preprocessor.h"
+#include "pdt/pdt_paths.h"
 #include "support/source_manager.h"
+#include "support/token_arena.h"
 
 namespace {
 
@@ -21,6 +27,54 @@ void BM_RawLex(benchmark::State& state) {
   state.counters["source_bytes"] = static_cast<double>(src.size());
 }
 BENCHMARK(BM_RawLex)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_BatchLex(benchmark::State& state) {
+  // The zero-allocation fast path: string_view tokens into a pre-reserved
+  // buffer via RawLexer::lexAll. Same input as BM_RawLex so the two are
+  // directly comparable across snapshots.
+  const std::string src = pdt::bench::plainClasses(static_cast<int>(state.range(0)));
+  pdt::DiagnosticEngine diags;
+  pdt::TokenArena arena;
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    pdt::lex::RawLexer lexer(pdt::FileId{1}, src, diags, &arena);
+    std::vector<pdt::lex::Token> out;
+    lexer.lexAll(out);
+    tokens = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tokens));
+  state.counters["tokens"] = static_cast<double>(tokens);
+}
+BENCHMARK(BM_BatchLex)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_BatchLexKrylov(benchmark::State& state) {
+  // Real corpus file (the paper's Fig. 7 Krylov solver workload).
+  const std::string path =
+      std::string(pdt::paths::kInputDir) + "/pooma_mini/krylov.cpp";
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string src = std::move(ss).str();
+  pdt::DiagnosticEngine diags;
+  pdt::TokenArena arena;
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    pdt::lex::RawLexer lexer(pdt::FileId{1}, src, diags, &arena);
+    std::vector<pdt::lex::Token> out;
+    lexer.lexAll(out);
+    tokens = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tokens));
+}
+BENCHMARK(BM_BatchLexKrylov);
 
 void BM_Preprocess(benchmark::State& state) {
   const std::string src = pdt::bench::plainClasses(static_cast<int>(state.range(0)));

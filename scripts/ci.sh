@@ -11,8 +11,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-${ROOT}/build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== configure (ASan) =="
-cmake -S "${ROOT}" -B "${BUILD}" -DPDT_SANITIZE=address
+echo "== configure (ASan+UBSan) =="
+cmake -S "${ROOT}" -B "${BUILD}" -DPDT_SANITIZE=address,undefined
 
 echo "== build =="
 cmake --build "${BUILD}" -j "${JOBS}"
@@ -22,6 +22,25 @@ cmake --build "${BUILD}" --target check-lint
 
 echo "== tests =="
 ctest --test-dir "${BUILD}" --output-on-failure -j "${JOBS}"
+
+echo "== frontend gate =="
+# Zero-allocation lexing (DESIGN.md "Token backing and ownership"): the
+# batch fast path (RawLexer::lexAll) must produce the byte-identical
+# token stream of the incremental path over every corpus source, under
+# the sanitized build — string_view tokens with dangling backing die
+# here, not in production.
+lexed=0
+while IFS= read -r src; do
+    "${BUILD}/src/tools/lexdump" --mode=batch "${src}" \
+        > "${BUILD}/ci_lex_batch.txt" 2> /dev/null
+    "${BUILD}/src/tools/lexdump" --mode=incremental "${src}" \
+        > "${BUILD}/ci_lex_inc.txt" 2> /dev/null
+    cmp "${BUILD}/ci_lex_batch.txt" "${BUILD}/ci_lex_inc.txt" \
+        || { echo "lex stream mismatch: ${src}" >&2; exit 1; }
+    lexed=$((lexed + 1))
+done < <(find "${ROOT}/inputs" "${ROOT}/runtime" \
+              -name '*.cpp' -o -name '*.h' | sort)
+echo "frontend gate OK: batch == incremental over ${lexed} corpus files"
 
 echo "== self-hosted pdbcheck =="
 # Compile the shipped Krylov solver (the Figure 7 subject) to a database
@@ -195,6 +214,12 @@ for run in j1 j4 cold warm; do
         -o "${BUILD}/ci_obs_${run}.pdb" "${extra[@]}" \
         --stats=json --stats-out "${BUILD}/ci_obs_${run}.stats.json" \
         --trace-out "${BUILD}/ci_obs_${run}.trace.json" 2> /dev/null
+done
+# The compiled database must be byte-identical at any -j and for warm
+# vs cold cache — the end-to-end determinism the zero-allocation
+# frontend must preserve.
+for run in j4 cold warm; do
+    cmp "${BUILD}/ci_obs_j1.pdb" "${BUILD}/ci_obs_${run}.pdb"
 done
 python3 - "${BUILD}" <<'PY'
 import json, sys

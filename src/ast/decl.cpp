@@ -29,6 +29,7 @@ std::string_view toString(TemplateKind k) {
     case TemplateKind::Function: return "func";
     case TemplateKind::MemberFunc: return "memfunc";
     case TemplateKind::StaticMem: return "statmem";
+    case TemplateKind::Alias: return "alias";
   }
   return "class";
 }

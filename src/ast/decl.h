@@ -272,6 +272,8 @@ class TypedefDecl final : public Decl {
  public:
   TypedefDecl() : Decl(DeclKind::Typedef) {}
   const Type* underlying = nullptr;
+  /// When this typedef IS an alias-template pattern: the describing entity.
+  const TemplateDecl* describing_template = nullptr;
 };
 
 class TemplateParamDecl final : public Decl {
@@ -291,6 +293,7 @@ enum class TemplateKind : std::uint8_t {
   Function,    // tkind func       (TE_FUNC)
   MemberFunc,  // tkind memfunc    (TE_MEMFUNC)
   StaticMem,   // tkind statmem    (TE_STATMEM)
+  Alias,       // tkind alias      (template <...> using X = T)
 };
 
 [[nodiscard]] std::string_view toString(TemplateKind k);

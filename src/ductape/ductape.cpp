@@ -247,6 +247,7 @@ void PDB::build() {
     if (t.kind == "func") obj->kind_ = pdbItem::TE_FUNC;
     else if (t.kind == "memfunc") obj->kind_ = pdbItem::TE_MEMFUNC;
     else if (t.kind == "statmem") obj->kind_ = pdbItem::TE_STATMEM;
+    else if (t.kind == "alias") obj->kind_ = pdbItem::TE_ALIAS;
     else obj->kind_ = pdbItem::TE_CLASS;
     obj->text_ = t.text;
     setFat(obj, t.extent);

@@ -117,7 +117,7 @@ class pdbItem : public pdbSimpleItem {
   enum access_t { AC_NA, AC_PUB, AC_PROT, AC_PRIV };
 
   /// Template kinds (paper Figure 6).
-  enum templ_t { TE_CLASS, TE_FUNC, TE_MEMFUNC, TE_STATMEM };
+  enum templ_t { TE_CLASS, TE_FUNC, TE_MEMFUNC, TE_STATMEM, TE_ALIAS };
 
   /// Routine kinds.
   enum routine_t { RO_NORMAL, RO_CTOR, RO_DTOR, RO_CONV, RO_OP };

@@ -48,8 +48,9 @@ CompileResult Frontend::compile(FileId main_file) {
       pp.predefineMacro(name, value);
     pp.enterMainFile(main_file);
     for (lex::Token t = pp.next(); !t.isEnd(); t = pp.next())
-      tokens.push_back(std::move(t));
+      tokens.push_back(t);
     trace::count(trace::Counter::LexTokens, tokens.size());
+    trace::count(trace::Counter::LexArenaBytes, pp.arena().bytesUsed());
   }
 
   CompileResult result;

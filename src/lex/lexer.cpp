@@ -1,33 +1,80 @@
 #include "lex/lexer.h"
 
 #include <array>
-#include <cctype>
-#include <unordered_set>
+#include <cstdint>
+#include <string>
+
+#include "support/interner.h"
 
 namespace pdt::lex {
 namespace {
 
-const std::unordered_set<std::string_view>& keywordTable() {
-  static const std::unordered_set<std::string_view> table = {
-      "bool", "break", "case", "catch", "char", "class", "const",
-      "continue", "default", "delete", "do", "double", "else", "enum",
-      "explicit", "extern", "false", "float", "for", "friend", "goto",
-      "if", "inline", "int", "long", "mutable", "namespace", "new",
-      "operator", "private", "protected", "public", "register", "return",
-      "short", "signed", "sizeof", "static", "struct", "switch",
-      "template", "this", "throw", "true", "try", "typedef", "typeid",
-      "typename", "union", "unsigned", "using", "virtual", "void",
-      "volatile", "wchar_t", "while"};
-  return table;
+// ---------------------------------------------------------------------------
+// Character classification (one 256-byte table, no locale, no calls)
+// ---------------------------------------------------------------------------
+
+constexpr std::uint8_t kWs = 1;          // whitespace (not newline)
+constexpr std::uint8_t kIdentStart = 2;  // [A-Za-z_]
+constexpr std::uint8_t kIdentCont = 4;   // [A-Za-z0-9_]
+constexpr std::uint8_t kDigit = 8;       // [0-9]
+
+constexpr std::array<std::uint8_t, 256> kCharClass = [] {
+  std::array<std::uint8_t, 256> t{};
+  t[' '] = t['\t'] = t['\r'] = t['\v'] = t['\f'] = kWs;
+  for (int c = 'a'; c <= 'z'; ++c) t[c] = kIdentStart | kIdentCont;
+  for (int c = 'A'; c <= 'Z'; ++c) t[c] = kIdentStart | kIdentCont;
+  t['_'] = kIdentStart | kIdentCont;
+  for (int c = '0'; c <= '9'; ++c) t[c] = kDigit | kIdentCont;
+  return t;
+}();
+
+constexpr std::uint8_t classOf(char c) {
+  return kCharClass[static_cast<unsigned char>(c)];
 }
 
-// Multi-character punctuators, longest first so maximal munch works.
-constexpr std::array<std::string_view, 21> kLongPuncts = {
-    "<<=", ">>=", "->*", "...", "::", "->", ".*", "##", "++", "--",
-    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*="};
-constexpr std::array<std::string_view, 4> kLongPuncts2 = {"/=", "%=", "^=",
-                                                          "&="};
-constexpr std::array<std::string_view, 1> kLongPuncts3 = {"|="};
+constexpr bool isDigitChar(char c) { return (classOf(c) & kDigit) != 0; }
+constexpr bool isIdentStartChar(char c) {
+  return (classOf(c) & kIdentStart) != 0;
+}
+constexpr bool isHexDigitChar(char c) {
+  return isDigitChar(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+constexpr bool isAlphaChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+// ---------------------------------------------------------------------------
+// Keyword table: sorted spellings bucketed by first letter. Lookup is a
+// table index plus a handful of length-gated string_view compares — no
+// hashing, no node chasing (replaces the old unordered_set).
+// ---------------------------------------------------------------------------
+
+constexpr std::array<std::string_view, 56> kKeywords = {
+    "bool",      "break",    "case",     "catch",    "char",     "class",
+    "const",     "continue", "default",  "delete",   "do",       "double",
+    "else",      "enum",     "explicit", "extern",   "false",    "float",
+    "for",       "friend",   "goto",     "if",       "inline",   "int",
+    "long",      "mutable",  "namespace", "new",     "operator", "private",
+    "protected", "public",   "register", "return",   "short",    "signed",
+    "sizeof",    "static",   "struct",   "switch",   "template", "this",
+    "throw",     "true",     "try",      "typedef",  "typeid",   "typename",
+    "union",     "unsigned", "using",    "virtual",  "void",     "volatile",
+    "wchar_t",   "while"};
+
+struct KwRange {
+  std::uint8_t begin = 0;
+  std::uint8_t end = 0;  // exclusive
+};
+
+constexpr std::array<KwRange, 26> kKwIndex = [] {
+  std::array<KwRange, 26> idx{};
+  for (std::size_t i = 0; i < kKeywords.size(); ++i) {
+    const std::size_t letter = static_cast<std::size_t>(kKeywords[i][0] - 'a');
+    if (idx[letter].end == 0) idx[letter].begin = static_cast<std::uint8_t>(i);
+    idx[letter].end = static_cast<std::uint8_t>(i + 1);
+  }
+  return idx;
+}();
 
 }  // namespace
 
@@ -47,15 +94,31 @@ std::string_view toString(TokenKind kind) {
 }
 
 bool isKeywordSpelling(std::string_view spelling) {
-  return keywordTable().contains(spelling);
+  if (spelling.empty()) return false;
+  const char c = spelling.front();
+  if (c < 'a' || c > 'z') return false;
+  const KwRange r = kKwIndex[static_cast<std::size_t>(c - 'a')];
+  for (std::uint8_t i = r.begin; i < r.end; ++i) {
+    if (kKeywords[i] == spelling) return true;
+  }
+  return false;
 }
 
-RawLexer::RawLexer(FileId file, std::string_view content, DiagnosticEngine& diags)
-    : file_(file), content_(content), diags_(diags) {}
+RawLexer::RawLexer(FileId file, std::string_view content, DiagnosticEngine& diags,
+                   TokenArena* arena)
+    : file_(file), content_(content), diags_(diags), arena_(arena) {}
+
+std::string_view RawLexer::synthesize(std::string_view text) {
+  return arena_ != nullptr ? arena_->intern(text) : internString(text);
+}
 
 char RawLexer::peek(std::size_t ahead) const {
-  // Line splices (backslash-newline) are invisible to peek(0)/peek(1) only
-  // through advance(); for lookahead we do a cheap local skip.
+  if (ahead == 0 && pos_ < content_.size()) {
+    const char c = content_[pos_];
+    if (c != '\\') return c;  // fast path: no splice possible here
+  }
+  // Line splices (backslash-newline) are invisible to lookahead: do a
+  // cheap local skip.
   std::size_t p = pos_;
   for (std::size_t n = 0;; ++n) {
     while (p + 1 < content_.size() && content_[p] == '\\' &&
@@ -72,6 +135,13 @@ char RawLexer::peek(std::size_t ahead) const {
 }
 
 void RawLexer::advance() {
+  if (pos_ >= content_.size()) return;
+  const char c = content_[pos_];
+  if (c != '\\' && c != '\n') {  // fast path: plain character
+    ++column_;
+    ++pos_;
+    return;
+  }
   // Consume splices so that logical characters flow continuously.
   while (pos_ + 1 < content_.size() && content_[pos_] == '\\' &&
          (content_[pos_ + 1] == '\n' ||
@@ -96,29 +166,57 @@ SourceLocation RawLexer::currentLocation() const { return {file_, line_, column_
 
 bool RawLexer::skipWhitespaceAndComments() {
   bool skipped = false;
-  while (pos_ < content_.size()) {
-    const char c = peek();
-    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f') {
-      advance();
+  const std::size_t n = content_.size();
+  while (pos_ < n) {
+    const char c = content_[pos_];
+    if (classOf(c) & kWs) {  // run of plain whitespace, no bookkeeping
+      ++column_;
+      ++pos_;
       skipped = true;
-    } else if (c == '/' && peek(1) == '/') {
-      while (pos_ < content_.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+      at_line_start_ = true;
+      ++pos_;
       skipped = true;
-    } else if (c == '/' && peek(1) == '*') {
-      const SourceLocation begin = currentLocation();
-      advance();
-      advance();
-      while (pos_ < content_.size() && !(peek() == '*' && peek(1) == '/')) advance();
-      if (pos_ >= content_.size()) {
-        diags_.error(begin, "unterminated /* comment");
-      } else {
-        advance();
-        advance();
+      continue;
+    }
+    if (c == '/' || c == '\\') {  // comment or splice: splice-aware path
+      const char p0 = peek();
+      if (p0 != '/' && c == '\\') {
+        // A splice followed by whitespace is whitespace; anything else
+        // starts a token at the backslash.
+        if ((classOf(p0) & kWs) || p0 == '\n') {
+          advance();
+          skipped = true;
+          continue;
+        }
+        break;
       }
-      skipped = true;
-    } else {
+      if (p0 == '/' && peek(1) == '/') {
+        while (pos_ < n && peek() != '\n') advance();
+        skipped = true;
+        continue;
+      }
+      if (p0 == '/' && peek(1) == '*') {
+        const SourceLocation begin = currentLocation();
+        advance();
+        advance();
+        while (pos_ < n && !(peek() == '*' && peek(1) == '/')) advance();
+        if (pos_ >= n) {
+          diags_.error(begin, "unterminated /* comment");
+        } else {
+          advance();
+          advance();
+        }
+        skipped = true;
+        continue;
+      }
       break;
     }
+    break;
   }
   return skipped;
 }
@@ -139,21 +237,32 @@ Token RawLexer::makeToken(TokenKind kind, std::size_t begin_pos,
                           SourceLocation begin_loc) {
   Token t;
   t.kind = kind;
-  t.text.assign(content_.substr(begin_pos, pos_ - begin_pos));
-  // Remove any splices embedded in the raw spelling.
-  if (t.text.find('\\') != std::string::npos) {
-    std::string clean;
-    clean.reserve(t.text.size());
-    for (std::size_t i = 0; i < t.text.size(); ++i) {
-      if (t.text[i] == '\\' && i + 1 < t.text.size() &&
-          (t.text[i + 1] == '\n' || t.text[i + 1] == '\r')) {
-        while (i + 1 < t.text.size() && t.text[i + 1] != '\n') ++i;
-        ++i;
-        continue;
+  const std::string_view raw = content_.substr(begin_pos, pos_ - begin_pos);
+  t.text = raw;
+  // Remove any splices embedded in the raw spelling (rare); the cleaned
+  // text needs stable backing of its own.
+  if (raw.find('\\') != std::string_view::npos) {
+    bool has_splice = false;
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+      if (raw[i] == '\\' && (raw[i + 1] == '\n' || raw[i + 1] == '\r')) {
+        has_splice = true;
+        break;
       }
-      clean.push_back(t.text[i]);
     }
-    t.text = std::move(clean);
+    if (has_splice) {
+      std::string clean;
+      clean.reserve(raw.size());
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '\\' && i + 1 < raw.size() &&
+            (raw[i + 1] == '\n' || raw[i + 1] == '\r')) {
+          while (i + 1 < raw.size() && raw[i + 1] != '\n') ++i;
+          ++i;
+          continue;
+        }
+        clean.push_back(raw[i]);
+      }
+      t.text = synthesize(clean);
+    }
   }
   t.location = begin_loc;
   return t;
@@ -177,15 +286,14 @@ Token RawLexer::next() {
   const char c = peek();
 
   Token t;
-  if (header_name_mode_ && c == '<') {
+  if ((header_name_mode_ || include_state_ == 2) && c == '<') {
     advance();
     while (pos_ < content_.size() && peek() != '>' && peek() != '\n') advance();
     if (peek() == '>') advance();
     t = makeToken(TokenKind::HeaderName, begin_pos, begin);
-  } else if (std::isdigit(static_cast<unsigned char>(c)) ||
-             (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+  } else if (isDigitChar(c) || (c == '.' && isDigitChar(peek(1)))) {
     t = lexNumber(begin);
-  } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+  } else if (isIdentStartChar(c)) {
     t = lexIdentifier(begin);
   } else if (c == '"' || c == '\'') {
     t = lexCharOrString(c, begin);
@@ -194,7 +302,27 @@ Token RawLexer::next() {
   }
   t.start_of_line = starts_line;
   t.leading_space = had_space;
+
+  // Track "line-start # include" so the *next* token lexes as a
+  // HeaderName when it starts with '<'. This keeps raw token streams
+  // self-contained: batch and incremental lexing agree on #include lines
+  // without the preprocessor toggling modes.
+  if (t.kind == TokenKind::Punct && t.start_of_line && t.text == "#") {
+    include_state_ = 1;
+  } else if (include_state_ == 1 && t.kind == TokenKind::Identifier &&
+             t.text == "include") {
+    include_state_ = 2;
+  } else {
+    include_state_ = 0;
+  }
   return t;
+}
+
+void RawLexer::lexAll(std::vector<Token>& out) {
+  // Pre-reserve from the content size: PDT-C++ averages ~5-6 characters
+  // per token, so one reservation covers virtually every file.
+  out.reserve(out.size() + content_.size() / 5 + 8);
+  for (Token t = next(); !t.isEnd(); t = next()) out.push_back(t);
 }
 
 Token RawLexer::lexNumber(SourceLocation begin) {
@@ -203,33 +331,46 @@ Token RawLexer::lexNumber(SourceLocation begin) {
   if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
     advance();
     advance();
-    while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+    while (isHexDigitChar(peek())) advance();
   } else {
-    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    while (isDigitChar(peek())) advance();
     if (peek() == '.' && peek(1) != '.') {  // not the '...' punctuator
       is_float = true;
       advance();
-      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      while (isDigitChar(peek())) advance();
     }
     if (peek() == 'e' || peek() == 'E') {
-      if (std::isdigit(static_cast<unsigned char>(peek(1))) ||
-          ((peek(1) == '+' || peek(1) == '-') &&
-           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      if (isDigitChar(peek(1)) ||
+          ((peek(1) == '+' || peek(1) == '-') && isDigitChar(peek(2)))) {
         is_float = true;
         advance();
         if (peek() == '+' || peek() == '-') advance();
-        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        while (isDigitChar(peek())) advance();
       }
     }
   }
-  while (std::isalpha(static_cast<unsigned char>(peek()))) advance();  // suffixes
+  while (isAlphaChar(peek())) advance();  // suffixes
   return makeToken(is_float ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
                    begin_pos, begin);
 }
 
 Token RawLexer::lexIdentifier(SourceLocation begin) {
   const std::size_t begin_pos = pos_;
-  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+  const std::size_t n = content_.size();
+  while (true) {
+    // Scan the run of plain identifier characters directly; splices (the
+    // only way a non-identifier byte continues an identifier) drop to the
+    // splice-aware path below.
+    std::size_t p = pos_;
+    while (p < n && (classOf(content_[p]) & kIdentCont)) ++p;
+    column_ += static_cast<std::uint32_t>(p - pos_);
+    pos_ = p;
+    if (p < n && content_[p] == '\\' && (classOf(peek()) & kIdentCont)) {
+      advance();  // consumes the splice plus one identifier character
+      continue;
+    }
+    break;
+  }
   Token t = makeToken(TokenKind::Identifier, begin_pos, begin);
   if (isKeywordSpelling(t.text)) t.kind = TokenKind::Keyword;
   return t;
@@ -254,28 +395,42 @@ Token RawLexer::lexCharOrString(char quote, SourceLocation begin) {
 
 Token RawLexer::lexPunct(SourceLocation begin) {
   const std::size_t begin_pos = pos_;
-  const auto tryMatch = [&](std::string_view p) {
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      if (peek(i) != p[i]) return false;
-    }
-    for (std::size_t i = 0; i < p.size(); ++i) advance();
-    return true;
-  };
-  bool matched = false;
-  for (const auto p : kLongPuncts) {
-    if ((matched = tryMatch(p))) break;
+  // Maximal munch via one switch on the first character (replaces the
+  // old linear scans over punctuator tables). peek() is splice-aware, so
+  // multi-character punctuators split by '\'-newline still join.
+  const char c = peek();
+  const char c1 = peek(1);
+  int len = 1;
+  switch (c) {
+    case '<':
+      len = c1 == '<' ? (peek(2) == '=' ? 3 : 2) : (c1 == '=' ? 2 : 1);
+      break;
+    case '>':
+      len = c1 == '>' ? (peek(2) == '=' ? 3 : 2) : (c1 == '=' ? 2 : 1);
+      break;
+    case '-':
+      len = c1 == '>' ? (peek(2) == '*' ? 3 : 2)
+                      : ((c1 == '-' || c1 == '=') ? 2 : 1);
+      break;
+    case '.':
+      len = (c1 == '.' && peek(2) == '.') ? 3 : (c1 == '*' ? 2 : 1);
+      break;
+    case ':': len = c1 == ':' ? 2 : 1; break;
+    case '#': len = c1 == '#' ? 2 : 1; break;
+    case '+': len = (c1 == '+' || c1 == '=') ? 2 : 1; break;
+    case '&': len = (c1 == '&' || c1 == '=') ? 2 : 1; break;
+    case '|': len = (c1 == '|' || c1 == '=') ? 2 : 1; break;
+    case '=':
+    case '!':
+    case '*':
+    case '/':
+    case '%':
+    case '^':
+      len = c1 == '=' ? 2 : 1;
+      break;
+    default: break;
   }
-  if (!matched) {
-    for (const auto p : kLongPuncts2) {
-      if ((matched = tryMatch(p))) break;
-    }
-  }
-  if (!matched) {
-    for (const auto p : kLongPuncts3) {
-      if ((matched = tryMatch(p))) break;
-    }
-  }
-  if (!matched) advance();  // single character
+  for (int i = 0; i < len; ++i) advance();
   return makeToken(TokenKind::Punct, begin_pos, begin);
 }
 

@@ -1,24 +1,41 @@
 // RawLexer: turns one file's character stream into tokens, including the
 // '#' that begins preprocessor directives. Comments and line splices are
 // handled here; directives and macros are the Preprocessor's job.
+//
+// Tokens carry string_view spellings into `content` (which the caller
+// must keep alive — for compiles that is the SourceManager's file table).
+// Spellings that cross a line splice are cleaned into `arena` when one is
+// supplied, or the process-wide intern table otherwise, so they are
+// always stably backed.
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "lex/token.h"
 #include "support/diagnostics.h"
 #include "support/source_location.h"
+#include "support/token_arena.h"
 
 namespace pdt::lex {
 
 class RawLexer {
  public:
-  RawLexer(FileId file, std::string_view content, DiagnosticEngine& diags);
+  RawLexer(FileId file, std::string_view content, DiagnosticEngine& diags,
+           TokenArena* arena = nullptr);
 
   /// Lexes the next token; returns kind End at end of file.
   Token next();
 
-  /// When true, '<...>' after #include is lexed as a single HeaderName.
+  /// Batch fast path: lexes the whole remaining stream into `out`
+  /// (pre-reserved from the content size). The token sequence is exactly
+  /// what repeated next() calls would produce.
+  void lexAll(std::vector<Token>& out);
+
+  /// When true, '<...>' is lexed as a single HeaderName token. The lexer
+  /// also enables this automatically for the token following a
+  /// line-start '#' 'include', so batch and incremental lexing agree on
+  /// directive lines without preprocessor help.
   void setHeaderNameMode(bool on) { header_name_mode_ = on; }
 
   /// Skips to the first character of the next line (used to discard the
@@ -40,15 +57,21 @@ class RawLexer {
   Token lexCharOrString(char quote, SourceLocation begin);
   Token lexPunct(SourceLocation begin);
 
+  /// Stable backing for a spelling that exists in no file.
+  std::string_view synthesize(std::string_view text);
+
   FileId file_;
   std::string_view content_;
   DiagnosticEngine& diags_;
+  TokenArena* arena_ = nullptr;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
   std::uint32_t column_ = 1;
   bool at_line_start_ = true;
-  bool pending_space_ = false;
   bool header_name_mode_ = false;
+  // '#' 'include' auto-detection: 0 = none, 1 = saw line-start '#',
+  // 2 = saw '#' 'include' (next '<' starts a header name).
+  std::uint8_t include_state_ = 0;
 };
 
 }  // namespace pdt::lex

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <utility>
 
 #include "support/text.h"
@@ -11,7 +12,9 @@ namespace pdt::lex {
 namespace {
 
 /// Reconstructs readable text from tokens ("#define MAX(a, b) ..." style).
-std::string joinTokens(const std::vector<Token>& tokens) {
+/// Works over any indexable token sequence (vector or SmallVector).
+template <typename Seq>
+std::string joinTokens(const Seq& tokens) {
   std::string out;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     if (i > 0 && tokens[i].leading_space) out.push_back(' ');
@@ -28,28 +31,40 @@ Token makeEndToken() {
 
 }  // namespace
 
-Preprocessor::Preprocessor(SourceManager& sm, DiagnosticEngine& diags)
-    : sm_(sm), diags_(diags) {}
+Preprocessor::Preprocessor(SourceManager& sm, DiagnosticEngine& diags,
+                           TokenArena* arena)
+    : sm_(sm), diags_(diags), arena_(arena != nullptr ? arena : &owned_arena_) {}
 
 Preprocessor::~Preprocessor() = default;
 
+void Preprocessor::pushFile(FileId file) {
+  FileState fs;
+  fs.file = file;
+  fs.cond_depth_at_entry = static_cast<int>(cond_stack_.size());
+  // Batch-lex the whole file up front: one tight loop over the content,
+  // one pre-reserved buffer, then the preprocessor just walks indices.
+  RawLexer lexer(file, sm_.content(file), diags_, arena_);
+  lexer.lexAll(fs.tokens);
+  fs.end_loc = lexer.currentLocation();
+  file_stack_.push_back(std::move(fs));
+  entered_files_.insert(file);
+}
+
 void Preprocessor::enterMainFile(FileId main_file) {
   assert(file_stack_.empty());
-  FileState fs;
-  fs.lexer = std::make_unique<RawLexer>(main_file, sm_.content(main_file), diags_);
-  fs.file = main_file;
-  fs.cond_depth_at_entry = 0;
-  file_stack_.push_back(std::move(fs));
+  pushFile(main_file);
   files_seen_.push_back(main_file);
-  entered_files_.insert(main_file);
 }
 
 void Preprocessor::predefineMacro(const std::string& name, const std::string& value) {
   Macro m;
-  m.name = name;
-  RawLexer lx(FileId{}, value, diags_);
+  // The caller's strings are temporaries; give the spellings arena backing.
+  m.name = arena_->intern(name);
+  const std::string_view stored = arena_->intern(value);
+  RawLexer lx(FileId{}, stored, diags_, arena_);
   for (Token t = lx.next(); !t.isEnd(); t = lx.next()) m.body.push_back(t);
-  macros_[name] = std::move(m);
+  const std::string_view key = m.name;
+  macros_[key] = std::move(m);
 }
 
 // ---------------------------------------------------------------------------
@@ -59,18 +74,8 @@ void Preprocessor::predefineMacro(const std::string& name, const std::string& va
 Token Preprocessor::rawNext() {
   while (!file_stack_.empty()) {
     FileState& fs = file_stack_.back();
-    Token t;
-    if (fs.lookahead) {
-      t = *fs.lookahead;
-      fs.lookahead.reset();
-    } else {
-      t = fs.lexer->next();
-    }
-    if (t.isEnd()) {
-      popFile();
-      continue;
-    }
-    return t;
+    if (fs.idx < fs.tokens.size()) return fs.tokens[fs.idx++];
+    popFile();
   }
   return makeEndToken();
 }
@@ -87,25 +92,12 @@ void Preprocessor::popFile() {
   file_stack_.pop_back();
 }
 
-std::vector<Token> Preprocessor::readDirectiveLine() {
-  std::vector<Token> line;
+Preprocessor::TokenLine Preprocessor::readDirectiveLine() {
+  TokenLine line;
   if (file_stack_.empty()) return line;
   FileState& fs = file_stack_.back();
-  while (true) {
-    Token t;
-    if (fs.lookahead) {
-      t = *fs.lookahead;
-      fs.lookahead.reset();
-    } else {
-      t = fs.lexer->next();
-    }
-    if (t.isEnd()) break;
-    if (t.start_of_line) {
-      fs.lookahead = t;
-      break;
-    }
-    line.push_back(std::move(t));
-  }
+  while (fs.idx < fs.tokens.size() && !fs.tokens[fs.idx].start_of_line)
+    line.push_back(fs.tokens[fs.idx++]);
   return line;
 }
 
@@ -114,21 +106,24 @@ std::vector<Token> Preprocessor::readDirectiveLine() {
 // ---------------------------------------------------------------------------
 
 void Preprocessor::handleDirective(const Token& hash) {
-  FileState& fs = file_stack_.back();
-  // Read the directive name (must be on the same line as '#').
-  Token name = fs.lookahead ? *fs.lookahead : fs.lexer->next();
-  fs.lookahead.reset();
-  if (name.isEnd() || name.start_of_line) {
-    if (!name.isEnd()) fs.lookahead = name;  // null directive: bare '#'
-    return;
+  {
+    // Read the directive name (must be on the same line as '#').
+    FileState& fs = file_stack_.back();
+    if (fs.idx >= fs.tokens.size()) return;          // '#' at end of file
+    if (fs.tokens[fs.idx].start_of_line) return;     // null directive: bare '#'
   }
-  const std::string directive = name.text;
+  // Copy the name token out: handleInclude may push onto file_stack_,
+  // which can reallocate and would invalidate references into it.
+  const Token name = [&] {
+    FileState& fs = file_stack_.back();
+    return fs.tokens[fs.idx++];
+  }();
+  const std::string_view directive = name.text;
 
   if (directive == "include") {
-    fs.lexer->setHeaderNameMode(true);
-    std::vector<Token> line = readDirectiveLine();
-    fs.lexer->setHeaderNameMode(false);
-    handleInclude(std::move(line), hash.location);
+    // The lexer auto-detects '# include <...>' and lexes the header name
+    // as one token, so no mode toggling is needed here.
+    handleInclude(readDirectiveLine(), hash.location);
   } else if (directive == "define") {
     handleDefine(readDirectiveLine(), hash.location);
   } else if (directive == "undef") {
@@ -152,9 +147,9 @@ void Preprocessor::handleDirective(const Token& hash) {
     }
     cond_stack_.pop_back();
   } else if (directive == "pragma") {
-    const std::vector<Token> line = readDirectiveLine();
+    const TokenLine line = readDirectiveLine();
     if (!line.empty() && line[0].isIdentifier("once"))
-      pragma_once_files_.insert(fs.file);
+      pragma_once_files_.insert(file_stack_.back().file);
   } else if (directive == "error") {
     diags_.error(hash.location, concat({"#error ", joinTokens(readDirectiveLine())}));
   } else if (directive == "warning") {
@@ -169,12 +164,12 @@ void Preprocessor::handleDirective(const Token& hash) {
   }
 }
 
-void Preprocessor::handleInclude(std::vector<Token> line, SourceLocation loc) {
+void Preprocessor::handleInclude(const TokenLine& line, SourceLocation loc) {
   if (line.empty()) {
     diags_.error(loc, "#include expects a file name");
     return;
   }
-  std::string spelling;
+  std::string_view spelling;
   bool angled = false;
   if (line[0].is(TokenKind::HeaderName)) {
     angled = true;
@@ -203,23 +198,17 @@ void Preprocessor::handleInclude(std::vector<Token> line, SourceLocation loc) {
     diags_.warning(loc, concat({"circular #include of '", spelling, "' skipped"}));
     return;
   }
-
-  FileState fs;
-  fs.lexer = std::make_unique<RawLexer>(*target, sm_.content(*target), diags_);
-  fs.file = *target;
-  fs.cond_depth_at_entry = static_cast<int>(cond_stack_.size());
-  file_stack_.push_back(std::move(fs));
-  entered_files_.insert(*target);
+  pushFile(*target);
 }
 
-void Preprocessor::handleDefine(std::vector<Token> line, SourceLocation loc) {
+void Preprocessor::handleDefine(const TokenLine& line, SourceLocation loc) {
   if (line.empty() || !(line[0].is(TokenKind::Identifier) ||
                         line[0].is(TokenKind::Keyword))) {
     diags_.error(loc, "#define expects a macro name");
     return;
   }
   Macro m;
-  m.name = line[0].text;
+  m.name = line[0].text;  // views file content: stable for the whole TU
   m.location = line[0].location;
   std::size_t i = 1;
   if (i < line.size() && line[i].isPunct("(") && !line[i].leading_space) {
@@ -255,10 +244,11 @@ void Preprocessor::handleDefine(std::vector<Token> line, SourceLocation loc) {
   rec.text = "#define " + joinTokens(line);
   macro_records_.push_back(std::move(rec));
 
-  macros_[m.name] = std::move(m);
+  const std::string_view key = m.name;
+  macros_[key] = std::move(m);
 }
 
-void Preprocessor::handleUndef(std::vector<Token> line, SourceLocation loc) {
+void Preprocessor::handleUndef(const TokenLine& line, SourceLocation loc) {
   if (line.empty()) {
     diags_.error(loc, "#undef expects a macro name");
     return;
@@ -267,13 +257,13 @@ void Preprocessor::handleUndef(std::vector<Token> line, SourceLocation loc) {
   rec.kind = MacroRecord::Kind::Undefine;
   rec.name = line[0].text;
   rec.location = line[0].location;
-  rec.text = "#undef " + line[0].text;
+  rec.text = concat({"#undef ", line[0].text});
   macro_records_.push_back(std::move(rec));
   macros_.erase(line[0].text);
 }
 
-void Preprocessor::handleConditional(const std::string& kind,
-                                     std::vector<Token> line, SourceLocation loc) {
+void Preprocessor::handleConditional(std::string_view kind,
+                                     const TokenLine& line, SourceLocation loc) {
   bool value = false;
   if (kind == "ifdef" || kind == "ifndef") {
     if (line.empty()) {
@@ -283,40 +273,30 @@ void Preprocessor::handleConditional(const std::string& kind,
     }
     if (kind == "ifndef") value = !value;
   } else {
-    value = evaluateCondition(std::move(line), loc);
+    value = evaluateCondition(line, loc);
   }
   cond_stack_.push_back({value, value, false});
   if (!value) skipToElseOrEndif(/*allow_else=*/true);
 }
 
 void Preprocessor::skipToElseOrEndif(bool allow_else) {
-  // Consume raw tokens of the dead region, honoring nesting. Runs within
-  // the current file only: conditionals may not straddle file boundaries.
+  // Walk raw tokens of the dead region, honoring nesting. Runs within the
+  // current file only: conditionals may not straddle file boundaries.
   FileState& fs = file_stack_.back();
   int depth = 0;
   while (true) {
-    Token t;
-    if (fs.lookahead) {
-      t = *fs.lookahead;
-      fs.lookahead.reset();
-    } else {
-      t = fs.lexer->next();
-    }
-    if (t.isEnd()) {
-      diags_.error(fs.lexer->currentLocation(), "unterminated conditional block");
+    if (fs.idx >= fs.tokens.size()) {
+      diags_.error(fs.end_loc, "unterminated conditional block");
       cond_stack_.pop_back();
       return;
     }
+    const Token t = fs.tokens[fs.idx++];
     if (!(t.isPunct("#") && t.start_of_line)) continue;
 
-    Token name = fs.lookahead ? *fs.lookahead : fs.lexer->next();
-    fs.lookahead.reset();
-    if (name.isEnd()) continue;
-    if (name.start_of_line) {
-      fs.lookahead = name;
-      continue;
-    }
-    std::vector<Token> line = readDirectiveLine();
+    if (fs.idx >= fs.tokens.size()) continue;  // EOF error on next round
+    if (fs.tokens[fs.idx].start_of_line) continue;  // bare '#'
+    const Token name = fs.tokens[fs.idx++];
+    const TokenLine line = readDirectiveLine();
 
     if (name.text == "if" || name.text == "ifdef" || name.text == "ifndef") {
       ++depth;
@@ -328,8 +308,7 @@ void Preprocessor::skipToElseOrEndif(bool allow_else) {
       --depth;
     } else if (depth == 0 && allow_else && !cond_stack_.back().seen_else) {
       if (name.text == "elif") {
-        if (!cond_stack_.back().taken &&
-            evaluateCondition(std::move(line), name.location)) {
+        if (!cond_stack_.back().taken && evaluateCondition(line, name.location)) {
           cond_stack_.back().taken = true;
           cond_stack_.back().active = true;
           return;  // resume normal processing in this branch
@@ -355,15 +334,15 @@ namespace {
 /// Minimal recursive-descent evaluator over preprocessed integer tokens.
 class CondParser {
  public:
-  CondParser(const std::vector<Token>& toks, DiagnosticEngine& diags,
+  CondParser(const Token* toks, std::size_t count, DiagnosticEngine& diags,
              SourceLocation loc)
-      : toks_(toks), diags_(diags), loc_(loc) {}
+      : toks_(toks), count_(count), diags_(diags), loc_(loc) {}
 
   long long parse() { return parseTernary(); }
   [[nodiscard]] bool failed() const { return failed_; }
 
  private:
-  const Token* peek() const { return i_ < toks_.size() ? &toks_[i_] : nullptr; }
+  const Token* peek() const { return i_ < count_ ? &toks_[i_] : nullptr; }
   bool eatPunct(std::string_view p) {
     if (peek() && peek()->isPunct(p)) {
       ++i_;
@@ -384,7 +363,7 @@ class CondParser {
     }
     if (t->is(TokenKind::IntLiteral)) {
       ++i_;
-      std::string digits = t->text;
+      std::string digits(t->text);
       while (!digits.empty() &&
              (digits.back() == 'l' || digits.back() == 'L' ||
               digits.back() == 'u' || digits.back() == 'U'))
@@ -427,7 +406,7 @@ class CondParser {
       if (!t->is(TokenKind::Punct)) break;
       const int prec = precedence(t->text);
       if (prec < min_prec) break;
-      const std::string op = t->text;
+      const std::string_view op = t->text;  // views stable backing
       ++i_;
       const long long rhs = parseBinary(prec + 1);
       lhs = apply(op, lhs, rhs);
@@ -495,7 +474,8 @@ class CondParser {
     return 0;
   }
 
-  const std::vector<Token>& toks_;
+  const Token* toks_;
+  std::size_t count_;
   DiagnosticEngine& diags_;
   SourceLocation loc_;
   std::size_t i_ = 0;
@@ -504,13 +484,13 @@ class CondParser {
 
 }  // namespace
 
-bool Preprocessor::evaluateCondition(std::vector<Token> line, SourceLocation loc) {
+bool Preprocessor::evaluateCondition(const TokenLine& line, SourceLocation loc) {
   // Resolve `defined X` / `defined(X)` before macro expansion.
   std::vector<Token> resolved;
   resolved.reserve(line.size());
   for (std::size_t i = 0; i < line.size(); ++i) {
     if (line[i].isIdentifier("defined")) {
-      std::string name;
+      std::string_view name;
       if (i + 1 < line.size() && line[i + 1].isPunct("(")) {
         if (i + 3 < line.size() && line[i + 3].isPunct(")")) {
           name = line[i + 2].text;
@@ -524,15 +504,16 @@ bool Preprocessor::evaluateCondition(std::vector<Token> line, SourceLocation loc
       }
       Token t;
       t.kind = TokenKind::IntLiteral;
-      t.text = macros_.contains(name) ? "1" : "0";
+      t.text = macros_.contains(name) ? "1" : "0";  // static backing
       t.location = line[i].location;
-      resolved.push_back(std::move(t));
+      resolved.push_back(t);
     } else {
-      resolved.push_back(std::move(line[i]));
+      resolved.push_back(line[i]);
     }
   }
-  const std::vector<Token> expanded = expandTokenList(resolved, {});
-  CondParser parser(expanded, diags_, loc);
+  const std::vector<Token> expanded =
+      expandTokenList(resolved.data(), resolved.size(), {});
+  CondParser parser(expanded.data(), expanded.size(), diags_, loc);
   const long long value = parser.parse();
   return !parser.failed() && value != 0;
 }
@@ -541,21 +522,20 @@ bool Preprocessor::evaluateCondition(std::vector<Token> line, SourceLocation loc
 // Macro expansion
 // ---------------------------------------------------------------------------
 
-bool Preprocessor::shouldExpand(const Token& tok,
-                                const std::unordered_set<std::string>& active) const {
+bool Preprocessor::shouldExpand(const Token& tok, const ActiveSet& active) const {
   return (tok.is(TokenKind::Identifier)) && !tok.no_expand &&
          macros_.contains(tok.text) && !active.contains(tok.text);
 }
 
 std::optional<std::vector<std::vector<Token>>> Preprocessor::collectArgsFromList(
-    const std::vector<Token>& tokens, std::size_t& index) {
+    const Token* tokens, std::size_t count, std::size_t& index) {
   // tokens[index] must be '('. Returns the comma-separated args, leaving
   // index one past the closing ')'. nullopt on imbalance.
-  assert(index < tokens.size() && tokens[index].isPunct("("));
+  assert(index < count && tokens[index].isPunct("("));
   std::vector<std::vector<Token>> args(1);
   int depth = 1;
   std::size_t i = index + 1;
-  for (; i < tokens.size(); ++i) {
+  for (; i < count; ++i) {
     const Token& t = tokens[i];
     if (t.isPunct("(")) {
       ++depth;
@@ -615,13 +595,13 @@ Preprocessor::collectArgsFromStream() {
       args.emplace_back();
       continue;
     }
-    args.back().push_back(std::move(t));
+    args.back().push_back(t);
   }
 }
 
 std::vector<Token> Preprocessor::expandMacroUse(
     const Macro& macro, const Token& name_tok,
-    std::vector<std::vector<Token>> args, std::unordered_set<std::string> active) {
+    const std::vector<std::vector<Token>>& args, const ActiveSet& active) {
   trace::count(trace::Counter::PpMacroExpansions);
   const auto paramIndex = [&](const Token& t) -> int {
     if (!t.is(TokenKind::Identifier)) return -1;
@@ -634,7 +614,8 @@ std::vector<Token> Preprocessor::expandMacroUse(
   // Pre-expand arguments once (used for plain substitution sites).
   std::vector<std::vector<Token>> expanded_args;
   expanded_args.reserve(args.size());
-  for (const auto& a : args) expanded_args.push_back(expandTokenList(a, active));
+  for (const auto& a : args)
+    expanded_args.push_back(expandTokenList(a.data(), a.size(), active));
 
   // Phase 1: parameter substitution with # and ## handling.
   std::vector<Token> subst;
@@ -643,14 +624,15 @@ std::vector<Token> Preprocessor::expandMacroUse(
     const Token& t = body[i];
     if (t.isPunct("#") && macro.function_like && i + 1 < body.size() &&
         paramIndex(body[i + 1]) >= 0) {
-      // Stringize: raw (unexpanded) argument spelling.
+      // Stringize: raw (unexpanded) argument spelling, arena-backed.
       const int p = paramIndex(body[i + 1]);
       Token s;
       s.kind = TokenKind::StringLiteral;
-      s.text = "\"" + joinTokens(args[static_cast<std::size_t>(p)]) + "\"";
+      s.text = arena_->intern(
+          concat({"\"", joinTokens(args[static_cast<std::size_t>(p)]), "\""}));
       s.location = name_tok.location;
       s.leading_space = t.leading_space;
-      subst.push_back(std::move(s));
+      subst.push_back(s);
       ++i;
       continue;
     }
@@ -664,20 +646,20 @@ std::vector<Token> Preprocessor::expandMacroUse(
                                             : expanded_args[static_cast<std::size_t>(p)];
       for (Token r : replacement) {
         r.location = name_tok.location;
-        subst.push_back(std::move(r));
+        subst.push_back(r);
       }
       if (replacement.empty() && (next_is_paste || prev_was_paste)) {
         Token placemarker;  // empty arg next to ##: vanishes after pasting
         placemarker.kind = TokenKind::Punct;
-        placemarker.text = "";
+        placemarker.text = {};
         placemarker.location = name_tok.location;
-        subst.push_back(std::move(placemarker));
+        subst.push_back(placemarker);
       }
       continue;
     }
     Token copy = t;
     copy.location = name_tok.location;
-    subst.push_back(std::move(copy));
+    subst.push_back(copy);
   }
 
   // Phase 2: token pasting.
@@ -688,9 +670,9 @@ std::vector<Token> Preprocessor::expandMacroUse(
         diags_.error(name_tok.location, "'##' at edge of macro expansion");
         continue;
       }
-      Token rhs = subst[++i];
+      const Token& rhs = subst[++i];
       Token& lhs = pasted.back();
-      lhs.text += rhs.text;
+      lhs.text = arena_->concat(lhs.text, rhs.text);
       if (lhs.text.empty()) {
         pasted.pop_back();
         continue;
@@ -709,15 +691,17 @@ std::vector<Token> Preprocessor::expandMacroUse(
   }
 
   // Phase 3: rescan for further expansion, with this macro painted blue.
-  active.insert(macro.name);
-  return expandTokenList(pasted, active);
+  ActiveSet rescan_active = active;
+  rescan_active.insert(macro.name);
+  return expandTokenList(pasted.data(), pasted.size(), rescan_active);
 }
 
-std::vector<Token> Preprocessor::expandTokenList(
-    const std::vector<Token>& tokens, const std::unordered_set<std::string>& active) {
+std::vector<Token> Preprocessor::expandTokenList(const Token* tokens,
+                                                 std::size_t count,
+                                                 const ActiveSet& active) {
   std::vector<Token> out;
-  out.reserve(tokens.size());
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     const Token& t = tokens[i];
     if (!shouldExpand(t, active)) {
       out.push_back(t);
@@ -735,8 +719,8 @@ std::vector<Token> Preprocessor::expandTokenList(
     }
     // Function-like: expand only if '(' follows within this list.
     std::size_t j = i + 1;
-    if (j < tokens.size() && tokens[j].isPunct("(")) {
-      auto args = collectArgsFromList(tokens, j);
+    if (j < count && tokens[j].isPunct("(")) {
+      auto args = collectArgsFromList(tokens, count, j);
       if (args) {
         if (args->size() != macro.params.size() &&
             !(args->empty() && macro.params.empty())) {
@@ -747,8 +731,7 @@ std::vector<Token> Preprocessor::expandTokenList(
           out.push_back(t);
           continue;
         }
-        const std::vector<Token> exp =
-            expandMacroUse(macro, t, std::move(*args), active);
+        const std::vector<Token> exp = expandMacroUse(macro, t, *args, active);
         out.insert(out.end(), exp.begin(), exp.end());
         i = j - 1;
         continue;
@@ -783,14 +766,15 @@ Token Preprocessor::next() {
     if (t.is(TokenKind::Identifier) && !t.no_expand) {
       if (t.text == "__LINE__") {
         t.kind = TokenKind::IntLiteral;
-        t.text = std::to_string(t.location.line);
+        t.text = arena_->intern(std::to_string(t.location.line));
         return t;
       }
       if (t.text == "__FILE__") {
         t.kind = TokenKind::StringLiteral;
         t.text = sm_.known(t.location.file)
-                     ? "\"" + sm_.name(t.location.file) + "\""
-                     : "\"<unknown>\"";
+                     ? arena_->intern(
+                           concat({"\"", sm_.name(t.location.file), "\""}))
+                     : std::string_view{"\"<unknown>\""};
         return t;
       }
     }
@@ -808,14 +792,14 @@ Token Preprocessor::next() {
                                " arguments, got ", std::to_string(args->size())}));
           return t;
         }
-        std::vector<Token> exp = expandMacroUse(macro, t, std::move(*args), {});
+        std::vector<Token> exp = expandMacroUse(macro, t, *args, {});
         for (auto it = exp.rbegin(); it != exp.rend(); ++it)
-          pending_.push_front(std::move(*it));
+          pending_.push_front(*it);
         continue;
       }
       std::vector<Token> exp = expandMacroUse(macro, t, {}, {});
       for (auto it = exp.rbegin(); it != exp.rend(); ++it)
-        pending_.push_front(std::move(*it));
+        pending_.push_front(*it);
       continue;
     }
     return t;

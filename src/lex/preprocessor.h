@@ -5,12 +5,20 @@
 // preprocessor-level entities in the program database — records every
 // macro definition (PDB "ma" items) and every include edge (the "sinc"
 // attribute and the include tree of paper Figure 2 / pdbtree).
+//
+// Each file is batch-lexed into a token buffer on entry (RawLexer::lexAll);
+// the preprocessor then walks indices instead of pulling tokens one at a
+// time. Token text is string_view (lex/token.h): spellings the
+// preprocessor synthesizes — pasted/stringized text, __LINE__/__FILE__,
+// predefines — are backed by the TokenArena, which must outlive every
+// token this preprocessor hands out (it does, for the owning-arena case,
+// as long as the Preprocessor itself is alive).
 #pragma once
 
 #include <deque>
-#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -18,11 +26,14 @@
 #include "lex/lexer.h"
 #include "lex/token.h"
 #include "support/diagnostics.h"
+#include "support/small_vector.h"
 #include "support/source_manager.h"
+#include "support/token_arena.h"
 
 namespace pdt::lex {
 
-/// A recorded #define/#undef, kept for the PDB MACROS section.
+/// A recorded #define/#undef, kept for the PDB MACROS section. Owns its
+/// strings: records outlive the token streams they were built from.
 struct MacroRecord {
   enum class Kind { Define, Undefine };
   Kind kind = Kind::Define;
@@ -41,7 +52,11 @@ struct IncludeEdge {
 
 class Preprocessor {
  public:
-  Preprocessor(SourceManager& sm, DiagnosticEngine& diags);
+  /// When `arena` is null the preprocessor owns its own TokenArena (the
+  /// normal per-TU setup). Passing an external arena lets callers keep
+  /// synthesized spellings alive beyond the preprocessor (tests, tools).
+  Preprocessor(SourceManager& sm, DiagnosticEngine& diags,
+               TokenArena* arena = nullptr);
   ~Preprocessor();
 
   Preprocessor(const Preprocessor&) = delete;
@@ -65,63 +80,77 @@ class Preprocessor {
   /// Files in the order they were first entered (main file first).
   [[nodiscard]] const std::vector<FileId>& filesSeen() const { return files_seen_; }
 
+  /// Arena backing synthesized spellings (for the lex.arena_bytes counter).
+  [[nodiscard]] const TokenArena& arena() const { return *arena_; }
+
  private:
+  /// Identifiers suppressed from expansion (the "blue paint" set during
+  /// rescans). Keys view Macro::name, which is stably backed by file
+  /// content or the arena — stable even if the macro is #undef'd
+  /// mid-expansion, since arena/file bytes are never freed within the TU.
+  using ActiveSet = std::unordered_set<std::string_view>;
+
+  /// One directive line; inline storage covers nearly all real lines.
+  using TokenLine = SmallVector<Token, 16>;
+
   struct Macro {
-    std::string name;
+    std::string_view name;  // stably backed (file content or arena)
     bool function_like = false;
-    std::vector<std::string> params;
+    std::vector<std::string_view> params;
     std::vector<Token> body;
     SourceLocation location;
   };
 
   struct FileState {
-    std::unique_ptr<RawLexer> lexer;
     FileId file;
-    std::optional<Token> lookahead;
+    std::vector<Token> tokens;  // whole file, batch-lexed on entry
+    std::size_t idx = 0;
+    SourceLocation end_loc;     // location at EOF, for diagnostics
     int cond_depth_at_entry = 0;
   };
 
   // -- raw token plumbing ----------------------------------------------
+  void pushFile(FileId file);  // batch-lex `file` and enter it
   Token rawNext();             // next raw token from the file stack
-  Token rawPeek();             // one-token lookahead within current file
   void popFile();
 
   // -- directives -------------------------------------------------------
   void handleDirective(const Token& hash);
-  std::vector<Token> readDirectiveLine();  // tokens to end of logical line
-  void handleInclude(std::vector<Token> line, SourceLocation loc);
-  void handleDefine(std::vector<Token> line, SourceLocation loc);
-  void handleUndef(std::vector<Token> line, SourceLocation loc);
-  void handleConditional(const std::string& kind, std::vector<Token> line,
+  TokenLine readDirectiveLine();  // tokens to end of logical line
+  void handleInclude(const TokenLine& line, SourceLocation loc);
+  void handleDefine(const TokenLine& line, SourceLocation loc);
+  void handleUndef(const TokenLine& line, SourceLocation loc);
+  void handleConditional(std::string_view kind, const TokenLine& line,
                          SourceLocation loc);
   void skipToElseOrEndif(bool allow_else);
-  [[nodiscard]] bool evaluateCondition(std::vector<Token> line,
+  [[nodiscard]] bool evaluateCondition(const TokenLine& line,
                                        SourceLocation loc);
 
   // -- macro expansion ---------------------------------------------------
   /// True if `tok` names a macro eligible for expansion given the active set.
-  bool shouldExpand(const Token& tok,
-                    const std::unordered_set<std::string>& active) const;
-  /// Expands one macro use; for function-like macros, `readArgToken` yields
-  /// the tokens following the name. Returns the fully expanded tokens.
+  bool shouldExpand(const Token& tok, const ActiveSet& active) const;
+  /// Expands one macro use (args empty for object-like macros). Returns
+  /// the fully expanded tokens.
   std::vector<Token> expandMacroUse(const Macro& macro, const Token& name_tok,
-                                    std::vector<std::vector<Token>> args,
-                                    std::unordered_set<std::string> active);
-  std::vector<Token> expandTokenList(const std::vector<Token>& tokens,
-                                     const std::unordered_set<std::string>& active);
+                                    const std::vector<std::vector<Token>>& args,
+                                    const ActiveSet& active);
+  std::vector<Token> expandTokenList(const Token* tokens, std::size_t count,
+                                     const ActiveSet& active);
   /// Collects ( arg, arg, ... ) for a function-like macro from the raw
   /// stream; returns nullopt if no '(' follows (name is then not a use).
   std::optional<std::vector<std::vector<Token>>> collectArgsFromStream();
   static std::optional<std::vector<std::vector<Token>>> collectArgsFromList(
-      const std::vector<Token>& tokens, std::size_t& index);
+      const Token* tokens, std::size_t count, std::size_t& index);
 
   SourceManager& sm_;
   DiagnosticEngine& diags_;
+  TokenArena owned_arena_;
+  TokenArena* arena_;  // == &owned_arena_ unless an external one was given
 
   std::vector<FileState> file_stack_;
   std::deque<Token> pending_;  // expansion output awaiting delivery
 
-  std::unordered_map<std::string, Macro> macros_;
+  std::unordered_map<std::string_view, Macro> macros_;
   std::vector<MacroRecord> macro_records_;
   std::vector<IncludeEdge> include_edges_;
   std::vector<FileId> files_seen_;

@@ -1,13 +1,28 @@
 // Token definitions for the PDT-C++ frontend.
 //
-// Tokens own their spelling (macro expansion synthesizes text that exists
-// in no file) and carry the location of the characters they were lexed
-// from — for expanded tokens, the location of the macro use, so that PDB
-// positions always refer to what the programmer wrote (paper §3.1).
+// Token text is a std::string_view over stable backing storage, so tokens
+// are plain 40-byte values that copy without allocating:
+//
+//  * Directly lexed tokens view the SourceManager's file content, which is
+//    never moved or freed while the translation unit is alive (the file
+//    table is a deque of immutable entries).
+//  * Spellings synthesized by the preprocessor — pasted/stringized text,
+//    __LINE__/__FILE__, -D predefines, splice-cleaned identifiers — are
+//    copied into the per-TU TokenArena (support/token_arena.h), whose
+//    chunks never move either.
+//
+// Lifetime rule for consumers: a token (and any string_view taken from
+// token text) is valid while the SourceManager and the originating
+// TokenArena are alive — for the frontend, the whole compile of the TU.
+// Anything that outlives the TU (AST decl names, PDB items, diagnostics)
+// copies into owned storage at the boundary.
+//
+// Tokens carry the location of the characters they were lexed from — for
+// expanded tokens, the location of the macro use, so that PDB positions
+// always refer to what the programmer wrote (paper §3.1).
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <string_view>
 
 #include "support/source_location.h"
@@ -30,11 +45,11 @@ enum class TokenKind : std::uint8_t {
 
 struct Token {
   TokenKind kind = TokenKind::End;
-  std::string text;          // exact spelling
-  SourceLocation location;
   bool start_of_line = false;   // first token on its line (pre-expansion)
   bool leading_space = false;   // preceded by whitespace
   bool no_expand = false;       // "blue paint": never macro-expand again
+  std::string_view text;        // exact spelling (see backing rules above)
+  SourceLocation location;
 
   [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
   [[nodiscard]] bool isIdentifier(std::string_view s) const {
@@ -56,7 +71,8 @@ struct Token {
   }
 };
 
-/// True for spellings that are PDT-C++ keywords.
+/// True for spellings that are PDT-C++ keywords (sorted-table lookup
+/// indexed by first letter; no hashing, no allocation).
 [[nodiscard]] bool isKeywordSpelling(std::string_view spelling);
 
 }  // namespace pdt::lex

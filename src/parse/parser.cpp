@@ -4,6 +4,8 @@
 
 #include <cassert>
 
+#include "support/text.h"
+
 namespace pdt::parse {
 
 using namespace ast;
@@ -45,7 +47,7 @@ bool Parser::consumeKeyword(std::string_view k) {
 
 bool Parser::expectPunct(std::string_view p) {
   if (consumePunct(p)) return true;
-  error("expected '" + std::string(p) + "' before '" + cur().text + "'");
+  error(concat({"expected '", p, "' before '", cur().text, "'"}));
   return false;
 }
 
@@ -112,7 +114,7 @@ void Parser::parseTranslationUnit() {
     const std::size_t before = pos_;
     parseTopLevel();
     if (pos_ == before) {
-      error("unexpected token '" + cur().text + "' at file scope");
+      error(concat({"unexpected token '", cur().text, "' at file scope"}));
       advance();
     }
   }
@@ -156,7 +158,7 @@ void Parser::parseNamespace() {
     skipToRecovery();
     return;
   }
-  const std::string name = cur().text;
+  const std::string name(cur().text);
   const SourceLocation name_loc = loc();
   advance();
 
@@ -168,7 +170,7 @@ void Parser::parseNamespace() {
     NamespaceDecl* target = nullptr;
     DeclContext* search = nullptr;
     while (cur().is(TokenKind::Identifier)) {
-      const std::string seg = cur().text;
+      const std::string seg(cur().text);
       advance();
       std::vector<Decl*> found = search == nullptr
                                      ? sema_.lookupUnqualified(seg)
@@ -225,7 +227,7 @@ void Parser::parseUsing() {
     NamespaceDecl* target = nullptr;
     DeclContext* search = nullptr;
     while (cur().is(TokenKind::Identifier)) {
-      const std::string seg = cur().text;
+      const std::string seg(cur().text);
       advance();
       std::vector<Decl*> found = search == nullptr
                                      ? sema_.lookupUnqualified(seg)
@@ -253,6 +255,26 @@ void Parser::parseUsing() {
       sema_.declare(ud);
       sema_.currentScope()->addUsingNamespace(target);
     }
+    expectPunct(";");
+    return;
+  }
+  // using N = type; — an alias declaration behaves like a typedef.
+  if (cur().is(TokenKind::Identifier) && peek().isPunct("=")) {
+    const std::string name(cur().text);
+    const SourceLocation name_loc = loc();
+    advance();
+    advance();  // =
+    const Type* underlying = parseTypeName();
+    if (underlying == nullptr) {
+      error(concat({"cannot resolve type in alias '", name, "'"}));
+      skipToRecovery();
+      return;
+    }
+    auto* td = ctx_.create<TypedefDecl>();
+    td->setName(name);
+    td->setLocation(name_loc);
+    td->underlying = underlying;
+    sema_.declare(td);
     expectPunct(";");
     return;
   }
@@ -451,7 +473,7 @@ const Type* Parser::parseNamedType() {
 
   while (true) {
     if (!cur().is(TokenKind::Identifier)) return nullptr;
-    const std::string name = cur().text;
+    const std::string name(cur().text);
     const SourceLocation name_loc = loc();
     advance();
 
@@ -464,7 +486,8 @@ const Type* Parser::parseNamedType() {
     TemplateDecl* as_template = nullptr;
     for (Decl* d : found) {
       if (auto* td = d->as<TemplateDecl>()) {
-        if (td->tkind == TemplateKind::Class) {
+        if (td->tkind == TemplateKind::Class ||
+            td->tkind == TemplateKind::Alias) {
           as_template = td;
           break;
         }
@@ -478,7 +501,16 @@ const Type* Parser::parseNamedType() {
       if (!args) return nullptr;
       bool dependent = false;
       for (const Type* a : *args) dependent = dependent || a->isDependent();
-      if (dependent) {
+      if (as_template->tkind == TemplateKind::Alias) {
+        // Alias templates never instantiate a decl: substitute the
+        // arguments into the pattern's underlying type.
+        const auto* pattern = as_template->pattern->as<TypedefDecl>();
+        if (dependent) {
+          segment_type = ctx_.templateSpecType(as_template, *args);
+        } else {
+          segment_type = sema_.substituteType(pattern->underlying, *args);
+        }
+      } else if (dependent) {
         segment_type = ctx_.templateSpecType(as_template, *args);
       } else {
         ClassDecl* inst =
@@ -487,7 +519,8 @@ const Type* Parser::parseNamedType() {
         segment_type = ctx_.classType(inst);
         segment_decl = inst;
       }
-    } else if (as_template != nullptr && inTemplate()) {
+    } else if (as_template != nullptr &&
+               as_template->tkind == TemplateKind::Class && inTemplate()) {
       // Injected class name inside the template's own pattern.
       std::vector<const Type*> own;
       own.reserve(as_template->params.size());
@@ -717,7 +750,7 @@ std::vector<ParamDecl*> Parser::parseParamList(bool& has_ellipsis) {
       advance();  // (
       advance();  // *
       if (cur().is(TokenKind::Identifier)) {
-        param->setName(cur().text);
+        param->setName(std::string(cur().text));
         param->setLocation(loc());
         advance();
       }
@@ -733,7 +766,7 @@ std::vector<ParamDecl*> Parser::parseParamList(bool& has_ellipsis) {
             ctx_.functionType(type, std::move(ptypes), false, inner_ellipsis, {}));
       }
     } else if (cur().is(TokenKind::Identifier)) {
-      param->setName(cur().text);
+      param->setName(std::string(cur().text));
       param->setLocation(loc());
       advance();
     }
@@ -766,7 +799,7 @@ Parser::Declarator Parser::parseDeclarator(const Type* base, bool allow_abstract
   if (cur().isPunct("~") && peek().is(TokenKind::Identifier)) {
     advance();
     d.is_dtor = true;
-    d.name = "~" + cur().text;
+    d.name = concat({"~", cur().text});
     d.name_loc = loc();
     advance();
   } else if (cur().isKeyword("operator")) {
@@ -782,10 +815,10 @@ Parser::Declarator Parser::parseDeclarator(const Type* base, bool allow_abstract
       advance();
       advance();
     } else if (cur().is(TokenKind::Punct)) {
-      d.name = "operator" + cur().text;
+      d.name = concat({"operator", cur().text});
       advance();
     } else if (cur().isKeyword("new") || cur().isKeyword("delete")) {
-      d.name = "operator " + cur().text;
+      d.name = concat({"operator ", cur().text});
       advance();
       if (cur().isPunct("[") && peek().isPunct("]")) {
         d.name += "[]";
@@ -803,7 +836,7 @@ Parser::Declarator Parser::parseDeclarator(const Type* base, bool allow_abstract
   } else if (cur().is(TokenKind::Identifier)) {
     // Possibly qualified: A::B<int>::name.
     while (true) {
-      const std::string seg = cur().text;
+      const std::string seg(cur().text);
       const SourceLocation seg_loc = loc();
       // Look ahead: is this segment followed by (template-args)? '::'?
       std::size_t after = pos_ + 1;
@@ -896,7 +929,7 @@ Parser::Declarator Parser::parseDeclarator(const Type* base, bool allow_abstract
         if (cur().isPunct("~")) {
           advance();
           d.is_dtor = true;
-          d.name = "~" + cur().text;
+          d.name = concat({"~", cur().text});
           d.name_loc = loc();
           advance();
           break;
@@ -969,7 +1002,7 @@ Parser::Declarator Parser::parseDeclarator(const Type* base, bool allow_abstract
     advance();
     std::int64_t size = -1;
     if (cur().is(TokenKind::IntLiteral)) {
-      size = std::stoll(cur().text, nullptr, 0);
+      size = std::stoll(std::string(cur().text), nullptr, 0);
       advance();
     } else {
       while (!cur().isEnd() && !cur().isPunct("]")) advance();
@@ -1071,7 +1104,7 @@ void Parser::parseDeclarationOrDefinition(bool in_class, AccessKind access) {
                                cur().isKeyword("operator");
     if (!maybe_special) {
       if (pos_ == start) {
-        error("expected declaration, found '" + cur().text + "'");
+error(concat({"expected declaration, found '", cur().text, "'"}));
         advance();
         skipToRecovery();
       }
@@ -1496,7 +1529,7 @@ void Parser::parseClass(const DeclSpecs& specs, TemplateDecl* enclosing_template
   // a plain semicolon or a named variable.
   if (cur().is(TokenKind::Identifier)) {
     auto* var = ctx_.create<VarDecl>();
-    var->setName(cur().text);
+var->setName(std::string(cur().text));
     var->setLocation(loc());
     var->type = ctx_.classType(cls);
     advance();
@@ -1585,7 +1618,7 @@ void Parser::parseClassBody(ClassDecl* cls) {
     const std::size_t before = pos_;
     parseDeclarationOrDefinition(/*in_class=*/true, access);
     if (pos_ == before) {
-      error("unexpected token '" + cur().text + "' in class body");
+error(concat({"unexpected token '", cur().text, "' in class body"}));
       advance();
     }
   }
@@ -1712,7 +1745,7 @@ void Parser::parseEnum(bool in_class, AccessKind access) {
   auto* en = ctx_.create<EnumDecl>();
   en->setAccess(in_class ? access : AccessKind::None);
   if (cur().is(TokenKind::Identifier)) {
-    en->setName(cur().text);
+en->setName(std::string(cur().text));
     en->setLocation(loc());
     advance();
   } else {
@@ -1731,7 +1764,7 @@ void Parser::parseEnum(bool in_class, AccessKind access) {
       return;
     }
     auto* e = ctx_.create<EnumeratorDecl>();
-    e->setName(cur().text);
+e->setName(std::string(cur().text));
     e->setLocation(loc());
     advance();
     if (consumePunct("=")) {
@@ -1740,7 +1773,7 @@ void Parser::parseEnum(bool in_class, AccessKind access) {
       bool neg = false;
       if (consumePunct("-")) neg = true;
       if (cur().is(TokenKind::IntLiteral)) {
-        next_value = std::stoll(cur().text, nullptr, 0);
+        next_value = std::stoll(std::string(cur().text), nullptr, 0);
         if (neg) next_value = -next_value;
         advance();
       } else {
@@ -1794,7 +1827,7 @@ std::vector<TemplateParamDecl*> Parser::parseTemplateParams() {
       advance();
       p->param_kind = TemplateParamDecl::Kind::Type;
       if (cur().is(TokenKind::Identifier)) {
-        p->setName(cur().text);
+p->setName(std::string(cur().text));
         p->setLocation(loc());
         advance();
       }
@@ -1806,7 +1839,7 @@ std::vector<TemplateParamDecl*> Parser::parseTemplateParams() {
       p->param_kind = TemplateParamDecl::Kind::NonType;
       p->type = parseTypeName();
       if (cur().is(TokenKind::Identifier)) {
-        p->setName(cur().text);
+p->setName(std::string(cur().text));
         p->setLocation(loc());
         advance();
       }
@@ -1852,6 +1885,42 @@ void Parser::parseTemplateEntity(std::vector<TemplateParamDecl*> params,
                                  std::size_t template_index) {
   const std::size_t entity_start = template_index;
 
+  if (cur().isKeyword("using")) {
+    // Alias template: template <class T> using Ptr = T*;
+    advance();
+    if (!cur().is(TokenKind::Identifier) || !peek().isPunct("=")) {
+      error("expected 'name =' after 'using' in alias template");
+      skipToRecovery();
+      return;
+    }
+    const std::string name(cur().text);
+    const SourceLocation name_loc = loc();
+    advance();
+    advance();  // =
+    const Type* underlying = parseTypeName();
+    if (underlying == nullptr) {
+      error(concat({"cannot resolve type in alias template '", name, "'"}));
+      skipToRecovery();
+      return;
+    }
+    auto* pattern = ctx_.create<TypedefDecl>();
+    pattern->setName(name);
+    pattern->setLocation(name_loc);
+    pattern->underlying = underlying;
+    auto* td = ctx_.create<TemplateDecl>();
+    td->tkind = TemplateKind::Alias;
+    td->setName(name);
+    td->setLocation(name_loc);
+    td->params = std::move(params);
+    td->pattern = pattern;
+    pattern->describing_template = td;
+    sema_.declareInEnclosing(td);
+    expectPunct(";");
+    td->text = captureText(entity_start, pos_);
+    td->setHeaderExtent({template_loc, name_loc});
+    return;
+  }
+
   if (cur().isKeyword("class") || cur().isKeyword("struct") ||
       cur().isKeyword("union")) {
     const Token& nm = peek();
@@ -1861,7 +1930,7 @@ void Parser::parseTemplateEntity(std::vector<TemplateParamDecl*> params,
       // Class template (or forward declaration of one).
       if (after.isPunct(";")) {
         // Forward declaration: create/find the template, no pattern yet.
-        const std::string name = nm.text;
+        const std::string name(nm.text);
         bool exists = false;
         for (Decl* d : sema_.lookupUnqualified(name)) {
           if (d->as<TemplateDecl>() != nullptr) exists = true;
@@ -1892,7 +1961,7 @@ void Parser::parseTemplateEntity(std::vector<TemplateParamDecl*> params,
       if (td == nullptr) {
         td = ctx_.create<TemplateDecl>();
         td->tkind = TemplateKind::Class;
-        td->setName(nm.text);
+        td->setName(std::string(nm.text));
         td->setLocation(nm.location);
         sema_.declareInEnclosing(td);
       }
@@ -2077,7 +2146,7 @@ void Parser::parseExplicitSpecialization(SourceLocation template_loc) {
     skipToRecovery();
     return;
   }
-  const std::string name = cur().text;
+  const std::string name(cur().text);
   const SourceLocation name_loc = loc();
   advance();
   std::vector<const Type*> args;

@@ -3,6 +3,8 @@
 // object lifetimes (paper §3.1).
 #include "parse/parser.h"
 
+#include "support/text.h"
+
 namespace pdt::parse {
 
 using namespace ast;
@@ -48,7 +50,7 @@ CompoundStmt* Parser::parseCompound() {
     Stmt* s = parseStmt();
     if (s != nullptr) block->body.push_back(s);
     if (pos_ == before) {
-      error("unexpected token '" + cur().text + "' in block");
+      error(concat({"unexpected token '", cur().text, "' in block"}));
       advance();
     }
   }
@@ -197,7 +199,7 @@ Stmt* Parser::parseStmt() {
         handler.exception_type = parseTypeName();
         if (cur().is(TokenKind::Identifier)) {
           auto* var = ctx_.create<VarDecl>();
-          var->setName(cur().text);
+          var->setName(std::string(cur().text));
           var->setLocation(loc());
           var->type = handler.exception_type;
           handler.var = var;
@@ -271,7 +273,7 @@ Stmt* Parser::parseDeclStmtOrExprStmt() {
       break;
     }
     auto* var = ctx_.create<VarDecl>();
-    var->setName(cur().text);
+    var->setName(std::string(cur().text));
     var->setLocation(loc());
     var->storage = specs.storage;
     advance();
@@ -280,7 +282,7 @@ Stmt* Parser::parseDeclStmtOrExprStmt() {
       advance();
       std::int64_t size = -1;
       if (cur().is(TokenKind::IntLiteral)) {
-        size = std::stoll(cur().text, nullptr, 0);
+        size = std::stoll(std::string(cur().text), nullptr, 0);
         advance();
       } else {
         while (!cur().isEnd() && !cur().isPunct("]")) advance();
@@ -505,13 +507,13 @@ Expr* Parser::parsePostfix() {
       member->is_arrow = arrow;
       if (cur().isPunct("~")) {  // explicit destructor call
         advance();
-        member->member = "~" + cur().text;
+        member->member = concat({"~", cur().text});
         advance();
       } else if (cur().is(TokenKind::Identifier) ||
                  cur().isKeyword("operator")) {
         if (cur().isKeyword("operator")) {
           advance();
-          member->member = "operator" + cur().text;
+          member->member = concat({"operator", cur().text});
           advance();
         } else {
           member->member = cur().text;
@@ -547,7 +549,7 @@ Expr* Parser::parsePrimary() {
   if (t.is(TokenKind::IntLiteral)) {
     auto* e = ctx_.create<IntLitExpr>();
     e->spelling = t.text;
-    std::string digits = t.text;
+    std::string digits(t.text);
     while (!digits.empty() && std::isalpha(static_cast<unsigned char>(digits.back())))
       digits.pop_back();
     e->value = digits.empty() ? 0 : std::stoll(digits, nullptr, 0);
@@ -558,7 +560,7 @@ Expr* Parser::parsePrimary() {
   if (t.is(TokenKind::FloatLiteral)) {
     auto* e = ctx_.create<FloatLitExpr>();
     e->spelling = t.text;
-    std::string digits = t.text;
+    std::string digits(t.text);
     while (!digits.empty() && std::isalpha(static_cast<unsigned char>(digits.back())) &&
            digits.back() != 'e' && digits.back() != 'E')
       digits.pop_back();
@@ -700,7 +702,7 @@ Expr* Parser::parsePrimary() {
           if (cur().isKeyword("operator")) {
             auto* ref = ctx_.create<DeclRefExpr>();
             advance();
-            ref->name = "operator" + cur().text;
+            ref->name = concat({"operator", cur().text});
             advance();
             ref->qualifier_ns = qualifier_ns;
             ref->qualifier_type = qualifier_type;
@@ -712,7 +714,7 @@ Expr* Parser::parsePrimary() {
           ref->setExtent({begin, begin});
           return ref;
         }
-        const std::string name = cur().text;
+        const std::string name(cur().text);
         const SourceLocation name_loc = loc();
         advance();
 
@@ -810,7 +812,7 @@ Expr* Parser::parsePrimary() {
     }();
   }
 
-  error("expected expression, found '" + t.text + "'");
+  error(concat({"expected expression, found '", t.text, "'"}));
   advance();
   auto* e = ctx_.create<IntLitExpr>();
   e->setExtent({begin, begin});

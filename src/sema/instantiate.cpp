@@ -363,8 +363,15 @@ const ast::Type* Sema::substituteType(const ast::Type* type,
         new_args.push_back(s);
       }
       if (still_dependent) return ctx_.templateSpecType(ts->primary(), new_args);
-      // Fully concrete: nested instantiation (e.g. Stack<vector<int>>).
       auto* primary = const_cast<TemplateDecl*>(ts->primary());
+      if (primary->tkind == TemplateKind::Alias) {
+        // Alias templates resolve by substituting into the pattern's
+        // underlying type; they never instantiate a decl.
+        if (const auto* pattern = primary->pattern->as<TypedefDecl>())
+          return substituteType(pattern->underlying, new_args);
+        return type;
+      }
+      // Fully concrete: nested instantiation (e.g. Stack<vector<int>>).
       ClassDecl* inst = instantiateClassTemplate(primary, new_args, {});
       if (inst == nullptr) return type;
       return ctx_.classType(inst);

@@ -145,8 +145,10 @@ bool Sema::isTypeName(std::string_view name) const {
       case ast::DeclKind::TemplateParam:
         return d->as<ast::TemplateParamDecl>()->param_kind ==
                ast::TemplateParamDecl::Kind::Type;
-      case ast::DeclKind::Template:
-        return d->as<ast::TemplateDecl>()->tkind == ast::TemplateKind::Class;
+      case ast::DeclKind::Template: {
+        const auto k = d->as<ast::TemplateDecl>()->tkind;
+        return k == ast::TemplateKind::Class || k == ast::TemplateKind::Alias;
+      }
       default:
         break;
     }

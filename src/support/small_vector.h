@@ -1,0 +1,166 @@
+// SmallVector: a vector with inline storage for the first N elements.
+//
+// The frontend assembles many short, short-lived token sequences —
+// directive lines, macro argument lists, parser lookahead — whose typical
+// length is a handful of tokens. A std::vector pays a heap allocation for
+// each; SmallVector keeps the common case entirely on the stack and only
+// spills to the heap past N elements (the nesfab parser's small-buffer
+// idiom). Deliberately minimal: just the operations the frontend needs,
+// with the same iterator/value semantics as std::vector for those.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace pdt {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { appendAll(other); }
+
+  SmallVector(SmallVector&& other) noexcept { moveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    appendAll(other);
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    destroyAll();
+    if (!isInline()) ::operator delete(data_);
+    data_ = inlinePtr();
+    size_ = 0;
+    cap_ = N;
+    moveFrom(std::move(other));
+    return *this;
+  }
+
+  ~SmallVector() {
+    destroyAll();
+    if (!isInline()) ::operator delete(data_);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    destroyAll();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* inlinePtr() { return reinterpret_cast<T*>(inline_); }
+  const T* inlinePtr() const { return reinterpret_cast<const T*>(inline_); }
+  [[nodiscard]] bool isInline() const { return data_ == inlinePtr(); }
+
+  void grow(std::size_t min_cap) {
+    std::size_t new_cap = cap_ * 2;
+    if (new_cap < min_cap) new_cap = min_cap;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!isInline()) ::operator delete(data_);
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void destroyAll() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+
+  void appendAll(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) emplace_back(other.data_[i]);
+  }
+
+  void moveFrom(SmallVector&& other) noexcept {
+    if (other.isInline()) {
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i)
+        emplace_back(std::move(other.data_[i]));
+      other.clear();
+    } else {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = other.inlinePtr();
+      other.size_ = 0;
+      other.cap_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inlinePtr();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace pdt

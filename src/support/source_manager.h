@@ -3,6 +3,7 @@
 // benchmarks can run without touching the filesystem.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -62,7 +63,12 @@ class SourceManager {
   FileId registerFile(std::string name, std::string content);
   [[nodiscard]] const File& get(FileId id) const;
 
-  std::vector<File> files_;
+  // A deque, not a vector: registering file N must never move files 0..N-1.
+  // Token text is a string_view into file content (lex/token.h), so the
+  // content strings — including the inline buffers of short (SSO) contents —
+  // have to stay put as the table grows mid-TU (#include loads new files
+  // while earlier files' tokens are already live downstream).
+  std::deque<File> files_;
   std::unordered_map<std::string, FileId> by_name_;
   std::vector<std::string> search_dirs_;
 };

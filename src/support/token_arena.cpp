@@ -1,0 +1,38 @@
+#include "support/token_arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pdt {
+
+char* TokenArena::allocate(std::size_t n) {
+  if (chunks_.empty() || used_ + n > chunks_.back().capacity) {
+    Chunk c;
+    c.capacity = std::max(kChunkSize, n);
+    c.data = std::make_unique<char[]>(c.capacity);
+    chunks_.push_back(std::move(c));
+    used_ = 0;
+  }
+  char* out = chunks_.back().data.get() + used_;
+  used_ += n;
+  total_used_ += n;
+  return out;
+}
+
+std::string_view TokenArena::intern(std::string_view text) {
+  if (text.empty()) return {};
+  char* out = allocate(text.size());
+  std::memcpy(out, text.data(), text.size());
+  return {out, text.size()};
+}
+
+std::string_view TokenArena::concat(std::string_view a, std::string_view b) {
+  if (a.empty()) return intern(b);
+  if (b.empty()) return intern(a);
+  char* out = allocate(a.size() + b.size());
+  std::memcpy(out, a.data(), a.size());
+  std::memcpy(out + a.size(), b.data(), b.size());
+  return {out, a.size() + b.size()};
+}
+
+}  // namespace pdt

@@ -1,0 +1,59 @@
+// TokenArena: bump allocator backing synthesized token spellings.
+//
+// Token text is a std::string_view end-to-end (lex/token.h). Directly
+// lexed tokens view the SourceManager's file contents, which live for the
+// whole translation unit. Spellings that exist in no file — macro
+// expansions that paste or stringize, __LINE__/__FILE__, -D predefines,
+// splice-cleaned identifiers — need equally stable backing, which this
+// arena provides: chunks are never freed or reallocated while the arena
+// lives, so a view handed out by intern()/concat() stays valid even as
+// the arena grows (the PR-4 UAF class cannot recur). One arena per TU;
+// the Preprocessor owns (or borrows) it and every synthesized spelling
+// routes through it, making per-token heap allocation zero on the lexing
+// hot path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace pdt {
+
+class TokenArena {
+ public:
+  TokenArena() = default;
+
+  // Moving transfers chunk ownership; views into the source arena remain
+  // valid because the chunks themselves do not move.
+  TokenArena(TokenArena&&) noexcept = default;
+  TokenArena& operator=(TokenArena&&) noexcept = default;
+  TokenArena(const TokenArena&) = delete;
+  TokenArena& operator=(const TokenArena&) = delete;
+
+  /// Copies `text` into the arena; the returned view lives as long as the
+  /// arena does.
+  std::string_view intern(std::string_view text);
+
+  /// Arena-backed `a + b` in one allocation (token pasting).
+  std::string_view concat(std::string_view a, std::string_view b);
+
+  /// Total bytes handed out (the lex.arena_bytes counter).
+  [[nodiscard]] std::size_t bytesUsed() const { return total_used_; }
+  [[nodiscard]] std::size_t chunkCount() const { return chunks_.size(); }
+
+ private:
+  char* allocate(std::size_t n);
+
+  static constexpr std::size_t kChunkSize = 64 * 1024;
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t used_ = 0;  // bytes consumed in the current (last) chunk
+  std::size_t total_used_ = 0;
+};
+
+}  // namespace pdt

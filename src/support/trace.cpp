@@ -20,6 +20,7 @@ constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
 
 constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "lex.tokens",
+    "lex.arena_bytes",
     "pp.includes",
     "pp.macro_expansions",
     "sema.class_instantiations",

@@ -43,6 +43,7 @@ namespace pdt::trace {
 /// docs/OBSERVABILITY.md.
 enum class Counter : std::size_t {
   LexTokens,             // lex.tokens — tokens delivered to the parser
+  LexArenaBytes,         // lex.arena_bytes — TokenArena bytes backing synthesized spellings
   PpIncludes,            // pp.includes — #include directives entered
   PpMacroExpansions,     // pp.macro_expansions — macro uses expanded
   SemaClassInstantiations,  // sema.class_instantiations — new Class<args>

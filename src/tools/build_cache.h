@@ -40,7 +40,7 @@ namespace pdt::tools {
 
 /// Bumped whenever the PDB serialization or the key derivation changes;
 /// entries written by other versions simply never match.
-inline constexpr std::string_view kCacheFormatVersion = "pdt-cache-4";
+inline constexpr std::string_view kCacheFormatVersion = "pdt-cache-5";
 
 struct CacheOptions {
   std::string dir;            // empty = caching disabled

@@ -204,6 +204,19 @@ TEST(Ductape, WriteReadRoundTrip) {
   EXPECT_NE(ss.str().find("Stack<int>"), std::string::npos);
 }
 
+TEST(Ductape, AliasTemplateKindIsExposed) {
+  PDB pdb = compileToPdb("alias.cpp", R"(
+template <class T> using Handle = T*;
+Handle<int> h;
+)");
+  const pdbTemplate* alias = nullptr;
+  for (const pdbTemplate* t : pdb.getTemplateVec()) {
+    if (t->name() == "Handle") alias = t;
+  }
+  ASSERT_NE(alias, nullptr);
+  EXPECT_EQ(alias->kind(), pdbItem::TE_ALIAS);
+}
+
 TEST(Ductape, ReadMissingFileReportsError) {
   PDB pdb = PDB::read("/nonexistent/never.pdb");
   EXPECT_FALSE(pdb.valid());

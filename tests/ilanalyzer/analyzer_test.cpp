@@ -379,6 +379,29 @@ public:
   EXPECT_EQ(engine->name, "Engine");
 }
 
+TEST(Analyzer, AliasTemplateEmittedWithAliasKind) {
+  Analyzed a(R"(
+template <class T> using Ptr = T*;
+Ptr<int> p;
+)");
+  ASSERT_TRUE(a.result.success) << a.diagText();
+  const auto* te = a.templ("Ptr");
+  ASSERT_NE(te, nullptr);
+  EXPECT_EQ(te->kind, "alias");
+  EXPECT_NE(te->text.find("using Ptr ="), std::string::npos);
+
+  // The alias survives a write -> parse round trip with its kind intact.
+  const std::string text = pdb::writeToString(a.pdb);
+  pdb::ReadResult parsed = pdb::readFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+  const pdb::TemplateItem* reread = nullptr;
+  for (const auto& t : parsed.pdb.templates()) {
+    if (t.name == "Ptr") reread = &t;
+  }
+  ASSERT_NE(reread, nullptr);
+  EXPECT_EQ(reread->kind, "alias");
+}
+
 TEST(Analyzer, WriteParseAnalyzeRoundTrip) {
   Analyzed a(R"(
 template <class T> class Box { public: T v; void set(const T& x) { v = x; } };

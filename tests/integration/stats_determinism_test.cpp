@@ -54,6 +54,8 @@ double useStencil() {
     writeTU("tu_mixed.cpp", R"cpp(
 #include "Array.h"
 #include "BLAS1.h"
+#define PDT_TAG(x) #x
+const char* kMixedTag = PDT_TAG(mixed workload);
 double useMixed() {
   Array<double> a(4);
   Array<float> c(4);
@@ -107,6 +109,10 @@ TEST_F(StatsDeterminismTest, CountersIdenticalAcrossJobCounts) {
   // And they actually measured the compile: the workload lexes tokens,
   // enters includes, and instantiates templates.
   EXPECT_GT(j1_block.get(trace::Counter::LexTokens), 0u);
+  // The workload's macros synthesize spellings, so the arena is in use —
+  // and being inside the serialized block, its byte count is covered by
+  // the j1 == j4 and warm == cold equalities above/below.
+  EXPECT_GT(j1_block.get(trace::Counter::LexArenaBytes), 0u);
   EXPECT_GT(j1_block.get(trace::Counter::PpIncludes), 0u);
   EXPECT_GT(j1_block.get(trace::Counter::SemaClassInstantiations), 0u);
   EXPECT_GT(j1_block.get(trace::Counter::SemaBodiesInstantiated), 0u);

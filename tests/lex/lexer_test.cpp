@@ -150,5 +150,62 @@ TEST(Lexer, NestedTemplateCloseLexesAsShift) {
   EXPECT_TRUE(saw_shift);
 }
 
+// ---------------------------------------------------------------------------
+// Batch-lex conformance: RawLexer::lexAll must produce the exact token
+// stream of repeated next() calls — kind, text, flags, and location.
+// ---------------------------------------------------------------------------
+
+void expectSameStream(std::string_view src) {
+  DiagnosticEngine de_inc, de_batch;
+  RawLexer inc(FileId{1}, src, de_inc);
+  std::vector<Token> incremental;
+  for (Token t = inc.next(); !t.isEnd(); t = inc.next())
+    incremental.push_back(t);
+
+  RawLexer batch_lx(FileId{1}, src, de_batch);
+  std::vector<Token> batch;
+  batch_lx.lexAll(batch);
+
+  ASSERT_EQ(batch.size(), incremental.size()) << src;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Token& a = batch[i];
+    const Token& b = incremental[i];
+    EXPECT_EQ(a.kind, b.kind) << "token " << i;
+    EXPECT_EQ(a.text, b.text) << "token " << i;
+    EXPECT_EQ(a.start_of_line, b.start_of_line) << "token " << i;
+    EXPECT_EQ(a.leading_space, b.leading_space) << "token " << i;
+    EXPECT_EQ(a.location.line, b.location.line) << "token " << i;
+    EXPECT_EQ(a.location.column, b.location.column) << "token " << i;
+  }
+  EXPECT_EQ(de_batch.errorCount(), de_inc.errorCount());
+}
+
+TEST(LexerBatch, MatchesIncrementalOnPlainCode) {
+  expectSameStream("class Stack {\npublic:\n  int pop();\n};\n");
+}
+
+TEST(LexerBatch, MatchesIncrementalOnDirectives) {
+  // '#include <...>' must lex the angled header name identically without
+  // the preprocessor toggling header-name mode.
+  expectSameStream("#include <vector>\n#include \"stack.h\"\n"
+                   "#define MAX(a,b) ((a)>(b)?(a):(b))\n"
+                   "#if defined(X) && X > 2\nint a;\n#endif\n");
+}
+
+TEST(LexerBatch, MatchesIncrementalOnSplicesAndComments) {
+  expectSameStream("ab\\\ncd efg // trailing\n/* block\ncomment */ int x;\n"
+                   "const char* s = \"str with // no comment\";\n");
+}
+
+TEST(LexerBatch, AngleBracketOutsideIncludeIsPunct) {
+  // 'a < b' must never lex '<' as a header name in batch mode.
+  expectSameStream("bool lt = a < b;\ninclude <tricky>;\n"
+                   "# include <real.h>\n");
+}
+
+TEST(LexerBatch, MatchesIncrementalOnLiterals) {
+  expectSameStream("0x1F 10u 7L 1.5 .25 2e10 3.14e-2 'a' '\\n' \"s\\\"q\"\n");
+}
+
 }  // namespace
 }  // namespace pdt::lex

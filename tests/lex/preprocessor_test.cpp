@@ -6,20 +6,17 @@
 #include <vector>
 
 #include "support/source_manager.h"
+#include "support/token_arena.h"
 
 namespace pdt::lex {
 namespace {
 
-struct PpResult {
-  std::vector<Token> tokens;
-  DiagnosticEngine diags;
-};
-
-/// Preprocesses `main_src` with optional extra virtual files.
+/// Preprocesses `main_src` with optional extra virtual files. The caller
+/// owns the TokenArena so synthesized spellings outlive the Preprocessor.
 std::vector<Token> pp(SourceManager& sm, DiagnosticEngine& de,
-                      const std::string& main_src) {
+                      TokenArena& arena, const std::string& main_src) {
   const FileId main = sm.addVirtualFile("main.cpp", main_src);
-  Preprocessor p(sm, de);
+  Preprocessor p(sm, de, &arena);
   p.enterMainFile(main);
   std::vector<Token> out;
   for (Token t = p.next(); !t.isEnd(); t = p.next()) out.push_back(t);
@@ -38,7 +35,8 @@ std::string joined(const std::vector<Token>& toks) {
 TEST(Preprocessor, ObjectMacro) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define N 10\nint a[N];\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define N 10\nint a[N];\n");
   EXPECT_EQ(joined(toks), "int a [ 10 ] ;");
   EXPECT_FALSE(de.hasErrors());
 }
@@ -46,42 +44,48 @@ TEST(Preprocessor, ObjectMacro) {
 TEST(Preprocessor, FunctionMacro) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define MAX(a,b) ((a)>(b)?(a):(b))\nint x = MAX(1, 2);\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define MAX(a,b) ((a)>(b)?(a):(b))\nint x = MAX(1, 2);\n");
   EXPECT_EQ(joined(toks), "int x = ( ( 1 ) > ( 2 ) ? ( 1 ) : ( 2 ) ) ;");
 }
 
 TEST(Preprocessor, FunctionMacroNameWithoutCallIsNotExpanded) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define F(x) x\nint F;\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define F(x) x\nint F;\n");
   EXPECT_EQ(joined(toks), "int F ;");
 }
 
 TEST(Preprocessor, NestedExpansion) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define A B\n#define B C\nA x;\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define A B\n#define B C\nA x;\n");
   EXPECT_EQ(joined(toks), "C x ;");
 }
 
 TEST(Preprocessor, RecursiveMacroIsPaintedBlue) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define X X y\nX;\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define X X y\nX;\n");
   EXPECT_EQ(joined(toks), "X y ;");
 }
 
 TEST(Preprocessor, MutuallyRecursiveMacros) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define A B\n#define B A\nA;\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define A B\n#define B A\nA;\n");
   EXPECT_EQ(joined(toks), "A ;");
 }
 
 TEST(Preprocessor, Stringize) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define STR(x) #x\nconst char* s = STR(hello world);\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define STR(x) #x\nconst char* s = STR(hello world);\n");
   ASSERT_GE(toks.size(), 6u);
   EXPECT_EQ(toks[5].kind, TokenKind::StringLiteral);
   EXPECT_EQ(toks[5].text, "\"hello world\"");
@@ -90,45 +94,51 @@ TEST(Preprocessor, Stringize) {
 TEST(Preprocessor, TokenPaste) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define GLUE(a,b) a##b\nint GLUE(var, 1);\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define GLUE(a,b) a##b\nint GLUE(var, 1);\n");
   EXPECT_EQ(joined(toks), "int var1 ;");
 }
 
 TEST(Preprocessor, MacroArgumentsExpandBeforeSubstitution) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define ONE 1\n#define ID(x) x\nint a = ID(ONE);\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define ONE 1\n#define ID(x) x\nint a = ID(ONE);\n");
   EXPECT_EQ(joined(toks), "int a = 1 ;");
 }
 
 TEST(Preprocessor, Undef) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define N 3\n#undef N\nint N;\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define N 3\n#undef N\nint N;\n");
   EXPECT_EQ(joined(toks), "int N ;");
 }
 
 TEST(Preprocessor, IfdefTaken) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define YES\n#ifdef YES\nint a;\n#endif\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define YES\n#ifdef YES\nint a;\n#endif\n");
   EXPECT_EQ(joined(toks), "int a ;");
 }
 
 TEST(Preprocessor, IfdefNotTaken) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#ifdef NO\nint a;\n#else\nint b;\n#endif\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#ifdef NO\nint a;\n#else\nint b;\n#endif\n");
   EXPECT_EQ(joined(toks), "int b ;");
 }
 
 TEST(Preprocessor, IfndefGuardPattern) {
   SourceManager sm;
   DiagnosticEngine de;
+  TokenArena arena;
   sm.addVirtualFile("g.h",
                     "#ifndef G_H\n#define G_H\nint guarded;\n#endif\n");
   const auto toks =
-      pp(sm, de, "#include \"g.h\"\n#include \"g.h\"\nint after;\n");
+      pp(sm, de, arena, "#include \"g.h\"\n#include \"g.h\"\nint after;\n");
   EXPECT_EQ(joined(toks), "int guarded ; int after ;");
   EXPECT_FALSE(de.hasErrors());
 }
@@ -136,15 +146,17 @@ TEST(Preprocessor, IfndefGuardPattern) {
 TEST(Preprocessor, PragmaOnce) {
   SourceManager sm;
   DiagnosticEngine de;
+  TokenArena arena;
   sm.addVirtualFile("p.h", "#pragma once\nint once_only;\n");
-  const auto toks = pp(sm, de, "#include \"p.h\"\n#include \"p.h\"\n");
+  const auto toks = pp(sm, de, arena, "#include \"p.h\"\n#include \"p.h\"\n");
   EXPECT_EQ(joined(toks), "int once_only ;");
 }
 
 TEST(Preprocessor, IfExpressionArithmetic) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de,
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena,
                        "#define V 3\n"
                        "#if V * 2 == 6 && defined(V)\nint yes;\n#else\nint no;\n#endif\n");
   EXPECT_EQ(joined(toks), "int yes ;");
@@ -153,7 +165,8 @@ TEST(Preprocessor, IfExpressionArithmetic) {
 TEST(Preprocessor, ElifChain) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de,
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena,
                        "#define V 2\n"
                        "#if V == 1\nint one;\n"
                        "#elif V == 2\nint two;\n"
@@ -165,7 +178,8 @@ TEST(Preprocessor, ElifChain) {
 TEST(Preprocessor, NestedConditionals) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de,
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena,
                        "#if 1\n#if 0\nint dead;\n#endif\nint live;\n#endif\n"
                        "#if 0\n#if 1\nint dead2;\n#endif\n#endif\n");
   EXPECT_EQ(joined(toks), "int live ;");
@@ -175,7 +189,8 @@ TEST(Preprocessor, NestedConditionals) {
 TEST(Preprocessor, UndefinedIdentifierInIfIsZero) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#if UNDEFINED_THING\nint a;\n#else\nint b;\n#endif\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#if UNDEFINED_THING\nint a;\n#else\nint b;\n#endif\n");
   EXPECT_EQ(joined(toks), "int b ;");
 }
 
@@ -201,16 +216,18 @@ TEST(Preprocessor, IncludeRecordsEdgesAndFiles) {
 TEST(Preprocessor, MissingIncludeIsError) {
   SourceManager sm;
   DiagnosticEngine de;
-  pp(sm, de, "#include \"missing.h\"\n");
+  TokenArena arena;
+  pp(sm, de, arena, "#include \"missing.h\"\n");
   EXPECT_TRUE(de.hasErrors());
 }
 
 TEST(Preprocessor, CircularIncludeIsCutWithWarning) {
   SourceManager sm;
   DiagnosticEngine de;
+  TokenArena arena;
   sm.addVirtualFile("a.h", "#include \"b.h\"\nint a;\n");
   sm.addVirtualFile("b.h", "#include \"a.h\"\nint b;\n");
-  const auto toks = pp(sm, de, "#include \"a.h\"\n");
+  const auto toks = pp(sm, de, arena, "#include \"a.h\"\n");
   EXPECT_EQ(joined(toks), "int b ; int a ;");
   EXPECT_FALSE(de.hasErrors());
   EXPECT_GE(de.warningCount(), 1u);
@@ -248,7 +265,8 @@ TEST(Preprocessor, PredefinedMacro) {
 TEST(Preprocessor, ErrorDirective) {
   SourceManager sm;
   DiagnosticEngine de;
-  pp(sm, de, "#error something went wrong\n");
+  TokenArena arena;
+  pp(sm, de, arena, "#error something went wrong\n");
   ASSERT_TRUE(de.hasErrors());
   EXPECT_NE(de.all()[0].message.find("something went wrong"), std::string::npos);
 }
@@ -256,14 +274,16 @@ TEST(Preprocessor, ErrorDirective) {
 TEST(Preprocessor, UnterminatedIfDiagnosed) {
   SourceManager sm;
   DiagnosticEngine de;
-  pp(sm, de, "#if 1\nint a;\n");
+  TokenArena arena;
+  pp(sm, de, arena, "#if 1\nint a;\n");
   EXPECT_TRUE(de.hasErrors());
 }
 
 TEST(Preprocessor, ExpandedTokensKeepUseLocation) {
   SourceManager sm;
   DiagnosticEngine de;
-  const auto toks = pp(sm, de, "#define N 5\n\nint a = N;\n");
+  TokenArena arena;
+  const auto toks = pp(sm, de, arena, "#define N 5\n\nint a = N;\n");
   ASSERT_EQ(toks.size(), 5u);
   EXPECT_EQ(toks[3].text, "5");
   EXPECT_EQ(toks[3].location.line, 3u);  // location of use, not definition
@@ -274,15 +294,17 @@ TEST(Preprocessor, MacroSpanningIncludeBoundaryArgs) {
   // an include finishes — exercises the file-stack pop during collection.
   SourceManager sm;
   DiagnosticEngine de;
+  TokenArena arena;
   sm.addVirtualFile("def.h", "#define CALL(f) f()\n");
-  const auto toks = pp(sm, de, "#include \"def.h\"\nint x = CALL(get);\n");
+  const auto toks = pp(sm, de, arena, "#include \"def.h\"\nint x = CALL(get);\n");
   EXPECT_EQ(joined(toks), "int x = get ( ) ;");
 }
 
 TEST(Preprocessor, WrongArgCountDiagnosed) {
   SourceManager sm;
   DiagnosticEngine de;
-  pp(sm, de, "#define TWO(a,b) a b\nTWO(1)\n");
+  TokenArena arena;
+  pp(sm, de, arena, "#define TWO(a,b) a b\nTWO(1)\n");
   EXPECT_TRUE(de.hasErrors());
 }
 

@@ -1,0 +1,135 @@
+// Token text is a std::string_view end-to-end; these tests pin down the
+// two stability guarantees that make that safe (DESIGN.md "Token backing
+// and ownership"):
+//
+//  * SourceManager file contents never move, even as loading #includes
+//    grows the file table mid-TU (std::deque<File> storage).
+//  * TokenArena chunks never move, even as synthesized spellings push the
+//    arena through many chunk allocations mid-TU.
+//
+// Run under ASan (scripts/ci.sh frontend gate) these become genuine
+// use-after-free probes, not just value checks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lex/preprocessor.h"
+#include "support/source_manager.h"
+#include "support/token_arena.h"
+
+namespace pdt::lex {
+namespace {
+
+TEST(TokenLifetime, ViewsSurviveSourceManagerGrowthMidTu) {
+  // Headers are loaded from disk *during* preprocessing, so every
+  // #include grows the file table while tokens viewing earlier files'
+  // content are already buffered.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "pdt_token_lifetime_headers";
+  fs::create_directories(dir);
+  std::string main_src;
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "h" + std::to_string(i) + ".h";
+    std::ofstream out(dir / name);
+    out << "int header_symbol_" << i << ";\n";
+    main_src += "#include <" + name + ">\n";
+  }
+  SourceManager sm;
+  sm.addSearchDir(dir.string());
+  DiagnosticEngine de;
+  TokenArena arena;
+  const FileId main = sm.addVirtualFile("main.cpp", main_src);
+  Preprocessor pp(sm, de, &arena);
+  pp.enterMainFile(main);
+  std::vector<Token> toks;
+  for (Token t = pp.next(); !t.isEnd(); t = pp.next()) toks.push_back(t);
+  fs::remove_all(dir);
+  ASSERT_FALSE(de.hasErrors());
+  ASSERT_EQ(toks.size(), 600u);  // 200 x "int name ;"
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(toks[static_cast<std::size_t>(i) * 3 + 1].text,
+              "header_symbol_" + std::to_string(i));
+  }
+}
+
+TEST(TokenLifetime, ViewsSurviveArenaGrowthMidTu) {
+  SourceManager sm;
+  DiagnosticEngine de;
+  TokenArena arena;
+  // Token pasting synthesizes spellings into the arena. 3000 pastes of
+  // ~20-byte names cross several 64 KiB chunk boundaries; the early
+  // views must stay intact as chunks are added.
+  std::string src = "#define GLUE(a, b) a##b\n";
+  for (int i = 0; i < 3000; ++i) {
+    src += "int GLUE(pasted_symbol_name_, " + std::to_string(i) + ");\n";
+  }
+  const FileId main = sm.addVirtualFile("main.cpp", src);
+  Preprocessor pp(sm, de, &arena);
+  pp.enterMainFile(main);
+  std::vector<Token> toks;
+  for (Token t = pp.next(); !t.isEnd(); t = pp.next()) toks.push_back(t);
+  ASSERT_FALSE(de.hasErrors());
+  EXPECT_GT(arena.chunkCount(), 1u);
+  ASSERT_EQ(toks.size(), 9000u);  // 3000 x "int name ;"
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_EQ(toks[static_cast<std::size_t>(i) * 3 + 1].text,
+              "pasted_symbol_name_" + std::to_string(i));
+  }
+}
+
+TEST(TokenLifetime, InternedViewsStableAcrossManyChunks) {
+  TokenArena arena;
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  // ~1 KiB strings: 64 KiB chunks roll over every 64 interns.
+  for (int i = 0; i < 500; ++i) {
+    std::string s(1000, static_cast<char>('a' + i % 26));
+    s += std::to_string(i);
+    views.push_back(arena.intern(s));
+    expected.push_back(std::move(s));
+  }
+  EXPECT_GT(arena.chunkCount(), 5u);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], expected[i]);
+  }
+}
+
+TEST(TokenLifetime, ArenaMovePreservesViews) {
+  TokenArena a;
+  const std::string_view v = a.intern("spelling-made-before-the-move");
+  TokenArena b(std::move(a));
+  EXPECT_EQ(v, "spelling-made-before-the-move");
+  EXPECT_EQ(b.bytesUsed(), v.size());
+}
+
+TEST(TokenLifetime, MacroSpellingsSurviveUndef) {
+  // #undef erases the macro, but spellings its expansions synthesized
+  // (and the Macro name key itself) view stable backing, not macro
+  // storage.
+  SourceManager sm;
+  DiagnosticEngine de;
+  TokenArena arena;
+  const FileId main = sm.addVirtualFile("main.cpp",
+                                        "#define STR(x) #x\n"
+                                        "const char* a = STR(kept alive);\n"
+                                        "#undef STR\n"
+                                        "int after;\n");
+  Preprocessor pp(sm, de, &arena);
+  pp.enterMainFile(main);
+  std::vector<Token> toks;
+  for (Token t = pp.next(); !t.isEnd(); t = pp.next()) toks.push_back(t);
+  ASSERT_FALSE(de.hasErrors());
+  bool saw = false;
+  for (const Token& t : toks) {
+    saw = saw || (t.kind == TokenKind::StringLiteral &&
+                  t.text == "\"kept alive\"");
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace pdt::lex

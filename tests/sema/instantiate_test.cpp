@@ -772,5 +772,81 @@ public:
             std::string::npos);
 }
 
+TEST(AliasTemplate, AliasDeclarationBehavesLikeTypedef) {
+  Compiled c(R"(
+using Int = int;
+Int three() { return 3; }
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* td = c.find<TypedefDecl>("Int");
+  ASSERT_NE(td, nullptr);
+  auto* fn = c.find<FunctionDecl>("three");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->return_type->as<TypedefType>()->underlying()->spelling(),
+            "int");
+}
+
+TEST(AliasTemplate, AliasTemplateSubstitutesUnderlying) {
+  Compiled c(R"(
+template <class T> using Ptr = T*;
+Ptr<int> p;
+Ptr<const char> s;
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* td = c.find<TemplateDecl>("Ptr");
+  ASSERT_NE(td, nullptr);
+  EXPECT_EQ(td->tkind, TemplateKind::Alias);
+  auto* p = c.find<VarDecl>("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->type->spelling(), "int *");
+  auto* s = c.find<VarDecl>("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->type->spelling(), "const char *");
+}
+
+TEST(AliasTemplate, AliasOfClassTemplateInstantiates) {
+  Compiled c(R"(
+template <class T>
+class Stack {
+public:
+    void push(const T& x) {}
+};
+template <class T> using StackOf = Stack<T>;
+void driver() {
+    StackOf<int> st;
+    st.push(1);
+}
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* stack = c.find<TemplateDecl>("Stack");
+  ASSERT_NE(stack, nullptr);
+  // Naming the alias instantiated the aliased class template.
+  ASSERT_EQ(stack->instantiations.size(), 1u);
+  EXPECT_EQ(stack->instantiations[0].decl->name(), "Stack<int>");
+}
+
+TEST(AliasTemplate, DependentAliasUseInsideTemplate) {
+  Compiled c(R"(
+template <class T> using Ptr = T*;
+template <class T>
+class Holder {
+public:
+    Ptr<T> held;
+};
+Holder<int> h;
+)");
+  ASSERT_TRUE(c.result.success) << c.diagText();
+  auto* holder = c.find<TemplateDecl>("Holder");
+  ASSERT_NE(holder, nullptr);
+  ASSERT_EQ(holder->instantiations.size(), 1u);
+  const auto* inst = holder->instantiations[0].decl->as<ClassDecl>();
+  const VarDecl* held = nullptr;
+  for (const Decl* m : inst->children()) {
+    if (m->name() == "held") held = m->as<VarDecl>();
+  }
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->type->spelling(), "int *");
+}
+
 }  // namespace
 }  // namespace pdt

@@ -1,0 +1,100 @@
+// SmallVector: inline-storage behaviour, heap spill, and value semantics.
+#include "support/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pdt {
+namespace {
+
+TEST(SmallVector, StaysInlineUnderCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // no spill yet
+  // data() points into the object itself while inline.
+  const auto* obj_begin = reinterpret_cast<const unsigned char*>(&v);
+  const auto* obj_end = obj_begin + sizeof(v);
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  EXPECT_TRUE(p >= obj_begin && p < obj_end);
+}
+
+TEST(SmallVector, SpillsToHeapPastCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, NonTrivialElements) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 20; ++i) v.emplace_back(std::string(50, 'x') + std::to_string(i));
+  ASSERT_EQ(v.size(), 20u);
+  EXPECT_EQ(v.front(), std::string(50, 'x') + "0");
+  EXPECT_EQ(v.back(), std::string(50, 'x') + "19");
+  v.pop_back();
+  EXPECT_EQ(v.size(), 19u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, CopyAndEquality) {
+  SmallVector<std::string, 2> a;
+  a.push_back("one");
+  a.push_back("two");
+  a.push_back("three");  // spilled
+  SmallVector<std::string, 2> b(a);
+  EXPECT_EQ(a, b);
+  b.push_back("four");
+  EXPECT_FALSE(a == b);
+  a = b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  const int* buf = a.data();
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), buf);  // heap buffer stolen, not copied
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, MoveInlineCopiesElements) {
+  SmallVector<std::string, 4> a;
+  a.push_back("alpha");
+  a.push_back("beta");
+  SmallVector<std::string, 4> b(std::move(a));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], "alpha");
+  EXPECT_EQ(b[1], "beta");
+}
+
+TEST(SmallVector, MoveAssignOverHeapBuffer) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  SmallVector<int, 2> b;
+  for (int i = 0; i < 8; ++i) b.push_back(-i);
+  a = std::move(b);
+  ASSERT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[7], -7);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 9; ++i) v.push_back(i * i);
+  int idx = 0;
+  for (int x : v) {
+    EXPECT_EQ(x, idx * idx);
+    ++idx;
+  }
+  std::size_t n = 0;
+  for (auto it = v.begin(); it != v.end(); ++it) ++n;
+  EXPECT_EQ(n, v.size());
+}
+
+}  // namespace
+}  // namespace pdt
