@@ -5,11 +5,19 @@
 // this runtime, which collects per-routine call counts and inclusive/
 // exclusive times and prints a profile like the paper's Figure 7.
 //
+// Threading model: each thread accumulates statistics in thread-local
+// buffers — the Profiler enter/exit hot path takes no lock — and publishes
+// them to the process-wide registry when the thread exits (automatic),
+// when flushThread() is called, or when a report is requested by the
+// calling thread. report() and the profile writers see the sum of all
+// published thread buffers.
+//
 // CT(obj) returns the run-time type name of obj — the mechanism the paper
 // describes for naming template instantiations uniquely ("vector::vector()
 // <int>" style) without compile-time knowledge of the instantiation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -20,11 +28,13 @@ namespace tau {
 /// Statistics for one profiled routine (unique by name + type string).
 struct FunctionInfo;
 
-/// Interns a (name, type) pair; cheap on repeat calls.
+/// Interns a (name, type) pair; repeat calls from the same thread hit a
+/// thread-local memo and take no lock.
 FunctionInfo* getFunctionInfo(const std::string& name, const std::string& type,
                               int group);
 
-/// RAII measurement scope created by TAU_PROFILE.
+/// RAII measurement scope created by TAU_PROFILE. Enter/exit updates only
+/// thread-local counters (plus the trace buffer when tracing is on).
 class Profiler {
  public:
   explicit Profiler(FunctionInfo* fn);
@@ -48,15 +58,36 @@ std::string typeNameOf(const T& obj) {
   return typeName(typeid(obj));
 }
 
+/// Publishes the calling thread's accumulated statistics to the registry
+/// so a report taken from another thread sees them. Threads publish
+/// automatically at thread exit; call this for long-lived worker threads
+/// when a mid-run report must include their latest totals.
+void flushThread();
+
 /// Prints the profile (Figure 7 style): %time, exclusive/inclusive msec,
-/// call counts, child calls, per-call cost, routine name.
+/// call counts, child calls, per-call cost, routine name. Sums the
+/// calling thread's live counters with every published thread buffer.
 void report(std::ostream& os);
 
-/// Writes profile data to the file named by $TAU_PROFILE_FILE (or
-/// "profile.0.0.0" by default), pprof-style.
+/// Exit-time profile dump, honoring $TAU_PROFILE_FILE:
+///   - unset:          binary per-thread files profile.<node>.<ctx>.<thread>
+///                     in the current directory
+///   - a directory:    the same per-thread files inside that directory
+///   - any other path: legacy single text report written to that file
+/// Node and context default to $TAU_NODE (0) and $TAU_CONTEXT (the pid),
+/// so concurrent processes never clobber each other's files.
 void writeProfileFile();
 
-/// Resets all statistics (for tests and benchmarks).
+/// Writes one binary profile file per thread (see tau_profile_format.h)
+/// under `dir` (empty = current directory). Returns the number of files
+/// written. The no-argument overload resolves the directory from
+/// $TAU_PROFILE_FILE when it names a directory.
+std::size_t writeProfileFiles(const std::string& dir);
+std::size_t writeProfileFiles();
+
+/// Resets all statistics (for tests and benchmarks). Threads notice the
+/// reset lazily on their next routine exit; statistics published before
+/// the reset stop counting immediately.
 void reset();
 
 // -- event tracing -----------------------------------------------------------
@@ -69,11 +100,37 @@ struct Event {
   const FunctionInfo* fn;
 };
 
-/// Enables in-memory event tracing (ring buffer of `capacity` events).
+/// Counters describing the trace buffer since tracing was last enabled.
+struct TraceStats {
+  std::uint64_t recorded = 0;  ///< events accepted into the buffer
+  std::uint64_t wrapped = 0;   ///< ring overwrites (oldest events lost)
+  std::uint64_t streamed = 0;  ///< events flushed to the stream fd
+};
+
+/// Enables in-memory event tracing: a true ring of `capacity` events that
+/// overwrites the oldest event when full (dumpTrace reports how many).
 void enableTracing(std::size_t capacity);
+
+/// Enables streaming event tracing: events buffer in memory and are
+/// formatted and written to `fd` whenever `high_water` events are pending,
+/// so nothing is ever dropped. The fd is not closed by disableTracing().
+void enableStreamingTrace(int fd, std::size_t high_water);
+
+/// Convenience: creates/truncates `path` and streams trace events to it
+/// (closing the file when tracing is disabled). False if the open fails.
+bool streamTraceTo(const std::string& path, std::size_t high_water);
+
+/// Stops tracing; a streaming trace flushes pending events first. Ring
+/// contents survive for dumpTrace.
 void disableTracing();
-/// Drains the trace buffer to `os`, one "time kind name" line per event.
+
+/// Drains the trace buffer to `os` in chronological order, one
+/// "time kind name" line per event, followed by a "# wrapped N ..."
+/// footer when ring overwrites discarded events.
 void dumpTrace(std::ostream& os);
+
+/// Counters for the current/most recent tracing session.
+TraceStats traceStats();
 
 }  // namespace tau
 

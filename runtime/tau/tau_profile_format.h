@@ -1,0 +1,60 @@
+// Binary per-thread profile file format shared by the TAU measurement
+// runtime (writer, at program exit) and the tauprof merge library (reader,
+// src/tau/profile_merge.cpp). Header-only and std-only: the runtime links
+// into instrumented user programs and must not pull in PDT libraries.
+//
+// A profile file is named profile.<node>.<context>.<thread> and holds the
+// final published statistics of ONE thread, little-endian throughout:
+//
+//   magic[8]        89 'T' 'A' 'U' 'P' 0D 0A 1A
+//   u32 version     kVersion
+//   u32 node        $TAU_NODE (0 when unset)
+//   u32 context     $TAU_CONTEXT (getpid() when unset)
+//   u32 thread      registration index within the process (0 = first)
+//   u64 record_count
+//   record_count records, each:
+//     u32 name_len,  name bytes   routine name, e.g. "push()"
+//     u32 type_len,  type bytes   template instantiation, e.g. "Stack<int>"
+//     u32 group
+//     u64 calls
+//     u64 child_calls
+//     u64 inclusive_ns
+//     u64 exclusive_ns
+//   u64 checksum    FNV-1a over every preceding byte
+//
+// Counts are totals, so merging files is commutative: sum matching
+// (name, type) records and the result is independent of input order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tau::profilefmt {
+
+inline constexpr unsigned char kMagic[8] = {0x89, 'T',  'A',  'U',
+                                            'P',  0x0d, 0x0a, 0x1a};
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Fixed-size prefix: magic + version + node + context + thread + count.
+inline constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 4 + 4 + 8;
+
+/// Fixed-size portion of one record (the four u32/u64 count fields plus
+/// the two length prefixes), i.e. its size when both strings are empty.
+inline constexpr std::size_t kRecordFixedSize = 4 + 4 + 4 + 8 * 4;
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a. Seedable so writers can hash incrementally.
+inline std::uint64_t checksum(const void* data, std::size_t size,
+                              std::uint64_t seed = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace tau::profilefmt

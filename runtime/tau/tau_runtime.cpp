@@ -1,17 +1,34 @@
 // TAU-style measurement runtime: timers, call stacks, per-routine
 // statistics, profile report (paper Figure 7), and event tracing.
+//
+// Concurrency design: the Profiler enter/exit hot path is lock-free. Each
+// thread owns a dense vector of per-routine counters (indexed by
+// FunctionInfo::index) that only the owning thread ever writes; a copy is
+// published into the registry under its mutex when the thread exits (via
+// a thread_local handle destructor), on flushThread(), or before a report.
+// Readers only ever see published copies, so there is no data race and no
+// mutex on the measurement path. reset() bumps a global epoch that threads
+// notice with one relaxed atomic load per routine exit.
 #include "TAU.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
-#include <iostream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "tau_profile_format.h"
 
 #if defined(__GNUC__)
 #include <cxxabi.h>
@@ -23,12 +40,9 @@ struct FunctionInfo {
   std::string name;
   std::string type;
   int group = 0;
-  // Totals are guarded by the registry mutex: profilers buffer locally and
-  // flush once per call, so contention is one lock per routine exit.
-  std::uint64_t calls = 0;
-  std::uint64_t child_calls = 0;
-  std::uint64_t inclusive_ns = 0;
-  std::uint64_t exclusive_ns = 0;
+  // Dense slot in every thread's counter vector. Immutable after creation
+  // (assigned under the registry mutex), so lock-free readers are safe.
+  std::uint32_t index = 0;
 
   [[nodiscard]] std::string displayName() const {
     if (type.empty()) return name;
@@ -45,10 +59,46 @@ std::uint64_t nowNs() {
           .count());
 }
 
+/// Per-routine totals a thread accumulates locally. Plain integers: only
+/// the owning thread writes them; readers see copies published under the
+/// registry mutex.
+struct Counts {
+  std::uint64_t calls = 0;
+  std::uint64_t child_calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+
+  [[nodiscard]] bool empty() const {
+    return calls == 0 && child_calls == 0 && inclusive_ns == 0 &&
+           exclusive_ns == 0;
+  }
+
+  void add(const Counts& o) {
+    calls += o.calls;
+    child_calls += o.child_calls;
+    inclusive_ns += o.inclusive_ns;
+    exclusive_ns += o.exclusive_ns;
+  }
+};
+
+struct ThreadData {
+  std::uint32_t index = 0;  ///< registration order = <thread> in file names
+
+  // Owner-thread only: live deltas, indexed by FunctionInfo::index.
+  std::vector<Counts> counts;
+  std::uint64_t epoch = 0;  ///< owner's view of the global reset epoch
+
+  // Guarded by the registry mutex: the last published snapshot. report()
+  // and the profile writers read these, never `counts`.
+  std::vector<Counts> published;
+  std::uint64_t published_epoch = 0;
+};
+
 struct Registry {
   std::mutex mutex;
   std::unordered_map<std::string, FunctionInfo*> by_key;
-  std::vector<FunctionInfo*> all;
+  std::vector<FunctionInfo*> all;                    // FunctionInfo::index order
+  std::vector<std::unique_ptr<ThreadData>> threads;  // registration order
 
   ~Registry() {
     for (FunctionInfo* fn : all) delete fn;
@@ -60,11 +110,70 @@ Registry& registry() {
   return instance;
 }
 
+/// Bumped by reset(). Threads notice lazily — one relaxed load per routine
+/// exit — and zero their local counters before accumulating into them;
+/// snapshots published under an older epoch stop counting immediately.
+std::atomic<std::uint64_t> g_epoch{1};
+
+void publish(ThreadData& td) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  td.published = td.counts;
+  td.published_epoch = td.epoch;
+}
+
+/// Thread-exit hook and per-thread caches. The destructor publishes the
+/// thread's counters when the thread ends; for the main thread this runs
+/// before static destructors and atexit hooks ([basic.start.term]), so the
+/// exit-time profile dump still sees the data.
+struct ThreadHandle {
+  ThreadData* data = nullptr;
+  // getFunctionInfo memo: repeat lookups take no lock and allocate
+  // nothing beyond the reused key buffer.
+  std::unordered_map<std::string, FunctionInfo*> memo;
+  std::string key_buf;
+
+  ~ThreadHandle() {
+    if (data != nullptr) publish(*data);
+  }
+};
+
+thread_local ThreadHandle g_thread;
+/// Trivially-destructible mirror of g_thread.data: reading it on the
+/// Profiler exit path skips the TLS construction guard, and it stays
+/// valid (registry-owned) even after g_thread is destroyed.
+thread_local ThreadData* g_thread_data = nullptr;
+
+ThreadData& threadData() {
+  if (g_thread_data == nullptr) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    auto td = std::make_unique<ThreadData>();
+    td->index = static_cast<std::uint32_t>(reg.threads.size());
+    td->epoch = g_epoch.load(std::memory_order_relaxed);
+    g_thread_data = td.get();
+    g_thread.data = td.get();  // arms the thread-exit publish
+    reg.threads.push_back(std::move(td));
+  }
+  return *g_thread_data;
+}
+
+// -- event tracing -----------------------------------------------------------
+
+/// Namespace-scope atomic so the disabled-tracing fast path is one relaxed
+/// load with no function-local-static guard.
+std::atomic<bool> g_trace_enabled{false};
+
 struct TraceBuffer {
   std::mutex mutex;
-  std::vector<Event> events;
-  std::size_t capacity = 0;
-  bool enabled = false;
+  std::vector<Event> events;  ///< ring storage, or pending batch when streaming
+  std::size_t capacity = 0;   ///< ring size / streaming high-water mark
+  std::size_t oldest = 0;     ///< ring: index of the oldest event once full
+  std::uint64_t recorded = 0;
+  std::uint64_t wrapped = 0;
+  std::uint64_t streamed = 0;
+  int fd = -1;
+  bool owns_fd = false;
 };
 
 TraceBuffer& traceBuffer() {
@@ -72,12 +181,71 @@ TraceBuffer& traceBuffer() {
   return instance;
 }
 
+void appendEventText(std::string& out, const Event& e) {
+  out += std::to_string(e.time_ns);
+  out += ' ';
+  out += e.kind == EventKind::Enter ? "ENTER" : "EXIT";
+  out += ' ';
+  out += e.fn->displayName();
+  out += '\n';
+}
+
+void flushStreamLocked(TraceBuffer& tb) {
+  if (tb.fd < 0 || tb.events.empty()) return;
+  std::string text;
+  text.reserve(tb.events.size() * 48);
+  for (const Event& e : tb.events) appendEventText(text, e);
+  const char* p = text.data();
+  std::size_t left = text.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(tb.fd, p, left);
+    if (n <= 0) break;  // stream broken: counters still advance below
+    p += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  tb.streamed += tb.events.size();
+  tb.events.clear();
+}
+
+void closeStreamLocked(TraceBuffer& tb) {
+  if (tb.fd < 0) return;
+  flushStreamLocked(tb);
+  if (tb.owns_fd) ::close(tb.fd);
+  tb.fd = -1;
+  tb.owns_fd = false;
+}
+
+void resetTraceLocked(TraceBuffer& tb, std::size_t capacity) {
+  tb.capacity = capacity;
+  tb.events.clear();
+  tb.events.reserve(capacity);
+  tb.oldest = 0;
+  tb.recorded = 0;
+  tb.wrapped = 0;
+  tb.streamed = 0;
+}
+
 void recordEvent(EventKind kind, const FunctionInfo* fn) {
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
   TraceBuffer& tb = traceBuffer();
-  if (!tb.enabled) return;
   const std::lock_guard<std::mutex> lock(tb.mutex);
-  if (tb.events.size() >= tb.capacity) return;  // buffer full: drop
-  tb.events.push_back({nowNs(), kind, fn});
+  if (tb.capacity == 0) return;  // raced with disableTracing
+  ++tb.recorded;
+  if (tb.fd >= 0) {
+    // Streaming: buffer until the high-water mark, then flush to the fd —
+    // nothing is ever dropped.
+    tb.events.push_back({nowNs(), kind, fn});
+    if (tb.events.size() >= tb.capacity) flushStreamLocked(tb);
+    return;
+  }
+  if (tb.events.size() < tb.capacity) {
+    tb.events.push_back({nowNs(), kind, fn});
+    return;
+  }
+  // True ring: overwrite the oldest event and remember how many were lost.
+  tb.events[tb.oldest] = {nowNs(), kind, fn};
+  tb.oldest = (tb.oldest + 1) % tb.capacity;
+  ++tb.wrapped;
 }
 
 /// Per-thread measurement state: the running profiler stack and the
@@ -85,10 +253,55 @@ void recordEvent(EventKind kind, const FunctionInfo* fn) {
 thread_local Profiler* g_current = nullptr;
 thread_local std::uint64_t g_child_ns = 0;
 
+// -- profile files -----------------------------------------------------------
+
+unsigned envIndex(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<unsigned>(parsed);
+}
+
+unsigned nodeId() { return envIndex("TAU_NODE", 0); }
+
+unsigned contextId() {
+  return envIndex("TAU_CONTEXT", static_cast<unsigned>(::getpid()));
+}
+
+bool isDirectory(const char* path) {
+  struct ::stat st{};
+  return ::stat(path, &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void putStr(std::string& out, const std::string& s) {
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
 }  // namespace
 
 FunctionInfo* getFunctionInfo(const std::string& name, const std::string& type,
                               int group) {
+  // Hot path: thread-local memo hit — no lock, no allocation (the key
+  // buffer is reused across calls).
+  ThreadHandle& th = g_thread;
+  std::string& key = th.key_buf;
+  key.clear();
+  key.append(name);
+  key.push_back('\x1f');
+  key.append(type);
+  if (const auto it = th.memo.find(key); it != th.memo.end()) return it->second;
+
   Registry& reg = registry();
   // Register the exit-time profile dump AFTER the registry is fully
   // constructed: atexit is LIFO, so this hook then runs BEFORE the
@@ -100,16 +313,23 @@ FunctionInfo* getFunctionInfo(const std::string& name, const std::string& type,
     return true;
   }();
   (void)exit_hook;
-  const std::string key = name + '\x1f' + type;
-  const std::lock_guard<std::mutex> lock(reg.mutex);
-  if (const auto it = reg.by_key.find(key); it != reg.by_key.end())
-    return it->second;
-  auto* fn = new FunctionInfo;
-  fn->name = name;
-  fn->type = type;
-  fn->group = group;
-  reg.by_key.emplace(key, fn);
-  reg.all.push_back(fn);
+
+  FunctionInfo* fn = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    if (const auto it = reg.by_key.find(key); it != reg.by_key.end()) {
+      fn = it->second;
+    } else {
+      fn = new FunctionInfo;
+      fn->name = name;
+      fn->type = type;
+      fn->group = group;
+      fn->index = static_cast<std::uint32_t>(reg.all.size());
+      reg.by_key.emplace(key, fn);
+      reg.all.push_back(fn);
+    }
+  }
+  th.memo.emplace(key, fn);
   return fn;
 }
 
@@ -128,14 +348,23 @@ Profiler::~Profiler() {
   const std::uint64_t exclusive = inclusive > children ? inclusive - children : 0;
 
   recordEvent(EventKind::Exit, fn_);
-  {
-    Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
-    fn_->calls += 1;
-    fn_->inclusive_ns += inclusive;
-    fn_->exclusive_ns += exclusive;
-    if (parent_ != nullptr) parent_->fn_->child_calls += 1;
+
+  // Lock-free accumulation into this thread's own counter vector.
+  ThreadData& td = threadData();
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  if (td.epoch != epoch) {
+    td.counts.assign(td.counts.size(), Counts{});
+    td.epoch = epoch;
   }
+  std::uint32_t need = fn_->index;
+  if (parent_ != nullptr && parent_->fn_->index > need) need = parent_->fn_->index;
+  if (need >= td.counts.size()) td.counts.resize(need + 1);
+  Counts& c = td.counts[fn_->index];
+  c.calls += 1;
+  c.inclusive_ns += inclusive;
+  c.exclusive_ns += exclusive;
+  if (parent_ != nullptr) td.counts[parent_->fn_->index].child_calls += 1;
+
   // Restore the parent's accounting, charging it our inclusive time.
   g_current = parent_;
   g_child_ns = child_ns_at_start_ + inclusive;
@@ -159,87 +388,233 @@ std::string typeName(const std::type_info& info) {
   return out;
 }
 
+void flushThread() {
+  if (g_thread_data != nullptr) publish(*g_thread_data);
+}
+
+namespace {
+
+struct ReportRow {
+  const FunctionInfo* fn = nullptr;
+  Counts c;
+};
+
+/// Sums every thread snapshot published under the current epoch. Caller
+/// holds the registry mutex.
+std::vector<ReportRow> snapshotLocked(Registry& reg) {
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  std::vector<ReportRow> rows;
+  rows.reserve(reg.all.size());
+  for (const FunctionInfo* fn : reg.all) rows.push_back({fn, Counts{}});
+  for (const auto& td : reg.threads) {
+    if (td->published_epoch != epoch) continue;
+    const std::size_t n = std::min(td->published.size(), rows.size());
+    for (std::size_t i = 0; i < n; ++i) rows[i].c.add(td->published[i]);
+  }
+  return rows;
+}
+
+}  // namespace
+
 void report(std::ostream& os) {
+  flushThread();  // the caller's own counters must be visible
   Registry& reg = registry();
-  std::vector<FunctionInfo> snapshot;
+  std::vector<ReportRow> rows;
   {
     const std::lock_guard<std::mutex> lock(reg.mutex);
-    snapshot.reserve(reg.all.size());
-    for (const FunctionInfo* fn : reg.all) snapshot.push_back(*fn);
+    rows = snapshotLocked(reg);
   }
   std::uint64_t total_excl = 0;
-  for (const FunctionInfo& fn : snapshot) total_excl += fn.exclusive_ns;
-  std::sort(snapshot.begin(), snapshot.end(),
-            [](const FunctionInfo& a, const FunctionInfo& b) {
-              return a.exclusive_ns > b.exclusive_ns;
-            });
+  for (const ReportRow& row : rows) total_excl += row.c.exclusive_ns;
+  std::sort(rows.begin(), rows.end(), [](const ReportRow& a, const ReportRow& b) {
+    return a.c.exclusive_ns > b.c.exclusive_ns;
+  });
 
   os << "---------------------------------------------------------------------------------------\n";
   os << "%Time    Exclusive    Inclusive       #Call      #Subrs  Inclusive Name\n";
   os << "              msec         msec                           usec/call\n";
   os << "---------------------------------------------------------------------------------------\n";
-  for (const FunctionInfo& fn : snapshot) {
+  for (const ReportRow& row : rows) {
+    const Counts& c = row.c;
     const double pct =
         total_excl == 0 ? 0.0
-                        : 100.0 * static_cast<double>(fn.exclusive_ns) /
+                        : 100.0 * static_cast<double>(c.exclusive_ns) /
                               static_cast<double>(total_excl);
-    const double excl_ms = static_cast<double>(fn.exclusive_ns) / 1e6;
-    const double incl_ms = static_cast<double>(fn.inclusive_ns) / 1e6;
+    const double excl_ms = static_cast<double>(c.exclusive_ns) / 1e6;
+    const double incl_ms = static_cast<double>(c.inclusive_ns) / 1e6;
     const double usec_per_call =
-        fn.calls == 0 ? 0.0
-                      : static_cast<double>(fn.inclusive_ns) / 1e3 /
-                            static_cast<double>(fn.calls);
+        c.calls == 0 ? 0.0
+                     : static_cast<double>(c.inclusive_ns) / 1e3 /
+                           static_cast<double>(c.calls);
     os << std::fixed << std::setprecision(1) << std::setw(5) << pct << ' '
        << std::setw(12) << excl_ms << ' ' << std::setw(12) << incl_ms << ' '
-       << std::setw(11) << fn.calls << ' ' << std::setw(11) << fn.child_calls
+       << std::setw(11) << c.calls << ' ' << std::setw(11) << c.child_calls
        << ' ' << std::setw(10) << std::setprecision(0) << usec_per_call << "  "
-       << fn.displayName() << '\n';
+       << row.fn->displayName() << '\n';
   }
   os << "---------------------------------------------------------------------------------------\n";
 }
 
+std::size_t writeProfileFiles(const std::string& dir) {
+  flushThread();
+  Registry& reg = registry();
+  const unsigned node = nodeId();
+  const unsigned context = contextId();
+
+  // Snapshot under the lock; build and write the files outside it.
+  struct ThreadSnap {
+    std::uint32_t index = 0;
+    std::vector<Counts> counts;
+  };
+  std::vector<const FunctionInfo*> fns;
+  std::vector<ThreadSnap> snaps;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+    fns.assign(reg.all.begin(), reg.all.end());
+    for (const auto& td : reg.threads) {
+      if (td->published_epoch != epoch) continue;
+      snaps.push_back({td->index, td->published});
+    }
+  }
+
+  std::size_t written = 0;
+  for (const ThreadSnap& snap : snaps) {
+    std::string payload;
+    payload.append(reinterpret_cast<const char*>(profilefmt::kMagic), 8);
+    putU32(payload, profilefmt::kVersion);
+    putU32(payload, node);
+    putU32(payload, context);
+    putU32(payload, snap.index);
+    const std::size_t n = std::min(snap.counts.size(), fns.size());
+    std::uint64_t records = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!snap.counts[i].empty()) ++records;
+    putU64(payload, records);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Counts& c = snap.counts[i];
+      if (c.empty()) continue;
+      putStr(payload, fns[i]->name);
+      putStr(payload, fns[i]->type);
+      putU32(payload, static_cast<std::uint32_t>(fns[i]->group));
+      putU64(payload, c.calls);
+      putU64(payload, c.child_calls);
+      putU64(payload, c.inclusive_ns);
+      putU64(payload, c.exclusive_ns);
+    }
+    putU64(payload, profilefmt::checksum(payload.data(), payload.size()));
+
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/') path.push_back('/');
+    path += "profile." + std::to_string(node) + '.' + std::to_string(context) +
+            '.' + std::to_string(snap.index);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) continue;
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (out) ++written;
+  }
+  return written;
+}
+
+std::size_t writeProfileFiles() {
+  const char* env = std::getenv("TAU_PROFILE_FILE");
+  if (env != nullptr && isDirectory(env)) return writeProfileFiles(std::string(env));
+  return writeProfileFiles(std::string());
+}
+
 void writeProfileFile() {
-  const char* path = std::getenv("TAU_PROFILE_FILE");
-  std::ofstream out(path != nullptr ? path : "profile.0.0.0");
-  if (out) report(out);
+  const char* env = std::getenv("TAU_PROFILE_FILE");
+  if (env != nullptr && !isDirectory(env)) {
+    // Legacy behavior: a plain file path gets the single text report.
+    std::ofstream out(env);
+    if (out) report(out);
+    return;
+  }
+  writeProfileFiles(env != nullptr ? std::string(env) : std::string());
 }
 
 void reset() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
-  for (FunctionInfo* fn : reg.all) {
-    fn->calls = 0;
-    fn->child_calls = 0;
-    fn->inclusive_ns = 0;
-    fn->exclusive_ns = 0;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    g_epoch.fetch_add(1, std::memory_order_relaxed);
+    // Published snapshots now belong to a dead epoch; drop them so the
+    // memory is reclaimed and no stale data lingers.
+    for (const auto& td : reg.threads) {
+      td->published.clear();
+      td->published_epoch = 0;
+    }
+  }
+  // The calling thread can clear its own counters eagerly (it owns them);
+  // other threads catch up on their next routine exit.
+  if (g_thread_data != nullptr) {
+    g_thread_data->counts.assign(g_thread_data->counts.size(), Counts{});
+    g_thread_data->epoch = g_epoch.load(std::memory_order_relaxed);
   }
   TraceBuffer& tb = traceBuffer();
   const std::lock_guard<std::mutex> tlock(tb.mutex);
   tb.events.clear();
+  tb.oldest = 0;
+  tb.recorded = 0;
+  tb.wrapped = 0;
+  tb.streamed = 0;
 }
 
 void enableTracing(std::size_t capacity) {
   TraceBuffer& tb = traceBuffer();
   const std::lock_guard<std::mutex> lock(tb.mutex);
-  tb.capacity = capacity;
-  tb.events.clear();
-  tb.events.reserve(capacity);
-  tb.enabled = true;
+  closeStreamLocked(tb);
+  resetTraceLocked(tb, capacity);
+  g_trace_enabled.store(capacity > 0, std::memory_order_relaxed);
+}
+
+void enableStreamingTrace(int fd, std::size_t high_water) {
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  closeStreamLocked(tb);
+  resetTraceLocked(tb, high_water == 0 ? 1 : high_water);
+  tb.fd = fd;
+  tb.owns_fd = false;
+  g_trace_enabled.store(fd >= 0, std::memory_order_relaxed);
+}
+
+bool streamTraceTo(const std::string& path, std::size_t high_water) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  closeStreamLocked(tb);
+  resetTraceLocked(tb, high_water == 0 ? 1 : high_water);
+  tb.fd = fd;
+  tb.owns_fd = true;
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+  return true;
 }
 
 void disableTracing() {
+  g_trace_enabled.store(false, std::memory_order_relaxed);
   TraceBuffer& tb = traceBuffer();
   const std::lock_guard<std::mutex> lock(tb.mutex);
-  tb.enabled = false;
+  closeStreamLocked(tb);  // flush pending streamed events, close owned fd
 }
 
 void dumpTrace(std::ostream& os) {
   TraceBuffer& tb = traceBuffer();
   const std::lock_guard<std::mutex> lock(tb.mutex);
-  for (const Event& e : tb.events) {
+  const std::size_t n = tb.events.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = tb.events[(tb.oldest + i) % n];
     os << e.time_ns << ' ' << (e.kind == EventKind::Enter ? "ENTER" : "EXIT")
        << ' ' << e.fn->displayName() << '\n';
   }
+  if (tb.wrapped > 0)
+    os << "# wrapped " << tb.wrapped << " (oldest events overwritten)\n";
+}
+
+TraceStats traceStats() {
+  TraceBuffer& tb = traceBuffer();
+  const std::lock_guard<std::mutex> lock(tb.mutex);
+  return {tb.recorded, tb.wrapped, tb.streamed};
 }
 
 }  // namespace tau

@@ -246,4 +246,54 @@ print(f"observability OK: {len(spans)} spans, "
       f"{j1['lex.tokens']} tokens, counters identical across 4 runs")
 PY
 
+echo "== dynamic analysis =="
+# Production-scale profiling path (docs/OBSERVABILITY.md §"Dynamic
+# profiling at scale"): run the multi-threaded ALEPH example writing one
+# binary profile file per thread, merge them with tauprof, and assert
+# the merged call counts are exact — the lock-free runtime must not
+# lose or double-count a single event. Then attach the merged profile
+# to a program database as a dp section and require ASCII <-> binary
+# round-trip identity, and require the merge itself to be byte-stable
+# under input reordering.
+DYN_DIR="${BUILD}/ci_dyn_profiles"
+DYN_THREADS=4
+DYN_EVENTS=500
+rm -rf "${DYN_DIR}"
+mkdir -p "${DYN_DIR}"
+TAU_PROFILE_FILE="${DYN_DIR}" TAU_NODE=0 TAU_CONTEXT=1 \
+    "${BUILD}/examples/aleph_events" "${DYN_THREADS}" "${DYN_EVENTS}" \
+    > "${BUILD}/ci_dyn_run.out"
+grep -q "analyzed" "${BUILD}/ci_dyn_run.out"
+profile_count="$(ls "${DYN_DIR}"/profile.* | wc -l)"
+# One file per worker thread plus the main thread.
+[ "${profile_count}" -ge $((DYN_THREADS + 1)) ]
+"${BUILD}/src/tools/tauprof" "${DYN_DIR}"/profile.* \
+    --format=csv -o "${BUILD}/ci_dyn_merged.csv"
+python3 - "${BUILD}" "${DYN_THREADS}" "${DYN_EVENTS}" <<'PY'
+import csv, sys
+build, threads, events = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+rows = {r["name"]: r for r in csv.DictReader(open(f"{build}/ci_dyn_merged.csv"))}
+analyze = rows["analyzeEvent()"]
+assert int(analyze["calls"]) == threads * events, \
+    f"lost events: {analyze['calls']} != {threads * events}"
+assert int(analyze["threads"]) == threads, analyze["threads"]
+assert int(rows["workerLoop()"]["calls"]) == threads, rows["workerLoop()"]
+print(f"dynamic analysis OK: {threads * events} analyzeEvent calls exact "
+      f"across {threads} worker threads")
+PY
+# Merge determinism: reversed input order must give byte-identical output.
+"${BUILD}/src/tools/tauprof" $(ls -r "${DYN_DIR}"/profile.*) \
+    --format=csv -o "${BUILD}/ci_dyn_merged_rev.csv"
+cmp "${BUILD}/ci_dyn_merged.csv" "${BUILD}/ci_dyn_merged_rev.csv"
+# dp section: join with the static database, round-trip both formats.
+"${BUILD}/src/tools/tauprof" "${DYN_DIR}"/profile.* \
+    --pdb "${BUILD}/ci_krylov.pdb" --db-out "${BUILD}/ci_dyn.pdb" > /dev/null
+grep -q "^dp#" "${BUILD}/ci_dyn.pdb"
+"${BUILD}/src/tools/pdbconv" --to=bin "${BUILD}/ci_dyn.pdb" \
+    -o "${BUILD}/ci_dyn.bpdb"
+"${BUILD}/src/tools/pdbconv" --to=ascii "${BUILD}/ci_dyn.bpdb" \
+    -o "${BUILD}/ci_dyn.back.pdb"
+cmp "${BUILD}/ci_dyn.pdb" "${BUILD}/ci_dyn.back.pdb"
+"${BUILD}/src/tools/pdbtree" "${BUILD}/ci_dyn.bpdb" --profile > /dev/null
+
 echo "== CI gate passed =="

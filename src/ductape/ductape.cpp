@@ -677,6 +677,39 @@ void PDB::merge(const PDB& other) {
     my_macros.insert(macroKey(m));
   }
 
+  // Dynamic profiles: one per distinct TAU profile entry, keyed by display
+  // name. Merging two measured databases sums their counts and times —
+  // profiles of the same workload from different processes/runs aggregate
+  // instead of duplicating (mirrors tauprof's own cross-file merge).
+  {
+    std::unordered_map<std::string_view, std::size_t> my_dp_at;
+    my_dp_at.reserve(raw_.dynProfs().size());
+    for (std::size_t i = 0; i < raw_.dynProfs().size(); ++i)
+      my_dp_at.emplace(raw_.dynProfs()[i].name, i);
+    for (const auto& p : theirs.dynProfs()) {
+      const auto remapped_routine = [&] {
+        const auto it = routine_map.find(p.routine);
+        return it != routine_map.end() ? it->second : 0u;
+      };
+      if (const auto it = my_dp_at.find(p.name); it != my_dp_at.end()) {
+        auto& mine = raw_.dynProfs()[it->second];
+        mine.calls += p.calls;
+        mine.child_calls += p.child_calls;
+        mine.inclusive_ns += p.inclusive_ns;
+        mine.exclusive_ns += p.exclusive_ns;
+        mine.threads += p.threads;
+        mine.contexts += p.contexts;
+        if (mine.routine == 0 && p.routine != 0)
+          mine.routine = remapped_routine();
+        continue;
+      }
+      pdb::DynProfItem copy = p;
+      copy.id = 0;
+      if (copy.routine != 0) copy.routine = remapped_routine();
+      raw_.addDynProf(std::move(copy));
+    }
+  }
+
   // Def-use streams: one per defined routine, keyed by the merged routine
   // id. When both sides carry a stream for the same routine (the routine
   // itself was a duplicate) the first one wins — mirroring the

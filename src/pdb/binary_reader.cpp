@@ -87,7 +87,7 @@ class BinaryReader {
     decodeStringTable();
     if (!result_.errors.empty()) return std::move(result_);
     for (const SectionEntry& entry : table_) {
-      if (entry.kind > static_cast<std::uint32_t>(ItemKind::DefUse)) {
+      if (entry.kind > static_cast<std::uint32_t>(ItemKind::DynProf)) {
         error("section table names unknown item kind " +
               std::to_string(entry.kind));
         continue;
@@ -225,7 +225,7 @@ class BinaryReader {
     const std::uint8_t kind = cur.u8();
     const std::uint32_t id = cur.u32();
     if (kind == 0xff) return std::nullopt;
-    if (kind > static_cast<std::uint8_t>(ItemKind::DefUse)) {
+    if (kind > static_cast<std::uint8_t>(ItemKind::DynProf)) {
       error("record references unknown item kind " + std::to_string(kind));
       return std::nullopt;
     }
@@ -286,6 +286,9 @@ class BinaryReader {
       case ItemKind::DefUse:
         pdb.defUses().reserve(pdb.defUses().size() + n);
         break;
+      case ItemKind::DynProf:
+        pdb.dynProfs().reserve(pdb.dynProfs().size() + n);
+        break;
     }
   }
 
@@ -312,6 +315,7 @@ class BinaryReader {
         case ItemKind::Namespace: decodeNamespace(cur, record_offset); break;
         case ItemKind::Macro: decodeMacro(cur, record_offset); break;
         case ItemKind::DefUse: decodeDefUse(cur, record_offset); break;
+        case ItemKind::DynProf: decodeDynProf(cur, record_offset); break;
       }
       if (!cur.ok() || cur.pos() > end) {
         error(std::string(prefixOf(kind)) + " section truncated at item " +
@@ -505,6 +509,21 @@ class BinaryReader {
     }
     d.src_offset = off;
     if (cur.ok()) result_.pdb.addDefUse(std::move(d));
+  }
+
+  void decodeDynProf(Cursor& cur, std::uint64_t off) {
+    DynProfItem p;
+    p.id = cur.u32();
+    p.name = str(cur.u32());
+    p.routine = cur.u32();
+    p.calls = cur.u64();
+    p.child_calls = cur.u64();
+    p.inclusive_ns = cur.u64();
+    p.exclusive_ns = cur.u64();
+    p.threads = cur.u32();
+    p.contexts = cur.u32();
+    p.src_offset = off;
+    if (cur.ok()) result_.pdb.addDynProf(std::move(p));
   }
 
   std::string_view bytes_;

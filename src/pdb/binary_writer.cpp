@@ -281,6 +281,22 @@ std::string encodeMacros(const PdbFile& pdb, StringTable& strings) {
   return enc.take();
 }
 
+std::string encodeDynProfs(const PdbFile& pdb, StringTable& strings) {
+  SectionEncoder enc(strings);
+  for (const DynProfItem& p : pdb.dynProfs()) {
+    enc.u32(p.id);
+    enc.str(p.name);
+    enc.u32(p.routine);
+    enc.u64(p.calls);
+    enc.u64(p.child_calls);
+    enc.u64(p.inclusive_ns);
+    enc.u64(p.exclusive_ns);
+    enc.u32(p.threads);
+    enc.u32(p.contexts);
+  }
+  return enc.take();
+}
+
 std::string encodeDefUses(const PdbFile& pdb, StringTable& strings) {
   SectionEncoder enc(strings);
   for (const DefUseItem& d : pdb.defUses()) {
@@ -317,7 +333,7 @@ std::string writeBinaryToString(const PdbFile& pdb) {
     sections.push_back(
         {kind, static_cast<std::uint32_t>(count), std::move(payload)});
   };
-  // Same section order as the ASCII writer (so te ro cl ty na ma du).
+  // Same section order as the ASCII writer (so te ro cl ty na ma du dp).
   addSection(ItemKind::SourceFile, pdb.sourceFiles().size(),
              encodeSourceFiles(pdb, strings));
   addSection(ItemKind::Template, pdb.templates().size(),
@@ -333,6 +349,8 @@ std::string writeBinaryToString(const PdbFile& pdb) {
              encodeMacros(pdb, strings));
   addSection(ItemKind::DefUse, pdb.defUses().size(),
              encodeDefUses(pdb, strings));
+  addSection(ItemKind::DynProf, pdb.dynProfs().size(),
+             encodeDynProfs(pdb, strings));
 
   const std::string strtab = strings.encode();
 

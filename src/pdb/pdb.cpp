@@ -12,6 +12,7 @@ std::string_view prefixOf(ItemKind kind) {
     case ItemKind::Namespace: return "na";
     case ItemKind::Macro: return "ma";
     case ItemKind::DefUse: return "du";
+    case ItemKind::DynProf: return "dp";
   }
   return "??";
 }
@@ -25,6 +26,7 @@ std::optional<ItemKind> kindFromPrefix(std::string_view prefix) {
   if (prefix == "na") return ItemKind::Namespace;
   if (prefix == "ma") return ItemKind::Macro;
   if (prefix == "du") return ItemKind::DefUse;
+  if (prefix == "dp") return ItemKind::DynProf;
   return std::nullopt;
 }
 
@@ -98,6 +100,9 @@ std::uint32_t PdbFile::addMacro(MacroItem item) {
 std::uint32_t PdbFile::addDefUse(DefUseItem item) {
   return add(def_uses_, def_use_index_, std::move(item), next_def_use_id_);
 }
+std::uint32_t PdbFile::addDynProf(DynProfItem item) {
+  return add(dyn_profs_, dyn_prof_index_, std::move(item), next_dyn_prof_id_);
+}
 
 namespace {
 template <typename T>
@@ -134,11 +139,14 @@ const MacroItem* PdbFile::findMacro(std::uint32_t id) const {
 const DefUseItem* PdbFile::findDefUse(std::uint32_t id) const {
   return findIn(def_uses_, def_use_index_, id);
 }
+const DynProfItem* PdbFile::findDynProf(std::uint32_t id) const {
+  return findIn(dyn_profs_, dyn_prof_index_, id);
+}
 
 std::size_t PdbFile::itemCount() const {
   return files_.size() + routines_.size() + classes_.size() + types_.size() +
          templates_.size() + namespaces_.size() + macros_.size() +
-         def_uses_.size();
+         def_uses_.size() + dyn_profs_.size();
 }
 
 void PdbFile::reindex() {
@@ -158,6 +166,7 @@ void PdbFile::reindex() {
   rebuild(namespaces_, namespace_index_, next_namespace_id_);
   rebuild(macros_, macro_index_, next_macro_id_);
   rebuild(def_uses_, def_use_index_, next_def_use_id_);
+  rebuild(dyn_profs_, dyn_prof_index_, next_dyn_prof_id_);
 }
 
 }  // namespace pdt::pdb

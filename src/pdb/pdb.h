@@ -29,16 +29,17 @@ enum class ItemKind : std::uint8_t {
   Namespace,   // na
   Macro,       // ma
   DefUse,      // du
+  DynProf,     // dp
 };
 
 [[nodiscard]] std::string_view prefixOf(ItemKind kind);
 [[nodiscard]] std::optional<ItemKind> kindFromPrefix(std::string_view prefix);
 
-/// Bitmask of the eight item sections. Readers accept a mask and skip the
+/// Bitmask of the nine item sections. Readers accept a mask and skip the
 /// sections a tool does not need (the binary format's section table makes
 /// the skip O(1); the ASCII reader skips item bodies without decoding
 /// their attributes).
-enum class Sections : std::uint8_t {
+enum class Sections : std::uint16_t {
   None = 0,
   SourceFiles = 1u << 0,
   Routines = 1u << 1,
@@ -48,19 +49,20 @@ enum class Sections : std::uint8_t {
   Namespaces = 1u << 5,
   Macros = 1u << 6,
   DefUses = 1u << 7,
-  All = 0xff,
+  DynProfs = 1u << 8,
+  All = 0x1ff,
 };
 
 [[nodiscard]] constexpr Sections operator|(Sections a, Sections b) {
-  return static_cast<Sections>(static_cast<std::uint8_t>(a) |
-                               static_cast<std::uint8_t>(b));
+  return static_cast<Sections>(static_cast<std::uint16_t>(a) |
+                               static_cast<std::uint16_t>(b));
 }
 [[nodiscard]] constexpr Sections operator&(Sections a, Sections b) {
-  return static_cast<Sections>(static_cast<std::uint8_t>(a) &
-                               static_cast<std::uint8_t>(b));
+  return static_cast<Sections>(static_cast<std::uint16_t>(a) &
+                               static_cast<std::uint16_t>(b));
 }
 [[nodiscard]] constexpr Sections operator~(Sections a) {
-  return static_cast<Sections>(~static_cast<std::uint8_t>(a) & 0xff);
+  return static_cast<Sections>(~static_cast<std::uint16_t>(a) & 0x1ff);
 }
 inline Sections& operator|=(Sections& a, Sections b) { return a = a | b; }
 
@@ -292,6 +294,25 @@ struct DefUseItem {
   std::uint64_t src_offset = 0;
 };
 
+/// Measured cost of one profiled routine ("dp" items) — the dynamic half
+/// of the paper's Figure 7, stored next to the static sections so tools
+/// can join structure with measured cost. One item per distinct TAU
+/// profile entry (base name + instantiation type); counts and times are
+/// aggregated over every thread/process profile that was merged in
+/// (src/tau/profile_merge, the tauprof tool).
+struct DynProfItem {
+  std::uint32_t id = 0;
+  std::uint32_t routine = 0;  // ro id; 0 when no static routine matched
+  std::string_view name;      // TAU display name, e.g. "push() <Stack<int>>"
+  std::uint64_t calls = 0;
+  std::uint64_t child_calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+  std::uint32_t threads = 0;   // thread profiles that contributed
+  std::uint32_t contexts = 0;  // distinct (node, context) processes
+  std::uint64_t src_offset = 0;
+};
+
 /// One program database. Ids are unique per item kind; lookup maps are
 /// maintained by the mutators.
 class PdbFile {
@@ -342,6 +363,7 @@ class PdbFile {
   std::uint32_t addNamespace(NamespaceItem item);
   std::uint32_t addMacro(MacroItem item);
   std::uint32_t addDefUse(DefUseItem item);
+  std::uint32_t addDynProf(DynProfItem item);
 
   [[nodiscard]] const std::vector<SourceFileItem>& sourceFiles() const { return files_; }
   [[nodiscard]] const std::vector<RoutineItem>& routines() const { return routines_; }
@@ -351,6 +373,7 @@ class PdbFile {
   [[nodiscard]] const std::vector<NamespaceItem>& namespaces() const { return namespaces_; }
   [[nodiscard]] const std::vector<MacroItem>& macros() const { return macros_; }
   [[nodiscard]] const std::vector<DefUseItem>& defUses() const { return def_uses_; }
+  [[nodiscard]] const std::vector<DynProfItem>& dynProfs() const { return dyn_profs_; }
 
   // Mutable access for pdbmerge and the analyzer.
   [[nodiscard]] std::vector<SourceFileItem>& sourceFiles() { return files_; }
@@ -361,6 +384,7 @@ class PdbFile {
   [[nodiscard]] std::vector<NamespaceItem>& namespaces() { return namespaces_; }
   [[nodiscard]] std::vector<MacroItem>& macros() { return macros_; }
   [[nodiscard]] std::vector<DefUseItem>& defUses() { return def_uses_; }
+  [[nodiscard]] std::vector<DynProfItem>& dynProfs() { return dyn_profs_; }
 
   [[nodiscard]] const SourceFileItem* findSourceFile(std::uint32_t id) const;
   [[nodiscard]] const RoutineItem* findRoutine(std::uint32_t id) const;
@@ -370,6 +394,7 @@ class PdbFile {
   [[nodiscard]] const NamespaceItem* findNamespace(std::uint32_t id) const;
   [[nodiscard]] const MacroItem* findMacro(std::uint32_t id) const;
   [[nodiscard]] const DefUseItem* findDefUse(std::uint32_t id) const;
+  [[nodiscard]] const DynProfItem* findDynProf(std::uint32_t id) const;
 
   [[nodiscard]] std::size_t itemCount() const;
 
@@ -396,13 +421,14 @@ class PdbFile {
   std::vector<NamespaceItem> namespaces_;
   std::vector<MacroItem> macros_;
   std::vector<DefUseItem> def_uses_;
+  std::vector<DynProfItem> dyn_profs_;
 
   std::unordered_map<std::uint32_t, std::size_t> file_index_, routine_index_,
       class_index_, type_index_, template_index_, namespace_index_, macro_index_,
-      def_use_index_;
+      def_use_index_, dyn_prof_index_;
   std::uint32_t next_file_id_ = 1, next_routine_id_ = 1, next_class_id_ = 1,
                 next_type_id_ = 1, next_template_id_ = 1, next_namespace_id_ = 1,
-                next_macro_id_ = 1, next_def_use_id_ = 1;
+                next_macro_id_ = 1, next_def_use_id_ = 1, next_dyn_prof_id_ = 1;
   OffsetUnit offset_unit_ = OffsetUnit::None;
 
   // Ownership for item string_views: adopted read buffers and the

@@ -56,6 +56,16 @@ class Fields {
     return v;
   }
 
+  std::optional<std::uint64_t> nextU64() {
+    const auto f = next();
+    if (!f || f->empty()) return std::nullopt;
+    std::uint64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(f->data(), f->data() + f->size(), v);
+    if (ec != std::errc{} || ptr != f->data() + f->size()) return std::nullopt;
+    return v;
+  }
+
   std::optional<Pos> nextPos() {
     const auto f = next();
     if (!f) return std::nullopt;
@@ -123,7 +133,7 @@ class Reader {
   /// Sections present in the input but left unloaded by the mask.
   [[nodiscard]] std::uint64_t skippedSectionCount() const {
     std::uint64_t n = 0;
-    for (auto bits = static_cast<std::uint8_t>(skipped_present_); bits != 0;
+    for (auto bits = static_cast<std::uint16_t>(skipped_present_); bits != 0;
          bits &= bits - 1)
       ++n;
     return n;
@@ -201,6 +211,12 @@ class Reader {
         else error("malformed du header routine in '" + std::string(text) + "'");
         break;
       }
+      case ItemKind::DynProf:
+        dyn_prof_ = {};
+        dyn_prof_.id = id;
+        dyn_prof_.name = name;
+        dyn_prof_.src_offset = off;
+        break;
     }
   }
 
@@ -220,6 +236,7 @@ class Reader {
       case ItemKind::Namespace: result_.pdb.addNamespace(std::move(namespace_)); break;
       case ItemKind::Macro: result_.pdb.addMacro(std::move(macro_)); break;
       case ItemKind::DefUse: result_.pdb.addDefUse(std::move(def_use_)); break;
+      case ItemKind::DynProf: result_.pdb.addDynProf(std::move(dyn_prof_)); break;
     }
     current_kind_ = std::nullopt;
   }
@@ -455,6 +472,33 @@ class Reader {
           }
         } else error("unknown def-use attribute '" + std::string(key) + "'");
         break;
+
+      case ItemKind::DynProf:
+        if (key == "plink") {
+          if (const auto ref = fields.nextRef();
+              ref && ref->kind == ItemKind::Routine)
+            dyn_prof_.routine = ref->id;
+          else
+            error("malformed plink");
+        } else if (key == "pdata") {
+          const auto calls = fields.nextU64();
+          const auto subrs = fields.nextU64();
+          const auto incl = fields.nextU64();
+          const auto excl = fields.nextU64();
+          const auto threads = fields.nextUint();
+          const auto contexts = fields.nextUint();
+          if (calls && subrs && incl && excl && threads && contexts) {
+            dyn_prof_.calls = *calls;
+            dyn_prof_.child_calls = *subrs;
+            dyn_prof_.inclusive_ns = *incl;
+            dyn_prof_.exclusive_ns = *excl;
+            dyn_prof_.threads = *threads;
+            dyn_prof_.contexts = *contexts;
+          } else {
+            error("malformed pdata");
+          }
+        } else error("unknown dynamic-profile attribute '" + std::string(key) + "'");
+        break;
     }
   }
 
@@ -474,6 +518,7 @@ class Reader {
   NamespaceItem namespace_;
   MacroItem macro_;
   DefUseItem def_use_;
+  DynProfItem dyn_prof_;
 };
 
 }  // namespace

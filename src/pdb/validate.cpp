@@ -100,6 +100,17 @@ class Validator {
       for (const auto& e : d.events)
         checkPos(e.pos, "event '" + std::string(e.name) + "'");
     }
+    for (const auto& p : pdb_.dynProfs()) {
+      where_ = "dynamic profile '" + std::string(p.name) + "' (dp#" +
+               std::to_string(p.id) + at(p.src_offset, ItemKind::DynProf) + ")";
+      if (checkable(ItemKind::Routine) && p.routine != 0 &&
+          pdb_.findRoutine(p.routine) == nullptr)
+        fail("links undefined ro#" + std::to_string(p.routine));
+      if (p.inclusive_ns < p.exclusive_ns)
+        fail("inclusive time " + std::to_string(p.inclusive_ns) +
+             "ns below exclusive time " + std::to_string(p.exclusive_ns) +
+             "ns");
+    }
     return std::move(errors_);
   }
 
@@ -159,6 +170,7 @@ class Validator {
       case ItemKind::Namespace: found = pdb_.findNamespace(ref.id) != nullptr; break;
       case ItemKind::Macro: found = pdb_.findMacro(ref.id) != nullptr; break;
       case ItemKind::DefUse: found = pdb_.findDefUse(ref.id) != nullptr; break;
+      case ItemKind::DynProf: found = pdb_.findDynProf(ref.id) != nullptr; break;
     }
     if (!found) fail(what + " references undefined " + ref.str());
   }

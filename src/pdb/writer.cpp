@@ -180,6 +180,15 @@ void write(const PdbFile& pdb, std::ostream& os) {
     }
     os << '\n';
   }
+
+  for (const DynProfItem& p : pdb.dynProfs()) {
+    os << "dp#" << p.id << ' ' << p.name << '\n';
+    if (p.routine != 0) os << "plink ro#" << p.routine << '\n';
+    os << "pdata " << p.calls << ' ' << p.child_calls << ' ' << p.inclusive_ns
+       << ' ' << p.exclusive_ns << ' ' << p.threads << ' ' << p.contexts
+       << '\n';
+    os << '\n';
+  }
 }
 
 std::string writeToString(const PdbFile& pdb) {

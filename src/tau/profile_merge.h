@@ -1,0 +1,94 @@
+// Cross-process profile merge: reads the TAU runtime's binary per-thread
+// profile files (profile.<node>.<context>.<thread>, format in
+// runtime/tau/tau_profile_format.h), aggregates them into one profile, and
+// can attach the result to a program database as a dp section so that
+// static structure and measured cost join up (tauprof, pdbtree --profile).
+//
+// Merging is deterministic: counts are summed (commutative) and entries
+// are sorted by exclusive time with name tie-breaks, so the output is
+// byte-identical regardless of input file order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdb/pdb.h"
+
+namespace pdt::tau {
+
+/// One routine's totals inside a single thread's profile file.
+struct ThreadProfileRecord {
+  std::string name;  // routine name, e.g. "push()"
+  std::string type;  // template instantiation, e.g. "Stack<int>" ("" = none)
+  std::uint32_t group = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t child_calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+};
+
+/// The decoded contents of one profile.<node>.<context>.<thread> file.
+struct ThreadProfile {
+  std::uint32_t node = 0;
+  std::uint32_t context = 0;
+  std::uint32_t thread = 0;
+  std::vector<ThreadProfileRecord> records;
+};
+
+/// Reads and checksums one binary thread-profile file. On failure returns
+/// nullopt and, when `error` is non-null, stores a one-line diagnostic.
+[[nodiscard]] std::optional<ThreadProfile> readThreadProfile(
+    const std::string& path, std::string* error = nullptr);
+
+/// One routine aggregated across every input thread profile.
+struct MergedEntry {
+  std::string name;
+  std::string type;
+  std::uint32_t group = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t child_calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+  std::uint32_t threads = 0;   ///< thread profiles containing this routine
+  std::uint32_t contexts = 0;  ///< distinct (node, context) pairs among them
+
+  /// The TAU display name: "push() <Stack<int>>", or just the name.
+  [[nodiscard]] std::string displayName() const;
+};
+
+struct MergedProfile {
+  /// Sorted: exclusive time desc, then display name, so rendering the
+  /// same inputs in any order produces identical bytes.
+  std::vector<MergedEntry> entries;
+  std::uint32_t thread_files = 0;   ///< input files merged
+  std::uint32_t context_count = 0;  ///< distinct (node, context) pairs seen
+
+  [[nodiscard]] const MergedEntry* find(const std::string& name_substring) const;
+  [[nodiscard]] std::uint64_t totalExclusiveNs() const;
+};
+
+/// Aggregates thread profiles; input order does not affect the result.
+[[nodiscard]] MergedProfile mergeThreadProfiles(
+    const std::vector<ThreadProfile>& inputs);
+
+/// Renders the aggregate report: the runtime's Figure-7 layout plus #Thr
+/// and #Ctx columns showing how many thread profiles / processes
+/// contributed to each row.
+void renderMergedProfile(const MergedProfile& merged, std::ostream& os);
+
+/// Machine-readable form, one "name,type,group,calls,child_calls,
+/// inclusive_ns,exclusive_ns,threads,contexts" row per entry (header
+/// first; name/type quoted when they contain commas or quotes).
+void renderMergedCsv(const MergedProfile& merged, std::ostream& os);
+
+/// Appends one dp item per merged entry to `pdb`, linking each to a ro
+/// item when a routine with a matching name exists (lowest id wins when
+/// names collide). Returns how many entries were linked.
+std::size_t attachDynProfSection(const MergedProfile& merged,
+                                 pdb::PdbFile& pdb);
+
+}  // namespace pdt::tau

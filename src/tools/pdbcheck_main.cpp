@@ -38,7 +38,7 @@ constexpr const char* kUsage =
 /// Renders a section mask as the section prefixes it selects ("so ro du").
 std::string sectionsText(pdt::pdb::Sections sections) {
   std::string out;
-  for (int k = 0; k <= static_cast<int>(pdt::pdb::ItemKind::DefUse); ++k) {
+  for (int k = 0; k <= static_cast<int>(pdt::pdb::ItemKind::DynProf); ++k) {
     const auto kind = static_cast<pdt::pdb::ItemKind>(k);
     if ((sections & pdt::pdb::sectionOf(kind)) == pdt::pdb::Sections{})
       continue;

@@ -15,11 +15,12 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: pdbtree <file.pdb> [--includes|--classes|--calls]\n"
+    "usage: pdbtree <file.pdb> [--includes|--classes|--calls|--profile]\n"
     "               [--stats[=json]] [--stats-out FILE] [--trace-out FILE]\n"
     "  --includes        source file inclusion tree only\n"
     "  --classes         class hierarchy only\n"
     "  --calls           static call tree only (paper Figure 5)\n"
+    "  --profile         dp section (tauprof merge) joined with routines\n"
     "  --stats[=json]    counter + phase timing report on stderr\n"
     "  --stats-out FILE  write the stats report to FILE\n"
     "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
@@ -35,6 +36,9 @@ Sections sectionsForMode(const std::string& mode) {
     return Sections::Classes | Sections::SourceFiles | Sections::Namespaces;
   if (mode == "--calls")
     return Sections::Routines | Sections::Classes | Sections::Namespaces;
+  if (mode == "--profile")
+    return Sections::DynProfs | Sections::Routines | Sections::Classes |
+           Sections::Namespaces | Sections::SourceFiles;
   // All three trees.
   return Sections::SourceFiles | Sections::Routines | Sections::Classes |
          Sections::Namespaces;
@@ -49,7 +53,8 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--includes" || arg == "--classes" || arg == "--calls") {
+    if (arg == "--includes" || arg == "--classes" || arg == "--calls" ||
+        arg == "--profile") {
       if (!mode.empty()) {
         std::cerr << kUsage;
         return 2;
@@ -99,6 +104,8 @@ int main(int argc, char** argv) {
     pdt::tools::pdbtree(pdb, TreeKind::Includes, std::cout);
   } else if (mode == "--classes") {
     pdt::tools::pdbtree(pdb, TreeKind::ClassHierarchy, std::cout);
+  } else if (mode == "--profile") {
+    pdt::tools::pdbtree(pdb, TreeKind::Profile, std::cout);
   } else {
     pdt::tools::pdbtree(pdb, TreeKind::CallGraph, std::cout);
   }

@@ -1,7 +1,9 @@
 #include "tools/tools.h"
 
 #include <future>
+#include <iomanip>
 #include <ostream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -139,6 +141,18 @@ void pdbconv(const PDB& pdb, std::ostream& os) {
     for (const pdbMacro* m : pdb.getMacroVec()) {
       os << "  ma#" << m->id() << "  " << m->name()
          << (m->kind() == pdbMacro::MA_UNDEF ? " [undef]" : "") << '\n';
+    }
+    os << '\n';
+  }
+
+  if (!pdb.raw().dynProfs().empty()) {
+    os << "Dynamic profiles (" << pdb.raw().dynProfs().size() << "):\n";
+    for (const auto& p : pdb.raw().dynProfs()) {
+      os << "  dp#" << p.id << "  " << p.name << "  calls=" << p.calls
+         << " incl_ns=" << p.inclusive_ns << " excl_ns=" << p.exclusive_ns
+         << " thr=" << p.threads << " ctx=" << p.contexts;
+      if (p.routine != 0) os << "  -> ro#" << p.routine;
+      os << '\n';
     }
     os << '\n';
   }
@@ -442,6 +456,38 @@ void pdbtree(const PDB& pdb, TreeKind kind, std::ostream& os) {
       for (const pdbRoutine* root : pdb.getCallTreeRoots()) {
         os << root->fullName() << '\n';
         printFuncTree(root, 1, os);
+      }
+      break;
+    }
+    case TreeKind::Profile: {
+      os << "Dynamic profile joined with static routines\n"
+            "-------------------------------------------\n";
+      const auto& dps = pdb.raw().dynProfs();
+      if (dps.empty()) {
+        os << "(no dp section; attach one with tauprof --db-out)\n";
+        break;
+      }
+      std::unordered_map<int, const pdbRoutine*> by_id;
+      for (const pdbRoutine* r : pdb.getRoutineVec()) by_id.emplace(r->id(), r);
+      os << "       #Call     Excl-ms     Incl-ms  Thr  Name  [routine @ location]\n";
+      const auto flags = os.flags();
+      const auto precision = os.precision();
+      for (const pdb::DynProfItem& p : dps) {
+        os << std::setw(12) << p.calls << ' ' << std::fixed
+           << std::setprecision(3) << std::setw(11)
+           << static_cast<double>(p.exclusive_ns) / 1e6 << ' ' << std::setw(11)
+           << static_cast<double>(p.inclusive_ns) / 1e6 << ' ' << std::setw(4)
+           << p.threads << "  " << p.name;
+        const auto it = by_id.find(static_cast<int>(p.routine));
+        if (it != by_id.end()) {
+          os << "  [ro#" << p.routine << ' ' << it->second->fullName() << " @ "
+             << locText(it->second->location()) << ']';
+        } else if (p.routine != 0) {
+          os << "  [ro#" << p.routine << ']';
+        }
+        os << '\n';
+        os.flags(flags);
+        os.precision(precision);
       }
       break;
     }

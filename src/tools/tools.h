@@ -33,8 +33,10 @@ void pdbhtml(const ductape::PDB& pdb, std::ostream& os,
 [[nodiscard]] ductape::PDB pdbmerge(std::vector<ductape::PDB> inputs,
                                     std::size_t jobs = 1);
 
-/// pdbtree: which tree to display.
-enum class TreeKind { Includes, ClassHierarchy, CallGraph };
+/// pdbtree: which tree to display. Profile joins the database's dp
+/// section (merged dynamic profile attached by tauprof) with its static
+/// routines.
+enum class TreeKind { Includes, ClassHierarchy, CallGraph, Profile };
 
 void pdbtree(const ductape::PDB& pdb, TreeKind kind, std::ostream& os);
 

@@ -113,6 +113,28 @@ PdbFile samplePdb() {
        "r", {impl_id, 76, 9}});
   du_item.events.push_back({DuOp::Marker, 0, "endif", {impl_id, 77, 9}});
   pdb.addDefUse(std::move(du_item));
+
+  // Two dynamic-profile entries: one linked to a routine, one standalone
+  // (a runtime-only name with no static counterpart).
+  DynProfItem dp_linked;
+  dp_linked.name = "push() <Stack<int>>";
+  dp_linked.routine = push_id;
+  dp_linked.calls = 4096;
+  dp_linked.child_calls = 128;
+  dp_linked.inclusive_ns = 987654321;
+  dp_linked.exclusive_ns = 123456789;
+  dp_linked.threads = 8;
+  dp_linked.contexts = 2;
+  pdb.addDynProf(std::move(dp_linked));
+
+  DynProfItem dp_unlinked;
+  dp_unlinked.name = "main()";
+  dp_unlinked.calls = 1;
+  dp_unlinked.inclusive_ns = 5000000000;
+  dp_unlinked.exclusive_ns = 5000000000;
+  dp_unlinked.threads = 1;
+  dp_unlinked.contexts = 1;
+  pdb.addDynProf(std::move(dp_unlinked));
   return pdb;
 }
 
@@ -213,6 +235,32 @@ TEST(FormatRoundTrip, LazyReadCanLoadOnlyDefUses) {
   // The stream's ro# reference points into an unloaded section; the
   // section-aware validator must not flag it.
   EXPECT_TRUE(validate(lazy.pdb, lazy.loaded).empty());
+}
+
+TEST(FormatRoundTrip, LazyReadCanLoadOnlyDynProfs) {
+  const std::string binary = writeString(samplePdb(), Format::Binary);
+
+  ReadResult lazy = readBuffer(binary, Sections::DynProfs);
+  ASSERT_TRUE(lazy.ok()) << lazy.errors.front();
+  EXPECT_EQ(lazy.loaded, Sections::DynProfs);
+  ASSERT_EQ(lazy.pdb.dynProfs().size(), 2u);
+  EXPECT_EQ(lazy.pdb.dynProfs()[0].name, "push() <Stack<int>>");
+  EXPECT_EQ(lazy.pdb.dynProfs()[0].calls, 4096u);
+  EXPECT_EQ(lazy.pdb.dynProfs()[0].threads, 8u);
+  EXPECT_TRUE(lazy.pdb.routines().empty());
+  // The entry's ro# link points into an unloaded section; the
+  // section-aware validator must not flag it.
+  EXPECT_TRUE(validate(lazy.pdb, lazy.loaded).empty());
+}
+
+TEST(FormatRoundTrip, ValidatorFlagsInvertedDynProfTimes) {
+  PdbFile pdb = samplePdb();
+  pdb.dynProfs()[0].inclusive_ns = 1;
+  pdb.dynProfs()[0].exclusive_ns = 2;
+  const std::vector<std::string> errors = validate(pdb);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("dp#1"), std::string::npos);
+  EXPECT_NE(errors[0].find("inclusive time"), std::string::npos);
 }
 
 TEST(FormatRoundTrip, BinaryDiagnosticsNameTheDuSection) {

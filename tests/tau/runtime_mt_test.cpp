@@ -1,0 +1,236 @@
+// Multi-threaded TAU runtime tests: lock-free per-thread profiling must
+// produce exact call counts under contention, publish worker statistics
+// at thread exit and on flushThread(), survive reset() between runs, and
+// write one binary profile file per thread. Also covers the streaming
+// trace (nothing dropped) against the in-memory ring (overwrite-oldest).
+//
+// Run under TSan via -DPDT_SANITIZE=thread to verify the publish/snapshot
+// protocol is race-free.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "TAU.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void burn(int iterations) {
+  volatile int sink = 0;
+  for (int i = 0; i < iterations * 100; ++i) sink = sink + i;
+}
+
+void mtLeaf() {
+  TAU_PROFILE("mtLeaf()", std::string(""), TAU_DEFAULT);
+  burn(1);
+}
+
+void mtCaller() {
+  TAU_PROFILE("mtCaller()", std::string(""), TAU_DEFAULT);
+  mtLeaf();
+  mtLeaf();
+  burn(1);
+}
+
+std::string reportText() {
+  std::ostringstream os;
+  tau::report(os);
+  return os.str();
+}
+
+/// Parses the report row for `name`: pct, excl_ms, incl_ms, calls, subrs.
+struct Row {
+  double pct = 0.0, excl = 0.0, incl = 0.0;
+  long long calls = 0, subrs = 0;
+  bool found = false;
+};
+
+Row rowFor(const std::string& text, const std::string& name) {
+  std::istringstream lines(text);
+  std::string line;
+  Row row;
+  while (std::getline(lines, line)) {
+    if (line.find(name) == std::string::npos) continue;
+    std::istringstream fields(line);
+    fields >> row.pct >> row.excl >> row.incl >> row.calls >> row.subrs;
+    row.found = true;
+    return row;
+  }
+  return row;
+}
+
+fs::path freshDir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("tau_mt_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(TauRuntimeMt, CallCountsSumExactlyAcrossThreads) {
+  tau::reset();
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kCalls; ++i) mtCaller();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::string text = reportText();
+  const Row caller = rowFor(text, "mtCaller()");
+  const Row leaf = rowFor(text, "mtLeaf()");
+  ASSERT_TRUE(caller.found) << text;
+  ASSERT_TRUE(leaf.found) << text;
+  EXPECT_EQ(caller.calls, kThreads * kCalls);
+  EXPECT_EQ(caller.subrs, 2LL * kThreads * kCalls);
+  EXPECT_EQ(leaf.calls, 2LL * kThreads * kCalls);
+  EXPECT_EQ(leaf.subrs, 0);
+  // Child time was subtracted from the caller, never producing
+  // inclusive < exclusive.
+  EXPECT_GE(caller.incl, caller.excl);
+  EXPECT_GE(leaf.incl, leaf.excl);
+}
+
+TEST(TauRuntimeMt, FlushThreadPublishesWorkerMidRun) {
+  tau::reset();
+  std::mutex m;
+  std::condition_variable cv;
+  bool flushed = false;
+  bool done = false;
+
+  std::thread worker([&] {
+    for (int i = 0; i < 10; ++i) mtLeaf();
+    tau::flushThread();
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      flushed = true;
+    }
+    cv.notify_one();
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done; });
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return flushed; });
+  }
+  // The worker is still alive (no thread-exit publish yet); its flush
+  // must already be visible.
+  const Row leaf = rowFor(reportText(), "mtLeaf()");
+  ASSERT_TRUE(leaf.found);
+  EXPECT_EQ(leaf.calls, 10);
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    done = true;
+  }
+  cv.notify_one();
+  worker.join();
+}
+
+TEST(TauRuntimeMt, ResetBetweenThreadedRunsDiscardsOldCounts) {
+  tau::reset();
+  std::thread first([] {
+    for (int i = 0; i < 50; ++i) mtLeaf();
+  });
+  first.join();
+  EXPECT_EQ(rowFor(reportText(), "mtLeaf()").calls, 50);
+
+  tau::reset();
+  std::thread second([] {
+    for (int i = 0; i < 7; ++i) mtLeaf();
+  });
+  second.join();
+  // Only the second batch counts — including the first worker's
+  // thread-exit publish, which belongs to the dead epoch.
+  EXPECT_EQ(rowFor(reportText(), "mtLeaf()").calls, 7);
+}
+
+TEST(TauRuntimeMt, WritesOneProfileFilePerThread) {
+  tau::reset();
+  const fs::path dir = freshDir("files");
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 5; ++i) mtCaller();
+    });
+  }
+  for (auto& t : threads) t.join();
+  mtLeaf();  // the main thread contributes a file of its own
+
+  const std::size_t written = tau::writeProfileFiles(dir.string());
+  EXPECT_EQ(written, kThreads + 1u);
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir))
+    names.push_back(entry.path().filename().string());
+  EXPECT_EQ(names.size(), kThreads + 1u);
+  const std::string prefix =
+      "profile.0." + std::to_string(::getpid()) + ".";
+  for (const std::string& name : names)
+    EXPECT_EQ(name.rfind(prefix, 0), 0u) << name;
+  fs::remove_all(dir);
+}
+
+TEST(TauRuntimeMt, StreamingTraceDropsNothing) {
+  tau::reset();
+  const fs::path file = freshDir("stream") / "trace.txt";
+  ASSERT_TRUE(tau::streamTraceTo(file.string(), 8));
+  for (int i = 0; i < 100; ++i) mtLeaf();
+  tau::disableTracing();
+
+  const tau::TraceStats stats = tau::traceStats();
+  EXPECT_EQ(stats.recorded, 200u);
+  EXPECT_EQ(stats.streamed, 200u);
+  EXPECT_EQ(stats.wrapped, 0u);
+
+  std::ifstream in(file);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0, enters = 0, exits = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.find(" ENTER ") != std::string::npos) ++enters;
+    if (line.find(" EXIT ") != std::string::npos) ++exits;
+  }
+  EXPECT_EQ(lines, 200u);
+  EXPECT_EQ(enters, 100u);
+  EXPECT_EQ(exits, 100u);
+  fs::remove_all(file.parent_path());
+}
+
+TEST(TauRuntimeMt, RingAndStreamingModesAreIndependent) {
+  tau::reset();
+  // Ring mode wraps; switching to streaming resets the counters.
+  tau::enableTracing(2);
+  for (int i = 0; i < 10; ++i) mtLeaf();
+  EXPECT_GT(tau::traceStats().wrapped, 0u);
+
+  const fs::path file = freshDir("modes") / "trace.txt";
+  ASSERT_TRUE(tau::streamTraceTo(file.string(), 4));
+  mtLeaf();
+  tau::disableTracing();
+  const tau::TraceStats stats = tau::traceStats();
+  EXPECT_EQ(stats.recorded, 2u);
+  EXPECT_EQ(stats.wrapped, 0u);
+  EXPECT_EQ(stats.streamed, 2u);
+  fs::remove_all(file.parent_path());
+}
+
+}  // namespace

@@ -160,7 +160,7 @@ TEST(TauRuntime, TracingRecordsEnterExitPairs) {
   }
 }
 
-TEST(TauRuntime, TraceBufferCapacityIsRespected) {
+TEST(TauRuntime, TraceBufferWrapsKeepingNewestEvents) {
   tau::reset();
   tau::enableTracing(4);
   for (int i = 0; i < 100; ++i) leaf();
@@ -168,7 +168,18 @@ TEST(TauRuntime, TraceBufferCapacityIsRespected) {
   std::ostringstream os;
   tau::dumpTrace(os);
   const std::string trace = os.str();
-  EXPECT_LE(std::count(trace.begin(), trace.end(), '\n'), 4);
+  // A true ring: the 4 newest events survive (chronological), the rest
+  // were overwritten and the footer says how many.
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '\n'), 5);
+  EXPECT_NE(trace.find("# wrapped 196"), std::string::npos) << trace;
+  // 100 calls = 200 events; the last one recorded is leaf's final EXIT.
+  const std::size_t footer = trace.find("# wrapped");
+  const std::string events = trace.substr(0, footer);
+  EXPECT_NE(events.rfind("EXIT leaf()"), std::string::npos);
+  const tau::TraceStats stats = tau::traceStats();
+  EXPECT_EQ(stats.recorded, 200u);
+  EXPECT_EQ(stats.wrapped, 196u);
+  EXPECT_EQ(stats.streamed, 0u);
 }
 
 TEST(TauRuntime, ThreadedCountsAreConsistent) {
