@@ -10,8 +10,8 @@
 #include <map>
 #include <string>
 
-#include "pdb/format.h"
 #include "pdb/pdb.h"
+#include "pdb/snapshot.h"
 #include "support/trace.h"
 #include "tools/synth.h"
 
@@ -51,12 +51,13 @@ void readBench(benchmark::State& state, pdt::pdb::MmapMode mode,
   pdt::trace::resetGlobalCounters();
   std::size_t items = 0;
   for (auto _ : state) {
-    auto result = pdt::pdb::readFile(path, sections);
-    if (!result || !result->ok()) {
+    auto result = pdt::pdb::open(path, sections);
+    if (!result.ok()) {
       state.SkipWithError("read failed");
       break;
     }
-    items = result->pdb.classes().size() + result->pdb.routines().size();
+    items = result.snapshot->pdb().classes().size() +
+            result.snapshot->pdb().routines().size();
     benchmark::DoNotOptimize(result);
   }
   pdt::pdb::setMmapMode(pdt::pdb::MmapMode::Auto);

@@ -1,0 +1,172 @@
+// pdbd service latency and hot-swap cost, measured in-process through
+// Service::handle (no socket, so the numbers isolate the query layer
+// from transport variance):
+//
+//   * per-verb request latency p50/p99 over a prewarmed generation
+//     (calltree, lookup, defuse) — the steady-state cost of one request;
+//   * aggregate queries/s with 4 client threads hammering one
+//     generation — the wait-free read path under contention;
+//   * swap cost: open + index prewarm + publish of a replacement
+//     database while queries keep flowing.
+//
+// JSON records (BENCH_pr10.json): percentiles are exported as
+// ns_per_op with iters = sample count; throughput as ns per query
+// across all threads.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "pdb/pdb.h"
+#include "pdbd/proto.h"
+#include "pdbd/service.h"
+#include "tools/synth.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double toNs(Clock::duration d) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+/// Writes a synthetic database roughly at merged-seed scale; `salt`
+/// varies the unit so the swap target is a genuinely different file.
+std::string corpusFile(int salt) {
+  pdt::tools::SynthOptions opts;
+  opts.shared_classes = 48;
+  opts.unique_classes = 48;
+  opts.routines = 160;
+  opts.name_bytes = 512;
+  const fs::path path = fs::temp_directory_path() /
+                        ("pdt_bench_pdbd_" + std::to_string(salt) + ".pdb");
+  pdt::pdb::writeFile(pdt::tools::synthUnit(salt, opts), path.string(),
+                      pdt::pdb::Format::Binary);
+  return path.string();
+}
+
+pdt::pdbd::Message parseOrDie(const std::string& line) {
+  pdt::pdbd::Message msg;
+  std::string error;
+  if (!pdt::pdbd::parseMessage(line, msg, error)) {
+    std::cerr << "bad request literal: " << error << '\n';
+    std::exit(1);
+  }
+  return msg;
+}
+
+double percentile(std::vector<double>& samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = pdt::benchutil::extractJsonPath(argc, argv);
+  std::vector<pdt::benchutil::JsonRecord> records;
+
+  const std::string primary = corpusFile(0);
+  const std::string replacement = corpusFile(1);
+
+  pdt::pdbd::Service service;
+  std::string error;
+  if (!service.load(primary, error)) {
+    std::cerr << "load failed: " << error << '\n';
+    return 1;
+  }
+
+  // --- per-verb latency percentiles over the prewarmed generation ---
+  const std::pair<const char*, std::string> kVerbs[] = {
+      {"calltree", R"({"q": "calltree"})"},
+      {"lookup", R"({"q": "lookup", "name": "tu0_fn0"})"},
+      {"defuse", R"({"q": "defuse", "defs": true, "uses": true})"},
+  };
+  constexpr int kSamples = 200;
+  for (const auto& [verb, literal] : kVerbs) {
+    const pdt::pdbd::Message request = parseOrDie(literal);
+    std::string response = service.handle(request);  // warm-up
+    std::vector<double> ns;
+    ns.reserve(kSamples);
+    for (int i = 0; i < kSamples; ++i) {
+      const auto t0 = Clock::now();
+      response = service.handle(request);
+      ns.push_back(toNs(Clock::now() - t0));
+    }
+    const double p50 = percentile(ns, 0.50);
+    const double p99 = percentile(ns, 0.99);
+    std::cout << "pdbd." << verb << ": p50 " << p50 / 1e3 << " us, p99 "
+              << p99 / 1e3 << " us (bytes " << response.size() << ")\n";
+    records.push_back({std::string("pdbd.") + verb + ".p50", kSamples, p50});
+    records.push_back({std::string("pdbd.") + verb + ".p99", kSamples, p99});
+  }
+
+  // --- aggregate throughput: 4 threads, mixed verbs, one generation ---
+  {
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 400;
+    std::vector<pdt::pdbd::Message> requests;
+    for (const auto& [verb, literal] : kVerbs) requests.push_back(parseOrDie(literal));
+    std::atomic<bool> start{false};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    const auto t0 = Clock::now();
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int i = 0; i < kPerThread; ++i)
+          (void)service.handle(requests[(t + i) % requests.size()]);
+      });
+    }
+    start.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double total_ns = toNs(Clock::now() - t0);
+    const long long queries = kThreads * kPerThread;
+    const double ns_per_query = total_ns / static_cast<double>(queries);
+    std::cout << "pdbd.throughput: " << 1e9 / ns_per_query * kThreads
+              << " queries/s across " << kThreads << " threads\n";
+    records.push_back({"pdbd.throughput.4t", queries, ns_per_query});
+  }
+
+  // --- swap cost: open + prewarm + publish while queries keep flowing ---
+  {
+    constexpr int kSwaps = 10;
+    std::atomic<bool> stop{false};
+    std::thread background([&] {
+      const pdt::pdbd::Message request = parseOrDie(R"({"q": "calltree"})");
+      while (!stop.load(std::memory_order_acquire)) (void)service.handle(request);
+    });
+    std::vector<double> ns;
+    ns.reserve(kSwaps);
+    for (int i = 0; i < kSwaps; ++i) {
+      const std::string& target = (i % 2) == 0 ? replacement : primary;
+      const auto t0 = Clock::now();
+      if (!service.load(target, error)) {
+        std::cerr << "swap failed: " << error << '\n';
+        stop.store(true, std::memory_order_release);
+        background.join();
+        return 1;
+      }
+      ns.push_back(toNs(Clock::now() - t0));
+    }
+    stop.store(true, std::memory_order_release);
+    background.join();
+    const double p50 = percentile(ns, 0.50);
+    std::cout << "pdbd.swap: p50 " << p50 / 1e6 << " ms under query load\n";
+    records.push_back({"pdbd.swap.p50", kSwaps, p50});
+  }
+
+  if (!json_path.empty() && !pdt::benchutil::writeJson(json_path, records))
+    return 1;
+  return 0;
+}

@@ -5,14 +5,14 @@
 #
 #   scripts/bench.sh [build-dir] [output.json]
 #
-# Defaults: build-dir = ./build, output = BENCH_pr9.json in the repo
+# Defaults: build-dir = ./build, output = BENCH_pr10.json in the repo
 # root. Binaries that fail to run fail the script (a bench that cannot
 # run must not silently vanish from the snapshot).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-${ROOT}/build}"
-OUT="${2:-${ROOT}/BENCH_pr9.json}"
+OUT="${2:-${ROOT}/BENCH_pr10.json}"
 BENCH_DIR="${BUILD}/bench"
 
 if [ ! -d "${BENCH_DIR}" ]; then

@@ -296,4 +296,95 @@ grep -q "^dp#" "${BUILD}/ci_dyn.pdb"
 cmp "${BUILD}/ci_dyn.pdb" "${BUILD}/ci_dyn.back.pdb"
 "${BUILD}/src/tools/pdbtree" "${BUILD}/ci_dyn.bpdb" --profile > /dev/null
 
+echo "== pdbd service =="
+# The resident query daemon (docs/PDBD.md) must answer byte-identically
+# to the one-shot tools under 32 concurrent clients, keep serving the
+# old generation when a swap fails, hot-swap to a regenerated database
+# without dropping anyone, and drain cleanly on shutdown (socket
+# unlinked, exit 0).
+PDBD_SOCK="${BUILD}/ci_pdbd.sock"
+PDBQ="${BUILD}/src/pdbd/pdbq"
+rm -f "${PDBD_SOCK}"
+"${BUILD}/src/pdbd/pdbd" "${BUILD}/ci_fmt_merged.pdb" \
+    --socket "${PDBD_SOCK}" 2> "${BUILD}/ci_pdbd.log" &
+PDBD_PID=$!
+for _ in $(seq 1 100); do [ -S "${PDBD_SOCK}" ] && break; sleep 0.1; done
+[ -S "${PDBD_SOCK}" ]
+# One-shot references for every verb the clients will ask.
+"${BUILD}/src/tools/pdbtree" "${BUILD}/ci_fmt_merged.pdb" --calls \
+    > "${BUILD}/ci_pdbd_calltree.ref"
+"${BUILD}/src/tools/pdbtree" "${BUILD}/ci_fmt_merged.pdb" --classes \
+    > "${BUILD}/ci_pdbd_hierarchy.ref"
+"${BUILD}/src/tools/pdbtree" "${BUILD}/ci_fmt_merged.pdb" --includes \
+    > "${BUILD}/ci_pdbd_includes.ref"
+"${BUILD}/src/tools/pdbduct" "${BUILD}/ci_fmt_merged.pdb" \
+    --routine dot --defs > "${BUILD}/ci_pdbd_defuse.ref"
+# 32 concurrent clients, verbs interleaved round-robin.
+client_pids=()
+for i in $(seq 0 31); do
+    case $((i % 4)) in
+        0) verb="calltree" ;;
+        1) verb="hierarchy" ;;
+        2) verb="includes" ;;
+        3) verb="defuse" ;;
+    esac
+    if [ "${verb}" = "defuse" ]; then
+        "${PDBQ}" --socket "${PDBD_SOCK}" defuse --routine dot --defs \
+            > "${BUILD}/ci_pdbd_client_${i}.out" &
+    else
+        "${PDBQ}" --socket "${PDBD_SOCK}" "${verb}" \
+            > "${BUILD}/ci_pdbd_client_${i}.out" &
+    fi
+    client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do wait "${pid}"; done
+for i in $(seq 0 31); do
+    case $((i % 4)) in
+        0) ref="calltree" ;;
+        1) ref="hierarchy" ;;
+        2) ref="includes" ;;
+        3) ref="defuse" ;;
+    esac
+    cmp "${BUILD}/ci_pdbd_client_${i}.out" "${BUILD}/ci_pdbd_${ref}.ref"
+done
+# check verb: bytes and exit code must both mirror pdbcheck.
+check_ref_rc=0
+"${BUILD}/src/tools/pdbcheck" "${BUILD}/ci_fmt_merged.pdb" --checks=all \
+    > "${BUILD}/ci_pdbd_check.ref" || check_ref_rc=$?
+check_rc=0
+"${PDBQ}" --socket "${PDBD_SOCK}" check \
+    > "${BUILD}/ci_pdbd_check.out" || check_rc=$?
+[ "${check_rc}" -eq "${check_ref_rc}" ]
+cmp "${BUILD}/ci_pdbd_check.out" "${BUILD}/ci_pdbd_check.ref"
+# A failed swap must leave the old generation serving.
+! "${PDBQ}" --socket "${PDBD_SOCK}" swap "${BUILD}/ci_pdbd_missing.pdb" \
+    2> /dev/null
+"${PDBQ}" --socket "${PDBD_SOCK}" calltree \
+    | cmp - "${BUILD}/ci_pdbd_calltree.ref"
+# Hot-swap to the regenerated dynamic database and require the daemon's
+# profile rendering to match the one-shot tool over the new file.
+"${PDBQ}" --socket "${PDBD_SOCK}" --json swap "${BUILD}/ci_dyn.pdb" \
+    | grep -q '"ok": true'
+"${BUILD}/src/tools/pdbtree" "${BUILD}/ci_dyn.pdb" --profile \
+    > "${BUILD}/ci_pdbd_profile.ref"
+"${PDBQ}" --socket "${PDBD_SOCK}" profile \
+    | cmp - "${BUILD}/ci_pdbd_profile.ref"
+"${PDBQ}" --socket "${PDBD_SOCK}" status \
+    | grep -q '"generation": 2'
+# Drain: shutdown answers, the daemon exits 0, the socket is unlinked.
+"${PDBQ}" --socket "${PDBD_SOCK}" --json shutdown | grep -q '"draining": true'
+wait "${PDBD_PID}"
+[ ! -e "${PDBD_SOCK}" ]
+echo "pdbd gate OK: 32 clients byte-identical, hot-swap + drain clean"
+
+echo "== pdbd concurrency (TSan) =="
+# The wait-free generation publication (src/pdbd/service.h) is proven
+# data-race-free, not just assumed: rebuild the multithreaded service
+# test under ThreadSanitizer and require a clean run.
+TSAN_BUILD="${BUILD}-tsan"
+cmake -S "${ROOT}" -B "${TSAN_BUILD}" -DPDT_SANITIZE=thread > /dev/null
+cmake --build "${TSAN_BUILD}" -j "${JOBS}" --target pdbd_service_mt_test \
+    > /dev/null
+"${TSAN_BUILD}/tests/pdbd/pdbd_service_mt_test"
+
 echo "== CI gate passed =="

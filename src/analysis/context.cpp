@@ -68,8 +68,14 @@ std::vector<const pdbClass*> collectAncestors(const pdbClass* c) {
 }
 
 AnalysisContext AnalysisContext::build(const PDB& pdb) {
+  return build(pdb, DefUseIndex::build(pdb));
+}
+
+AnalysisContext AnalysisContext::build(const PDB& pdb,
+                                       std::shared_ptr<const DefUseIndex> du) {
   AnalysisContext ctx;
   ctx.pdb = &pdb;
+  ctx.du = std::move(du);
 
   // --- Call-graph nodes: collapse corresponding template instantiations.
   // Group key: (origin template, routine name, arity). Routines without a

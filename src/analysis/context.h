@@ -11,10 +11,12 @@
 // the way the instantiator expanded it.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/du_index.h"
 #include "ductape/ductape.h"
 
 namespace pdt::analysis {
@@ -59,7 +61,15 @@ struct AnalysisContext {
                      std::vector<const ductape::pdbFile*>>
       uses;
 
+  // --- Def-use streams ------------------------------------------------------
+  /// Shared per-stream CFG + reaching-defs (never null after build). The
+  /// du rules consume this instead of re-solving per rule; callers that
+  /// already hold one (query::Index) pass it in to avoid the rebuild.
+  std::shared_ptr<const DefUseIndex> du;
+
   [[nodiscard]] static AnalysisContext build(const ductape::PDB& pdb);
+  [[nodiscard]] static AnalysisContext build(
+      const ductape::PDB& pdb, std::shared_ptr<const DefUseIndex> du);
 
   /// Display name of a node: the representative's qualified name, plus the
   /// origin template and instantiation count when collapsed.

@@ -1,0 +1,66 @@
+#include "analysis/du_index.h"
+
+#include <utility>
+
+namespace pdt::analysis {
+
+std::shared_ptr<const DefUseIndex> DefUseIndex::build(
+    const ductape::PDB& pdb) {
+  auto index = std::make_shared<DefUseIndex>();
+  for (const ductape::pdbFile* f : pdb.getFileVec())
+    index->files_.emplace(static_cast<std::uint32_t>(f->id()), f);
+  for (const ductape::pdbRoutine* r : pdb.getRoutineVec())
+    index->routines_.emplace(static_cast<std::uint32_t>(r->id()), r);
+
+  const auto& items = pdb.raw().defUses();
+  index->streams_.reserve(items.size());
+  for (const pdb::DefUseItem& item : items) {
+    Stream s;
+    s.item = &item;
+    s.cfg = dataflow::Cfg::build(item);
+    if (!s.cfg.irregular())
+      s.rd = std::make_unique<const dataflow::ReachingDefs>(s.cfg);
+    index->streams_.push_back(std::move(s));
+  }
+  return index;
+}
+
+const ductape::pdbFile* DefUseIndex::file(std::uint32_t id) const {
+  const auto it = files_.find(id);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+const ductape::pdbRoutine* DefUseIndex::routine(std::uint32_t id) const {
+  const auto it = routines_.find(id);
+  return it == routines_.end() ? nullptr : it->second;
+}
+
+ductape::pdbLoc DefUseIndex::loc(const pdb::Pos& pos) const {
+  ductape::pdbLoc l;
+  l.file_ptr = file(pos.file);
+  l.line_ = static_cast<int>(pos.line);
+  l.col_ = static_cast<int>(pos.column);
+  return l;
+}
+
+std::string DefUseIndex::posText(const pdb::Pos& pos) const {
+  if (!pos.valid()) return "<generated>";
+  const ductape::pdbFile* f = file(pos.file);
+  std::string out = f == nullptr ? std::string("<unknown file>") : f->name();
+  out += ':' + std::to_string(pos.line) + ':' + std::to_string(pos.column);
+  return out;
+}
+
+std::string DefUseIndex::routineName(std::uint32_t id) const {
+  const ductape::pdbRoutine* r = routine(id);
+  return r == nullptr ? std::string("<unknown routine>") : r->fullName();
+}
+
+bool DefUseIndex::routineMatches(std::uint32_t id,
+                                 const std::string& name) const {
+  const ductape::pdbRoutine* r = routine(id);
+  if (r == nullptr) return false;
+  return r->name() == name || r->fullName() == name;
+}
+
+}  // namespace pdt::analysis

@@ -1,0 +1,70 @@
+// DefUseIndex: the shared def-use scaffolding every du consumer used to
+// rebuild privately. pdbduct's World, the du rules' DuWorld, and pdbd's
+// defuse verb all need the same three things over a database: the
+// file/routine id resolution for rendering positions and owning
+// routines, and — per du stream — the CFG-lite plus its reaching-defs
+// solution. Building the CFG and solving reaching definitions per rule
+// per stream (three rules → three solves each) was the single biggest
+// repeated cost in pdbcheck's du pass; here each stream is built and
+// solved exactly once and shared read-only.
+//
+// Immutable after build(); safe to share across the checker's rule
+// worker threads and pdbd's concurrent client connections.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "ductape/ductape.h"
+
+namespace pdt::analysis {
+
+class DefUseIndex {
+ public:
+  /// One du stream with its flow analysis prebuilt. `rd` is null when
+  /// the CFG is irregular (goto/label/try) — flow-sensitive consumers
+  /// skip those streams.
+  struct Stream {
+    const pdb::DefUseItem* item = nullptr;
+    dataflow::Cfg cfg;
+    std::unique_ptr<const dataflow::ReachingDefs> rd;
+  };
+
+  /// Builds over a database whose object graph supplies the routine
+  /// names. The index borrows `pdb`; it must outlive the result.
+  [[nodiscard]] static std::shared_ptr<const DefUseIndex> build(
+      const ductape::PDB& pdb);
+
+  /// One entry per du item, in section order.
+  [[nodiscard]] const std::vector<Stream>& streams() const {
+    return streams_;
+  }
+
+  [[nodiscard]] const ductape::pdbFile* file(std::uint32_t id) const;
+  [[nodiscard]] const ductape::pdbRoutine* routine(std::uint32_t id) const;
+
+  /// Diagnostic location of a stream position (rules' reporting form).
+  [[nodiscard]] ductape::pdbLoc loc(const pdb::Pos& pos) const;
+
+  /// "file:line:col" with "<generated>" / "<unknown file>" fallbacks —
+  /// pdbduct's rendering form.
+  [[nodiscard]] std::string posText(const pdb::Pos& pos) const;
+
+  /// Qualified routine name, "<unknown routine>" when unresolvable.
+  [[nodiscard]] std::string routineName(std::uint32_t id) const;
+
+  /// True when the routine's plain or qualified name equals `name`.
+  [[nodiscard]] bool routineMatches(std::uint32_t id,
+                                    const std::string& name) const;
+
+ private:
+  std::unordered_map<std::uint32_t, const ductape::pdbFile*> files_;
+  std::unordered_map<std::uint32_t, const ductape::pdbRoutine*> routines_;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace pdt::analysis

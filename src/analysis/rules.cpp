@@ -509,41 +509,16 @@ class TemplateBloatRule final : public Rule {
 
 namespace du = pdb::du;
 
-/// Shared scaffolding for the du-stream rules: these read the raw def-use
-/// streams (which the object graph does not wrap) and resolve stream
-/// positions and owning-routine ids back to object-graph entities for
-/// reporting.
+/// Shared base for the du-stream rules: these read the raw def-use
+/// streams (which the object graph does not wrap) through the context's
+/// DefUseIndex, which resolves stream positions and owning-routine ids
+/// back to object-graph entities and carries each stream's prebuilt
+/// CFG + reaching-defs solution (one solve shared by every rule).
 class DuRuleBase : public Rule {
  public:
   pdb::Sections sections() const override {
     return kContextSections | pdb::Sections::DefUses;
   }
-
- protected:
-  struct DuWorld {
-    std::unordered_map<std::uint32_t, const pdbFile*> files;
-    std::unordered_map<std::uint32_t, const pdbRoutine*> routines;
-
-    explicit DuWorld(const AnalysisContext& ctx) {
-      for (const pdbFile* f : ctx.pdb->getFileVec())
-        files.emplace(static_cast<std::uint32_t>(f->id()), f);
-      for (const pdbRoutine* r : ctx.pdb->getRoutineVec())
-        routines.emplace(static_cast<std::uint32_t>(r->id()), r);
-    }
-    [[nodiscard]] pdbLoc loc(const pdb::Pos& pos) const {
-      pdbLoc l;
-      if (const auto it = files.find(pos.file); it != files.end())
-        l.file_ptr = it->second;
-      l.line_ = static_cast<int>(pos.line);
-      l.col_ = static_cast<int>(pos.column);
-      return l;
-    }
-    [[nodiscard]] std::string routineName(std::uint32_t id) const {
-      const auto it = routines.find(id);
-      return it == routines.end() ? std::string("<unknown routine>")
-                                  : it->second->fullName();
-    }
-  };
 };
 
 class UninitializedReadRule final : public DuRuleBase {
@@ -556,11 +531,11 @@ class UninitializedReadRule final : public DuRuleBase {
   }
 
   void run(const AnalysisContext& ctx, DiagSink& sink) const override {
-    const DuWorld world(ctx);
-    for (const pdb::DefUseItem& item : ctx.pdb->raw().defUses()) {
-      const dataflow::Cfg cfg = dataflow::Cfg::build(item);
-      if (cfg.irregular()) continue;  // goto/label/try: no reliable CFG
-      const dataflow::ReachingDefs rd(cfg);
+    const DefUseIndex& world = *ctx.du;
+    for (const DefUseIndex::Stream& stream : world.streams()) {
+      if (stream.rd == nullptr) continue;  // goto/label/try: no reliable CFG
+      const pdb::DefUseItem& item = *stream.item;
+      const dataflow::ReachingDefs& rd = *stream.rd;
       std::unordered_set<int> reported;
       for (std::size_t e = 0; e < item.events.size(); ++e) {
         const auto& ev = item.events[e];
@@ -596,11 +571,11 @@ class DeadStoreRule final : public DuRuleBase {
   }
 
   void run(const AnalysisContext& ctx, DiagSink& sink) const override {
-    const DuWorld world(ctx);
-    for (const pdb::DefUseItem& item : ctx.pdb->raw().defUses()) {
-      const dataflow::Cfg cfg = dataflow::Cfg::build(item);
-      if (cfg.irregular()) continue;
-      const dataflow::ReachingDefs rd(cfg);
+    const DefUseIndex& world = *ctx.du;
+    for (const DefUseIndex::Stream& stream : world.streams()) {
+      if (stream.rd == nullptr) continue;
+      const pdb::DefUseItem& item = *stream.item;
+      const dataflow::ReachingDefs& rd = *stream.rd;
       for (std::size_t var = 0; var < rd.varNames().size(); ++var) {
         if (!storeTrackable(item, rd, static_cast<int>(var))) continue;
         const auto& defs = rd.defsOf(static_cast<int>(var));
@@ -649,7 +624,7 @@ class NullDerefRule final : public DuRuleBase {
   }
 
   void run(const AnalysisContext& ctx, DiagSink& sink) const override {
-    const DuWorld world(ctx);
+    const DefUseIndex& world = *ctx.du;
     struct VarFacts {
       std::string_view name;
       int defs = 0;
@@ -657,7 +632,8 @@ class NullDerefRule final : public DuRuleBase {
       bool escaped = false;  // kUnknown/kParam/kMember anywhere
       const pdb::DefUseItem::Event* first_deref = nullptr;
     };
-    for (const pdb::DefUseItem& item : ctx.pdb->raw().defUses()) {
+    for (const DefUseIndex::Stream& stream : world.streams()) {
+      const pdb::DefUseItem& item = *stream.item;
       // Flow-insensitive (the first Andersen-style step): one pass over
       // the stream, no CFG needed — irregular routines included.
       std::vector<VarFacts> vars;

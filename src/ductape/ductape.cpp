@@ -50,16 +50,27 @@ PDB PDB::read(const std::string& path) {
 
 PDB PDB::read(const std::string& path, pdb::Sections sections) {
   PDB out;
-  auto result = pdb::readFile(path, sections);
-  if (!result) {
+  auto result = pdb::open(path, sections);
+  if (!result.opened) {
     out.error_ = "cannot open '" + path + "'";
     return out;
   }
-  if (!result->ok()) {
-    out.error_ = path + ": " + result->errors.front();
+  if (!result.ok()) {
+    out.error_ = path + ": " + result.errors.front();
     return out;
   }
-  out.raw_ = std::move(result->pdb);
+  out.raw_ = result.snapshot->clonePdb();
+  out.graph_dirty_ = true;
+  return out;
+}
+
+PDB PDB::fromSnapshot(const pdb::SnapshotPtr& snapshot) {
+  PDB out;
+  if (snapshot == nullptr) {
+    out.error_ = "null snapshot";
+    return out;
+  }
+  out.raw_ = snapshot->clonePdb();
   out.graph_dirty_ = true;
   return out;
 }

@@ -31,6 +31,7 @@
 
 #include "pdb/format.h"
 #include "pdb/pdb.h"
+#include "pdb/snapshot.h"
 
 namespace pdt::ductape {
 
@@ -451,6 +452,9 @@ class PDB {
 
   /// Builds the object graph from an in-memory database.
   static PDB fromPdbFile(const pdb::PdbFile& file);
+  /// Builds the object graph over an immutable snapshot. Flat copy: item
+  /// records are copied, string backings are shared with the snapshot.
+  static PDB fromSnapshot(const pdb::SnapshotPtr& snapshot);
   /// Reads a PDB file from disk, auto-detecting the storage format (ASCII
   /// or binary v2); empty PDB + error message on failure.
   static PDB read(const std::string& path);

@@ -1,14 +1,10 @@
 #include "pdb/format.h"
 
 #include <atomic>
-#include <fstream>
-#include <memory>
 
 #include "pdb/binary_reader.h"
 #include "pdb/binary_writer.h"
 #include "pdb/writer.h"
-#include "support/mmap_buffer.h"
-#include "support/trace.h"
 
 namespace pdt::pdb {
 namespace {
@@ -100,18 +96,17 @@ std::optional<MmapMode> mmapModeFromName(std::string_view name) {
   return std::nullopt;
 }
 
-std::optional<ReadResult> readFile(const std::string& path, Sections sections) {
-  PDT_TRACE_SCOPE("pdb.read", path);
-  const bool allow_mmap = mmapMode() != MmapMode::Off;
-  // Full reads touch every byte (whole-file checksum + all sections), so
-  // pre-fault the mapping; masked reads stay lazy.
-  auto buffer =
-      support::MmapBuffer::open(path, allow_mmap, sections == Sections::All);
-  if (!buffer) return std::nullopt;
-  auto backing = std::make_shared<const support::MmapBuffer>(std::move(*buffer));
-  ReadResult result = readBuffer(backing->view(), sections);
-  result.pdb.adoptBacking(std::move(backing));
-  return result;
+bool parseMmapFlag(std::string_view arg, std::string& error) {
+  constexpr std::string_view kPrefix = "--mmap=";
+  if (!arg.starts_with(kPrefix)) return false;
+  const std::string_view name = arg.substr(kPrefix.size());
+  if (const auto mode = mmapModeFromName(name)) {
+    setMmapMode(*mode);
+  } else {
+    error = "unknown --mmap mode '" + std::string(name) +
+            "' (expected auto, on, or off)";
+  }
+  return true;
 }
 
 std::string writeString(const PdbFile& pdb, Format format) {

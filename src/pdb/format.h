@@ -64,31 +64,29 @@ class FormatWriter {
 
 /// Auto-detecting read of serialized bytes. Zero-copy: the result's string
 /// fields alias `bytes`, which must outlive the database (or be adopted via
-/// PdbFile::adoptBacking). The file-level readFile below handles this.
+/// PdbFile::adoptBacking). The file-level pdb::open (snapshot.h) handles
+/// this.
 [[nodiscard]] ReadResult readBuffer(std::string_view bytes,
                                     Sections sections = Sections::All);
 
-/// How readFile acquires file bytes (--mmap=on|off|auto). Auto (default)
+/// How pdb::open acquires file bytes (--mmap=on|off|auto). Auto (default)
 /// memory-maps where the platform supports it; On insists on mmap but
 /// still falls back to a buffered read when mapping fails (torn file,
 /// exotic filesystem); Off always reads into an owned buffer.
 enum class MmapMode : std::uint8_t { Auto, On, Off };
 
-/// Process-wide mmap policy for readFile; tools set it from --mmap.
+/// Process-wide mmap policy for pdb::open; tools set it from --mmap.
 void setMmapMode(MmapMode mode);
 [[nodiscard]] MmapMode mmapMode();
 
 /// Accepts "on", "off", "auto"; nullopt otherwise.
 [[nodiscard]] std::optional<MmapMode> mmapModeFromName(std::string_view name);
 
-/// Auto-detecting one-shot file read; nullopt when the file cannot be
-/// opened. This is the entry point every tool and the DUCTAPE loader use.
-/// The buffer (an mmap'd region under MmapMode::Auto/On, an owned heap
-/// buffer otherwise) is adopted by the returned database — views stay
-/// valid for the database's lifetime, and a lazy `sections` mask composes
-/// with the mapping so unrequested sections are never faulted in.
-[[nodiscard]] std::optional<ReadResult> readFile(
-    const std::string& path, Sections sections = Sections::All);
+/// Uniform `--mmap=MODE` command-line handling for every tool that reads
+/// a database. Returns false when `arg` is not an --mmap flag (caller
+/// keeps parsing); returns true after setting the process-wide mode, or
+/// true with `error` filled for a malformed mode name.
+bool parseMmapFlag(std::string_view arg, std::string& error);
 
 /// Serializes in the requested format.
 [[nodiscard]] std::string writeString(const PdbFile& pdb, Format format);

@@ -1,0 +1,185 @@
+// pdbq: command-line client for the pdbd query daemon.
+//
+// Builds one protocol request from its arguments, sends it over the
+// daemon's Unix socket, and prints the response's text payload to
+// stdout — byte-identical to the matching one-shot tool, so existing
+// scripts can point at a daemon by swapping the command. --json prints
+// the raw response line instead (generation number included), which is
+// how scripts observe hot-swaps.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "pdbd/proto.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pdbq --socket PATH [--json] <verb> [args]\n"
+    "verbs:\n"
+    "  status                     daemon + generation info (implies --json)\n"
+    "  lookup NAME                entities matching a plain/qualified name\n"
+    "  includes                   source file inclusion tree\n"
+    "  hierarchy                  class hierarchy\n"
+    "  calltree                   static call tree\n"
+    "  profile                    dp section joined with static routines\n"
+    "  defuse [--routine NAME] [--var NAME] [--at LINE[:COL]]\n"
+    "         [--defs] [--uses]   def-use queries (pdbduct's surface)\n"
+    "  check [--checks=LIST] [--format=FMT]\n"
+    "                             run pdbcheck rules on the daemon's DB\n"
+    "  swap DB.PDB                hot-swap the daemon to a new database\n"
+    "  shutdown                   drain in-flight clients and exit\n"
+    "  --json                     print the raw response line instead of\n"
+    "                             the text payload\n"
+    "exit codes: 0 ok, 1 daemon error or findings, 2 usage, 3 no daemon\n";
+
+bool parseAt(const std::string& value, pdt::pdbd::MessageWriter& req) {
+  const std::size_t colon = value.find(':');
+  const std::string line = value.substr(0, colon);
+  int parsed = 0;
+  auto [ptr, ec] =
+      std::from_chars(line.data(), line.data() + line.size(), parsed);
+  if (ec != std::errc{} || ptr != line.data() + line.size() || parsed <= 0)
+    return false;
+  req.field("line", std::int64_t{parsed});
+  if (colon == std::string::npos) return true;
+  const std::string col = value.substr(colon + 1);
+  auto [cptr, cec] =
+      std::from_chars(col.data(), col.data() + col.size(), parsed);
+  if (cec != std::errc{} || cptr != col.data() + col.size() || parsed <= 0)
+    return false;
+  req.field("col", std::int64_t{parsed});
+  return true;
+}
+
+int usageError(const std::string& message) {
+  std::cerr << "pdbq: " << message << '\n' << kUsage;
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string verb;
+  bool raw_json = false;
+  pdt::pdbd::MessageWriter request;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--json") {
+      raw_json = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (verb.empty()) {
+      if (arg.starts_with("-")) return usageError("unknown option '" + arg + "'");
+      verb = arg;
+      request.field("q", verb);
+    } else if (verb == "lookup" && !arg.starts_with("-")) {
+      request.field("name", arg);
+    } else if (verb == "swap" && !arg.starts_with("-")) {
+      request.field("db", arg);
+    } else if (verb == "defuse" && arg == "--routine" && i + 1 < argc) {
+      request.field("routine", std::string(argv[++i]));
+    } else if (verb == "defuse" && arg == "--var" && i + 1 < argc) {
+      request.field("var", std::string(argv[++i]));
+    } else if (verb == "defuse" && arg == "--at" && i + 1 < argc) {
+      if (!parseAt(argv[++i], request))
+        return usageError(std::string("invalid --at position '") + argv[i] +
+                          "' (expected LINE[:COL])");
+    } else if (verb == "defuse" && arg == "--defs") {
+      request.field("defs", true);
+    } else if (verb == "defuse" && arg == "--uses") {
+      request.field("uses", true);
+    } else if (verb == "check" && arg.rfind("--checks=", 0) == 0) {
+      request.field("checks", arg.substr(9));
+    } else if (verb == "check" && arg.rfind("--format=", 0) == 0) {
+      request.field("format", arg.substr(9));
+    } else {
+      return usageError("unexpected argument '" + arg + "' for verb '" +
+                        verb + "'");
+    }
+  }
+  if (socket_path.empty()) return usageError("--socket is required");
+  if (verb.empty()) return usageError("missing verb");
+  if (verb == "status") raw_json = true;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "pdbq: socket: " << std::strerror(errno) << '\n';
+    return 3;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    std::cerr << "pdbq: socket path too long: '" << socket_path << "'\n";
+    ::close(fd);
+    return 3;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    std::cerr << "pdbq: cannot connect to '" << socket_path
+              << "': " << std::strerror(errno) << '\n';
+    ::close(fd);
+    return 3;
+  }
+
+  std::string wire = request.finish();
+  wire += '\n';
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "pdbq: send: " << std::strerror(errno) << '\n';
+      ::close(fd);
+      return 3;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char buf[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      std::cerr << "pdbq: connection closed before a response arrived\n";
+      ::close(fd);
+      return 3;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  response.resize(response.find('\n'));
+
+  if (raw_json) {
+    std::cout << response << '\n';
+  }
+  pdt::pdbd::Message parsed;
+  std::string parse_error;
+  if (!pdt::pdbd::parseMessage(response, parsed, parse_error)) {
+    std::cerr << "pdbq: malformed response: " << parse_error << '\n';
+    return 3;
+  }
+  if (!parsed.flag("ok")) {
+    std::cerr << "pdbq: " << parsed.str("error", "request failed") << " ["
+              << parsed.str("code", "error") << "]\n";
+    return 1;
+  }
+  if (!raw_json) std::cout << parsed.str("text");
+  // `check` mirrors pdbcheck's exit semantics so scripts can compare.
+  if (verb == "check" && parsed.flag("findings")) return 1;
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "pdbd/proto.h"
+
+#include <cctype>
+
+#include "support/text.h"
+
+namespace pdt::pdbd {
+
+namespace {
+
+/// Cursor over one message line. Parsing is recursive-descent over the
+/// tiny flat grammar; every failure records a message and positions are
+/// byte offsets so errors point at the offending character.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return done() ? '\0' : text[pos]; }
+
+  void skipSpace() {
+    while (!done() && std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+
+  bool fail(const std::string& message) {
+    if (error.empty())
+      error = message + " at byte " + std::to_string(pos);
+    return false;
+  }
+
+  bool expect(char c) {
+    skipSpace();
+    if (peek() != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word)
+      return fail("invalid literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (!done() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (done()) return fail("unterminated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          // The protocol is ASCII + UTF-8 pass-through; escapes above
+          // 0x7f encode as UTF-8.
+          if (value < 0x80) {
+            out += static_cast<char>(value);
+          } else if (value < 0x800) {
+            out += static_cast<char>(0xc0 | (value >> 6));
+            out += static_cast<char>(0x80 | (value & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (value >> 12));
+            out += static_cast<char>(0x80 | ((value >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (value & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+    if (done()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool parseNumber(std::int64_t& out) {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (!done() && std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    if (pos == start || (text[start] == '-' && pos == start + 1))
+      return fail("invalid number");
+    if (!done() && (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E'))
+      return fail("fractional numbers are not part of the protocol");
+    out = 0;
+    const bool negative = text[start] == '-';
+    for (std::size_t i = start + (negative ? 1 : 0); i < pos; ++i)
+      out = out * 10 + (text[i] - '0');
+    if (negative) out = -out;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string Message::str(const std::string& key, std::string fallback) const {
+  const auto it = strings.find(key);
+  return it == strings.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Message::num(const std::string& key, std::int64_t fallback) const {
+  const auto it = ints.find(key);
+  return it == ints.end() ? fallback : it->second;
+}
+
+bool Message::flag(const std::string& key, bool fallback) const {
+  const auto it = bools.find(key);
+  return it == bools.end() ? fallback : it->second;
+}
+
+bool Message::has(const std::string& key) const {
+  return strings.count(key) != 0 || ints.count(key) != 0 ||
+         bools.count(key) != 0;
+}
+
+bool parseMessage(std::string_view line, Message& out, std::string& error) {
+  out = Message{};
+  Cursor cur{line, 0, {}};
+  const auto fail = [&] {
+    error = cur.error.empty() ? "malformed message" : cur.error;
+    return false;
+  };
+
+  if (!cur.expect('{')) return fail();
+  cur.skipSpace();
+  if (cur.peek() != '}') {
+    for (;;) {
+      std::string key;
+      if (!cur.parseString(key)) return fail();
+      if (!cur.expect(':')) return fail();
+      cur.skipSpace();
+      const char c = cur.peek();
+      if (c == '"') {
+        std::string value;
+        if (!cur.parseString(value)) return fail();
+        out.strings[key] = std::move(value);
+      } else if (c == 't') {
+        if (!cur.literal("true")) return fail();
+        out.bools[key] = true;
+      } else if (c == 'f') {
+        if (!cur.literal("false")) return fail();
+        out.bools[key] = false;
+      } else if (c == 'n') {
+        if (!cur.literal("null")) return fail();
+      } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+        std::int64_t value = 0;
+        if (!cur.parseNumber(value)) return fail();
+        out.ints[key] = value;
+      } else if (c == '{' || c == '[') {
+        cur.fail("nested values are not part of the protocol");
+        return fail();
+      } else {
+        cur.fail("expected a value");
+        return fail();
+      }
+      cur.skipSpace();
+      if (cur.peek() == ',') {
+        ++cur.pos;
+        continue;
+      }
+      break;
+    }
+  }
+  if (!cur.expect('}')) return fail();
+  cur.skipSpace();
+  if (!cur.done()) {
+    cur.fail("trailing bytes after message");
+    return fail();
+  }
+  return true;
+}
+
+void MessageWriter::key(std::string_view key) {
+  if (!first_) out_ += ", ";
+  first_ = false;
+  out_ += '"';
+  out_ += escapeJson(key);
+  out_ += "\": ";
+}
+
+MessageWriter& MessageWriter::field(std::string_view k,
+                                    std::string_view value) {
+  key(k);
+  out_ += '"';
+  out_ += escapeJson(value);
+  out_ += '"';
+  return *this;
+}
+
+MessageWriter& MessageWriter::field(std::string_view k, std::int64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+MessageWriter& MessageWriter::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+MessageWriter& MessageWriter::field(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string MessageWriter::finish() {
+  out_ += '}';
+  return std::move(out_);
+}
+
+std::string errorLine(std::string_view code, std::string_view message) {
+  return MessageWriter{}
+      .field("ok", false)
+      .field("code", code)
+      .field("error", message)
+      .finish();
+}
+
+}  // namespace pdt::pdbd

@@ -1,0 +1,65 @@
+// The pdbd wire protocol: line-delimited JSON over a Unix socket.
+//
+// A request is one flat JSON object per line, e.g.
+//
+//   {"q": "lookup", "name": "dgemv"}
+//   {"q": "defuse", "routine": "main", "defs": true, "line": 12}
+//
+// and a response is one flat JSON object per line:
+//
+//   {"ok": true, "generation": 3, "text": "..."}
+//   {"ok": false, "code": "bad-verb", "error": "unknown verb 'foo'"}
+//
+// Values are strings, integers, and booleans only — no nesting — which
+// keeps both ends a few dozen lines and makes every message greppable.
+// The full schema lives in docs/PDBD.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pdt::pdbd {
+
+/// One parsed request (or response) object.
+struct Message {
+  std::unordered_map<std::string, std::string> strings;
+  std::unordered_map<std::string, std::int64_t> ints;
+  std::unordered_map<std::string, bool> bools;
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                std::string fallback = "") const;
+  [[nodiscard]] std::int64_t num(const std::string& key,
+                                 std::int64_t fallback = 0) const;
+  [[nodiscard]] bool flag(const std::string& key, bool fallback = false) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+};
+
+/// Parses one line (without the trailing newline) into `out`. Returns
+/// false with `error` set on malformed input; `out` is cleared first
+/// either way. Nested arrays/objects are rejected: the protocol is flat
+/// by design.
+bool parseMessage(std::string_view line, Message& out, std::string& error);
+
+/// Builds one response line (no trailing newline). Fields appear in
+/// insertion order so responses are stable for byte-comparison in tests.
+class MessageWriter {
+ public:
+  MessageWriter& field(std::string_view key, std::string_view value);
+  MessageWriter& field(std::string_view key, std::int64_t value);
+  MessageWriter& field(std::string_view key, std::uint64_t value);
+  MessageWriter& field(std::string_view key, bool value);
+  [[nodiscard]] std::string finish();
+
+ private:
+  void key(std::string_view key);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+/// {"ok": false, "code": code, "error": message}
+[[nodiscard]] std::string errorLine(std::string_view code,
+                                    std::string_view message);
+
+}  // namespace pdt::pdbd

@@ -1,0 +1,197 @@
+#include "pdbd/service.h"
+
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "analysis/checker.h"
+#include "query/render.h"
+#include "support/trace.h"
+
+namespace pdt::pdbd {
+
+namespace {
+
+/// Tree verbs share one shape: render the tree, return it as `text`.
+const std::pair<std::string_view, query::Tree> kTreeVerbs[] = {
+    {"includes", query::Tree::Includes},
+    {"hierarchy", query::Tree::ClassHierarchy},
+    {"calltree", query::Tree::CallGraph},
+    {"profile", query::Tree::Profile},
+};
+
+std::string okText(std::uint64_t generation, std::string_view text) {
+  return MessageWriter{}
+      .field("ok", true)
+      .field("generation", generation)
+      .field("text", text)
+      .finish();
+}
+
+}  // namespace
+
+Service::~Service() {
+  delete gen_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const Generation> Service::current() const {
+  for (;;) {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+    std::atomic<std::uint64_t>& slot = readers_[epoch & 1];
+    slot.fetch_add(1, std::memory_order_seq_cst);
+    // A publish may have slipped between the epoch load and the
+    // registration; re-check and re-register under the new epoch so the
+    // writer's drain loop is watching the slot we are counted in.
+    if (epoch_.load(std::memory_order_seq_cst) != epoch) {
+      slot.fetch_sub(1, std::memory_order_seq_cst);
+      continue;
+    }
+    const Holder* holder = gen_.load(std::memory_order_seq_cst);
+    Holder out = holder ? *holder : Holder{};
+    // The release edge the writer's drain loop acquires: our copy of
+    // *holder happens-before the holder's deletion.
+    slot.fetch_sub(1, std::memory_order_release);
+    return out;
+  }
+}
+
+void Service::publish(Holder gen) {
+  auto* fresh = new Holder(std::move(gen));
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  const Holder* old = gen_.exchange(fresh, std::memory_order_seq_cst);
+  epoch_.store(epoch + 1, std::memory_order_seq_cst);
+  // Grace period: readers registered under the old parity are the only
+  // ones that can still be copying from `old` (new readers re-check the
+  // epoch after registering). Wait them out, then reclaim.
+  while (readers_[epoch & 1].load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
+  delete old;
+}
+
+bool Service::load(const std::string& db_path, std::string& error) {
+  PDT_TRACE_SCOPE("pdbd.load", db_path);
+  pdb::OpenResult read = pdb::open(db_path);
+  if (!read.opened) {
+    error = "cannot open '" + db_path + "'";
+    return false;
+  }
+  if (!read.ok()) {
+    error = db_path + ": " + read.errors.front();
+    return false;
+  }
+  auto gen = std::make_shared<Generation>();
+  gen->snapshot = read.snapshot;
+  gen->index = std::make_unique<query::Index>(read.snapshot);
+  gen->id = read.snapshot->generation();
+  gen->db_path = db_path;
+  // Force every lazy structure now, single-threaded; after publication
+  // the Generation is shared by concurrent readers and must be a pure
+  // read.
+  gen->index->prewarm();
+  publish(std::move(gen));
+  return true;
+}
+
+std::string Service::handle(const Message& request) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::string verb = request.str("q");
+  if (verb.empty())
+    return errorLine("bad-request", "missing verb field 'q'");
+
+  if (verb == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    const auto gen = current();
+    return MessageWriter{}
+        .field("ok", true)
+        .field("generation", gen ? gen->id : std::uint64_t{0})
+        .field("draining", true)
+        .finish();
+  }
+
+  if (verb == "swap") {
+    const std::string db = request.str("db");
+    if (db.empty())
+      return errorLine("bad-request", "swap needs a 'db' field");
+    std::string error;
+    if (!load(db, error)) return errorLine("open-failed", error);
+    const auto gen = current();
+    return MessageWriter{}
+        .field("ok", true)
+        .field("generation", gen->id)
+        .field("db", gen->db_path)
+        .finish();
+  }
+
+  // Every remaining verb answers from one consistent generation: the
+  // pointer is loaded once and used throughout, so a concurrent swap
+  // cannot mix two databases inside one response.
+  const std::shared_ptr<const Generation> gen = current();
+  if (gen == nullptr)
+    return errorLine("no-database", "no database loaded");
+
+  if (verb == "status") {
+    return MessageWriter{}
+        .field("ok", true)
+        .field("generation", gen->id)
+        .field("db", gen->db_path)
+        .field("bytes", std::uint64_t{gen->snapshot->byteSize()})
+        .field("queries", queriesServed())
+        .finish();
+  }
+
+  if (verb == "lookup") {
+    const std::string name = request.str("name");
+    if (name.empty())
+      return errorLine("bad-request", "lookup needs a 'name' field");
+    std::ostringstream os;
+    query::renderLookup(*gen->index, name, os);
+    return okText(gen->id, os.str());
+  }
+
+  for (const auto& [tree_verb, tree] : kTreeVerbs) {
+    if (verb != tree_verb) continue;
+    std::ostringstream os;
+    query::renderTree(*gen->index, tree, os);
+    return okText(gen->id, os.str());
+  }
+
+  if (verb == "defuse") {
+    query::DefUseQuery du;
+    du.routine = request.str("routine");
+    du.var = request.str("var");
+    du.line = static_cast<int>(request.num("line", -1));
+    du.col = static_cast<int>(request.num("col", -1));
+    du.defs = request.flag("defs");
+    du.uses = request.flag("uses");
+    std::ostringstream os;
+    query::renderDefUse(*gen->index, du, os);
+    return okText(gen->id, os.str());
+  }
+
+  if (verb == "check") {
+    analysis::CheckOptions options;
+    options.checks = request.str("checks", "all");
+    const std::string format = request.str("format", "text");
+    if (format == "json") {
+      options.format = analysis::CheckOptions::Format::Json;
+    } else if (format != "text") {
+      return errorLine("bad-request", "unknown format '" + format + "'");
+    }
+    const analysis::CheckResult result =
+        analysis::runChecks(gen->index->analysis(), options);
+    if (!result.ok()) return errorLine("check-failed", result.error);
+    std::ostringstream os;
+    analysis::render(result, options, os);
+    return MessageWriter{}
+        .field("ok", true)
+        .field("generation", gen->id)
+        .field("findings", result.hasFindings())
+        .field("text", os.str())
+        .finish();
+  }
+
+  return errorLine("bad-verb", "unknown verb '" + verb + "'");
+}
+
+}  // namespace pdt::pdbd

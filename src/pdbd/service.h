@@ -1,0 +1,99 @@
+// The pdbd query service: an atomically published database generation
+// plus the verb dispatcher that answers protocol requests against it.
+//
+// One Generation bundles an immutable pdb::Snapshot, the query::Index
+// built over it (prewarmed, so every query path is a pure read), and the
+// snapshot's process-unique generation number.
+//
+//   * readers acquire the current Generation once per request and answer
+//     entirely from it — wait-free, and every response names exactly the
+//     generation it was computed from;
+//   * a swap opens + prewarms the replacement off to the side, then
+//     publishes it with one atomic pointer exchange. In-flight requests
+//     keep the old Generation alive through their shared_ptr until they
+//     finish.
+//
+// The publication is hand-rolled rather than
+// std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic reads its
+// pointer under an internal spinlock that it releases with a relaxed
+// RMW — formally a data race (ThreadSanitizer reports it), and a
+// spinlock on the hot read path besides. Here readers touch two atomic
+// counters and two atomic loads (no waiting ever); the writer swaps an
+// atomic pointer to an immutable heap-allocated shared_ptr holder,
+// bumps an epoch, and frees the old holder only after the readers that
+// could have seen it drain (an RCU-style grace period).
+//
+// The protocol and failure codes are documented in docs/PDBD.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pdb/snapshot.h"
+#include "pdbd/proto.h"
+#include "query/index.h"
+
+namespace pdt::pdbd {
+
+/// One immutable, fully prewarmed database generation.
+struct Generation {
+  pdb::SnapshotPtr snapshot;
+  std::unique_ptr<const query::Index> index;
+  std::uint64_t id = 0;  // == snapshot->generation()
+  std::string db_path;
+};
+
+class Service {
+ public:
+  Service() = default;
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Opens `db_path`, builds and prewarms its index, and publishes it as
+  /// the current generation. On failure returns false with `error` set
+  /// and keeps the previous generation (if any) serving.
+  bool load(const std::string& db_path, std::string& error);
+
+  /// The generation requests are currently answered from (null before
+  /// the first successful load). Wait-free.
+  [[nodiscard]] std::shared_ptr<const Generation> current() const;
+
+  /// Answers one parsed request; returns the response line (without the
+  /// trailing newline). Thread-safe: concurrent calls share the
+  /// published Generation read-only.
+  [[nodiscard]] std::string handle(const Message& request);
+
+  /// Set by the "shutdown" verb; the accept loop polls it.
+  [[nodiscard]] bool shutdownRequested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Requests handled so far (all verbs, including failures).
+  [[nodiscard]] std::uint64_t queriesServed() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Holder = std::shared_ptr<const Generation>;
+
+  /// Swaps in `gen` (heap holder) and reclaims the previous holder
+  /// after its readers drain. Serializes with other writers only.
+  void publish(Holder gen);
+
+  std::atomic<const Holder*> gen_{nullptr};
+  /// Bumped on every publish; its parity indexes readers_, so the
+  /// writer can wait out exactly the readers registered against the
+  /// epoch that could still observe the retiring holder.
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<std::uint64_t> readers_[2]{};
+  std::mutex publish_mu_;  // writers only; never touched by queries
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace pdt::pdbd

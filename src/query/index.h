@@ -1,0 +1,99 @@
+// query::Index — the shared, memoized query surface over one database.
+//
+// Before this layer, every consumer rebuilt its own indexes: pdbtree
+// recomputed tree roots per invocation, pdbduct built a private
+// id-resolution World, the pdbcheck dataflow rules each re-solved
+// reaching definitions per stream, and AnalysisContext derived its call
+// graph with no way to share any of it. An Index owns (or borrows) one
+// DUCTAPE object graph and memoizes every derived structure behind it:
+//
+//   roots()     include-tree / class-hierarchy / call-tree roots
+//   names()     name -> entity lookup lines (plain and qualified names)
+//   defUse()    per-stream CFG + reaching-defs (analysis::DefUseIndex)
+//   analysis()  the full AnalysisContext pdbcheck rules run over
+//
+// Each sub-index is built lazily on first use, at most once
+// (std::call_once), and is immutable afterwards — thread-safe once
+// published. For concurrent readers (pdbd), call prewarm() once before
+// sharing: it forces every sub-index AND the object graph's internal
+// lazy state (deferred graph build, cached qualified names), after
+// which the whole structure is read-only and lock-free to query.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/du_index.h"
+#include "ductape/ductape.h"
+#include "pdb/snapshot.h"
+
+namespace pdt::query {
+
+class Index {
+ public:
+  /// Over an immutable snapshot (pdbd's path). The snapshot is retained;
+  /// the object graph is a flat copy sharing its string backings.
+  explicit Index(pdb::SnapshotPtr snapshot);
+
+  /// Over an in-memory database (pipelines that built or merged one).
+  explicit Index(pdb::PdbFile pdb);
+
+  /// Over a caller-owned object graph (one-shot tools). Borrows `pdb`;
+  /// the caller keeps it alive and thread-confined.
+  explicit Index(const ductape::PDB& pdb);
+
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  /// Null unless constructed from a snapshot.
+  [[nodiscard]] const pdb::SnapshotPtr& snapshot() const { return snapshot_; }
+
+  [[nodiscard]] const ductape::PDB& pdb() const { return *pdb_; }
+
+  struct Roots {
+    ductape::PDB::filevec includes;
+    ductape::PDB::classvec classes;
+    ductape::PDB::routinevec calls;
+  };
+  [[nodiscard]] const Roots& roots() const;
+
+  [[nodiscard]] const analysis::DefUseIndex& defUse() const;
+  [[nodiscard]] std::shared_ptr<const analysis::DefUseIndex> defUsePtr() const;
+
+  [[nodiscard]] const analysis::AnalysisContext& analysis() const;
+
+  /// Entities matching a plain or qualified name: one line per match,
+  /// "<prefix>#<id> <qualified name>[ @ <location>]", in section order.
+  /// Empty when nothing matches.
+  [[nodiscard]] std::vector<std::string> lookup(const std::string& name) const;
+
+  /// Forces every sub-index and all lazy state inside the object graph.
+  /// Call once (single-threaded) before sharing the Index across
+  /// concurrent readers; afterwards every query path is a pure read.
+  void prewarm() const;
+
+ private:
+  void graphOnce() const;  // forces the DUCTAPE lazy graph build, once
+  const std::unordered_map<std::string, std::vector<std::string>>& names()
+      const;
+
+  pdb::SnapshotPtr snapshot_;
+  std::optional<ductape::PDB> owned_;
+  const ductape::PDB* pdb_ = nullptr;
+
+  mutable std::once_flag graph_once_, roots_once_, names_once_, du_once_,
+      ctx_once_;
+  mutable Roots roots_;
+  mutable std::unordered_map<std::string, std::vector<std::string>> names_;
+  mutable std::shared_ptr<const analysis::DefUseIndex> du_;
+  mutable std::optional<analysis::AnalysisContext> ctx_;
+};
+
+}  // namespace pdt::query

@@ -1,0 +1,49 @@
+// Query renderers: the display routines of pdbtree (paper Figure 5) and
+// pdbduct, lifted out of the tools so pdbd can serve the same bytes.
+//
+// Output is byte-identical to the historical tool output — the one-shot
+// tools delegate here, and scripts/ci.sh cmp's daemon responses against
+// them. Unlike the original walkers these take no locks and mutate no
+// shared state: cycle detection uses per-call visited sets instead of
+// the object graph's traversal flags, so any number of threads can
+// render from one prewarmed Index concurrently.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "query/index.h"
+
+namespace pdt::query {
+
+enum class Tree : std::uint8_t {
+  Includes,        // source file inclusion tree
+  ClassHierarchy,  // class hierarchy with locations
+  CallGraph,       // static call tree (Figure 5)
+  Profile,         // dp section joined with static routines
+};
+
+/// Renders one tree view over the index's memoized roots.
+void renderTree(const Index& index, Tree kind, std::ostream& os);
+
+/// A def-use query (pdbduct's command line, pdbd's defuse verb).
+struct DefUseQuery {
+  std::string routine;  // empty: all
+  std::string var;      // empty: all
+  int line = -1;        // -1: any line
+  int col = -1;         // -1: any column on the line
+  bool defs = false;    // print definitions reaching each selected use
+  bool uses = false;    // print uses observing each selected definition
+};
+
+/// Renders def-use answers over the index's prebuilt streams. Without
+/// defs/uses requested, prints one summary line per stream.
+void renderDefUse(const Index& index, const DefUseQuery& query,
+                  std::ostream& os);
+
+/// Renders the lookup lines for a plain or qualified name, one per
+/// match; "no match for '<name>'" when nothing matches.
+void renderLookup(const Index& index, const std::string& name,
+                  std::ostream& os);
+
+}  // namespace pdt::query

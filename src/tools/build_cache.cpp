@@ -12,6 +12,7 @@
 #include "lex/preprocessor.h"
 #include "pdb/binary_writer.h"
 #include "pdb/format.h"
+#include "pdb/snapshot.h"
 #include "pdb/validate.h"
 #include "support/hash.h"
 #include "support/text.h"
@@ -292,8 +293,8 @@ std::optional<pdb::PdbFile> BuildCache::fetch(const CacheKey& key,
 
   // Entries are stored in the binary format, but reads auto-detect so a
   // cache directory can mix entries (e.g. hand-seeded ASCII ones).
-  auto read = pdb::readFile(pdb_path.string());
-  const bool parses = read && read->ok();
+  auto read = pdb::open(pdb_path.string());
+  const bool parses = read.ok();
   // Never trust a cache entry: a truncated, hand-edited, or stale-format
   // value must fall back to a recompile, not flow into the merge. The
   // counter sidecar is part of the entry: without it a hit could not
@@ -302,7 +303,8 @@ std::optional<pdb::PdbFile> BuildCache::fetch(const CacheKey& key,
   const auto sidecar =
       sidecar_text ? trace::CounterBlock::deserialize(*sidecar_text)
                    : std::nullopt;
-  if (!parses || !sidecar || !pdb::validate(read->pdb).empty()) {
+  if (!parses || !sidecar ||
+      !pdb::validate(read.snapshot->pdb()).empty()) {
     removeEntryFiles(pdb_path, manifest_path, stats_path);
     ++stats.evictions;
     ++stats.misses;
@@ -314,7 +316,7 @@ std::optional<pdb::PdbFile> BuildCache::fetch(const CacheKey& key,
   (void)atomicWrite(manifest_path, renderManifest(key, nowStamp(), manifest->size));
   ++stats.hits;
   if (replay != nullptr) *replay = *sidecar;
-  return std::move(read->pdb);
+  return read.snapshot->clonePdb();
 }
 
 void BuildCache::store(const CacheKey& key, const pdb::PdbFile& pdb,

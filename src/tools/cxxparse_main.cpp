@@ -156,14 +156,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       format = *parsed;
-    } else if (arg.starts_with("--mmap=")) {
-      const auto mode = pdt::pdb::mmapModeFromName(arg.substr(7));
-      if (!mode) {
-        std::cerr << "cxxparse: unknown --mmap mode '" << arg.substr(7)
-                  << "' (expected auto, on, or off)\n";
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "cxxparse: " << mmap_err << '\n';
         return 2;
       }
-      pdt::pdb::setMmapMode(*mode);
     } else if (arg == "--dump-ast") {
       dump_ast = true;
     } else if (arg == "--instantiate-all") {

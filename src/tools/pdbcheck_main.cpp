@@ -33,6 +33,7 @@ constexpr const char* kUsage =
     "  --stats[=json]   finding counters + per-rule timing on stderr\n"
     "  --stats-out FILE write the stats report to FILE\n"
     "  --trace-out FILE write a Chrome trace_event JSON timeline to FILE\n"
+    "  --mmap=MODE      input mapping: auto (default), on, off\n"
     "exit codes: 0 clean, 1 findings, 2 usage error, 3 invalid input\n";
 
 /// Renders a section mask as the section prefixes it selects ("so ro du").
@@ -98,6 +99,11 @@ int main(int argc, char** argv) {
                   << "\n    " << rule->description() << '\n';
       }
       return 0;
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "pdbcheck: " << mmap_err << '\n';
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;

@@ -9,7 +9,7 @@
 #include <optional>
 #include <string>
 
-#include "pdb/format.h"
+#include "pdb/snapshot.h"
 #include "tools/tools.h"
 
 namespace {
@@ -40,14 +40,11 @@ int main(int argc, char** argv) {
                   << "' (expected ascii or bin)\n";
         return 2;
       }
-    } else if (arg.starts_with("--mmap=")) {
-      const auto mode = pdt::pdb::mmapModeFromName(arg.substr(7));
-      if (!mode) {
-        std::cerr << "pdbconv: unknown --mmap mode '" << arg.substr(7)
-                  << "' (expected auto, on, or off)\n";
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "pdbconv: " << mmap_err << '\n';
         return 2;
       }
-      pdt::pdb::setMmapMode(*mode);
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;
@@ -68,25 +65,26 @@ int main(int argc, char** argv) {
     // model aliases the (usually mmap'd) input buffer and the DUCTAPE
     // object graph is never built, so peak memory is roughly the input
     // size instead of input + graph (bench/bench_mmap tracks this).
-    const std::optional<pdt::pdb::ReadResult> read = pdt::pdb::readFile(input);
-    if (!read) {
+    const pdt::pdb::OpenResult read = pdt::pdb::open(input);
+    if (!read.opened) {
       std::cerr << "pdbconv: cannot open '" << input << "'\n";
       return 1;
     }
-    if (!read->ok()) {
-      std::cerr << "pdbconv: " << input << ": " << read->errors.front() << '\n';
+    if (!read.ok()) {
+      std::cerr << "pdbconv: " << input << ": " << read.errors.front() << '\n';
       return 1;
     }
+    const pdt::pdb::PdbFile& pdb = read.snapshot->pdb();
     if (output.empty()) {
       // A binary database on a terminal helps nobody; require -o there.
       if (*to == pdt::pdb::Format::Binary) {
         std::cerr << "pdbconv: --to=bin requires -o FILE\n";
         return 2;
       }
-      std::cout << pdt::pdb::writeString(read->pdb, *to);
+      std::cout << pdt::pdb::writeString(pdb, *to);
       return 0;
     }
-    if (!pdt::pdb::writeFile(read->pdb, output, *to)) {
+    if (!pdt::pdb::writeFile(pdb, output, *to)) {
       std::cerr << "pdbconv: cannot write '" << output << "'\n";
       return 1;
     }

@@ -13,19 +13,16 @@
 #include <charconv>
 #include <iostream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "analysis/dataflow.h"
 #include "pdb/pdb.h"
+#include "query/render.h"
 #include "support/trace.h"
 #include "tools/tools.h"
 
 namespace {
 
-namespace dataflow = pdt::analysis::dataflow;
-using pdt::pdb::DefUseItem;
-using pdt::pdb::DuOp;
+using pdt::query::DefUseQuery;
 
 constexpr const char* kUsage =
     "usage: pdbduct <in.pdb>... [options]\n"
@@ -42,127 +39,10 @@ constexpr const char* kUsage =
     "  --stats[=json]    counter + phase timing report on stderr\n"
     "  --stats-out FILE  write the stats report to FILE\n"
     "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n"
+    "  --mmap=MODE       input mapping: auto (default), on, off\n"
     "exit codes: 0 ok, 2 usage error, 3 invalid input\n";
 
-/// Everything pdbduct renders: positions and routine names resolved from
-/// the merged database.
-struct World {
-  std::unordered_map<std::uint32_t, std::string_view> files;
-  std::unordered_map<std::uint32_t, const pdt::ductape::pdbRoutine*> routines;
-
-  explicit World(const pdt::ductape::PDB& pdb) {
-    for (const auto& f : pdb.raw().sourceFiles()) files.emplace(f.id, f.name);
-    for (const pdt::ductape::pdbRoutine* r : pdb.getRoutineVec())
-      routines.emplace(static_cast<std::uint32_t>(r->id()), r);
-  }
-  [[nodiscard]] std::string pos(const pdt::pdb::Pos& p) const {
-    if (!p.valid()) return "<generated>";
-    const auto it = files.find(p.file);
-    std::string out = it == files.end() ? std::string("<unknown file>")
-                                        : std::string(it->second);
-    out += ':' + std::to_string(p.line) + ':' + std::to_string(p.column);
-    return out;
-  }
-  [[nodiscard]] std::string routineName(std::uint32_t id) const {
-    const auto it = routines.find(id);
-    return it == routines.end() ? std::string("<unknown routine>")
-                                : it->second->fullName();
-  }
-  [[nodiscard]] bool routineMatches(std::uint32_t id,
-                                    const std::string& name) const {
-    const auto it = routines.find(id);
-    if (it == routines.end()) return false;
-    return it->second->name() == name || it->second->fullName() == name;
-  }
-};
-
-struct Query {
-  std::string routine;  // empty: all
-  std::string var;      // empty: all
-  int line = -1;
-  int col = -1;  // -1: any column on the line
-  bool defs = false;
-  bool uses = false;
-};
-
-bool eventSelected(const DefUseItem::Event& e, const Query& q) {
-  if (e.op == DuOp::Marker) return false;
-  if (!q.var.empty() && e.name != q.var) return false;
-  if (q.line >= 0 && static_cast<int>(e.pos.line) != q.line) return false;
-  if (q.col >= 0 && static_cast<int>(e.pos.column) != q.col) return false;
-  return true;
-}
-
-std::string eventText(const World& world, const DefUseItem::Event& e) {
-  std::string out = e.op == DuOp::Def ? "def of '" : "use of '";
-  out += std::string(e.name) + "' at " + world.pos(e.pos);
-  out += " [" + pdt::pdb::du::flagsText(e.flags) + "]";
-  return out;
-}
-
-void runQuery(const pdt::ductape::PDB& merged, const Query& query) {
-  const World world(merged);
-  for (const DefUseItem& item : merged.raw().defUses()) {
-    if (!query.routine.empty() &&
-        !world.routineMatches(item.routine, query.routine))
-      continue;
-
-    if (!query.defs && !query.uses) {
-      int defs = 0, uses = 0, markers = 0;
-      for (const auto& e : item.events) {
-        if (e.op == DuOp::Def) ++defs;
-        else if (e.op == DuOp::Use) ++uses;
-        else ++markers;
-      }
-      std::cout << "du#" << item.id << " routine '"
-                << world.routineName(item.routine) << "': " << defs
-                << " def(s), " << uses << " use(s), " << markers
-                << " marker(s)\n";
-      continue;
-    }
-
-    const dataflow::Cfg cfg = dataflow::Cfg::build(item);
-    if (cfg.irregular()) {
-      std::cout << "routine '" << world.routineName(item.routine)
-                << "': irregular control flow (goto/label/try); no "
-                   "flow-sensitive answer\n";
-      continue;
-    }
-    const dataflow::ReachingDefs rd(cfg);
-    bool header_printed = false;
-    const auto header = [&] {
-      if (header_printed) return;
-      header_printed = true;
-      std::cout << "routine '" << world.routineName(item.routine) << "' (du#"
-                << item.id << "):\n";
-    };
-    for (std::size_t e = 0; e < item.events.size(); ++e) {
-      const auto& ev = item.events[e];
-      if (!eventSelected(ev, query)) continue;
-      const auto idx = static_cast<dataflow::EventIndex>(e);
-      if (query.defs && ev.op == DuOp::Use) {
-        header();
-        std::cout << "  " << eventText(world, ev) << '\n';
-        const auto& defs = rd.defsReaching(idx);
-        if (defs.empty()) std::cout << "    reached by no definition\n";
-        for (const auto d : defs)
-          std::cout << "    reached by " << eventText(world, item.events[d])
-                    << '\n';
-      }
-      if (query.uses && ev.op == DuOp::Def) {
-        header();
-        std::cout << "  " << eventText(world, ev) << '\n';
-        const auto& uses = rd.usesReached(idx);
-        if (uses.empty()) std::cout << "    reaches no use\n";
-        for (const auto u : uses)
-          std::cout << "    reaches " << eventText(world, item.events[u])
-                    << '\n';
-      }
-    }
-  }
-}
-
-bool parseAt(const std::string& value, Query& query) {
+bool parseAt(const std::string& value, DefUseQuery& query) {
   const std::size_t colon = value.find(':');
   const std::string line = value.substr(0, colon);
   int parsed = 0;
@@ -185,7 +65,7 @@ bool parseAt(const std::string& value, Query& query) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
-  Query query;
+  DefUseQuery query;
   pdt::trace::ToolObservability obs;
 
   for (int i = 1; i < argc; ++i) {
@@ -204,6 +84,11 @@ int main(int argc, char** argv) {
       query.defs = true;
     } else if (arg == "--uses") {
       query.uses = true;
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "pdbduct: " << mmap_err << '\n';
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;
@@ -251,7 +136,8 @@ int main(int argc, char** argv) {
   }
   const pdt::ductape::PDB merged = pdt::tools::pdbmerge(std::move(inputs), 1);
 
-  runQuery(merged, query);
+  const pdt::query::Index index(merged);
+  pdt::query::renderDefUse(index, query, std::cout);
 
   if (obs.wanted()) {
     pdt::trace::StatsReport report("pdbduct");

@@ -14,7 +14,8 @@ constexpr const char* kUsage =
     "               [--stats[=json]] [--stats-out FILE] [--trace-out FILE]\n"
     "  --stats[=json]    counter + phase timing report on stderr\n"
     "  --stats-out FILE  write the stats report to FILE\n"
-    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
+    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n"
+    "  --mmap=MODE       input mapping: auto (default), on, off\n";
 
 }  // namespace
 
@@ -25,7 +26,12 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-h" || arg == "--help") {
+    if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "pdbhtml: " << mmap_err << '\n';
+        return 2;
+      }
+    } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;
     } else if (!arg.starts_with("-")) {

@@ -89,14 +89,11 @@ int main(int argc, char** argv) {
       jobs = parseJobs(arg.substr(2));
     } else if (arg.starts_with("--merge-mem-mb=")) {
       merge_mem_mb = parseMemMb(arg.substr(15));
-    } else if (arg.starts_with("--mmap=")) {
-      const auto mode = pdt::pdb::mmapModeFromName(arg.substr(7));
-      if (!mode) {
-        std::cerr << "pdbmerge: unknown --mmap mode '" << arg.substr(7)
-                  << "' (expected auto, on, or off)\n";
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "pdbmerge: " << mmap_err << '\n';
         return 2;
       }
-      pdt::pdb::setMmapMode(*mode);
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;

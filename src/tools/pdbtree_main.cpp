@@ -23,7 +23,8 @@ constexpr const char* kUsage =
     "  --profile         dp section (tauprof merge) joined with routines\n"
     "  --stats[=json]    counter + phase timing report on stderr\n"
     "  --stats-out FILE  write the stats report to FILE\n"
-    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n";
+    "  --trace-out FILE  write a Chrome trace_event JSON timeline to FILE\n"
+    "  --mmap=MODE       input mapping: auto (default), on, off\n";
 
 using pdt::pdb::Sections;
 
@@ -60,6 +61,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       mode = arg;
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "pdbtree: " << mmap_err << '\n';
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;

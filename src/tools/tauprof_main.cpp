@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "pdb/format.h"
+#include "pdb/snapshot.h"
 #include "pdb/validate.h"
 #include "tau/profile_merge.h"
 
@@ -27,6 +27,7 @@ constexpr const char* kUsage =
     "                   else a fresh one) with the merged profile attached\n"
     "                   as a dp section\n"
     "  --db-format=FMT  database format for --db-out: ascii (default) | bin\n"
+    "  --mmap=MODE      --pdb input mapping: auto (default), on, off\n"
     "exit codes: 0 ok, 2 usage error, 3 invalid input\n";
 
 }  // namespace
@@ -62,6 +63,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       db_format = *fmt;
+    } else if (std::string mmap_err; pdt::pdb::parseMmapFlag(arg, mmap_err)) {
+      if (!mmap_err.empty()) {
+        std::cerr << "tauprof: " << mmap_err << '\n';
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       return 0;
@@ -116,17 +122,17 @@ int main(int argc, char** argv) {
   if (!db_out.empty()) {
     pdt::pdb::PdbFile pdb;
     if (!pdb_in.empty()) {
-      auto read = pdt::pdb::readFile(pdb_in);
-      if (!read) {
+      auto read = pdt::pdb::open(pdb_in);
+      if (!read.opened) {
         std::cerr << "tauprof: cannot open '" << pdb_in << "'\n";
         return 3;
       }
-      if (!read->ok()) {
-        std::cerr << "tauprof: " << pdb_in << ": " << read->errors.front()
+      if (!read.ok()) {
+        std::cerr << "tauprof: " << pdb_in << ": " << read.errors.front()
                   << '\n';
         return 3;
       }
-      pdb = std::move(read->pdb);
+      pdb = read.snapshot->clonePdb();
     }
     const std::size_t linked = pdt::tau::attachDynProfSection(merged, pdb);
     if (!pdt::pdb::writeFile(pdb, db_out, db_format)) {

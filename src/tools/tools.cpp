@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "query/render.h"
 #include "support/text.h"
 #include "support/thread_pool.h"
 
@@ -398,99 +399,23 @@ void printFuncTree(const pdbRoutine* r, int level, std::ostream& os) {
   }
 }
 
-namespace {
-
-void printIncludeTree(const pdbFile* f, int level, std::ostream& os,
-                      std::string& pad) {
-  f->flag(ACTIVE);
-  writePad(os, pad, level * 4);
-  os << f->name() << '\n';
-  for (const pdbFile* inc : f->includes()) {
-    if (inc->flag() == ACTIVE) {
-      writePad(os, pad, (level + 1) * 4);
-      os << inc->name() << " ...\n";
-    } else {
-      printIncludeTree(inc, level + 1, os, pad);
-    }
-  }
-  f->flag(INACTIVE);
-}
-
-void printClassTree(const pdbClass* c, int level, std::ostream& os,
-                    std::string& pad) {
-  c->flag(ACTIVE);
-  writePad(os, pad, level * 4);
-  os << c->fullName() << "  [" << locText(c->location()) << "]\n";
-  for (const pdbClass* d : c->derivedClasses()) {
-    if (d->flag() == ACTIVE) {
-      writePad(os, pad, (level + 1) * 4);
-      os << d->fullName() << " ...\n";
-    } else {
-      printClassTree(d, level + 1, os, pad);
-    }
-  }
-  c->flag(INACTIVE);
-}
-
-}  // namespace
-
 void pdbtree(const PDB& pdb, TreeKind kind, std::ostream& os) {
-  std::string pad;
+  // The tree walkers live in the shared query layer now (so pdbd serves
+  // the same bytes); a borrowed Index memoizes the roots for this call.
+  const query::Index index(pdb);
   switch (kind) {
-    case TreeKind::Includes: {
-      os << "Source file inclusion tree\n--------------------------\n";
-      for (const pdbFile* root : pdb.getIncludeTreeRoots()) {
-        printIncludeTree(root, 0, os, pad);
-      }
+    case TreeKind::Includes:
+      query::renderTree(index, query::Tree::Includes, os);
       break;
-    }
-    case TreeKind::ClassHierarchy: {
-      os << "Class hierarchy\n---------------\n";
-      for (const pdbClass* root : pdb.getClassHierarchyRoots()) {
-        printClassTree(root, 0, os, pad);
-      }
+    case TreeKind::ClassHierarchy:
+      query::renderTree(index, query::Tree::ClassHierarchy, os);
       break;
-    }
-    case TreeKind::CallGraph: {
-      os << "Static call tree\n----------------\n";
-      for (const pdbRoutine* root : pdb.getCallTreeRoots()) {
-        os << root->fullName() << '\n';
-        printFuncTree(root, 1, os);
-      }
+    case TreeKind::CallGraph:
+      query::renderTree(index, query::Tree::CallGraph, os);
       break;
-    }
-    case TreeKind::Profile: {
-      os << "Dynamic profile joined with static routines\n"
-            "-------------------------------------------\n";
-      const auto& dps = pdb.raw().dynProfs();
-      if (dps.empty()) {
-        os << "(no dp section; attach one with tauprof --db-out)\n";
-        break;
-      }
-      std::unordered_map<int, const pdbRoutine*> by_id;
-      for (const pdbRoutine* r : pdb.getRoutineVec()) by_id.emplace(r->id(), r);
-      os << "       #Call     Excl-ms     Incl-ms  Thr  Name  [routine @ location]\n";
-      const auto flags = os.flags();
-      const auto precision = os.precision();
-      for (const pdb::DynProfItem& p : dps) {
-        os << std::setw(12) << p.calls << ' ' << std::fixed
-           << std::setprecision(3) << std::setw(11)
-           << static_cast<double>(p.exclusive_ns) / 1e6 << ' ' << std::setw(11)
-           << static_cast<double>(p.inclusive_ns) / 1e6 << ' ' << std::setw(4)
-           << p.threads << "  " << p.name;
-        const auto it = by_id.find(static_cast<int>(p.routine));
-        if (it != by_id.end()) {
-          os << "  [ro#" << p.routine << ' ' << it->second->fullName() << " @ "
-             << locText(it->second->location()) << ']';
-        } else if (p.routine != 0) {
-          os << "  [ro#" << p.routine << ']';
-        }
-        os << '\n';
-        os.flags(flags);
-        os.precision(precision);
-      }
+    case TreeKind::Profile:
+      query::renderTree(index, query::Tree::Profile, os);
       break;
-    }
   }
 }
 

@@ -1,4 +1,4 @@
-// Zero-copy mmap read path: databases returned by pdb::readFile own the
+// Zero-copy mmap read path: snapshots returned by pdb::open own the
 // buffer their string views alias (so they outlive any scope), the mmap
 // and buffered paths reject a corruption corpus identically, and masked
 // reads verify exactly the sections they materialize — no more (pages of
@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "pdb/binary_layout.h"
-#include "pdb/format.h"
+#include "pdb/snapshot.h"
 #include "pdb/writer.h"
 #include "support/trace.h"
 
@@ -125,10 +125,10 @@ class MmapReaderTest : public ::testing::Test {
                                                 Sections sections =
                                                     Sections::All) {
     setMmapMode(mode);
-    const auto result = readFile(path, sections);
+    const OpenResult result = open(path, sections);
     setMmapMode(MmapMode::Auto);
-    if (!result) return {false, "<unopenable>"};
-    if (!result->ok()) return {false, result->errors.front()};
+    if (!result.opened) return {false, "<unopenable>"};
+    if (!result.ok()) return {false, result.errors.front()};
     return {true, ""};
   }
 
@@ -142,15 +142,15 @@ TEST_F(MmapReaderTest, DatabaseOwnsItsViewsBeyondEveryScope) {
   {
     const std::string path = writeBytes("sample.pdb", binary_);
     setMmapMode(MmapMode::On);
-    auto result = readFile(path);
+    auto result = open(path);
     setMmapMode(MmapMode::Auto);
-    ASSERT_TRUE(result && result->ok());
-    // The mapping's only owner is the database; deleting the directory
-    // entry must not invalidate it (POSIX keeps unlinked mappings
-    // readable — exactly what the sharded merge's spill cleanup relies
-    // on).
+    ASSERT_TRUE(result.ok());
+    // The mapping's only owner is the snapshot (and any database cloned
+    // from it); deleting the directory entry must not invalidate it
+    // (POSIX keeps unlinked mappings readable — exactly what the sharded
+    // merge's spill cleanup relies on).
     fs::remove(path);
-    moved = std::move(result->pdb);
+    moved = result.snapshot->clonePdb();
   }
   // A copy shares the adopted backing rather than re-owning strings.
   const PdbFile copy = moved;  // NOLINT(performance-unnecessary-copy-initialization)

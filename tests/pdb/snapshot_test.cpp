@@ -1,0 +1,180 @@
+// Snapshot lifecycle tests: pdb::open publishes an immutable snapshot
+// with a process-unique generation, widen() re-opens lazily skipped
+// sections into the same generation without touching what is already
+// loaded (it re-reads from the snapshot's retained bytes, so it works
+// even after the file is gone), and failures keep the OpenResult
+// contract one-shot tools rely on for their error strings.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "pdb/snapshot.h"
+#include "pdb/writer.h"
+
+namespace pdt::pdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small database touching several sections (files include each
+/// other so the include tree is non-trivial).
+PdbFile samplePdb() {
+  PdbFile pdb;
+  SourceFileItem header;
+  header.name = "Snap.h";
+  const std::uint32_t header_id = pdb.addSourceFile(std::move(header));
+  SourceFileItem impl;
+  impl.name = "Snap.cpp";
+  impl.includes.push_back(header_id);
+  const std::uint32_t impl_id = pdb.addSourceFile(std::move(impl));
+
+  TypeItem int_ty;
+  int_ty.name = "int";
+  int_ty.kind = "int";
+  pdb.addType(std::move(int_ty));
+
+  ClassItem cls;
+  cls.name = "Snap";
+  cls.kind = "class";
+  cls.location = {header_id, 3, 1};
+  const std::uint32_t cls_id = pdb.addClass(std::move(cls));
+
+  RoutineItem ro;
+  ro.name = "run";
+  ro.parent = ItemRef{ItemKind::Class, cls_id};
+  ro.kind = "routine";
+  ro.defined = true;
+  ro.location = {impl_id, 7, 1};
+  pdb.addRoutine(std::move(ro));
+
+  MacroItem ma;
+  ma.name = "SNAP_H";
+  ma.kind = "def";
+  ma.location = {header_id, 1, 1};
+  pdb.addMacro(std::move(ma));
+
+  pdb.reindex();
+  return pdb;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pdt_snap_" + std::to_string(::testing::UnitTest::GetInstance()
+                                             ->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir_);
+    ascii_ = writeToString(samplePdb());
+    path_ = (dir_ / "sample.pdb").string();
+    std::ofstream os(path_, std::ios::binary);
+    os.write(ascii_.data(), static_cast<std::streamsize>(ascii_.size()));
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+  std::string path_;
+  std::string ascii_;
+};
+
+TEST_F(SnapshotTest, OpenLoadsAllSectionsWithAUniqueGeneration) {
+  const OpenResult a = open(path_);
+  const OpenResult b = open(path_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.snapshot->loaded(), Sections::All);
+  EXPECT_EQ(a.snapshot->path(), path_);
+  // Generations are process-unique and monotone: re-opening the same
+  // file is a new generation (that is what pdbd's hot-swap observes).
+  EXPECT_LT(a.snapshot->generation(), b.snapshot->generation());
+  EXPECT_GT(a.snapshot->generation(), 0u);
+  EXPECT_EQ(writeToString(a.snapshot->pdb()), ascii_);
+}
+
+TEST_F(SnapshotTest, OpenFailureDistinguishesMissingFromMalformed) {
+  const OpenResult missing = open((dir_ / "absent.pdb").string());
+  EXPECT_FALSE(missing.ok());
+  EXPECT_FALSE(missing.opened);
+  EXPECT_EQ(missing.snapshot, nullptr);
+
+  const std::string bad_path = (dir_ / "bad.pdb").string();
+  std::ofstream(bad_path) << "this is not a database\n";
+  const OpenResult bad = open(bad_path);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.opened);
+  ASSERT_FALSE(bad.errors.empty());
+}
+
+TEST_F(SnapshotTest, MaskedOpenLoadsOnlyTheRequestedSections) {
+  const OpenResult narrow = open(path_, Sections::SourceFiles);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow.snapshot->loaded(), Sections::SourceFiles);
+  EXPECT_EQ(narrow.snapshot->pdb().sourceFiles().size(), 2u);
+  EXPECT_TRUE(narrow.snapshot->pdb().routines().empty());
+}
+
+TEST_F(SnapshotTest, WidenAddsSectionsInsideTheSameGeneration) {
+  const OpenResult narrow = open(path_, Sections::SourceFiles);
+  ASSERT_TRUE(narrow.ok());
+  const OpenResult wide =
+      widen(narrow.snapshot, Sections::Routines | Sections::Classes);
+  ASSERT_TRUE(wide.ok());
+  // Same logical database acquisition: the generation is preserved, the
+  // mask is the union, and the original snapshot is untouched.
+  EXPECT_EQ(wide.snapshot->generation(), narrow.snapshot->generation());
+  EXPECT_EQ(wide.snapshot->loaded(),
+            Sections::SourceFiles | Sections::Routines | Sections::Classes);
+  EXPECT_EQ(narrow.snapshot->loaded(), Sections::SourceFiles);
+  EXPECT_EQ(wide.snapshot->pdb().routines().size(), 1u);
+  EXPECT_EQ(wide.snapshot->pdb().sourceFiles().size(), 2u);
+}
+
+TEST_F(SnapshotTest, WidenIsANoOpWhenAlreadyCovered) {
+  const OpenResult narrow =
+      open(path_, Sections::SourceFiles | Sections::Routines);
+  ASSERT_TRUE(narrow.ok());
+  const OpenResult same = widen(narrow.snapshot, Sections::Routines);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same.snapshot, narrow.snapshot);
+}
+
+TEST_F(SnapshotTest, WidenReadsFromRetainedBytesNotTheFile) {
+  const OpenResult narrow = open(path_, Sections::SourceFiles);
+  ASSERT_TRUE(narrow.ok());
+  // The file is gone; widening must succeed anyway, because the
+  // snapshot retains the raw bytes it was opened from.
+  fs::remove(path_);
+  const OpenResult wide = widen(narrow.snapshot, Sections::All);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide.snapshot->loaded(), Sections::All);
+  EXPECT_EQ(writeToString(wide.snapshot->pdb()), ascii_);
+  EXPECT_EQ(wide.snapshot->generation(), narrow.snapshot->generation());
+}
+
+TEST_F(SnapshotTest, WidenToAllMatchesADirectFullOpen) {
+  const OpenResult narrow =
+      open(path_, Sections::Classes | Sections::SourceFiles);
+  ASSERT_TRUE(narrow.ok());
+  const OpenResult widened = widen(narrow.snapshot, Sections::All);
+  const OpenResult full = open(path_);
+  ASSERT_TRUE(widened.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(writeToString(widened.snapshot->pdb()),
+            writeToString(full.snapshot->pdb()));
+}
+
+TEST_F(SnapshotTest, WidenRejectsANullSnapshot) {
+  const OpenResult result = widen(nullptr, Sections::All);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.errors.empty());
+}
+
+}  // namespace
+}  // namespace pdt::pdb

@@ -1,0 +1,206 @@
+// Concurrency contract of the pdbd service (run under
+// -DPDT_SANITIZE=thread in CI): N client threads query while a writer
+// hot-swaps database generations. Every response must be attributable
+// to exactly one generation — its text is byte-identical to one of the
+// two databases' expected renderings, and one generation never yields
+// two different texts. The query path takes no locks; TSan verifies the
+// atomic shared_ptr publication is the only synchronization needed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "ilanalyzer/analyzer.h"
+#include "pdb/writer.h"
+#include "pdbd/proto.h"
+#include "pdbd/service.h"
+
+namespace pdt::pdbd {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kAlpha = R"(
+class Base {
+public:
+    virtual void act() {}
+};
+void leaf() {}
+void driver(Base& b) {
+    b.act();
+    leaf();
+}
+)";
+
+constexpr const char* kBeta = R"(
+int helper(int a) {
+    int t = a;
+    t = a + 1;
+    return t;
+}
+int entry() { return helper(2); }
+)";
+
+std::string compileToFile(const fs::path& path, const std::string& name,
+                          const std::string& source) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  frontend::Frontend fe(sm, diags);
+  auto result = fe.compileSource(name, source);
+  const std::string text = pdb::writeToString(ilanalyzer::analyze(result, sm));
+  std::ofstream os(path, std::ios::binary);
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return path.string();
+}
+
+TEST(ServiceMt, ConcurrentQueriesSurviveHotSwapsUntorn) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pdt_pdbd_mt_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::create_directories(dir);
+  const std::string alpha = compileToFile(dir / "alpha.pdb", "a.cpp", kAlpha);
+  const std::string beta = compileToFile(dir / "beta.pdb", "b.cpp", kBeta);
+
+  Service service;
+  std::string error;
+  ASSERT_TRUE(service.load(alpha, error)) << error;
+
+  // Expected texts, computed single-threaded through the same service
+  // before any concurrency starts.
+  const auto textOf = [&service](const char* verb) {
+    Message req;
+    std::string perr;
+    EXPECT_TRUE(parseMessage(std::string(R"({"q": ")") + verb + R"("})", req,
+                             perr));
+    Message resp;
+    EXPECT_TRUE(parseMessage(service.handle(req), resp, perr));
+    EXPECT_TRUE(resp.flag("ok"));
+    return resp.str("text");
+  };
+  const std::string alpha_calls = textOf("calltree");
+  const std::string alpha_classes = textOf("hierarchy");
+  std::string swap_err;
+  ASSERT_TRUE(service.load(beta, swap_err)) << swap_err;
+  const std::string beta_calls = textOf("calltree");
+  const std::string beta_classes = textOf("hierarchy");
+  ASSERT_NE(alpha_calls, beta_calls);
+  ASSERT_TRUE(service.load(alpha, swap_err)) << swap_err;
+
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 120;
+  // Readers that hit their quota before observing a second generation
+  // keep querying (the writer is still swapping) up to this many extra
+  // iterations — generous enough for any scheduler, small enough to
+  // fail rather than hang if publication were broken.
+  constexpr int kMaxQueriesPerReader = kQueriesPerReader * 500;
+
+  std::atomic<bool> start{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> done_readers{0};
+  // generation id -> (calltree text, hierarchy text), merged across
+  // readers after the fact; a generation that ever shows two texts is a
+  // torn read.
+  std::mutex seen_mu;
+  std::map<std::uint64_t, std::pair<std::string, std::string>> seen;
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      Message calls_req, classes_req;
+      std::string perr;
+      ASSERT_TRUE(parseMessage(R"({"q": "calltree"})", calls_req, perr));
+      ASSERT_TRUE(parseMessage(R"({"q": "hierarchy"})", classes_req, perr));
+      std::set<std::uint64_t> observed;
+      for (int i = 0;
+           i < kQueriesPerReader ||
+           (observed.size() < 2 && i < kMaxQueriesPerReader);
+           ++i) {
+        const bool want_calls = (i % 2) == 0;
+        Message resp;
+        ASSERT_TRUE(parseMessage(
+            service.handle(want_calls ? calls_req : classes_req), resp, perr));
+        ASSERT_TRUE(resp.flag("ok"));
+        const auto gen = static_cast<std::uint64_t>(resp.num("generation"));
+        observed.insert(gen);
+        const std::string text = resp.str("text");
+        // The text must be exactly one database's rendering...
+        if (want_calls) {
+          if (text != alpha_calls && text != beta_calls) {
+            torn.fetch_add(1);
+            continue;
+          }
+        } else if (text != alpha_classes && text != beta_classes) {
+          torn.fetch_add(1);
+          continue;
+        }
+        // ...and one generation must never answer with two databases.
+        std::lock_guard<std::mutex> lock(seen_mu);
+        auto [it, inserted] = seen.try_emplace(gen);
+        std::string& slot = want_calls ? it->second.first : it->second.second;
+        if (slot.empty()) {
+          slot = text;
+        } else if (slot != text) {
+          torn.fetch_add(1);
+        }
+      }
+      done_readers.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // The writer swaps for as long as any reader is still querying; the
+  // readers above don't stop until they have each seen two generations.
+  // Together that pins the interleaving regardless of scheduling: on a
+  // single-core machine the readers can burn through their whole quota
+  // before this thread first runs, and a fixed swap count would then
+  // exercise exactly one generation.
+  std::thread writer([&] {
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; done_readers.load(std::memory_order_acquire) < kReaders;
+         ++i) {
+      std::string werr;
+      ASSERT_TRUE(service.load((i % 2) == 0 ? beta : alpha, werr)) << werr;
+      // Pace against the readers: wait for at least one query to be
+      // answered after this swap, so generations actually interleave
+      // with queries instead of the writer spinning through loads.
+      const std::uint64_t mark = service.queriesServed();
+      while (service.queriesServed() == mark &&
+             done_readers.load(std::memory_order_acquire) < kReaders)
+        std::this_thread::yield();
+    }
+  });
+
+  start.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  writer.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  // The run actually exercised multiple generations.
+  EXPECT_GT(seen.size(), 1u);
+  // Consistency across verbs inside one generation: a generation whose
+  // calltree is alpha's must not show beta's hierarchy.
+  for (const auto& [gen, texts] : seen) {
+    const auto& [calls, classes] = texts;
+    if (calls.empty() || classes.empty()) continue;
+    const bool is_alpha = calls == alpha_calls;
+    EXPECT_EQ(classes, is_alpha ? alpha_classes : beta_classes)
+        << "generation " << gen << " mixed databases";
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace pdt::pdbd
